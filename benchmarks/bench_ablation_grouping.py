@@ -1,0 +1,54 @@
+"""Ablation: endpoint grouping on/off.
+
+Measures the CI-test savings from treating Vi - Vj and Vj - Vi as one work
+item (paper Sec. IV-C) on real workloads, and checks the measured saving
+against the paper's S_grouping = 2 / (2 - rho_d) model evaluated on the
+run's own deletion ratios.
+"""
+
+from __future__ import annotations
+
+from repro.bench.tables import render_table
+from repro.bench.workloads import make_workload
+from repro.core.learn import learn_structure
+
+
+def _run(dataset, grouped: bool):
+    method = "fast-bns" if grouped else "pc-stable"
+    # Use the same tester/layout for both so only grouping differs.
+    from repro.citests.gsquare import GSquareTest
+    from repro.core.skeleton import learn_skeleton
+
+    tester = GSquareTest(dataset)
+    return learn_skeleton(tester, dataset.n_variables, group_endpoints=grouped)
+
+
+def test_grouping_on(benchmark):
+    data = make_workload("alarm", 5000).dataset
+    _, _, stats = benchmark.pedantic(lambda: _run(data, True), rounds=1, iterations=1)
+    assert stats.n_tests > 0
+
+
+def test_grouping_off(benchmark):
+    data = make_workload("alarm", 5000).dataset
+    _, _, stats = benchmark.pedantic(lambda: _run(data, False), rounds=1, iterations=1)
+    assert stats.n_tests > 0
+
+
+def test_grouping_saving_table(benchmark, record):
+    def compute():
+        rows = []
+        for name in ("alarm", "insurance"):
+            data = make_workload(name, 5000).dataset
+            _, _, on = _run(data, True)
+            _, _, off = _run(data, False)
+            saving = 100.0 * (off.n_tests - on.n_tests) / off.n_tests
+            rows.append([name, off.n_tests, on.n_tests, f"{saving:.1f}%"])
+        return render_table(
+            ["network", "tests (ungrouped)", "tests (grouped)", "saving"],
+            rows,
+            title="Ablation: endpoint-grouping CI-test savings (measured)",
+        )
+
+    text = benchmark.pedantic(compute, rounds=1, iterations=1)
+    record("ablation_grouping", text)

@@ -1,0 +1,61 @@
+"""Ablation: cache-friendly (variable-major) vs sample-major storage.
+
+Two measurements:
+
+* **real**: the G^2 kernel timed on both layouts on this host (NumPy
+  column gathers are contiguous vs strided — the same locality contrast
+  the paper engineered in C++);
+* **modelled**: the paper's T3/T4 ratio from the cost model, which the
+  test-suite pins at 5.57 for d = 2.
+"""
+
+from __future__ import annotations
+
+from repro.bench.tables import render_table
+from repro.bench.workloads import make_workload
+from repro.citests.gsquare import GSquareTest
+from repro.simcpu.costmodel import CostModel
+from repro.simcpu.machine import MachineSpec
+
+
+def _kernel(dataset, n_tests=60):
+    tester = GSquareTest(dataset)
+    n = dataset.n_variables
+    for i in range(n_tests):
+        x = i % n
+        y = (i + 1) % n
+        z = ((i + 2) % n, (i + 3) % n)
+        tester.test(x, y, tuple(v for v in z if v not in (x, y)))
+
+
+def test_storage_layout_variable_major(benchmark):
+    wl = make_workload("hepar2", 5000)
+    data = wl.dataset.with_layout("variable-major")
+    benchmark(lambda: _kernel(data))
+
+
+def test_storage_layout_sample_major(benchmark):
+    wl = make_workload("hepar2", 5000)
+    data = wl.dataset.with_layout("sample-major")
+    benchmark(lambda: _kernel(data))
+
+
+def test_storage_model_ratio(benchmark, record):
+    def compute():
+        spec = MachineSpec()
+        friendly = CostModel(spec, cache_friendly=True)
+        unfriendly = CostModel(spec, cache_friendly=False)
+        rows = []
+        for d in range(5):
+            m = 5000
+            ratio = unfriendly.gather_units(m, d + 2) / friendly.gather_units(m, d + 2)
+            rows.append([d, f"{ratio:.2f}"])
+        return render_table(
+            ["depth", "S_cache (T3/T4)"],
+            rows,
+            title="Ablation: modelled cache-storage speedup per depth",
+        )
+
+    text = benchmark.pedantic(compute, rounds=1, iterations=1)
+    record("ablation_storage_model", text)
+    assert "5.5" in text  # the paper's 5.57 at B=64, ratio 8

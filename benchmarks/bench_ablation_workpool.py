@@ -1,0 +1,64 @@
+"""Ablation: dynamic work pool vs static partition, and robustness of the
+Fig. 5 trend to the per-depth overhead constant.
+
+* The scheduling ablation isolates S_CI: same trace, same cost model, only
+  the scheduler differs (the paper's eq. (1) vs eq. (2) contrast).
+* The overhead sweep shows the small-network speedup cap is not an
+  artefact of one constant.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.bench.experiments import traced_run
+from repro.bench.tables import render_series
+from repro.bench.workloads import make_workload
+from repro.simcpu.costmodel import CostModel
+from repro.simcpu.scheduler import simulate
+
+
+def test_workpool_vs_static_partition(benchmark, record):
+    def compute():
+        run = traced_run(make_workload("alarm", 5000))
+        threads = (2, 4, 8, 16, 32)
+        series = {
+            "dynamic pool (CI-level)": [run.speedup("ci", t) for t in threads],
+            "static partition (edge-level)": [run.speedup("edge", t) for t in threads],
+        }
+        return series, render_series(
+            "threads",
+            list(threads),
+            series,
+            title="Ablation: scheduling policy only (same trace, same costs)",
+        )
+
+    series, text = benchmark.pedantic(compute, rounds=1, iterations=1)
+    record("ablation_workpool", text)
+    for a, b in zip(series["static partition (edge-level)"], series["dynamic pool (CI-level)"]):
+        assert b >= a * 0.99
+
+
+def test_region_overhead_sensitivity(benchmark, record):
+    def compute():
+        run = traced_run(make_workload("alarm", 5000))
+        overheads = (1e-4, 1e-3, 3e-3, 1e-2)
+        speedups = []
+        for ro in overheads:
+            spec = dataclasses.replace(run.model.machine, region_overhead_s=ro)
+            model = CostModel(spec, cache_friendly=True)
+            seq = simulate(run.trace.depths, model, "sequential", 1)
+            ci = simulate(run.trace.depths, model, "ci", 32)
+            speedups.append(ci.speedup_over(seq))
+        series = {"speedup at t=32": speedups}
+        return speedups, render_series(
+            "region overhead (s)",
+            [f"{o:g}" for o in overheads],
+            series,
+            title="Ablation: per-depth overhead vs small-network speedup",
+        )
+
+    speedups, text = benchmark.pedantic(compute, rounds=1, iterations=1)
+    record("ablation_region_overhead", text)
+    # More fixed serial overhead => lower speedup, monotonically.
+    assert all(b <= a + 1e-9 for a, b in zip(speedups, speedups[1:]))

@@ -1,0 +1,38 @@
+"""Fig. 2 bench: execution time of CI-, edge- and sample-level parallelism
+across thread counts (simulated from measured traces).
+
+Shape assertions encode the paper's Fig. 2: CI-level is fastest at every
+thread count beyond 1, sample-level is the worst overall, and the CI-level
+advantage over edge-level grows with thread count.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import THREAD_SWEEP, experiment_fig2
+from repro.bench.workloads import is_full_mode
+
+NETWORKS = (
+    ("alarm", "insurance", "hepar2", "munin1", "diabetes", "link")
+    if is_full_mode()
+    else ("alarm", "insurance", "hepar2")
+)
+
+
+def test_fig2_granularity_sweep(benchmark, record):
+    out = benchmark.pedantic(
+        lambda: experiment_fig2(networks=NETWORKS, n_samples=5000),
+        rounds=1,
+        iterations=1,
+    )
+    record("fig2_granularities", out.text)
+    for label, series in out.data.items():
+        ci = series["CI-level"]
+        edge = series["Edge-level"]
+        sample = series["Sample-level"]
+        for i, t in enumerate(THREAD_SWEEP):
+            if t == 1:
+                continue
+            assert ci[i] <= edge[i], (label, t)
+            assert ci[i] < sample[i], (label, t)
+        # The paper: edge-level loses >20% to CI-level at high t.
+        assert ci[-1] < 0.8 * edge[-1], label

@@ -1,0 +1,37 @@
+"""Fig. 3 bench: Fast-BNS-par/seq speedup across sample sizes.
+
+Shape assertions encode the paper's Fig. 3: smooth speedup growth with
+thread count for every sample size, with larger sample sizes achieving
+equal-or-higher peak speedup (bigger per-test workloads amortise parallel
+overhead better).
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import THREAD_SWEEP, experiment_fig3
+from repro.bench.workloads import is_full_mode
+
+NETWORKS = (
+    ("alarm", "insurance", "hepar2", "munin1") if is_full_mode() else ("alarm", "insurance")
+)
+SAMPLE_SIZES = (5000, 10000, 15000)
+
+
+def test_fig3_sample_size_sweep(benchmark, record):
+    out = benchmark.pedantic(
+        lambda: experiment_fig3(networks=NETWORKS, sample_sizes=SAMPLE_SIZES),
+        rounds=1,
+        iterations=1,
+    )
+    record("fig3_sample_size", out.text)
+    for label, series in out.data.items():
+        for m, speedups in series.items():
+            # Monotone through the moderate thread counts (paper: "smooth
+            # improvement in speedups for all the sample sizes").
+            for a, b in zip(speedups[:4], speedups[1:5]):
+                assert b > a * 0.95, (label, m)
+            assert max(speedups) > 4.0, (label, m)
+        largest = series[f"m={SAMPLE_SIZES[-1]}"]
+        smallest = series[f"m={SAMPLE_SIZES[0]}"]
+        # Larger sample size: equal or better peak speedup (within noise).
+        assert max(largest) > 0.85 * max(smallest), label

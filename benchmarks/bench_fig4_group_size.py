@@ -1,0 +1,37 @@
+"""Fig. 4 bench: group-size (gs) effect on CI-test counts and runtime.
+
+Entirely *measured* (no simulation): gs changes which tests execute.
+Shape assertions encode the paper's Fig. 4: the CI-test count inflation is
+monotone in gs, stays modest (<~10%) for gs <= 8, and grows much faster
+beyond.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import experiment_fig4
+from repro.bench.workloads import is_full_mode
+
+NETWORKS = (
+    ("alarm", "insurance", "hepar2", "munin1") if is_full_mode() else ("alarm", "insurance")
+)
+GROUP_SIZES = (1, 2, 4, 6, 8, 12, 16)
+N_SAMPLES = 10000 if is_full_mode() else 5000
+
+
+def test_fig4_group_size_sweep(benchmark, record):
+    out = benchmark.pedantic(
+        lambda: experiment_fig4(
+            networks=NETWORKS, n_samples=N_SAMPLES, group_sizes=GROUP_SIZES
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record("fig4_group_size", out.text)
+    for label, data in out.data.items():
+        inflation = dict(zip(data["group_sizes"], data["inflation_pct"]))
+        assert inflation[1] == 0.0
+        # Monotone non-decreasing in gs.
+        values = data["inflation_pct"]
+        assert all(b >= a - 1e-9 for a, b in zip(values, values[1:])), label
+        # Paper: moderate inflation up to gs = 8, faster growth beyond.
+        assert inflation[16] >= inflation[8], label

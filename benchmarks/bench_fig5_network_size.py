@@ -1,0 +1,19 @@
+"""Fig. 5 bench: Fast-BNS-par/seq speedup across network sizes.
+
+Shape assertion encodes the paper's Fig. 5 claim: large networks achieve
+high speedups (good scalability), while the smallest networks are capped
+by fixed parallel overhead.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import experiment_fig5
+
+
+def test_fig5_network_size(benchmark, record):
+    out = benchmark.pedantic(lambda: experiment_fig5(n_samples=5000), rounds=1, iterations=1)
+    record("fig5_network_size", out.text)
+    speedups = {label: row["speedup"] for label, row in out.data.items()}
+    assert all(s > 3.0 for s in speedups.values())
+    # Scalability claim: the biggest-workload networks reach high speedup.
+    assert max(speedups.values()) > 10.0

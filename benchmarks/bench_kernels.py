@@ -1,0 +1,56 @@
+"""Micro-benchmarks of the computational kernels.
+
+These are conventional pytest-benchmark measurements (multiple rounds) of
+the inner loops whose cost the simulator models: contingency filling, the
+G^2 statistic, combination unranking and forward sampling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.citests.gsquare import GSquareTest
+from repro.core.combinadic import unrank_combination
+from repro.datasets.sampling import forward_sample
+from repro.networks.catalog import get_network
+
+
+@pytest.fixture(scope="module")
+def alarm_data():
+    return forward_sample(get_network("alarm"), 5000, rng=0)
+
+
+def test_kernel_g2_marginal(benchmark, alarm_data):
+    tester = GSquareTest(alarm_data)
+    benchmark(lambda: tester.test(0, 1, ()))
+
+
+def test_kernel_g2_depth2(benchmark, alarm_data):
+    tester = GSquareTest(alarm_data)
+    benchmark(lambda: tester.test(0, 1, (2, 3)))
+
+
+def test_kernel_g2_group8(benchmark, alarm_data):
+    tester = GSquareTest(alarm_data)
+    sets = [(2 + i,) for i in range(8)]
+    benchmark(lambda: tester.test_group(0, 1, sets))
+
+
+def test_kernel_unrank(benchmark):
+    benchmark(lambda: unrank_combination(30, 4, 12345))
+
+
+def test_kernel_forward_sample(benchmark):
+    net = get_network("insurance")
+    benchmark.pedantic(lambda: forward_sample(net, 2000, rng=1), rounds=3, iterations=1)
+
+
+def test_kernel_column_gather_layouts(benchmark, alarm_data):
+    sm = alarm_data.with_layout("sample-major")
+
+    def gather():
+        for i in range(10):
+            np.ascontiguousarray(sm.column(i))
+
+    benchmark(gather)

@@ -1,0 +1,24 @@
+"""Table I bench: measurable properties of the three parallelism
+granularities (load balance, atomic operations, per-item workload).
+
+The paper's Table I is qualitative (check marks); this bench quantifies
+each claimed property on a real execution trace.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import experiment_table1
+
+
+def test_table1_granularity_properties(benchmark, record):
+    out = benchmark.pedantic(
+        lambda: experiment_table1(network="alarm", n_samples=5000),
+        rounds=1,
+        iterations=1,
+    )
+    record("table1_granularity_properties", out.text)
+    imb = out.data["imbalance"]
+    # Load balance: the dynamic pool beats the static edge partition.
+    assert imb["ci-level"] < imb["edge-level"]
+    # Atomic operations: only sample-level needs them, one per sample/test.
+    assert out.data["atomic_ops_sample_level"] == out.data["n_tests"] * 5000

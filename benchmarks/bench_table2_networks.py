@@ -1,0 +1,28 @@
+"""Table II bench: build every benchmark network and verify its shape.
+
+Regenerates the paper's Table II (network roster with node/edge counts) and
+benchmarks catalog construction.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import experiment_table2
+from repro.networks.catalog import get_network
+
+
+def test_table2_networks(benchmark, record):
+    out = benchmark.pedantic(experiment_table2, rounds=1, iterations=1)
+    record("table2_networks", out.text)
+    for name, row in out.data.items():
+        assert row["paper_nodes"] == row["built_nodes"], name
+        assert row["paper_edges"] == row["built_edges"], name
+
+
+def test_catalog_build_speed_alarm(benchmark):
+    net = benchmark(lambda: get_network("alarm"))
+    assert net.n_nodes == 37
+
+
+def test_catalog_build_speed_munin1(benchmark):
+    net = benchmark.pedantic(lambda: get_network("munin1"), rounds=2, iterations=1)
+    assert net.n_nodes == 186

@@ -1,0 +1,41 @@
+"""Table III bench: overall sequential + parallel comparison.
+
+Regenerates the paper's headline table: Fast-BNS versus the bnlearn /
+pcalg / tetrad / parallel-PC analogs, sequential and parallel.  Sequential
+columns are measured on this host; parallel columns are simulated at t=32
+from the measured traces (see EXPERIMENTS.md).
+
+Shape assertions encode the paper's claims:
+* Fast-BNS-seq at least ties the bnlearn analog on every network and does
+  strictly fewer CI tests (paper reports 1.4x - 7.2x against bnlearn's
+  R/C implementation; against our *vectorised* reference the sequential
+  gap is smaller because NumPy's column gathers absorb most of the
+  storage-layout penalty — see EXPERIMENTS.md);
+* both are orders of magnitude faster than the interpreted pcalg/tetrad
+  analog;
+* Fast-BNS-par faster than bnlearn-par and parallel-PC analogs.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import experiment_table3
+from repro.bench.workloads import OVERALL_NETWORKS, is_full_mode
+
+NETWORKS = OVERALL_NETWORKS if is_full_mode() else ("alarm", "insurance", "hepar2")
+
+
+def test_table3_overall_comparison(benchmark, record):
+    out = benchmark.pedantic(
+        lambda: experiment_table3(networks=NETWORKS, n_samples=5000),
+        rounds=1,
+        iterations=1,
+    )
+    record("table3_overall", out.text)
+    for label, row in out.data.items():
+        # Allow timing ties within noise; the deterministic saving is the
+        # CI-test count, asserted below.
+        assert row["fastbns_seq_s"] < row["bnlearn_seq_s"] * 1.15, label
+        assert row["naive_seq_s"] > 5 * row["fastbns_seq_s"], label
+        assert row["fastbns_par_s"] < row["bnlearn_par_s"], label
+        assert row["fastbns_par_s"] < row["parallel_pc_s"], label
+        assert row["n_tests_fast"] <= row["n_tests_ref"], label

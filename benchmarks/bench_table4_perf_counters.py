@@ -1,0 +1,31 @@
+"""Table IV bench: simulated perf counters (cache behaviour, FLOPS, CPU
+utilisation) for Fast-BNS-par / Fast-BNS-seq / bnlearn-par analog.
+
+Shape assertions encode the paper's observations: Fast-BNS has fewer cache
+accesses and drastically lower miss rates than the bnlearn analog, and the
+parallel version raises CPU utilisation.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import experiment_table4
+from repro.bench.workloads import is_full_mode
+
+NETWORKS = ("hepar2", "munin1") if is_full_mode() else ("hepar2",)
+
+
+def test_table4_perf_counters(benchmark, record):
+    out = benchmark.pedantic(
+        lambda: experiment_table4(networks=NETWORKS, n_samples=5000),
+        rounds=1,
+        iterations=1,
+    )
+    record("table4_perf_counters", out.text)
+    for label, reports in out.data.items():
+        fast_par = reports["Fast-BNS-par"]
+        fast_seq = reports["Fast-BNS-seq"]
+        bn_par = reports["bnlearn-par*"]
+        assert fast_par.l1_accesses < bn_par.l1_accesses, label
+        assert fast_par.l1_miss_rate < bn_par.l1_miss_rate, label
+        assert fast_par.ll_miss_rate < 1.0, label
+        assert fast_par.cpu_utilization > fast_seq.cpu_utilization, label

@@ -1,0 +1,32 @@
+"""Shared benchmark fixtures.
+
+Every bench regenerates one paper artefact and both prints it and saves it
+under ``benchmarks/results/``.  Quick mode (default) uses the scaled-down
+Table II stand-ins; set ``REPRO_FULL=1`` for published-size networks (hours
+of runtime, mirroring the paper's 48-hour budget).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def record(results_dir):
+    """Persist an experiment artefact and echo it to the terminal."""
+
+    def _record(name: str, text: str) -> None:
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return _record

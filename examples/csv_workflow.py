@@ -1,0 +1,74 @@
+"""Working from CSV files: encoding, splitting, model selection.
+
+The workflow for users with their own categorical data:
+
+1. read a labelled CSV (here: synthesised insurance-style records written
+   to a temporary file, so the example is self-contained),
+2. hold out a test split,
+3. learn structures with both families — constraint-based Fast-BNS and
+   score-based hill-climbing — on the training split,
+4. fit CPTs and pick the model with the better *held-out* log-likelihood.
+
+Run:
+    python examples/csv_workflow.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro import fit_cpts, forward_sample, learn_structure, log_likelihood, pdag_to_dag
+from repro.datasets.io import read_csv, train_test_split, write_csv
+from repro.networks.catalog import get_network
+from repro.score import hill_climb
+
+
+def main() -> None:
+    # --- 1. a self-contained "user CSV" -------------------------------- #
+    network = get_network("insurance", scale=0.6)
+    raw = forward_sample(network, 8000, rng=9)
+    with tempfile.TemporaryDirectory() as tmp:
+        csv_path = Path(tmp) / "records.csv"
+        write_csv(raw, str(csv_path))
+        data, codec = read_csv(str(csv_path))
+    print(
+        f"Loaded {data.n_samples} records x {data.n_variables} columns "
+        f"(arities {min(codec.arities())}-{max(codec.arities())})"
+    )
+
+    # --- 2. split ------------------------------------------------------- #
+    train, test = train_test_split(data, test_fraction=0.2, rng=1)
+    print(f"train: {train.n_samples}, test: {test.n_samples}\n")
+
+    # --- 3. two learners ------------------------------------------------- #
+    pc = learn_structure(train, alpha=0.01, gs=6, max_depth=3, dof_adjust="slices")
+    # strict=False: statistical errors can leave conflicting arrows with
+    # no consistent extension; the relaxed mode still returns a usable DAG.
+    pc_dag = pdag_to_dag(pc.cpdag, strict=False)
+    hc = hill_climb(train, score="bic", max_parents=4)
+
+    # --- 4. held-out comparison ------------------------------------------ #
+    models = {
+        f"Fast-BNS ({pc.n_ci_tests} CI tests)": pc_dag,
+        f"hill-climb BIC ({hc.n_moves_evaluated} moves)": hc.edges,
+    }
+    print(f"{'model':42s} | edges | held-out LL/record")
+    print("-" * 75)
+    best = (None, -float("inf"))
+    for label, edges in models.items():
+        fitted = fit_cpts(train.n_variables, edges, train, pseudo_count=1.0)
+        held_out = log_likelihood(fitted, test) / test.n_samples
+        print(f"{label:42s} | {len(edges):>5} | {held_out:.4f}")
+        if held_out > best[1]:
+            best = (label, held_out)
+    print(f"\nselected: {best[0]} (held-out log-likelihood {best[1]:.4f})")
+    print(
+        "\nHeld-out likelihood is the model-agnostic referee between the\n"
+        "two learning families; on hub-dense data the score-based search\n"
+        "often wins on fit while Fast-BNS wins on CI-test economy."
+    )
+
+
+if __name__ == "__main__":
+    main()

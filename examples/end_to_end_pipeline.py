@@ -1,0 +1,92 @@
+"""Full pipeline: structure learning -> DAG extension -> parameter fitting
+-> probabilistic inference.
+
+Demonstrates the complete workflow a downstream user runs on their own
+data: learn the CPDAG with Fast-BNS, pick a DAG from the equivalence class
+(Dor-Tarsi consistent extension), estimate its CPTs, and answer
+diagnostic queries with exact variable-elimination inference — then
+validates every stage against the generating model.
+
+Run:
+    python examples/end_to_end_pipeline.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    VariableElimination,
+    fit_cpts,
+    forward_sample,
+    learn_structure,
+    log_likelihood,
+    pdag_to_dag,
+)
+from repro.networks.classic import asia
+
+
+def main() -> None:
+    truth = asia()
+    names = truth.names
+    data = forward_sample(truth, 50000, rng=42)
+    print(f"Data: {data.n_samples} records over {data.n_variables} variables\n")
+
+    # Stage 1: structure -------------------------------------------------- #
+    result = learn_structure(data, alpha=0.01, gs=6)
+    print(
+        f"[structure] {result.skeleton.n_edges} edges "
+        f"({result.cpdag.n_directed} compelled), {result.n_ci_tests} CI tests, "
+        f"{result.elapsed['total']:.2f}s"
+    )
+
+    # Stage 2: pick a DAG from the equivalence class ----------------------- #
+    dag_edges = pdag_to_dag(result.cpdag)
+    print(f"[extension] consistent DAG with {len(dag_edges)} directed edges")
+
+    # Stage 3: parameters -------------------------------------------------- #
+    model = fit_cpts(data.n_variables, dag_edges, data, pseudo_count=1.0)
+    ll_learned = log_likelihood(model, data) / data.n_samples
+    ll_truth = log_likelihood(truth, data) / data.n_samples
+    print(
+        f"[parameters] per-record log-likelihood: learned {ll_learned:.4f} "
+        f"vs generating model {ll_truth:.4f}"
+    )
+
+    # Stage 4: inference --------------------------------------------------- #
+    ve_learned = VariableElimination(model)
+    ve_truth = VariableElimination(truth)
+    S, L, B, X, D = (names.index(n) for n in ("Smoking", "LungCancer", "Bronchitis", "Xray", "Dysp"))
+
+    queries = [
+        ("P(LungCancer | Xray=+, Dysp=+)", L, {X: 1, D: 1}),
+        ("P(LungCancer | Xray=-, Dysp=+)", L, {X: 0, D: 1}),
+        ("P(Bronchitis | Dysp=+, Smoking=+)", B, {D: 1, S: 1}),
+        ("P(Smoking | LungCancer=+)", S, {L: 1}),
+    ]
+    print(f"\n{'query':38s} | learned | true model")
+    print("-" * 62)
+    worst = 0.0
+    for label, var, evidence in queries:
+        p_learned = ve_learned.marginal(var, evidence)[1]
+        p_truth = ve_truth.marginal(var, evidence)[1]
+        worst = max(worst, abs(p_learned - p_truth))
+        print(f"{label:38s} |  {p_learned:5.3f}  |  {p_truth:5.3f}")
+    print(f"\nlargest posterior deviation: {worst:.3f}")
+    print(
+        "\nThe learned model reproduces the generating model's diagnostic\n"
+        "posteriors despite never seeing the true graph — the end-to-end\n"
+        "guarantee the library provides."
+    )
+
+    # Sanity: the learned model's samples look like the original data.
+    resampled = forward_sample(model, 50000, rng=1)
+    for var in (L, B, D):
+        a = float(np.mean(data.column(var)))
+        b = float(np.mean(resampled.column(var)))
+        assert abs(a - b) < 0.02, (names[var], a, b)
+    print("resampling check passed: learned model reproduces marginals.")
+
+
+if __name__ == "__main__":
+    main()

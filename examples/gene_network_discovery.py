@@ -1,0 +1,110 @@
+"""Causal-discovery workload: gene-regulatory-network style problem.
+
+The paper's motivation (Sec. I) includes inferring gene regulatory networks
+from expression data — high-dimensional problems where constraint-based
+learners shine.  This example builds a synthetic "regulatory" network with
+hub regulators (transcription-factor-like nodes with many targets — the
+degree skew that motivates the dynamic work pool), discretises expression
+into low/medium/high, learns the network back, and reports how accuracy
+and work scale with sample size.
+
+Run:
+    python examples/gene_network_discovery.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import forward_sample, learn_structure, skeleton_metrics
+from repro.networks.bayesnet import CPT, DiscreteBayesianNetwork
+from repro.networks.generators import random_dag
+
+
+def build_regulatory_network(n_genes: int = 40, n_regulations: int = 55, seed: int = 7):
+    """Hub-skewed regulatory network with *strong* regulation: each
+    regulator state shifts the target's expression distribution (an
+    activator/repressor model), so edges are statistically visible —
+    unlike random Dirichlet CPTs, whose effects can vanish."""
+    arity = 3  # low / medium / high expression
+    edges = random_dag(n_genes, n_regulations, rng=seed, max_parents=2, hub_bias=1.5)
+    parents: list[list[int]] = [[] for _ in range(n_genes)]
+    for p, c in edges:
+        parents[c].append(p)
+    rng = np.random.default_rng(seed)
+    base_profiles = np.array([[0.70, 0.20, 0.10], [0.15, 0.70, 0.15], [0.10, 0.20, 0.70]])
+    cpts = []
+    for gene in range(n_genes):
+        ps = tuple(sorted(parents[gene]))
+        n_cfg = arity ** len(ps)
+        table = np.empty((n_cfg, arity))
+        noise = 0.12
+        for cfg in range(n_cfg):
+            # Each regulator independently pushes the target towards its
+            # own state (product-of-experts); avoids parity-style effects
+            # that are invisible to marginal tests.
+            rem = cfg
+            profile = np.ones(arity)
+            for _ in ps:
+                profile = profile * base_profiles[rem % arity]
+                rem //= arity
+            profile = profile / profile.sum()
+            table[cfg] = (1 - noise) * profile + noise / arity
+        if not ps:
+            table = np.tile(rng.dirichlet([4.0, 4.0, 4.0]), (1, 1))
+        cpts.append(CPT(parents=ps, table=table))
+    return DiscreteBayesianNetwork(
+        [arity] * n_genes, cpts, names=tuple(f"gene_{i:03d}" for i in range(n_genes))
+    )
+
+
+def main() -> None:
+    network = build_regulatory_network()
+    degrees = np.zeros(network.n_nodes, dtype=int)
+    for u, v in network.edges():
+        degrees[u] += 1
+        degrees[v] += 1
+    print(
+        f"Regulatory network: {network.n_nodes} genes, {network.n_edges} regulations, "
+        f"max degree {degrees.max()} (hub), median degree {int(np.median(degrees))}"
+    )
+
+    print(f"\n{'m':>7} | {'CI tests':>9} | {'depth':>5} | {'F1':>5} | {'prec':>5} | {'recall':>6} | time")
+    print("-" * 65)
+    # max_depth caps conditioning-set size: with hub degrees ~20, deep
+    # G^2 tests would have thousands of degrees of freedom and (at these
+    # sample sizes) spuriously "accept" independence, deleting true hub
+    # edges — the standard practice for high-dimensional biology data is a
+    # shallow-depth PC pass (cf. the TCGA pipelines in the paper's related
+    # work).
+    for m in (500, 2000, 8000):
+        data = forward_sample(network, m, rng=11)
+        result = learn_structure(data, alpha=0.01, gs=6, max_depth=2, dof_adjust="slices")
+        metrics = skeleton_metrics(result.skeleton.edges(), network.edges())
+        print(
+            f"{m:>7} | {result.n_ci_tests:>9} | {result.stats.max_depth:>5} | "
+            f"{metrics.f1:>5.2f} | {metrics.precision:>5.2f} | {metrics.recall:>6.2f} | "
+            f"{result.elapsed['total']:.2f}s"
+        )
+
+    # Show the strongest hub's learned neighbourhood.
+    data = forward_sample(network, 8000, rng=11)
+    result = learn_structure(data, alpha=0.01, gs=6, max_depth=2, dof_adjust="slices")
+    hub = int(np.argmax(degrees))
+    learned_nbrs = sorted(
+        result.names[v] for v in result.skeleton.neighbors(hub)
+    )
+    true_nbrs = sorted(
+        network.names[v if u == hub else u]
+        for u, v in network.edges()
+        if hub in (u, v)
+    )
+    print(f"\nHub gene {network.names[hub]}:")
+    print(f"  true targets/regulators   ({len(true_nbrs)}): {', '.join(true_nbrs[:8])}...")
+    print(f"  learned neighbourhood     ({len(learned_nbrs)}): {', '.join(learned_nbrs[:8])}...")
+    overlap = len(set(learned_nbrs) & set(true_nbrs))
+    print(f"  overlap: {overlap}/{len(true_nbrs)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Fig. 1 as running code: the three granularities of parallelism.
+
+Builds the exact situation of the paper's Fig. 1 — four edges with skewed
+CI-test workloads (8, 6, 2, 4 potential tests) — and shows how each
+granularity schedules the work across two threads, reproducing the
+figure's load-imbalance story with concrete numbers.
+
+Run:
+    python examples/granularities_illustrated.py
+"""
+
+from __future__ import annotations
+
+from repro.core.trace import DepthTrace, EdgeWorkRecord, GroupRecord, TestRecord
+from repro.simcpu import CostModel, MachineSpec, simulate
+
+
+def fig1_trace() -> list[DepthTrace]:
+    """The paper's Fig. 1: E0..E3 with 8/6/2/4 potential CI tests; E3's
+    first test accepts independence, so its remaining 3 tests never run."""
+    m = 1000
+    spec = [
+        ("E0", 8, None),  # all 8 tests run
+        ("E1", 6, None),
+        ("E2", 2, None),
+        ("E3", 4, 0),  # accepted at test 0: tests 1..3 unnecessary
+    ]
+    edges = []
+    for idx, (_, total, accept_at) in enumerate(spec):
+        executed = total if accept_at is None else accept_at + 1
+        groups = [
+            GroupRecord(
+                tests=[
+                    TestRecord(
+                        depth=1,
+                        m=m,
+                        cells=8,
+                        independent=(accept_at is not None and k == accept_at),
+                    )
+                ]
+            )
+            for k in range(executed)
+        ]
+        edges.append(
+            EdgeWorkRecord(
+                u=2 * idx, v=2 * idx + 1, total_possible=total, groups=groups,
+                removed=accept_at is not None,
+            )
+        )
+    return [DepthTrace(depth=1, n_edges_start=4, edges=edges)]
+
+
+def main() -> None:
+    trace = fig1_trace()
+    executed = [(f"E{i}", e.n_tests, e.total_possible) for i, e in enumerate(trace[0].edges)]
+    print("Fig. 1 workload (two threads):")
+    for name, ran, total in executed:
+        note = "" if ran == total else f"  ({total - ran} tests saved by early termination)"
+        print(f"  {name}: {ran}/{total} CI tests executed{note}")
+
+    # Use negligible fixed overheads: this is the figure's idealised story.
+    machine = MachineSpec(spawn_overhead_s=0.0, region_overhead_s=0.0)
+    model = CostModel(machine, cache_friendly=True)
+
+    seq = simulate(trace, model, "sequential", 1)
+    print(f"\nsequential makespan: {seq.makespan_units:,.0f} units")
+    print(f"{'scheme':>14} | {'makespan':>10} | {'speedup':>7} | per-thread busy units")
+    print("-" * 75)
+    for scheme in ("edge", "ci", "sample"):
+        sim = simulate(trace, model, scheme, 2)
+        busy = ", ".join(f"{b:,.0f}" for b in sim.thread_busy_units)
+        print(
+            f"{sim.scheme:>14} | {sim.makespan_units:>10,.0f} | "
+            f"{sim.speedup_over(seq):>6.2f}x | [{busy}]"
+        )
+
+    print(
+        "\nEdge-level assigns {E0, E1} to thread 0 and {E2, E3} to thread 1:\n"
+        "thread 0 carries 14 of the 17 executed tests while thread 1 idles —\n"
+        "exactly the imbalance drawn in the paper's Fig. 1.  The CI-level\n"
+        "work pool splits test-by-test and both threads stay busy."
+    )
+
+
+if __name__ == "__main__":
+    main()

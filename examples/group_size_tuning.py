@@ -1,0 +1,50 @@
+"""Tuning the CI-test group size (gs) — the paper's Fig. 4 trade-off.
+
+gs controls how many CI tests a work item executes before re-checking the
+edge's status: larger groups reuse the encoded X/Y columns (fewer memory
+passes) but run redundant tests past the first independence acceptance.
+This example measures both sides of the trade-off on a real workload and
+reports the sweet spot (the paper finds gs = 6..8 works well).
+
+Run:
+    python examples/group_size_tuning.py
+"""
+
+from __future__ import annotations
+
+from repro import learn_structure
+from repro.datasets.sampling import forward_sample
+from repro.networks.catalog import get_network
+
+
+def main() -> None:
+    network = get_network("insurance")
+    data = forward_sample(network, 10000, rng=5)
+    print(f"Workload: insurance analog ({network.n_nodes} nodes), m={data.n_samples}\n")
+
+    base_tests = None
+    best = (float("inf"), None)
+    print(f"{'gs':>4} | {'CI tests':>9} | {'redundant':>9} | {'inflation':>9} | time")
+    print("-" * 55)
+    for gs in (1, 2, 4, 6, 8, 10, 12, 16):
+        result = learn_structure(data, gs=gs)
+        if base_tests is None:
+            base_tests = result.n_ci_tests
+        inflation = 100.0 * (result.n_ci_tests - base_tests) / base_tests
+        seconds = result.elapsed["skeleton"]
+        if seconds < best[0]:
+            best = (seconds, gs)
+        print(
+            f"{gs:>4} | {result.n_ci_tests:>9} | {result.stats.n_redundant_tests:>9} | "
+            f"{inflation:>8.1f}% | {seconds:.3f}s"
+        )
+
+    print(f"\nFastest at gs = {best[1]} ({best[0]:.3f}s).")
+    print(
+        "All gs values produce the identical structure — only the work\n"
+        "schedule changes (verified by the test-suite's invariance tests)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Parallel execution and the multi-core simulator.
+
+Demonstrates the three granularities of parallelism on a benchmark
+network:
+
+1. runs the *real* parallel backends (process/thread workers) and checks
+   they reproduce the sequential result exactly;
+2. records the execution trace and replays it through the discrete-event
+   multi-core simulator to project the thread-scaling the paper measured
+   on its 52-core testbed (Figs. 2 and 5).
+
+Run:
+    python examples/parallel_scaling.py
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro import TraceRecorder, learn_structure
+from repro.bench.tables import render_series
+from repro.datasets.sampling import forward_sample
+from repro.networks.catalog import get_network
+from repro.simcpu import CostModel, MachineSpec, calibrate_seconds_per_unit, simulate
+
+
+def main() -> None:
+    network = get_network("alarm")
+    data = forward_sample(network, 5000, rng=3)
+    print(f"Workload: alarm analog ({network.n_nodes} nodes), m={data.n_samples}")
+
+    # ---------------------------------------------------------------- #
+    # 1. Real parallel backends: identical output, measured wall-clock
+    # ---------------------------------------------------------------- #
+    recorder = TraceRecorder()
+    sequential = learn_structure(data, recorder=recorder)
+    print(f"\nsequential        : {sequential.elapsed['skeleton']:.3f}s, "
+          f"{sequential.n_ci_tests} CI tests")
+
+    n_workers = min(4, os.cpu_count() or 1)
+    for parallelism in ("ci", "edge"):
+        result = learn_structure(
+            data, n_jobs=n_workers, parallelism=parallelism, backend="process"
+        )
+        same = result.cpdag == sequential.cpdag
+        print(
+            f"{parallelism + '-level':18s}: {result.elapsed['skeleton']:.3f}s with "
+            f"{n_workers} processes  (identical output: {same})"
+        )
+    print(
+        "\n(On a single-core container the real backends cannot speed up —\n"
+        " they demonstrate correctness; scaling is projected below.)"
+    )
+
+    # ---------------------------------------------------------------- #
+    # 2. Simulated thread scaling from the recorded trace
+    # ---------------------------------------------------------------- #
+    model = CostModel(MachineSpec(), cache_friendly=True)
+    spu = calibrate_seconds_per_unit(model, recorder.depths, sequential.elapsed["skeleton"])
+    model = CostModel(model.machine.calibrated(spu), cache_friendly=True)
+    seq_sim = simulate(recorder.depths, model, "sequential", 1)
+
+    threads = (1, 2, 4, 8, 16, 32)
+    series = {}
+    for scheme, label in (("ci", "CI-level (Fast-BNS)"), ("edge", "edge-level"), ("sample", "sample-level")):
+        series[label] = [
+            simulate(recorder.depths, model, scheme, t).speedup_over(seq_sim) for t in threads
+        ]
+    print()
+    print(
+        render_series(
+            "threads",
+            list(threads),
+            series,
+            title="Projected speedup over sequential (simulated, calibrated to this host)",
+        )
+    )
+    print(
+        "\nThe ordering matches the paper's Fig. 2: the dynamic work pool\n"
+        "(CI-level) scales best; the static edge partition saturates from\n"
+        "load imbalance; sample-level collapses under per-test overhead."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Exists only so that ``pip install -e .`` works in offline environments
+without the ``wheel`` package (see the note at the top of pyproject.toml);
+all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

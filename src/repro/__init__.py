@@ -1,0 +1,82 @@
+"""repro — Fast-BNS: fast parallel Bayesian network structure learning.
+
+Reproduction of Jiang, Wen & Mian, "Fast Parallel Bayesian Network
+Structure Learning" (IPDPS 2022).  See README.md for a tour and DESIGN.md
+for the system inventory and experiment index.
+
+Public API highlights
+---------------------
+* :func:`learn_structure` / :class:`FastBNS` — learn a CPDAG from data.
+* :func:`pc_stable`, :func:`pc_stable_naive` — baseline learners.
+* :mod:`repro.networks` — benchmark networks and generators.
+* :mod:`repro.datasets` — datasets, forward sampling, BIF I/O.
+* :mod:`repro.simcpu` — multi-core discrete-event simulator.
+* :mod:`repro.analysis` — the paper's closed-form speedup model.
+"""
+
+from .citests import (
+    ChiSquareTest,
+    CITestResult,
+    GSquareTest,
+    MutualInformationTest,
+    OracleCITest,
+)
+from .core import (
+    FastBNS,
+    grow_shrink,
+    iamb,
+    LearnResult,
+    SepSetStore,
+    TraceRecorder,
+    learn_structure,
+    pc_stable,
+    pc_stable_naive,
+)
+from .datasets import DiscreteDataset, forward_sample
+from .score import hill_climb
+from .graphs import PDAG, UndirectedGraph, dag_to_cpdag, pdag_to_dag, shd, skeleton_metrics
+from .inference import JunctionTree, VariableElimination, interventional_marginal
+from .networks import (
+    DiscreteBayesianNetwork,
+    fit_cpts,
+    get_network,
+    log_likelihood,
+    random_network,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "learn_structure",
+    "FastBNS",
+    "pc_stable",
+    "pc_stable_naive",
+    "hill_climb",
+    "grow_shrink",
+    "iamb",
+    "LearnResult",
+    "SepSetStore",
+    "TraceRecorder",
+    "DiscreteDataset",
+    "forward_sample",
+    "DiscreteBayesianNetwork",
+    "random_network",
+    "get_network",
+    "UndirectedGraph",
+    "PDAG",
+    "dag_to_cpdag",
+    "pdag_to_dag",
+    "fit_cpts",
+    "log_likelihood",
+    "VariableElimination",
+    "JunctionTree",
+    "interventional_marginal",
+    "shd",
+    "skeleton_metrics",
+    "GSquareTest",
+    "ChiSquareTest",
+    "MutualInformationTest",
+    "OracleCITest",
+    "CITestResult",
+]

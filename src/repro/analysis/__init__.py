@@ -1,0 +1,15 @@
+"""Analytical performance models (the paper's Sec. IV-D)."""
+
+from .speedup_model import (
+    SpeedupBreakdown,
+    SpeedupModel,
+    breakdown_from_run,
+    paper_worked_example,
+)
+
+__all__ = [
+    "SpeedupModel",
+    "SpeedupBreakdown",
+    "paper_worked_example",
+    "breakdown_from_run",
+]

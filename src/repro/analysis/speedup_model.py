@@ -1,0 +1,161 @@
+"""Closed-form speedup model of the paper's Sec. IV-D.
+
+Implements equations (1) and (2) and the three component speedups:
+
+* ``S_CI`` — CI-level parallelism with the dynamic work pool, from the
+  worst-case edge-level schedule (all heavy edges land on one thread,
+  eq. (1)) versus the evenly-spread pool schedule (eq. (2));
+* ``S_grouping = 2 / (2 - rho_d)`` — endpoint grouping, where ``rho_d`` is
+  the depth's edge-deletion ratio;
+* ``S_cache = T3 / T4`` — cache-friendly storage, with
+  ``T3 = T_DRAM (d + 2) B/4`` and
+  ``T4 = T_DRAM (d + 2) + T_cache (d + 2)(B/4 - 1)``.
+
+The overall model is the product ``S = S_CI * S_grouping * S_cache``; the
+paper's worked example (t = 4, d = 2, |Ed| = 1200, rho = 0.6, mean degree
+10, B = 64, T_DRAM/T_cache = 8) evaluates to S_CI = 3.87, S_grouping =
+1.43, S_cache = 5.57, S = 30.8 — asserted by the test-suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import comb
+__all__ = ["SpeedupModel", "SpeedupBreakdown", "paper_worked_example"]
+
+
+@dataclass(frozen=True)
+class SpeedupBreakdown:
+    s_ci: float
+    s_grouping: float
+    s_cache: float
+
+    @property
+    def overall(self) -> float:
+        return self.s_ci * self.s_grouping * self.s_cache
+
+
+@dataclass(frozen=True)
+class SpeedupModel:
+    """Scenario parameters of the Sec. IV-D analysis.
+
+    Attributes mirror the paper's symbols: ``n_threads`` (t), ``depth``
+    (d), ``n_edges`` (|Ed|), ``deletion_ratio`` (rho_d), per-edge endpoint
+    degrees (``a1``, ``a2``; by default both the mean degree), cache line
+    size ``B`` and the DRAM/cache cost ratio.
+    """
+
+    n_threads: int
+    depth: int
+    n_edges: int
+    deletion_ratio: float
+    mean_degree: float
+    cache_line_bytes: int = 64
+    value_bytes: int = 4
+    dram_cache_ratio: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.n_threads < 1:
+            raise ValueError("n_threads must be >= 1")
+        if not 0 <= self.deletion_ratio <= 1:
+            raise ValueError("deletion_ratio must be in [0, 1]")
+        if self.depth < 0:
+            raise ValueError("depth must be >= 0")
+
+    # ------------------------------------------------------------------ #
+    def tests_per_edge(self) -> float:
+        """``C(a1, d) + C(a2, d)`` with both degrees at the mean degree."""
+        a = int(round(self.mean_degree))
+        return float(comb(a, self.depth) + comb(a, self.depth))
+
+    def edge_level_time(self, t_ci: float = 1.0) -> float:
+        """Equation (1): worst-case edge-level makespan — the ``|Ed| / t``
+        edges that run *all* their CI tests land on a single thread."""
+        heavy_edges = self.n_edges // self.n_threads
+        return t_ci * heavy_edges * self.tests_per_edge()
+
+    def ci_level_time(self, t_ci: float = 1.0) -> float:
+        """Equation (2): the pool spreads the same work evenly; the other
+        ``(t - 1) |Ed| / t`` edges each cost one test."""
+        heavy_edges = self.n_edges // self.n_threads
+        heavy_work = heavy_edges * self.tests_per_edge()
+        light_work = (self.n_threads - 1) * self.n_edges / self.n_threads
+        return t_ci * (heavy_work + light_work) / self.n_threads
+
+    @property
+    def s_ci(self) -> float:
+        return self.edge_level_time() / self.ci_level_time()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def s_grouping(self) -> float:
+        """``2 |Ed| / (2 |Ed| - rho_d |Ed|) = 2 / (2 - rho_d)``."""
+        return 2.0 / (2.0 - self.deletion_ratio)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def values_per_line(self) -> int:
+        return self.cache_line_bytes // self.value_bytes
+
+    def t3(self) -> float:
+        """Cache-unfriendly time for one line's worth of samples."""
+        return self.dram_cache_ratio * (self.depth + 2) * self.values_per_line
+
+    def t4(self) -> float:
+        """Cache-friendly time for the same samples: one miss per column
+        plus hits for the rest."""
+        d2 = self.depth + 2
+        return self.dram_cache_ratio * d2 + 1.0 * d2 * (self.values_per_line - 1)
+
+    @property
+    def s_cache(self) -> float:
+        return self.t3() / self.t4()
+
+    # ------------------------------------------------------------------ #
+    def breakdown(self) -> SpeedupBreakdown:
+        return SpeedupBreakdown(self.s_ci, self.s_grouping, self.s_cache)
+
+
+def paper_worked_example() -> SpeedupModel:
+    """The exact scenario evaluated at the end of Sec. IV-D."""
+    return SpeedupModel(
+        n_threads=4,
+        depth=2,
+        n_edges=1200,
+        deletion_ratio=0.6,
+        mean_degree=10,
+        cache_line_bytes=64,
+        value_bytes=4,
+        dram_cache_ratio=8.0,
+    )
+
+
+def breakdown_from_run(
+    depth_stats,
+    n_threads: int,
+    mean_degree: float,
+    cache_line_bytes: int = 64,
+    dram_cache_ratio: float = 8.0,
+) -> list[tuple[int, SpeedupBreakdown]]:
+    """Evaluate the model on measured per-depth statistics of a real run.
+
+    ``depth_stats`` is a sequence of
+    :class:`repro.core.result.DepthStats`; returns one breakdown per depth
+    with ``d >= 1`` (depth 0 uses edge-level parallelism by design).
+    """
+    out: list[tuple[int, SpeedupBreakdown]] = []
+    for ds in depth_stats:
+        if ds.depth < 1 or ds.n_edges_start == 0:
+            continue
+        model = SpeedupModel(
+            n_threads=n_threads,
+            depth=ds.depth,
+            n_edges=ds.n_edges_start,
+            deletion_ratio=ds.deletion_ratio,
+            mean_degree=mean_degree,
+            cache_line_bytes=cache_line_bytes,
+            dram_cache_ratio=dram_cache_ratio,
+        )
+        out.append((ds.depth, model.breakdown()))
+    return out
+

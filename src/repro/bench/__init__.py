@@ -1,0 +1,44 @@
+"""Benchmark harness: workloads, experiment regenerators, rendering."""
+
+from .experiments import (
+    THREAD_SWEEP,
+    ExperimentOutput,
+    TracedRun,
+    experiment_fig2,
+    experiment_fig3,
+    experiment_fig4,
+    experiment_fig5,
+    experiment_table1,
+    experiment_table2,
+    experiment_table3,
+    experiment_table4,
+    traced_run,
+)
+from .runner import Timing, time_call
+from .tables import format_seconds, render_series, render_table
+from .workloads import OVERALL_NETWORKS, Workload, is_full_mode, make_workload, quick_scale
+
+__all__ = [
+    "ExperimentOutput",
+    "TracedRun",
+    "traced_run",
+    "experiment_table1",
+    "experiment_table2",
+    "experiment_table3",
+    "experiment_table4",
+    "experiment_fig2",
+    "experiment_fig3",
+    "experiment_fig4",
+    "experiment_fig5",
+    "THREAD_SWEEP",
+    "Workload",
+    "make_workload",
+    "quick_scale",
+    "is_full_mode",
+    "OVERALL_NETWORKS",
+    "render_table",
+    "render_series",
+    "format_seconds",
+    "Timing",
+    "time_call",
+]

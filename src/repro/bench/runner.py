@@ -1,0 +1,41 @@
+"""Timing helpers for the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+__all__ = ["Timing", "time_call"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class Timing:
+    """Best-of-N wall-clock measurement."""
+
+    best_s: float
+    mean_s: float
+    repeats: int
+
+
+def time_call(fn: Callable[[], T], repeats: int = 3) -> tuple[T, Timing]:
+    """Run ``fn`` ``repeats`` times; returns the last result and timings.
+
+    Best-of-N is the standard defence against OS noise for sub-second
+    measurements (the guides' "no optimisation without measuring").
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    durations = []
+    result: T
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        durations.append(time.perf_counter() - t0)
+    return result, Timing(
+        best_s=min(durations),
+        mean_s=sum(durations) / len(durations),
+        repeats=repeats,
+    )

@@ -1,0 +1,69 @@
+"""Plain-text table and series rendering for the benchmark harness.
+
+The harness prints the same rows/series the paper reports; these helpers
+keep that output aligned and diff-friendly (no external dependencies).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["render_table", "render_series", "format_seconds"]
+
+
+def format_seconds(seconds: float) -> str:
+    """Human-scaled seconds (µs to hours) for table cells."""
+    if seconds != seconds:  # NaN
+        return "-"
+    if seconds < 0:
+        raise ValueError("negative duration")
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    if seconds < 120:
+        return f"{seconds:.2f}s"
+    if seconds < 7200:
+        return f"{seconds / 60:.1f}min"
+    return f"{seconds / 3600:.1f}h"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Fixed-width ASCII table."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    xs: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    title: str | None = None,
+    fmt: str = "{:.2f}",
+) -> str:
+    """A figure rendered as one row per series (x values as columns)."""
+    headers = [x_label] + [str(x) for x in xs]
+    rows = []
+    for name, values in series.items():
+        if len(values) != len(xs):
+            raise ValueError(f"series {name!r} length does not match xs")
+        rows.append([name] + [fmt.format(v) for v in values])
+    return render_table(headers, rows, title=title)

@@ -1,0 +1,25 @@
+"""Conditional-independence tests: G^2, chi^2, mutual information, the
+interpreted naive baseline and the d-separation oracle."""
+
+from .base import CITestCounters, CITestResult, ConditionalIndependenceTest
+from .chisquare import ChiSquareTest
+from .contingency import contingency_table, encode_columns, n_configurations
+from .gsquare import GSquareTest, g2_test_from_counts
+from .mutual_info import MutualInformationTest
+from .naive import NaiveGSquareTest
+from .oracle import OracleCITest
+
+__all__ = [
+    "CITestResult",
+    "CITestCounters",
+    "ConditionalIndependenceTest",
+    "GSquareTest",
+    "g2_test_from_counts",
+    "ChiSquareTest",
+    "MutualInformationTest",
+    "NaiveGSquareTest",
+    "OracleCITest",
+    "contingency_table",
+    "encode_columns",
+    "n_configurations",
+]

@@ -1,0 +1,91 @@
+"""Common CI-test interfaces, result record and instrumentation counters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, Sequence, runtime_checkable
+
+__all__ = ["CITestResult", "CITestCounters", "ConditionalIndependenceTest"]
+
+
+@dataclass(frozen=True)
+class CITestResult:
+    """Outcome of one CI test ``I(x, y | s)``.
+
+    ``independent`` is the accept/reject decision at the tester's
+    significance level: ``p_value > alpha`` accepts the independence
+    hypothesis (paper Sec. III-B).
+    """
+
+    x: int
+    y: int
+    s: tuple[int, ...]
+    statistic: float
+    dof: float
+    p_value: float
+    independent: bool
+
+
+@dataclass
+class CITestCounters:
+    """Work counters accumulated by a tester.
+
+    These drive the cost model and the simulated perf counters (Table IV):
+    ``data_accesses`` counts per-sample per-variable reads while filling
+    contingency tables (``m * (d + 2)`` per test, the quantity in the
+    paper's Sec. IV-D cache analysis); ``table_cells`` counts allocated
+    contingency cells; ``log_ops`` counts the G^2 log evaluations (the
+    FLOPS analog).
+    """
+
+    n_tests: int = 0
+    data_accesses: int = 0
+    table_cells: int = 0
+    log_ops: int = 0
+    per_depth_tests: dict[int, int] = field(default_factory=dict)
+
+    def record(self, depth: int, m: int, cells: int, logs: int, xy_reused: bool) -> None:
+        self.n_tests += 1
+        # A group-evaluated test reuses the already-encoded (x, y) columns,
+        # so it touches only the d conditioning columns instead of d + 2.
+        cols = depth if xy_reused else depth + 2
+        self.data_accesses += m * cols
+        self.table_cells += cells
+        self.log_ops += logs
+        self.per_depth_tests[depth] = self.per_depth_tests.get(depth, 0) + 1
+
+    def reset(self) -> None:
+        self.n_tests = 0
+        self.data_accesses = 0
+        self.table_cells = 0
+        self.log_ops = 0
+        self.per_depth_tests = {}
+
+    def snapshot(self) -> "CITestCounters":
+        out = CITestCounters(
+            self.n_tests,
+            self.data_accesses,
+            self.table_cells,
+            self.log_ops,
+            dict(self.per_depth_tests),
+        )
+        return out
+
+
+@runtime_checkable
+class ConditionalIndependenceTest(Protocol):
+    """Protocol every CI tester implements.
+
+    ``test_group`` evaluates several conditioning sets for the *same*
+    endpoint pair and is the hook for the paper's group-evaluation
+    optimisation (shared X/Y work across a gs-sized group).
+    """
+
+    alpha: float
+    counters: CITestCounters
+
+    def test(self, x: int, y: int, s: Sequence[int]) -> CITestResult: ...
+
+    def test_group(
+        self, x: int, y: int, sets: Sequence[Sequence[int]]
+    ) -> list[CITestResult]: ...

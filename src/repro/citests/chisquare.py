@@ -1,0 +1,97 @@
+"""Pearson chi-squared conditional independence test.
+
+The paper mentions the chi-squared test as one of the statistics usable by
+constraint-based learners (Sec. II).  Identical table machinery to
+:class:`~repro.citests.gsquare.GSquareTest`; only the statistic differs::
+
+    X^2 = sum_{x,y,z} (N_xyz - E_xyz)^2 / E_xyz
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..datasets.dataset import DiscreteDataset
+from .base import CITestCounters, CITestResult
+from .contingency import encode_columns, n_configurations
+from .gsquare import _chi2_sf
+
+__all__ = ["ChiSquareTest"]
+
+
+class ChiSquareTest:
+    """Pearson X^2 CI tester bound to one dataset (same interface as
+    :class:`GSquareTest`)."""
+
+    def __init__(
+        self,
+        dataset: DiscreteDataset,
+        alpha: float = 0.05,
+        dof_adjust: str = "structural",
+        compress_threshold: int = 4,
+    ) -> None:
+        if not 0 < alpha < 1:
+            raise ValueError("alpha must be in (0, 1)")
+        if dof_adjust not in ("structural", "slices"):
+            raise ValueError("dof_adjust must be 'structural' or 'slices'")
+        self.dataset = dataset
+        self.alpha = float(alpha)
+        self.dof_adjust = dof_adjust
+        self.compress_threshold = int(compress_threshold)
+        self.counters = CITestCounters()
+
+    def test(self, x: int, y: int, s: Sequence[int]) -> CITestResult:
+        return self.test_group(x, y, [s])[0]
+
+    def test_group(self, x: int, y: int, sets: Sequence[Sequence[int]]) -> list[CITestResult]:
+        ds = self.dataset
+        m = ds.n_samples
+        rx, ry = ds.arity(x), ds.arity(y)
+        xy_codes = ds.column(x).astype(np.int64) * ry + ds.column(y)
+        out: list[CITestResult] = []
+        for i, s_raw in enumerate(sets):
+            s = tuple(int(v) for v in s_raw)
+            rz = [ds.arity(v) for v in s]
+            nz_structural = n_configurations(rz)
+            if s:
+                z_codes, _ = encode_columns(ds.columns(s), rz)
+                if nz_structural > self.compress_threshold * max(m, 1):
+                    _, z_codes = np.unique(z_codes, return_inverse=True)
+                    nz_dense = int(z_codes.max()) + 1 if m else 0
+                else:
+                    nz_dense = nz_structural
+                cell = z_codes * (rx * ry) + xy_codes
+            else:
+                nz_dense = 1
+                cell = xy_codes
+            counts = np.bincount(cell, minlength=nz_dense * rx * ry).reshape(nz_dense, rx, ry)
+
+            n_xz = counts.sum(axis=2, dtype=np.float64)
+            n_yz = counts.sum(axis=1, dtype=np.float64)
+            n_z = n_xz.sum(axis=1)
+            nonempty = int(np.count_nonzero(n_z > 0))
+            with np.errstate(divide="ignore", invalid="ignore"):
+                expected = n_xz[:, :, None] * n_yz[:, None, :] / n_z[:, None, None]
+            mask = expected > 0
+            diff = counts[mask] - expected[mask]
+            stat = float(np.sum(diff * diff / expected[mask]))
+            if self.dof_adjust == "structural":
+                dof = (rx - 1) * (ry - 1) * float(nz_structural)
+            else:
+                dof = (rx - 1) * (ry - 1) * float(max(nonempty, 1))
+            p = _chi2_sf(stat, dof)
+            self.counters.record(
+                depth=len(s),
+                m=m,
+                cells=counts.size,
+                logs=int(np.count_nonzero(mask)),
+                xy_reused=i > 0,
+            )
+            out.append(
+                CITestResult(
+                    x=x, y=y, s=s, statistic=stat, dof=dof, p_value=p, independent=p > self.alpha
+                )
+            )
+        return out

@@ -1,0 +1,109 @@
+"""Vectorised contingency-table construction.
+
+Generating the contingency table is the dominant step of every CI test
+(Sec. IV-A of the paper): for ``I(X, Y | Z1..Zd)`` each of the ``m`` samples
+selects one cell of an ``(n_z_configs, |X|, |Y|)`` table.  The C++ original
+walks the samples in a tight loop; the NumPy equivalent encodes the cell
+index of every sample with mixed-radix arithmetic and counts with a single
+``np.bincount`` — one pass over each participating column, which is where
+the storage-layout (cache-friendliness) effect shows up.
+
+When the structural number of Z configurations greatly exceeds the sample
+count, Z codes are first compressed through ``np.unique`` so the dense table
+stays bounded by ``m * |X| * |Y|`` cells regardless of depth.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "encode_columns",
+    "contingency_table",
+    "marginal_tables",
+    "n_configurations",
+]
+
+
+def n_configurations(arities: Sequence[int]) -> int:
+    """Product of arities (number of joint configurations), 1 for empty."""
+    out = 1
+    for a in arities:
+        out *= int(a)
+    return out
+
+
+def encode_columns(
+    columns: Sequence[np.ndarray],
+    arities: Sequence[int],
+) -> tuple[np.ndarray, int]:
+    """Mixed-radix encoding of parallel columns (first column most
+    significant).
+
+    Returns ``(codes, n_configs)`` where ``codes`` is int64 of the same
+    length as the columns.  An empty column list encodes every sample as
+    configuration ``0``.
+    """
+    if len(columns) != len(arities):
+        raise ValueError("columns and arities must have equal length")
+    if not columns:
+        return np.zeros(0, dtype=np.int64), 1
+    codes = columns[0].astype(np.int64, copy=True)
+    for i in range(1, len(columns)):
+        codes *= int(arities[i])
+        codes += columns[i]
+    return codes, n_configurations(arities)
+
+
+def contingency_table(
+    x_col: np.ndarray,
+    y_col: np.ndarray,
+    z_cols: Sequence[np.ndarray],
+    rx: int,
+    ry: int,
+    rz: Sequence[int],
+    compress_threshold: int = 4,
+) -> tuple[np.ndarray, int]:
+    """Counts ``N[z, x, y]`` plus the *structural* number of Z configurations.
+
+    The returned array's first axis may be smaller than the structural
+    ``prod(rz)`` when compression kicked in (empty slices dropped); the
+    structural count is returned separately because the classical G^2
+    degrees of freedom depend on it.
+
+    ``compress_threshold``: compress Z codes whenever the structural config
+    count exceeds ``compress_threshold * m``.
+    """
+    m = x_col.shape[0]
+    nz_structural = n_configurations(rz)
+    if z_cols:
+        z_codes, _ = encode_columns(list(z_cols), list(rz))
+        if nz_structural > compress_threshold * max(m, 1):
+            # Dense axis would be mostly empty slices: compress.
+            _, z_codes = np.unique(z_codes, return_inverse=True)
+            nz_dense = int(z_codes.max()) + 1 if m else 0
+        else:
+            nz_dense = nz_structural
+    else:
+        z_codes = None
+        nz_dense = 1
+
+    if z_codes is None:
+        cell = x_col.astype(np.int64) * ry + y_col
+    else:
+        cell = (z_codes * rx + x_col) * ry + y_col
+    counts = np.bincount(cell, minlength=nz_dense * rx * ry).reshape(nz_dense, rx, ry)
+    return counts, nz_structural
+
+
+def marginal_tables(
+    counts: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Marginals ``(N[x,+,z], N[+,y,z], N[+,+,z])`` of a ``(nz, rx, ry)``
+    table, in the paper's ``N_{x+z}, N_{+yz}, N_{++z}`` notation."""
+    n_xz = counts.sum(axis=2)  # (nz, rx)
+    n_yz = counts.sum(axis=1)  # (nz, ry)
+    n_z = n_xz.sum(axis=1)  # (nz,)
+    return n_xz, n_yz, n_z

@@ -1,0 +1,193 @@
+"""Command-line interface.
+
+Three sub-commands::
+
+    fastbns learn       # learn a structure from a CSV file or a benchmark
+    fastbns blanket     # discover one variable's Markov blanket
+    fastbns experiment  # regenerate a paper table/figure
+
+Examples
+--------
+Learn from a benchmark network's sampled data and print the CPDAG::
+
+    python -m repro learn --network alarm --samples 5000 --gs 4
+
+Learn from a CSV of integer-coded categories::
+
+    python -m repro learn --csv data.csv --alpha 0.01
+
+Regenerate Table III (quick mode)::
+
+    python -m repro experiment table3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="fastbns",
+        description="Fast-BNS: fast parallel Bayesian network structure learning",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    learn = sub.add_parser("learn", help="learn a CPDAG from data")
+    src = learn.add_mutually_exclusive_group(required=True)
+    src.add_argument("--csv", help="CSV file of integer category codes (header = names)")
+    src.add_argument("--bif", help="BIF network file; data is forward-sampled from it")
+    src.add_argument("--network", help="benchmark network name (see `experiment table2`)")
+    learn.add_argument("--samples", type=int, default=5000, help="sample count for --network/--bif")
+    learn.add_argument("--seed", type=int, default=0, help="sampling seed for --network/--bif")
+    learn.add_argument("--scale", type=float, default=None, help="scale factor for --network")
+    learn.add_argument(
+        "--method",
+        default="fast-bns",
+        choices=("fast-bns", "pc-stable", "pc-stable-naive"),
+    )
+    learn.add_argument("--test", default="g2", choices=("g2", "chi2", "mi"))
+    learn.add_argument("--alpha", type=float, default=0.05)
+    learn.add_argument("--gs", type=int, default=1, help="CI-test group size")
+    learn.add_argument("--jobs", type=int, default=1, help="worker count (1 = sequential)")
+    learn.add_argument(
+        "--parallelism", default="ci", choices=("ci", "edge", "sample"), help="granularity"
+    )
+    learn.add_argument("--backend", default="process", choices=("process", "thread"))
+    learn.add_argument("--max-depth", type=int, default=None)
+    learn.add_argument("--quiet", action="store_true", help="print only summary counts")
+
+    mb = sub.add_parser("blanket", help="discover one variable's Markov blanket")
+    mb.add_argument("--network", required=True, help="benchmark network name")
+    mb.add_argument("--target", required=True, help="target variable (name or index)")
+    mb.add_argument("--samples", type=int, default=5000)
+    mb.add_argument("--scale", type=float, default=None)
+    mb.add_argument("--algorithm", default="iamb", choices=("iamb", "grow-shrink"))
+    mb.add_argument("--alpha", type=float, default=0.01)
+    mb.add_argument("--max-conditioning", type=int, default=3)
+
+    exp = sub.add_parser("experiment", help="regenerate a paper table or figure")
+    exp.add_argument(
+        "name",
+        choices=("table1", "table2", "table3", "table4", "fig2", "fig3", "fig4", "fig5", "all"),
+    )
+    exp.add_argument("--samples", type=int, default=5000)
+    return parser
+
+
+def _cmd_learn(args: argparse.Namespace) -> int:
+    from .core.learn import learn_structure
+    from .datasets.dataset import DiscreteDataset
+
+    if args.csv:
+        rows = np.loadtxt(args.csv, delimiter=",", skiprows=1, dtype=np.int64)
+        with open(args.csv, "r", encoding="utf-8") as fh:
+            names = [c.strip() for c in fh.readline().split(",")]
+        data = DiscreteDataset.from_rows(rows, names=names)
+    elif args.bif:
+        from .datasets.bif import load_bif
+        from .datasets.sampling import forward_sample
+
+        network = load_bif(args.bif)
+        data = forward_sample(network, args.samples, rng=args.seed)
+    else:
+        from .bench.workloads import make_workload
+
+        data = make_workload(args.network, args.samples, scale=args.scale).dataset
+
+    result = learn_structure(
+        data,
+        method=args.method,
+        test=args.test,
+        alpha=args.alpha,
+        gs=args.gs,
+        n_jobs=args.jobs,
+        parallelism=args.parallelism,
+        backend=args.backend,
+        max_depth=args.max_depth,
+    )
+    print(
+        f"skeleton: {result.skeleton.n_edges} edges | "
+        f"CPDAG: {result.cpdag.n_directed} directed + {result.cpdag.n_undirected} undirected | "
+        f"CI tests: {result.n_ci_tests} | "
+        f"time: {result.elapsed['total']:.3f}s "
+        f"(skeleton {result.elapsed['skeleton']:.3f}s)"
+    )
+    if not args.quiet:
+        print("directed edges:")
+        for u, v in sorted(result.cpdag.directed_edges()):
+            print(f"  {result.names[u]} -> {result.names[v]}")
+        print("undirected edges:")
+        for u, v in sorted(result.cpdag.undirected_edges()):
+            print(f"  {result.names[u]} -- {result.names[v]}")
+    return 0
+
+
+def _cmd_blanket(args: argparse.Namespace) -> int:
+    from .bench.workloads import make_workload
+    from .citests.gsquare import GSquareTest
+    from .core.markov_blanket import grow_shrink, iamb, true_markov_blanket
+
+    wl = make_workload(args.network, args.samples, scale=args.scale)
+    data = wl.dataset
+    try:
+        target = int(args.target)
+    except ValueError:
+        target = data.index_of(args.target)
+    tester = GSquareTest(data, alpha=args.alpha)
+    algorithm = iamb if args.algorithm == "iamb" else grow_shrink
+    result = algorithm(
+        tester, data.n_variables, target, max_conditioning=args.max_conditioning
+    )
+    truth = true_markov_blanket(data.n_variables, wl.network.edges(), target)
+    found = sorted(data.names[v] for v in result.blanket)
+    expected = sorted(data.names[v] for v in truth)
+    print(f"target: {data.names[target]} ({wl.label}, m={data.n_samples})")
+    print(f"blanket ({args.algorithm}, {result.n_tests} CI tests): {', '.join(found) or '-'}")
+    print(f"true blanket: {', '.join(expected) or '-'}")
+    overlap = len(result.blanket & truth)
+    print(f"overlap: {overlap}/{len(truth)}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from .bench import experiments as ex
+
+    runners = {
+        "table1": lambda: ex.experiment_table1(n_samples=args.samples),
+        "table2": ex.experiment_table2,
+        "table3": lambda: ex.experiment_table3(n_samples=args.samples),
+        "table4": lambda: ex.experiment_table4(n_samples=args.samples),
+        "fig2": lambda: ex.experiment_fig2(n_samples=args.samples),
+        "fig3": ex.experiment_fig3,
+        "fig4": ex.experiment_fig4,
+        "fig5": lambda: ex.experiment_fig5(n_samples=args.samples),
+    }
+    names = list(runners) if args.name == "all" else [args.name]
+    for name in names:
+        out = runners[name]()
+        print(f"== {out.title} ==")
+        print(out.text)
+        print()
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "learn":
+        return _cmd_learn(args)
+    if args.command == "blanket":
+        return _cmd_blanket(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

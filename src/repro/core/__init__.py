@@ -1,0 +1,43 @@
+"""Core contribution: the Fast-BNS / PC-stable learning engine."""
+
+from .combinadic import rank_combination, unrank_combination
+from .conservative import TripleClassification, classify_triples, orient_skeleton_robust
+from .edges import EdgeTask
+from .fastbns import FastBNS
+from .learn import learn_structure, make_tester
+from .markov_blanket import MarkovBlanketResult, grow_shrink, iamb, true_markov_blanket
+from .orientation import apply_meek_rules, orient_skeleton, orient_v_structures
+from .pcstable import pc_stable, pc_stable_naive
+from .result import DepthStats, LearnResult, SkeletonStats
+from .sepsets import SepSetStore
+from .skeleton import learn_skeleton
+from .trace import TraceRecorder
+from .workpool import WorkPool
+
+__all__ = [
+    "learn_structure",
+    "grow_shrink",
+    "iamb",
+    "true_markov_blanket",
+    "MarkovBlanketResult",
+    "classify_triples",
+    "orient_skeleton_robust",
+    "TripleClassification",
+    "make_tester",
+    "FastBNS",
+    "pc_stable",
+    "pc_stable_naive",
+    "learn_skeleton",
+    "orient_skeleton",
+    "orient_v_structures",
+    "apply_meek_rules",
+    "EdgeTask",
+    "WorkPool",
+    "SepSetStore",
+    "TraceRecorder",
+    "LearnResult",
+    "SkeletonStats",
+    "DepthStats",
+    "unrank_combination",
+    "rank_combination",
+]

@@ -1,0 +1,148 @@
+"""Conservative and majority-rule v-structure identification.
+
+Standard PC-stable orients the unshielded triple ``u - k - v`` as a
+collider iff ``k`` is missing from the single recorded SepSet(u, v).  The
+order-independent variants of Colombo & Maathuis (the PC-stable paper, the
+paper's ref [11]) re-examine the triple against *all* separating subsets
+drawn from the adjacencies of ``u`` and ``v``:
+
+* **conservative** (CPC): collider iff ``k`` appears in *no* separating
+  set; non-collider iff in *all*; otherwise the triple is *ambiguous* and
+  left unoriented.
+* **majority** (MPC): collider iff ``k`` appears in at most half of the
+  separating sets (ambiguous only when exactly half).
+
+Both decisions cost extra CI tests — performed here through the same
+tester (and therefore counted by the same counters) as the skeleton phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+
+from ..citests.base import ConditionalIndependenceTest
+from ..graphs.pdag import PDAG
+from ..graphs.undirected import UndirectedGraph
+from .orientation import apply_meek_rules
+from .sepsets import SepSetStore
+
+__all__ = ["TripleClassification", "classify_triples", "orient_skeleton_robust"]
+
+
+@dataclass
+class TripleClassification:
+    """Outcome of re-testing all unshielded triples."""
+
+    colliders: set[tuple[int, int, int]] = field(default_factory=set)  # (u, k, v), u < v
+    non_colliders: set[tuple[int, int, int]] = field(default_factory=set)
+    ambiguous: set[tuple[int, int, int]] = field(default_factory=set)
+    n_extra_tests: int = 0
+
+
+def _separating_sets(
+    tester: ConditionalIndependenceTest,
+    skeleton: UndirectedGraph,
+    u: int,
+    v: int,
+    max_size: int | None,
+) -> tuple[list[frozenset[int]], int]:
+    """All subsets of adj(u)\\{v} and adj(v)\\{u} that separate u from v."""
+    found: list[frozenset[int]] = []
+    seen: set[frozenset[int]] = set()
+    n_tests = 0
+    for base in (skeleton.neighbors(u) - {v}, skeleton.neighbors(v) - {u}):
+        base = sorted(base)
+        top = len(base) if max_size is None else min(max_size, len(base))
+        for size in range(top + 1):
+            for subset in combinations(base, size):
+                key = frozenset(subset)
+                if key in seen:
+                    continue
+                seen.add(key)
+                res = tester.test(u, v, subset)
+                n_tests += 1
+                if res.independent:
+                    found.append(key)
+    return found, n_tests
+
+
+def classify_triples(
+    tester: ConditionalIndependenceTest,
+    skeleton: UndirectedGraph,
+    sepsets: SepSetStore,
+    rule: str = "conservative",
+    max_sepset_size: int | None = None,
+) -> TripleClassification:
+    """Classify every unshielded triple of the skeleton under CPC/MPC."""
+    if rule not in ("conservative", "majority"):
+        raise ValueError("rule must be 'conservative' or 'majority'")
+    out = TripleClassification()
+    pair_cache: dict[tuple[int, int], list[frozenset[int]]] = {}
+    for k in range(skeleton.n_nodes):
+        neighbors = sorted(skeleton.neighbors(k))
+        for i in range(len(neighbors)):
+            for j in range(i + 1, len(neighbors)):
+                u, v = neighbors[i], neighbors[j]
+                if skeleton.has_edge(u, v):
+                    continue
+                pair = (u, v)
+                if pair not in pair_cache:
+                    sets, n = _separating_sets(tester, skeleton, u, v, max_sepset_size)
+                    if not sets:
+                        # Fall back to the skeleton phase's recorded set;
+                        # without any separating evidence the triple is
+                        # undecidable and treated as ambiguous.
+                        recorded = sepsets.get(u, v)
+                        sets = [frozenset(recorded)] if recorded is not None else []
+                    pair_cache[pair] = sets
+                    out.n_extra_tests += n
+                sets = pair_cache[pair]
+                triple = (u, k, v)
+                if not sets:
+                    out.ambiguous.add(triple)
+                    continue
+                containing = sum(1 for s in sets if k in s)
+                if rule == "conservative":
+                    if containing == 0:
+                        out.colliders.add(triple)
+                    elif containing == len(sets):
+                        out.non_colliders.add(triple)
+                    else:
+                        out.ambiguous.add(triple)
+                else:  # majority
+                    fraction = containing / len(sets)
+                    if fraction < 0.5:
+                        out.colliders.add(triple)
+                    elif fraction > 0.5:
+                        out.non_colliders.add(triple)
+                    else:
+                        out.ambiguous.add(triple)
+    return out
+
+
+def orient_skeleton_robust(
+    tester: ConditionalIndependenceTest,
+    skeleton: UndirectedGraph,
+    sepsets: SepSetStore,
+    rule: str = "conservative",
+    max_sepset_size: int | None = None,
+    apply_r4: bool = False,
+) -> tuple[PDAG, TripleClassification]:
+    """Orientation phase using CPC/MPC triple classification.
+
+    Only triples classified as colliders receive arrows; ambiguous triples
+    stay undirected (the conservative guarantee).  Meek rules close the
+    result as usual.
+    """
+    classification = classify_triples(
+        tester, skeleton, sepsets, rule=rule, max_sepset_size=max_sepset_size
+    )
+    pdag = PDAG.from_skeleton(skeleton)
+    for u, k, v in sorted(classification.colliders):
+        if pdag.has_undirected(u, k):
+            pdag.orient(u, k)
+        if pdag.has_undirected(v, k):
+            pdag.orient(v, k)
+    apply_meek_rules(pdag, apply_r4=apply_r4)
+    return pdag, classification

@@ -1,0 +1,66 @@
+"""Baseline PC-stable entry points.
+
+Convenience wrappers for the two baseline regimes of the paper's Table III:
+
+* :func:`pc_stable` — the "bnlearn-seq" analog: correct vectorised tests,
+  but none of the Fast-BNS structural optimisations (per-direction work
+  items, sample-major storage, materialised conditioning sets).
+* :func:`pc_stable_naive` — the "pcalg/tetrad" analog: the same
+  decomposition driven by a per-sample interpreted tester.
+
+Both produce identical structures to Fast-BNS (tested); only the work
+bookkeeping and speed differ.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..datasets.dataset import DiscreteDataset
+from .learn import learn_structure
+from .result import LearnResult
+
+__all__ = ["pc_stable", "pc_stable_naive"]
+
+
+def pc_stable(
+    data: DiscreteDataset | np.ndarray,
+    arities: Sequence[int] | None = None,
+    alpha: float = 0.05,
+    test: str = "g2",
+    max_depth: int | None = None,
+    dof_adjust: str = "structural",
+) -> LearnResult:
+    """Reference PC-stable (vectorised bnlearn-style baseline)."""
+    return learn_structure(
+        data,
+        arities=arities,
+        method="pc-stable",
+        test=test,
+        alpha=alpha,
+        max_depth=max_depth,
+        dof_adjust=dof_adjust,
+    )
+
+
+def pc_stable_naive(
+    data: DiscreteDataset | np.ndarray,
+    arities: Sequence[int] | None = None,
+    alpha: float = 0.05,
+    max_depth: int | None = None,
+    dof_adjust: str = "structural",
+) -> LearnResult:
+    """Interpreted-speed PC-stable (pcalg/tetrad-regime baseline).
+
+    Orders of magnitude slower by design; use only on small problems.
+    """
+    return learn_structure(
+        data,
+        arities=arities,
+        method="pc-stable-naive",
+        alpha=alpha,
+        max_depth=max_depth,
+        dof_adjust=dof_adjust,
+    )

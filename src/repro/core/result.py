@@ -1,0 +1,96 @@
+"""Result and statistics records for structure-learning runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..citests.base import CITestCounters
+from ..graphs.pdag import PDAG
+from ..graphs.undirected import UndirectedGraph
+from .sepsets import SepSetStore
+
+__all__ = ["DepthStats", "SkeletonStats", "LearnResult"]
+
+
+@dataclass
+class DepthStats:
+    """Per-depth bookkeeping (drives the paper's rho_d deletion ratios and
+    the per-depth workload analysis of Sec. IV-D)."""
+
+    depth: int
+    n_edges_start: int = 0
+    n_edges_removed: int = 0
+    n_tests: int = 0
+    n_redundant_tests: int = 0
+    n_groups: int = 0
+    elapsed_s: float = 0.0
+
+    @property
+    def deletion_ratio(self) -> float:
+        """``rho_d`` of Sec. IV-D: fraction of the depth's edges removed."""
+        return self.n_edges_removed / self.n_edges_start if self.n_edges_start else 0.0
+
+
+@dataclass
+class SkeletonStats:
+    """Aggregate skeleton-phase statistics."""
+
+    depths: list[DepthStats] = field(default_factory=list)
+    n_tests: int = 0
+    n_redundant_tests: int = 0
+    n_groups: int = 0
+    pool_pushes: int = 0
+    pool_pops: int = 0
+    materialised_set_ints: int = 0
+    elapsed_s: float = 0.0
+    counters: CITestCounters | None = None
+
+    @property
+    def max_depth(self) -> int:
+        return self.depths[-1].depth if self.depths else -1
+
+    def tests_per_depth(self) -> dict[int, int]:
+        return {d.depth: d.n_tests for d in self.depths}
+
+    def deletion_ratios(self) -> dict[int, float]:
+        return {d.depth: d.deletion_ratio for d in self.depths}
+
+
+@dataclass
+class LearnResult:
+    """Complete output of :func:`repro.core.learn.learn_structure`.
+
+    Attributes
+    ----------
+    cpdag:
+        The oriented result (v-structures + Meek closure).
+    skeleton:
+        The undirected graph after the CI-test phase.
+    sepsets:
+        Separating sets recorded during skeleton learning.
+    stats:
+        Work statistics (CI-test counts, per-depth breakdown, timings).
+    names:
+        Variable names, parallel to node indices.
+    elapsed:
+        Per-phase wall-clock seconds: keys ``skeleton``, ``orientation``,
+        ``total``.
+    """
+
+    cpdag: PDAG
+    skeleton: UndirectedGraph
+    sepsets: SepSetStore
+    stats: SkeletonStats
+    names: tuple[str, ...]
+    elapsed: Mapping[str, float]
+
+    @property
+    def n_ci_tests(self) -> int:
+        return self.stats.n_tests
+
+    def edge_names(self) -> list[tuple[str, str]]:
+        return [(self.names[u], self.names[v]) for u, v in self.skeleton.edges()]
+
+    def directed_edge_names(self) -> list[tuple[str, str]]:
+        return [(self.names[u], self.names[v]) for u, v in self.cpdag.directed_edges()]

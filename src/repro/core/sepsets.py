@@ -1,0 +1,58 @@
+"""Separating-set store (``SepSet`` in Algorithm 1).
+
+Maps an unordered node pair to the conditioning set that rendered it
+independent during the skeleton phase; consumed by the v-structure step.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+__all__ = ["SepSetStore"]
+
+
+class SepSetStore:
+    """Dictionary of ``frozen pair -> tuple`` separating sets."""
+
+    __slots__ = ("_store",)
+
+    def __init__(self) -> None:
+        self._store: dict[tuple[int, int], tuple[int, ...]] = {}
+
+    @staticmethod
+    def _key(u: int, v: int) -> tuple[int, int]:
+        if u == v:
+            raise ValueError("a node cannot be separated from itself")
+        return (u, v) if u < v else (v, u)
+
+    def record(self, u: int, v: int, sepset: tuple[int, ...]) -> None:
+        self._store[self._key(u, v)] = tuple(sorted(int(s) for s in sepset))
+
+    def get(self, u: int, v: int) -> tuple[int, ...] | None:
+        return self._store.get(self._key(u, v))
+
+    def contains(self, u: int, v: int) -> bool:
+        return self._key(u, v) in self._store
+
+    def separates_with(self, u: int, v: int, node: int) -> bool:
+        """True iff ``node`` belongs to the recorded separating set —
+        the v-structure criterion checks ``k not in SepSet(i, j)``."""
+        sepset = self.get(u, v)
+        return sepset is not None and node in sepset
+
+    def items(self) -> Iterator[tuple[tuple[int, int], tuple[int, ...]]]:
+        return iter(self._store.items())
+
+    def as_dict(self) -> Mapping[tuple[int, int], tuple[int, ...]]:
+        return dict(self._store)
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SepSetStore):
+            return NotImplemented
+        return self._store == other._store
+
+    def __hash__(self) -> None:  # type: ignore[override]
+        raise TypeError("SepSetStore is mutable and unhashable")

@@ -1,0 +1,247 @@
+"""Skeleton phase of PC-stable / Fast-BNS (Algorithm 1 of the paper).
+
+One engine drives every sequential variant through three switches that map
+one-to-one onto the paper's optimisations:
+
+``group_endpoints``
+    ``True`` (Fast-BNS): one work item per undirected edge, conditioning
+    sets drawn from side 1 (``adj(u) \\ {v}``) then side 2
+    (``adj(v) \\ {u}``); side 2 is skipped once side 1 accepts independence.
+    ``False`` (original PC-stable work decomposition): two independent work
+    items per edge, one per direction, neither aware of the other's outcome
+    until the end of the depth (the deferred-removal semantics a
+    parallel-safe implementation without grouping must use — this is what
+    the paper's ``S_grouping = 2 / (2 - rho_d)`` analysis assumes).
+
+``gs``
+    Group size: how many CI tests a work item executes before re-deciding.
+    All ``gs`` tests of a group run before the decision, so ``gs > 1``
+    introduces redundant tests (the Fig. 4 trade-off) while letting the
+    tester reuse the encoded X/Y columns across the group.
+
+``onthefly``
+    ``True``: conditioning sets are regenerated from the progress counter by
+    combination unranking (no subset storage).  ``False``: every edge's full
+    subset list is materialised up front (the memory-hungry baseline);
+    results are identical, only memory/bookkeeping differ and are reported
+    in :class:`~repro.core.result.SkeletonStats`.
+
+Both settings of every switch produce the *same* skeleton and separating
+sets (property-tested), because the decision logic — first accepting set in
+side-1-then-side-2 order wins — is shared.
+
+Edge removals are applied at the end of each depth.  Within a depth this is
+behaviourally identical to immediate removal (conditioning sets come from
+the depth's frozen snapshot and every edge is an independent work item) and
+it makes the engine's output invariant to work-item scheduling order, which
+is exactly the property the parallel backends rely on.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+from ..citests.base import ConditionalIndependenceTest
+from ..graphs.undirected import UndirectedGraph
+from .edges import EdgeTask
+from .result import DepthStats, SkeletonStats
+from .sepsets import SepSetStore
+from .trace import TestRecord, TraceRecorder
+from .workpool import WorkPool
+
+__all__ = ["learn_skeleton", "build_depth_tasks", "depth_has_work", "process_edge_group"]
+
+
+def build_depth_tasks(
+    graph: UndirectedGraph,
+    depth: int,
+    group_endpoints: bool,
+) -> list[EdgeTask]:
+    """Work items of one depth from the graph's adjacency snapshot.
+
+    Grouped mode yields one task per edge; ungrouped mode yields one task
+    per *direction* (side 2 empty / side 1 empty respectively) except at
+    depth 0 where the marginal test is unique either way.
+    """
+    snapshot = graph.adjacency_snapshot()
+    tasks: list[EdgeTask] = []
+    for u, v in sorted(graph.edges()):
+        side1 = tuple(sorted(snapshot[u] - {v}))
+        side2 = tuple(sorted(snapshot[v] - {u}))
+        if group_endpoints or depth == 0:
+            task = EdgeTask(u, v, side1, side2, depth)
+            if task.total_tests > 0:
+                tasks.append(task)
+        else:
+            t1 = EdgeTask(u, v, side1, (), depth)
+            if t1.total_tests > 0:
+                tasks.append(t1)
+            t2 = EdgeTask(u, v, (), side2, depth)
+            if t2.total_tests > 0:
+                tasks.append(t2)
+    return tasks
+
+
+def depth_has_work(graph: UndirectedGraph, depth: int) -> bool:
+    """Continuation check of Algorithm 1 line 20: some pair ``(u, v)`` must
+    still satisfy ``|adj(u) \\ {v}| >= depth`` (either direction)."""
+    for u, v in graph.edges():
+        if graph.degree(u) - 1 >= depth or graph.degree(v) - 1 >= depth:
+            return True
+    return False
+
+
+def process_edge_group(
+    task: EdgeTask,
+    tester: ConditionalIndependenceTest,
+    gs: int,
+    sets_override: Sequence[tuple[int, ...]] | None = None,
+) -> tuple[int, tuple[int, ...] | None, list[TestRecord]]:
+    """Execute the task's next group of ``gs`` CI tests.
+
+    Returns ``(n_executed, accepting_set_or_None, test_records)`` and
+    advances the task's progress.  ``sets_override`` supplies pre-
+    materialised conditioning sets for the ``onthefly=False`` baseline.
+    """
+    if sets_override is not None:
+        start = task.progress
+        group_sets = list(sets_override[start : start + gs])
+    else:
+        group_sets = task.next_group(gs)
+    if not group_sets:
+        return 0, None, []
+    results = tester.test_group(task.u, task.v, group_sets)
+    task.advance(len(group_sets))
+    accepting: tuple[int, ...] | None = None
+    records: list[TestRecord] = []
+    dataset = getattr(tester, "dataset", None)
+    m = dataset.n_samples if dataset is not None else 1
+    for res in results:
+        if dataset is not None:
+            nz = 1
+            for var in res.s:
+                nz *= dataset.arity(var)
+            cells = dataset.arity(task.u) * dataset.arity(task.v) * min(nz, max(m, 1))
+        else:
+            cells = 0
+        records.append(
+            TestRecord(
+                depth=task.depth,
+                m=m,
+                cells=cells,
+                independent=res.independent,
+            )
+        )
+        if accepting is None and res.independent:
+            accepting = res.s
+    return len(group_sets), accepting, records
+
+
+def learn_skeleton(
+    tester: ConditionalIndependenceTest,
+    n_nodes: int,
+    gs: int = 1,
+    group_endpoints: bool = True,
+    onthefly: bool = True,
+    max_depth: int | None = None,
+    recorder: TraceRecorder | None = None,
+) -> tuple[UndirectedGraph, SepSetStore, SkeletonStats]:
+    """Learn the skeleton with the sequential engine.
+
+    Parameters are documented in the module docstring; ``max_depth`` caps
+    the conditioning-set size (``None`` runs to the natural PC-stable
+    termination).
+    """
+    if gs < 1:
+        raise ValueError("gs must be >= 1")
+    if n_nodes < 0:
+        raise ValueError("n_nodes must be >= 0")
+
+    t_start = time.perf_counter()
+    graph = UndirectedGraph.complete(n_nodes)
+    sepsets = SepSetStore()
+    stats = SkeletonStats()
+
+    depth = 0
+    while True:
+        if max_depth is not None and depth > max_depth:
+            break
+        if depth > 0 and not depth_has_work(graph, depth):
+            break
+        if graph.n_edges == 0:
+            break
+
+        d_stats = DepthStats(depth=depth, n_edges_start=graph.n_edges)
+        t_depth = time.perf_counter()
+        if recorder is not None:
+            recorder.begin_depth(depth, graph.n_edges)
+
+        tasks = build_depth_tasks(graph, depth, group_endpoints)
+        materialised: dict[int, list[tuple[int, ...]]] | None = None
+        if not onthefly:
+            materialised = {}
+            for idx, task in enumerate(tasks):
+                sets = task.materialised_sets()
+                materialised[idx] = sets
+                stats.materialised_set_ints += sum(len(s) for s in sets)
+
+        pool = WorkPool()
+        task_index: dict[int, int] = {}
+        for idx in range(len(tasks) - 1, -1, -1):
+            pool.push(tasks[idx])
+            task_index[id(tasks[idx])] = idx
+
+        # first accepting conditioning set per edge, in work-item order:
+        # (edge, item_rank) -> sepset; applied at depth end.
+        found: dict[tuple[int, int], list[tuple[int, tuple[int, ...]]]] = {}
+        item_rank: dict[int, int] = {id(t): i for i, t in enumerate(tasks)}
+
+        while pool:
+            task = pool.pop()
+            override = materialised[task_index[id(task)]] if materialised is not None else None
+            n_exec, accepting, records = process_edge_group(task, tester, gs, override)
+            if n_exec == 0:
+                continue
+            d_stats.n_tests += n_exec
+            d_stats.n_groups += 1
+            if accepting is not None:
+                # Tests executed after the accepting one (within this group)
+                # are the gs redundancy of Fig. 4.
+                first_idx = next(i for i, r in enumerate(records) if r.independent)
+                d_stats.n_redundant_tests += n_exec - 1 - first_idx
+            if recorder is not None:
+                recorder.record_group(task.u, task.v, task.total_tests, records)
+            if accepting is not None:
+                found.setdefault((task.u, task.v), []).append(
+                    (item_rank[id(task)], accepting)
+                )
+                continue  # edge work item finished (independence accepted)
+            if not task.done:
+                pool.push(task)
+
+        # Apply removals (deferred; see module docstring).
+        for (u, v), hits in found.items():
+            hits.sort(key=lambda pair: pair[0])
+            sepsets.record(u, v, hits[0][1])
+            graph.remove_edge(u, v)
+            if recorder is not None:
+                recorder.mark_removed(u, v)
+        d_stats.n_edges_removed = len(found)
+        d_stats.elapsed_s = time.perf_counter() - t_depth
+        stats.depths.append(d_stats)
+        stats.n_tests += d_stats.n_tests
+        stats.n_redundant_tests += d_stats.n_redundant_tests
+        stats.n_groups += d_stats.n_groups
+        stats.pool_pushes += pool.n_pushes
+        stats.pool_pops += pool.n_pops
+        if recorder is not None:
+            recorder.end_depth(d_stats.n_edges_removed)
+
+        depth += 1
+
+    stats.elapsed_s = time.perf_counter() - t_start
+    counters = getattr(tester, "counters", None)
+    if counters is not None:
+        stats.counters = counters.snapshot()
+    return graph, sepsets, stats

@@ -1,0 +1,102 @@
+"""Execution-trace capture for the multi-core simulator.
+
+The simulator (:mod:`repro.simcpu`) replays *exactly* the CI tests the real
+algorithm executed — same edges, same per-test table sizes, same early
+terminations — under different scheduling policies.  The engine emits one
+:class:`TestRecord` per executed test, grouped into the gs-sized groups the
+algorithm actually formed, nested in per-edge and per-depth structures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["TestRecord", "GroupRecord", "EdgeWorkRecord", "DepthTrace", "TraceRecorder"]
+
+
+@dataclass(frozen=True)
+class TestRecord:
+    """One executed CI test: enough information to cost it later."""
+
+    depth: int
+    m: int
+    cells: int
+    independent: bool
+
+
+@dataclass
+class GroupRecord:
+    """One gs-group executed for an edge (the unit a thread processes)."""
+
+    tests: list[TestRecord] = field(default_factory=list)
+
+
+@dataclass
+class EdgeWorkRecord:
+    """All work executed for one edge at one depth."""
+
+    u: int
+    v: int
+    total_possible: int
+    groups: list[GroupRecord] = field(default_factory=list)
+    removed: bool = False
+
+    @property
+    def n_tests(self) -> int:
+        return sum(len(g.tests) for g in self.groups)
+
+
+@dataclass
+class DepthTrace:
+    depth: int
+    n_edges_start: int
+    edges: list[EdgeWorkRecord] = field(default_factory=list)
+    n_edges_removed: int = 0
+
+
+class TraceRecorder:
+    """Collects the full execution trace of a skeleton run."""
+
+    def __init__(self) -> None:
+        self.depths: list[DepthTrace] = []
+        self._current_depth: DepthTrace | None = None
+        self._current_edges: dict[tuple[int, int], EdgeWorkRecord] = {}
+
+    # hooks called by the engine ---------------------------------------- #
+    def begin_depth(self, depth: int, n_edges: int) -> None:
+        self._current_depth = DepthTrace(depth=depth, n_edges_start=n_edges)
+        self._current_edges = {}
+
+    def record_group(
+        self,
+        u: int,
+        v: int,
+        total_possible: int,
+        tests: list[TestRecord],
+    ) -> None:
+        if self._current_depth is None:
+            raise RuntimeError("record_group before begin_depth")
+        key = (u, v)
+        rec = self._current_edges.get(key)
+        if rec is None:
+            rec = EdgeWorkRecord(u=u, v=v, total_possible=total_possible)
+            self._current_edges[key] = rec
+            self._current_depth.edges.append(rec)
+        rec.groups.append(GroupRecord(tests=list(tests)))
+
+    def mark_removed(self, u: int, v: int) -> None:
+        rec = self._current_edges.get((u, v))
+        if rec is not None:
+            rec.removed = True
+
+    def end_depth(self, n_removed: int) -> None:
+        if self._current_depth is None:
+            raise RuntimeError("end_depth before begin_depth")
+        self._current_depth.n_edges_removed = n_removed
+        self.depths.append(self._current_depth)
+        self._current_depth = None
+
+    # convenience -------------------------------------------------------- #
+    @property
+    def n_tests(self) -> int:
+        return sum(e.n_tests for d in self.depths for e in d.edges)

@@ -1,0 +1,60 @@
+"""Dynamic work pool (paper Sec. IV-B).
+
+A LIFO stack of :class:`~repro.core.edges.EdgeTask` items.  At each depth
+every current edge is pushed with zero progress; schedulers repeatedly pop
+edges, process the next group of ``gs`` CI tests, and push the edge back
+unless it finished (independence accepted, or all conditioning sets
+exhausted).  The pool therefore *monitors the processing progress of every
+edge*, terminating completed edges immediately — the mechanism behind both
+the load balancing and the early-termination savings.
+"""
+
+from __future__ import annotations
+
+from .edges import EdgeTask
+
+__all__ = ["WorkPool"]
+
+
+class WorkPool:
+    """LIFO pool of edge tasks with progress monitoring."""
+
+    __slots__ = ("_stack", "_pushes", "_pops")
+
+    def __init__(self) -> None:
+        self._stack: list[EdgeTask] = []
+        self._pushes = 0
+        self._pops = 0
+
+    def push(self, task: EdgeTask) -> None:
+        self._stack.append(task)
+        self._pushes += 1
+
+    def pop(self) -> EdgeTask:
+        if not self._stack:
+            raise IndexError("pop from an empty work pool")
+        self._pops += 1
+        return self._stack.pop()
+
+    def pop_many(self, k: int) -> list[EdgeTask]:
+        """Pop up to ``k`` tasks (the paper pops one per thread per round)."""
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        out: list[EdgeTask] = []
+        while self._stack and len(out) < k:
+            out.append(self.pop())
+        return out
+
+    def __len__(self) -> int:
+        return len(self._stack)
+
+    def __bool__(self) -> bool:
+        return bool(self._stack)
+
+    @property
+    def n_pushes(self) -> int:
+        return self._pushes
+
+    @property
+    def n_pops(self) -> int:
+        return self._pops

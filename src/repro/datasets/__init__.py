@@ -1,0 +1,19 @@
+"""Dataset substrate: discrete data containers, sampling and I/O."""
+
+from .bif import load_bif, parse_bif, write_bif
+from .dataset import DiscreteDataset, smallest_uint_dtype
+from .io import CategoricalCodec, read_csv, train_test_split, write_csv
+from .sampling import forward_sample
+
+__all__ = [
+    "DiscreteDataset",
+    "smallest_uint_dtype",
+    "forward_sample",
+    "read_csv",
+    "write_csv",
+    "CategoricalCodec",
+    "train_test_split",
+    "parse_bif",
+    "write_bif",
+    "load_bif",
+]

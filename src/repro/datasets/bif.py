@@ -1,0 +1,272 @@
+"""Reader/writer for the BIF (Bayesian Interchange Format) network format.
+
+The benchmark networks of the paper's Table II are distributed as ``.bif``
+files in the bnlearn repository.  This module parses that dialect so real
+files can be dropped into the reproduction when available; the synthetic
+catalog (:mod:`repro.networks.catalog`) is used otherwise.
+
+Supported constructs::
+
+    network <name> { ... }
+    variable <name> {
+      type discrete [ <k> ] { v1, v2, ... };
+    }
+    probability ( <child> | <p1>, <p2> ) {
+      (pv1, pv2) 0.2, 0.8;
+      ...
+    }
+    probability ( <root> ) {
+      table 0.3, 0.7;
+    }
+"""
+
+from __future__ import annotations
+
+import re
+
+import numpy as np
+
+from ..networks.bayesnet import CPT, DiscreteBayesianNetwork
+
+__all__ = ["parse_bif", "write_bif", "load_bif"]
+
+_TOKEN_RE = re.compile(
+    r"""
+    //[^\n]* | \#[^\n]*          # comments
+    | [{}();,|\[\]]              # punctuation
+    | "[^"]*"                    # quoted string
+    | [^\s{}();,|\[\]]+          # atoms (names, numbers)
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens = []
+    for match in _TOKEN_RE.finditer(text):
+        tok = match.group(0)
+        if tok.startswith("//") or tok.startswith("#"):
+            continue
+        if tok.startswith('"') and tok.endswith('"'):
+            tok = tok[1:-1]
+        tokens.append(tok)
+    return tokens
+
+
+class _Cursor:
+    def __init__(self, tokens: list[str]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> str | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> str:
+        tok = self.peek()
+        if tok is None:
+            raise ValueError("unexpected end of BIF input")
+        self.pos += 1
+        return tok
+
+    def expect(self, token: str) -> None:
+        got = self.next()
+        if got != token:
+            raise ValueError(f"expected {token!r}, got {got!r} at token {self.pos - 1}")
+
+    def skip_block(self) -> None:
+        """Skip a balanced ``{ ... }`` block (used for ``property`` etc.)."""
+        self.expect("{")
+        depth = 1
+        while depth:
+            tok = self.next()
+            if tok == "{":
+                depth += 1
+            elif tok == "}":
+                depth -= 1
+
+
+def parse_bif(text: str) -> DiscreteBayesianNetwork:
+    """Parse BIF text into a :class:`DiscreteBayesianNetwork`.
+
+    Variable value labels are mapped to integer codes in declaration order.
+    """
+    cur = _Cursor(_tokenize(text))
+    names: list[str] = []
+    levels: dict[str, list[str]] = {}
+    prob_blocks: list[tuple[str, list[str], dict[tuple[str, ...], list[float]]]] = []
+
+    while cur.peek() is not None:
+        tok = cur.next()
+        if tok == "network":
+            cur.next()  # network name
+            cur.skip_block()
+        elif tok == "variable":
+            name = cur.next()
+            cur.expect("{")
+            values: list[str] = []
+            while cur.peek() != "}":
+                inner = cur.next()
+                if inner == "type":
+                    kind = cur.next()
+                    if kind != "discrete":
+                        raise ValueError(f"only discrete variables supported, got {kind!r}")
+                    cur.expect("[")
+                    cur.next()  # declared cardinality, re-derived from labels
+                    cur.expect("]")
+                    cur.expect("{")
+                    while cur.peek() != "}":
+                        v = cur.next()
+                        if v != ",":
+                            values.append(v)
+                    cur.expect("}")
+                    cur.expect(";")
+                elif inner == "property":
+                    while cur.next() != ";":
+                        pass
+                else:
+                    raise ValueError(f"unexpected token {inner!r} in variable block")
+            cur.expect("}")
+            if not values:
+                raise ValueError(f"variable {name!r} has no declared values")
+            names.append(name)
+            levels[name] = values
+        elif tok == "probability":
+            cur.expect("(")
+            child = cur.next()
+            parents: list[str] = []
+            nxt = cur.next()
+            if nxt == "|":
+                while True:
+                    parents.append(cur.next())
+                    sep = cur.next()
+                    if sep == ")":
+                        break
+                    if sep != ",":
+                        raise ValueError(f"expected ',' or ')' in parent list, got {sep!r}")
+            elif nxt != ")":
+                raise ValueError(f"expected '|' or ')' after child name, got {nxt!r}")
+            cur.expect("{")
+            rows: dict[tuple[str, ...], list[float]] = {}
+            while cur.peek() != "}":
+                inner = cur.next()
+                if inner == "table":
+                    probs: list[float] = []
+                    while True:
+                        t = cur.next()
+                        if t == ";":
+                            break
+                        if t != ",":
+                            probs.append(float(t))
+                    rows[()] = probs
+                elif inner == "(":
+                    cfg: list[str] = []
+                    while True:
+                        t = cur.next()
+                        if t == ")":
+                            break
+                        if t != ",":
+                            cfg.append(t)
+                    probs = []
+                    while True:
+                        t = cur.next()
+                        if t == ";":
+                            break
+                        if t != ",":
+                            probs.append(float(t))
+                    rows[tuple(cfg)] = probs
+                elif inner == "property":
+                    while cur.next() != ";":
+                        pass
+                else:
+                    raise ValueError(f"unexpected token {inner!r} in probability block")
+            cur.expect("}")
+            prob_blocks.append((child, parents, rows))
+        else:
+            raise ValueError(f"unexpected top-level token {tok!r}")
+
+    index = {name: i for i, name in enumerate(names)}
+    arities = [len(levels[name]) for name in names]
+    cpts: list[CPT | None] = [None] * len(names)
+
+    for child, parents, rows in prob_blocks:
+        if child not in index:
+            raise ValueError(f"probability block for undeclared variable {child!r}")
+        child_idx = index[child]
+        parent_idx = [index[p] for p in parents]
+        n_cfg = int(np.prod([arities[p] for p in parent_idx], dtype=np.int64))
+        table = np.full((n_cfg, arities[child_idx]), np.nan)
+        if not parents:
+            if () not in rows:
+                raise ValueError(f"root variable {child!r} missing 'table' row")
+            table[0] = rows[()]
+        else:
+            level_code = [
+                {lab: k for k, lab in enumerate(levels[p])} for p in parents
+            ]
+            for cfg_labels, probs in rows.items():
+                if len(cfg_labels) != len(parents):
+                    raise ValueError(
+                        f"{child!r}: configuration {cfg_labels} does not match parents {parents}"
+                    )
+                code = 0
+                for j, lab in enumerate(cfg_labels):
+                    if lab not in level_code[j]:
+                        raise ValueError(f"{child!r}: unknown level {lab!r} of {parents[j]!r}")
+                    code = code * arities[parent_idx[j]] + level_code[j][lab]
+                table[code] = probs
+        if np.isnan(table).any():
+            raise ValueError(f"{child!r}: some parent configurations have no probabilities")
+        cpts[child_idx] = CPT(parents=tuple(parent_idx), table=table)
+
+    for i, cpt in enumerate(cpts):
+        if cpt is None:
+            raise ValueError(f"variable {names[i]!r} has no probability block")
+    return DiscreteBayesianNetwork(arities, [c for c in cpts if c is not None], names)
+
+
+def load_bif(path: str) -> DiscreteBayesianNetwork:
+    """Parse a ``.bif`` file from disk."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return parse_bif(fh.read())
+
+
+def _level_labels(arity: int) -> list[str]:
+    return [f"s{k}" for k in range(arity)]
+
+
+def write_bif(network: DiscreteBayesianNetwork, name: str = "network") -> str:
+    """Serialise a network to BIF text (integer levels become ``s0, s1, ...``).
+
+    Round-trips with :func:`parse_bif` up to level naming.
+    """
+    lines: list[str] = [f"network {name} {{", "}"]
+    for i in range(network.n_nodes):
+        arity = int(network.arities[i])
+        labels = ", ".join(_level_labels(arity))
+        lines.append(f"variable {network.names[i]} {{")
+        lines.append(f"  type discrete [ {arity} ] {{ {labels} }};")
+        lines.append("}")
+    for i in range(network.n_nodes):
+        cpt = network.cpt(i)
+        if not cpt.parents:
+            lines.append(f"probability ( {network.names[i]} ) {{")
+            row = ", ".join(f"{p:.10g}" for p in cpt.table[0])
+            lines.append(f"  table {row};")
+            lines.append("}")
+            continue
+        parent_names = ", ".join(network.names[p] for p in cpt.parents)
+        lines.append(f"probability ( {network.names[i]} | {parent_names} ) {{")
+        parent_arities = [int(network.arities[p]) for p in cpt.parents]
+        for cfg in range(cpt.n_parent_configs):
+            # decode mixed-radix cfg (first parent most significant)
+            rem = cfg
+            codes: list[int] = []
+            for a in reversed(parent_arities):
+                codes.append(rem % a)
+                rem //= a
+            codes.reverse()
+            labels = ", ".join(f"s{c}" for c in codes)
+            row = ", ".join(f"{p:.10g}" for p in cpt.table[cfg])
+            lines.append(f"  ({labels}) {row};")
+        lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,224 @@
+"""Discrete dataset container with configurable memory layout.
+
+The paper's third optimisation ("cache-friendly data storage", Sec. IV-C)
+transposes the sample matrix so that each *variable* occupies one contiguous
+row.  Contingency-table construction gathers a handful of variable columns
+for every sample; with row-major (sample-major) storage those gathers are
+strided and every access is a potential cache miss, while with
+variable-major storage each gather is a contiguous read.
+
+:class:`DiscreteDataset` supports both layouts so that baselines can be run
+with the cache-unfriendly layout the paper criticises and Fast-BNS with the
+friendly one.  ``column(i)`` always returns a 1-D array of the ``m`` values
+of variable ``i``; whether that array is a contiguous view or a strided copy
+depends on the layout, which is exactly the effect under study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["DiscreteDataset", "Layout", "smallest_uint_dtype"]
+
+Layout = str  # "variable-major" | "sample-major"
+
+_VALID_LAYOUTS = ("variable-major", "sample-major")
+
+
+def smallest_uint_dtype(max_value: int) -> np.dtype:
+    """Smallest unsigned integer dtype able to hold ``max_value``.
+
+    Minimising element width maximises the number of values per cache line,
+    which is part of the memory-efficiency story of Fast-BNS.
+    """
+    if max_value < 0:
+        raise ValueError("max_value must be non-negative")
+    for dtype in (np.uint8, np.uint16, np.uint32):
+        if max_value <= np.iinfo(dtype).max:
+            return np.dtype(dtype)
+    return np.dtype(np.uint64)
+
+
+@dataclass(frozen=True)
+class DiscreteDataset:
+    """Complete-data discrete dataset.
+
+    Parameters
+    ----------
+    values:
+        Integer-coded observations.  Shape ``(n_variables, n_samples)`` when
+        ``layout == "variable-major"`` (the Fast-BNS layout) or
+        ``(n_samples, n_variables)`` when ``layout == "sample-major"``.
+    arities:
+        Number of categories of each variable; ``values[i]`` (or column ``i``)
+        must lie in ``[0, arities[i])``.
+    names:
+        Optional variable names, default ``V0..V{n-1}``.
+    """
+
+    values: np.ndarray
+    arities: np.ndarray
+    layout: Layout = "variable-major"
+    names: tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.layout not in _VALID_LAYOUTS:
+            raise ValueError(f"layout must be one of {_VALID_LAYOUTS}, got {self.layout!r}")
+        values = np.asarray(self.values)
+        if values.ndim != 2:
+            raise ValueError("values must be a 2-D array")
+        arities = np.asarray(self.arities, dtype=np.int64)
+        if arities.ndim != 1:
+            raise ValueError("arities must be 1-D")
+        n_vars = values.shape[0] if self.layout == "variable-major" else values.shape[1]
+        if arities.shape[0] != n_vars:
+            raise ValueError(
+                f"arities has {arities.shape[0]} entries but data has {n_vars} variables"
+            )
+        if np.any(arities < 1):
+            raise ValueError("every variable needs arity >= 1")
+        if values.size:
+            per_var_max = (
+                values.max(axis=1) if self.layout == "variable-major" else values.max(axis=0)
+            )
+            if np.any(per_var_max >= arities):
+                bad = int(np.argmax(per_var_max >= arities))
+                raise ValueError(
+                    f"variable {bad} has value {int(per_var_max[bad])} "
+                    f">= its arity {int(arities[bad])}"
+                )
+            if values.min() < 0:
+                raise ValueError("values must be non-negative category codes")
+        names = self.names or tuple(f"V{i}" for i in range(n_vars))
+        if len(names) != n_vars:
+            raise ValueError(f"{len(names)} names for {n_vars} variables")
+        object.__setattr__(self, "values", values)
+        object.__setattr__(self, "arities", arities)
+        object.__setattr__(self, "names", tuple(names))
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_rows(
+        cls,
+        rows: np.ndarray | Sequence[Sequence[int]],
+        arities: Sequence[int] | np.ndarray | None = None,
+        names: Iterable[str] | None = None,
+        layout: Layout = "variable-major",
+    ) -> "DiscreteDataset":
+        """Build from a ``(n_samples, n_variables)`` matrix of category codes.
+
+        ``arities`` defaults to ``max+1`` per column.  The data is converted
+        to the requested ``layout`` with the smallest sufficient dtype.
+        """
+        rows = np.asarray(rows)
+        if rows.ndim != 2:
+            raise ValueError("rows must be 2-D (n_samples, n_variables)")
+        if arities is None:
+            if rows.shape[0] == 0:
+                raise ValueError("cannot infer arities from an empty dataset")
+            arities = rows.max(axis=0).astype(np.int64) + 1
+        arities = np.asarray(arities, dtype=np.int64)
+        dtype = smallest_uint_dtype(int(arities.max()) - 1 if arities.size else 0)
+        if layout == "variable-major":
+            values = np.ascontiguousarray(rows.T, dtype=dtype)
+        else:
+            values = np.ascontiguousarray(rows, dtype=dtype)
+        return cls(
+            values=values,
+            arities=arities,
+            layout=layout,
+            names=tuple(names) if names is not None else (),
+        )
+
+    # ------------------------------------------------------------------ #
+    # basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def n_variables(self) -> int:
+        return self.values.shape[0] if self.layout == "variable-major" else self.values.shape[1]
+
+    @property
+    def n_samples(self) -> int:
+        return self.values.shape[1] if self.layout == "variable-major" else self.values.shape[0]
+
+    def arity(self, i: int) -> int:
+        return int(self.arities[i])
+
+    def column(self, i: int) -> np.ndarray:
+        """Values of variable ``i`` for all samples.
+
+        Contiguous view under ``variable-major`` layout; strided access under
+        ``sample-major`` layout (the cache-unfriendly pattern the paper
+        measures).  No copy is forced in either case so the layout's memory
+        behaviour is preserved.
+        """
+        if self.layout == "variable-major":
+            return self.values[i]
+        return self.values[:, i]
+
+    def columns(self, idx: Sequence[int]) -> list[np.ndarray]:
+        return [self.column(int(i)) for i in idx]
+
+    def as_rows(self) -> np.ndarray:
+        """Return a ``(n_samples, n_variables)`` copy regardless of layout."""
+        if self.layout == "variable-major":
+            return np.ascontiguousarray(self.values.T)
+        return np.array(self.values, copy=True)
+
+    # ------------------------------------------------------------------ #
+    # layout conversion & subsetting
+    # ------------------------------------------------------------------ #
+    def with_layout(self, layout: Layout) -> "DiscreteDataset":
+        """Return the same data in the requested layout (no-op when equal)."""
+        if layout not in _VALID_LAYOUTS:
+            raise ValueError(f"layout must be one of {_VALID_LAYOUTS}, got {layout!r}")
+        if layout == self.layout:
+            return self
+        return DiscreteDataset(
+            values=np.ascontiguousarray(self.values.T),
+            arities=self.arities,
+            layout=layout,
+            names=self.names,
+        )
+
+    def take_samples(self, n: int) -> "DiscreteDataset":
+        """First ``n`` samples (used by sample-size sweeps, Fig. 3)."""
+        if not 0 < n <= self.n_samples:
+            raise ValueError(f"n must be in [1, {self.n_samples}], got {n}")
+        values = (
+            np.ascontiguousarray(self.values[:, :n])
+            if self.layout == "variable-major"
+            else np.ascontiguousarray(self.values[:n, :])
+        )
+        return DiscreteDataset(values, self.arities, self.layout, self.names)
+
+    def select_variables(self, idx: Sequence[int]) -> "DiscreteDataset":
+        idx = list(int(i) for i in idx)
+        values = (
+            np.ascontiguousarray(self.values[idx, :])
+            if self.layout == "variable-major"
+            else np.ascontiguousarray(self.values[:, idx])
+        )
+        return DiscreteDataset(
+            values,
+            self.arities[idx],
+            self.layout,
+            tuple(self.names[i] for i in idx),
+        )
+
+    def index_of(self, name: str) -> int:
+        try:
+            return self.names.index(name)
+        except ValueError:
+            raise KeyError(f"no variable named {name!r}") from None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DiscreteDataset(n_variables={self.n_variables}, n_samples={self.n_samples}, "
+            f"layout={self.layout!r})"
+        )

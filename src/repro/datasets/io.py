@@ -1,0 +1,145 @@
+"""Dataset I/O: CSV with automatic categorical encoding, train/test split.
+
+Real-world categorical data arrives as labelled CSV columns.  ``read_csv``
+maps each column's labels to integer codes (recorded in a
+:class:`CategoricalCodec` so predictions/reports can be translated back),
+producing the :class:`DiscreteDataset` the learners consume.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass
+
+import numpy as np
+
+from .dataset import DiscreteDataset
+
+__all__ = ["CategoricalCodec", "read_csv", "write_csv", "train_test_split"]
+
+
+@dataclass(frozen=True)
+class CategoricalCodec:
+    """Per-variable label <-> code mappings of an encoded dataset."""
+
+    names: tuple[str, ...]
+    levels: tuple[tuple[str, ...], ...]
+
+    def encode(self, variable: int, label: str) -> int:
+        try:
+            return self.levels[variable].index(label)
+        except ValueError:
+            raise KeyError(
+                f"unknown level {label!r} of variable {self.names[variable]!r}"
+            ) from None
+
+    def decode(self, variable: int, code: int) -> str:
+        return self.levels[variable][code]
+
+    def arities(self) -> list[int]:
+        return [len(lv) for lv in self.levels]
+
+
+def read_csv(
+    source: str | io.TextIOBase,
+    layout: str = "variable-major",
+) -> tuple[DiscreteDataset, CategoricalCodec]:
+    """Read a header-ed CSV of categorical values.
+
+    Labels are coded in order of first appearance per column (purely
+    numeric columns still become categorical codes — discretise
+    continuous data upstream).  Returns the dataset and its codec.
+    """
+    close = False
+    if isinstance(source, str):
+        fh: io.TextIOBase = open(source, "r", encoding="utf-8", newline="")
+        close = True
+    else:
+        fh = source
+    try:
+        reader = csv.reader(fh)
+        try:
+            names = [c.strip() for c in next(reader)]
+        except StopIteration:
+            raise ValueError("empty CSV: no header row") from None
+        n_vars = len(names)
+        level_maps: list[dict[str, int]] = [{} for _ in range(n_vars)]
+        codes: list[list[int]] = []
+        for line_no, row in enumerate(reader, start=2):
+            if not row or all(not c.strip() for c in row):
+                continue
+            if len(row) != n_vars:
+                raise ValueError(f"line {line_no}: expected {n_vars} columns, got {len(row)}")
+            encoded = []
+            for j, raw in enumerate(row):
+                label = raw.strip()
+                code = level_maps[j].setdefault(label, len(level_maps[j]))
+                encoded.append(code)
+            codes.append(encoded)
+        if not codes:
+            raise ValueError("CSV contains a header but no data rows")
+    finally:
+        if close:
+            fh.close()
+
+    rows = np.asarray(codes, dtype=np.int64)
+    codec = CategoricalCodec(
+        names=tuple(names),
+        levels=tuple(tuple(m.keys()) for m in level_maps),
+    )
+    dataset = DiscreteDataset.from_rows(
+        rows, arities=codec.arities(), names=names, layout=layout
+    )
+    return dataset, codec
+
+
+def write_csv(
+    dataset: DiscreteDataset,
+    destination: str | io.TextIOBase,
+    codec: CategoricalCodec | None = None,
+) -> None:
+    """Write a dataset back to CSV (labels from ``codec`` when given,
+    integer codes otherwise)."""
+    close = False
+    if isinstance(destination, str):
+        fh: io.TextIOBase = open(destination, "w", encoding="utf-8", newline="")
+        close = True
+    else:
+        fh = destination
+    try:
+        writer = csv.writer(fh)
+        writer.writerow(dataset.names)
+        rows = dataset.as_rows()
+        for row in rows:
+            if codec is None:
+                writer.writerow([int(v) for v in row])
+            else:
+                writer.writerow([codec.decode(j, int(v)) for j, v in enumerate(row)])
+    finally:
+        if close:
+            fh.close()
+
+
+def train_test_split(
+    dataset: DiscreteDataset,
+    test_fraction: float = 0.2,
+    rng: np.random.Generator | int | None = 0,
+) -> tuple[DiscreteDataset, DiscreteDataset]:
+    """Random split into train/test datasets (same layout and names)."""
+    if not 0 < test_fraction < 1:
+        raise ValueError("test_fraction must be in (0, 1)")
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    m = dataset.n_samples
+    n_test = max(1, int(round(m * test_fraction)))
+    if n_test >= m:
+        raise ValueError("split leaves no training samples")
+    perm = rng.permutation(m)
+    rows = dataset.as_rows()
+    train_rows = rows[perm[n_test:]]
+    test_rows = rows[perm[:n_test]]
+    make = lambda r: DiscreteDataset.from_rows(  # noqa: E731
+        r, arities=list(dataset.arities), names=dataset.names, layout=dataset.layout
+    )
+    return make(train_rows), make(test_rows)

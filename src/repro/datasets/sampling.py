@@ -1,0 +1,74 @@
+"""Vectorised forward (ancestral) sampling from a discrete Bayesian network.
+
+Datasets in the paper are drawn from benchmark networks (Table II): 5 000 to
+15 000 complete samples per network.  Forward sampling visits nodes in
+topological order; for each node the parent configuration of every sample is
+encoded as a mixed-radix integer so that the whole column can be drawn with
+one vectorised inverse-CDF lookup instead of a per-sample Python loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..networks.bayesnet import DiscreteBayesianNetwork
+from .dataset import DiscreteDataset, smallest_uint_dtype
+
+__all__ = ["forward_sample"]
+
+
+def forward_sample(
+    network: DiscreteBayesianNetwork,
+    n_samples: int,
+    rng: np.random.Generator | int | None = None,
+    layout: str = "variable-major",
+) -> DiscreteDataset:
+    """Draw ``n_samples`` complete observations from ``network``.
+
+    Parameters
+    ----------
+    network:
+        The generating Bayesian network.
+    n_samples:
+        Number of complete samples (no missing values, as in the paper).
+    rng:
+        ``numpy`` generator or seed; a seed gives reproducible datasets.
+    layout:
+        Storage layout of the returned :class:`DiscreteDataset`.
+    """
+    if n_samples < 1:
+        raise ValueError("n_samples must be >= 1")
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+
+    n = network.n_nodes
+    arities = network.arities
+    dtype = smallest_uint_dtype(int(arities.max()) - 1)
+    data = np.empty((n, n_samples), dtype=dtype)
+
+    for node in network.topological_order():
+        cpt = network.cpt(node)
+        if not cpt.parents:
+            cfg = np.zeros(n_samples, dtype=np.int64)
+        else:
+            cfg = np.zeros(n_samples, dtype=np.int64)
+            for p in cpt.parents:
+                cfg *= int(arities[p])
+                cfg += data[p].astype(np.int64)
+        # Inverse-CDF sampling: one uniform per sample, compared against the
+        # row-wise cumulative distribution of this node's CPT.
+        cdf = np.cumsum(cpt.table, axis=1)
+        cdf[:, -1] = 1.0  # guard against floating-point undershoot
+        u = rng.random(n_samples)
+        # searchsorted per distinct parent config would be a Python loop over
+        # configs; instead gather each sample's CDF row and compare once.
+        rows = cdf[cfg]  # (n_samples, arity)
+        data[node] = (u[:, None] >= rows).sum(axis=1).astype(dtype)
+
+    ds = DiscreteDataset(
+        values=data,
+        arities=arities,
+        layout="variable-major",
+        names=network.names,
+    )
+    return ds.with_layout(layout)

@@ -1,0 +1,38 @@
+"""Graph substrate: undirected graphs, PDAGs, DAG utilities, d-separation,
+structure metrics."""
+
+from .dag import (
+    dag_to_cpdag,
+    is_acyclic,
+    topological_order,
+    v_structures_of_dag,
+)
+from .extension import NoConsistentExtensionError, pdag_to_dag
+from .metrics import (
+    ArrowMetrics,
+    SkeletonMetrics,
+    arrowhead_metrics,
+    shd,
+    skeleton_metrics,
+)
+from .pdag import PDAG
+from .separation import DSeparationOracle, d_separated
+from .undirected import UndirectedGraph
+
+__all__ = [
+    "UndirectedGraph",
+    "PDAG",
+    "d_separated",
+    "DSeparationOracle",
+    "dag_to_cpdag",
+    "pdag_to_dag",
+    "NoConsistentExtensionError",
+    "is_acyclic",
+    "topological_order",
+    "v_structures_of_dag",
+    "SkeletonMetrics",
+    "ArrowMetrics",
+    "skeleton_metrics",
+    "arrowhead_metrics",
+    "shd",
+]

@@ -1,0 +1,105 @@
+"""Directed-acyclic-graph helpers shared by oracle tests, metrics and the
+CPDAG computation."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = [
+    "build_children",
+    "build_parents",
+    "topological_order",
+    "is_acyclic",
+    "v_structures_of_dag",
+    "dag_to_cpdag",
+]
+
+
+def build_parents(n_nodes: int, edges: Iterable[tuple[int, int]]) -> list[set[int]]:
+    parents: list[set[int]] = [set() for _ in range(n_nodes)]
+    for u, v in edges:
+        parents[v].add(u)
+    return parents
+
+
+def build_children(n_nodes: int, edges: Iterable[tuple[int, int]]) -> list[set[int]]:
+    children: list[set[int]] = [set() for _ in range(n_nodes)]
+    for u, v in edges:
+        children[u].add(v)
+    return children
+
+
+def topological_order(n_nodes: int, edges: Sequence[tuple[int, int]]) -> list[int]:
+    """Kahn's algorithm; raises ``ValueError`` on a cycle."""
+    parents = build_parents(n_nodes, edges)
+    children = build_children(n_nodes, edges)
+    indeg = [len(parents[i]) for i in range(n_nodes)]
+    stack = [i for i in range(n_nodes) if indeg[i] == 0]
+    order: list[int] = []
+    while stack:
+        u = stack.pop()
+        order.append(u)
+        for v in children[u]:
+            indeg[v] -= 1
+            if indeg[v] == 0:
+                stack.append(v)
+    if len(order) != n_nodes:
+        raise ValueError("graph contains a directed cycle")
+    return order
+
+
+def is_acyclic(n_nodes: int, edges: Sequence[tuple[int, int]]) -> bool:
+    try:
+        topological_order(n_nodes, edges)
+        return True
+    except ValueError:
+        return False
+
+
+def v_structures_of_dag(
+    n_nodes: int, edges: Sequence[tuple[int, int]]
+) -> set[tuple[int, int, int]]:
+    """All v-structures (immoralities) ``(a, c, b)`` meaning ``a -> c <- b``
+    with ``a`` and ``b`` non-adjacent; returned with ``a < b``."""
+    parents = build_parents(n_nodes, edges)
+    adjacent: set[tuple[int, int]] = set()
+    for u, v in edges:
+        adjacent.add((min(u, v), max(u, v)))
+    out: set[tuple[int, int, int]] = set()
+    for c in range(n_nodes):
+        ps = sorted(parents[c])
+        for i in range(len(ps)):
+            for j in range(i + 1, len(ps)):
+                a, b = ps[i], ps[j]
+                if (a, b) not in adjacent:
+                    out.add((a, c, b))
+    return out
+
+
+def dag_to_cpdag(n_nodes: int, edges: Sequence[tuple[int, int]]):
+    """CPDAG of the Markov equivalence class of a DAG.
+
+    Orients exactly the v-structure arrows, leaves everything else
+    undirected, then closes under Meek rules R1-R3 — the textbook
+    characterisation of the CPDAG (compelled edges = v-structures plus their
+    Meek closure).
+    """
+    from ..core.orientation import apply_meek_rules
+    from .pdag import PDAG
+
+    edges = list(edges)
+    if not is_acyclic(n_nodes, edges):
+        raise ValueError("input is not a DAG")
+    pdag = PDAG(n_nodes)
+    vstructs = v_structures_of_dag(n_nodes, edges)
+    compelled: set[tuple[int, int]] = set()
+    for a, c, b in vstructs:
+        compelled.add((a, c))
+        compelled.add((b, c))
+    for u, v in edges:
+        if (u, v) in compelled:
+            pdag.add_directed(u, v)
+        elif not pdag.adjacent(u, v):
+            pdag.add_undirected(u, v)
+    apply_meek_rules(pdag)
+    return pdag

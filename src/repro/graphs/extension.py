@@ -1,0 +1,128 @@
+"""Consistent extension of a PDAG to a DAG (Dor & Tarsi, 1992).
+
+A learned CPDAG represents a Markov equivalence class; downstream uses
+(parameter fitting, sampling, inference) need one concrete member.  The
+Dor-Tarsi algorithm orients the undirected edges without creating new
+v-structures or cycles, when such an extension exists — it always does for
+a valid CPDAG.
+
+Algorithm: repeatedly find a node ``x`` that (a) has no outgoing directed
+edges, and (b) every undirected neighbour of ``x`` is adjacent to *all* of
+``x``'s other neighbours; direct all of ``x``'s undirected edges *into*
+``x`` and remove ``x`` from consideration.  Failure to find such a node
+means no consistent extension exists.
+"""
+
+from __future__ import annotations
+
+from .pdag import PDAG
+
+__all__ = ["pdag_to_dag", "relaxed_extension", "NoConsistentExtensionError"]
+
+
+class NoConsistentExtensionError(ValueError):
+    """The PDAG admits no DAG extension without new v-structures/cycles."""
+
+
+def pdag_to_dag(pdag: PDAG, strict: bool = True) -> list[tuple[int, int]]:
+    """Directed edge list of a consistent DAG extension of ``pdag``.
+
+    The input is not modified.  With ``strict=True`` (default) raises
+    :class:`NoConsistentExtensionError` when no extension exists — possible
+    for inconsistent PDAGs produced by statistical errors on real data,
+    never for a true CPDAG.  With ``strict=False`` such inputs fall back to
+    :func:`relaxed_extension`, which always returns *a* DAG over the same
+    skeleton (preserving the given arrows where consistent) but may
+    introduce v-structures or flip conflicting arrows.
+    """
+    try:
+        return _dor_tarsi(pdag)
+    except NoConsistentExtensionError:
+        if strict:
+            raise
+        return relaxed_extension(pdag)
+
+
+def _dor_tarsi(pdag: PDAG) -> list[tuple[int, int]]:
+    work = pdag.copy()
+    n = work.n_nodes
+    # Orientations chosen for previously removed nodes.
+    oriented: list[tuple[int, int]] = list(pdag.directed_edges())
+    alive = set(range(n))
+
+    def neighbours(x: int) -> set[int]:
+        return work.adjacencies(x) & alive
+
+    while alive:
+        progressed = False
+        for x in sorted(alive):
+            if work.children(x) & alive:
+                continue  # condition (a): x must be a sink
+            und = work.undirected_neighbors(x) & alive
+            others = neighbours(x)
+            ok = True
+            for y in und:
+                # condition (b): y adjacent to every other neighbour of x
+                for z in others:
+                    if z != y and not work.adjacent(y, z):
+                        ok = False
+                        break
+                if not ok:
+                    break
+            if not ok:
+                continue
+            for y in sorted(und):
+                oriented.append((y, x))
+            alive.discard(x)
+            # Remove x's edges from the working graph.
+            for y in list(work.undirected_neighbors(x)):
+                work.remove_any_edge(x, y)
+            for y in list(work.parents(x)):
+                work.remove_any_edge(y, x)
+            for y in list(work.children(x)):
+                work.remove_any_edge(x, y)
+            progressed = True
+            break
+        if not progressed:
+            raise NoConsistentExtensionError(
+                "PDAG has no consistent DAG extension (inconsistent orientations)"
+            )
+    return oriented
+
+
+def relaxed_extension(pdag: PDAG) -> list[tuple[int, int]]:
+    """Best-effort DAG over the PDAG's skeleton.
+
+    Builds a node order by repeatedly extracting a sink (a node with no
+    directed edge into the remaining set); when none exists (a directed
+    cycle from conflicting learned arrows), the node with the fewest
+    remaining children is extracted anyway, flipping its outgoing arrows.
+    Every skeleton edge is then oriented towards the earlier-extracted
+    node, which is acyclic by construction and agrees with every given
+    arrow that was not part of a conflict.
+    """
+    n = pdag.n_nodes
+    alive = set(range(n))
+    extraction: list[int] = []
+    while alive:
+        sink = None
+        fewest = None
+        fewest_count = None
+        for x in sorted(alive):
+            alive_children = len(pdag.children(x) & alive)
+            if alive_children == 0:
+                sink = x
+                break
+            if fewest_count is None or alive_children < fewest_count:
+                fewest, fewest_count = x, alive_children
+        chosen = sink if sink is not None else fewest
+        assert chosen is not None
+        extraction.append(chosen)
+        alive.discard(chosen)
+    position = {node: i for i, node in enumerate(extraction)}
+    edges: list[tuple[int, int]] = []
+    for u, v in pdag.undirected_edges():
+        edges.append((u, v) if position[v] < position[u] else (v, u))
+    for u, v in pdag.directed_edges():
+        edges.append((u, v) if position[v] < position[u] else (v, u))
+    return edges

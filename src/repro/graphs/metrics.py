@@ -1,0 +1,114 @@
+"""Structure-recovery metrics.
+
+The paper reports no accuracy tables (Fast-BNS computes the *same* output as
+PC-stable; Sec. V-A), but the reproduction needs accuracy instrumentation to
+demonstrate that all implementations agree and that learning behaves sanely
+as sample size grows.  Provided metrics:
+
+* skeleton precision / recall / F1 against the true skeleton,
+* arrowhead precision / recall against the true CPDAG,
+* structural Hamming distance (SHD) between PDAGs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .pdag import PDAG
+
+__all__ = ["SkeletonMetrics", "skeleton_metrics", "shd", "arrowhead_metrics", "ArrowMetrics"]
+
+
+@dataclass(frozen=True)
+class SkeletonMetrics:
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        denom = self.true_positives + self.false_positives
+        return self.true_positives / denom if denom else 1.0
+
+    @property
+    def recall(self) -> float:
+        denom = self.true_positives + self.false_negatives
+        return self.true_positives / denom if denom else 1.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+
+def _normalise_edge_set(edges) -> set[tuple[int, int]]:
+    return {(min(u, v), max(u, v)) for u, v in edges}
+
+
+def skeleton_metrics(learned_edges, true_edges) -> SkeletonMetrics:
+    """Compare unordered adjacency sets (edges as any iterable of pairs)."""
+    learned = _normalise_edge_set(learned_edges)
+    truth = _normalise_edge_set(true_edges)
+    tp = len(learned & truth)
+    return SkeletonMetrics(
+        true_positives=tp,
+        false_positives=len(learned) - tp,
+        false_negatives=len(truth) - tp,
+    )
+
+
+@dataclass(frozen=True)
+class ArrowMetrics:
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        denom = self.true_positives + self.false_positives
+        return self.true_positives / denom if denom else 1.0
+
+    @property
+    def recall(self) -> float:
+        denom = self.true_positives + self.false_negatives
+        return self.true_positives / denom if denom else 1.0
+
+
+def arrowhead_metrics(learned: PDAG, truth: PDAG) -> ArrowMetrics:
+    """Directed-edge agreement between two PDAGs (typically CPDAGs)."""
+    learned_arrows = set(learned.directed_edges())
+    true_arrows = set(truth.directed_edges())
+    tp = len(learned_arrows & true_arrows)
+    return ArrowMetrics(
+        true_positives=tp,
+        false_positives=len(learned_arrows) - tp,
+        false_negatives=len(true_arrows) - tp,
+    )
+
+
+def shd(learned: PDAG, truth: PDAG) -> int:
+    """Structural Hamming distance between two PDAGs.
+
+    Counts one unit for every pair of nodes whose connection differs:
+    missing edge, extra edge, undirected vs directed, or directed the wrong
+    way.
+    """
+    if learned.n_nodes != truth.n_nodes:
+        raise ValueError("PDAGs must have the same node count")
+    n = learned.n_nodes
+
+    def kind(g: PDAG, u: int, v: int) -> str:
+        if g.has_undirected(u, v):
+            return "und"
+        if g.has_directed(u, v):
+            return "fwd"
+        if g.has_directed(v, u):
+            return "bwd"
+        return "none"
+
+    distance = 0
+    for u in range(n):
+        for v in range(u + 1, n):
+            if kind(learned, u, v) != kind(truth, u, v):
+                distance += 1
+    return distance

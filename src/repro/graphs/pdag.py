@@ -1,0 +1,193 @@
+"""Partially directed acyclic graphs (PDAGs) and CPDAG utilities.
+
+Steps 2 and 3 of PC-stable operate on a PDAG: the skeleton's edges are
+progressively oriented (v-structures, then Meek rules) until the graph is a
+CPDAG — the canonical representative of the Markov equivalence class.
+
+Representation: two edge kinds over nodes ``0..n-1``:
+
+* undirected ``u - v`` (stored symmetrically), and
+* directed ``u -> v``.
+
+At most one kind may connect a pair.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+__all__ = ["PDAG"]
+
+
+class PDAG:
+    """Mixed graph with undirected and directed edges."""
+
+    __slots__ = ("_und", "_out", "_in")
+
+    def __init__(self, n_nodes: int) -> None:
+        if n_nodes < 0:
+            raise ValueError("n_nodes must be >= 0")
+        self._und: list[set[int]] = [set() for _ in range(n_nodes)]
+        self._out: list[set[int]] = [set() for _ in range(n_nodes)]
+        self._in: list[set[int]] = [set() for _ in range(n_nodes)]
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_skeleton(cls, skeleton) -> "PDAG":
+        """All-undirected PDAG from an :class:`UndirectedGraph`."""
+        g = cls(skeleton.n_nodes)
+        for u, v in skeleton.edges():
+            g.add_undirected(u, v)
+        return g
+
+    @classmethod
+    def from_dag_edges(cls, n_nodes: int, edges: Iterable[tuple[int, int]]) -> "PDAG":
+        g = cls(n_nodes)
+        for u, v in edges:
+            g.add_directed(u, v)
+        return g
+
+    def copy(self) -> "PDAG":
+        g = PDAG(self.n_nodes)
+        g._und = [set(s) for s in self._und]
+        g._out = [set(s) for s in self._out]
+        g._in = [set(s) for s in self._in]
+        return g
+
+    # ------------------------------------------------------------------ #
+    # mutation
+    # ------------------------------------------------------------------ #
+    def add_undirected(self, u: int, v: int) -> None:
+        self._check_pair(u, v)
+        if self.adjacent(u, v):
+            raise ValueError(f"nodes {u}, {v} already connected")
+        self._und[u].add(v)
+        self._und[v].add(u)
+
+    def add_directed(self, u: int, v: int) -> None:
+        self._check_pair(u, v)
+        if self.adjacent(u, v):
+            raise ValueError(f"nodes {u}, {v} already connected")
+        self._out[u].add(v)
+        self._in[v].add(u)
+
+    def orient(self, u: int, v: int) -> None:
+        """Turn the undirected edge ``u - v`` into ``u -> v``."""
+        if v not in self._und[u]:
+            raise ValueError(f"no undirected edge between {u} and {v}")
+        self._und[u].discard(v)
+        self._und[v].discard(u)
+        self._out[u].add(v)
+        self._in[v].add(u)
+
+    def remove_any_edge(self, u: int, v: int) -> None:
+        if v in self._und[u]:
+            self._und[u].discard(v)
+            self._und[v].discard(u)
+        elif v in self._out[u]:
+            self._out[u].discard(v)
+            self._in[v].discard(u)
+        elif u in self._out[v]:
+            self._out[v].discard(u)
+            self._in[u].discard(v)
+        else:
+            raise KeyError(f"no edge between {u} and {v}")
+
+    def _check_pair(self, u: int, v: int) -> None:
+        n = self.n_nodes
+        if not (0 <= u < n and 0 <= v < n):
+            raise ValueError(f"node out of range: ({u}, {v})")
+        if u == v:
+            raise ValueError("self-loops are not allowed")
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    @property
+    def n_nodes(self) -> int:
+        return len(self._und)
+
+    def adjacent(self, u: int, v: int) -> bool:
+        return v in self._und[u] or v in self._out[u] or u in self._out[v]
+
+    def has_undirected(self, u: int, v: int) -> bool:
+        return v in self._und[u]
+
+    def has_directed(self, u: int, v: int) -> bool:
+        return v in self._out[u]
+
+    def undirected_neighbors(self, u: int) -> set[int]:
+        return self._und[u]
+
+    def parents(self, u: int) -> set[int]:
+        return self._in[u]
+
+    def children(self, u: int) -> set[int]:
+        return self._out[u]
+
+    def adjacencies(self, u: int) -> set[int]:
+        return self._und[u] | self._out[u] | self._in[u]
+
+    def undirected_edges(self) -> Iterator[tuple[int, int]]:
+        for u in range(self.n_nodes):
+            for v in self._und[u]:
+                if u < v:
+                    yield (u, v)
+
+    def directed_edges(self) -> Iterator[tuple[int, int]]:
+        for u in range(self.n_nodes):
+            for v in self._out[u]:
+                yield (u, v)
+
+    @property
+    def n_undirected(self) -> int:
+        return sum(len(s) for s in self._und) // 2
+
+    @property
+    def n_directed(self) -> int:
+        return sum(len(s) for s in self._out)
+
+    def skeleton_edges(self) -> set[tuple[int, int]]:
+        """Unordered adjacencies as sorted pairs."""
+        out: set[tuple[int, int]] = set()
+        for u, v in self.undirected_edges():
+            out.add((u, v))
+        for u, v in self.directed_edges():
+            out.add((min(u, v), max(u, v)))
+        return out
+
+    def is_dag(self) -> bool:
+        """True when there are no undirected edges and no directed cycle."""
+        if self.n_undirected:
+            return False
+        return not self._has_directed_cycle()
+
+    def _has_directed_cycle(self) -> bool:
+        n = self.n_nodes
+        indeg = [len(self._in[i]) for i in range(n)]
+        stack = [i for i in range(n) if indeg[i] == 0]
+        seen = 0
+        while stack:
+            u = stack.pop()
+            seen += 1
+            for v in self._out[u]:
+                indeg[v] -= 1
+                if indeg[v] == 0:
+                    stack.append(v)
+        return seen != n
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PDAG):
+            return NotImplemented
+        return self._und == other._und and self._out == other._out
+
+    def __hash__(self) -> None:  # type: ignore[override]
+        raise TypeError("PDAG is mutable and unhashable")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PDAG(n_nodes={self.n_nodes}, undirected={self.n_undirected}, "
+            f"directed={self.n_directed})"
+        )

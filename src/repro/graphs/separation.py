@@ -1,0 +1,114 @@
+"""d-separation via the reachable-trail (Bayes-ball) algorithm.
+
+Used by the oracle CI test (:mod:`repro.citests.oracle`), which makes the
+whole PC-stable pipeline testable against exact graph-theoretic ground
+truth: with a d-separation oracle in place of statistical tests, PC-stable
+must recover the true CPDAG exactly.
+
+Implementation follows Koller & Friedman, *Probabilistic Graphical Models*,
+Algorithm 3.1 (``Reachable``): breadth-first search over ``(node,
+direction)`` states, where a collider is traversable iff the node is in
+``Z`` or has a descendant in ``Z``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Sequence
+
+from .dag import build_children, build_parents
+
+__all__ = ["d_separated", "DSeparationOracle"]
+
+
+def _ancestors_of(nodes: Iterable[int], parents: list[set[int]]) -> set[int]:
+    """``nodes`` together with all their ancestors."""
+    out: set[int] = set()
+    stack = list(nodes)
+    while stack:
+        u = stack.pop()
+        if u in out:
+            continue
+        out.add(u)
+        stack.extend(parents[u])
+    return out
+
+
+def d_separated(
+    n_nodes: int,
+    edges: Sequence[tuple[int, int]],
+    x: int,
+    y: int,
+    z: Iterable[int],
+) -> bool:
+    """True iff ``x`` and ``y`` are d-separated given ``z`` in the DAG."""
+    parents = build_parents(n_nodes, edges)
+    children = build_children(n_nodes, edges)
+    return _d_separated_prepared(parents, children, x, y, z)
+
+
+def _d_separated_prepared(
+    parents: list[set[int]],
+    children: list[set[int]],
+    x: int,
+    y: int,
+    z: Iterable[int],
+) -> bool:
+    zset = set(int(v) for v in z)
+    if x == y:
+        raise ValueError("x and y must differ")
+    if x in zset or y in zset:
+        raise ValueError("x and y must not be in the conditioning set")
+
+    # A node opens a collider iff it is in Z or has a descendant in Z,
+    # i.e. iff it belongs to Z union ancestors(Z).
+    collider_open = _ancestors_of(zset, parents)
+
+    # State (node, direction): direction "up" means the trail arrives at the
+    # node from one of its children (moving towards parents), "down" means it
+    # arrives from a parent (moving towards children).
+    UP, DOWN = 0, 1
+    queue: deque[tuple[int, int]] = deque([(x, UP)])
+    visited: set[tuple[int, int]] = set()
+    while queue:
+        node, direction = queue.popleft()
+        if (node, direction) in visited:
+            continue
+        visited.add((node, direction))
+        if node == y:
+            return False
+        if direction == UP:
+            if node not in zset:
+                for p in parents[node]:
+                    queue.append((p, UP))
+                for c in children[node]:
+                    queue.append((c, DOWN))
+        else:  # DOWN: arrived from a parent
+            if node not in zset:
+                for c in children[node]:
+                    queue.append((c, DOWN))
+            if node in collider_open:
+                for p in parents[node]:
+                    queue.append((p, UP))
+    return True
+
+
+class DSeparationOracle:
+    """Reusable d-separation queries against a fixed DAG.
+
+    Precomputes parent/child sets once; each query is then a single
+    Bayes-ball BFS.
+    """
+
+    def __init__(self, n_nodes: int, edges: Sequence[tuple[int, int]]) -> None:
+        self._parents = build_parents(n_nodes, edges)
+        self._children = build_children(n_nodes, edges)
+        self._n_nodes = n_nodes
+
+    @property
+    def n_nodes(self) -> int:
+        return self._n_nodes
+
+    def query(self, x: int, y: int, z: Iterable[int]) -> bool:
+        """True iff ``x ⟂ y | z`` in the DAG."""
+        return _d_separated_prepared(self._parents, self._children, x, y, z)

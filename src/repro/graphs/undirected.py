@@ -1,0 +1,111 @@
+"""Adjacency-set undirected graph used for the PC-stable skeleton phase.
+
+The skeleton phase only needs membership tests, neighbour enumeration and
+edge deletion, all O(1)/O(deg); adjacency sets give exactly that.  Per-depth
+*snapshots* of the adjacency structure provide PC-stable's order-independence
+guarantee (conditioning sets are always drawn from the frozen snapshot, never
+from the mutating graph).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+__all__ = ["UndirectedGraph"]
+
+
+class UndirectedGraph:
+    """Mutable undirected graph on nodes ``0..n-1``."""
+
+    __slots__ = ("_adj", "_n_edges")
+
+    def __init__(self, n_nodes: int) -> None:
+        if n_nodes < 0:
+            raise ValueError("n_nodes must be >= 0")
+        self._adj: list[set[int]] = [set() for _ in range(n_nodes)]
+        self._n_edges = 0
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def complete(cls, n_nodes: int) -> "UndirectedGraph":
+        """The complete graph PC-stable starts from (Algorithm 1, line 3)."""
+        g = cls(n_nodes)
+        full = set(range(n_nodes))
+        for i in range(n_nodes):
+            g._adj[i] = full - {i}
+        g._n_edges = n_nodes * (n_nodes - 1) // 2
+        return g
+
+    @classmethod
+    def from_edges(cls, n_nodes: int, edges: Iterable[tuple[int, int]]) -> "UndirectedGraph":
+        g = cls(n_nodes)
+        for u, v in edges:
+            g.add_edge(u, v)
+        return g
+
+    def copy(self) -> "UndirectedGraph":
+        g = UndirectedGraph(self.n_nodes)
+        g._adj = [set(s) for s in self._adj]
+        g._n_edges = self._n_edges
+        return g
+
+    # ------------------------------------------------------------------ #
+    # basic operations
+    # ------------------------------------------------------------------ #
+    @property
+    def n_nodes(self) -> int:
+        return len(self._adj)
+
+    @property
+    def n_edges(self) -> int:
+        return self._n_edges
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return v in self._adj[u]
+
+    def add_edge(self, u: int, v: int) -> None:
+        if u == v:
+            raise ValueError("self-loops are not allowed")
+        if v not in self._adj[u]:
+            self._adj[u].add(v)
+            self._adj[v].add(u)
+            self._n_edges += 1
+
+    def remove_edge(self, u: int, v: int) -> None:
+        if v not in self._adj[u]:
+            raise KeyError(f"edge ({u}, {v}) not in graph")
+        self._adj[u].discard(v)
+        self._adj[v].discard(u)
+        self._n_edges -= 1
+
+    def neighbors(self, u: int) -> set[int]:
+        """Live adjacency set (mutates with the graph) — callers needing the
+        PC-stable snapshot semantics must copy (see :meth:`adjacency_snapshot`)."""
+        return self._adj[u]
+
+    def degree(self, u: int) -> int:
+        return len(self._adj[u])
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Edges as ordered pairs ``(u, v)`` with ``u < v``."""
+        for u in range(self.n_nodes):
+            for v in self._adj[u]:
+                if u < v:
+                    yield (u, v)
+
+    def adjacency_snapshot(self) -> list[frozenset[int]]:
+        """Frozen copy of every adjacency set (Algorithm 1, lines 6-8)."""
+        return [frozenset(s) for s in self._adj]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, UndirectedGraph):
+            return NotImplemented
+        return self._adj == other._adj
+
+    def __hash__(self) -> None:  # type: ignore[override]
+        raise TypeError("UndirectedGraph is mutable and unhashable")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"UndirectedGraph(n_nodes={self.n_nodes}, n_edges={self.n_edges})"

@@ -1,0 +1,21 @@
+"""Inference substrate: exact (variable elimination, junction tree),
+approximate (rejection, likelihood weighting) and interventional
+(do-operator) queries over discrete Bayesian networks."""
+
+from .intervention import intervene, interventional_marginal
+from .junction_tree import JunctionTree, min_fill_order, moralize, triangulated_cliques
+from .sampling_inference import likelihood_weighting, rejection_sampling
+from .variable_elimination import Factor, VariableElimination
+
+__all__ = [
+    "Factor",
+    "VariableElimination",
+    "JunctionTree",
+    "moralize",
+    "min_fill_order",
+    "triangulated_cliques",
+    "rejection_sampling",
+    "likelihood_weighting",
+    "intervene",
+    "interventional_marginal",
+]

@@ -1,0 +1,180 @@
+"""Exact inference by variable elimination.
+
+A small but complete inference substrate so the learned networks are
+usable end-to-end (learn structure -> extend to DAG -> fit CPTs -> query).
+Supports posterior marginals ``P(query | evidence)`` over discrete
+networks via sum-product variable elimination with a min-degree
+elimination heuristic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..networks.bayesnet import DiscreteBayesianNetwork
+
+__all__ = ["Factor", "VariableElimination"]
+
+
+@dataclass(frozen=True)
+class Factor:
+    """A non-negative table over a tuple of variables.
+
+    ``values`` has one axis per variable in ``variables`` (same order).
+    """
+
+    variables: tuple[int, ...]
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        values = np.asarray(self.values, dtype=np.float64)
+        if values.ndim != len(self.variables):
+            raise ValueError("factor arity does not match its variable list")
+        if len(set(self.variables)) != len(self.variables):
+            raise ValueError("duplicate variable in factor")
+        object.__setattr__(self, "values", values)
+        object.__setattr__(self, "variables", tuple(int(v) for v in self.variables))
+
+    # ------------------------------------------------------------------ #
+    def multiply(self, other: "Factor") -> "Factor":
+        """Pointwise product with broadcasting over the union scope."""
+        union = list(self.variables)
+        for v in other.variables:
+            if v not in union:
+                union.append(v)
+        a = self._expand(union)
+        b = other._expand(union)
+        return Factor(tuple(union), a * b)
+
+    def _expand(self, union: Sequence[int]) -> np.ndarray:
+        """View of ``values`` broadcast over the ``union`` scope."""
+        src_axes = {v: i for i, v in enumerate(self.variables)}
+        # Move existing axes into union order, insert size-1 axes elsewhere.
+        order = [src_axes[v] for v in union if v in src_axes]
+        arr = np.transpose(self.values, order) if order else self.values
+        shape = []
+        k = 0
+        for v in union:
+            if v in src_axes:
+                shape.append(arr.shape[k])
+                k += 1
+            else:
+                shape.append(1)
+        return arr.reshape(shape)
+
+    def sum_out(self, variable: int) -> "Factor":
+        if variable not in self.variables:
+            raise ValueError(f"variable {variable} not in factor scope")
+        axis = self.variables.index(variable)
+        remaining = tuple(v for v in self.variables if v != variable)
+        return Factor(remaining, self.values.sum(axis=axis))
+
+    def reduce(self, variable: int, value: int) -> "Factor":
+        """Condition on ``variable = value`` (drops the axis)."""
+        if variable not in self.variables:
+            return self
+        axis = self.variables.index(variable)
+        remaining = tuple(v for v in self.variables if v != variable)
+        return Factor(remaining, np.take(self.values, value, axis=axis))
+
+    def normalised(self) -> "Factor":
+        total = self.values.sum()
+        if total <= 0:
+            raise ValueError("factor sums to zero; evidence has probability 0")
+        return Factor(self.variables, self.values / total)
+
+
+class VariableElimination:
+    """Sum-product variable elimination over a discrete network."""
+
+    def __init__(self, network: DiscreteBayesianNetwork) -> None:
+        self.network = network
+        self._factors = [self._node_factor(i) for i in range(network.n_nodes)]
+
+    def _node_factor(self, node: int) -> Factor:
+        cpt = self.network.cpt(node)
+        scope = tuple(cpt.parents) + (node,)
+        shape = tuple(int(self.network.arities[v]) for v in scope)
+        return Factor(scope, cpt.table.reshape(shape))
+
+    # ------------------------------------------------------------------ #
+    def query(
+        self,
+        variables: Sequence[int] | int,
+        evidence: Mapping[int, int] | None = None,
+    ) -> Factor:
+        """Posterior joint ``P(variables | evidence)`` as a normalised
+        factor (axes in the order given)."""
+        if isinstance(variables, int):
+            variables = [variables]
+        query_vars = [int(v) for v in variables]
+        evidence = {int(k): int(v) for k, v in (evidence or {}).items()}
+        for v in query_vars:
+            if v in evidence:
+                raise ValueError(f"query variable {v} is fixed by evidence")
+            if not 0 <= v < self.network.n_nodes:
+                raise ValueError(f"variable {v} out of range")
+        for k, val in evidence.items():
+            if not 0 <= val < int(self.network.arities[k]):
+                raise ValueError(f"evidence value {val} out of range for variable {k}")
+
+        factors = [f for f in self._factors]
+        for k, val in evidence.items():
+            factors = [f.reduce(k, val) for f in factors]
+
+        keep = set(query_vars)
+        to_eliminate = {
+            v
+            for f in factors
+            for v in f.variables
+            if v not in keep
+        }
+
+        while to_eliminate:
+            var = self._min_degree_choice(factors, to_eliminate)
+            involved = [f for f in factors if var in f.variables]
+            rest = [f for f in factors if var not in f.variables]
+            product = involved[0]
+            for f in involved[1:]:
+                product = product.multiply(f)
+            factors = rest + [product.sum_out(var)]
+            to_eliminate.discard(var)
+
+        result = factors[0]
+        for f in factors[1:]:
+            result = result.multiply(f)
+        # Scalar factors (all variables eliminated / evidence-only) may
+        # remain as 0-d arrays; the final scope must be the query scope.
+        result = Factor(
+            tuple(query_vars),
+            result._expand(query_vars).reshape(
+                tuple(int(self.network.arities[v]) for v in query_vars)
+            )
+            * 1.0,
+        )
+        return result.normalised()
+
+    def marginal(self, variable: int, evidence: Mapping[int, int] | None = None) -> np.ndarray:
+        """Posterior marginal distribution of one variable."""
+        return self.query([variable], evidence).values
+
+    @staticmethod
+    def _min_degree_choice(factors: list[Factor], candidates: set[int]) -> int:
+        """Eliminate the variable appearing with the fewest distinct
+        neighbours (min-degree heuristic)."""
+        best_var = -1
+        best_degree = None
+        for var in sorted(candidates):
+            neighbours: set[int] = set()
+            for f in factors:
+                if var in f.variables:
+                    neighbours.update(f.variables)
+            neighbours.discard(var)
+            degree = len(neighbours)
+            if best_degree is None or degree < best_degree:
+                best_degree = degree
+                best_var = var
+        return best_var

@@ -1,0 +1,33 @@
+"""Bayesian networks: representation, generators, classics, Table II catalog."""
+
+from .bayesnet import CPT, DiscreteBayesianNetwork
+from .catalog import TABLE_II, NetworkSpec, catalog_names, get_network, spec
+from .classic import asia, cancer, sprinkler
+from .fit import fit_cpts, log_likelihood
+from .generators import (
+    chain_network,
+    naive_bayes_network,
+    random_cpts,
+    random_dag,
+    random_network,
+)
+
+__all__ = [
+    "CPT",
+    "DiscreteBayesianNetwork",
+    "random_dag",
+    "random_cpts",
+    "random_network",
+    "chain_network",
+    "naive_bayes_network",
+    "fit_cpts",
+    "log_likelihood",
+    "asia",
+    "cancer",
+    "sprinkler",
+    "TABLE_II",
+    "NetworkSpec",
+    "catalog_names",
+    "get_network",
+    "spec",
+]

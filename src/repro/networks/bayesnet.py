@@ -1,0 +1,196 @@
+"""Discrete Bayesian network: DAG structure plus conditional probability tables.
+
+This is the substrate that generates the benchmark datasets of the paper's
+Table II.  A network couples
+
+* a DAG over ``n`` discrete variables (parents stored per node), and
+* one CPT per node: an array of shape ``(n_parent_configs, arity)`` whose
+  rows are the conditional distributions ``P(V_i | parent config)``, with
+  parent configurations enumerated in mixed-radix order (first parent most
+  significant), matching :func:`repro.citests.contingency.encode_columns`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["DiscreteBayesianNetwork", "CPT"]
+
+
+@dataclass(frozen=True)
+class CPT:
+    """Conditional probability table of one node.
+
+    ``table[c, v]`` is ``P(node = v | parents take configuration c)`` where
+    ``c`` is the mixed-radix encoding of the parent values (first listed
+    parent most significant).
+    """
+
+    parents: tuple[int, ...]
+    table: np.ndarray
+
+    def __post_init__(self) -> None:
+        table = np.asarray(self.table, dtype=np.float64)
+        if table.ndim != 2:
+            raise ValueError("CPT table must be 2-D (n_parent_configs, arity)")
+        if np.any(table < -1e-12):
+            raise ValueError("CPT entries must be non-negative")
+        sums = table.sum(axis=1)
+        if not np.allclose(sums, 1.0, atol=1e-8):
+            raise ValueError("CPT rows must each sum to 1")
+        object.__setattr__(self, "parents", tuple(int(p) for p in self.parents))
+        object.__setattr__(self, "table", table)
+
+    @property
+    def arity(self) -> int:
+        return self.table.shape[1]
+
+    @property
+    def n_parent_configs(self) -> int:
+        return self.table.shape[0]
+
+
+class DiscreteBayesianNetwork:
+    """Immutable discrete Bayesian network.
+
+    Parameters
+    ----------
+    arities:
+        Per-node category counts.
+    cpts:
+        One :class:`CPT` per node; ``cpts[i].parents`` are the parent node
+        indices of node ``i`` and the table row count must equal the product
+        of the parents' arities.
+    names:
+        Optional node names.
+    """
+
+    def __init__(
+        self,
+        arities: Sequence[int],
+        cpts: Sequence[CPT],
+        names: Iterable[str] | None = None,
+    ) -> None:
+        self._arities = np.asarray(arities, dtype=np.int64)
+        if np.any(self._arities < 1):
+            raise ValueError("arities must be >= 1")
+        n = self._arities.shape[0]
+        if len(cpts) != n:
+            raise ValueError(f"{len(cpts)} CPTs for {n} nodes")
+        self._names = tuple(names) if names is not None else tuple(f"V{i}" for i in range(n))
+        if len(self._names) != n:
+            raise ValueError(f"{len(self._names)} names for {n} nodes")
+        for i, cpt in enumerate(cpts):
+            if cpt.arity != self._arities[i]:
+                raise ValueError(
+                    f"node {i}: CPT arity {cpt.arity} != declared arity {self._arities[i]}"
+                )
+            for p in cpt.parents:
+                if not 0 <= p < n:
+                    raise ValueError(f"node {i}: parent {p} out of range")
+                if p == i:
+                    raise ValueError(f"node {i} cannot be its own parent")
+            expected = int(np.prod([self._arities[p] for p in cpt.parents], dtype=np.int64))
+            if cpt.n_parent_configs != expected:
+                raise ValueError(
+                    f"node {i}: CPT has {cpt.n_parent_configs} parent configs, expected {expected}"
+                )
+        self._cpts = tuple(cpts)
+        self._order = self._topological_order()
+
+    # ------------------------------------------------------------------ #
+    # structure accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def n_nodes(self) -> int:
+        return self._arities.shape[0]
+
+    @property
+    def arities(self) -> np.ndarray:
+        return self._arities
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return self._names
+
+    def cpt(self, i: int) -> CPT:
+        return self._cpts[i]
+
+    def parents(self, i: int) -> tuple[int, ...]:
+        return self._cpts[i].parents
+
+    def edges(self) -> list[tuple[int, int]]:
+        """Directed edges ``(parent, child)`` in node order."""
+        out: list[tuple[int, int]] = []
+        for child in range(self.n_nodes):
+            for parent in self._cpts[child].parents:
+                out.append((parent, child))
+        return out
+
+    @property
+    def n_edges(self) -> int:
+        return sum(len(c.parents) for c in self._cpts)
+
+    def topological_order(self) -> tuple[int, ...]:
+        return self._order
+
+    def _topological_order(self) -> tuple[int, ...]:
+        n = self.n_nodes
+        indeg = [len(self._cpts[i].parents) for i in range(n)]
+        children: list[list[int]] = [[] for _ in range(n)]
+        for child in range(n):
+            for p in self._cpts[child].parents:
+                children[p].append(child)
+        stack = [i for i in range(n) if indeg[i] == 0]
+        order: list[int] = []
+        while stack:
+            u = stack.pop()
+            order.append(u)
+            for v in children[u]:
+                indeg[v] -= 1
+                if indeg[v] == 0:
+                    stack.append(v)
+        if len(order) != n:
+            raise ValueError("parent structure contains a directed cycle")
+        return tuple(order)
+
+    # ------------------------------------------------------------------ #
+    # probability computations
+    # ------------------------------------------------------------------ #
+    def log_probability(self, assignment: Sequence[int] | Mapping[int, int]) -> float:
+        """Log joint probability of one complete assignment."""
+        if isinstance(assignment, Mapping):
+            values = [assignment[i] for i in range(self.n_nodes)]
+        else:
+            values = list(assignment)
+        if len(values) != self.n_nodes:
+            raise ValueError("assignment must cover every node")
+        total = 0.0
+        for i in range(self.n_nodes):
+            cpt = self._cpts[i]
+            cfg = 0
+            for p in cpt.parents:
+                cfg = cfg * int(self._arities[p]) + int(values[p])
+            prob = cpt.table[cfg, int(values[i])]
+            if prob <= 0.0:
+                return float("-inf")
+            total += float(np.log(prob))
+        return total
+
+    def to_networkx(self):
+        """Directed graph view (requires networkx)."""
+        import networkx as nx
+
+        g = nx.DiGraph()
+        g.add_nodes_from(range(self.n_nodes))
+        g.add_edges_from(self.edges())
+        return g
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DiscreteBayesianNetwork(n_nodes={self.n_nodes}, n_edges={self.n_edges}, "
+            f"max_arity={int(self._arities.max()) if self.n_nodes else 0})"
+        )

@@ -1,0 +1,120 @@
+"""Hand-coded classic benchmark networks with exact published structure.
+
+These small textbook networks have exact, well-known structures and CPTs, so
+they serve as ground truth for correctness tests (oracle recovery, data
+recovery at large sample sizes) independent of the synthetic generators.
+
+* ``sprinkler`` — the 4-node Cloudy/Sprinkler/Rain/WetGrass network
+  (Pearl; Russell & Norvig).
+* ``asia`` — Lauritzen & Spiegelhalter's 8-node chest-clinic network.
+* ``cancer`` — the 5-node Pollution/Smoker/Cancer/Xray/Dyspnoea network
+  (Korb & Nicholson).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .bayesnet import CPT, DiscreteBayesianNetwork
+
+__all__ = ["sprinkler", "asia", "cancer"]
+
+
+def sprinkler() -> DiscreteBayesianNetwork:
+    """Cloudy -> {Sprinkler, Rain} -> WetGrass.  All variables binary
+    (0 = false, 1 = true)."""
+    names = ("Cloudy", "Sprinkler", "Rain", "WetGrass")
+    arities = [2, 2, 2, 2]
+    cpts = [
+        CPT(parents=(), table=np.array([[0.5, 0.5]])),
+        # P(Sprinkler | Cloudy): sprinkler likely when not cloudy
+        CPT(parents=(0,), table=np.array([[0.5, 0.5], [0.9, 0.1]])),
+        # P(Rain | Cloudy)
+        CPT(parents=(0,), table=np.array([[0.8, 0.2], [0.2, 0.8]])),
+        # P(WetGrass | Sprinkler, Rain), rows ordered (S,R) = 00,01,10,11
+        CPT(
+            parents=(1, 2),
+            table=np.array(
+                [
+                    [1.00, 0.00],
+                    [0.10, 0.90],
+                    [0.10, 0.90],
+                    [0.01, 0.99],
+                ]
+            ),
+        ),
+    ]
+    return DiscreteBayesianNetwork(arities, cpts, names)
+
+
+def asia() -> DiscreteBayesianNetwork:
+    """Lauritzen & Spiegelhalter (1988) chest-clinic network.
+
+    Nodes (all binary, 0 = no, 1 = yes)::
+
+        Asia -> TB                    Smoking -> LungCancer
+        TB -> Either <- LungCancer    Smoking -> Bronchitis
+        Either -> Xray                Either -> Dysp <- Bronchitis
+    """
+    names = ("Asia", "TB", "Smoking", "LungCancer", "Bronchitis", "Either", "Xray", "Dysp")
+    A, T, S, L, B, E, X, D = range(8)
+    arities = [2] * 8
+    cpts = [None] * 8
+    cpts[A] = CPT(parents=(), table=np.array([[0.99, 0.01]]))
+    cpts[T] = CPT(parents=(A,), table=np.array([[0.99, 0.01], [0.95, 0.05]]))
+    cpts[S] = CPT(parents=(), table=np.array([[0.5, 0.5]]))
+    cpts[L] = CPT(parents=(S,), table=np.array([[0.99, 0.01], [0.90, 0.10]]))
+    cpts[B] = CPT(parents=(S,), table=np.array([[0.70, 0.30], [0.40, 0.60]]))
+    # Either = TB or LungCancer (deterministic OR, softened slightly so that
+    # every configuration has positive probability; exact zeros break G^2
+    # degrees of freedom and the original network is near-deterministic).
+    eps = 1e-3
+    cpts[E] = CPT(
+        parents=(T, L),
+        table=np.array(
+            [
+                [1 - eps, eps],
+                [eps, 1 - eps],
+                [eps, 1 - eps],
+                [eps, 1 - eps],
+            ]
+        ),
+    )
+    cpts[X] = CPT(parents=(E,), table=np.array([[0.95, 0.05], [0.02, 0.98]]))
+    cpts[D] = CPT(
+        parents=(B, E),
+        table=np.array(
+            [
+                [0.9, 0.1],
+                [0.3, 0.7],
+                [0.2, 0.8],
+                [0.1, 0.9],
+            ]
+        ),
+    )
+    return DiscreteBayesianNetwork(arities, cpts, names)  # type: ignore[arg-type]
+
+
+def cancer() -> DiscreteBayesianNetwork:
+    """Korb & Nicholson's Cancer network:
+    Pollution -> Cancer <- Smoker; Cancer -> {Xray, Dyspnoea}."""
+    names = ("Pollution", "Smoker", "Cancer", "Xray", "Dyspnoea")
+    P, S, C, X, D = range(5)
+    arities = [2] * 5
+    cpts = [None] * 5
+    cpts[P] = CPT(parents=(), table=np.array([[0.9, 0.1]]))  # 0 = low, 1 = high
+    cpts[S] = CPT(parents=(), table=np.array([[0.7, 0.3]]))
+    cpts[C] = CPT(
+        parents=(P, S),
+        table=np.array(
+            [
+                [0.999, 0.001],
+                [0.97, 0.03],
+                [0.95, 0.05],
+                [0.92, 0.08],
+            ]
+        ),
+    )
+    cpts[X] = CPT(parents=(C,), table=np.array([[0.8, 0.2], [0.1, 0.9]]))
+    cpts[D] = CPT(parents=(C,), table=np.array([[0.7, 0.3], [0.35, 0.65]]))
+    return DiscreteBayesianNetwork(arities, cpts, names)  # type: ignore[arg-type]

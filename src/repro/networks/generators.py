@@ -1,0 +1,194 @@
+"""Random discrete Bayesian network generators.
+
+The paper evaluates on eight benchmark networks (Table II).  Where the
+original ``.bif`` files are unavailable this module generates deterministic
+synthetic stand-ins matched on the quantities that drive PC-stable cost:
+node count, edge count, degree distribution shape, and variable arities.
+
+The DAG sampler draws a uniformly random topological order and then selects
+``n_edges`` distinct (ancestor, descendant) pairs, optionally biased so that
+a few hub nodes concentrate degree (benchmark networks are far from
+degree-regular, and skewed degree is precisely what causes the edge-level
+load imbalance the paper attacks).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .bayesnet import CPT, DiscreteBayesianNetwork
+
+__all__ = ["random_dag", "random_cpts", "random_network", "chain_network", "naive_bayes_network"]
+
+
+def random_dag(
+    n_nodes: int,
+    n_edges: int,
+    rng: np.random.Generator | int | None = None,
+    max_parents: int | None = 6,
+    hub_bias: float = 1.5,
+) -> list[tuple[int, int]]:
+    """Sample a random DAG as a list of directed edges ``(parent, child)``.
+
+    Parameters
+    ----------
+    n_nodes, n_edges:
+        Size of the graph; ``n_edges`` must not exceed what ``max_parents``
+        and the complete DAG allow.
+    rng:
+        Seed or generator for determinism.
+    max_parents:
+        Cap on in-degree (CPT size is exponential in parent count, so
+        benchmark-like networks keep this small).  ``None`` disables the cap.
+    hub_bias:
+        Exponent >= 0 skewing parent selection towards earlier-ordered nodes;
+        larger values produce stronger hubs (more load imbalance).  ``0``
+        gives uniform attachment.
+    """
+    if n_nodes < 1:
+        raise ValueError("n_nodes must be >= 1")
+    max_possible = n_nodes * (n_nodes - 1) // 2
+    if max_parents is not None:
+        max_possible = min(max_possible, sum(min(i, max_parents) for i in range(n_nodes)))
+    if not 0 <= n_edges <= max_possible:
+        raise ValueError(f"n_edges must be in [0, {max_possible}], got {n_edges}")
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+
+    order = rng.permutation(n_nodes)
+    # position[v] = rank of v in the topological order
+    position = np.empty(n_nodes, dtype=np.int64)
+    position[order] = np.arange(n_nodes)
+
+    parent_count = np.zeros(n_nodes, dtype=np.int64)
+    chosen: set[tuple[int, int]] = set()
+    edges: list[tuple[int, int]] = []
+
+    # Candidate children weighted uniformly; candidate parents weighted by
+    # rank**(-hub_bias) so early nodes become hubs.
+    attempts = 0
+    max_attempts = 200 * max(n_edges, 1) + 1000
+    while len(edges) < n_edges:
+        attempts += 1
+        if attempts > max_attempts:
+            # Fall back to deterministic fill over remaining legal pairs.
+            for child_rank in range(1, n_nodes):
+                child = int(order[child_rank])
+                if max_parents is not None and parent_count[child] >= max_parents:
+                    continue
+                for parent_rank in range(child_rank):
+                    parent = int(order[parent_rank])
+                    if (parent, child) in chosen:
+                        continue
+                    chosen.add((parent, child))
+                    edges.append((parent, child))
+                    parent_count[child] += 1
+                    if len(edges) == n_edges or (
+                        max_parents is not None and parent_count[child] >= max_parents
+                    ):
+                        break
+                if len(edges) == n_edges:
+                    break
+            if len(edges) < n_edges:
+                raise RuntimeError("could not place the requested number of edges")
+            break
+        child_rank = int(rng.integers(1, n_nodes))
+        child = int(order[child_rank])
+        if max_parents is not None and parent_count[child] >= max_parents:
+            continue
+        if hub_bias > 0:
+            weights = (np.arange(1, child_rank + 1, dtype=np.float64)) ** (-hub_bias)
+            weights /= weights.sum()
+            parent_rank = int(rng.choice(child_rank, p=weights))
+        else:
+            parent_rank = int(rng.integers(0, child_rank))
+        parent = int(order[parent_rank])
+        if (parent, child) in chosen:
+            continue
+        chosen.add((parent, child))
+        edges.append((parent, child))
+        parent_count[child] += 1
+    return edges
+
+
+def random_cpts(
+    arities: np.ndarray,
+    edges: list[tuple[int, int]],
+    rng: np.random.Generator | int | None = None,
+    concentration: float = 0.5,
+) -> list[CPT]:
+    """Draw Dirichlet CPTs for a given structure.
+
+    ``concentration < 1`` yields peaked conditional distributions, which keep
+    dependencies detectable by G^2 tests at paper-scale sample sizes; near-
+    uniform CPTs would make edges statistically invisible and collapse the
+    learned skeleton.
+    """
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    n = len(arities)
+    parents: list[list[int]] = [[] for _ in range(n)]
+    for p, c in edges:
+        parents[c].append(p)
+    cpts = []
+    for i in range(n):
+        ps = tuple(sorted(parents[i]))
+        n_cfg = int(np.prod([arities[p] for p in ps], dtype=np.int64))
+        alpha = np.full(int(arities[i]), concentration)
+        table = rng.dirichlet(alpha, size=n_cfg)
+        # Avoid exact zeros so log-probabilities stay finite.
+        table = np.clip(table, 1e-6, None)
+        table /= table.sum(axis=1, keepdims=True)
+        cpts.append(CPT(parents=ps, table=table))
+    return cpts
+
+
+def random_network(
+    n_nodes: int,
+    n_edges: int,
+    rng: np.random.Generator | int | None = None,
+    arity_range: tuple[int, int] = (2, 4),
+    max_parents: int | None = 6,
+    hub_bias: float = 1.5,
+    concentration: float = 0.5,
+    names: tuple[str, ...] | None = None,
+) -> DiscreteBayesianNetwork:
+    """Random network with ``n_nodes`` nodes, ``n_edges`` edges and arities
+    drawn uniformly from ``arity_range`` (inclusive)."""
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    lo, hi = arity_range
+    if lo < 2 and n_nodes > 0:
+        raise ValueError("arities below 2 carry no information")
+    arities = rng.integers(lo, hi + 1, size=n_nodes)
+    edges = random_dag(n_nodes, n_edges, rng, max_parents=max_parents, hub_bias=hub_bias)
+    cpts = random_cpts(arities, edges, rng, concentration=concentration)
+    return DiscreteBayesianNetwork(arities, cpts, names)
+
+
+def chain_network(
+    n_nodes: int,
+    arity: int = 2,
+    rng: np.random.Generator | int | None = None,
+    concentration: float = 0.4,
+) -> DiscreteBayesianNetwork:
+    """Markov chain ``V0 -> V1 -> ... -> V{n-1}`` (a minimal-degree workload)."""
+    arities = np.full(n_nodes, arity, dtype=np.int64)
+    edges = [(i, i + 1) for i in range(n_nodes - 1)]
+    cpts = random_cpts(arities, edges, rng, concentration=concentration)
+    return DiscreteBayesianNetwork(arities, cpts)
+
+
+def naive_bayes_network(
+    n_children: int,
+    arity: int = 2,
+    rng: np.random.Generator | int | None = None,
+    concentration: float = 0.4,
+) -> DiscreteBayesianNetwork:
+    """Star network ``V0 -> Vi`` for all i (a maximal-hub workload: the
+    extreme of the load imbalance motivating the dynamic work pool)."""
+    n = n_children + 1
+    arities = np.full(n, arity, dtype=np.int64)
+    edges = [(0, i) for i in range(1, n)]
+    cpts = random_cpts(arities, edges, rng, concentration=concentration)
+    return DiscreteBayesianNetwork(arities, cpts)

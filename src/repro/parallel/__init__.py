@@ -1,0 +1,87 @@
+"""Parallel skeleton-phase backends (edge-, sample- and CI-level).
+
+All three granularities of Fig. 1 are implemented and produce output
+identical to the sequential engine; they differ only in scheduling, which is
+the property under study.  See the individual modules for the faithfulness
+notes of each scheme.
+"""
+
+from __future__ import annotations
+
+from ..citests.base import ConditionalIndependenceTest
+from ..core.result import SkeletonStats
+from ..core.sepsets import SepSetStore
+from ..core.trace import TraceRecorder
+from ..datasets.dataset import DiscreteDataset
+from ..graphs.undirected import UndirectedGraph
+from .backends import WorkerPool
+from .ci_level import ci_level_skeleton
+from .edge_level import edge_level_skeleton
+from .sample_level import sample_level_skeleton
+
+__all__ = [
+    "WorkerPool",
+    "ci_level_skeleton",
+    "edge_level_skeleton",
+    "sample_level_skeleton",
+    "run_parallel_skeleton",
+]
+
+
+def run_parallel_skeleton(
+    dataset: DiscreteDataset,
+    tester: ConditionalIndependenceTest,
+    parallelism: str = "ci",
+    n_jobs: int = 2,
+    backend: str = "process",
+    gs: int = 1,
+    group_endpoints: bool = True,
+    max_depth: int | None = None,
+    alpha: float = 0.05,
+    test: str = "g2",
+    dof_adjust: str = "structural",
+    recorder: TraceRecorder | None = None,
+    batch_factor: int = 4,
+) -> tuple[UndirectedGraph, SepSetStore, SkeletonStats]:
+    """Dispatch the skeleton phase to the requested parallel granularity.
+
+    ``tester`` is only consulted for configuration defaults (workers build
+    their own testers); pass the same ``test``/``alpha``/``dof_adjust`` the
+    sequential run would use.
+    """
+    del tester  # workers rebuild their own testers; kept for API symmetry
+    if parallelism not in ("ci", "edge", "sample"):
+        raise ValueError(f"unknown parallelism {parallelism!r}")
+    if parallelism == "sample":
+        return sample_level_skeleton(
+            dataset,
+            dataset.n_variables,
+            n_jobs=n_jobs,
+            backend=backend,
+            alpha=alpha,
+            dof_adjust=dof_adjust,
+            group_endpoints=group_endpoints,
+            max_depth=max_depth,
+            recorder=recorder,
+        )
+    with WorkerPool(
+        dataset, n_jobs, backend=backend, test=test, alpha=alpha, dof_adjust=dof_adjust
+    ) as workers:
+        if parallelism == "ci":
+            return ci_level_skeleton(
+                workers,
+                dataset.n_variables,
+                gs=gs,
+                group_endpoints=group_endpoints,
+                max_depth=max_depth,
+                batch_factor=batch_factor,
+                recorder=recorder,
+                n_samples=dataset.n_samples,
+            )
+        return edge_level_skeleton(
+            workers,
+            dataset.n_variables,
+            group_endpoints=group_endpoints,
+            max_depth=max_depth,
+            recorder=recorder,
+        )

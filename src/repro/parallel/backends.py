@@ -1,0 +1,159 @@
+"""Worker-pool plumbing shared by the three parallel granularities.
+
+Process workers are created once per learning run (the paper's OpenMP
+threads live for the whole parallel region; re-spawning per depth would be
+the "parallel overhead" failure mode).  Each worker builds its own CI tester
+from the dataset shipped at initialisation, so no test-time traffic carries
+data — only compact ``(edge, conditioning sets)`` descriptions and boolean
+verdicts cross the process boundary.
+
+The ``thread`` backend exists for comparison and for the sample-level
+scheme (where shared memory matters most); CPython's GIL limits its
+speedup, which is documented honestly in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Sequence
+
+from ..citests.base import ConditionalIndependenceTest
+from ..datasets.dataset import DiscreteDataset
+
+__all__ = ["WorkerPool", "GroupJob", "EdgeJob"]
+
+# Module-level worker state (set by the process-pool initializer).
+_WORKER_TESTER: ConditionalIndependenceTest | None = None
+
+GroupJob = tuple[int, int, tuple[tuple[int, ...], ...]]
+# (u, v, conditioning sets) -> per-set independence verdicts
+EdgeJob = tuple[int, int, tuple[int, ...], tuple[int, ...], int]
+# (u, v, side1, side2, depth) -> (n_tests_executed, accepting set | None)
+
+
+def _init_worker(dataset: DiscreteDataset, test: str, alpha: float, dof_adjust: str) -> None:
+    global _WORKER_TESTER
+    from ..core.learn import make_tester
+
+    _WORKER_TESTER = make_tester(dataset, test, alpha=alpha, dof_adjust=dof_adjust)
+
+
+def _eval_group(job: GroupJob) -> list[bool]:
+    """CI-level work unit: evaluate a group of conditioning sets for one
+    edge; returns one verdict per set."""
+    assert _WORKER_TESTER is not None, "worker not initialised"
+    u, v, sets = job
+    results = _WORKER_TESTER.test_group(u, v, list(sets))
+    return [r.independent for r in results]
+
+
+def _eval_edge(job: EdgeJob) -> tuple[int, tuple[int, ...] | None]:
+    """Edge-level work unit: process one edge task to completion."""
+    assert _WORKER_TESTER is not None, "worker not initialised"
+    from ..core.edges import EdgeTask
+
+    u, v, side1, side2, depth = job
+    task = EdgeTask(u, v, side1, side2, depth)
+    executed = 0
+    while not task.done:
+        sets = task.next_group(1)
+        task.advance(1)
+        executed += 1
+        res = _WORKER_TESTER.test(u, v, sets[0])
+        if res.independent:
+            return executed, res.s
+    return executed, None
+
+
+class WorkerPool:
+    """An executor plus the matching group/edge evaluation callables.
+
+    ``process`` backend: module-level worker functions with per-process
+    testers (zero shared state).  ``thread`` backend: closures over
+    thread-local testers built lazily per worker thread (the dataset arrays
+    are shared read-only, as OpenMP threads would share them).
+    """
+
+    def __init__(
+        self,
+        dataset: DiscreteDataset,
+        n_jobs: int,
+        backend: str = "process",
+        test: str = "g2",
+        alpha: float = 0.05,
+        dof_adjust: str = "structural",
+    ) -> None:
+        if n_jobs < 1:
+            raise ValueError("n_jobs must be >= 1")
+        if backend not in ("process", "thread"):
+            raise ValueError("backend must be 'process' or 'thread'")
+        self.n_jobs = n_jobs
+        self.backend = backend
+        self._executor: Executor
+        if backend == "process":
+            try:
+                ctx = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX platforms
+                ctx = multiprocessing.get_context("spawn")
+            self._executor = ProcessPoolExecutor(
+                max_workers=n_jobs,
+                mp_context=ctx,
+                initializer=_init_worker,
+                initargs=(dataset, test, alpha, dof_adjust),
+            )
+            self.eval_groups: Callable[[Sequence[GroupJob]], list[list[bool]]] = (
+                lambda jobs: list(self._executor.map(_eval_group, jobs))
+            )
+            # Edge-level uses a static block partition (chunksize = block
+            # size), reproducing the |Ed|/t dedication of Sec. IV-A.
+            self.eval_edges: Callable[[Sequence[EdgeJob]], list[tuple[int, tuple[int, ...] | None]]] = (
+                lambda jobs: list(
+                    self._executor.map(
+                        _eval_edge, jobs, chunksize=max(1, -(-len(jobs) // self.n_jobs))
+                    )
+                )
+            )
+        else:
+            import threading
+
+            local = threading.local()
+
+            def tester() -> ConditionalIndependenceTest:
+                if not hasattr(local, "tester"):
+                    from ..core.learn import make_tester
+
+                    local.tester = make_tester(dataset, test, alpha=alpha, dof_adjust=dof_adjust)
+                return local.tester
+
+            def eval_group_local(job: GroupJob) -> list[bool]:
+                u, v, sets = job
+                return [r.independent for r in tester().test_group(u, v, list(sets))]
+
+            def eval_edge_local(job: EdgeJob) -> tuple[int, tuple[int, ...] | None]:
+                from ..core.edges import EdgeTask
+
+                u, v, side1, side2, depth = job
+                task = EdgeTask(u, v, side1, side2, depth)
+                executed = 0
+                while not task.done:
+                    sets = task.next_group(1)
+                    task.advance(1)
+                    executed += 1
+                    res = tester().test(u, v, sets[0])
+                    if res.independent:
+                        return executed, res.s
+                return executed, None
+
+            self._executor = ThreadPoolExecutor(max_workers=n_jobs)
+            self.eval_groups = lambda jobs: list(self._executor.map(eval_group_local, jobs))
+            self.eval_edges = lambda jobs: list(self._executor.map(eval_edge_local, jobs))
+
+    def shutdown(self) -> None:
+        self._executor.shutdown(wait=True)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()

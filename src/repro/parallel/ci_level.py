@@ -1,0 +1,125 @@
+"""CI-level parallel skeleton phase (the paper's Fast-BNS-par scheme).
+
+The master owns the dynamic work pool; each scheduling round pops up to
+``n_jobs * batch_factor`` edges, ships one gs-group of CI tests per edge to
+the workers, applies the verdicts and pushes unfinished edges back.  This
+mirrors the paper's design (Sec. IV-B): threads process groups of CI tests
+from *different* edges, an edge is handled by at most one thread at a time,
+completed edges leave the pool immediately, and no atomic operations are
+needed because a contingency table is never shared.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..core.result import DepthStats, SkeletonStats
+from ..core.sepsets import SepSetStore
+from ..core.skeleton import build_depth_tasks, depth_has_work
+from ..core.trace import TestRecord, TraceRecorder
+from ..core.workpool import WorkPool
+from ..graphs.undirected import UndirectedGraph
+from .backends import WorkerPool
+
+__all__ = ["ci_level_skeleton"]
+
+
+def ci_level_skeleton(
+    workers: WorkerPool,
+    n_nodes: int,
+    gs: int = 1,
+    group_endpoints: bool = True,
+    max_depth: int | None = None,
+    batch_factor: int = 4,
+    recorder: TraceRecorder | None = None,
+    n_samples: int = 1,
+) -> tuple[UndirectedGraph, SepSetStore, SkeletonStats]:
+    """Run the skeleton phase with CI-level parallelism.
+
+    Produces output identical to the sequential engine with the same
+    ``gs``/``group_endpoints`` (removal decisions are deferred to depth end
+    and the accepting-set tie-break is work-item order, both scheduling
+    independent).
+    """
+    if gs < 1:
+        raise ValueError("gs must be >= 1")
+    t_start = time.perf_counter()
+    graph = UndirectedGraph.complete(n_nodes)
+    sepsets = SepSetStore()
+    stats = SkeletonStats()
+
+    depth = 0
+    while True:
+        if max_depth is not None and depth > max_depth:
+            break
+        if depth > 0 and not depth_has_work(graph, depth):
+            break
+        if graph.n_edges == 0:
+            break
+
+        d_stats = DepthStats(depth=depth, n_edges_start=graph.n_edges)
+        t_depth = time.perf_counter()
+        if recorder is not None:
+            recorder.begin_depth(depth, graph.n_edges)
+
+        tasks = build_depth_tasks(graph, depth, group_endpoints)
+        item_rank = {id(t): i for i, t in enumerate(tasks)}
+        pool = WorkPool()
+        for idx in range(len(tasks) - 1, -1, -1):
+            pool.push(tasks[idx])
+
+        found: dict[tuple[int, int], list[tuple[int, tuple[int, ...]]]] = {}
+        round_size = max(1, workers.n_jobs * batch_factor)
+
+        while pool:
+            batch = pool.pop_many(round_size)
+            jobs = []
+            job_meta = []
+            for task in batch:
+                sets = task.next_group(gs)
+                jobs.append((task.u, task.v, tuple(sets)))
+                job_meta.append((task, sets))
+            verdict_lists = workers.eval_groups(jobs)
+            for (task, sets), verdicts in zip(job_meta, verdict_lists):
+                task.advance(len(sets))
+                d_stats.n_tests += len(sets)
+                d_stats.n_groups += 1
+                if recorder is not None:
+                    recorder.record_group(
+                        task.u,
+                        task.v,
+                        task.total_tests,
+                        [
+                            TestRecord(depth=depth, m=n_samples, cells=0, independent=ind)
+                            for ind in verdicts
+                        ],
+                    )
+                first_idx = next((i for i, ind in enumerate(verdicts) if ind), -1)
+                if first_idx >= 0:
+                    d_stats.n_redundant_tests += len(sets) - 1 - first_idx
+                    found.setdefault((task.u, task.v), []).append(
+                        (item_rank[id(task)], tuple(sets[first_idx]))
+                    )
+                elif not task.done:
+                    pool.push(task)
+
+        for (u, v), hits in found.items():
+            hits.sort(key=lambda pair: pair[0])
+            sepsets.record(u, v, hits[0][1])
+            graph.remove_edge(u, v)
+            if recorder is not None:
+                recorder.mark_removed(u, v)
+        d_stats.n_edges_removed = len(found)
+        d_stats.elapsed_s = time.perf_counter() - t_depth
+        stats.depths.append(d_stats)
+        stats.n_tests += d_stats.n_tests
+        stats.n_redundant_tests += d_stats.n_redundant_tests
+        stats.n_groups += d_stats.n_groups
+        stats.pool_pushes += pool.n_pushes
+        stats.pool_pops += pool.n_pops
+        if recorder is not None:
+            recorder.end_depth(d_stats.n_edges_removed)
+        depth += 1
+
+    stats.elapsed_s = time.perf_counter() - t_start
+    return graph, sepsets, stats

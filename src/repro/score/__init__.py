@@ -1,0 +1,14 @@
+"""Score-based structure learning (the paper's related-work comparator)."""
+
+from .hillclimb import HillClimbResult, hill_climb
+from .scores import AICScore, BDeuScore, BICScore, DecomposableScore, LogLikelihoodScore
+
+__all__ = [
+    "hill_climb",
+    "HillClimbResult",
+    "DecomposableScore",
+    "BICScore",
+    "AICScore",
+    "BDeuScore",
+    "LogLikelihoodScore",
+]

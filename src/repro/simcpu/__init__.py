@@ -1,0 +1,45 @@
+"""Multi-core execution simulator.
+
+The reproduction host cannot be assumed to have the paper's 52 hardware
+threads, so thread-count experiments replay *real* execution traces (exact
+CI tests, early terminations and group structure recorded by
+:class:`repro.core.trace.TraceRecorder`) through discrete-event schedulers
+for the three parallelism granularities, on a calibrated machine model.
+See DESIGN.md's substitution table for the faithfulness argument.
+"""
+
+from .cache import CacheSim, CacheStats, simulate_fill_misses
+from .costmodel import CostModel, calibrate_seconds_per_unit
+from .machine import PAPER_MACHINE, MachineSpec
+from .perfcounters import PerfReport, perf_report
+from .serialize import load_trace, save_trace, trace_from_json, trace_to_json
+from .scheduler import (
+    SimResult,
+    simulate,
+    simulate_ci_level,
+    simulate_edge_level,
+    simulate_sample_level,
+    simulate_sequential,
+)
+
+__all__ = [
+    "MachineSpec",
+    "PAPER_MACHINE",
+    "CostModel",
+    "calibrate_seconds_per_unit",
+    "SimResult",
+    "simulate",
+    "simulate_sequential",
+    "simulate_edge_level",
+    "simulate_ci_level",
+    "simulate_sample_level",
+    "CacheSim",
+    "CacheStats",
+    "simulate_fill_misses",
+    "PerfReport",
+    "save_trace",
+    "load_trace",
+    "trace_to_json",
+    "trace_from_json",
+    "perf_report",
+]

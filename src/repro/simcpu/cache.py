@@ -1,0 +1,134 @@
+"""Set-associative LRU cache simulator.
+
+Backs the Table IV reproduction: the paper used ``perf`` hardware counters
+to show that Fast-BNS's transposed storage slashes cache-miss rates versus
+bnlearn's layout.  Here the same contrast is produced architecturally: the
+simulator replays the exact memory-access stream of contingency-table
+filling under both storage layouts through a modelled cache and counts
+hits/misses.
+
+The model is a classic set-associative cache with LRU replacement —
+deliberately simple (no prefetcher), which *understates* the benefit of the
+sequential-friendly layout relative to real hardware; the qualitative gap
+survives, which is what Table IV demonstrates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+__all__ = ["CacheSim", "CacheStats", "column_fill_accesses", "simulate_fill_misses"]
+
+
+@dataclass
+class CacheStats:
+    accesses: int = 0
+    misses: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.accesses - self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class CacheSim:
+    """Set-associative LRU cache over byte addresses."""
+
+    def __init__(
+        self,
+        size_bytes: int = 32 * 1024,
+        line_bytes: int = 64,
+        associativity: int = 8,
+    ) -> None:
+        if size_bytes % (line_bytes * associativity):
+            raise ValueError("size must be a multiple of line_bytes * associativity")
+        self.line_bytes = line_bytes
+        self.associativity = associativity
+        self.n_sets = size_bytes // (line_bytes * associativity)
+        # Each set is an ordered list of tags, most-recently-used last.
+        self._sets: list[list[int]] = [[] for _ in range(self.n_sets)]
+        self.stats = CacheStats()
+
+    def access(self, address: int) -> bool:
+        """Touch one byte address; returns True on hit."""
+        line = address // self.line_bytes
+        set_idx = line % self.n_sets
+        tag = line // self.n_sets
+        ways = self._sets[set_idx]
+        self.stats.accesses += 1
+        try:
+            ways.remove(tag)
+            ways.append(tag)
+            return True
+        except ValueError:
+            self.stats.misses += 1
+            ways.append(tag)
+            if len(ways) > self.associativity:
+                ways.pop(0)
+            return False
+
+    def reset_stats(self) -> None:
+        self.stats = CacheStats()
+
+
+@dataclass(frozen=True)
+class _LayoutSpec:
+    """Address computation for one storage layout."""
+
+    variable_major: bool
+    n_variables: int
+    n_samples: int
+    value_bytes: int = 4
+    base: int = 0
+
+    def address(self, variable: int, sample: int) -> int:
+        if self.variable_major:
+            flat = variable * self.n_samples + sample
+        else:
+            flat = sample * self.n_variables + variable
+        return self.base + flat * self.value_bytes
+
+
+def column_fill_accesses(
+    variables: Sequence[int],
+    n_variables: int,
+    n_samples: int,
+    variable_major: bool,
+    value_bytes: int = 4,
+):
+    """Yield the byte addresses touched when filling one contingency table.
+
+    Mirrors the real kernel's access order: sample-by-sample, reading the
+    ``d + 2`` participating variables of each sample (the C++ loop of the
+    paper; NumPy gathers column-by-column but touches the same addresses —
+    the per-layout locality contrast is identical).
+    """
+    spec = _LayoutSpec(
+        variable_major=variable_major,
+        n_variables=n_variables,
+        n_samples=n_samples,
+        value_bytes=value_bytes,
+    )
+    for sample in range(n_samples):
+        for var in variables:
+            yield spec.address(var, sample)
+
+
+def simulate_fill_misses(
+    variables: Sequence[int],
+    n_variables: int,
+    n_samples: int,
+    variable_major: bool,
+    cache: CacheSim | None = None,
+) -> CacheStats:
+    """Run one table-fill access stream through a cache; returns stats."""
+    if cache is None:
+        cache = CacheSim()
+    cache.reset_stats()
+    for addr in column_fill_accesses(variables, n_variables, n_samples, variable_major):
+        cache.access(addr)
+    return cache.stats

@@ -1,0 +1,102 @@
+"""Per-CI-test cost model (implements the paper's Sec. IV-D accounting).
+
+One CI test at depth ``d`` over ``m`` samples
+
+1. gathers ``d + 2`` values per sample to fill the contingency table
+   (``m * (d + 2)`` accesses).  With *cache-unfriendly* (sample-major)
+   storage every access is a potential miss: cost ``T_DRAM`` each (the
+   paper's ``T3``).  With *cache-friendly* (variable-major) storage only the
+   first access per cache line misses: per ``B/4`` samples, ``d + 2`` misses
+   plus ``(d + 2)(B/4 - 1)`` hits (the paper's ``T4``).
+2. touches every contingency/marginal cell a constant number of times
+   (``table_op_cost * cells``), and
+3. pays a fixed decision overhead (``test_overhead``).
+
+Within a gs-group, tests after the first reuse the already-gathered X and Y
+columns, so they gather only ``d`` columns — the group-reuse saving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.trace import GroupRecord, TestRecord
+from .machine import MachineSpec
+
+__all__ = ["CostModel", "calibrate_seconds_per_unit"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Maps trace records to cost units on a given machine.
+
+    ``contention`` scales the DRAM miss cost and is set by the schedulers
+    through :meth:`with_contention` — with ``t`` threads issuing misses
+    concurrently, the memory system saturates beyond
+    ``machine.dram_concurrency`` outstanding misses and per-miss latency
+    grows proportionally.
+    """
+
+    machine: MachineSpec
+    cache_friendly: bool = True
+    contention: float = 1.0
+
+    def with_contention(self, n_threads: int) -> "CostModel":
+        """Derived model for a ``t``-thread schedule (bandwidth model)."""
+        factor = max(1.0, n_threads / self.machine.dram_concurrency)
+        return CostModel(self.machine, self.cache_friendly, contention=factor)
+
+    @property
+    def dram_cost(self) -> float:
+        return self.machine.dram_cost * self.contention
+
+    # ------------------------------------------------------------------ #
+    def gather_units(self, m: int, n_columns: int) -> float:
+        """Cost of gathering ``n_columns`` values for each of ``m`` samples."""
+        spec = self.machine
+        if not self.cache_friendly:
+            # Every access a miss (paper T3).
+            return m * n_columns * self.dram_cost
+        # One miss per line per column, hits otherwise (paper T4).
+        lines = -(-m // spec.values_per_line)  # ceil
+        misses = lines * n_columns
+        hits = m * n_columns - misses
+        return misses * self.dram_cost + hits * spec.cache_cost
+
+    def test_units(self, record: TestRecord, xy_reused: bool = False) -> float:
+        """Cost of one executed CI test."""
+        n_columns = record.depth + (0 if xy_reused else 2)
+        units = self.gather_units(record.m, n_columns)
+        units += record.cells * self.machine.table_op_cost
+        units += self.machine.test_overhead
+        return units
+
+    def group_units(self, group: GroupRecord) -> float:
+        """Cost of a gs-group: first test gathers X, Y and Z; subsequent
+        tests reuse the X/Y encoding."""
+        total = 0.0
+        for i, test in enumerate(group.tests):
+            total += self.test_units(test, xy_reused=i > 0)
+        return total
+
+    def edge_units(self, groups: list[GroupRecord]) -> float:
+        return sum(self.group_units(g) for g in groups)
+
+
+def calibrate_seconds_per_unit(
+    model: CostModel,
+    trace_depths,
+    measured_seconds: float,
+) -> float:
+    """Fit ``seconds_per_unit`` so the model reproduces a measured
+    sequential run: total trace units / measured seconds.
+
+    ``trace_depths`` is ``TraceRecorder.depths`` of the measured run.
+    """
+    total_units = 0.0
+    for depth in trace_depths:
+        for edge in depth.edges:
+            total_units += model.edge_units(edge.groups)
+    if total_units <= 0:
+        raise ValueError("trace contains no work; cannot calibrate")
+    return measured_seconds / total_units

@@ -1,0 +1,102 @@
+"""Machine model for the multi-core discrete-event simulator.
+
+The reproduction host may have any number of cores (the calibration pass for
+this build ran on a single-core container), so thread-count sweeps
+(Figs. 2, 3, 5) are reproduced by simulation: the *algorithm* runs for real
+and records its exact work trace; only the concurrent execution of that
+trace is modelled.  :class:`MachineSpec` holds the architectural constants
+of the model, defaulting to the paper's assumptions (Sec. IV-D): 64-byte
+cache lines, 4-byte values, DRAM ~8x slower than cache.
+
+All costs are expressed in abstract *units* where one cache hit costs 1.
+``seconds_per_unit`` converts units to wall-clock; it can be calibrated from
+a real sequential run (see :func:`repro.simcpu.costmodel.calibrate`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["MachineSpec", "PAPER_MACHINE"]
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Architectural constants of the simulated multi-core CPU.
+
+    Attributes
+    ----------
+    cache_line_bytes:
+        ``B`` in the paper's cache analysis.
+    value_bytes:
+        Size of one stored data value (4 in the paper).
+    dram_cost:
+        Cost of a cache miss in units (``T_DRAM / T_cache``; the paper
+        assumes 8).
+    cache_cost:
+        Cost of a cache hit (1 by definition of the unit).
+    table_op_cost:
+        Per-cell cost of allocating/scanning contingency-table cells and
+        computing the statistic.
+    test_overhead:
+        Fixed per-CI-test cost (hypothesis decision, bookkeeping).
+    spawn_overhead_s:
+        Per-task dispatch cost in *seconds* (the "parallel overhead" of
+        Sec. IV-A; charged per work item handed to a thread).  Expressed in
+        wall-clock, not units, so that differently-calibrated cost models
+        (e.g. friendly vs unfriendly storage) pay the same absolute
+        scheduling overhead.
+    region_overhead_s:
+        Per-parallel-region cost in seconds, charged once per depth:
+        thread fork/join plus the master's serial work (adjacency
+        snapshot, task construction, pool setup, removal application).
+        This fixed serial cost is what caps the speedup of small, fast
+        networks (the Fig. 5 trend); the ablation bench sweeps it.
+    atomic_factor:
+        Multiplier on table updates performed with atomic operations
+        (sample-level parallelism, atomic variant).
+    dram_concurrency:
+        Number of cache misses the memory system can service concurrently;
+        beyond this many threads, miss latency scales up proportionally
+        (bandwidth saturation — the main reason real machines fall short of
+        linear speedup on this memory-bound workload).
+    merge_cost_per_cell:
+        Cost of merging one cell of a thread-private table (sample-level
+        parallelism, local-tables variant).
+    seconds_per_unit:
+        Wall-clock calibration; defaults to an uncalibrated 1e-9.
+    """
+
+    cache_line_bytes: int = 64
+    value_bytes: int = 4
+    dram_cost: float = 8.0
+    cache_cost: float = 1.0
+    table_op_cost: float = 1.0
+    test_overhead: float = 200.0
+    spawn_overhead_s: float = 2e-6
+    region_overhead_s: float = 3e-3
+    atomic_factor: float = 4.0
+    merge_cost_per_cell: float = 1.0
+    dram_concurrency: float = 12.0
+    seconds_per_unit: float = 1e-9
+
+    @property
+    def spawn_overhead_units(self) -> float:
+        """Dispatch overhead converted into this machine's cost units."""
+        return self.spawn_overhead_s / self.seconds_per_unit
+
+    @property
+    def region_overhead_units(self) -> float:
+        """Per-depth overhead converted into this machine's cost units."""
+        return self.region_overhead_s / self.seconds_per_unit
+
+    @property
+    def values_per_line(self) -> int:
+        return max(1, self.cache_line_bytes // self.value_bytes)
+
+    def calibrated(self, seconds_per_unit: float) -> "MachineSpec":
+        return replace(self, seconds_per_unit=seconds_per_unit)
+
+
+#: The configuration assumed by the paper's Sec. IV-D worked example.
+PAPER_MACHINE = MachineSpec()

@@ -1,0 +1,260 @@
+"""Discrete-event schedulers replaying a real execution trace on ``t``
+simulated threads.
+
+The three schedulers implement exactly the three granularities of the
+paper's Fig. 1, over the *same* recorded work (same CI tests, same early
+terminations), so differences in simulated makespan isolate the scheduling
+policy — precisely the comparison of the paper's Sec. V-C / Fig. 2:
+
+* :func:`simulate_edge_level` — static contiguous partition of each depth's
+  edges into ``t`` blocks; a depth ends when its slowest block ends.
+* :func:`simulate_ci_level` — the Fast-BNS dynamic work pool: free threads
+  pop an edge, run its next gs-group, push the edge back unless finished.
+* :func:`simulate_sample_level` — every test's table fill is split ``t``
+  ways; each test pays fork/join and merge (or atomic) costs.
+
+All schedulers add ``region_overhead_s`` per depth (parallel-region
+start/stop plus serial master work) and ``spawn_overhead_s`` per dispatched
+work item — both wall-clock quantities converted to units via the machine's
+calibration, so differently-calibrated cost models pay identical absolute
+scheduling overheads.  A single
+sequential thread (``t = 1``, :func:`simulate_sequential`) pays neither,
+matching the paper's "Fast-BNS-seq" reference.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from ..core.trace import DepthTrace
+from .costmodel import CostModel
+
+__all__ = [
+    "SimResult",
+    "simulate_sequential",
+    "simulate_edge_level",
+    "simulate_ci_level",
+    "simulate_sample_level",
+    "simulate",
+]
+
+
+@dataclass
+class SimResult:
+    """Outcome of one simulated schedule."""
+
+    scheme: str
+    n_threads: int
+    makespan_units: float
+    busy_units: float
+    per_depth_units: list[float] = field(default_factory=list)
+    seconds_per_unit: float = 1e-9
+    thread_busy_units: list[float] = field(default_factory=list)
+
+    @property
+    def load_imbalance(self) -> float:
+        """Max over mean per-thread busy time (1.0 = perfectly balanced);
+        the quantitative form of Table I's "load balance" column."""
+        if not self.thread_busy_units:
+            return 1.0
+        mean = sum(self.thread_busy_units) / len(self.thread_busy_units)
+        return max(self.thread_busy_units) / mean if mean > 0 else 1.0
+
+    @property
+    def seconds(self) -> float:
+        return self.makespan_units * self.seconds_per_unit
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of thread-time spent on CI tests (the CPU-utilization
+        analog of Table IV)."""
+        denom = self.makespan_units * self.n_threads
+        return self.busy_units / denom if denom > 0 else 0.0
+
+    def speedup_over(self, other: "SimResult") -> float:
+        return other.makespan_units / self.makespan_units if self.makespan_units else float("inf")
+
+
+def simulate_sequential(trace: list[DepthTrace], model: CostModel) -> SimResult:
+    """One thread, no parallel overheads: the Fast-BNS-seq reference."""
+    per_depth: list[float] = []
+    total = 0.0
+    for depth in trace:
+        units = sum(model.edge_units(edge.groups) for edge in depth.edges)
+        per_depth.append(units)
+        total += units
+    return SimResult(
+        scheme="sequential",
+        n_threads=1,
+        makespan_units=total,
+        busy_units=total,
+        per_depth_units=per_depth,
+        seconds_per_unit=model.machine.seconds_per_unit,
+        thread_busy_units=[total],
+    )
+
+
+def simulate_edge_level(
+    trace: list[DepthTrace], model: CostModel, n_threads: int
+) -> SimResult:
+    """Static edge partition: ``|Ed| / t`` contiguous edges per thread."""
+    if n_threads < 1:
+        raise ValueError("n_threads must be >= 1")
+    model = model.with_contention(n_threads)
+    spec = model.machine
+    per_depth: list[float] = []
+    makespan = 0.0
+    busy = 0.0
+    thread_busy = [0.0] * n_threads
+    for depth in trace:
+        edge_costs = [model.edge_units(edge.groups) for edge in depth.edges]
+        block = -(-len(edge_costs) // n_threads) if edge_costs else 0
+        thread_times = []
+        for k in range(n_threads):
+            chunk = edge_costs[k * block : (k + 1) * block]
+            t_time = sum(chunk) + len(chunk) * spec.spawn_overhead_units
+            thread_times.append(t_time)
+            thread_busy[k] += sum(chunk)
+        depth_units = (max(thread_times) if thread_times else 0.0) + spec.region_overhead_units
+        busy += sum(edge_costs)
+        per_depth.append(depth_units)
+        makespan += depth_units
+    return SimResult(
+        scheme="edge-level",
+        n_threads=n_threads,
+        makespan_units=makespan,
+        busy_units=busy,
+        per_depth_units=per_depth,
+        seconds_per_unit=spec.seconds_per_unit,
+        thread_busy_units=thread_busy,
+    )
+
+
+def simulate_ci_level(
+    trace: list[DepthTrace], model: CostModel, n_threads: int
+) -> SimResult:
+    """Dynamic work pool: free threads pop edges and run one group at a
+    time (event-driven list scheduling over the recorded groups)."""
+    if n_threads < 1:
+        raise ValueError("n_threads must be >= 1")
+    model = model.with_contention(n_threads)
+    spec = model.machine
+    per_depth: list[float] = []
+    makespan = 0.0
+    busy = 0.0
+    thread_busy = [0.0] * n_threads
+    for depth in trace:
+        # Pool of (edge index, next group index); LIFO like the engine.
+        group_costs: list[list[float]] = [
+            [model.group_units(g) for g in edge.groups] for edge in depth.edges
+        ]
+        stack: list[tuple[int, int]] = [(i, 0) for i in range(len(depth.edges) - 1, -1, -1)]
+        # Event queue of thread free-times.
+        threads = [0.0] * n_threads
+        heap = [(0.0, k) for k in range(n_threads)]
+        heapq.heapify(heap)
+        depth_busy = 0.0
+        finish = 0.0
+        while stack:
+            free_at, k = heapq.heappop(heap)
+            edge_idx, group_idx = stack.pop()
+            cost = group_costs[edge_idx][group_idx] + spec.spawn_overhead_units
+            done_at = free_at + cost
+            depth_busy += group_costs[edge_idx][group_idx]
+            thread_busy[k] += group_costs[edge_idx][group_idx]
+            finish = max(finish, done_at)
+            if group_idx + 1 < len(group_costs[edge_idx]):
+                stack.append((edge_idx, group_idx + 1))
+            heapq.heappush(heap, (done_at, k))
+            threads[k] = done_at
+        depth_units = finish + spec.region_overhead_units
+        busy += depth_busy
+        per_depth.append(depth_units)
+        makespan += depth_units
+    return SimResult(
+        scheme="ci-level",
+        n_threads=n_threads,
+        makespan_units=makespan,
+        busy_units=busy,
+        per_depth_units=per_depth,
+        seconds_per_unit=spec.seconds_per_unit,
+        thread_busy_units=thread_busy,
+    )
+
+
+def simulate_sample_level(
+    trace: list[DepthTrace],
+    model: CostModel,
+    n_threads: int,
+    variant: str = "local-tables",
+) -> SimResult:
+    """Per-test sample splitting.
+
+    ``variant="local-tables"``: each thread fills a private table (fill
+    time divided by ``t``), then tables are merged (``t * cells`` merge
+    cost) with a fork/join per test.  ``variant="atomic"``: a shared table
+    with atomic increments (fill cost multiplied by ``atomic_factor``,
+    divided by ``t``).  Both pay ``spawn_overhead * t`` per test — the
+    per-test parallel-region cost that dominates this scheme.
+    """
+    if n_threads < 1:
+        raise ValueError("n_threads must be >= 1")
+    if variant not in ("local-tables", "atomic"):
+        raise ValueError("variant must be 'local-tables' or 'atomic'")
+    model = model.with_contention(n_threads)
+    spec = model.machine
+    per_depth: list[float] = []
+    makespan = 0.0
+    busy = 0.0
+    for depth in trace:
+        depth_units = 0.0
+        for edge in depth.edges:
+            for group in edge.groups:
+                for i, test in enumerate(group.tests):
+                    fill = model.test_units(test, xy_reused=i > 0)
+                    busy += fill
+                    if variant == "atomic":
+                        table_update = test.cells * spec.table_op_cost
+                        fill_atomic = (
+                            fill - table_update + table_update * spec.atomic_factor
+                        )
+                        test_time = fill_atomic / n_threads
+                    else:
+                        test_time = fill / n_threads
+                        test_time += test.cells * spec.merge_cost_per_cell * n_threads
+                    test_time += spec.spawn_overhead_units * n_threads
+                    depth_units += test_time
+        depth_units += spec.region_overhead_units
+        per_depth.append(depth_units)
+        makespan += depth_units
+    return SimResult(
+        scheme=f"sample-level/{variant}",
+        n_threads=n_threads,
+        makespan_units=makespan,
+        busy_units=busy,
+        per_depth_units=per_depth,
+        seconds_per_unit=spec.seconds_per_unit,
+        thread_busy_units=[busy / n_threads] * n_threads,
+    )
+
+
+def simulate(
+    trace: list[DepthTrace],
+    model: CostModel,
+    scheme: str,
+    n_threads: int,
+) -> SimResult:
+    """Dispatch by scheme name: ``sequential``, ``edge``, ``ci`` or
+    ``sample`` (optionally ``sample/atomic``)."""
+    if scheme == "sequential":
+        return simulate_sequential(trace, model)
+    if scheme == "edge":
+        return simulate_edge_level(trace, model, n_threads)
+    if scheme == "ci":
+        return simulate_ci_level(trace, model, n_threads)
+    if scheme == "sample":
+        return simulate_sample_level(trace, model, n_threads)
+    if scheme == "sample/atomic":
+        return simulate_sample_level(trace, model, n_threads, variant="atomic")
+    raise ValueError(f"unknown scheme {scheme!r}")

@@ -1,0 +1,98 @@
+"""Save/load execution traces as JSON.
+
+Traces of the big full-mode runs take minutes to produce; persisting them
+lets the simulator sweeps (Figs. 2, 3, 5 and the scheduling ablations)
+re-run instantly and makes results auditable (the exact replayed work is an
+artefact, not transient state).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..core.trace import DepthTrace, EdgeWorkRecord, GroupRecord, TestRecord
+
+__all__ = ["trace_to_json", "trace_from_json", "save_trace", "load_trace"]
+
+_FORMAT_VERSION = 1
+
+
+def trace_to_json(depths: list[DepthTrace]) -> str:
+    """Serialise a trace (``TraceRecorder.depths``) to a JSON string."""
+    payload: dict[str, Any] = {
+        "format": "fastbns-trace",
+        "version": _FORMAT_VERSION,
+        "depths": [
+            {
+                "depth": d.depth,
+                "n_edges_start": d.n_edges_start,
+                "n_edges_removed": d.n_edges_removed,
+                "edges": [
+                    {
+                        "u": e.u,
+                        "v": e.v,
+                        "total_possible": e.total_possible,
+                        "removed": e.removed,
+                        "groups": [
+                            [[t.depth, t.m, t.cells, int(t.independent)] for t in g.tests]
+                            for g in e.groups
+                        ],
+                    }
+                    for e in d.edges
+                ],
+            }
+            for d in depths
+        ],
+    }
+    return json.dumps(payload)
+
+
+def trace_from_json(text: str) -> list[DepthTrace]:
+    """Inverse of :func:`trace_to_json`."""
+    payload = json.loads(text)
+    if payload.get("format") != "fastbns-trace":
+        raise ValueError("not a fastbns trace file")
+    if payload.get("version") != _FORMAT_VERSION:
+        raise ValueError(f"unsupported trace version {payload.get('version')!r}")
+    depths: list[DepthTrace] = []
+    for d in payload["depths"]:
+        edges = []
+        for e in d["edges"]:
+            groups = [
+                GroupRecord(
+                    tests=[
+                        TestRecord(depth=t[0], m=t[1], cells=t[2], independent=bool(t[3]))
+                        for t in g
+                    ]
+                )
+                for g in e["groups"]
+            ]
+            edges.append(
+                EdgeWorkRecord(
+                    u=e["u"],
+                    v=e["v"],
+                    total_possible=e["total_possible"],
+                    groups=groups,
+                    removed=e["removed"],
+                )
+            )
+        depths.append(
+            DepthTrace(
+                depth=d["depth"],
+                n_edges_start=d["n_edges_start"],
+                edges=edges,
+                n_edges_removed=d["n_edges_removed"],
+            )
+        )
+    return depths
+
+
+def save_trace(depths: list[DepthTrace], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(trace_to_json(depths))
+
+
+def load_trace(path: str) -> list[DepthTrace]:
+    with open(path, "r", encoding="utf-8") as fh:
+        return trace_from_json(fh.read())

@@ -1,0 +1,51 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.dataset import DiscreteDataset
+from repro.datasets.sampling import forward_sample
+from repro.networks.classic import asia, cancer, sprinkler
+from repro.networks.generators import random_network
+
+
+@pytest.fixture(scope="session")
+def asia_net():
+    return asia()
+
+
+@pytest.fixture(scope="session")
+def sprinkler_net():
+    return sprinkler()
+
+
+@pytest.fixture(scope="session")
+def cancer_net():
+    return cancer()
+
+
+@pytest.fixture(scope="session")
+def asia_data(asia_net) -> DiscreteDataset:
+    return forward_sample(asia_net, 4000, rng=7)
+
+
+@pytest.fixture(scope="session")
+def sprinkler_data(sprinkler_net) -> DiscreteDataset:
+    return forward_sample(sprinkler_net, 5000, rng=11)
+
+
+@pytest.fixture(scope="session")
+def small_random_net():
+    return random_network(10, 12, rng=42, arity_range=(2, 3), max_parents=3)
+
+
+@pytest.fixture(scope="session")
+def small_random_data(small_random_net) -> DiscreteDataset:
+    return forward_sample(small_random_net, 3000, rng=13)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

@@ -1,0 +1,98 @@
+"""Closed-form speedup model tests (Sec. IV-D), including the paper's
+worked example."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.speedup_model import (
+    SpeedupModel,
+    breakdown_from_run,
+    paper_worked_example,
+)
+
+
+class TestPaperWorkedExample:
+    """The paper computes S_CI = 3.87, S_grouping = 1.43, S_cache = 5.57,
+    overall S = 30.8 for t=4, d=2, |Ed|=1200, rho=0.6, degree 10, B=64,
+    T_DRAM/T_cache = 8."""
+
+    @pytest.fixture(scope="class")
+    def breakdown(self):
+        return paper_worked_example().breakdown()
+
+    def test_s_ci(self, breakdown):
+        assert breakdown.s_ci == pytest.approx(3.87, abs=0.01)
+
+    def test_s_grouping(self, breakdown):
+        assert breakdown.s_grouping == pytest.approx(1.43, abs=0.01)
+
+    def test_s_cache(self, breakdown):
+        assert breakdown.s_cache == pytest.approx(5.57, abs=0.01)
+
+    def test_overall(self, breakdown):
+        assert breakdown.overall == pytest.approx(30.8, abs=0.1)
+
+
+class TestModelBehaviour:
+    def base(self, **kw):
+        defaults = dict(
+            n_threads=4, depth=2, n_edges=1200, deletion_ratio=0.6, mean_degree=10
+        )
+        defaults.update(kw)
+        return SpeedupModel(**defaults)
+
+    def test_s_ci_grows_with_threads(self):
+        assert self.base(n_threads=8).s_ci > self.base(n_threads=4).s_ci
+
+    def test_s_ci_bounded_by_threads(self):
+        for t in (2, 4, 8, 16):
+            assert self.base(n_threads=t).s_ci <= t
+
+    def test_s_grouping_range(self):
+        assert self.base(deletion_ratio=0.0).s_grouping == 1.0
+        assert self.base(deletion_ratio=1.0).s_grouping == 2.0
+
+    def test_s_cache_independent_of_depth(self):
+        # T3 and T4 share the (d + 2) factor, so it cancels exactly.
+        assert self.base(depth=4).s_cache == pytest.approx(self.base(depth=0).s_cache)
+
+    def test_s_cache_bounded_by_dram_ratio(self):
+        m = self.base()
+        assert m.s_cache < m.dram_cache_ratio
+
+    def test_equations_1_and_2(self):
+        m = self.base()
+        # Eq (1): |Ed|/t heavy edges each with C(10,2)+C(10,2) = 90 tests.
+        assert m.edge_level_time() == 300 * 90
+        # Eq (2): (heavy work + (t-1)|Ed|/t) / t
+        assert m.ci_level_time() == pytest.approx((300 * 90 + 3 * 300) / 4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self.base(n_threads=0)
+        with pytest.raises(ValueError):
+            self.base(deletion_ratio=1.5)
+        with pytest.raises(ValueError):
+            self.base(depth=-1)
+
+
+class TestBreakdownFromRun:
+    def test_uses_measured_depth_stats(self, asia_data):
+        from repro.core.learn import learn_structure
+
+        result = learn_structure(asia_data)
+        out = breakdown_from_run(result.stats.depths, n_threads=4, mean_degree=3)
+        assert out  # at least one depth >= 1
+        for depth, b in out:
+            assert depth >= 1
+            assert b.s_ci >= 1.0 or b.s_ci > 0
+            assert 1.0 <= b.s_grouping <= 2.0
+            assert b.overall == b.s_ci * b.s_grouping * b.s_cache
+
+    def test_depth_zero_excluded(self, asia_data):
+        from repro.core.learn import learn_structure
+
+        result = learn_structure(asia_data)
+        out = breakdown_from_run(result.stats.depths, n_threads=2, mean_degree=3)
+        assert all(d >= 1 for d, _ in out)

@@ -1,0 +1,128 @@
+"""DiscreteBayesianNetwork and CPT validation tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.networks.bayesnet import CPT, DiscreteBayesianNetwork
+
+
+def two_node_net():
+    cpts = [
+        CPT(parents=(), table=np.array([[0.4, 0.6]])),
+        CPT(parents=(0,), table=np.array([[0.9, 0.1], [0.2, 0.8]])),
+    ]
+    return DiscreteBayesianNetwork([2, 2], cpts, names=("A", "B"))
+
+
+class TestCPT:
+    def test_rows_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            CPT(parents=(), table=np.array([[0.5, 0.4]]))
+
+    def test_negative_entries_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            CPT(parents=(), table=np.array([[1.2, -0.2]]))
+
+    def test_must_be_2d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            CPT(parents=(), table=np.array([0.5, 0.5]))
+
+    def test_properties(self):
+        cpt = CPT(parents=(3, 1), table=np.tile([0.5, 0.5], (6, 1)))
+        assert cpt.arity == 2
+        assert cpt.n_parent_configs == 6
+        assert cpt.parents == (3, 1)
+
+
+class TestNetworkValidation:
+    def test_basic_accessors(self):
+        net = two_node_net()
+        assert net.n_nodes == 2
+        assert net.n_edges == 1
+        assert net.edges() == [(0, 1)]
+        assert net.parents(1) == (0,)
+        assert net.names == ("A", "B")
+
+    def test_cpt_config_count_must_match(self):
+        cpts = [
+            CPT(parents=(), table=np.array([[0.4, 0.6]])),
+            CPT(parents=(0,), table=np.array([[0.9, 0.1]])),  # needs 2 rows
+        ]
+        with pytest.raises(ValueError, match="parent configs"):
+            DiscreteBayesianNetwork([2, 2], cpts)
+
+    def test_cpt_arity_must_match(self):
+        cpts = [CPT(parents=(), table=np.array([[0.4, 0.6]]))]
+        with pytest.raises(ValueError, match="arity"):
+            DiscreteBayesianNetwork([3], cpts)
+
+    def test_self_parent_rejected(self):
+        cpts = [CPT(parents=(0,), table=np.array([[0.5, 0.5], [0.5, 0.5]]))]
+        with pytest.raises(ValueError, match="own parent"):
+            DiscreteBayesianNetwork([2], cpts)
+
+    def test_parent_out_of_range(self):
+        cpts = [CPT(parents=(5,), table=np.tile([0.5, 0.5], (2, 1)))]
+        with pytest.raises(ValueError, match="out of range"):
+            DiscreteBayesianNetwork([2], cpts)
+
+    def test_cycle_detected(self):
+        cpts = [
+            CPT(parents=(1,), table=np.tile([0.5, 0.5], (2, 1))),
+            CPT(parents=(0,), table=np.tile([0.5, 0.5], (2, 1))),
+        ]
+        with pytest.raises(ValueError, match="cycle"):
+            DiscreteBayesianNetwork([2, 2], cpts)
+
+    def test_cpt_count_mismatch(self):
+        with pytest.raises(ValueError):
+            DiscreteBayesianNetwork([2, 2], [CPT(parents=(), table=np.array([[1.0, 0.0]]))])
+
+
+class TestTopologicalOrder:
+    def test_respects_edges(self, asia_net):
+        order = asia_net.topological_order()
+        position = {node: i for i, node in enumerate(order)}
+        for parent, child in asia_net.edges():
+            assert position[parent] < position[child]
+
+    def test_covers_all_nodes(self, small_random_net):
+        order = small_random_net.topological_order()
+        assert sorted(order) == list(range(small_random_net.n_nodes))
+
+
+class TestLogProbability:
+    def test_matches_manual_product(self):
+        net = two_node_net()
+        # P(A=1, B=0) = 0.6 * 0.2
+        expected = np.log(0.6) + np.log(0.2)
+        assert np.isclose(net.log_probability([1, 0]), expected)
+
+    def test_mapping_input(self):
+        net = two_node_net()
+        assert np.isclose(net.log_probability({0: 0, 1: 1}), np.log(0.4) + np.log(0.1))
+
+    def test_total_probability_sums_to_one(self, sprinkler_net):
+        total = 0.0
+        for a in range(2):
+            for b in range(2):
+                for c in range(2):
+                    for d in range(2):
+                        total += np.exp(sprinkler_net.log_probability([a, b, c, d]))
+        assert np.isclose(total, 1.0)
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            two_node_net().log_probability([0])
+
+
+class TestNetworkxExport:
+    def test_to_networkx(self, asia_net):
+        g = asia_net.to_networkx()
+        assert g.number_of_nodes() == asia_net.n_nodes
+        assert g.number_of_edges() == asia_net.n_edges
+        import networkx as nx
+
+        assert nx.is_directed_acyclic_graph(g)

@@ -1,0 +1,144 @@
+"""Bench harness tests: workloads, rendering, timing, perf reports."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.runner import time_call
+from repro.bench.tables import format_seconds, render_series, render_table
+from repro.bench.workloads import (
+    OVERALL_NETWORKS,
+    is_full_mode,
+    make_workload,
+    quick_scale,
+)
+from repro.simcpu.perfcounters import perf_report
+
+
+class TestWorkloads:
+    def test_deterministic(self):
+        a = make_workload("alarm", 500)
+        b = make_workload("alarm", 500)
+        np.testing.assert_array_equal(a.dataset.values, b.dataset.values)
+        assert a.network.edges() == b.network.edges()
+
+    def test_sample_count(self):
+        wl = make_workload("insurance", 321)
+        assert wl.dataset.n_samples == 321
+
+    def test_quick_scale_full_for_small_nets(self):
+        assert quick_scale("alarm") == 1.0
+        assert quick_scale("insurance") == 1.0
+        assert quick_scale("munin2") < 0.2
+
+    def test_label_includes_scale(self):
+        wl = make_workload("munin1", 100)
+        if not is_full_mode():
+            assert "@" in wl.label
+        wl_full = make_workload("munin1", 100, scale=1.0)
+        assert wl_full.label == "munin1"
+
+    def test_full_mode_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert is_full_mode()
+        assert quick_scale("munin2") == 1.0
+        monkeypatch.setenv("REPRO_FULL", "0")
+        assert not is_full_mode()
+
+    def test_overall_networks_in_catalog(self):
+        from repro.networks.catalog import catalog_names
+
+        for name in OVERALL_NETWORKS:
+            assert name in catalog_names()
+
+
+class TestTables:
+    def test_render_table_alignment(self):
+        out = render_table(["a", "bbbb"], [["x", 1], ["yyyy", 22]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bbbb" in lines[1]
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1  # all rows padded to equal width
+
+    def test_render_table_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a"], [["x", "y"]])
+
+    def test_render_series(self):
+        out = render_series("t", [1, 2], {"s1": [0.5, 1.0], "s2": [2.0, 3.0]})
+        assert "s1" in out and "s2" in out
+        assert "0.50" in out
+
+    def test_render_series_length_mismatch(self):
+        with pytest.raises(ValueError):
+            render_series("t", [1, 2], {"s": [1.0]})
+
+    def test_format_seconds_scales(self):
+        assert format_seconds(5e-7).endswith("us")
+        assert format_seconds(0.005).endswith("ms")
+        assert format_seconds(3.2) == "3.20s"
+        assert format_seconds(300).endswith("min")
+        assert format_seconds(10000).endswith("h")
+
+    def test_format_seconds_negative(self):
+        with pytest.raises(ValueError):
+            format_seconds(-1)
+
+
+class TestTimeCall:
+    def test_returns_result_and_timing(self):
+        result, timing = time_call(lambda: 42, repeats=3)
+        assert result == 42
+        assert timing.repeats == 3
+        assert 0 <= timing.best_s <= timing.mean_s
+
+    def test_invalid_repeats(self):
+        with pytest.raises(ValueError):
+            time_call(lambda: 1, repeats=0)
+
+
+class TestPerfReport:
+    @pytest.fixture(scope="class")
+    def counters(self):
+        from repro.citests.gsquare import GSquareTest
+        from repro.core.skeleton import learn_skeleton
+        from repro.datasets.sampling import forward_sample
+        from repro.networks.generators import random_network
+
+        net = random_network(15, 20, rng=0, max_parents=3)
+        data = forward_sample(net, 2000, rng=1)
+        tester = GSquareTest(data)
+        learn_skeleton(tester, data.n_variables)
+        return data, tester.counters
+
+    def test_friendly_layout_lower_miss_rate(self, counters):
+        data, ctrs = counters
+        friendly = perf_report("f", data.n_variables, data.n_samples, ctrs, variable_major=True)
+        unfriendly = perf_report(
+            "u", data.n_variables, data.n_samples, ctrs, variable_major=False
+        )
+        assert friendly.l1_miss_rate < unfriendly.l1_miss_rate
+        assert friendly.ll_accesses < unfriendly.ll_accesses
+
+    def test_report_row_fields(self, counters):
+        data, ctrs = counters
+        report = perf_report("x", data.n_variables, data.n_samples, ctrs, variable_major=True)
+        row = report.row()
+        assert set(row) == {
+            "impl",
+            "L1 accesses",
+            "L1 miss rate",
+            "LL accesses",
+            "LL miss rate",
+            "FLOPS",
+            "CPU util",
+        }
+        assert row["impl"] == "x"
+
+    def test_deterministic_given_seed(self, counters):
+        data, ctrs = counters
+        a = perf_report("x", data.n_variables, data.n_samples, ctrs, variable_major=True, rng=5)
+        b = perf_report("x", data.n_variables, data.n_samples, ctrs, variable_major=True, rng=5)
+        assert a == b

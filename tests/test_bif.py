@@ -1,0 +1,119 @@
+"""BIF parser/writer tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.bif import parse_bif, write_bif
+from repro.networks.classic import asia, sprinkler
+from repro.networks.generators import random_network
+
+SAMPLE_BIF = """
+network example {
+}
+variable Rain {
+  type discrete [ 2 ] { no, yes };
+}
+variable Sprinkler {
+  type discrete [ 2 ] { off, on };
+}
+variable Wet {
+  type discrete [ 2 ] { dry, wet };
+}
+probability ( Rain ) {
+  table 0.8, 0.2;
+}
+probability ( Sprinkler | Rain ) {
+  (no) 0.6, 0.4;
+  (yes) 0.99, 0.01;
+}
+probability ( Wet | Sprinkler, Rain ) {
+  (off, no) 1.0, 0.0;
+  (off, yes) 0.2, 0.8;
+  (on, no) 0.1, 0.9;
+  (on, yes) 0.01, 0.99;
+}
+"""
+
+
+class TestParse:
+    def test_basic_structure(self):
+        net = parse_bif(SAMPLE_BIF)
+        assert net.n_nodes == 3
+        assert net.names == ("Rain", "Sprinkler", "Wet")
+        assert net.parents(1) == (0,)
+        assert net.parents(2) == (1, 0)
+
+    def test_root_table(self):
+        net = parse_bif(SAMPLE_BIF)
+        np.testing.assert_allclose(net.cpt(0).table, [[0.8, 0.2]])
+
+    def test_conditional_rows_in_declared_config_order(self):
+        net = parse_bif(SAMPLE_BIF)
+        # parents (Sprinkler, Rain): config code = sprinkler * 2 + rain
+        table = net.cpt(2).table
+        np.testing.assert_allclose(table[0], [1.0, 0.0])  # off, no
+        np.testing.assert_allclose(table[1], [0.2, 0.8])  # off, yes
+        np.testing.assert_allclose(table[2], [0.1, 0.9])  # on, no
+        np.testing.assert_allclose(table[3], [0.01, 0.99])  # on, yes
+
+    def test_comments_ignored(self):
+        text = "// leading comment\n" + SAMPLE_BIF.replace(
+            "probability ( Rain ) {", "probability ( Rain ) { // inline\n"
+        )
+        net = parse_bif(text)
+        assert net.n_nodes == 3
+
+    def test_missing_probability_block(self):
+        broken = SAMPLE_BIF.replace("probability ( Rain ) {\n  table 0.8, 0.2;\n}", "")
+        with pytest.raises(ValueError, match="no probability block"):
+            parse_bif(broken)
+
+    def test_undeclared_variable_in_probability(self):
+        broken = SAMPLE_BIF + "\nprobability ( Ghost ) {\n  table 1.0;\n}\n"
+        with pytest.raises(ValueError, match="undeclared"):
+            parse_bif(broken)
+
+    def test_missing_configuration(self):
+        broken = SAMPLE_BIF.replace("  (on, yes) 0.01, 0.99;\n", "")
+        with pytest.raises(ValueError, match="no probabilities"):
+            parse_bif(broken)
+
+    def test_continuous_rejected(self):
+        text = "variable X {\n  type continuous;\n}\n"
+        with pytest.raises(ValueError):
+            parse_bif(text)
+
+    def test_unknown_level_label(self):
+        broken = SAMPLE_BIF.replace("(no) 0.6, 0.4;", "(maybe) 0.6, 0.4;")
+        with pytest.raises(ValueError, match="unknown level"):
+            parse_bif(broken)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("factory", [sprinkler, asia])
+    def test_classic_round_trip(self, factory):
+        original = factory()
+        text = write_bif(original, name="roundtrip")
+        parsed = parse_bif(text)
+        assert parsed.n_nodes == original.n_nodes
+        assert parsed.names == original.names
+        for i in range(original.n_nodes):
+            assert parsed.parents(i) == original.parents(i)
+            np.testing.assert_allclose(parsed.cpt(i).table, original.cpt(i).table, atol=1e-9)
+
+    def test_random_network_round_trip(self):
+        original = random_network(12, 16, rng=5, arity_range=(2, 4))
+        parsed = parse_bif(write_bif(original))
+        assert parsed.n_edges == original.n_edges
+        for i in range(original.n_nodes):
+            np.testing.assert_allclose(parsed.cpt(i).table, original.cpt(i).table, atol=1e-9)
+
+    def test_load_bif_from_file(self, tmp_path):
+        from repro.datasets.bif import load_bif
+
+        path = tmp_path / "net.bif"
+        path.write_text(write_bif(sprinkler()))
+        net = load_bif(str(path))
+        assert net.n_nodes == 4

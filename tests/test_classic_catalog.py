@@ -1,0 +1,96 @@
+"""Tests for the classic networks and the Table II catalog."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.networks.catalog import TABLE_II, catalog_names, get_network, spec
+from repro.networks.classic import asia, cancer, sprinkler
+
+
+class TestClassicNetworks:
+    def test_sprinkler_structure(self):
+        net = sprinkler()
+        assert net.n_nodes == 4
+        assert sorted(net.edges()) == [(0, 1), (0, 2), (1, 3), (2, 3)]
+
+    def test_asia_structure(self):
+        net = asia()
+        assert net.n_nodes == 8
+        expected = {(0, 1), (2, 3), (2, 4), (1, 5), (3, 5), (5, 6), (5, 7), (4, 7)}
+        assert set(net.edges()) == expected
+
+    def test_cancer_structure(self):
+        net = cancer()
+        assert set(net.edges()) == {(0, 2), (1, 2), (2, 3), (2, 4)}
+
+    @pytest.mark.parametrize("factory", [sprinkler, asia, cancer])
+    def test_cpts_normalised(self, factory):
+        net = factory()
+        for i in range(net.n_nodes):
+            np.testing.assert_allclose(net.cpt(i).table.sum(axis=1), 1.0)
+
+    @pytest.mark.parametrize("factory", [sprinkler, asia, cancer])
+    def test_all_binary(self, factory):
+        assert (factory().arities == 2).all()
+
+
+class TestCatalog:
+    def test_table_ii_counts_match_paper(self):
+        paper = {
+            "alarm": (37, 46),
+            "insurance": (27, 52),
+            "hepar2": (70, 123),
+            "munin1": (186, 273),
+            "diabetes": (413, 602),
+            "link": (724, 1125),
+            "munin2": (1003, 1244),
+            "munin3": (1041, 1306),
+        }
+        assert set(catalog_names()) == set(paper)
+        for name, (nodes, edges) in paper.items():
+            s = spec(name)
+            assert (s.n_nodes, s.n_edges) == (nodes, edges)
+
+    @pytest.mark.parametrize("name", ["alarm", "insurance"])
+    def test_built_network_matches_spec(self, name):
+        s = spec(name)
+        net = get_network(name)
+        assert net.n_nodes == s.n_nodes
+        assert net.n_edges == s.n_edges
+
+    def test_deterministic_build(self):
+        a = get_network("alarm")
+        b = get_network("alarm")
+        assert a.edges() == b.edges()
+        for i in range(a.n_nodes):
+            np.testing.assert_array_equal(a.cpt(i).table, b.cpt(i).table)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            spec("hogwarts")
+
+    def test_scaling_preserves_density(self):
+        original = spec("munin1")
+        scaled = spec("munin1", 0.5)
+        assert scaled.n_nodes == round(186 * 0.5)
+        density_orig = original.n_edges / original.n_nodes
+        density_scaled = scaled.n_edges / scaled.n_nodes
+        assert abs(density_orig - density_scaled) < 0.15
+
+    def test_scale_bounds(self):
+        with pytest.raises(ValueError):
+            spec("alarm", 0.0)
+        with pytest.raises(ValueError):
+            spec("alarm", 1.5)
+
+    def test_scale_one_is_identity(self):
+        assert spec("alarm", 1.0) is TABLE_II["alarm"]
+
+    def test_scaled_label(self):
+        assert spec("alarm", 0.5).name == "alarm@0.5"
+
+    def test_scaled_floor(self):
+        tiny = spec("alarm", 0.01)
+        assert tiny.n_nodes >= 8

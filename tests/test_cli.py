@@ -1,0 +1,119 @@
+"""CLI tests (argument parsing and end-to-end runs on tiny inputs)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_learn_requires_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["learn"])
+
+    def test_learn_sources_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["learn", "--csv", "a.csv", "--network", "alarm"])
+
+    def test_experiment_name_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "table99"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["learn", "--network", "alarm"])
+        assert args.method == "fast-bns"
+        assert args.alpha == 0.05
+        assert args.gs == 1
+        assert args.jobs == 1
+
+
+class TestLearnCommand:
+    def test_learn_from_csv(self, tmp_path, capsys, rng):
+        m = 400
+        x = rng.integers(0, 2, m)
+        y = np.where(rng.random(m) < 0.1, 1 - x, x)
+        z = rng.integers(0, 2, m)
+        path = tmp_path / "data.csv"
+        header = "x,y,z"
+        np.savetxt(path, np.column_stack([x, y, z]), fmt="%d", delimiter=",", header=header, comments="")
+        rc = main(["learn", "--csv", str(path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "skeleton:" in out
+        assert "x -- y" in out or "x -> y" in out or "y -> x" in out
+
+    def test_learn_from_network_quiet(self, capsys):
+        rc = main(["learn", "--network", "alarm", "--samples", "300", "--scale", "0.3", "--quiet"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "CI tests:" in out
+        assert "directed edges:" not in out
+
+    def test_learn_from_bif(self, tmp_path, capsys):
+        from repro.datasets.bif import write_bif
+        from repro.networks.classic import sprinkler
+
+        path = tmp_path / "net.bif"
+        path.write_text(write_bif(sprinkler()))
+        rc = main(["learn", "--bif", str(path), "--samples", "2000", "--quiet"])
+        assert rc == 0
+        assert "skeleton:" in capsys.readouterr().out
+
+    def test_learn_with_gs_and_maxdepth(self, capsys):
+        rc = main(
+            [
+                "learn",
+                "--network",
+                "insurance",
+                "--samples",
+                "300",
+                "--scale",
+                "0.4",
+                "--gs",
+                "4",
+                "--max-depth",
+                "1",
+                "--quiet",
+            ]
+        )
+        assert rc == 0
+
+
+class TestExperimentCommand:
+    def test_table2(self, capsys):
+        rc = main(["experiment", "table2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "alarm" in out
+        assert "munin3" in out
+        assert "Table II" in out
+
+
+class TestBlanketCommand:
+    def test_blanket_by_index(self, capsys):
+        rc = main(["blanket", "--network", "alarm", "--target", "3", "--samples", "800", "--scale", "0.4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "blanket" in out
+        assert "overlap:" in out
+
+    def test_blanket_by_name(self, capsys):
+        rc = main(
+            [
+                "blanket",
+                "--network",
+                "insurance",
+                "--target",
+                "insurance_2",
+                "--samples",
+                "600",
+                "--scale",
+                "0.4",
+                "--algorithm",
+                "grow-shrink",
+            ]
+        )
+        assert rc == 0
+        assert "true blanket" in capsys.readouterr().out

@@ -1,0 +1,190 @@
+"""Tests for conservative/majority orientation, CSV I/O and trace
+serialisation."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.citests.oracle import OracleCITest
+from repro.core.conservative import classify_triples, orient_skeleton_robust
+from repro.core.learn import learn_structure
+from repro.core.skeleton import learn_skeleton
+from repro.core.trace import TraceRecorder
+from repro.datasets.io import CategoricalCodec, read_csv, train_test_split, write_csv
+from repro.datasets.sampling import forward_sample
+from repro.graphs.dag import dag_to_cpdag
+from repro.networks.classic import asia, sprinkler
+from repro.simcpu.serialize import load_trace, save_trace, trace_from_json, trace_to_json
+
+
+class TestConservativeOrientation:
+    @pytest.mark.parametrize("rule", ["conservative", "majority"])
+    def test_oracle_matches_standard_on_faithful_input(self, rule):
+        """With exact CI answers every triple is unambiguous, so CPC/MPC
+        agree with standard PC-stable and with the true CPDAG."""
+        net = asia()
+        tester = OracleCITest.from_network(net)
+        skeleton, sepsets, _ = learn_skeleton(tester, net.n_nodes)
+        pdag, classification = orient_skeleton_robust(tester, skeleton, sepsets, rule=rule)
+        assert not classification.ambiguous
+        assert pdag == dag_to_cpdag(net.n_nodes, net.edges())
+
+    def test_classification_covers_all_unshielded_triples(self):
+        net = sprinkler()
+        tester = OracleCITest.from_network(net)
+        skeleton, sepsets, _ = learn_skeleton(tester, net.n_nodes)
+        cls = classify_triples(tester, skeleton, sepsets)
+        n_triples = len(cls.colliders) + len(cls.non_colliders) + len(cls.ambiguous)
+        # Sprinkler skeleton (0-1, 0-2, 1-3, 2-3) has four unshielded
+        # triples; only the WetGrass one is a collider.
+        assert n_triples == 4
+        assert cls.colliders == {(1, 3, 2)}
+        assert cls.non_colliders == {(1, 0, 2), (0, 1, 3), (0, 2, 3)}
+        assert not cls.ambiguous
+        assert cls.n_extra_tests > 0
+
+    def test_invalid_rule(self):
+        net = sprinkler()
+        tester = OracleCITest.from_network(net)
+        skeleton, sepsets, _ = learn_skeleton(tester, net.n_nodes)
+        with pytest.raises(ValueError):
+            classify_triples(tester, skeleton, sepsets, rule="optimistic")
+
+    def test_learn_structure_integration(self, asia_data):
+        standard = learn_structure(asia_data)
+        conservative = learn_structure(asia_data, v_structures="conservative")
+        # Same skeleton; conservative orients a subset of arrows.
+        assert conservative.cpdag.skeleton_edges() == standard.cpdag.skeleton_edges()
+        assert conservative.cpdag.n_directed <= standard.cpdag.n_directed
+
+    def test_learn_structure_rule_validation(self, asia_data):
+        with pytest.raises(ValueError):
+            learn_structure(asia_data, v_structures="bold")
+
+
+class TestCsvIO:
+    CSV = "color,size,label\nred,small,yes\nblue,large,no\nred,large,yes\nblue,small,no\n"
+
+    def test_read_encodes_by_first_appearance(self):
+        ds, codec = read_csv(io.StringIO(self.CSV))
+        assert ds.names == ("color", "size", "label")
+        assert codec.levels[0] == ("red", "blue")
+        np.testing.assert_array_equal(ds.column(0), [0, 1, 0, 1])
+        assert list(ds.arities) == [2, 2, 2]
+
+    def test_codec_round_trip(self):
+        _, codec = read_csv(io.StringIO(self.CSV))
+        assert codec.encode(0, "blue") == 1
+        assert codec.decode(0, 1) == "blue"
+        with pytest.raises(KeyError):
+            codec.encode(0, "green")
+
+    def test_write_read_round_trip(self, tmp_path):
+        ds, codec = read_csv(io.StringIO(self.CSV))
+        path = tmp_path / "out.csv"
+        write_csv(ds, str(path), codec=codec)
+        ds2, codec2 = read_csv(str(path))
+        np.testing.assert_array_equal(ds.as_rows(), ds2.as_rows())
+        assert codec2.levels == codec.levels
+
+    def test_write_codes_without_codec(self):
+        ds, _ = read_csv(io.StringIO(self.CSV))
+        buf = io.StringIO()
+        write_csv(ds, buf)
+        lines = buf.getvalue().strip().splitlines()
+        assert lines[0] == "color,size,label"
+        assert lines[1] == "0,0,0"
+
+    def test_errors(self):
+        with pytest.raises(ValueError, match="header"):
+            read_csv(io.StringIO(""))
+        with pytest.raises(ValueError, match="no data"):
+            read_csv(io.StringIO("a,b\n"))
+        with pytest.raises(ValueError, match="columns"):
+            read_csv(io.StringIO("a,b\n1,2,3\n"))
+
+    def test_blank_lines_skipped(self):
+        ds, _ = read_csv(io.StringIO("a,b\nx,y\n\nx,z\n"))
+        assert ds.n_samples == 2
+
+    def test_learnable_csv_pipeline(self, tmp_path):
+        data = forward_sample(sprinkler(), 3000, rng=0)
+        path = tmp_path / "sprinkler.csv"
+        write_csv(data, str(path))
+        loaded, _ = read_csv(str(path))
+        res_a = learn_structure(data)
+        res_b = learn_structure(loaded)
+        assert sorted(res_a.skeleton.edges()) == sorted(res_b.skeleton.edges())
+
+
+class TestTrainTestSplit:
+    def test_sizes_and_disjointness(self, sprinkler_data):
+        train, test = train_test_split(sprinkler_data, test_fraction=0.25, rng=0)
+        assert train.n_samples + test.n_samples == sprinkler_data.n_samples
+        assert test.n_samples == round(sprinkler_data.n_samples * 0.25)
+        assert train.names == sprinkler_data.names
+
+    def test_deterministic(self, sprinkler_data):
+        a = train_test_split(sprinkler_data, rng=3)
+        b = train_test_split(sprinkler_data, rng=3)
+        np.testing.assert_array_equal(a[0].values, b[0].values)
+
+    def test_validation(self, sprinkler_data):
+        with pytest.raises(ValueError):
+            train_test_split(sprinkler_data, test_fraction=0.0)
+        with pytest.raises(ValueError):
+            train_test_split(sprinkler_data, test_fraction=1.0)
+
+
+class TestTraceSerialization:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        net = asia()
+        rec = TraceRecorder()
+        data = forward_sample(net, 1500, rng=1)
+        learn_structure(data, recorder=rec, gs=3)
+        return rec.depths
+
+    def test_json_round_trip(self, trace):
+        restored = trace_from_json(trace_to_json(trace))
+        assert len(restored) == len(trace)
+        for a, b in zip(restored, trace):
+            assert a.depth == b.depth
+            assert a.n_edges_start == b.n_edges_start
+            assert a.n_edges_removed == b.n_edges_removed
+            assert len(a.edges) == len(b.edges)
+            for ea, eb in zip(a.edges, b.edges):
+                assert (ea.u, ea.v, ea.total_possible, ea.removed) == (
+                    eb.u,
+                    eb.v,
+                    eb.total_possible,
+                    eb.removed,
+                )
+                assert [g.tests for g in ea.groups] == [g.tests for g in eb.groups]
+
+    def test_simulation_identical_after_round_trip(self, trace):
+        from repro.simcpu import CostModel, MachineSpec, simulate
+
+        restored = trace_from_json(trace_to_json(trace))
+        model = CostModel(MachineSpec())
+        for scheme in ("sequential", "ci", "edge"):
+            a = simulate(trace, model, scheme, 4)
+            b = simulate(restored, model, scheme, 4)
+            assert a.makespan_units == b.makespan_units
+
+    def test_file_round_trip(self, trace, tmp_path):
+        path = tmp_path / "trace.json"
+        save_trace(trace, str(path))
+        restored = load_trace(str(path))
+        assert sum(e.n_tests for d in restored for e in d.edges) == sum(
+            e.n_tests for d in trace for e in d.edges
+        )
+
+    def test_rejects_foreign_json(self):
+        with pytest.raises(ValueError):
+            trace_from_json('{"format": "something-else"}')
+        with pytest.raises(ValueError):
+            trace_from_json('{"format": "fastbns-trace", "version": 99}')

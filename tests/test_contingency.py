@@ -1,0 +1,118 @@
+"""Contingency-table kernel tests (vs brute force)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.citests.contingency import (
+    contingency_table,
+    encode_columns,
+    marginal_tables,
+    n_configurations,
+)
+
+
+class TestEncodeColumns:
+    def test_empty(self):
+        codes, n = encode_columns([], [])
+        assert n == 1
+        assert codes.shape == (0,)
+
+    def test_single_column_identity(self):
+        col = np.array([0, 2, 1], dtype=np.uint8)
+        codes, n = encode_columns([col], [3])
+        np.testing.assert_array_equal(codes, [0, 2, 1])
+        assert n == 3
+
+    def test_first_column_most_significant(self):
+        a = np.array([1, 0], dtype=np.uint8)
+        b = np.array([0, 2], dtype=np.uint8)
+        codes, n = encode_columns([a, b], [2, 3])
+        np.testing.assert_array_equal(codes, [3, 2])  # 1*3+0, 0*3+2
+        assert n == 6
+
+    def test_bijective_over_all_configs(self):
+        arities = [2, 3, 2]
+        cols = np.array(np.meshgrid(*[range(a) for a in arities], indexing="ij"))
+        cols = cols.reshape(3, -1).astype(np.uint8)
+        codes, n = encode_columns(list(cols), arities)
+        assert n == 12
+        assert sorted(codes.tolist()) == list(range(12))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            encode_columns([np.zeros(3, dtype=np.uint8)], [2, 2])
+
+
+class TestNConfigurations:
+    def test_empty_is_one(self):
+        assert n_configurations([]) == 1
+
+    def test_product(self):
+        assert n_configurations([2, 3, 4]) == 24
+
+
+def brute_force_counts(x, y, zs, rx, ry, rz):
+    nz = n_configurations(rz)
+    counts = np.zeros((nz, rx, ry), dtype=np.int64)
+    for i in range(len(x)):
+        code = 0
+        for j, z in enumerate(zs):
+            code = code * rz[j] + int(z[i])
+        counts[code, int(x[i]), int(y[i])] += 1
+    return counts
+
+
+class TestContingencyTable:
+    @pytest.fixture()
+    def data(self, rng):
+        m = 300
+        return (
+            rng.integers(0, 3, m).astype(np.uint8),
+            rng.integers(0, 2, m).astype(np.uint8),
+            [rng.integers(0, 2, m).astype(np.uint8), rng.integers(0, 4, m).astype(np.uint8)],
+        )
+
+    def test_marginal_table(self, data):
+        x, y, _ = data
+        counts, nz = contingency_table(x, y, [], 3, 2, [])
+        assert nz == 1
+        np.testing.assert_array_equal(counts, brute_force_counts(x, y, [], 3, 2, []))
+
+    def test_conditional_table(self, data):
+        x, y, zs = data
+        counts, nz = contingency_table(x, y, zs, 3, 2, [2, 4])
+        assert nz == 8
+        np.testing.assert_array_equal(counts, brute_force_counts(x, y, zs, 3, 2, [2, 4]))
+
+    def test_total_preserved(self, data):
+        x, y, zs = data
+        counts, _ = contingency_table(x, y, zs, 3, 2, [2, 4])
+        assert counts.sum() == len(x)
+
+    def test_compression_path(self, rng):
+        # Huge structural config space relative to m forces compression.
+        m = 50
+        x = rng.integers(0, 2, m).astype(np.uint8)
+        y = rng.integers(0, 2, m).astype(np.uint8)
+        zs = [rng.integers(0, 10, m).astype(np.uint8) for _ in range(4)]
+        counts, nz = contingency_table(x, y, zs, 2, 2, [10, 10, 10, 10])
+        assert nz == 10**4
+        assert counts.shape[0] <= m  # compressed
+        assert counts.sum() == m
+        # Nonzero slice contents must match brute force after dropping
+        # empty slices.
+        brute = brute_force_counts(x, y, zs, 2, 2, [10] * 4)
+        nonempty = brute[brute.sum(axis=(1, 2)) > 0]
+        got_nonempty = counts[counts.sum(axis=(1, 2)) > 0]
+        np.testing.assert_array_equal(got_nonempty, nonempty)
+
+
+class TestMarginalTables:
+    def test_marginals_consistent(self, rng):
+        counts = rng.integers(0, 10, size=(4, 3, 2))
+        n_xz, n_yz, n_z = marginal_tables(counts)
+        np.testing.assert_array_equal(n_xz, counts.sum(axis=2))
+        np.testing.assert_array_equal(n_yz, counts.sum(axis=1))
+        np.testing.assert_array_equal(n_z, counts.sum(axis=(1, 2)))

@@ -1,0 +1,106 @@
+"""DAG utilities: topological order, v-structures, DAG -> CPDAG."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.dag import (
+    dag_to_cpdag,
+    is_acyclic,
+    topological_order,
+    v_structures_of_dag,
+)
+from repro.networks.classic import asia, cancer, sprinkler
+
+
+class TestTopologicalOrder:
+    def test_simple_chain(self):
+        order = topological_order(3, [(0, 1), (1, 2)])
+        assert order.index(0) < order.index(1) < order.index(2)
+
+    def test_cycle_raises(self):
+        with pytest.raises(ValueError):
+            topological_order(2, [(0, 1), (1, 0)])
+
+    def test_is_acyclic(self):
+        assert is_acyclic(3, [(0, 1), (0, 2)])
+        assert not is_acyclic(3, [(0, 1), (1, 2), (2, 0)])
+
+
+class TestVStructures:
+    def test_collider_detected(self):
+        # 0 -> 2 <- 1 with 0, 1 non-adjacent
+        assert v_structures_of_dag(3, [(0, 2), (1, 2)]) == {(0, 2, 1)}
+
+    def test_shielded_collider_not_a_vstructure(self):
+        edges = [(0, 2), (1, 2), (0, 1)]
+        assert v_structures_of_dag(3, edges) == set()
+
+    def test_chain_has_none(self):
+        assert v_structures_of_dag(3, [(0, 1), (1, 2)]) == set()
+
+    def test_sprinkler_vstructure(self):
+        net = sprinkler()
+        # Sprinkler -> WetGrass <- Rain is the only v-structure.
+        assert v_structures_of_dag(net.n_nodes, net.edges()) == {(1, 3, 2)}
+
+    def test_asia_vstructures(self):
+        net = asia()
+        vs = v_structures_of_dag(net.n_nodes, net.edges())
+        # TB -> Either <- LungCancer and Bronchitis -> Dysp <- Either.
+        assert (1, 5, 3) in vs
+        assert (4, 7, 5) in vs
+        assert len(vs) == 2
+
+
+class TestDagToCpdag:
+    def test_chain_fully_undirected(self):
+        cpdag = dag_to_cpdag(3, [(0, 1), (1, 2)])
+        assert cpdag.n_directed == 0
+        assert cpdag.n_undirected == 2
+
+    def test_pure_collider_fully_directed(self):
+        cpdag = dag_to_cpdag(3, [(0, 2), (1, 2)])
+        assert cpdag.has_directed(0, 2)
+        assert cpdag.has_directed(1, 2)
+        assert cpdag.n_undirected == 0
+
+    def test_sprinkler_cpdag(self):
+        net = sprinkler()
+        cpdag = dag_to_cpdag(net.n_nodes, net.edges())
+        # V-structure at WetGrass is compelled...
+        assert cpdag.has_directed(1, 3)
+        assert cpdag.has_directed(2, 3)
+        # ...and Cloudy's edges stay reversible.
+        assert cpdag.has_undirected(0, 1)
+        assert cpdag.has_undirected(0, 2)
+
+    def test_cancer_cpdag(self):
+        net = cancer()
+        cpdag = dag_to_cpdag(net.n_nodes, net.edges())
+        # Collider Pollution -> Cancer <- Smoker compelled; Meek R1 then
+        # compels Cancer -> Xray and Cancer -> Dyspnoea.
+        assert cpdag.has_directed(0, 2)
+        assert cpdag.has_directed(1, 2)
+        assert cpdag.has_directed(2, 3)
+        assert cpdag.has_directed(2, 4)
+        assert cpdag.n_undirected == 0
+
+    def test_skeleton_preserved(self):
+        net = asia()
+        cpdag = dag_to_cpdag(net.n_nodes, net.edges())
+        truth = {(min(u, v), max(u, v)) for u, v in net.edges()}
+        assert cpdag.skeleton_edges() == truth
+
+    def test_cyclic_input_rejected(self):
+        with pytest.raises(ValueError):
+            dag_to_cpdag(2, [(0, 1), (1, 0)])
+
+    def test_compelled_edges_consistent_with_dag(self, small_random_net):
+        net = small_random_net
+        cpdag = dag_to_cpdag(net.n_nodes, net.edges())
+        dag_edges = set(net.edges())
+        # Every compelled (directed) CPDAG edge must appear in the DAG with
+        # the same orientation.
+        for u, v in cpdag.directed_edges():
+            assert (u, v) in dag_edges

@@ -1,0 +1,179 @@
+"""Unit tests for repro.datasets.dataset."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.dataset import DiscreteDataset, smallest_uint_dtype
+
+
+class TestSmallestUintDtype:
+    def test_uint8_boundary(self):
+        assert smallest_uint_dtype(0) == np.uint8
+        assert smallest_uint_dtype(255) == np.uint8
+
+    def test_uint16_boundary(self):
+        assert smallest_uint_dtype(256) == np.uint16
+        assert smallest_uint_dtype(65535) == np.uint16
+
+    def test_uint32(self):
+        assert smallest_uint_dtype(65536) == np.uint32
+
+    def test_uint64(self):
+        assert smallest_uint_dtype(2**40) == np.uint64
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            smallest_uint_dtype(-1)
+
+
+class TestConstruction:
+    def test_from_rows_infers_arities(self):
+        rows = np.array([[0, 1], [1, 2], [0, 0]])
+        ds = DiscreteDataset.from_rows(rows)
+        assert ds.n_variables == 2
+        assert ds.n_samples == 3
+        assert list(ds.arities) == [2, 3]
+
+    def test_from_rows_explicit_arities(self):
+        rows = np.array([[0, 1], [1, 0]])
+        ds = DiscreteDataset.from_rows(rows, arities=[4, 4])
+        assert list(ds.arities) == [4, 4]
+
+    def test_from_rows_default_variable_major(self):
+        ds = DiscreteDataset.from_rows(np.array([[0, 1], [1, 0]]))
+        assert ds.layout == "variable-major"
+        assert ds.values.shape == (2, 2)
+
+    def test_from_rows_sample_major(self):
+        rows = np.array([[0, 1], [1, 0], [1, 1]])
+        ds = DiscreteDataset.from_rows(rows, layout="sample-major")
+        assert ds.layout == "sample-major"
+        assert ds.values.shape == (3, 2)
+
+    def test_default_names(self):
+        ds = DiscreteDataset.from_rows(np.array([[0, 1, 0]]), arities=[2, 2, 2])
+        assert ds.names == ("V0", "V1", "V2")
+
+    def test_custom_names(self):
+        ds = DiscreteDataset.from_rows(np.array([[0, 1]]), arities=[2, 2], names=["a", "b"])
+        assert ds.names == ("a", "b")
+        assert ds.index_of("b") == 1
+
+    def test_index_of_missing_raises(self):
+        ds = DiscreteDataset.from_rows(np.array([[0]]), arities=[2])
+        with pytest.raises(KeyError):
+            ds.index_of("nope")
+
+    def test_value_exceeding_arity_rejected(self):
+        with pytest.raises(ValueError, match="arity"):
+            DiscreteDataset.from_rows(np.array([[3]]), arities=[2])
+
+    def test_bad_layout_rejected(self):
+        with pytest.raises(ValueError, match="layout"):
+            DiscreteDataset.from_rows(np.array([[0]]), arities=[2], layout="diagonal")
+
+    def test_wrong_arity_count_rejected(self):
+        with pytest.raises(ValueError):
+            DiscreteDataset.from_rows(np.array([[0, 0]]), arities=[2])
+
+    def test_zero_arity_rejected(self):
+        with pytest.raises(ValueError):
+            DiscreteDataset.from_rows(np.array([[0]]), arities=[0])
+
+    def test_empty_rows_need_arities(self):
+        with pytest.raises(ValueError):
+            DiscreteDataset.from_rows(np.zeros((0, 2), dtype=int))
+
+    def test_one_dimensional_rejected(self):
+        with pytest.raises(ValueError):
+            DiscreteDataset.from_rows(np.array([0, 1]))
+
+    def test_dtype_minimised(self):
+        ds = DiscreteDataset.from_rows(np.array([[0, 1]]), arities=[2, 2])
+        assert ds.values.dtype == np.uint8
+        big = DiscreteDataset.from_rows(np.array([[300, 1]]), arities=[301, 2])
+        assert big.values.dtype == np.uint16
+
+
+class TestAccessors:
+    @pytest.fixture()
+    def rows(self):
+        rng = np.random.default_rng(3)
+        return rng.integers(0, 3, size=(50, 4))
+
+    def test_column_matches_rows_both_layouts(self, rows):
+        for layout in ("variable-major", "sample-major"):
+            ds = DiscreteDataset.from_rows(rows, arities=[3] * 4, layout=layout)
+            for i in range(4):
+                np.testing.assert_array_equal(ds.column(i), rows[:, i])
+
+    def test_column_contiguity_depends_on_layout(self, rows):
+        vm = DiscreteDataset.from_rows(rows, arities=[3] * 4, layout="variable-major")
+        sm = DiscreteDataset.from_rows(rows, arities=[3] * 4, layout="sample-major")
+        assert vm.column(1).flags["C_CONTIGUOUS"]
+        assert not sm.column(1).flags["C_CONTIGUOUS"]
+
+    def test_as_rows_round_trip(self, rows):
+        for layout in ("variable-major", "sample-major"):
+            ds = DiscreteDataset.from_rows(rows, arities=[3] * 4, layout=layout)
+            np.testing.assert_array_equal(ds.as_rows(), rows)
+
+    def test_columns_plural(self, rows):
+        ds = DiscreteDataset.from_rows(rows, arities=[3] * 4)
+        cols = ds.columns([2, 0])
+        np.testing.assert_array_equal(cols[0], rows[:, 2])
+        np.testing.assert_array_equal(cols[1], rows[:, 0])
+
+    def test_arity_accessor(self, rows):
+        ds = DiscreteDataset.from_rows(rows, arities=[3, 4, 3, 5])
+        assert ds.arity(1) == 4
+        assert ds.arity(3) == 5
+
+
+class TestTransformations:
+    @pytest.fixture()
+    def ds(self):
+        rng = np.random.default_rng(9)
+        return DiscreteDataset.from_rows(rng.integers(0, 2, size=(30, 5)), arities=[2] * 5)
+
+    def test_with_layout_round_trip(self, ds):
+        sm = ds.with_layout("sample-major")
+        back = sm.with_layout("variable-major")
+        np.testing.assert_array_equal(back.values, ds.values)
+        assert back.layout == "variable-major"
+
+    def test_with_layout_same_is_identity(self, ds):
+        assert ds.with_layout("variable-major") is ds
+
+    def test_with_layout_invalid(self, ds):
+        with pytest.raises(ValueError):
+            ds.with_layout("bogus")
+
+    def test_take_samples(self, ds):
+        sub = ds.take_samples(10)
+        assert sub.n_samples == 10
+        np.testing.assert_array_equal(sub.as_rows(), ds.as_rows()[:10])
+
+    def test_take_samples_preserves_layout(self, ds):
+        sm = ds.with_layout("sample-major")
+        assert sm.take_samples(5).layout == "sample-major"
+
+    def test_take_samples_bounds(self, ds):
+        with pytest.raises(ValueError):
+            ds.take_samples(0)
+        with pytest.raises(ValueError):
+            ds.take_samples(ds.n_samples + 1)
+
+    def test_select_variables(self, ds):
+        sub = ds.select_variables([3, 1])
+        assert sub.n_variables == 2
+        np.testing.assert_array_equal(sub.column(0), ds.column(3))
+        np.testing.assert_array_equal(sub.column(1), ds.column(1))
+        assert sub.names == (ds.names[3], ds.names[1])
+
+    def test_select_variables_sample_major(self, ds):
+        sm = ds.with_layout("sample-major")
+        sub = sm.select_variables([0, 2])
+        np.testing.assert_array_equal(sub.column(1), ds.column(2))

@@ -1,0 +1,124 @@
+"""Experiment-regenerator tests on miniature workloads.
+
+These run each experiment function on heavily scaled-down inputs and check
+the paper's qualitative claims programmatically: the full-size tables live
+in the benchmark suite; here we verify the machinery and directions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import (
+    experiment_fig2,
+    experiment_fig4,
+    experiment_fig5,
+    experiment_table1,
+    experiment_table2,
+    experiment_table3,
+    experiment_table4,
+    traced_run,
+)
+from repro.bench.workloads import make_workload
+
+# Miniature settings shared by all experiment smoke-tests.
+MINI_NETS = ("alarm",)
+MINI_M = 800
+
+
+@pytest.fixture(scope="module")
+def mini_run():
+    return traced_run(make_workload("alarm", MINI_M, scale=0.5))
+
+
+class TestTracedRun:
+    def test_calibration_matches_measurement(self, mini_run):
+        assert mini_run.seq_sim.seconds == pytest.approx(
+            mini_run.result.elapsed["skeleton"], rel=1e-6
+        )
+
+    def test_cached(self):
+        a = traced_run(make_workload("alarm", MINI_M, scale=0.5))
+        b = traced_run(make_workload("alarm", MINI_M, scale=0.5))
+        assert a is b
+
+    def test_speedup_interface(self, mini_run):
+        assert mini_run.speedup("ci", 1) <= mini_run.speedup("ci", 8) * 1.5
+
+
+class TestTable1:
+    def test_properties_direction(self):
+        out = experiment_table1(network="alarm", n_samples=MINI_M)
+        imb = out.data["imbalance"]
+        assert imb["edge-level"] > imb["ci-level"]
+        assert out.data["atomic_ops_sample_level"] == out.data["n_tests"] * MINI_M
+        assert "CI-level" in out.text
+
+
+class TestTable2:
+    def test_counts_match(self):
+        out = experiment_table2()
+        for name, row in out.data.items():
+            assert row["paper_nodes"] == row["built_nodes"]
+            assert row["paper_edges"] == row["built_edges"]
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def out(self):
+        return experiment_table3(networks=("alarm",), n_samples=MINI_M, n_threads=8)
+
+    def test_fastbns_seq_beats_bnlearn_analog(self, out):
+        row = next(iter(out.data.values()))
+        assert row["fastbns_seq_s"] < row["bnlearn_seq_s"]
+
+    def test_naive_is_slowest(self, out):
+        row = next(iter(out.data.values()))
+        assert row["naive_seq_s"] > row["bnlearn_seq_s"]
+
+    def test_parallel_fastbns_beats_parallel_baselines(self, out):
+        row = next(iter(out.data.values()))
+        assert row["fastbns_par_s"] < row["bnlearn_par_s"]
+        assert row["fastbns_par_s"] < row["parallel_pc_s"]
+
+    def test_grouping_saves_tests(self, out):
+        row = next(iter(out.data.values()))
+        assert row["n_tests_fast"] <= row["n_tests_ref"]
+
+
+class TestTable4:
+    def test_fastbns_lower_miss_rates(self):
+        out = experiment_table4(networks=("alarm",), n_samples=MINI_M, n_threads=8)
+        reports = next(iter(out.data.values()))
+        fast_par = reports["Fast-BNS-par"]
+        bn_par = reports["bnlearn-par*"]
+        assert fast_par.l1_miss_rate < bn_par.l1_miss_rate
+        assert fast_par.l1_accesses < bn_par.l1_accesses
+        assert fast_par.cpu_utilization > 1.0  # parallel run uses > 1 core
+
+
+class TestFig2:
+    def test_ci_level_wins(self):
+        out = experiment_fig2(networks=("alarm",), n_samples=MINI_M, threads=(4, 16))
+        series = next(iter(out.data.values()))
+        for i in range(2):
+            assert series["CI-level"][i] <= series["Edge-level"][i]
+            assert series["Edge-level"][i] < series["Sample-level"][i]
+
+
+class TestFig4:
+    def test_inflation_monotone_in_gs(self):
+        out = experiment_fig4(networks=("alarm",), n_samples=MINI_M, group_sizes=(1, 4, 8))
+        data = next(iter(out.data.values()))
+        inflation = data["inflation_pct"]
+        assert inflation[0] == 0.0
+        assert inflation[0] <= inflation[1] <= inflation[2]
+        assert data["best_gs"] in (1, 4, 8)
+
+
+class TestFig5:
+    def test_rows_cover_networks(self):
+        out = experiment_fig5(networks=("alarm",), n_samples=MINI_M, n_threads=8)
+        assert len(out.data) == 1
+        entry = next(iter(out.data.values()))
+        assert entry["speedup"] > 0

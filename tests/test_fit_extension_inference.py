@@ -1,0 +1,317 @@
+"""Tests for parameter fitting, PDAG->DAG extension and inference."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.sampling import forward_sample
+from repro.graphs.dag import dag_to_cpdag, is_acyclic, v_structures_of_dag  # noqa: F401
+from repro.graphs.extension import NoConsistentExtensionError, pdag_to_dag
+from repro.graphs.pdag import PDAG
+from repro.inference.variable_elimination import Factor, VariableElimination
+from repro.networks.classic import asia, cancer, sprinkler
+from repro.networks.fit import fit_cpts, log_likelihood
+from repro.networks.generators import random_network
+
+
+class TestFitCpts:
+    def test_recovers_generating_cpts(self):
+        net = sprinkler()
+        data = forward_sample(net, 100000, rng=0)
+        fitted = fit_cpts(net.n_nodes, net.edges(), data, pseudo_count=0.0)
+        for i in range(net.n_nodes):
+            np.testing.assert_allclose(fitted.cpt(i).table, net.cpt(i).table, atol=0.02)
+            assert fitted.cpt(i).parents == net.cpt(i).parents
+
+    def test_pseudo_count_smooths(self, rng):
+        # A configuration never observed gets a non-degenerate row.
+        rows = np.array([[0, 0]] * 50)  # X always 0
+        from repro.datasets.dataset import DiscreteDataset
+
+        data = DiscreteDataset.from_rows(rows, arities=[2, 2])
+        fitted = fit_cpts(2, [(0, 1)], data, pseudo_count=1.0)
+        table = fitted.cpt(1).table
+        np.testing.assert_allclose(table[1], [0.5, 0.5])  # X=1 never seen
+        assert table[0, 0] > 0.9
+
+    def test_zero_pseudo_count_unseen_config_uniform(self):
+        rows = np.array([[0, 1]] * 30)
+        from repro.datasets.dataset import DiscreteDataset
+
+        data = DiscreteDataset.from_rows(rows, arities=[2, 2])
+        fitted = fit_cpts(2, [(0, 1)], data, pseudo_count=0.0)
+        np.testing.assert_allclose(fitted.cpt(1).table[1], [0.5, 0.5])
+        np.testing.assert_allclose(fitted.cpt(1).table[0], [0.0, 1.0])
+
+    def test_validation(self, sprinkler_data):
+        with pytest.raises(ValueError):
+            fit_cpts(3, [], sprinkler_data)
+        with pytest.raises(ValueError):
+            fit_cpts(4, [], sprinkler_data, pseudo_count=-1)
+
+    def test_log_likelihood_improves_with_true_structure(self):
+        net = cancer()
+        data = forward_sample(net, 5000, rng=2)
+        true_fit = fit_cpts(net.n_nodes, net.edges(), data)
+        empty_fit = fit_cpts(net.n_nodes, [], data)
+        assert log_likelihood(true_fit, data) > log_likelihood(empty_fit, data)
+
+    def test_log_likelihood_matches_manual(self):
+        net = sprinkler()
+        data = forward_sample(net, 500, rng=3)
+        ll = log_likelihood(net, data)
+        manual = sum(net.log_probability(row) for row in data.as_rows())
+        assert ll == pytest.approx(manual, rel=1e-9)
+
+    def test_log_likelihood_size_mismatch(self, sprinkler_data):
+        with pytest.raises(ValueError):
+            log_likelihood(asia(), sprinkler_data)
+
+
+class TestPdagToDag:
+    @pytest.mark.parametrize("factory", [sprinkler, asia, cancer])
+    def test_extension_of_true_cpdag_is_equivalent(self, factory):
+        net = factory()
+        cpdag = dag_to_cpdag(net.n_nodes, net.edges())
+        dag = pdag_to_dag(cpdag)
+        assert is_acyclic(net.n_nodes, dag)
+        # Same skeleton.
+        assert {(min(u, v), max(u, v)) for u, v in dag} == {
+            (min(u, v), max(u, v)) for u, v in net.edges()
+        }
+        # Same v-structures (hence same equivalence class).
+        assert v_structures_of_dag(net.n_nodes, dag) == v_structures_of_dag(
+            net.n_nodes, net.edges()
+        )
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_cpdag_extensions(self, seed):
+        from repro.networks.generators import random_dag
+
+        n = 9
+        edges = random_dag(n, 12, rng=seed, max_parents=None)
+        cpdag = dag_to_cpdag(n, edges)
+        dag = pdag_to_dag(cpdag)
+        assert is_acyclic(n, dag)
+        assert v_structures_of_dag(n, dag) == v_structures_of_dag(n, edges)
+
+    def test_fully_directed_input_passes_through(self):
+        p = PDAG(3)
+        p.add_directed(0, 1)
+        p.add_directed(1, 2)
+        assert sorted(pdag_to_dag(p)) == [(0, 1), (1, 2)]
+
+    def test_fully_undirected_chain(self):
+        p = PDAG(3)
+        p.add_undirected(0, 1)
+        p.add_undirected(1, 2)
+        dag = pdag_to_dag(p)
+        assert is_acyclic(3, dag)
+        assert v_structures_of_dag(3, dag) == set()  # no new collider
+
+    def test_inconsistent_pdag_rejected(self):
+        # Directed 3-cycle cannot extend.
+        p = PDAG(3)
+        p.add_directed(0, 1)
+        p.add_directed(1, 2)
+        p.add_directed(2, 0)
+        with pytest.raises(NoConsistentExtensionError):
+            pdag_to_dag(p)
+
+    def test_input_not_mutated(self):
+        p = PDAG(3)
+        p.add_undirected(0, 1)
+        snapshot = p.copy()
+        pdag_to_dag(p)
+        assert p == snapshot
+
+
+class TestFactor:
+    def test_multiply_broadcasts(self):
+        a = Factor((0,), np.array([0.5, 0.5]))
+        b = Factor((1,), np.array([0.25, 0.75]))
+        prod = a.multiply(b)
+        assert prod.variables == (0, 1)
+        np.testing.assert_allclose(prod.values, np.outer([0.5, 0.5], [0.25, 0.75]))
+
+    def test_multiply_shared_variable(self):
+        a = Factor((0, 1), np.arange(4).reshape(2, 2).astype(float))
+        b = Factor((1,), np.array([2.0, 3.0]))
+        prod = a.multiply(b)
+        np.testing.assert_allclose(prod.values, a.values * np.array([2.0, 3.0]))
+
+    def test_sum_out(self):
+        a = Factor((0, 1), np.arange(6).reshape(2, 3).astype(float))
+        out = a.sum_out(0)
+        assert out.variables == (1,)
+        np.testing.assert_allclose(out.values, a.values.sum(axis=0))
+
+    def test_reduce(self):
+        a = Factor((0, 1), np.arange(4).reshape(2, 2).astype(float))
+        red = a.reduce(0, 1)
+        assert red.variables == (1,)
+        np.testing.assert_allclose(red.values, [2.0, 3.0])
+
+    def test_reduce_missing_variable_is_noop(self):
+        a = Factor((0,), np.array([1.0, 2.0]))
+        assert a.reduce(5, 0) is a
+
+    def test_normalised(self):
+        a = Factor((0,), np.array([1.0, 3.0]))
+        np.testing.assert_allclose(a.normalised().values, [0.25, 0.75])
+
+    def test_zero_factor_rejected(self):
+        with pytest.raises(ValueError):
+            Factor((0,), np.zeros(2)).normalised()
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Factor((0, 1), np.zeros(3))
+
+    def test_duplicate_variable_rejected(self):
+        with pytest.raises(ValueError):
+            Factor((0, 0), np.zeros((2, 2)))
+
+
+def brute_marginal(net, var, evidence):
+    """Enumerate the full joint (small networks only)."""
+    n = net.n_nodes
+    arities = [int(a) for a in net.arities]
+    probs = np.zeros(arities[var])
+    assignment = [0] * n
+
+    def rec(i):
+        if i == n:
+            for k, v in evidence.items():
+                if assignment[k] != v:
+                    return
+            probs[assignment[var]] += np.exp(net.log_probability(assignment))
+            return
+        for val in range(arities[i]):
+            assignment[i] = val
+            rec(i + 1)
+
+    rec(0)
+    return probs / probs.sum()
+
+
+class TestVariableElimination:
+    @pytest.mark.parametrize("factory", [sprinkler, cancer])
+    def test_prior_marginals_match_brute_force(self, factory):
+        net = factory()
+        ve = VariableElimination(net)
+        for var in range(net.n_nodes):
+            np.testing.assert_allclose(
+                ve.marginal(var), brute_marginal(net, var, {}), atol=1e-10
+            )
+
+    def test_posterior_matches_brute_force(self):
+        net = sprinkler()
+        ve = VariableElimination(net)
+        for evidence in ({3: 1}, {3: 0, 0: 1}, {1: 1}):
+            for var in range(4):
+                if var in evidence:
+                    continue
+                np.testing.assert_allclose(
+                    ve.marginal(var, evidence),
+                    brute_marginal(net, var, evidence),
+                    atol=1e-10,
+                )
+
+    def test_asia_diagnostic_query(self):
+        net = asia()
+        ve = VariableElimination(net)
+        X, D, L = 6, 7, 3
+        # Positive x-ray and dyspnoea raise P(LungCancer).
+        prior = ve.marginal(L)[1]
+        posterior = ve.marginal(L, {X: 1, D: 1})[1]
+        assert posterior > 3 * prior
+
+    def test_joint_query(self):
+        net = sprinkler()
+        ve = VariableElimination(net)
+        joint = ve.query([1, 2], {0: 1})
+        assert joint.values.shape == (2, 2)
+        assert joint.values.sum() == pytest.approx(1.0)
+
+    def test_query_validation(self):
+        ve = VariableElimination(sprinkler())
+        with pytest.raises(ValueError):
+            ve.query([0], {0: 1})  # query var in evidence
+        with pytest.raises(ValueError):
+            ve.query([99])
+        with pytest.raises(ValueError):
+            ve.query([0], {1: 7})  # out-of-range evidence value
+
+    def test_impossible_evidence(self):
+        # Root is always 0 and the child copies it, so child = 1 is an
+        # impossible observation.
+        from repro.networks.bayesnet import CPT, DiscreteBayesianNetwork
+
+        cpts = [
+            CPT(parents=(), table=np.array([[1.0, 0.0]])),
+            CPT(parents=(0,), table=np.array([[1.0, 0.0], [0.0, 1.0]])),
+        ]
+        net = DiscreteBayesianNetwork([2, 2], cpts)
+        ve = VariableElimination(net)
+        with pytest.raises(ValueError, match="probability 0"):
+            ve.marginal(0, {1: 1})
+
+    def test_deterministic_chain_posterior(self):
+        from repro.networks.bayesnet import CPT, DiscreteBayesianNetwork
+
+        cpts = [
+            CPT(parents=(), table=np.array([[0.3, 0.7]])),
+            CPT(parents=(0,), table=np.array([[1.0, 0.0], [0.0, 1.0]])),
+        ]
+        net = DiscreteBayesianNetwork([2, 2], cpts)
+        ve = VariableElimination(net)
+        np.testing.assert_allclose(ve.marginal(0, {1: 1}), [0.0, 1.0])
+        np.testing.assert_allclose(ve.marginal(1), [0.3, 0.7])
+
+
+class TestRelaxedExtension:
+    def test_inconsistent_pdag_gets_dag(self):
+        from repro.graphs.extension import relaxed_extension
+
+        p = PDAG(3)
+        p.add_directed(0, 1)
+        p.add_directed(1, 2)
+        p.add_directed(2, 0)  # conflict cycle
+        dag = pdag_to_dag(p, strict=False)
+        assert is_acyclic(3, dag)
+        assert {(min(a, b), max(a, b)) for a, b in dag} == {(0, 1), (1, 2), (0, 2)}
+        assert is_acyclic(3, relaxed_extension(p))
+
+    def test_consistent_input_prefers_dor_tarsi(self):
+        net = sprinkler()
+        cpdag = dag_to_cpdag(net.n_nodes, net.edges())
+        strict_dag = pdag_to_dag(cpdag, strict=True)
+        relaxed_dag = pdag_to_dag(cpdag, strict=False)
+        assert sorted(strict_dag) == sorted(relaxed_dag)
+        assert v_structures_of_dag(4, relaxed_dag) == v_structures_of_dag(4, net.edges())
+
+    def test_relaxed_preserves_consistent_arrows(self):
+        from repro.graphs.extension import relaxed_extension
+
+        p = PDAG(4)
+        p.add_directed(0, 1)
+        p.add_undirected(1, 2)
+        p.add_directed(2, 3)
+        dag = relaxed_extension(p)
+        assert (0, 1) in dag
+        assert (2, 3) in dag
+        assert is_acyclic(4, dag)
+
+    def test_learned_data_pipeline_never_fails(self):
+        # The exact situation that motivated relaxed mode: learned CPDAGs
+        # with statistically inconsistent orientations.
+        from repro.bench.workloads import make_workload
+        from repro.core.learn import learn_structure
+
+        wl = make_workload("insurance", 2000, scale=0.6)
+        res = learn_structure(wl.dataset, alpha=0.01, max_depth=3, dof_adjust="slices")
+        dag = pdag_to_dag(res.cpdag, strict=False)
+        assert is_acyclic(wl.dataset.n_variables, dag)
+        assert {(min(a, b), max(a, b)) for a, b in dag} == set(res.skeleton.edges())

@@ -1,0 +1,122 @@
+"""Random network/DAG generator tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs.dag import is_acyclic
+from repro.networks.generators import (
+    chain_network,
+    naive_bayes_network,
+    random_cpts,
+    random_dag,
+    random_network,
+)
+
+
+class TestRandomDag:
+    @pytest.mark.parametrize("n,e", [(5, 4), (20, 40), (50, 80), (10, 0)])
+    def test_edge_count_and_acyclicity(self, n, e):
+        edges = random_dag(n, e, rng=0)
+        assert len(edges) == e
+        assert len(set(edges)) == e
+        assert is_acyclic(n, edges)
+
+    def test_deterministic(self):
+        assert random_dag(15, 25, rng=3) == random_dag(15, 25, rng=3)
+
+    def test_max_parents_respected(self):
+        edges = random_dag(30, 60, rng=1, max_parents=3)
+        indeg = np.zeros(30, dtype=int)
+        for _, c in edges:
+            indeg[c] += 1
+        assert indeg.max() <= 3
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(ValueError):
+            random_dag(4, 7, rng=0)  # K4 has 6 edges
+
+    def test_max_parents_caps_capacity(self):
+        # With max_parents=1 a DAG on n nodes has at most n-1 edges.
+        with pytest.raises(ValueError):
+            random_dag(5, 5, rng=0, max_parents=1)
+        edges = random_dag(5, 4, rng=0, max_parents=1)
+        assert len(edges) == 4
+
+    def test_dense_request_falls_back_to_fill(self):
+        # Nearly complete graph forces the deterministic fill path.
+        n = 8
+        e = n * (n - 1) // 2
+        edges = random_dag(n, e, rng=2, max_parents=None, hub_bias=0.0)
+        assert len(edges) == e
+        assert is_acyclic(n, edges)
+
+    def test_hub_bias_skews_out_degree(self):
+        rng = np.random.default_rng(0)
+        hubby = random_dag(60, 150, rng=rng, hub_bias=3.0, max_parents=None)
+        out = np.zeros(60, dtype=int)
+        for p, _ in hubby:
+            out[p] += 1
+        flat = random_dag(60, 150, rng=np.random.default_rng(0), hub_bias=0.0, max_parents=None)
+        out_flat = np.zeros(60, dtype=int)
+        for p, _ in flat:
+            out_flat[p] += 1
+        assert out.max() > out_flat.max()
+
+
+class TestRandomCpts:
+    def test_shapes_and_normalisation(self):
+        arities = np.array([2, 3, 2])
+        edges = [(0, 2), (1, 2)]
+        cpts = random_cpts(arities, edges, rng=0)
+        assert cpts[2].n_parent_configs == 6
+        assert cpts[2].parents == (0, 1)
+        for cpt in cpts:
+            np.testing.assert_allclose(cpt.table.sum(axis=1), 1.0)
+
+    def test_no_exact_zeros(self):
+        cpts = random_cpts(np.array([4, 4]), [(0, 1)], rng=1, concentration=0.05)
+        for cpt in cpts:
+            assert (cpt.table > 0).all()
+
+
+class TestRandomNetwork:
+    def test_counts(self):
+        net = random_network(25, 40, rng=0)
+        assert net.n_nodes == 25
+        assert net.n_edges == 40
+
+    def test_arity_range(self):
+        net = random_network(40, 50, rng=1, arity_range=(3, 5))
+        assert net.arities.min() >= 3
+        assert net.arities.max() <= 5
+
+    def test_deterministic(self):
+        a = random_network(15, 20, rng=9)
+        b = random_network(15, 20, rng=9)
+        assert a.edges() == b.edges()
+        for i in range(15):
+            np.testing.assert_array_equal(a.cpt(i).table, b.cpt(i).table)
+
+    def test_unit_arity_rejected(self):
+        with pytest.raises(ValueError):
+            random_network(5, 4, rng=0, arity_range=(1, 2))
+
+    def test_names(self):
+        net = random_network(3, 2, rng=0, names=("x", "y", "z"))
+        assert net.names == ("x", "y", "z")
+
+
+class TestStructuredFamilies:
+    def test_chain(self):
+        net = chain_network(6, rng=0)
+        assert net.edges() == [(i, i + 1) for i in range(5)]
+
+    def test_naive_bayes_star(self):
+        net = naive_bayes_network(7, rng=0)
+        assert sorted(net.edges()) == [(0, i) for i in range(1, 8)]
+
+    def test_chain_arity(self):
+        net = chain_network(4, arity=3, rng=0)
+        assert (net.arities == 3).all()

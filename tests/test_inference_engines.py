@@ -1,0 +1,232 @@
+"""Junction-tree, sampling-based and interventional inference tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.inference.intervention import intervene, interventional_marginal
+from repro.inference.junction_tree import (
+    JunctionTree,
+    min_fill_order,
+    moralize,
+    triangulated_cliques,
+)
+from repro.inference.sampling_inference import likelihood_weighting, rejection_sampling
+from repro.inference.variable_elimination import VariableElimination
+from repro.networks.classic import asia, cancer, sprinkler
+from repro.networks.generators import chain_network, random_network
+
+
+class TestMoralization:
+    def test_coparents_married(self, sprinkler_net):
+        adj = moralize(sprinkler_net)
+        # Sprinkler (1) and Rain (2) share child WetGrass: moral edge.
+        assert 2 in adj[1] and 1 in adj[2]
+
+    def test_all_dag_edges_present(self, asia_net):
+        adj = moralize(asia_net)
+        for u, v in asia_net.edges():
+            assert v in adj[u] and u in adj[v]
+
+    def test_symmetric(self, asia_net):
+        adj = moralize(asia_net)
+        for u in range(len(adj)):
+            for v in adj[u]:
+                assert u in adj[v]
+
+
+class TestTriangulation:
+    def test_order_covers_all_nodes(self, asia_net):
+        adj = moralize(asia_net)
+        order = min_fill_order(adj)
+        assert sorted(order) == list(range(asia_net.n_nodes))
+
+    def test_cliques_cover_families(self, asia_net):
+        adj = moralize(asia_net)
+        cliques = triangulated_cliques(adj, min_fill_order(adj))
+        for node in range(asia_net.n_nodes):
+            family = set(asia_net.parents(node)) | {node}
+            assert any(family <= c for c in cliques), node
+
+    def test_cliques_are_maximal(self, asia_net):
+        adj = moralize(asia_net)
+        cliques = triangulated_cliques(adj, min_fill_order(adj))
+        for i, a in enumerate(cliques):
+            for j, b in enumerate(cliques):
+                if i != j:
+                    assert not a <= b
+
+
+class TestJunctionTreeVsVE:
+    @pytest.mark.parametrize("factory", [sprinkler, asia, cancer])
+    def test_prior_marginals(self, factory):
+        net = factory()
+        ve = VariableElimination(net)
+        jt = JunctionTree(net).calibrate()
+        for var in range(net.n_nodes):
+            np.testing.assert_allclose(jt.marginal(var), ve.marginal(var), atol=1e-10)
+
+    @pytest.mark.parametrize("factory", [sprinkler, asia])
+    def test_posterior_marginals(self, factory):
+        net = factory()
+        ve = VariableElimination(net)
+        evidence = {net.n_nodes - 1: 1, 0: 0}
+        jt = JunctionTree(net).calibrate(evidence)
+        for var in range(net.n_nodes):
+            if var in evidence:
+                continue
+            np.testing.assert_allclose(
+                jt.marginal(var), ve.marginal(var, evidence), atol=1e-10
+            )
+
+    def test_evidence_variable_marginal_is_point_mass(self, sprinkler_net):
+        jt = JunctionTree(sprinkler_net).calibrate({1: 1})
+        np.testing.assert_allclose(jt.marginal(1), [0.0, 1.0])
+
+    def test_log_evidence_matches_enumeration(self, sprinkler_net):
+        jt = JunctionTree(sprinkler_net).calibrate({3: 1})
+        total = 0.0
+        for a in range(2):
+            for b in range(2):
+                for c in range(2):
+                    total += np.exp(sprinkler_net.log_probability([a, b, c, 1]))
+        assert jt.log_evidence == pytest.approx(np.log(total), rel=1e-9)
+
+    def test_random_network_agreement(self):
+        net = random_network(12, 15, rng=3, arity_range=(2, 3), max_parents=3)
+        ve = VariableElimination(net)
+        jt = JunctionTree(net).calibrate({0: 0})
+        for var in range(1, net.n_nodes):
+            np.testing.assert_allclose(jt.marginal(var), ve.marginal(var, {0: 0}), atol=1e-9)
+
+    def test_disconnected_network(self):
+        # Two independent chains: components calibrate independently.
+        net = random_network(6, 2, rng=1, arity_range=(2, 2), max_parents=1)
+        jt = JunctionTree(net).calibrate()
+        ve = VariableElimination(net)
+        for var in range(6):
+            np.testing.assert_allclose(jt.marginal(var), ve.marginal(var), atol=1e-10)
+
+    def test_requires_calibration(self, sprinkler_net):
+        jt = JunctionTree(sprinkler_net)
+        with pytest.raises(RuntimeError):
+            jt.marginal(0)
+        with pytest.raises(RuntimeError):
+            jt.log_evidence
+
+    def test_evidence_validation(self, sprinkler_net):
+        with pytest.raises(ValueError):
+            JunctionTree(sprinkler_net).calibrate({99: 0})
+        with pytest.raises(ValueError):
+            JunctionTree(sprinkler_net).calibrate({0: 9})
+
+    def test_impossible_evidence(self):
+        from repro.networks.bayesnet import CPT, DiscreteBayesianNetwork
+
+        cpts = [
+            CPT(parents=(), table=np.array([[1.0, 0.0]])),
+            CPT(parents=(0,), table=np.array([[1.0, 0.0], [0.0, 1.0]])),
+        ]
+        net = DiscreteBayesianNetwork([2, 2], cpts)
+        with pytest.raises(ValueError, match="probability 0"):
+            JunctionTree(net).calibrate({1: 1})
+
+    def test_recalibration_with_new_evidence(self, sprinkler_net):
+        jt = JunctionTree(sprinkler_net)
+        jt.calibrate({3: 1})
+        first = jt.marginal(2).copy()
+        jt.calibrate({3: 0})
+        second = jt.marginal(2)
+        assert not np.allclose(first, second)
+
+
+class TestSamplingInference:
+    def test_likelihood_weighting_converges(self, sprinkler_net):
+        exact = VariableElimination(sprinkler_net).marginal(2, {3: 1})
+        estimate = likelihood_weighting(sprinkler_net, 2, {3: 1}, n_samples=100000, rng=0)
+        np.testing.assert_allclose(estimate, exact, atol=0.01)
+
+    def test_rejection_converges(self, sprinkler_net):
+        exact = VariableElimination(sprinkler_net).marginal(2, {3: 1})
+        estimate = rejection_sampling(sprinkler_net, 2, {3: 1}, n_samples=100000, rng=0)
+        np.testing.assert_allclose(estimate, exact, atol=0.01)
+
+    def test_no_evidence_matches_prior(self, cancer_net):
+        exact = VariableElimination(cancer_net).marginal(2)
+        lw = likelihood_weighting(cancer_net, 2, n_samples=100000, rng=1)
+        np.testing.assert_allclose(lw, exact, atol=0.01)
+
+    def test_lw_handles_unlikely_evidence(self, asia_net):
+        # P(Asia=1) = 0.01: rejection wastes 99% of samples; LW does not.
+        exact = VariableElimination(asia_net).marginal(1, {0: 1})
+        lw = likelihood_weighting(asia_net, 1, {0: 1}, n_samples=50000, rng=2)
+        np.testing.assert_allclose(lw, exact, atol=0.02)
+
+    def test_rejection_raises_when_all_rejected(self):
+        from repro.networks.bayesnet import CPT, DiscreteBayesianNetwork
+
+        cpts = [
+            CPT(parents=(), table=np.array([[1.0, 0.0]])),
+            CPT(parents=(), table=np.array([[0.5, 0.5]])),
+        ]
+        net = DiscreteBayesianNetwork([2, 2], cpts)
+        with pytest.raises(ValueError, match="rejected"):
+            rejection_sampling(net, 1, {0: 1}, n_samples=1000, rng=0)
+
+    def test_validation(self, sprinkler_net):
+        with pytest.raises(ValueError):
+            likelihood_weighting(sprinkler_net, 0, {0: 1})
+        with pytest.raises(ValueError):
+            rejection_sampling(sprinkler_net, 9)
+
+    def test_deterministic_given_seed(self, sprinkler_net):
+        a = likelihood_weighting(sprinkler_net, 2, {3: 1}, n_samples=5000, rng=7)
+        b = likelihood_weighting(sprinkler_net, 2, {3: 1}, n_samples=5000, rng=7)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestIntervention:
+    def test_mutilated_structure(self, sprinkler_net):
+        mutilated = intervene(sprinkler_net, {1: 1})
+        assert mutilated.parents(1) == ()
+        np.testing.assert_allclose(mutilated.cpt(1).table, [[0.0, 1.0]])
+        # Other CPTs untouched.
+        np.testing.assert_allclose(mutilated.cpt(3).table, sprinkler_net.cpt(3).table)
+
+    def test_do_differs_from_observation(self, sprinkler_net):
+        """Observing Sprinkler=on is evidence that it is sunny (anti-rain);
+        *forcing* the sprinkler is not."""
+        ve = VariableElimination(sprinkler_net)
+        observed = ve.marginal(2, {1: 1})[1]  # P(Rain=1 | Sprinkler=1)
+        forced = interventional_marginal(sprinkler_net, 2, {1: 1})[1]
+        prior = ve.marginal(2)[1]
+        assert observed < prior  # observation explains away rain
+        assert forced == pytest.approx(prior, abs=1e-10)  # do() does not
+
+    def test_do_on_effect_does_not_touch_cause(self, cancer_net):
+        # do(Xray) cannot change P(Cancer); observing Xray does.
+        ve = VariableElimination(cancer_net)
+        prior = ve.marginal(2)
+        forced = interventional_marginal(cancer_net, 2, {3: 1})
+        observed = ve.marginal(2, {3: 1})
+        np.testing.assert_allclose(forced, prior, atol=1e-10)
+        assert not np.allclose(observed, prior)
+
+    def test_downstream_effect_propagates(self, cancer_net):
+        # do(Cancer=1) raises P(Xray=1) to its conditional.
+        forced = interventional_marginal(cancer_net, 3, {2: 1})
+        np.testing.assert_allclose(forced, cancer_net.cpt(3).table[1], atol=1e-10)
+
+    def test_with_evidence(self, asia_net):
+        out = interventional_marginal(asia_net, 3, {2: 1}, evidence={6: 1})
+        assert out.shape == (2,)
+        assert out.sum() == pytest.approx(1.0)
+
+    def test_validation(self, sprinkler_net):
+        with pytest.raises(ValueError):
+            intervene(sprinkler_net, {9: 0})
+        with pytest.raises(ValueError):
+            intervene(sprinkler_net, {0: 5})
+        with pytest.raises(ValueError):
+            interventional_marginal(sprinkler_net, 1, {1: 1})

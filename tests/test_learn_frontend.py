@@ -1,0 +1,132 @@
+"""learn_structure / FastBNS / baseline front-end tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.fastbns import FastBNS
+from repro.core.learn import learn_structure, make_tester
+from repro.core.pcstable import pc_stable, pc_stable_naive
+from repro.core.trace import TraceRecorder
+
+
+class TestLearnStructure:
+    def test_accepts_raw_rows(self, asia_data):
+        rows = asia_data.as_rows()
+        res = learn_structure(rows, arities=list(asia_data.arities))
+        ref = learn_structure(asia_data)
+        assert sorted(res.skeleton.edges()) == sorted(ref.skeleton.edges())
+
+    def test_result_fields(self, asia_data):
+        res = learn_structure(asia_data)
+        assert res.names == asia_data.names
+        assert res.n_ci_tests == res.stats.n_tests
+        assert set(res.elapsed) == {"skeleton", "orientation", "total"}
+        assert res.elapsed["total"] >= res.elapsed["skeleton"]
+        assert res.cpdag.skeleton_edges() == set(res.skeleton.edges())
+
+    def test_edge_name_views(self, asia_data):
+        res = learn_structure(asia_data)
+        names = dict(zip(range(len(res.names)), res.names))
+        assert all(
+            (a in res.names and b in res.names) for a, b in res.edge_names()
+        )
+        for a, b in res.directed_edge_names():
+            assert a in names.values() and b in names.values()
+
+    def test_unknown_method(self, asia_data):
+        with pytest.raises(ValueError, match="method"):
+            learn_structure(asia_data, method="magic")
+
+    def test_unknown_parallelism(self, asia_data):
+        with pytest.raises(ValueError, match="parallelism"):
+            learn_structure(asia_data, parallelism="quantum")
+
+    def test_invalid_jobs(self, asia_data):
+        with pytest.raises(ValueError):
+            learn_structure(asia_data, n_jobs=0)
+
+    def test_chi2_and_mi_tests_run(self, asia_data):
+        for test in ("chi2", "mi"):
+            res = learn_structure(asia_data, test=test)
+            assert res.skeleton.n_edges > 0
+
+    def test_recorder_integration(self, asia_data):
+        rec = TraceRecorder()
+        res = learn_structure(asia_data, recorder=rec)
+        assert rec.n_tests == res.n_ci_tests
+
+    def test_max_depth_forwarded(self, asia_data):
+        res = learn_structure(asia_data, max_depth=1)
+        assert res.stats.max_depth <= 1
+
+
+class TestMakeTester:
+    def test_by_name(self, asia_data):
+        from repro.citests.chisquare import ChiSquareTest
+        from repro.citests.gsquare import GSquareTest
+        from repro.citests.mutual_info import MutualInformationTest
+        from repro.citests.naive import NaiveGSquareTest
+
+        assert isinstance(make_tester(asia_data, "g2"), GSquareTest)
+        assert isinstance(make_tester(asia_data, "chi2"), ChiSquareTest)
+        assert isinstance(make_tester(asia_data, "mi"), MutualInformationTest)
+        assert isinstance(make_tester(asia_data, "g2-naive"), NaiveGSquareTest)
+
+    def test_passthrough_instance(self, asia_data):
+        from repro.citests.gsquare import GSquareTest
+
+        tester = GSquareTest(asia_data, alpha=0.01)
+        assert make_tester(asia_data, tester) is tester
+
+    def test_unknown_name(self, asia_data):
+        with pytest.raises(ValueError):
+            make_tester(asia_data, "t-test")
+
+
+class TestBaselines:
+    def test_pc_stable_same_skeleton_as_fastbns(self, asia_data):
+        fast = learn_structure(asia_data)
+        ref = pc_stable(asia_data)
+        assert sorted(ref.skeleton.edges()) == sorted(fast.skeleton.edges())
+        assert ref.sepsets == fast.sepsets
+        assert ref.cpdag == fast.cpdag
+
+    def test_pc_stable_does_more_tests(self, asia_data):
+        fast = learn_structure(asia_data)
+        ref = pc_stable(asia_data)
+        assert ref.n_ci_tests >= fast.n_ci_tests
+
+    def test_naive_matches_on_small_input(self, sprinkler_data):
+        small = sprinkler_data.take_samples(800)
+        fast = learn_structure(small)
+        naive = pc_stable_naive(small)
+        assert sorted(naive.skeleton.edges()) == sorted(fast.skeleton.edges())
+
+    def test_gs_ignored_by_baseline(self, asia_data):
+        a = learn_structure(asia_data, method="pc-stable", gs=8)
+        b = learn_structure(asia_data, method="pc-stable", gs=1)
+        assert a.n_ci_tests == b.n_ci_tests
+
+
+class TestFastBNSClass:
+    def test_fit_and_result(self, asia_data):
+        model = FastBNS(alpha=0.05, gs=4)
+        res = model.fit(asia_data)
+        assert model.result_ is res
+        assert model.cpdag is res.cpdag
+
+    def test_cpdag_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            FastBNS().cpdag
+
+    def test_matches_functional_api(self, asia_data):
+        res_cls = FastBNS(gs=2).fit(asia_data)
+        res_fn = learn_structure(asia_data, gs=2)
+        assert res_cls.cpdag == res_fn.cpdag
+
+    def test_numpy_input(self, asia_data):
+        rows = np.asarray(asia_data.as_rows())
+        res = FastBNS().fit(rows, arities=list(asia_data.arities))
+        assert res.skeleton.n_edges > 0

@@ -1,0 +1,97 @@
+"""Markov-blanket discovery tests (Grow-Shrink, IAMB)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.citests.gsquare import GSquareTest
+from repro.citests.oracle import OracleCITest
+from repro.core.markov_blanket import grow_shrink, iamb, true_markov_blanket
+from repro.datasets.sampling import forward_sample
+from repro.networks.classic import asia, cancer, sprinkler
+from repro.networks.generators import random_dag, random_network
+
+
+class TestTrueMarkovBlanket:
+    def test_collider_includes_spouse(self):
+        # 0 -> 2 <- 1: MB(0) = {2, 1} (child + spouse)
+        edges = [(0, 2), (1, 2)]
+        assert true_markov_blanket(3, edges, 0) == frozenset({1, 2})
+
+    def test_chain_blanket(self):
+        edges = [(0, 1), (1, 2)]
+        assert true_markov_blanket(3, edges, 1) == frozenset({0, 2})
+        assert true_markov_blanket(3, edges, 0) == frozenset({1})
+
+    def test_isolated_node(self):
+        assert true_markov_blanket(3, [(0, 1)], 2) == frozenset()
+
+
+class TestOracleExactness:
+    @pytest.mark.parametrize("factory", [sprinkler, asia, cancer])
+    @pytest.mark.parametrize("algorithm", [grow_shrink, iamb])
+    def test_classics_exact(self, factory, algorithm):
+        net = factory()
+        tester = OracleCITest.from_network(net)
+        for target in range(net.n_nodes):
+            result = algorithm(tester, net.n_nodes, target)
+            assert result.blanket == true_markov_blanket(
+                net.n_nodes, net.edges(), target
+            ), (factory.__name__, target)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_dags_exact(self, seed):
+        n = 10
+        edges = random_dag(n, 14, rng=seed, max_parents=None)
+        tester = OracleCITest(n, edges)
+        for target in range(n):
+            for algorithm in (grow_shrink, iamb):
+                result = algorithm(tester, n, target)
+                assert result.blanket == true_markov_blanket(n, edges, target)
+
+    def test_shrink_removes_grow_false_positives(self):
+        # A chain 0 -> 1 -> 2: growing MB(0) may pick up 2 before 1 is in
+        # the candidate set; shrink must remove it.
+        edges = [(0, 1), (1, 2)]
+        tester = OracleCITest(3, edges)
+        result = grow_shrink(tester, 3, 0)
+        assert result.blanket == frozenset({1})
+        # 2 was either never added or got shrunk.
+        assert 2 not in result.blanket
+
+
+class TestOnData:
+    def test_strong_network_recovered(self):
+        net = random_network(8, 9, rng=4, arity_range=(2, 2), max_parents=2, concentration=0.2)
+        data = forward_sample(net, 30000, rng=5)
+        tester = GSquareTest(data, alpha=0.01)
+        hits = 0
+        total = 0
+        for target in range(net.n_nodes):
+            truth = true_markov_blanket(net.n_nodes, net.edges(), target)
+            found = iamb(tester, net.n_nodes, target, max_conditioning=4).blanket
+            hits += len(found & truth)
+            total += len(truth)
+        assert hits / max(total, 1) > 0.6
+
+    def test_work_accounting(self, asia_data):
+        tester = GSquareTest(asia_data)
+        before = tester.counters.n_tests
+        result = grow_shrink(tester, asia_data.n_variables, 0)
+        assert result.n_tests == tester.counters.n_tests - before
+        assert result.n_tests > 0
+
+    def test_target_validation(self, asia_data):
+        tester = GSquareTest(asia_data)
+        with pytest.raises(ValueError):
+            grow_shrink(tester, asia_data.n_variables, -1)
+        with pytest.raises(ValueError):
+            iamb(tester, asia_data.n_variables, asia_data.n_variables)
+
+    def test_traces_recorded(self, asia_data):
+        tester = GSquareTest(asia_data)
+        result = iamb(tester, asia_data.n_variables, 5)
+        # Every blanket member entered through the grow phase.
+        assert set(result.blanket) <= set(result.grow_trace)
+        # Shrunk variables are no longer in the blanket.
+        assert not (set(result.shrink_trace) & result.blanket)

@@ -1,0 +1,103 @@
+"""Structure-metric tests (skeleton P/R/F1, arrowheads, SHD)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.metrics import arrowhead_metrics, shd, skeleton_metrics
+from repro.graphs.pdag import PDAG
+
+
+class TestSkeletonMetrics:
+    def test_perfect(self):
+        m = skeleton_metrics([(0, 1), (1, 2)], [(1, 0), (2, 1)])
+        assert m.precision == 1.0
+        assert m.recall == 1.0
+        assert m.f1 == 1.0
+
+    def test_partial(self):
+        m = skeleton_metrics([(0, 1), (0, 2)], [(0, 1), (1, 2)])
+        assert m.true_positives == 1
+        assert m.false_positives == 1
+        assert m.false_negatives == 1
+        assert m.precision == 0.5
+        assert m.recall == 0.5
+
+    def test_empty_edges(self):
+        m = skeleton_metrics([], [])
+        assert m.precision == 1.0
+        assert m.recall == 1.0
+
+    def test_all_false_positives(self):
+        m = skeleton_metrics([(0, 1)], [])
+        assert m.precision == 0.0
+        assert m.recall == 1.0
+        assert m.f1 == 0.0
+
+    def test_orientation_ignored(self):
+        assert skeleton_metrics([(2, 0)], [(0, 2)]).f1 == 1.0
+
+
+class TestArrowheadMetrics:
+    def test_direction_sensitive(self):
+        a = PDAG(3)
+        a.add_directed(0, 1)
+        b = PDAG(3)
+        b.add_directed(1, 0)
+        m = arrowhead_metrics(a, b)
+        assert m.true_positives == 0
+        assert m.false_positives == 1
+        assert m.false_negatives == 1
+
+    def test_perfect(self):
+        a = PDAG(3)
+        a.add_directed(0, 1)
+        a.add_undirected(1, 2)
+        b = a.copy()
+        m = arrowhead_metrics(a, b)
+        assert m.precision == 1.0
+        assert m.recall == 1.0
+
+
+class TestSHD:
+    def build(self, n, und=(), dirs=()):
+        g = PDAG(n)
+        for u, v in und:
+            g.add_undirected(u, v)
+        for u, v in dirs:
+            g.add_directed(u, v)
+        return g
+
+    def test_identical_graphs(self):
+        a = self.build(3, und=[(0, 1)], dirs=[(1, 2)])
+        assert shd(a, a.copy()) == 0
+
+    def test_missing_edge(self):
+        a = self.build(3, und=[(0, 1)])
+        b = self.build(3)
+        assert shd(a, b) == 1
+
+    def test_misoriented_edge(self):
+        a = self.build(3, dirs=[(0, 1)])
+        b = self.build(3, dirs=[(1, 0)])
+        assert shd(a, b) == 1
+
+    def test_undirected_vs_directed(self):
+        a = self.build(3, und=[(0, 1)])
+        b = self.build(3, dirs=[(0, 1)])
+        assert shd(a, b) == 1
+
+    def test_multiple_differences(self):
+        a = self.build(4, und=[(0, 1)], dirs=[(2, 3)])
+        b = self.build(4, und=[(1, 2)], dirs=[(3, 2)])
+        # (0,1) extra, (1,2) missing, (2,3) misoriented
+        assert shd(a, b) == 3
+
+    def test_size_mismatch(self):
+        with pytest.raises(ValueError):
+            shd(PDAG(2), PDAG(3))
+
+    def test_symmetry(self):
+        a = self.build(4, und=[(0, 1), (2, 3)])
+        b = self.build(4, dirs=[(0, 1), (1, 2)])
+        assert shd(a, b) == shd(b, a)

@@ -1,0 +1,150 @@
+"""V-structure orientation and Meek-rule tests."""
+
+from __future__ import annotations
+
+from repro.core.orientation import (
+    apply_meek_rules,
+    orient_skeleton,
+    orient_v_structures,
+)
+from repro.core.sepsets import SepSetStore
+from repro.graphs.pdag import PDAG
+from repro.graphs.undirected import UndirectedGraph
+
+
+class TestVStructures:
+    def test_collider_oriented(self):
+        # 0 - 2 - 1 with 0, 1 separated by the empty set (2 not in sepset).
+        sk = UndirectedGraph.from_edges(3, [(0, 2), (1, 2)])
+        seps = SepSetStore()
+        seps.record(0, 1, ())
+        pdag = orient_v_structures(sk, seps)
+        assert pdag.has_directed(0, 2)
+        assert pdag.has_directed(1, 2)
+
+    def test_no_collider_when_middle_in_sepset(self):
+        sk = UndirectedGraph.from_edges(3, [(0, 2), (1, 2)])
+        seps = SepSetStore()
+        seps.record(0, 1, (2,))
+        pdag = orient_v_structures(sk, seps)
+        assert pdag.n_directed == 0
+        assert pdag.n_undirected == 2
+
+    def test_shielded_triple_ignored(self):
+        sk = UndirectedGraph.from_edges(3, [(0, 2), (1, 2), (0, 1)])
+        seps = SepSetStore()
+        pdag = orient_v_structures(sk, seps)
+        assert pdag.n_directed == 0
+
+    def test_conflicting_vstructures_first_wins(self):
+        # Path 0 - 1 - 2 - 3; sepsets force colliders at 1 and at 2; the
+        # edge 1 - 2 can only carry one arrowhead: first-come-first-served.
+        sk = UndirectedGraph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        seps = SepSetStore()
+        seps.record(0, 2, ())  # collider at 1: 0 -> 1 <- 2
+        seps.record(1, 3, ())  # collider at 2: 1 -> 2 <- 3
+        pdag = orient_v_structures(sk, seps)
+        # Edge (1,2) received the 2 -> 1 arrow from the first triple, so the
+        # second triple can only orient 3 -> 2.
+        assert pdag.has_directed(0, 1)
+        assert pdag.has_directed(2, 1)
+        assert pdag.has_directed(3, 2)
+
+
+class TestMeekRules:
+    def test_rule1(self):
+        # 0 -> 1, 1 - 2, 0 and 2 non-adjacent  =>  1 -> 2
+        pdag = PDAG(3)
+        pdag.add_directed(0, 1)
+        pdag.add_undirected(1, 2)
+        apply_meek_rules(pdag)
+        assert pdag.has_directed(1, 2)
+
+    def test_rule1_blocked_by_adjacency(self):
+        pdag = PDAG(3)
+        pdag.add_directed(0, 1)
+        pdag.add_undirected(1, 2)
+        pdag.add_undirected(0, 2)
+        apply_meek_rules(pdag)
+        # 0 and 2 adjacent: R1 does not fire on 1 - 2... but R2 may not
+        # either; the graph must keep 1 - 2 undirected.
+        assert pdag.has_undirected(1, 2) or pdag.has_directed(1, 2) is False
+
+    def test_rule2(self):
+        # 0 -> 2 -> 1 and 0 - 1  =>  0 -> 1
+        pdag = PDAG(3)
+        pdag.add_directed(0, 2)
+        pdag.add_directed(2, 1)
+        pdag.add_undirected(0, 1)
+        apply_meek_rules(pdag)
+        assert pdag.has_directed(0, 1)
+
+    def test_rule3(self):
+        # 0 - 1, 0 - 2, 0 - 3, 2 -> 1, 3 -> 1, 2 and 3 non-adjacent => 0 -> 1
+        pdag = PDAG(4)
+        pdag.add_undirected(0, 1)
+        pdag.add_undirected(0, 2)
+        pdag.add_undirected(0, 3)
+        pdag.add_directed(2, 1)
+        pdag.add_directed(3, 1)
+        apply_meek_rules(pdag)
+        assert pdag.has_directed(0, 1)
+
+    def test_rule4_only_with_flag(self):
+        # i - j, i - k, k -> l, l -> j, k and j non-adjacent => i -> j (R4)
+        def build():
+            pdag = PDAG(4)
+            i, j, k, l = 0, 1, 2, 3
+            pdag.add_undirected(i, j)
+            pdag.add_undirected(i, k)
+            pdag.add_undirected(i, l)
+            pdag.add_directed(k, l)
+            pdag.add_directed(l, j)
+            return pdag
+
+        without = apply_meek_rules(build(), apply_r4=False)
+        assert without.has_undirected(0, 1)
+        with_r4 = apply_meek_rules(build(), apply_r4=True)
+        assert with_r4.has_directed(0, 1)
+
+    def test_fixpoint_idempotent(self):
+        pdag = PDAG(4)
+        pdag.add_directed(0, 1)
+        pdag.add_undirected(1, 2)
+        pdag.add_undirected(2, 3)
+        apply_meek_rules(pdag)
+        snapshot = pdag.copy()
+        apply_meek_rules(pdag)
+        assert pdag == snapshot
+
+    def test_no_rules_fire_on_plain_undirected(self):
+        pdag = PDAG(3)
+        pdag.add_undirected(0, 1)
+        pdag.add_undirected(1, 2)
+        apply_meek_rules(pdag)
+        assert pdag.n_directed == 0
+
+
+class TestOrientSkeletonEndToEnd:
+    def test_cancer_fully_oriented(self, cancer_net):
+        from repro.citests.oracle import OracleCITest
+        from repro.core.skeleton import learn_skeleton
+        from repro.graphs.dag import dag_to_cpdag
+
+        tester = OracleCITest.from_network(cancer_net)
+        graph, sepsets, _ = learn_skeleton(tester, cancer_net.n_nodes)
+        cpdag = orient_skeleton(graph, sepsets)
+        truth = dag_to_cpdag(cancer_net.n_nodes, cancer_net.edges())
+        assert cpdag == truth
+
+    def test_chain_stays_undirected(self):
+        from repro.citests.oracle import OracleCITest
+        from repro.core.skeleton import learn_skeleton
+        from repro.networks.generators import chain_network
+
+        net = chain_network(5, rng=0)
+        tester = OracleCITest.from_network(net)
+        graph, sepsets, _ = learn_skeleton(tester, net.n_nodes)
+        cpdag = orient_skeleton(graph, sepsets)
+        assert cpdag.n_directed == 0
+        assert cpdag.n_undirected == 4

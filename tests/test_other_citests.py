@@ -1,0 +1,156 @@
+"""Chi-squared, mutual-information, naive and oracle CI testers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy.stats import chi2_contingency
+
+from repro.citests.chisquare import ChiSquareTest
+from repro.citests.gsquare import GSquareTest
+from repro.citests.mutual_info import MutualInformationTest
+from repro.citests.naive import NaiveGSquareTest
+from repro.citests.oracle import OracleCITest
+from repro.datasets.dataset import DiscreteDataset
+from repro.networks.classic import sprinkler
+
+
+def make_dataset(rows, arities=None):
+    return DiscreteDataset.from_rows(np.asarray(rows), arities=arities)
+
+
+@pytest.fixture()
+def chain_data(rng):
+    """X -> Z -> Y chain data (dependent marginally, independent given Z)."""
+    m = 4000
+    x = rng.integers(0, 2, m)
+    z = np.where(rng.random(m) < 0.88, x, 1 - x)
+    y = np.where(rng.random(m) < 0.88, z, 1 - z)
+    return make_dataset(np.column_stack([x, y, z]))
+
+
+class TestChiSquare:
+    def test_matches_scipy_pearson(self, rng):
+        m = 1200
+        rows = rng.integers(0, 3, size=(m, 2))
+        ds = make_dataset(rows, arities=[3, 3])
+        res = ChiSquareTest(ds).test(0, 1, ())
+        table = np.zeros((3, 3))
+        for a, b in rows:
+            table[a, b] += 1
+        stat, p, dof, _ = chi2_contingency(table, correction=False)
+        assert res.statistic == pytest.approx(stat, rel=1e-10)
+        assert res.dof == dof
+        assert res.p_value == pytest.approx(p, rel=1e-8)
+
+    def test_same_decisions_as_g2_on_chain(self, chain_data):
+        chi = ChiSquareTest(chain_data)
+        assert not chi.test(0, 1, ()).independent
+        assert chi.test(0, 1, (2,)).independent
+
+    def test_group_matches_individual(self, chain_data):
+        chi = ChiSquareTest(chain_data)
+        group = chi.test_group(0, 1, [(), (2,)])
+        singles = [ChiSquareTest(chain_data).test(0, 1, s) for s in [(), (2,)]]
+        for g, s in zip(group, singles):
+            assert g.statistic == pytest.approx(s.statistic)
+
+    def test_invalid_params(self, chain_data):
+        with pytest.raises(ValueError):
+            ChiSquareTest(chain_data, alpha=2.0)
+        with pytest.raises(ValueError):
+            ChiSquareTest(chain_data, dof_adjust="nope")
+
+
+class TestMutualInformation:
+    def test_mi_is_g2_over_2m(self, chain_data):
+        mi = MutualInformationTest(chain_data)
+        g2 = GSquareTest(chain_data)
+        value = mi.mutual_information(0, 1, ())
+        stat = g2.test(0, 1, ()).statistic
+        assert value == pytest.approx(stat / (2 * chain_data.n_samples))
+
+    def test_pvalue_mode_matches_g2(self, chain_data):
+        mi = MutualInformationTest(chain_data, mode="pvalue")
+        g2 = GSquareTest(chain_data)
+        assert mi.test(0, 1, (2,)).independent == g2.test(0, 1, (2,)).independent
+
+    def test_threshold_mode(self, chain_data):
+        strict = MutualInformationTest(chain_data, mode="threshold", mi_threshold=1e-9)
+        loose = MutualInformationTest(chain_data, mode="threshold", mi_threshold=10.0)
+        assert not strict.test(0, 1, ()).independent
+        assert loose.test(0, 1, ()).independent
+
+    def test_group_interface(self, chain_data):
+        mi = MutualInformationTest(chain_data)
+        out = mi.test_group(0, 1, [(), (2,)])
+        assert len(out) == 2
+
+    def test_invalid_mode(self, chain_data):
+        with pytest.raises(ValueError):
+            MutualInformationTest(chain_data, mode="banana")
+
+
+class TestNaive:
+    def test_matches_vectorised_g2(self, chain_data):
+        naive = NaiveGSquareTest(chain_data)
+        fast = GSquareTest(chain_data)
+        for s in [(), (2,)]:
+            a = naive.test(0, 1, s)
+            b = fast.test(0, 1, s)
+            assert a.statistic == pytest.approx(b.statistic, rel=1e-9)
+            assert a.dof == b.dof
+            assert a.independent == b.independent
+
+    def test_matches_on_multivalued(self, rng):
+        m = 500
+        rows = np.column_stack(
+            [rng.integers(0, 4, m), rng.integers(0, 3, m), rng.integers(0, 2, m)]
+        )
+        ds = make_dataset(rows, arities=[4, 3, 2])
+        a = NaiveGSquareTest(ds).test(0, 1, (2,))
+        b = GSquareTest(ds).test(0, 1, (2,))
+        assert a.statistic == pytest.approx(b.statistic, rel=1e-9)
+
+    def test_slices_dof_mode(self, rng):
+        m = 300
+        z = rng.integers(0, 2, m) * 2  # arity 3, one empty slice
+        rows = np.column_stack([rng.integers(0, 2, m), rng.integers(0, 2, m), z])
+        ds = make_dataset(rows, arities=[2, 2, 3])
+        a = NaiveGSquareTest(ds, dof_adjust="slices").test(0, 1, (2,))
+        b = GSquareTest(ds, dof_adjust="slices").test(0, 1, (2,))
+        assert a.dof == b.dof == 2
+
+    def test_counters(self, chain_data):
+        naive = NaiveGSquareTest(chain_data)
+        naive.test(0, 1, ())
+        assert naive.counters.n_tests == 1
+        assert naive.counters.data_accesses == chain_data.n_samples * 2
+
+
+class TestOracle:
+    def test_answers_match_dseparation(self, sprinkler_net):
+        oracle = OracleCITest.from_network(sprinkler_net)
+        # Sprinkler vs Rain: dependent (common cause), independent given Cloudy.
+        assert not oracle.test(1, 2, ()).independent
+        assert oracle.test(1, 2, (0,)).independent
+
+    def test_collider(self, sprinkler_net):
+        oracle = OracleCITest.from_network(sprinkler_net)
+        # Sprinkler vs Rain given WetGrass: collider opens.
+        assert not oracle.test(1, 2, (0, 3)).independent
+
+    def test_result_fields(self, sprinkler_net):
+        oracle = OracleCITest.from_network(sprinkler_net)
+        res = oracle.test(0, 3, (1, 2))
+        assert res.independent
+        assert res.p_value == 1.0
+        dep = oracle.test(0, 1, ())
+        assert dep.p_value == 0.0
+
+    def test_group_interface_and_counters(self, sprinkler_net):
+        oracle = OracleCITest.from_network(sprinkler_net, n_samples=100)
+        out = oracle.test_group(0, 3, [(1,), (2,), (1, 2)])
+        assert [r.independent for r in out] == [False, False, True]
+        # 3 tests: first costs (d+2)*m, rest reuse XY.
+        assert oracle.counters.n_tests == 3

@@ -1,0 +1,114 @@
+"""Parallel-backend tests: every granularity/backend combination must equal
+the sequential result exactly."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.learn import learn_structure
+from repro.core.trace import TraceRecorder
+from repro.parallel import WorkerPool, run_parallel_skeleton
+from repro.parallel.sample_level import sample_level_skeleton
+
+
+@pytest.fixture(scope="module")
+def sequential_asia(asia_data_module):
+    return learn_structure(asia_data_module)
+
+
+@pytest.fixture(scope="module")
+def asia_data_module():
+    from repro.datasets.sampling import forward_sample
+    from repro.networks.classic import asia
+
+    return forward_sample(asia(), 4000, rng=7)
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("parallelism", ["ci", "edge", "sample"])
+    @pytest.mark.parametrize("backend", ["process", "thread"])
+    def test_matches_sequential(self, asia_data_module, sequential_asia, parallelism, backend):
+        res = learn_structure(
+            asia_data_module, n_jobs=2, parallelism=parallelism, backend=backend
+        )
+        assert sorted(res.skeleton.edges()) == sorted(sequential_asia.skeleton.edges())
+        assert res.sepsets == sequential_asia.sepsets
+        assert res.cpdag == sequential_asia.cpdag
+
+    def test_ci_level_with_gs(self, asia_data_module, sequential_asia):
+        res = learn_structure(asia_data_module, n_jobs=2, parallelism="ci", gs=4)
+        assert sorted(res.skeleton.edges()) == sorted(sequential_asia.skeleton.edges())
+        seq_gs = learn_structure(asia_data_module, gs=4)
+        assert res.n_ci_tests == seq_gs.n_ci_tests
+
+    def test_ci_level_test_count_matches_sequential(self, asia_data_module, sequential_asia):
+        res = learn_structure(asia_data_module, n_jobs=3, parallelism="ci")
+        assert res.n_ci_tests == sequential_asia.n_ci_tests
+
+    def test_sample_level_test_count(self, asia_data_module, sequential_asia):
+        res = learn_structure(asia_data_module, n_jobs=2, parallelism="sample", backend="thread")
+        assert res.n_ci_tests == sequential_asia.n_ci_tests
+
+    def test_single_worker_pool(self, asia_data_module, sequential_asia):
+        res = learn_structure(asia_data_module, n_jobs=1, parallelism="ci")
+        # n_jobs=1 uses the sequential engine (dispatch shortcut)
+        assert res.cpdag == sequential_asia.cpdag
+
+
+class TestWorkerPool:
+    def test_invalid_backend(self, asia_data_module):
+        with pytest.raises(ValueError):
+            WorkerPool(asia_data_module, 2, backend="gpu")
+
+    def test_invalid_jobs(self, asia_data_module):
+        with pytest.raises(ValueError):
+            WorkerPool(asia_data_module, 0)
+
+    def test_thread_pool_group_eval(self, asia_data_module):
+        with WorkerPool(asia_data_module, 2, backend="thread") as pool:
+            verdicts = pool.eval_groups([(0, 1, ((), (2,)))])
+            assert len(verdicts) == 1
+            assert len(verdicts[0]) == 2
+            assert all(isinstance(v, bool) for v in verdicts[0])
+
+    def test_thread_pool_edge_eval(self, asia_data_module):
+        with WorkerPool(asia_data_module, 2, backend="thread") as pool:
+            results = pool.eval_edges([(0, 1, (2, 3), (4,), 1)])
+            n_exec, accepting = results[0]
+            assert 1 <= n_exec <= 3
+            assert accepting is None or isinstance(accepting, tuple)
+
+
+class TestTraceRecording:
+    def test_ci_level_records_trace(self, asia_data_module):
+        rec = TraceRecorder()
+        res = learn_structure(asia_data_module, n_jobs=2, parallelism="ci", recorder=rec)
+        assert rec.n_tests == res.n_ci_tests
+
+    def test_edge_level_rejects_recorder(self, asia_data_module):
+        with pytest.raises(ValueError, match="trace"):
+            learn_structure(
+                asia_data_module, n_jobs=2, parallelism="edge", recorder=TraceRecorder()
+            )
+
+    def test_sample_level_rejects_recorder(self, asia_data_module):
+        with pytest.raises(ValueError, match="trace"):
+            learn_structure(
+                asia_data_module, n_jobs=2, parallelism="sample", recorder=TraceRecorder()
+            )
+
+
+class TestSampleLevelInternals:
+    def test_wrong_node_count_rejected(self, asia_data_module):
+        with pytest.raises(ValueError):
+            sample_level_skeleton(asia_data_module, 3, n_jobs=2, backend="thread")
+
+    def test_invalid_backend(self, asia_data_module):
+        with pytest.raises(ValueError):
+            sample_level_skeleton(
+                asia_data_module, asia_data_module.n_variables, n_jobs=2, backend="fpga"
+            )
+
+    def test_run_parallel_skeleton_dispatch_error(self, asia_data_module):
+        with pytest.raises(ValueError):
+            run_parallel_skeleton(asia_data_module, None, parallelism="warp", n_jobs=2)

@@ -1,0 +1,127 @@
+"""PDAG tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.pdag import PDAG
+from repro.graphs.undirected import UndirectedGraph
+
+
+class TestEdges:
+    def test_add_undirected(self):
+        g = PDAG(3)
+        g.add_undirected(0, 1)
+        assert g.has_undirected(1, 0)
+        assert g.adjacent(0, 1)
+        assert g.n_undirected == 1
+
+    def test_add_directed(self):
+        g = PDAG(3)
+        g.add_directed(0, 1)
+        assert g.has_directed(0, 1)
+        assert not g.has_directed(1, 0)
+        assert g.adjacent(1, 0)
+        assert g.parents(1) == {0}
+        assert g.children(0) == {1}
+
+    def test_double_connection_rejected(self):
+        g = PDAG(3)
+        g.add_undirected(0, 1)
+        with pytest.raises(ValueError):
+            g.add_directed(0, 1)
+        with pytest.raises(ValueError):
+            g.add_undirected(1, 0)
+
+    def test_orient(self):
+        g = PDAG(3)
+        g.add_undirected(0, 1)
+        g.orient(1, 0)
+        assert g.has_directed(1, 0)
+        assert not g.has_undirected(0, 1)
+
+    def test_orient_requires_undirected(self):
+        g = PDAG(3)
+        g.add_directed(0, 1)
+        with pytest.raises(ValueError):
+            g.orient(0, 1)
+
+    def test_remove_any_edge(self):
+        g = PDAG(4)
+        g.add_undirected(0, 1)
+        g.add_directed(2, 3)
+        g.remove_any_edge(0, 1)
+        g.remove_any_edge(3, 2)  # order-insensitive
+        assert not g.adjacent(0, 1)
+        assert not g.adjacent(2, 3)
+        with pytest.raises(KeyError):
+            g.remove_any_edge(0, 1)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            PDAG(2).add_undirected(1, 1)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            PDAG(2).add_directed(0, 5)
+
+
+class TestViews:
+    def test_from_skeleton(self):
+        sk = UndirectedGraph.from_edges(4, [(0, 1), (2, 3)])
+        g = PDAG.from_skeleton(sk)
+        assert g.n_undirected == 2
+        assert g.n_directed == 0
+
+    def test_from_dag_edges(self):
+        g = PDAG.from_dag_edges(3, [(0, 1), (1, 2)])
+        assert sorted(g.directed_edges()) == [(0, 1), (1, 2)]
+
+    def test_skeleton_edges_mixed(self):
+        g = PDAG(4)
+        g.add_undirected(0, 1)
+        g.add_directed(3, 2)
+        assert g.skeleton_edges() == {(0, 1), (2, 3)}
+
+    def test_adjacencies(self):
+        g = PDAG(4)
+        g.add_undirected(0, 1)
+        g.add_directed(2, 0)
+        g.add_directed(0, 3)
+        assert g.adjacencies(0) == {1, 2, 3}
+
+    def test_copy_independent(self):
+        g = PDAG(3)
+        g.add_undirected(0, 1)
+        h = g.copy()
+        h.orient(0, 1)
+        assert g.has_undirected(0, 1)
+        assert not h.has_undirected(0, 1)
+        assert g != h
+
+
+class TestDagChecks:
+    def test_is_dag_true(self):
+        g = PDAG.from_dag_edges(3, [(0, 1), (1, 2), (0, 2)])
+        assert g.is_dag()
+
+    def test_is_dag_false_with_undirected(self):
+        g = PDAG(2)
+        g.add_undirected(0, 1)
+        assert not g.is_dag()
+
+    def test_is_dag_false_with_cycle(self):
+        g = PDAG(3)
+        g.add_directed(0, 1)
+        g.add_directed(1, 2)
+        g.add_directed(2, 0)
+        assert not g.is_dag()
+
+    def test_equality(self):
+        a = PDAG(3)
+        a.add_directed(0, 1)
+        b = PDAG(3)
+        b.add_directed(0, 1)
+        assert a == b
+        b.add_undirected(1, 2)
+        assert a != b

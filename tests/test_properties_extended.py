@@ -1,0 +1,130 @@
+"""Property-based tests for the score, Markov-blanket and extension
+subsystems."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.citests.oracle import OracleCITest
+from repro.core.markov_blanket import grow_shrink, iamb, true_markov_blanket
+from repro.datasets.dataset import DiscreteDataset
+from repro.graphs.dag import dag_to_cpdag, is_acyclic, v_structures_of_dag
+from repro.graphs.extension import pdag_to_dag
+from repro.networks.generators import random_dag
+from repro.score.scores import BDeuScore, BICScore, LogLikelihoodScore
+
+
+@st.composite
+def small_dataset(draw):
+    n_vars = draw(st.integers(2, 4))
+    arities = [draw(st.integers(2, 3)) for _ in range(n_vars)]
+    m = draw(st.integers(5, 50))
+    rows = np.array(
+        [[draw(st.integers(0, a - 1)) for a in arities] for _ in range(m)], dtype=np.int64
+    )
+    return DiscreteDataset.from_rows(rows, arities=arities)
+
+
+@given(small_dataset())
+@settings(max_examples=25, deadline=None)
+def test_loglik_never_decreases_with_more_parents(data):
+    score = LogLikelihoodScore(data)
+    n = data.n_variables
+    for node in range(n):
+        others = [v for v in range(n) if v != node]
+        prev = score.local_score(node, ())
+        for k in range(1, len(others) + 1):
+            current = score.local_score(node, tuple(others[:k]))
+            assert current >= prev - 1e-9
+            prev = current
+
+
+@given(small_dataset())
+@settings(max_examples=25, deadline=None)
+def test_bic_bounded_by_loglik(data):
+    bic = BICScore(data)
+    ll = LogLikelihoodScore(data)
+    n = data.n_variables
+    for node in range(n):
+        parents = tuple(v for v in range(n) if v != node)
+        assert bic.local_score(node, parents) <= ll.local_score(node, parents) + 1e-9
+
+
+@given(st.integers(3, 8), st.data())
+@settings(max_examples=20, deadline=None)
+def test_bdeu_score_equivalence_property(n, data):
+    """Markov-equivalent DAGs (same skeleton + v-structures) get the same
+    BDeu score — tested by reversing a *reversible* edge of a random DAG."""
+    e = data.draw(st.integers(1, min(n * (n - 1) // 2, 2 * n)))
+    seed = data.draw(st.integers(0, 2**31 - 1))
+    edges = random_dag(n, e, rng=seed, max_parents=None)
+    rows_seed = data.draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(rows_seed)
+    rows = rng.integers(0, 2, size=(40, n))
+    ds = DiscreteDataset.from_rows(rows, arities=[2] * n)
+    bdeu = BDeuScore(ds, equivalent_sample_size=2.0)
+
+    def total(edge_list):
+        parents = [[] for _ in range(n)]
+        for u, v in edge_list:
+            parents[v].append(u)
+        return bdeu.total_score(parents)
+
+    base_vs = v_structures_of_dag(n, edges)
+    base_score = total(edges)
+    for i, (u, v) in enumerate(edges):
+        flipped = list(edges)
+        flipped[i] = (v, u)
+        if not is_acyclic(n, flipped):
+            continue
+        if v_structures_of_dag(n, flipped) != base_vs:
+            continue
+        assert abs(total(flipped) - base_score) <= 1e-8 * max(1.0, abs(base_score))
+
+
+@given(st.integers(3, 9), st.data())
+@settings(max_examples=20, deadline=None)
+def test_markov_blanket_symmetry_property(n, data):
+    """Oracle MB discovery satisfies symmetry: y in MB(x) iff x in MB(y)."""
+    e = data.draw(st.integers(0, min(n * (n - 1) // 2, 2 * n)))
+    seed = data.draw(st.integers(0, 2**31 - 1))
+    edges = random_dag(n, e, rng=seed, max_parents=None)
+    tester = OracleCITest(n, edges)
+    blankets = [grow_shrink(tester, n, t).blanket for t in range(n)]
+    for x in range(n):
+        for y in range(n):
+            if x == y:
+                continue
+            assert (y in blankets[x]) == (x in blankets[y])
+
+
+@given(st.integers(3, 9), st.data())
+@settings(max_examples=20, deadline=None)
+def test_iamb_equals_grow_shrink_under_oracle(n, data):
+    e = data.draw(st.integers(0, min(n * (n - 1) // 2, 2 * n)))
+    seed = data.draw(st.integers(0, 2**31 - 1))
+    edges = random_dag(n, e, rng=seed, max_parents=None)
+    tester = OracleCITest(n, edges)
+    for t in range(n):
+        truth = true_markov_blanket(n, edges, t)
+        assert grow_shrink(tester, n, t).blanket == truth
+        assert iamb(tester, n, t).blanket == truth
+
+
+@given(st.integers(2, 9), st.data())
+@settings(max_examples=25, deadline=None)
+def test_pdag_extension_property(n, data):
+    """Any CPDAG of a random DAG extends to a DAG in the same equivalence
+    class (same skeleton and v-structures)."""
+    e = data.draw(st.integers(0, min(n * (n - 1) // 2, 2 * n)))
+    seed = data.draw(st.integers(0, 2**31 - 1))
+    edges = random_dag(n, e, rng=seed, max_parents=None)
+    cpdag = dag_to_cpdag(n, edges)
+    extension = pdag_to_dag(cpdag)
+    assert is_acyclic(n, extension)
+    assert {(min(a, b), max(a, b)) for a, b in extension} == {
+        (min(a, b), max(a, b)) for a, b in edges
+    }
+    assert v_structures_of_dag(n, extension) == v_structures_of_dag(n, edges)

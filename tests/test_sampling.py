@@ -1,0 +1,98 @@
+"""Tests for forward sampling: shapes, determinism, statistical fidelity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.sampling import forward_sample
+from repro.networks.bayesnet import CPT, DiscreteBayesianNetwork
+from repro.networks.classic import sprinkler
+
+
+class TestShapesAndDeterminism:
+    def test_shape(self, asia_net):
+        ds = forward_sample(asia_net, 123, rng=0)
+        assert ds.n_samples == 123
+        assert ds.n_variables == asia_net.n_nodes
+        assert ds.names == asia_net.names
+
+    def test_values_within_arity(self, small_random_net):
+        ds = forward_sample(small_random_net, 500, rng=1)
+        rows = ds.as_rows()
+        assert (rows >= 0).all()
+        assert (rows < np.asarray(small_random_net.arities)[None, :]).all()
+
+    def test_deterministic_given_seed(self, asia_net):
+        a = forward_sample(asia_net, 200, rng=5)
+        b = forward_sample(asia_net, 200, rng=5)
+        np.testing.assert_array_equal(a.values, b.values)
+
+    def test_different_seeds_differ(self, asia_net):
+        a = forward_sample(asia_net, 200, rng=5)
+        b = forward_sample(asia_net, 200, rng=6)
+        assert not np.array_equal(a.values, b.values)
+
+    def test_layout_option(self, asia_net):
+        sm = forward_sample(asia_net, 50, rng=0, layout="sample-major")
+        assert sm.layout == "sample-major"
+
+    def test_invalid_sample_count(self, asia_net):
+        with pytest.raises(ValueError):
+            forward_sample(asia_net, 0)
+
+
+class TestStatisticalFidelity:
+    def test_root_marginal(self):
+        net = sprinkler()
+        ds = forward_sample(net, 40000, rng=2)
+        cloudy = ds.column(0)
+        assert abs(cloudy.mean() - 0.5) < 0.02
+
+    def test_conditional_distribution(self):
+        net = sprinkler()
+        ds = forward_sample(net, 60000, rng=3)
+        cloudy = ds.column(0).astype(bool)
+        rain = ds.column(2).astype(bool)
+        # P(Rain | Cloudy) = 0.8, P(Rain | not Cloudy) = 0.2
+        assert abs(rain[cloudy].mean() - 0.8) < 0.02
+        assert abs(rain[~cloudy].mean() - 0.2) < 0.02
+
+    def test_deterministic_node(self):
+        # A child that copies its parent exactly.
+        cpts = [
+            CPT(parents=(), table=np.array([[0.3, 0.7]])),
+            CPT(parents=(0,), table=np.array([[1.0, 0.0], [0.0, 1.0]])),
+        ]
+        net = DiscreteBayesianNetwork([2, 2], cpts)
+        ds = forward_sample(net, 1000, rng=4)
+        np.testing.assert_array_equal(ds.column(0), ds.column(1))
+
+    def test_multi_parent_configuration_encoding(self):
+        # Child = XOR of two parents with probability ~1; exercises the
+        # mixed-radix parent-config encoding order (first parent most
+        # significant).
+        xor_table = np.array(
+            [
+                [1.0, 0.0],  # (0, 0)
+                [0.0, 1.0],  # (0, 1)
+                [0.0, 1.0],  # (1, 0)
+                [1.0, 0.0],  # (1, 1)
+            ]
+        )
+        cpts = [
+            CPT(parents=(), table=np.array([[0.5, 0.5]])),
+            CPT(parents=(), table=np.array([[0.5, 0.5]])),
+            CPT(parents=(0, 1), table=xor_table),
+        ]
+        net = DiscreteBayesianNetwork([2, 2, 2], cpts)
+        ds = forward_sample(net, 2000, rng=5)
+        expected = ds.column(0) ^ ds.column(1)
+        np.testing.assert_array_equal(ds.column(2), expected)
+
+    def test_three_valued_marginal(self):
+        cpts = [CPT(parents=(), table=np.array([[0.2, 0.3, 0.5]]))]
+        net = DiscreteBayesianNetwork([3], cpts)
+        ds = forward_sample(net, 50000, rng=6)
+        counts = np.bincount(ds.column(0), minlength=3) / 50000
+        np.testing.assert_allclose(counts, [0.2, 0.3, 0.5], atol=0.01)

@@ -1,0 +1,144 @@
+"""Score-based learning tests: decomposable scores and hill climbing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.sampling import forward_sample
+from repro.graphs.dag import is_acyclic, v_structures_of_dag
+from repro.graphs.metrics import skeleton_metrics
+from repro.networks.classic import cancer, sprinkler
+from repro.networks.fit import fit_cpts, log_likelihood
+from repro.score.hillclimb import hill_climb
+from repro.score.scores import AICScore, BDeuScore, BICScore, LogLikelihoodScore
+
+
+@pytest.fixture(scope="module")
+def sprinkler_sample():
+    # Large enough that greedy search reliably reaches the generating
+    # equivalence class (at smaller m the BIC optimum can differ).
+    return forward_sample(sprinkler(), 20000, rng=0)
+
+
+class TestScores:
+    def test_loglik_score_matches_fitted_likelihood(self, sprinkler_sample):
+        data = sprinkler_sample
+        net = sprinkler()
+        score = LogLikelihoodScore(data)
+        total = score.total_score([net.parents(i) for i in range(4)])
+        fitted = fit_cpts(4, net.edges(), data, pseudo_count=0.0)
+        assert total == pytest.approx(log_likelihood(fitted, data), rel=1e-9)
+
+    def test_loglik_monotone_in_parents(self, sprinkler_sample):
+        score = LogLikelihoodScore(sprinkler_sample)
+        assert score.local_score(3, (1, 2)) >= score.local_score(3, (1,))
+        assert score.local_score(3, (1,)) >= score.local_score(3, ())
+
+    def test_bic_penalises_parameters(self, sprinkler_sample):
+        ll = LogLikelihoodScore(sprinkler_sample)
+        bic = BICScore(sprinkler_sample)
+        gap0 = ll.local_score(3, ()) - bic.local_score(3, ())
+        gap2 = ll.local_score(3, (1, 2)) - bic.local_score(3, (1, 2))
+        assert gap2 > gap0  # more parents, bigger penalty
+
+    def test_bic_prefers_true_parents_of_wetgrass(self, sprinkler_sample):
+        bic = BICScore(sprinkler_sample)
+        true_score = bic.local_score(3, (1, 2))
+        assert true_score > bic.local_score(3, ())
+        assert true_score > bic.local_score(3, (0,))
+
+    def test_aic_between_ll_and_bic_for_large_m(self, sprinkler_sample):
+        # log(m)/2 > 1 for m > e^2, so BIC penalises harder than AIC.
+        aic = AICScore(sprinkler_sample)
+        bic = BICScore(sprinkler_sample)
+        ll = LogLikelihoodScore(sprinkler_sample)
+        s_aic = aic.local_score(3, (1, 2))
+        s_bic = bic.local_score(3, (1, 2))
+        s_ll = ll.local_score(3, (1, 2))
+        assert s_bic < s_aic < s_ll
+
+    def test_bdeu_score_equivalence_of_markov_equivalent_dags(self, sprinkler_sample):
+        """BDeu is score-equivalent: Markov-equivalent DAGs score equally."""
+        bdeu = BDeuScore(sprinkler_sample, equivalent_sample_size=10.0)
+        # Sprinkler's true DAG vs the equivalent DAG reversing Cloudy edges.
+        dag_a = [(0, 1), (0, 2), (1, 3), (2, 3)]
+        dag_b = [(1, 0), (0, 2), (1, 3), (2, 3)]  # same skeleton & v-structure
+        assert v_structures_of_dag(4, dag_a) == v_structures_of_dag(4, dag_b)
+
+        def total(edges):
+            parents = [[] for _ in range(4)]
+            for u, v in edges:
+                parents[v].append(u)
+            return bdeu.total_score(parents)
+
+        assert total(dag_a) == pytest.approx(total(dag_b), rel=1e-9)
+
+    def test_bdeu_invalid_ess(self, sprinkler_sample):
+        with pytest.raises(ValueError):
+            BDeuScore(sprinkler_sample, equivalent_sample_size=0)
+
+    def test_cache_hits(self, sprinkler_sample):
+        score = BICScore(sprinkler_sample)
+        score.local_score(0, (1,))
+        before = score.n_evaluations
+        score.local_score(0, (1,))
+        assert score.n_evaluations == before
+        assert score.cache_size() >= 1
+
+    def test_parent_order_irrelevant(self, sprinkler_sample):
+        score = BICScore(sprinkler_sample)
+        assert score.local_score(3, (2, 1)) == score.local_score(3, (1, 2))
+
+
+class TestHillClimb:
+    def test_recovers_sprinkler_equivalence_class(self, sprinkler_sample):
+        res = hill_climb(sprinkler_sample, score="bic")
+        net = sprinkler()
+        assert skeleton_metrics(res.edges, net.edges()).f1 == 1.0
+        assert v_structures_of_dag(4, res.edges) == v_structures_of_dag(4, net.edges())
+
+    def test_result_is_dag(self, sprinkler_sample):
+        res = hill_climb(sprinkler_sample, score="bdeu")
+        assert is_acyclic(sprinkler_sample.n_variables, res.edges)
+
+    def test_score_trace_monotone(self, sprinkler_sample):
+        res = hill_climb(sprinkler_sample)
+        assert all(b > a for a, b in zip(res.score_trace, res.score_trace[1:]))
+
+    def test_max_parents_respected(self):
+        data = forward_sample(cancer(), 4000, rng=1)
+        res = hill_climb(data, max_parents=1)
+        indeg = np.zeros(data.n_variables, dtype=int)
+        for _, v in res.edges:
+            indeg[v] += 1
+        assert indeg.max() <= 1
+
+    def test_restarts_never_worse(self, sprinkler_sample):
+        base = hill_climb(sprinkler_sample, random_restarts=0)
+        restarted = hill_climb(sprinkler_sample, random_restarts=2, rng=1)
+        assert restarted.score >= base.score - 1e-9
+        assert restarted.n_restarts_used == 2
+
+    def test_start_edges_honoured(self, sprinkler_sample):
+        start = [(0, 1), (0, 2), (1, 3), (2, 3)]
+        res = hill_climb(sprinkler_sample, start_edges=start)
+        assert res.score >= BICScore(sprinkler_sample).total_score(
+            [[], [0], [0], [1, 2]]
+        ) - 1e-9
+
+    def test_cyclic_start_rejected(self, sprinkler_sample):
+        with pytest.raises(ValueError):
+            hill_climb(sprinkler_sample, start_edges=[(0, 1), (1, 0)])
+
+    def test_unknown_score_rejected(self, sprinkler_sample):
+        with pytest.raises(ValueError):
+            hill_climb(sprinkler_sample, score="vibes")
+
+    def test_agrees_with_constraint_based_on_easy_problem(self, sprinkler_sample):
+        from repro.core.learn import learn_structure
+
+        hc = hill_climb(sprinkler_sample, score="bic")
+        pc = learn_structure(sprinkler_sample)
+        hc_skel = {(min(u, v), max(u, v)) for u, v in hc.edges}
+        assert hc_skel == set(pc.skeleton.edges())

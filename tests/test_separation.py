@@ -1,0 +1,105 @@
+"""d-separation tests, including cross-validation against networkx."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graphs.separation import DSeparationOracle, d_separated
+from repro.networks.classic import asia, sprinkler
+from repro.networks.generators import random_dag
+
+
+class TestBasicPatterns:
+    def test_chain_blocked_by_middle(self):
+        edges = [(0, 1), (1, 2)]
+        assert not d_separated(3, edges, 0, 2, [])
+        assert d_separated(3, edges, 0, 2, [1])
+
+    def test_fork_blocked_by_root(self):
+        edges = [(1, 0), (1, 2)]
+        assert not d_separated(3, edges, 0, 2, [])
+        assert d_separated(3, edges, 0, 2, [1])
+
+    def test_collider_opened_by_conditioning(self):
+        edges = [(0, 1), (2, 1)]
+        assert d_separated(3, edges, 0, 2, [])
+        assert not d_separated(3, edges, 0, 2, [1])
+
+    def test_collider_opened_by_descendant(self):
+        edges = [(0, 1), (2, 1), (1, 3)]
+        assert d_separated(4, edges, 0, 2, [])
+        assert not d_separated(4, edges, 0, 2, [3])
+
+    def test_adjacent_never_separated(self):
+        edges = [(0, 1)]
+        assert not d_separated(2, edges, 0, 1, [])
+
+    def test_disconnected(self):
+        assert d_separated(2, [], 0, 1, [])
+
+    def test_x_in_z_rejected(self):
+        with pytest.raises(ValueError):
+            d_separated(3, [(0, 1)], 0, 1, [0])
+
+    def test_x_equals_y_rejected(self):
+        with pytest.raises(ValueError):
+            d_separated(3, [(0, 1)], 0, 0, [])
+
+
+class TestAsiaKnownFacts:
+    @pytest.fixture(scope="class")
+    def oracle(self):
+        net = asia()
+        return DSeparationOracle(net.n_nodes, net.edges())
+
+    def test_asia_independent_of_smoking(self, oracle):
+        A, T, S, L, B, E, X, D = range(8)
+        assert oracle.query(A, S, [])
+
+    def test_xray_depends_on_tb(self, oracle):
+        A, T, S, L, B, E, X, D = range(8)
+        assert not oracle.query(X, T, [])
+        assert oracle.query(X, T, [E])
+
+    def test_bronchitis_lungcancer_collider(self, oracle):
+        A, T, S, L, B, E, X, D = range(8)
+        assert oracle.query(B, L, [S])
+        # conditioning on Dysp opens B -> D <- E <- L
+        assert not oracle.query(B, L, [S, D])
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_random_dags_match_networkx(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 9
+        edges = random_dag(n, 14, rng=rng, max_parents=None, hub_bias=0.0)
+        g = nx.DiGraph()
+        g.add_nodes_from(range(n))
+        g.add_edges_from(edges)
+        oracle = DSeparationOracle(n, edges)
+        checked = 0
+        for _ in range(120):
+            x, y = rng.choice(n, size=2, replace=False)
+            z_size = int(rng.integers(0, 4))
+            pool = [v for v in range(n) if v not in (x, y)]
+            z = list(rng.choice(pool, size=min(z_size, len(pool)), replace=False))
+            ours = oracle.query(int(x), int(y), [int(v) for v in z])
+            theirs = nx.is_d_separator(g, {int(x)}, {int(y)}, set(int(v) for v in z))
+            assert ours == theirs, (x, y, z, edges)
+            checked += 1
+        assert checked == 120
+
+    def test_symmetry(self):
+        net = sprinkler()
+        oracle = DSeparationOracle(net.n_nodes, net.edges())
+        for x in range(4):
+            for y in range(4):
+                if x == y:
+                    continue
+                for z in ([], [0], [3]):
+                    if x in z or y in z:
+                        continue
+                    assert oracle.query(x, y, z) == oracle.query(y, x, z)

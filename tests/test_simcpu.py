@@ -1,0 +1,196 @@
+"""Multi-core simulator tests: cost model, schedulers, conservation laws."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.citests.oracle import OracleCITest
+from repro.core.skeleton import learn_skeleton
+from repro.core.trace import DepthTrace, EdgeWorkRecord, GroupRecord, TraceRecorder
+from repro.core.trace import TestRecord as TR  # alias avoids pytest collecting the dataclass
+from repro.networks.classic import asia
+from repro.simcpu.costmodel import CostModel, calibrate_seconds_per_unit
+from repro.simcpu.machine import PAPER_MACHINE, MachineSpec
+from repro.simcpu.scheduler import (
+    simulate,
+    simulate_ci_level,
+    simulate_edge_level,
+    simulate_sample_level,
+    simulate_sequential,
+)
+
+
+def synthetic_trace(edge_test_counts, depth=1, m=1000, cells=8):
+    """One-depth trace with the given per-edge executed-test counts."""
+    edges = []
+    for i, count in enumerate(edge_test_counts):
+        groups = [
+            GroupRecord(tests=[TR(depth=depth, m=m, cells=cells, independent=False)])
+            for _ in range(count)
+        ]
+        edges.append(EdgeWorkRecord(u=0, v=i + 1, total_possible=count, groups=groups))
+    return [DepthTrace(depth=depth, n_edges_start=len(edges), edges=edges)]
+
+
+@pytest.fixture(scope="module")
+def asia_trace():
+    net = asia()
+    recorder = TraceRecorder()
+    learn_skeleton(OracleCITest.from_network(net, n_samples=1000), net.n_nodes, recorder=recorder)
+    return recorder.depths
+
+
+class TestCostModel:
+    def test_unfriendly_gather_matches_t3(self):
+        spec = MachineSpec()
+        model = CostModel(spec, cache_friendly=False)
+        # m samples = B/4 => T3 = dram * (d+2) * B/4 for d+2 columns
+        m = spec.values_per_line
+        d = 2
+        assert model.gather_units(m, d + 2) == spec.dram_cost * (d + 2) * m
+
+    def test_friendly_gather_matches_t4(self):
+        spec = MachineSpec()
+        model = CostModel(spec, cache_friendly=True)
+        m = spec.values_per_line
+        d = 2
+        expected = spec.dram_cost * (d + 2) + spec.cache_cost * (d + 2) * (m - 1)
+        assert model.gather_units(m, d + 2) == expected
+
+    def test_cache_speedup_ratio_matches_paper(self):
+        # The Sec. IV-D example: d=2, B=64, ratio 8 => T3/T4 = 5.57
+        spec = MachineSpec()
+        friendly = CostModel(spec, cache_friendly=True)
+        unfriendly = CostModel(spec, cache_friendly=False)
+        m = spec.values_per_line
+        ratio = unfriendly.gather_units(m, 4) / friendly.gather_units(m, 4)
+        assert ratio == pytest.approx(5.57, abs=0.01)
+
+    def test_group_reuse_cheaper(self):
+        model = CostModel(MachineSpec())
+        rec = TR(depth=2, m=1000, cells=16, independent=False)
+        assert model.test_units(rec, xy_reused=True) < model.test_units(rec, xy_reused=False)
+
+    def test_group_units_reuses_after_first(self):
+        model = CostModel(MachineSpec())
+        rec = TR(depth=1, m=500, cells=8, independent=False)
+        g = GroupRecord(tests=[rec, rec, rec])
+        expected = model.test_units(rec) + 2 * model.test_units(rec, xy_reused=True)
+        assert model.group_units(g) == expected
+
+    def test_contention_scales_dram_only(self):
+        spec = MachineSpec(dram_concurrency=4)
+        base = CostModel(spec, cache_friendly=True)
+        loaded = base.with_contention(8)
+        assert loaded.dram_cost == spec.dram_cost * 2
+        assert base.with_contention(2).dram_cost == spec.dram_cost
+
+    def test_calibration(self, asia_trace):
+        model = CostModel(MachineSpec())
+        spu = calibrate_seconds_per_unit(model, asia_trace, measured_seconds=2.0)
+        seq = simulate_sequential(
+            asia_trace, CostModel(model.machine.calibrated(spu))
+        )
+        assert seq.seconds == pytest.approx(2.0, rel=1e-9)
+
+    def test_calibration_rejects_empty(self):
+        with pytest.raises(ValueError):
+            calibrate_seconds_per_unit(CostModel(MachineSpec()), [], 1.0)
+
+
+class TestSchedulerLaws:
+    @pytest.mark.parametrize("scheme", ["ci", "edge"])
+    @pytest.mark.parametrize("t", [1, 2, 4, 16])
+    def test_makespan_bounds(self, asia_trace, scheme, t):
+        model = CostModel(MachineSpec())
+        seq = simulate_sequential(asia_trace, model)
+        sim = simulate(asia_trace, model, scheme, t)
+        # Work conservation: busy time never exceeds total sequential work
+        # (contention scales costs, so compare at equal contention).
+        lower = seq.makespan_units / t
+        assert sim.makespan_units >= min(lower, sim.busy_units / t)
+        assert sim.busy_units >= seq.busy_units  # contention only inflates
+
+    def test_one_thread_ci_close_to_sequential(self, asia_trace):
+        model = CostModel(MachineSpec())
+        seq = simulate_sequential(asia_trace, model)
+        ci1 = simulate_ci_level(asia_trace, model, 1)
+        # Exactly the scheduling overheads separate them at t = 1.
+        n_groups = sum(len(e.groups) for d in asia_trace for e in d.edges)
+        bound = (
+            seq.makespan_units
+            + n_groups * model.machine.spawn_overhead_units
+            + len(asia_trace) * model.machine.region_overhead_units
+        )
+        assert seq.makespan_units <= ci1.makespan_units <= bound + 1e-6
+
+    def test_ci_beats_edge_on_skewed_workload(self):
+        # One giant edge plus many tiny ones: static partition loses.
+        trace = synthetic_trace([200] + [1] * 63)
+        model = CostModel(MachineSpec())
+        edge = simulate_edge_level(trace, model, 8)
+        ci = simulate_ci_level(trace, model, 8)
+        assert ci.makespan_units < edge.makespan_units
+
+    def test_edge_imbalance_measured(self):
+        trace = synthetic_trace([100] + [1] * 31)
+        model = CostModel(MachineSpec())
+        edge = simulate_edge_level(trace, model, 4)
+        ci = simulate_ci_level(trace, model, 4)
+        assert edge.load_imbalance > ci.load_imbalance
+
+    def test_sample_level_overhead_grows_with_threads(self, asia_trace):
+        model = CostModel(MachineSpec())
+        s4 = simulate_sample_level(asia_trace, model, 4)
+        s32 = simulate_sample_level(asia_trace, model, 32)
+        # Far past the useful point, more threads make it slower.
+        assert s32.makespan_units > s4.makespan_units
+
+    def test_atomic_variant_slower_than_local_tables(self, asia_trace):
+        model = CostModel(MachineSpec())
+        local = simulate_sample_level(asia_trace, model, 8, variant="local-tables")
+        atomic = simulate_sample_level(asia_trace, model, 8, variant="atomic")
+        assert atomic.makespan_units > local.makespan_units * 0.5  # same order
+        # atomic pays factor on table updates; with small tables the two can
+        # be close, but atomic must never be cheaper on fill-dominated work.
+        assert atomic.busy_units >= local.busy_units
+
+    def test_utilization_bounded(self, asia_trace):
+        model = CostModel(MachineSpec())
+        for t in (1, 4, 16):
+            sim = simulate_ci_level(asia_trace, model, t)
+            assert 0 < sim.utilization <= 1.0
+
+    def test_speedup_over(self, asia_trace):
+        model = CostModel(MachineSpec())
+        seq = simulate_sequential(asia_trace, model)
+        ci = simulate_ci_level(asia_trace, model, 8)
+        assert ci.speedup_over(seq) == pytest.approx(
+            seq.makespan_units / ci.makespan_units
+        )
+
+    def test_dispatch_and_validation(self, asia_trace):
+        model = CostModel(MachineSpec())
+        assert simulate(asia_trace, model, "sample/atomic", 4).scheme == "sample-level/atomic"
+        with pytest.raises(ValueError):
+            simulate(asia_trace, model, "gpu", 4)
+        with pytest.raises(ValueError):
+            simulate_ci_level(asia_trace, model, 0)
+        with pytest.raises(ValueError):
+            simulate_sample_level(asia_trace, model, 2, variant="hybrid")
+
+    def test_per_depth_sums_to_makespan(self, asia_trace):
+        model = CostModel(MachineSpec())
+        for scheme in ("sequential", "ci", "edge", "sample"):
+            sim = simulate(asia_trace, model, scheme, 4)
+            assert sum(sim.per_depth_units) == pytest.approx(sim.makespan_units)
+
+
+class TestPaperMachine:
+    def test_values_per_line(self):
+        assert PAPER_MACHINE.values_per_line == 16
+
+    def test_calibrated_returns_new_spec(self):
+        spec = PAPER_MACHINE.calibrated(1e-8)
+        assert spec.seconds_per_unit == 1e-8
+        assert PAPER_MACHINE.seconds_per_unit != 1e-8

@@ -1,0 +1,208 @@
+"""Skeleton-engine tests: correctness against the oracle, invariance across
+optimisation switches, statistics bookkeeping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.citests.oracle import OracleCITest
+from repro.core.skeleton import build_depth_tasks, depth_has_work, learn_skeleton
+from repro.core.trace import TraceRecorder
+from repro.graphs.undirected import UndirectedGraph
+from repro.networks.classic import asia, cancer, sprinkler
+from repro.networks.generators import random_network
+
+
+def oracle_skeleton(net, **kwargs):
+    tester = OracleCITest.from_network(net)
+    return learn_skeleton(tester, net.n_nodes, **kwargs)
+
+
+def true_skeleton_edges(net):
+    return sorted((min(u, v), max(u, v)) for u, v in net.edges())
+
+
+class TestOracleRecovery:
+    @pytest.mark.parametrize("factory", [sprinkler, asia, cancer])
+    def test_classics_recovered_exactly(self, factory):
+        net = factory()
+        graph, _, _ = oracle_skeleton(net)
+        assert sorted(graph.edges()) == true_skeleton_edges(net)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 7])
+    def test_random_networks_recovered(self, seed):
+        net = random_network(12, 16, rng=seed, max_parents=4)
+        graph, _, _ = oracle_skeleton(net)
+        assert sorted(graph.edges()) == true_skeleton_edges(net)
+
+    def test_sepsets_actually_separate(self, asia_net):
+        from repro.graphs.separation import DSeparationOracle
+
+        graph, sepsets, _ = oracle_skeleton(asia_net)
+        oracle = DSeparationOracle(asia_net.n_nodes, asia_net.edges())
+        for (u, v), s in sepsets.items():
+            assert oracle.query(u, v, s)
+            assert not graph.has_edge(u, v)
+
+    def test_empty_graph(self):
+        net = random_network(5, 0, rng=0)
+        graph, _, _ = oracle_skeleton(net)
+        assert graph.n_edges == 0
+
+
+class TestSwitchInvariance:
+    """Every optimisation switch must leave results unchanged."""
+
+    @pytest.fixture(scope="class")
+    def reference(self, asia_data):
+        from repro.citests.gsquare import GSquareTest
+
+        tester = GSquareTest(asia_data)
+        return learn_skeleton(tester, asia_data.n_variables)
+
+    @pytest.mark.parametrize("gs", [2, 3, 5, 8, 16])
+    def test_gs_invariance(self, asia_data, reference, gs):
+        from repro.citests.gsquare import GSquareTest
+
+        graph, sepsets, stats = learn_skeleton(
+            GSquareTest(asia_data), asia_data.n_variables, gs=gs
+        )
+        ref_graph, ref_sepsets, ref_stats = reference
+        assert graph == ref_graph
+        assert sepsets == ref_sepsets
+        assert stats.n_tests >= ref_stats.n_tests  # redundancy only adds
+
+    def test_group_endpoints_invariance(self, asia_data, reference):
+        from repro.citests.gsquare import GSquareTest
+
+        graph, sepsets, stats = learn_skeleton(
+            GSquareTest(asia_data), asia_data.n_variables, group_endpoints=False
+        )
+        ref_graph, ref_sepsets, ref_stats = reference
+        assert graph == ref_graph
+        assert sepsets == ref_sepsets
+        # Ungrouped runs at least as many tests (skipped side-2 work).
+        assert stats.n_tests >= ref_stats.n_tests
+
+    def test_onthefly_invariance(self, asia_data, reference):
+        from repro.citests.gsquare import GSquareTest
+
+        graph, sepsets, stats = learn_skeleton(
+            GSquareTest(asia_data), asia_data.n_variables, onthefly=False
+        )
+        ref_graph, ref_sepsets, ref_stats = reference
+        assert graph == ref_graph
+        assert sepsets == ref_sepsets
+        assert stats.n_tests == ref_stats.n_tests
+        assert stats.materialised_set_ints > 0
+        assert ref_stats.materialised_set_ints == 0
+
+    def test_layout_invariance(self, asia_data, reference):
+        from repro.citests.gsquare import GSquareTest
+
+        sm = asia_data.with_layout("sample-major")
+        graph, sepsets, _ = learn_skeleton(GSquareTest(sm), sm.n_variables)
+        ref_graph, ref_sepsets, _ = reference
+        assert graph == ref_graph
+        assert sepsets == ref_sepsets
+
+
+class TestMaxDepth:
+    def test_depth_zero_only(self, asia_data):
+        from repro.citests.gsquare import GSquareTest
+
+        graph, _, stats = learn_skeleton(GSquareTest(asia_data), asia_data.n_variables, max_depth=0)
+        assert stats.max_depth == 0
+        n = asia_data.n_variables
+        assert stats.n_tests == n * (n - 1) // 2
+
+    def test_monotone_edge_count_in_depth(self, asia_data):
+        from repro.citests.gsquare import GSquareTest
+
+        previous = None
+        for depth in range(3):
+            graph, _, _ = learn_skeleton(
+                GSquareTest(asia_data), asia_data.n_variables, max_depth=depth
+            )
+            if previous is not None:
+                assert graph.n_edges <= previous
+            previous = graph.n_edges
+
+
+class TestStats:
+    def test_depth_bookkeeping(self, asia_net):
+        _, _, stats = oracle_skeleton(asia_net)
+        assert stats.depths[0].depth == 0
+        n = asia_net.n_nodes
+        assert stats.depths[0].n_edges_start == n * (n - 1) // 2
+        assert stats.n_tests == sum(d.n_tests for d in stats.depths)
+        for d in stats.depths:
+            assert 0 <= d.deletion_ratio <= 1
+
+    def test_gs_redundancy_counted(self, asia_data):
+        from repro.citests.gsquare import GSquareTest
+
+        _, _, stats1 = learn_skeleton(GSquareTest(asia_data), asia_data.n_variables, gs=1)
+        _, _, stats8 = learn_skeleton(GSquareTest(asia_data), asia_data.n_variables, gs=8)
+        assert stats1.n_redundant_tests == 0
+        assert stats8.n_redundant_tests > 0
+        assert stats8.n_tests == stats1.n_tests + stats8.n_redundant_tests
+
+    def test_counters_snapshot_attached(self, asia_data):
+        from repro.citests.gsquare import GSquareTest
+
+        _, _, stats = learn_skeleton(GSquareTest(asia_data), asia_data.n_variables)
+        assert stats.counters is not None
+        assert stats.counters.n_tests == stats.n_tests
+
+    def test_invalid_args(self, asia_data):
+        from repro.citests.gsquare import GSquareTest
+
+        with pytest.raises(ValueError):
+            learn_skeleton(GSquareTest(asia_data), asia_data.n_variables, gs=0)
+        with pytest.raises(ValueError):
+            learn_skeleton(GSquareTest(asia_data), -1)
+
+
+class TestTraceRecorder:
+    def test_trace_matches_stats(self, asia_net):
+        tester = OracleCITest.from_network(asia_net)
+        recorder = TraceRecorder()
+        _, _, stats = learn_skeleton(tester, asia_net.n_nodes, recorder=recorder)
+        assert recorder.n_tests == stats.n_tests
+        assert len(recorder.depths) == len(stats.depths)
+        for dt, ds in zip(recorder.depths, stats.depths):
+            assert dt.n_edges_start == ds.n_edges_start
+            assert dt.n_edges_removed == ds.n_edges_removed
+            assert sum(e.n_tests for e in dt.edges) == ds.n_tests
+
+    def test_removed_edges_marked(self, asia_net):
+        tester = OracleCITest.from_network(asia_net)
+        recorder = TraceRecorder()
+        graph, _, _ = learn_skeleton(tester, asia_net.n_nodes, recorder=recorder)
+        removed_in_trace = {
+            (e.u, e.v) for d in recorder.depths for e in d.edges if e.removed
+        }
+        for u, v in removed_in_trace:
+            assert not graph.has_edge(u, v)
+
+
+class TestHelpers:
+    def test_build_depth_tasks_grouped_vs_not(self):
+        g = UndirectedGraph.complete(4)
+        grouped = build_depth_tasks(g, 1, group_endpoints=True)
+        ungrouped = build_depth_tasks(g, 1, group_endpoints=False)
+        assert len(grouped) == 6
+        assert len(ungrouped) == 12
+        assert sum(t.total_tests for t in ungrouped) == sum(t.total_tests for t in grouped)
+
+    def test_build_depth_tasks_depth0_always_single(self):
+        g = UndirectedGraph.complete(3)
+        tasks = build_depth_tasks(g, 0, group_endpoints=False)
+        assert len(tasks) == 3
+        assert all(t.total_tests == 1 for t in tasks)
+
+    def test_depth_has_work(self):
+        g = UndirectedGraph.from_edges(4, [(0, 1), (1, 2)])
+        assert depth_has_work(g, 1)  # node 1 has degree 2
+        assert not depth_has_work(g, 2)

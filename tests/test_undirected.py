@@ -1,0 +1,89 @@
+"""UndirectedGraph tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.undirected import UndirectedGraph
+
+
+class TestConstruction:
+    def test_complete_graph(self):
+        g = UndirectedGraph.complete(5)
+        assert g.n_edges == 10
+        assert all(g.degree(i) == 4 for i in range(5))
+
+    def test_complete_trivial(self):
+        assert UndirectedGraph.complete(1).n_edges == 0
+        assert UndirectedGraph.complete(0).n_edges == 0
+
+    def test_from_edges(self):
+        g = UndirectedGraph.from_edges(4, [(0, 1), (2, 3)])
+        assert g.n_edges == 2
+        assert g.has_edge(1, 0)
+        assert not g.has_edge(0, 2)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            UndirectedGraph(-1)
+
+
+class TestMutation:
+    def test_add_remove(self):
+        g = UndirectedGraph(3)
+        g.add_edge(0, 2)
+        assert g.has_edge(2, 0)
+        g.remove_edge(2, 0)
+        assert not g.has_edge(0, 2)
+        assert g.n_edges == 0
+
+    def test_add_duplicate_is_noop(self):
+        g = UndirectedGraph(3)
+        g.add_edge(0, 1)
+        g.add_edge(1, 0)
+        assert g.n_edges == 1
+
+    def test_self_loop_rejected(self):
+        g = UndirectedGraph(3)
+        with pytest.raises(ValueError):
+            g.add_edge(1, 1)
+
+    def test_remove_missing_raises(self):
+        g = UndirectedGraph(3)
+        with pytest.raises(KeyError):
+            g.remove_edge(0, 1)
+
+    def test_copy_independent(self):
+        g = UndirectedGraph.complete(4)
+        h = g.copy()
+        h.remove_edge(0, 1)
+        assert g.has_edge(0, 1)
+        assert not h.has_edge(0, 1)
+        assert g != h
+
+
+class TestQueries:
+    def test_edges_ordered_pairs(self):
+        g = UndirectedGraph.from_edges(4, [(3, 1), (0, 2)])
+        assert sorted(g.edges()) == [(0, 2), (1, 3)]
+
+    def test_neighbors_live_view(self):
+        g = UndirectedGraph.from_edges(3, [(0, 1)])
+        nbrs = g.neighbors(0)
+        g.add_edge(0, 2)
+        assert nbrs == {1, 2}  # live set mutates with the graph
+
+    def test_adjacency_snapshot_frozen(self):
+        g = UndirectedGraph.from_edges(3, [(0, 1)])
+        snap = g.adjacency_snapshot()
+        g.add_edge(0, 2)
+        assert snap[0] == frozenset({1})  # snapshot unaffected
+
+    def test_equality(self):
+        a = UndirectedGraph.from_edges(3, [(0, 1)])
+        b = UndirectedGraph.from_edges(3, [(1, 0)])
+        assert a == b
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(UndirectedGraph(2))
