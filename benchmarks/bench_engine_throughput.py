@@ -1,0 +1,103 @@
+"""Engine bench: cold vs. warm request streams through the batch server.
+
+The engine's claim is operational, not statistical: a stream of repeated
+and related requests (same dataset, different alphas/targets) served by a
+persistent :class:`LearningSession` + :class:`BatchServer` should be far
+cheaper the second time — identical requests answered from the result
+cache, related ones from the sufficient-statistics cache.  This bench
+serves the same mixed learn/blanket stream twice and asserts
+
+* the warm pass is at least 2x faster than the cold pass,
+* the stats/result caches registered actual hits, and
+* warm payloads are identical to cold payloads, which are themselves
+  identical to the uncached ``learn_structure`` path.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench.tables import render_table
+from repro.bench.workloads import make_workload
+from repro.core.learn import learn_structure
+from repro.engine import BatchServer, LearningSession
+
+NETWORK = "alarm"
+N_SAMPLES = 2000
+
+
+def _request_stream(names) -> list[dict]:
+    """A repeated-query workload: relearns across alphas plus blanket
+    queries for a handful of targets, with every request issued twice."""
+    base = [
+        {"op": "learn", "alpha": 0.05},
+        {"op": "learn", "alpha": 0.01},
+        {"op": "learn", "alpha": 0.05, "gs": 2},
+        {"op": "blanket", "target": names[0]},
+        {"op": "blanket", "target": names[len(names) // 2]},
+        {"op": "blanket", "target": names[-1]},
+    ]
+    return base + [dict(r) for r in base]
+
+
+def test_engine_throughput(benchmark, record):
+    wl = make_workload(NETWORK, N_SAMPLES)
+    requests = _request_stream(wl.dataset.names)
+
+    def run() -> dict:
+        session = LearningSession(wl.dataset, alpha=0.05)
+        server = BatchServer(session)
+        with session:
+            t0 = time.perf_counter()
+            cold = server.serve(requests)
+            t_cold = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            warm = server.serve(requests)
+            t_warm = time.perf_counter() - t0
+            stats = server.stats()
+        return {
+            "cold_s": t_cold,
+            "warm_s": t_warm,
+            "cold": cold,
+            "warm": warm,
+            "stats": stats,
+        }
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # Warm payloads identical to cold, cold identical to the uncached path.
+    for c, w in zip(out["cold"], out["warm"]):
+        assert c["result"] == w["result"]
+        assert w["cached"]
+    ref = learn_structure(wl.dataset, method="fast-bns", alpha=0.05)
+    learned = out["cold"][0]["result"]
+    names = wl.dataset.names
+    assert learned["directed"] == sorted(
+        [names[u], names[v]] for u, v in ref.cpdag.directed_edges()
+    )
+    assert learned["undirected"] == sorted(
+        [names[u], names[v]] for u, v in ref.cpdag.undirected_edges()
+    )
+
+    stats = out["stats"]
+    assert stats["stats_cache"]["hits"] > 0, "stats cache never hit"
+    assert stats["n_result_cache_hits"] > 0, "result cache never hit"
+    speedup = out["cold_s"] / max(out["warm_s"], 1e-9)
+    assert speedup >= 2.0, f"warm pass only {speedup:.1f}x faster than cold"
+
+    text = render_table(
+        ["stream", "requests", "seconds", "result hits", "stats-cache hit rate"],
+        [
+            ["cold", len(requests), f"{out['cold_s']:.3f}", "-", "-"],
+            [
+                "warm",
+                len(requests),
+                f"{out['warm_s']:.3f}",
+                stats["n_result_cache_hits"],
+                f"{stats['stats_cache']['hit_rate'] * 100:.1f}%",
+            ],
+            ["speedup", "", f"{speedup:.1f}x", "", ""],
+        ],
+        title=f"Engine throughput — {wl.label}, m={N_SAMPLES}, cold vs warm stream",
+    )
+    record("engine_throughput", text)

@@ -36,6 +36,12 @@ class CITestCounters:
     paper's Sec. IV-D cache analysis); ``table_cells`` counts allocated
     contingency cells; ``log_ops`` counts the G^2 log evaluations (the
     FLOPS analog).
+
+    When the tester pulls tables through a
+    :class:`~repro.engine.statscache.SufficientStatsCache`, ``cache_hits``
+    and ``cache_misses`` split the tests into those answered without
+    touching the data (a hit contributes **zero** data accesses — the whole
+    point of the cache) and those that paid the full scan.
     """
 
     n_tests: int = 0
@@ -43,13 +49,40 @@ class CITestCounters:
     table_cells: int = 0
     log_ops: int = 0
     per_depth_tests: dict[int, int] = field(default_factory=dict)
+    cache_hits: int = 0
+    cache_misses: int = 0
 
-    def record(self, depth: int, m: int, cells: int, logs: int, xy_reused: bool) -> None:
+    def record(
+        self,
+        depth: int,
+        m: int,
+        cells: int,
+        logs: int,
+        xy_reused: bool,
+        from_cache: bool | None = None,
+        z_reused: bool = False,
+    ) -> None:
+        """Account one executed test.
+
+        ``from_cache`` is ``None`` when no stats cache is attached, ``True``
+        for a test whose table came out of the cache, ``False`` for a
+        cache-enabled test that had to build its table from the data.
+        ``z_reused`` marks a miss whose conditioning-set encoding was
+        served from the codes cache — the d conditioning columns were
+        never read, so they must not be billed.
+        """
         self.n_tests += 1
-        # A group-evaluated test reuses the already-encoded (x, y) columns,
-        # so it touches only the d conditioning columns instead of d + 2.
-        cols = depth if xy_reused else depth + 2
-        self.data_accesses += m * cols
+        if from_cache:
+            self.cache_hits += 1
+        else:
+            if from_cache is not None:
+                self.cache_misses += 1
+            # A group-evaluated test reuses the already-encoded (x, y)
+            # columns, so it touches only the d conditioning columns
+            # instead of d + 2; cached encodings and cache hits touch
+            # correspondingly fewer.
+            cols = (0 if z_reused else depth) + (0 if xy_reused else 2)
+            self.data_accesses += m * cols
         self.table_cells += cells
         self.log_ops += logs
         self.per_depth_tests[depth] = self.per_depth_tests.get(depth, 0) + 1
@@ -60,6 +93,8 @@ class CITestCounters:
         self.table_cells = 0
         self.log_ops = 0
         self.per_depth_tests = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     def snapshot(self) -> "CITestCounters":
         out = CITestCounters(
@@ -68,6 +103,8 @@ class CITestCounters:
             self.table_cells,
             self.log_ops,
             dict(self.per_depth_tests),
+            self.cache_hits,
+            self.cache_misses,
         )
         return out
 

@@ -15,7 +15,7 @@ import numpy as np
 
 from ..datasets.dataset import DiscreteDataset
 from .base import CITestCounters, CITestResult
-from .contingency import encode_columns, n_configurations
+from .contingency import ci_counts
 from .gsquare import _chi2_sf
 
 __all__ = ["ChiSquareTest"]
@@ -31,6 +31,7 @@ class ChiSquareTest:
         alpha: float = 0.05,
         dof_adjust: str = "structural",
         compress_threshold: int = 4,
+        stats_cache=None,
     ) -> None:
         if not 0 < alpha < 1:
             raise ValueError("alpha must be in (0, 1)")
@@ -41,6 +42,13 @@ class ChiSquareTest:
         self.dof_adjust = dof_adjust
         self.compress_threshold = int(compress_threshold)
         self.counters = CITestCounters()
+        self._builder = None
+        if stats_cache is not None:
+            from ..engine.statscache import CachedTableBuilder
+
+            self._builder = CachedTableBuilder(
+                dataset, stats_cache, compress_threshold=self.compress_threshold
+            )
 
     def test(self, x: int, y: int, s: Sequence[int]) -> CITestResult:
         return self.test_group(x, y, [s])[0]
@@ -49,24 +57,35 @@ class ChiSquareTest:
         ds = self.dataset
         m = ds.n_samples
         rx, ry = ds.arity(x), ds.arity(y)
-        xy_codes = ds.column(x).astype(np.int64) * ry + ds.column(y)
+        # With a stats cache the builder resolves the XY encoding lazily
+        # (and memoizes it), so warm paths skip the endpoint-column reads.
+        if self._builder is None:
+            xy_codes = ds.column(x).astype(np.int64) * ry + ds.column(y)
+        else:
+            xy_codes = None
         out: list[CITestResult] = []
         for i, s_raw in enumerate(sets):
             s = tuple(int(v) for v in s_raw)
             rz = [ds.arity(v) for v in s]
-            nz_structural = n_configurations(rz)
-            if s:
-                z_codes, _ = encode_columns(ds.columns(s), rz)
-                if nz_structural > self.compress_threshold * max(m, 1):
-                    _, z_codes = np.unique(z_codes, return_inverse=True)
-                    nz_dense = int(z_codes.max()) + 1 if m else 0
-                else:
-                    nz_dense = nz_structural
-                cell = z_codes * (rx * ry) + xy_codes
+            from_cache: bool | None = None
+            z_reused = False
+            xy_reused = i > 0
+            if self._builder is not None:
+                counts, nz_structural, from_cache, z_reused, xy_cached = self._builder.ci_counts(
+                    x, y, s, xy_codes=xy_codes
+                )
+                xy_reused = xy_reused or xy_cached
             else:
-                nz_dense = 1
-                cell = xy_codes
-            counts = np.bincount(cell, minlength=nz_dense * rx * ry).reshape(nz_dense, rx, ry)
+                counts, nz_structural, _dense = ci_counts(
+                    ds.column(x),
+                    ds.column(y),
+                    ds.columns(s),
+                    rx,
+                    ry,
+                    rz,
+                    compress_threshold=self.compress_threshold,
+                    xy_codes=xy_codes,
+                )
 
             n_xz = counts.sum(axis=2, dtype=np.float64)
             n_yz = counts.sum(axis=1, dtype=np.float64)
@@ -87,7 +106,9 @@ class ChiSquareTest:
                 m=m,
                 cells=counts.size,
                 logs=int(np.count_nonzero(mask)),
-                xy_reused=i > 0,
+                xy_reused=xy_reused,
+                from_cache=from_cache,
+                z_reused=z_reused,
             )
             out.append(
                 CITestResult(

@@ -22,6 +22,8 @@ import numpy as np
 __all__ = [
     "encode_columns",
     "contingency_table",
+    "ci_counts",
+    "marginalize_table",
     "marginal_tables",
     "n_configurations",
 ]
@@ -96,6 +98,82 @@ def contingency_table(
         cell = (z_codes * rx + x_col) * ry + y_col
     counts = np.bincount(cell, minlength=nz_dense * rx * ry).reshape(nz_dense, rx, ry)
     return counts, nz_structural
+
+
+def ci_counts(
+    x_col: np.ndarray,
+    y_col: np.ndarray,
+    z_cols: Sequence[np.ndarray],
+    rx: int,
+    ry: int,
+    rz: Sequence[int],
+    compress_threshold: int = 4,
+    xy_codes: np.ndarray | None = None,
+    z_codes: np.ndarray | None = None,
+) -> tuple[np.ndarray, int, bool]:
+    """Counts ``N[z, x, y]`` for one CI test, with optional precomputed codes.
+
+    This is the single table-construction entry point shared by the CI
+    testers and the :mod:`repro.engine` sufficient-statistics cache: both
+    paths produce byte-identical tables because they run this exact code.
+
+    ``xy_codes`` (``x * ry + y`` per sample) and ``z_codes`` (mixed-radix
+    encoding of the conditioning columns, *pre-compression*) may be supplied
+    to skip re-encoding — the group-evaluation and encoding-cache reuse
+    hooks.
+
+    Returns ``(counts, nz_structural, dense)`` where ``dense`` reports
+    whether the first axis covers every structural Z configuration (i.e.
+    compression did **not** kick in) — dense tables can later be
+    marginalized exactly, compressed ones cannot.
+    """
+    m = x_col.shape[0]
+    nz_structural = n_configurations(rz)
+    if xy_codes is None:
+        xy_codes = x_col.astype(np.int64) * ry + y_col
+    if rz:
+        if z_codes is None:
+            z_codes, _ = encode_columns(list(z_cols), list(rz))
+        if nz_structural > compress_threshold * max(m, 1):
+            _, z_codes = np.unique(z_codes, return_inverse=True)
+            nz_dense = int(z_codes.max()) + 1 if m else 0
+            dense = False
+        else:
+            nz_dense = nz_structural
+            dense = True
+        cell = z_codes * (rx * ry) + xy_codes
+    else:
+        nz_dense = 1
+        dense = True
+        cell = xy_codes
+    counts = np.bincount(cell, minlength=nz_dense * rx * ry).reshape(nz_dense, rx, ry)
+    return counts, nz_structural, dense
+
+
+def marginalize_table(
+    table: np.ndarray,
+    dims: Sequence[int],
+    keep: Sequence[int],
+) -> np.ndarray:
+    """Exact marginal of a dense joint-count table.
+
+    ``table`` is any array reshapeable to ``dims`` (one axis per variable);
+    ``keep`` lists the axis positions to retain, *in the output's axis
+    order* (so it both selects and permutes).  All other axes are summed
+    out.  Counts are integers, so the marginal equals what a direct scan
+    of the data would have produced — this is what lets the stats cache
+    answer a lower-order query from a cached higher-order table.
+    """
+    arr = np.asarray(table).reshape(tuple(dims))
+    keep = list(keep)
+    drop = tuple(i for i in range(arr.ndim) if i not in keep)
+    if drop:
+        arr = arr.sum(axis=drop)
+        # Axes shift down after the sum: recompute each kept axis's position.
+        remaining = [i for i in range(len(dims)) if i not in drop]
+        pos = {axis: i for i, axis in enumerate(remaining)}
+        keep = [pos[axis] for axis in keep]
+    return np.ascontiguousarray(arr.transpose(keep))
 
 
 def marginal_tables(

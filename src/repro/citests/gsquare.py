@@ -34,7 +34,7 @@ from scipy.special import gammaincc
 
 from ..datasets.dataset import DiscreteDataset
 from .base import CITestCounters, CITestResult
-from .contingency import encode_columns, n_configurations
+from .contingency import ci_counts
 
 __all__ = ["GSquareTest", "g2_test_from_counts"]
 
@@ -61,6 +61,13 @@ class GSquareTest:
         Compress Z codes through ``np.unique`` when the structural
         configuration count exceeds ``compress_threshold * n_samples``;
         bounds memory at any depth.
+    stats_cache:
+        Optional :class:`~repro.engine.statscache.SufficientStatsCache`.
+        When given, contingency tables are pulled through the cache
+        (memoized by variable tuple, served by exact marginalization when
+        a cached dense superset exists) instead of being rebuilt from the
+        data on every test.  Results are bit-identical either way —
+        construction is shared via :func:`repro.citests.contingency.ci_counts`.
     """
 
     def __init__(
@@ -69,6 +76,7 @@ class GSquareTest:
         alpha: float = 0.05,
         dof_adjust: str = "structural",
         compress_threshold: int = 4,
+        stats_cache=None,
     ) -> None:
         if not 0 < alpha < 1:
             raise ValueError("alpha must be in (0, 1)")
@@ -79,6 +87,13 @@ class GSquareTest:
         self.dof_adjust = dof_adjust
         self.compress_threshold = int(compress_threshold)
         self.counters = CITestCounters()
+        self._builder = None
+        if stats_cache is not None:
+            from ..engine.statscache import CachedTableBuilder
+
+            self._builder = CachedTableBuilder(
+                dataset, stats_cache, compress_threshold=self.compress_threshold
+            )
 
     # ------------------------------------------------------------------ #
     # public API
@@ -86,7 +101,10 @@ class GSquareTest:
     def test(self, x: int, y: int, s: Sequence[int]) -> CITestResult:
         """Single CI test ``I(x, y | s)``."""
         s = tuple(int(v) for v in s)
-        xy_codes = self._encode_xy(x, y)
+        # With a stats cache the builder resolves (and memoizes) the XY
+        # encoding lazily — only on a table miss — so a warm path never
+        # re-reads the endpoint columns.
+        xy_codes = None if self._builder is not None else self._encode_xy(x, y)
         return self._test_with_xy(x, y, s, xy_codes, xy_reused=False)
 
     def test_group(self, x: int, y: int, sets: Sequence[Sequence[int]]) -> list[CITestResult]:
@@ -95,7 +113,7 @@ class GSquareTest:
         The XY encoding is computed once and reused for every set in the
         group — the group-size (gs) memory-reuse optimisation.
         """
-        xy_codes = self._encode_xy(x, y)
+        xy_codes = None if self._builder is not None else self._encode_xy(x, y)
         out: list[CITestResult] = []
         for i, s in enumerate(sets):
             s = tuple(int(v) for v in s)
@@ -122,20 +140,25 @@ class GSquareTest:
         m = ds.n_samples
         rx, ry = ds.arity(x), ds.arity(y)
         rz = [ds.arity(v) for v in s]
-        nz_structural = n_configurations(rz)
 
-        if s:
-            z_codes, _ = encode_columns(ds.columns(s), rz)
-            if nz_structural > self.compress_threshold * max(m, 1):
-                _, z_codes = np.unique(z_codes, return_inverse=True)
-                nz_dense = int(z_codes.max()) + 1 if m else 0
-            else:
-                nz_dense = nz_structural
-            cell = z_codes * (rx * ry) + xy_codes
+        from_cache: bool | None = None
+        z_reused = False
+        if self._builder is not None:
+            counts, nz_structural, from_cache, z_reused, xy_cached = self._builder.ci_counts(
+                x, y, s, xy_codes=xy_codes
+            )
+            xy_reused = xy_reused or xy_cached
         else:
-            nz_dense = 1
-            cell = xy_codes
-        counts = np.bincount(cell, minlength=nz_dense * rx * ry).reshape(nz_dense, rx, ry)
+            counts, nz_structural, _dense = ci_counts(
+                ds.column(x),
+                ds.column(y),
+                ds.columns(s),
+                rx,
+                ry,
+                rz,
+                compress_threshold=self.compress_threshold,
+                xy_codes=xy_codes,
+            )
 
         stat, n_logs, n_nonempty_slices = _g2_from_counts(counts)
         if self.dof_adjust == "structural":
@@ -144,7 +167,13 @@ class GSquareTest:
             dof = (rx - 1) * (ry - 1) * float(max(n_nonempty_slices, 1))
         p = _chi2_sf(stat, dof)
         self.counters.record(
-            depth=len(s), m=m, cells=counts.size, logs=n_logs, xy_reused=xy_reused
+            depth=len(s),
+            m=m,
+            cells=counts.size,
+            logs=n_logs,
+            xy_reused=xy_reused,
+            from_cache=from_cache,
+            z_reused=z_reused,
         )
         return CITestResult(
             x=x,

@@ -36,10 +36,13 @@ class MutualInformationTest:
         mode: str = "pvalue",
         mi_threshold: float = 0.01,
         dof_adjust: str = "structural",
+        stats_cache=None,
     ) -> None:
         if mode not in ("pvalue", "threshold"):
             raise ValueError("mode must be 'pvalue' or 'threshold'")
-        self._g2 = GSquareTest(dataset, alpha=alpha, dof_adjust=dof_adjust)
+        self._g2 = GSquareTest(
+            dataset, alpha=alpha, dof_adjust=dof_adjust, stats_cache=stats_cache
+        )
         self.dataset = dataset
         self.alpha = float(alpha)
         self.mode = mode
@@ -48,6 +51,12 @@ class MutualInformationTest:
     @property
     def counters(self):
         return self._g2.counters
+
+    @property
+    def _builder(self):
+        """Expose the inner tester's cache builder so cache introspection
+        (worker stats probes) sees through the MI wrapper."""
+        return self._g2._builder
 
     def mutual_information(self, x: int, y: int, s: Sequence[int]) -> float:
         """Empirical conditional mutual information in nats."""

@@ -1,9 +1,10 @@
 """Command-line interface.
 
-Three sub-commands::
+Four sub-commands::
 
     fastbns learn       # learn a structure from a CSV file or a benchmark
     fastbns blanket     # discover one variable's Markov blanket
+    fastbns batch       # serve a JSONL stream of learn/blanket requests
     fastbns experiment  # regenerate a paper table/figure
 
 Examples
@@ -15,6 +16,20 @@ Learn from a benchmark network's sampled data and print the CPDAG::
 Learn from a CSV of integer-coded categories::
 
     python -m repro learn --csv data.csv --alpha 0.01
+
+Serve a stream of requests against one dataset through a persistent
+:class:`~repro.engine.session.LearningSession` (shared statistics cache,
+long-lived workers, duplicate requests answered from the result cache),
+writing one JSON result per request plus a per-run manifest::
+
+    python -m repro batch --network alarm --requests reqs.jsonl \\
+        --out results.jsonl --manifest manifest.json --jobs 4
+
+where ``reqs.jsonl`` holds one request object per line, e.g.::
+
+    {"op": "learn", "alpha": 0.05, "gs": 2}
+    {"op": "learn", "alpha": 0.01}
+    {"op": "blanket", "target": "HRBP", "algorithm": "iamb"}
 
 Regenerate Table III (quick mode)::
 
@@ -45,7 +60,7 @@ def build_parser() -> argparse.ArgumentParser:
     src.add_argument("--bif", help="BIF network file; data is forward-sampled from it")
     src.add_argument("--network", help="benchmark network name (see `experiment table2`)")
     learn.add_argument("--samples", type=int, default=5000, help="sample count for --network/--bif")
-    learn.add_argument("--seed", type=int, default=0, help="sampling seed for --network/--bif")
+    learn.add_argument("--seed", type=int, default=0, help="sampling seed for --bif (--network datasets are seeded by the catalog)")
     learn.add_argument("--scale", type=float, default=None, help="scale factor for --network")
     learn.add_argument(
         "--method",
@@ -62,6 +77,30 @@ def build_parser() -> argparse.ArgumentParser:
     learn.add_argument("--backend", default="process", choices=("process", "thread"))
     learn.add_argument("--max-depth", type=int, default=None)
     learn.add_argument("--quiet", action="store_true", help="print only summary counts")
+
+    batch = sub.add_parser(
+        "batch",
+        help="serve a JSONL stream of learn/blanket requests over one dataset",
+    )
+    bsrc = batch.add_mutually_exclusive_group(required=True)
+    bsrc.add_argument("--csv", help="CSV file of integer category codes (header = names)")
+    bsrc.add_argument("--bif", help="BIF network file; data is forward-sampled from it")
+    bsrc.add_argument("--network", help="benchmark network name (see `experiment table2`)")
+    batch.add_argument("--samples", type=int, default=5000, help="sample count for --network/--bif")
+    batch.add_argument("--seed", type=int, default=0, help="sampling seed for --bif (--network datasets are seeded by the catalog)")
+    batch.add_argument("--scale", type=float, default=None, help="scale factor for --network")
+    batch.add_argument(
+        "--requests", required=True, help="JSONL file, one request object per line"
+    )
+    batch.add_argument("--out", required=True, help="output JSONL file, one result per line")
+    batch.add_argument("--manifest", default=None, help="optional per-run manifest JSON path")
+    batch.add_argument("--test", default="g2", choices=("g2", "chi2", "mi"))
+    batch.add_argument("--alpha", type=float, default=0.05, help="default significance level")
+    batch.add_argument("--jobs", type=int, default=1, help="worker count (1 = sequential)")
+    batch.add_argument("--backend", default="process", choices=("process", "thread"))
+    batch.add_argument(
+        "--cache-mb", type=int, default=64, help="stats-cache LRU budget in MiB"
+    )
 
     mb = sub.add_parser("blanket", help="discover one variable's Markov blanket")
     mb.add_argument("--network", required=True, help="benchmark network name")
@@ -81,26 +120,30 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _cmd_learn(args: argparse.Namespace) -> int:
-    from .core.learn import learn_structure
+def _load_dataset(args: argparse.Namespace):
+    """Resolve the shared --csv/--bif/--network data-source options."""
     from .datasets.dataset import DiscreteDataset
 
     if args.csv:
         rows = np.loadtxt(args.csv, delimiter=",", skiprows=1, dtype=np.int64)
         with open(args.csv, "r", encoding="utf-8") as fh:
             names = [c.strip() for c in fh.readline().split(",")]
-        data = DiscreteDataset.from_rows(rows, names=names)
-    elif args.bif:
+        return DiscreteDataset.from_rows(rows, names=names)
+    if args.bif:
         from .datasets.bif import load_bif
         from .datasets.sampling import forward_sample
 
         network = load_bif(args.bif)
-        data = forward_sample(network, args.samples, rng=args.seed)
-    else:
-        from .bench.workloads import make_workload
+        return forward_sample(network, args.samples, rng=args.seed)
+    from .bench.workloads import make_workload
 
-        data = make_workload(args.network, args.samples, scale=args.scale).dataset
+    return make_workload(args.network, args.samples, scale=args.scale).dataset
 
+
+def _cmd_learn(args: argparse.Namespace) -> int:
+    from .core.learn import learn_structure
+
+    data = _load_dataset(args)
     result = learn_structure(
         data,
         method=args.method,
@@ -126,6 +169,55 @@ def _cmd_learn(args: argparse.Namespace) -> int:
         print("undirected edges:")
         for u, v in sorted(result.cpdag.undirected_edges()):
             print(f"  {result.names[u]} -- {result.names[v]}")
+    return 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    import json
+
+    from .engine import BatchServer, LearningSession
+
+    data = _load_dataset(args)
+    with open(args.requests, "r", encoding="utf-8") as fh:
+        requests = [json.loads(line) for line in fh if line.strip()]
+
+    with LearningSession(
+        data,
+        test=args.test,
+        alpha=args.alpha,
+        n_jobs=args.jobs,
+        backend=args.backend,
+        cache_bytes=args.cache_mb << 20,
+    ) as session:
+        server = BatchServer(session)
+        manifest = server.new_manifest()
+        responses = server.serve(requests, manifest=manifest)
+        with open(args.out, "w", encoding="utf-8") as fh:
+            for resp in responses:
+                fh.write(json.dumps(resp) + "\n")
+        # With n_jobs > 1 the learn-phase tables live in the *worker*
+        # caches; fold them in so the audit trail reflects where the
+        # hits actually happened.
+        cache_doc = session.cache_stats().as_dict()
+        workers = session.worker_cache_stats()
+        if workers:
+            cache_doc["workers"] = workers
+        if args.manifest:
+            manifest.write(args.manifest, cache_stats=cache_doc)
+        totals = manifest.totals()
+        hits = cache_doc["hits"] + sum(w["hits"] for w in workers)
+        misses = cache_doc["misses"] + sum(w["misses"] for w in workers)
+        resident = cache_doc["current_bytes"] + sum(w["current_bytes"] for w in workers)
+        print(
+            f"served {totals['n_requests']} requests "
+            f"({totals['n_computed']} computed, "
+            f"{totals['n_result_cache_hits']} result-cache hits, "
+            f"{totals['n_errors']} errors) "
+            f"in {totals['elapsed_s']:.3f}s | "
+            f"stats cache: {hits} hits / {misses} misses "
+            f"({resident / 1e6:.1f} MB resident"
+            + (f" across master + {len(workers)} workers)" if workers else ")")
+        )
     return 0
 
 
@@ -182,6 +274,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "learn":
         return _cmd_learn(args)
+    if args.command == "batch":
+        return _cmd_batch(args)
     if args.command == "blanket":
         return _cmd_blanket(args)
     if args.command == "experiment":

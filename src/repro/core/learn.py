@@ -35,16 +35,26 @@ def make_tester(
     test: str | ConditionalIndependenceTest = "g2",
     alpha: float = 0.05,
     dof_adjust: str = "structural",
+    stats_cache=None,
 ) -> ConditionalIndependenceTest:
-    """Instantiate a CI tester by name, or pass an instance through."""
+    """Instantiate a CI tester by name, or pass an instance through.
+
+    ``stats_cache`` optionally attaches a
+    :class:`~repro.engine.statscache.SufficientStatsCache` so the tester
+    serves repeated contingency tables from memory (the
+    :class:`~repro.engine.session.LearningSession` path); the naive tester
+    ignores it (its per-sample interpretation *is* the point).
+    """
     if not isinstance(test, str):
         return test
     if test == "g2":
-        return GSquareTest(dataset, alpha=alpha, dof_adjust=dof_adjust)
+        return GSquareTest(dataset, alpha=alpha, dof_adjust=dof_adjust, stats_cache=stats_cache)
     if test == "chi2":
-        return ChiSquareTest(dataset, alpha=alpha, dof_adjust=dof_adjust)
+        return ChiSquareTest(dataset, alpha=alpha, dof_adjust=dof_adjust, stats_cache=stats_cache)
     if test == "mi":
-        return MutualInformationTest(dataset, alpha=alpha, dof_adjust=dof_adjust)
+        return MutualInformationTest(
+            dataset, alpha=alpha, dof_adjust=dof_adjust, stats_cache=stats_cache
+        )
     if test == "g2-naive":
         return NaiveGSquareTest(dataset, alpha=alpha, dof_adjust=dof_adjust)
     raise ValueError(f"unknown test {test!r}; choose from {TESTS + ('g2-naive',)}")

@@ -1,0 +1,33 @@
+"""repro.engine — persistent learning sessions and batched query serving.
+
+The paper's algorithms (and the seed reproduction) treat every learn or
+blanket call as a cold start: fresh contingency tables, fresh worker pool.
+This subsystem makes runs first-class, reusable objects:
+
+* :class:`SufficientStatsCache` — byte-budgeted LRU of contingency tables
+  keyed by variable tuples, with exact hit/miss/byte counters and
+  marginalization of cached dense tables (see :mod:`.statscache`);
+* :class:`LearningSession` — one dataset + one cache + one long-lived
+  worker pool serving ``learn`` / ``relearn`` / ``markov_blanket`` calls;
+* :class:`BatchServer` — request-level layer that fingerprints, dedupes
+  and serves streams of requests (the ``fastbns batch`` CLI);
+* :class:`RunManifest` — auditable per-run artifact.
+"""
+
+from .batch import BatchRequest, BatchServer
+from .fingerprint import dataset_fingerprint, request_fingerprint
+from .manifest import RunManifest
+from .session import LearningSession
+from .statscache import CachedTableBuilder, CacheStats, SufficientStatsCache
+
+__all__ = [
+    "SufficientStatsCache",
+    "CachedTableBuilder",
+    "CacheStats",
+    "LearningSession",
+    "BatchServer",
+    "BatchRequest",
+    "RunManifest",
+    "dataset_fingerprint",
+    "request_fingerprint",
+]

@@ -1,0 +1,248 @@
+"""Batched query serving over a learning session.
+
+The production framing of the ROADMAP: many clients submit learning
+requests against the same dataset — full structure learns at different
+significance levels, Markov-blanket queries for different targets — and
+most of that traffic is *repeated*.  :class:`BatchServer` is the request
+layer that exploits it:
+
+1. every request is normalised (defaults filled, targets resolved to
+   indices) and fingerprinted against the session's dataset fingerprint;
+2. requests whose fingerprint was already answered — earlier in the same
+   batch or in any previous batch — are served from the result cache
+   without touching the session;
+3. the remainder run on the session, whose sufficient-statistics cache and
+   long-lived worker pool make even *non*-identical requests cheap when
+   they share tables with earlier ones.
+
+Responses are plain dicts (JSONL-friendly for the ``fastbns batch`` CLI)
+and always report ``fingerprint``, ``cached`` and ``elapsed_s`` so a
+client can audit what was recomputed.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from .fingerprint import request_fingerprint
+from .manifest import RunManifest
+from .session import LearningSession
+
+__all__ = ["BatchRequest", "BatchServer"]
+
+_LEARN_DEFAULTS = {
+    "gs": 1,
+    "max_depth": None,
+    "apply_r4": False,
+    "v_structures": "standard",
+}
+_BLANKET_DEFAULTS = {
+    "algorithm": "iamb",
+    "max_conditioning": 3,
+}
+
+
+@dataclass(frozen=True)
+class BatchRequest:
+    """One normalised request: an operation plus canonical parameters.
+
+    ``params`` is a sorted tuple of ``(key, value)`` pairs so the request
+    itself is hashable; equivalent user spellings (key order, omitted
+    defaults, target by name vs. index) normalise to the same object and
+    therefore the same fingerprint.
+    """
+
+    op: str
+    params: tuple[tuple[str, object], ...]
+
+    @classmethod
+    def normalise(cls, raw: Mapping, session: LearningSession) -> "BatchRequest":
+        d = dict(raw)
+        op = d.pop("op", None)
+        if op not in ("learn", "blanket"):
+            raise ValueError(f"request op must be 'learn' or 'blanket', got {op!r}")
+        alpha = float(d.pop("alpha", session.alpha))
+        if not 0 < alpha < 1:
+            raise ValueError("alpha must be in (0, 1)")
+        # Result-affecting session config participates in the fingerprint
+        # so two runs with differently-configured engines never produce
+        # the same fingerprint for non-equivalent results.
+        params: dict[str, object] = {
+            "alpha": alpha,
+            "dof_adjust": session.dof_adjust,
+            "test": str(d.pop("test", session.test)) if op == "learn" else session.test,
+        }
+        if op == "learn":
+            for key, default in _LEARN_DEFAULTS.items():
+                params[key] = d.pop(key, default)
+            params["gs"] = int(params["gs"])
+            md = params["max_depth"]
+            params["max_depth"] = None if md is None else int(md)
+            params["apply_r4"] = bool(params["apply_r4"])
+            if params["v_structures"] not in ("standard", "conservative", "majority"):
+                raise ValueError(
+                    f"unknown v_structures rule {params['v_structures']!r}"
+                )
+        else:
+            target = d.pop("target", None)
+            if target is None:
+                raise ValueError("blanket request needs a 'target'")
+            if isinstance(target, str):
+                target = session.dataset.index_of(target)
+            params["target"] = int(target)
+            for key, default in _BLANKET_DEFAULTS.items():
+                params[key] = d.pop(key, default)
+            mc = params["max_conditioning"]
+            params["max_conditioning"] = None if mc is None else int(mc)
+        if d:
+            raise ValueError(f"unknown request fields for op {op!r}: {sorted(d)}")
+        return cls(op=op, params=tuple(sorted(params.items())))
+
+    def param_dict(self) -> dict:
+        return dict(self.params)
+
+    def fingerprint(self, dataset_fp: str) -> str:
+        return request_fingerprint(dataset_fp, self.op, self.param_dict())
+
+
+class BatchServer:
+    """Serve streams of learn/blanket requests over one session.
+
+    The result cache is unbounded by design — payloads are edge lists and
+    counters, orders of magnitude smaller than the stats cache's tables;
+    a production deployment would bound it the same LRU way.
+    """
+
+    def __init__(self, session: LearningSession) -> None:
+        self.session = session
+        self._results: dict[str, dict] = {}
+        self.n_requests = 0
+        self.n_computed = 0
+        self.n_result_hits = 0
+        self.n_errors = 0
+
+    # ------------------------------------------------------------------ #
+    # serving
+    # ------------------------------------------------------------------ #
+    def handle(self, raw: Mapping | BatchRequest) -> dict:
+        """Serve one request; repeat fingerprints return the cached payload.
+
+        A malformed request (unknown op/field, bad target, invalid
+        parameter) yields an ``error`` response instead of aborting the
+        stream — one client's bad request must not take down the batch.
+        """
+        self.n_requests += 1
+        t0 = time.perf_counter()
+        try:
+            req = (
+                raw
+                if isinstance(raw, BatchRequest)
+                else BatchRequest.normalise(raw, self.session)
+            )
+            fp = req.fingerprint(self.session.fingerprint)
+            payload = self._results.get(fp)
+            cached = payload is not None
+            if cached:
+                self.n_result_hits += 1
+            else:
+                payload = self._compute(req)
+                self._results[fp] = payload
+                self.n_computed += 1
+        except (ValueError, KeyError, TypeError) as exc:
+            self.n_errors += 1
+            op = raw.get("op") if isinstance(raw, Mapping) else raw.op
+            return {
+                "op": op if op in ("learn", "blanket") else None,
+                "fingerprint": None,
+                "cached": False,
+                "elapsed_s": time.perf_counter() - t0,
+                "error": str(exc),
+            }
+        return {
+            "op": req.op,
+            "fingerprint": fp,
+            "cached": cached,
+            "elapsed_s": time.perf_counter() - t0,
+            "result": payload,
+        }
+
+    def serve(
+        self, requests: Iterable[Mapping | BatchRequest], manifest: RunManifest | None = None
+    ) -> list[dict]:
+        """Serve a request stream in order, recording into ``manifest``."""
+        responses = []
+        for raw in requests:
+            resp = self.handle(raw)
+            if manifest is not None:
+                manifest.add_request(
+                    resp["op"],
+                    resp["fingerprint"],
+                    resp["cached"],
+                    resp["elapsed_s"],
+                    error=resp.get("error"),
+                )
+            responses.append(resp)
+        return responses
+
+    def new_manifest(self) -> RunManifest:
+        s = self.session
+        return RunManifest(
+            dataset_fingerprint=s.fingerprint,
+            engine={
+                "test": s.test,
+                "alpha": s.alpha,
+                "dof_adjust": s.dof_adjust,
+                "n_jobs": s.n_jobs,
+                "backend": s.backend,
+                "cache_bytes": s.cache_bytes,
+            },
+        )
+
+    def stats(self) -> dict:
+        return {
+            "n_requests": self.n_requests,
+            "n_computed": self.n_computed,
+            "n_result_cache_hits": self.n_result_hits,
+            "n_errors": self.n_errors,
+            "stats_cache": self.session.cache_stats().as_dict(),
+        }
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def _compute(self, req: BatchRequest) -> dict:
+        p = req.param_dict()
+        names = self.session.names
+        if req.op == "learn":
+            result = self.session.learn(
+                alpha=p["alpha"],
+                test=p["test"],
+                gs=p["gs"],
+                max_depth=p["max_depth"],
+                apply_r4=p["apply_r4"],
+                v_structures=p["v_structures"],
+            )
+            return {
+                "n_variables": len(names),
+                "skeleton_edges": result.skeleton.n_edges,
+                "directed": sorted(
+                    [names[u], names[v]] for u, v in result.cpdag.directed_edges()
+                ),
+                "undirected": sorted(
+                    [names[u], names[v]] for u, v in result.cpdag.undirected_edges()
+                ),
+                "n_ci_tests": result.n_ci_tests,
+            }
+        result = self.session.markov_blanket(
+            p["target"],
+            algorithm=p["algorithm"],
+            alpha=p["alpha"],
+            max_conditioning=p["max_conditioning"],
+        )
+        return {
+            "target": names[result.target],
+            "blanket": sorted(names[v] for v in result.blanket),
+            "n_tests": result.n_tests,
+        }

@@ -1,0 +1,82 @@
+"""Per-run manifests for batch serving.
+
+A batch run is a first-class artifact: the manifest records what was asked
+(request fingerprints), what was actually computed versus served from the
+result cache, how long each request took, and the exact state of the
+engine's caches at the end — enough to audit a run, diff two runs, or
+reproduce one (the dataset fingerprint pins the inputs).  Written as a
+single JSON document next to the results file by ``fastbns batch``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping
+
+__all__ = ["RunManifest"]
+
+MANIFEST_VERSION = 1
+
+
+@dataclass
+class RunManifest:
+    """Everything needed to account for one batch-serving run."""
+
+    dataset_fingerprint: str
+    engine: dict = field(default_factory=dict)
+    requests: list[dict] = field(default_factory=list)
+    created_unix: float = field(default_factory=time.time)
+
+    def add_request(
+        self,
+        op: str | None,
+        fingerprint: str | None,
+        cached: bool,
+        elapsed_s: float,
+        error: str | None = None,
+    ) -> None:
+        entry = {
+            "op": op,
+            "fingerprint": fingerprint,
+            "cached": bool(cached),
+            "elapsed_s": float(elapsed_s),
+        }
+        if error is not None:
+            entry["error"] = error
+        self.requests.append(entry)
+
+    # ------------------------------------------------------------------ #
+    # rollups & serialisation
+    # ------------------------------------------------------------------ #
+    def totals(self) -> dict:
+        n = len(self.requests)
+        cached = sum(1 for r in self.requests if r["cached"])
+        errors = sum(1 for r in self.requests if "error" in r)
+        return {
+            "n_requests": n,
+            "n_computed": n - cached - errors,
+            "n_result_cache_hits": cached,
+            "n_errors": errors,
+            "elapsed_s": sum(r["elapsed_s"] for r in self.requests),
+        }
+
+    def to_dict(self, cache_stats: Mapping | None = None) -> dict:
+        out = {
+            "manifest_version": MANIFEST_VERSION,
+            "created_unix": self.created_unix,
+            "dataset_fingerprint": self.dataset_fingerprint,
+            "engine": dict(self.engine),
+            "totals": self.totals(),
+            "requests": list(self.requests),
+        }
+        if cache_stats is not None:
+            out["stats_cache"] = dict(cache_stats)
+        return out
+
+    def write(self, path: str | Path, cache_stats: Mapping | None = None) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(cache_stats), indent=2) + "\n")
+        return path

@@ -1,0 +1,382 @@
+"""Sufficient-statistics cache for CI testing.
+
+Every CI test the paper runs re-scans the dataset to fill a contingency
+table — ``m * (d + 2)`` data accesses per test (Sec. IV-D).  Across a
+*stream* of learning requests on the same dataset (different alphas, group
+sizes, blanket targets) the vast majority of those tables are rebuilt
+identically, because the table over a variable tuple does not depend on any
+test parameter.  :class:`SufficientStatsCache` memoizes those tables:
+
+* entries are keyed by variable tuples (conditioning set + endpoints) and
+  hold the exact ``(nz, rx, ry)`` count array the uncached path would have
+  built (construction is shared with the testers through
+  :func:`repro.citests.contingency.ci_counts`, so hits are bit-identical);
+* a byte-budgeted LRU bounds memory: every ``get`` refreshes recency and
+  every ``put`` evicts from the cold end until the budget holds;
+* dense (uncompressed) tables double as *sufficient statistics* for every
+  sub-tuple: a query whose variables form a subset of a cached dense
+  entry's is answered by exact marginalization instead of a data scan
+  (``m``-free — the AD-tree trick, specialised to the PC-stable workload
+  where shrink phases and relearns test subsets of earlier tuples);
+* encoded conditioning-set codes are cached too, so a miss that shares its
+  conditioning set with an earlier test (the Markov-blanket grow pattern:
+  same ``S``, sweeping ``y``) skips the mixed-radix re-encoding.
+
+Hit/miss/eviction/byte counters are exact and feed both
+:class:`~repro.citests.base.CITestCounters` and the Table IV simulated
+perf-counter path.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from ..citests.contingency import ci_counts, encode_columns, marginalize_table
+from ..datasets.dataset import DiscreteDataset
+
+__all__ = ["CacheStats", "SufficientStatsCache", "CachedTableBuilder"]
+
+DEFAULT_BUDGET_BYTES = 64 << 20  # 64 MiB
+
+#: Cap on how many resident tables one superset-marginalization lookup may
+#: scan; keeps the miss path O(1)-ish even with thousands of entries.
+_SUPERSET_SCAN_LIMIT = 256
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Immutable snapshot of the cache's exact work counters."""
+
+    hits: int
+    misses: int
+    marginal_builds: int
+    evictions: int
+    puts: int
+    current_bytes: int
+    max_bytes: int
+    n_entries: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict[str, float | int]:
+        out = {
+            "hits": self.hits,
+            "misses": self.misses,
+            "marginal_builds": self.marginal_builds,
+            "evictions": self.evictions,
+            "puts": self.puts,
+            "current_bytes": self.current_bytes,
+            "max_bytes": self.max_bytes,
+            "n_entries": self.n_entries,
+            "hit_rate": self.hit_rate,
+        }
+        return out
+
+
+@dataclass
+class _Entry:
+    value: object
+    nbytes: int
+    kind: str  # "table" | "codes"
+    varset: frozenset[int] | None = None  # variables covered (tables only)
+    dims: tuple[int, ...] = ()  # per-variable arities, entry-key order
+    dense: bool = True  # first axis covers all structural configs
+
+
+class SufficientStatsCache:
+    """Byte-budgeted LRU cache of contingency tables and column encodings.
+
+    The cache itself is dataset-agnostic (keys are opaque); binding to a
+    concrete dataset — and the marginalization/encoding reuse logic — lives
+    in :class:`CachedTableBuilder`.  One cache instance may be shared by
+    any number of testers over the *same* dataset (that invariant is the
+    caller's: :class:`~repro.engine.session.LearningSession` owns exactly
+    one dataset and one cache).
+    """
+
+    def __init__(self, max_bytes: int = DEFAULT_BUDGET_BYTES) -> None:
+        if max_bytes < 0:
+            raise ValueError("max_bytes must be >= 0")
+        self.max_bytes = int(max_bytes)
+        self._entries: OrderedDict[Hashable, _Entry] = OrderedDict()
+        self.current_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.marginal_builds = 0
+        self.evictions = 0
+        self.puts = 0
+
+    # ------------------------------------------------------------------ #
+    # generic LRU plumbing
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def get(self, key: Hashable, *, count: bool = True) -> _Entry | None:
+        """Fetch an entry, refreshing its recency.
+
+        ``count=False`` suppresses the hit/miss accounting — used by
+        internal probes (e.g. the encoding lookup) so that the public
+        hit/miss counters track *tables* exactly, one event per CI test.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            if count:
+                self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        if count:
+            self.hits += 1
+        return entry
+
+    def put(
+        self,
+        key: Hashable,
+        value: object,
+        nbytes: int,
+        kind: str = "table",
+        varset: frozenset[int] | None = None,
+        dims: tuple[int, ...] = (),
+        dense: bool = True,
+    ) -> None:
+        """Insert (or replace) an entry and evict until the budget holds.
+
+        An entry larger than the whole budget is not admitted at all —
+        caching it would immediately evict everything else for a value
+        that can never be re-served within budget.
+        """
+        nbytes = int(nbytes)
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self.current_bytes -= old.nbytes
+        if nbytes > self.max_bytes:
+            return
+        self._entries[key] = _Entry(value, nbytes, kind, varset, dims, dense)
+        self.current_bytes += nbytes
+        self.puts += 1
+        while self.current_bytes > self.max_bytes and self._entries:
+            _, evicted = self._entries.popitem(last=False)
+            self.current_bytes -= evicted.nbytes
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.current_bytes = 0
+
+    def stats(self) -> CacheStats:
+        return CacheStats(
+            hits=self.hits,
+            misses=self.misses,
+            marginal_builds=self.marginal_builds,
+            evictions=self.evictions,
+            puts=self.puts,
+            current_bytes=self.current_bytes,
+            max_bytes=self.max_bytes,
+            n_entries=len(self._entries),
+        )
+
+    # ------------------------------------------------------------------ #
+    # superset search (marginalization source)
+    # ------------------------------------------------------------------ #
+    def find_dense_superset(
+        self, want: frozenset[int]
+    ) -> tuple[tuple[int, ...], _Entry] | None:
+        """Most-recently-used dense table whose variables cover ``want``.
+
+        Scans from the hot end (recent entries are the likeliest parents of
+        the current query) and gives up after ``_SUPERSET_SCAN_LIMIT``
+        tables so a miss stays cheap.
+        """
+        scanned = 0
+        for key, entry in reversed(self._entries.items()):
+            if entry.kind != "table":
+                continue
+            scanned += 1
+            if scanned > _SUPERSET_SCAN_LIMIT:
+                return None
+            if entry.dense and entry.varset is not None and want <= entry.varset:
+                # The superset is live traffic: refresh its recency so a
+                # hot parent table is not evicted in favour of the small
+                # marginals it keeps spawning.
+                self._entries.move_to_end(key)
+                return key, entry  # type: ignore[return-value]
+        return None
+
+
+class CachedTableBuilder:
+    """Dataset-bound front door of the stats cache for the CI testers.
+
+    ``ci_counts(x, y, s)`` returns exactly what the uncached tester path
+    would compute — ``(counts, nz_structural, from_cache, z_cached,
+    xy_cached)`` — resolving in order: direct key hit, exact
+    marginalization of a cached dense superset, fresh build.  Column
+    encodings (the ``(x, y)`` cell codes and the conditioning-set codes)
+    are themselves cached and only materialised on a table miss, so a hit
+    really does touch zero data; the two ``*_cached`` flags report the
+    reuse so the work counters bill only the columns actually read.
+    Fresh builds and marginals are inserted back so later queries hit
+    directly.
+    """
+
+    def __init__(
+        self,
+        dataset: DiscreteDataset,
+        cache: SufficientStatsCache,
+        compress_threshold: int = 4,
+    ) -> None:
+        self.dataset = dataset
+        self.cache = cache
+        self.compress_threshold = int(compress_threshold)
+
+    # Keys: ("t", v0, v1, ..., x, y) for tables (conditioning vars first,
+    # endpoints last — the table's axis order), ("e", v0, v1, ...) for
+    # encoded conditioning columns, ("xy", x, y) for endpoint cell codes.
+    @staticmethod
+    def table_key(x: int, y: int, s: tuple[int, ...]) -> tuple:
+        return ("t",) + s + (x, y)
+
+    @staticmethod
+    def codes_key(s: tuple[int, ...]) -> tuple:
+        return ("e",) + s
+
+    @staticmethod
+    def xy_key(x: int, y: int) -> tuple:
+        return ("xy", x, y)
+
+    def ci_counts(
+        self,
+        x: int,
+        y: int,
+        s: tuple[int, ...],
+        xy_codes: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, int, bool, bool, bool]:
+        ds = self.dataset
+        rx, ry = ds.arity(x), ds.arity(y)
+        rz = [ds.arity(v) for v in s]
+        key = self.table_key(x, y, s)
+
+        entry = self.cache.get(key, count=False)
+        if entry is not None:
+            self.cache.hits += 1
+            counts, nz_structural = entry.value  # type: ignore[misc]
+            return counts, nz_structural, True, True, True
+
+        want = frozenset(s) | {x, y}
+        found = self.cache.find_dense_superset(want)
+        if found is not None:
+            counts, nz_structural = self._from_superset(found[0], found[1], x, y, s, rx, ry, rz)
+            self.cache.hits += 1
+            self.cache.marginal_builds += 1
+            self._store(key, counts, nz_structural, x, y, s, rx, ry, rz, dense=True)
+            return counts, nz_structural, True, True, True
+
+        self.cache.misses += 1
+        z_cached = False
+        z_codes = None
+        if s:
+            z_codes, z_cached = self._encoded(s, rz)
+        xy_cached = xy_codes is not None  # caller already paid for them
+        if xy_codes is None:
+            xy_codes, xy_cached = self._encoded_xy(x, y, ry)
+        counts, nz_structural, dense = ci_counts(
+            ds.column(x),
+            ds.column(y),
+            ds.columns(s) if z_codes is None else [],
+            rx,
+            ry,
+            rz,
+            compress_threshold=self.compress_threshold,
+            xy_codes=xy_codes,
+            z_codes=z_codes,
+        )
+        self._store(key, counts, nz_structural, x, y, s, rx, ry, rz, dense=dense)
+        return counts, nz_structural, False, z_cached, xy_cached
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _store(
+        self,
+        key: tuple,
+        counts: np.ndarray,
+        nz_structural: int,
+        x: int,
+        y: int,
+        s: tuple[int, ...],
+        rx: int,
+        ry: int,
+        rz: list[int],
+        dense: bool,
+    ) -> None:
+        self.cache.put(
+            key,
+            (counts, nz_structural),
+            counts.nbytes,
+            kind="table",
+            varset=frozenset(s) | {x, y},
+            dims=tuple(rz) + (rx, ry),
+            dense=dense,
+        )
+
+    def _from_superset(
+        self,
+        src_key: tuple,
+        entry: _Entry,
+        x: int,
+        y: int,
+        s: tuple[int, ...],
+        rx: int,
+        ry: int,
+        rz: list[int],
+    ) -> tuple[np.ndarray, int]:
+        """Marginalize a cached dense joint down to the requested tuple.
+
+        The source key's variable order *is* its axis order (conditioning
+        vars then endpoints), so axis positions come straight from the key.
+        """
+        src_vars = src_key[1:]  # strip the "t" tag
+        pos = {v: i for i, v in enumerate(src_vars)}
+        keep = [pos[v] for v in s] + [pos[x], pos[y]]
+        table, _src_nz = entry.value  # type: ignore[misc]
+        marg = marginalize_table(table, entry.dims, keep)
+        nz_structural = 1
+        for a in rz:
+            nz_structural *= int(a)
+        return marg.reshape(nz_structural, rx, ry), nz_structural
+
+    def _encoded(self, s: tuple[int, ...], rz: list[int]) -> tuple[np.ndarray, bool]:
+        """Pre-compression mixed-radix codes of the conditioning columns,
+        cached so same-``S``-different-endpoints streams encode once.
+
+        Returns ``(codes, from_cache)``; the flag lets the caller bill
+        data accesses only for encodings that actually read the columns.
+        """
+        key = self.codes_key(s)
+        entry = self.cache.get(key, count=False)
+        if entry is not None:
+            return entry.value, True  # type: ignore[return-value]
+        codes, _ = encode_columns(self.dataset.columns(s), rz)
+        self.cache.put(key, codes, codes.nbytes, kind="codes")
+        return codes, False
+
+    def _encoded_xy(self, x: int, y: int, ry: int) -> tuple[np.ndarray, bool]:
+        """Endpoint cell codes ``x * ry + y``, cached per ``(x, y)`` pair
+        so a warm path never re-reads the endpoint columns either."""
+        key = self.xy_key(x, y)
+        entry = self.cache.get(key, count=False)
+        if entry is not None:
+            return entry.value, True  # type: ignore[return-value]
+        ds = self.dataset
+        codes = ds.column(x).astype(np.int64) * ry + ds.column(y)
+        self.cache.put(key, codes, codes.nbytes, kind="codes")
+        return codes, False

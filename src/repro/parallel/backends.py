@@ -7,6 +7,15 @@ from the dataset shipped at initialisation, so no test-time traffic carries
 data — only compact ``(edge, conditioning sets)`` descriptions and boolean
 verdicts cross the process boundary.
 
+When ``cache_bytes`` is set, every worker additionally keeps a per-process
+:class:`~repro.engine.statscache.SufficientStatsCache`.  A pool owned by a
+long-lived :class:`~repro.engine.session.LearningSession` then accumulates
+sufficient statistics *across* successive ``learn``/``relearn`` calls —
+repeated tables are served from worker memory instead of re-scanning the
+dataset.  Because p-values do not depend on the significance level, a
+relearn at a different alpha reuses the same pool: ``eval_groups`` accepts
+an ``alpha`` override and workers re-threshold the cached p-values.
+
 The ``thread`` backend exists for comparison and for the sample-level
 scheme (where shared memory matters most); CPython's GIL limits its
 speedup, which is documented honestly in EXPERIMENTS.md.
@@ -16,7 +25,8 @@ from __future__ import annotations
 
 import multiprocessing
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Callable, Sequence
+from functools import partial
+from typing import Sequence
 
 from ..citests.base import ConditionalIndependenceTest
 from ..datasets.dataset import DiscreteDataset
@@ -32,20 +42,52 @@ EdgeJob = tuple[int, int, tuple[int, ...], tuple[int, ...], int]
 # (u, v, side1, side2, depth) -> (n_tests_executed, accepting set | None)
 
 
-def _init_worker(dataset: DiscreteDataset, test: str, alpha: float, dof_adjust: str) -> None:
+def _init_worker(
+    dataset: DiscreteDataset,
+    test: str,
+    alpha: float,
+    dof_adjust: str,
+    cache_bytes: int | None = None,
+) -> None:
     global _WORKER_TESTER
     from ..core.learn import make_tester
 
-    _WORKER_TESTER = make_tester(dataset, test, alpha=alpha, dof_adjust=dof_adjust)
+    stats_cache = None
+    if cache_bytes is not None:
+        from ..engine.statscache import SufficientStatsCache
+
+        stats_cache = SufficientStatsCache(max_bytes=cache_bytes)
+    _WORKER_TESTER = make_tester(
+        dataset, test, alpha=alpha, dof_adjust=dof_adjust, stats_cache=stats_cache
+    )
 
 
-def _eval_group(job: GroupJob) -> list[bool]:
+def _eval_group(job: GroupJob, alpha: float | None = None) -> list[bool]:
     """CI-level work unit: evaluate a group of conditioning sets for one
-    edge; returns one verdict per set."""
+    edge; returns one verdict per set.
+
+    ``alpha`` overrides the worker tester's significance level for this
+    job (exact: the p-value is alpha-free, only the threshold moves).
+    """
     assert _WORKER_TESTER is not None, "worker not initialised"
     u, v, sets = job
     results = _WORKER_TESTER.test_group(u, v, list(sets))
+    if alpha is not None and alpha != _WORKER_TESTER.alpha:
+        return [r.p_value > alpha for r in results]
     return [r.independent for r in results]
+
+
+def _worker_cache_stats() -> dict | None:
+    """Stats of this worker's stats cache (None when caching is off)."""
+    assert _WORKER_TESTER is not None, "worker not initialised"
+    builder = getattr(_WORKER_TESTER, "_builder", None)
+    if builder is None:
+        return None
+    import os
+
+    out = builder.cache.stats().as_dict()
+    out["worker_pid"] = os.getpid()
+    return out
 
 
 def _eval_edge(job: EdgeJob) -> tuple[int, tuple[int, ...] | None]:
@@ -73,6 +115,9 @@ class WorkerPool:
     testers (zero shared state).  ``thread`` backend: closures over
     thread-local testers built lazily per worker thread (the dataset arrays
     are shared read-only, as OpenMP threads would share them).
+
+    ``cache_bytes`` gives each worker a byte-budgeted sufficient-statistics
+    cache (see module docstring); ``None`` keeps the seed behaviour.
     """
 
     def __init__(
@@ -83,6 +128,7 @@ class WorkerPool:
         test: str = "g2",
         alpha: float = 0.05,
         dof_adjust: str = "structural",
+        cache_bytes: int | None = None,
     ) -> None:
         if n_jobs < 1:
             raise ValueError("n_jobs must be >= 1")
@@ -90,6 +136,8 @@ class WorkerPool:
             raise ValueError("backend must be 'process' or 'thread'")
         self.n_jobs = n_jobs
         self.backend = backend
+        self.alpha = float(alpha)
+        self.cache_bytes = cache_bytes
         self._executor: Executor
         if backend == "process":
             try:
@@ -100,19 +148,7 @@ class WorkerPool:
                 max_workers=n_jobs,
                 mp_context=ctx,
                 initializer=_init_worker,
-                initargs=(dataset, test, alpha, dof_adjust),
-            )
-            self.eval_groups: Callable[[Sequence[GroupJob]], list[list[bool]]] = (
-                lambda jobs: list(self._executor.map(_eval_group, jobs))
-            )
-            # Edge-level uses a static block partition (chunksize = block
-            # size), reproducing the |Ed|/t dedication of Sec. IV-A.
-            self.eval_edges: Callable[[Sequence[EdgeJob]], list[tuple[int, tuple[int, ...] | None]]] = (
-                lambda jobs: list(
-                    self._executor.map(
-                        _eval_edge, jobs, chunksize=max(1, -(-len(jobs) // self.n_jobs))
-                    )
-                )
+                initargs=(dataset, test, alpha, dof_adjust, cache_bytes),
             )
         else:
             import threading
@@ -123,12 +159,26 @@ class WorkerPool:
                 if not hasattr(local, "tester"):
                     from ..core.learn import make_tester
 
-                    local.tester = make_tester(dataset, test, alpha=alpha, dof_adjust=dof_adjust)
+                    stats_cache = None
+                    if cache_bytes is not None:
+                        from ..engine.statscache import SufficientStatsCache
+
+                        stats_cache = SufficientStatsCache(max_bytes=cache_bytes)
+                    local.tester = make_tester(
+                        dataset,
+                        test,
+                        alpha=alpha,
+                        dof_adjust=dof_adjust,
+                        stats_cache=stats_cache,
+                    )
                 return local.tester
 
-            def eval_group_local(job: GroupJob) -> list[bool]:
+            def eval_group_local(job: GroupJob, alpha: float | None = None) -> list[bool]:
                 u, v, sets = job
-                return [r.independent for r in tester().test_group(u, v, list(sets))]
+                results = tester().test_group(u, v, list(sets))
+                if alpha is not None and alpha != tester().alpha:
+                    return [r.p_value > alpha for r in results]
+                return [r.independent for r in results]
 
             def eval_edge_local(job: EdgeJob) -> tuple[int, tuple[int, ...] | None]:
                 from ..core.edges import EdgeTask
@@ -146,8 +196,55 @@ class WorkerPool:
                 return executed, None
 
             self._executor = ThreadPoolExecutor(max_workers=n_jobs)
-            self.eval_groups = lambda jobs: list(self._executor.map(eval_group_local, jobs))
-            self.eval_edges = lambda jobs: list(self._executor.map(eval_edge_local, jobs))
+            self._eval_group_fn = eval_group_local
+            self._eval_edge_fn = eval_edge_local
+        if backend == "process":
+            self._eval_group_fn = _eval_group
+            self._eval_edge_fn = _eval_edge
+
+    def eval_groups(
+        self, jobs: Sequence[GroupJob], alpha: float | None = None
+    ) -> list[list[bool]]:
+        """Evaluate group jobs across the pool.
+
+        Group jobs are tiny (an edge id plus a handful of index tuples), so
+        one IPC round-trip per job would dominate; batching several jobs
+        per submission amortises it, like ``eval_edges`` already does.
+        ``4 * n_jobs`` chunks keep enough slack for dynamic balancing.
+        """
+        fn = self._eval_group_fn if alpha is None else partial(self._eval_group_fn, alpha=alpha)
+        chunksize = max(1, len(jobs) // (4 * self.n_jobs))
+        return list(self._executor.map(fn, jobs, chunksize=chunksize))
+
+    def eval_edges(
+        self, jobs: Sequence[EdgeJob]
+    ) -> list[tuple[int, tuple[int, ...] | None]]:
+        # Edge-level uses a static block partition (chunksize = block
+        # size), reproducing the |Ed|/t dedication of Sec. IV-A.
+        return list(
+            self._executor.map(
+                self._eval_edge_fn, jobs, chunksize=max(1, -(-len(jobs) // self.n_jobs))
+            )
+        )
+
+    def cache_stats(self) -> list[dict]:
+        """Per-worker stats-cache snapshots (process backend only; empty
+        when caching is disabled or the backend keeps thread-local caches).
+
+        Probes are claimed by whichever workers are idle, so an
+        oversubmitted batch is deduplicated by worker PID; the result is a
+        best-effort sample — one exact snapshot per *responding* worker,
+        never a double-counted one.
+        """
+        if self.cache_bytes is None or self.backend != "process":
+            return []
+        by_pid: dict[int, dict] = {}
+        for stats in self._executor.map(
+            _run_probe, [_worker_cache_stats] * (4 * self.n_jobs), chunksize=1
+        ):
+            if stats is not None:
+                by_pid[stats["worker_pid"]] = stats
+        return list(by_pid.values())
 
     def shutdown(self) -> None:
         self._executor.shutdown(wait=True)
@@ -157,3 +254,7 @@ class WorkerPool:
 
     def __exit__(self, *exc) -> None:
         self.shutdown()
+
+
+def _run_probe(fn):
+    return fn()

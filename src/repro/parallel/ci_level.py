@@ -33,6 +33,7 @@ def ci_level_skeleton(
     batch_factor: int = 4,
     recorder: TraceRecorder | None = None,
     n_samples: int = 1,
+    alpha_override: float | None = None,
 ) -> tuple[UndirectedGraph, SepSetStore, SkeletonStats]:
     """Run the skeleton phase with CI-level parallelism.
 
@@ -40,6 +41,11 @@ def ci_level_skeleton(
     ``gs``/``group_endpoints`` (removal decisions are deferred to depth end
     and the accepting-set tie-break is work-item order, both scheduling
     independent).
+
+    ``alpha_override`` re-thresholds verdicts at a different significance
+    level than the workers were initialised with — the
+    :class:`~repro.engine.session.LearningSession` relearn path, which
+    reuses a long-lived pool (and its workers' stats caches) across alphas.
     """
     if gs < 1:
         raise ValueError("gs must be >= 1")
@@ -79,7 +85,7 @@ def ci_level_skeleton(
                 sets = task.next_group(gs)
                 jobs.append((task.u, task.v, tuple(sets)))
                 job_meta.append((task, sets))
-            verdict_lists = workers.eval_groups(jobs)
+            verdict_lists = workers.eval_groups(jobs, alpha=alpha_override)
             for (task, sets), verdicts in zip(job_meta, verdict_lists):
                 task.advance(len(sets))
                 d_stats.n_tests += len(sets)
