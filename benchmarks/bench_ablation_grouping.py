@@ -10,11 +10,9 @@ from __future__ import annotations
 
 from repro.bench.tables import render_table
 from repro.bench.workloads import make_workload
-from repro.core.learn import learn_structure
 
 
 def _run(dataset, grouped: bool):
-    method = "fast-bns" if grouped else "pc-stable"
     # Use the same tester/layout for both so only grouping differs.
     from repro.citests.gsquare import GSquareTest
     from repro.core.skeleton import learn_skeleton

@@ -40,7 +40,7 @@ def _request_stream(names) -> list[dict]:
     return base + [dict(r) for r in base]
 
 
-def test_engine_throughput(benchmark, record):
+def test_engine_throughput(benchmark, record, record_json):
     wl = make_workload(NETWORK, N_SAMPLES)
     requests = _request_stream(wl.dataset.names)
 
@@ -101,3 +101,18 @@ def test_engine_throughput(benchmark, record):
         title=f"Engine throughput — {wl.label}, m={N_SAMPLES}, cold vs warm stream",
     )
     record("engine_throughput", text)
+    record_json(
+        "engine_throughput",
+        {
+            "network": wl.label,
+            "n_samples": N_SAMPLES,
+            "n_requests": len(requests),
+            "cold_s": out["cold_s"],
+            "warm_s": out["warm_s"],
+            "cold_requests_per_s": len(requests) / out["cold_s"],
+            "warm_requests_per_s": len(requests) / out["warm_s"],
+            "speedup": speedup,
+            "result_cache_hits": stats["n_result_cache_hits"],
+            "stats_cache_hit_rate": stats["stats_cache"]["hit_rate"],
+        },
+    )

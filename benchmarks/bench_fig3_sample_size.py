@@ -8,7 +8,7 @@ overhead better).
 
 from __future__ import annotations
 
-from repro.bench.experiments import THREAD_SWEEP, experiment_fig3
+from repro.bench.experiments import experiment_fig3
 from repro.bench.workloads import is_full_mode
 
 NETWORKS = (

@@ -4,11 +4,18 @@ Every bench regenerates one paper artefact and both prints it and saves it
 under ``benchmarks/results/``.  Quick mode (default) uses the scaled-down
 Table II stand-ins; set ``REPRO_FULL=1`` for published-size networks (hours
 of runtime, mirroring the paper's 48-hour budget).
+
+Perf-tracking benches additionally persist machine-readable
+``BENCH_<name>.json`` artefacts (ops/sec, speedup ratios) through the
+``record_json`` fixture, so the performance trajectory is diffable across
+PRs without parsing the human-readable tables.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
+import platform
 
 import pytest
 
@@ -28,5 +35,27 @@ def record(results_dir):
     def _record(name: str, text: str) -> None:
         (results_dir / f"{name}.txt").write_text(text + "\n")
         print(f"\n{text}\n")
+
+    return _record
+
+
+@pytest.fixture(scope="session")
+def record_json(results_dir):
+    """Persist a machine-readable ``BENCH_<name>.json`` perf artefact.
+
+    The payload is augmented with the interpreter/platform fingerprint so
+    cross-PR comparisons know when the substrate changed under them.
+    """
+
+    def _record(name: str, payload: dict) -> None:
+        doc = {
+            "bench": name,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            **payload,
+        }
+        path = results_dir / f"BENCH_{name}.json"
+        path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        print(f"[bench-json] {path}")
 
     return _record

@@ -3,16 +3,23 @@ interpreted naive baseline and the d-separation oracle."""
 
 from .base import CITestCounters, CITestResult, ConditionalIndependenceTest
 from .chisquare import ChiSquareTest
-from .contingency import contingency_table, encode_columns, n_configurations
+from .contingency import (
+    contingency_table,
+    encode_columns,
+    group_ci_counts,
+    n_configurations,
+)
 from .gsquare import GSquareTest, g2_test_from_counts
 from .mutual_info import MutualInformationTest
 from .naive import NaiveGSquareTest
 from .oracle import OracleCITest
+from .tablebase import ContingencyTableTest
 
 __all__ = [
     "CITestResult",
     "CITestCounters",
     "ConditionalIndependenceTest",
+    "ContingencyTableTest",
     "GSquareTest",
     "g2_test_from_counts",
     "ChiSquareTest",
@@ -21,5 +28,6 @@ __all__ = [
     "OracleCITest",
     "contingency_table",
     "encode_columns",
+    "group_ci_counts",
     "n_configurations",
 ]

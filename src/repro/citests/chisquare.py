@@ -2,117 +2,63 @@
 
 The paper mentions the chi-squared test as one of the statistics usable by
 constraint-based learners (Sec. II).  Identical table machinery to
-:class:`~repro.citests.gsquare.GSquareTest`; only the statistic differs::
+:class:`~repro.citests.gsquare.GSquareTest` — shared through
+:class:`~repro.citests.tablebase.ContingencyTableTest`, including the
+batched group kernel — only the statistic differs::
 
     X^2 = sum_{x,y,z} (N_xyz - E_xyz)^2 / E_xyz
 """
 
 from __future__ import annotations
 
-from typing import Sequence
-
 import numpy as np
 
-from ..datasets.dataset import DiscreteDataset
-from .base import CITestCounters, CITestResult
-from .contingency import ci_counts
-from .gsquare import _chi2_sf
+from .tablebase import ContingencyTableTest
 
 __all__ = ["ChiSquareTest"]
 
 
-class ChiSquareTest:
+def _x2_elementwise(counts: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-cell X^2 terms of a ``(..., nz, rx, ry)`` count array.
+
+    Returns ``(terms, mask, n_z)``; ``terms`` sums to the statistic over
+    the ``E > 0`` cells marked by ``mask``.  Shared by the looped and the
+    batched paths (bit-identical cell for cell).
+    """
+    n_xz = counts.sum(axis=-1, dtype=np.float64)
+    n_yz = counts.sum(axis=-2, dtype=np.float64)
+    n_z = n_xz.sum(axis=-1)
+    observed = counts.astype(np.float64)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        expected = n_xz[..., :, None] * n_yz[..., None, :] / n_z[..., None, None]
+    mask = expected > 0
+    diff = np.where(mask, observed - expected, 0.0)
+    denom = np.where(mask, expected, 1.0)
+    terms = diff * diff / denom
+    return terms, mask, n_z
+
+
+def _x2_from_counts(counts: np.ndarray) -> tuple[float, int, int]:
+    """X^2 statistic from an ``(nz, rx, ry)`` table.
+
+    Returns ``(statistic, n_term_evaluations, n_nonempty_z_slices)``.
+    """
+    terms, mask, n_z = _x2_elementwise(counts)
+    n_nonempty = int(np.count_nonzero(n_z > 0))
+    n_terms = int(np.count_nonzero(mask))
+    stat = float(terms.sum())
+    return stat, n_terms, n_nonempty
+
+
+class ChiSquareTest(ContingencyTableTest):
     """Pearson X^2 CI tester bound to one dataset (same interface as
-    :class:`GSquareTest`)."""
+    :class:`~repro.citests.gsquare.GSquareTest`)."""
 
-    def __init__(
-        self,
-        dataset: DiscreteDataset,
-        alpha: float = 0.05,
-        dof_adjust: str = "structural",
-        compress_threshold: int = 4,
-        stats_cache=None,
-    ) -> None:
-        if not 0 < alpha < 1:
-            raise ValueError("alpha must be in (0, 1)")
-        if dof_adjust not in ("structural", "slices"):
-            raise ValueError("dof_adjust must be 'structural' or 'slices'")
-        self.dataset = dataset
-        self.alpha = float(alpha)
-        self.dof_adjust = dof_adjust
-        self.compress_threshold = int(compress_threshold)
-        self.counters = CITestCounters()
-        self._builder = None
-        if stats_cache is not None:
-            from ..engine.statscache import CachedTableBuilder
+    def _stat_from_counts(self, counts: np.ndarray) -> tuple[float, int, int]:
+        return _x2_from_counts(counts)
 
-            self._builder = CachedTableBuilder(
-                dataset, stats_cache, compress_threshold=self.compress_threshold
-            )
+    def _elementwise(self, stack: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        return _x2_elementwise(stack)
 
-    def test(self, x: int, y: int, s: Sequence[int]) -> CITestResult:
-        return self.test_group(x, y, [s])[0]
-
-    def test_group(self, x: int, y: int, sets: Sequence[Sequence[int]]) -> list[CITestResult]:
-        ds = self.dataset
-        m = ds.n_samples
-        rx, ry = ds.arity(x), ds.arity(y)
-        # With a stats cache the builder resolves the XY encoding lazily
-        # (and memoizes it), so warm paths skip the endpoint-column reads.
-        if self._builder is None:
-            xy_codes = ds.column(x).astype(np.int64) * ry + ds.column(y)
-        else:
-            xy_codes = None
-        out: list[CITestResult] = []
-        for i, s_raw in enumerate(sets):
-            s = tuple(int(v) for v in s_raw)
-            rz = [ds.arity(v) for v in s]
-            from_cache: bool | None = None
-            z_reused = False
-            xy_reused = i > 0
-            if self._builder is not None:
-                counts, nz_structural, from_cache, z_reused, xy_cached = self._builder.ci_counts(
-                    x, y, s, xy_codes=xy_codes
-                )
-                xy_reused = xy_reused or xy_cached
-            else:
-                counts, nz_structural, _dense = ci_counts(
-                    ds.column(x),
-                    ds.column(y),
-                    ds.columns(s),
-                    rx,
-                    ry,
-                    rz,
-                    compress_threshold=self.compress_threshold,
-                    xy_codes=xy_codes,
-                )
-
-            n_xz = counts.sum(axis=2, dtype=np.float64)
-            n_yz = counts.sum(axis=1, dtype=np.float64)
-            n_z = n_xz.sum(axis=1)
-            nonempty = int(np.count_nonzero(n_z > 0))
-            with np.errstate(divide="ignore", invalid="ignore"):
-                expected = n_xz[:, :, None] * n_yz[:, None, :] / n_z[:, None, None]
-            mask = expected > 0
-            diff = counts[mask] - expected[mask]
-            stat = float(np.sum(diff * diff / expected[mask]))
-            if self.dof_adjust == "structural":
-                dof = (rx - 1) * (ry - 1) * float(nz_structural)
-            else:
-                dof = (rx - 1) * (ry - 1) * float(max(nonempty, 1))
-            p = _chi2_sf(stat, dof)
-            self.counters.record(
-                depth=len(s),
-                m=m,
-                cells=counts.size,
-                logs=int(np.count_nonzero(mask)),
-                xy_reused=xy_reused,
-                from_cache=from_cache,
-                z_reused=z_reused,
-            )
-            out.append(
-                CITestResult(
-                    x=x, y=y, s=s, statistic=stat, dof=dof, p_value=p, independent=p > self.alpha
-                )
-            )
-        return out
+    def _finalize_stats(self, sums: np.ndarray) -> np.ndarray:
+        return np.asarray(sums, dtype=np.float64)

@@ -11,6 +11,26 @@ the storage-layout (cache-friendliness) effect shows up.
 When the structural number of Z configurations greatly exceeds the sample
 count, Z codes are first compressed through ``np.unique`` so the dense table
 stays bounded by ``m * |X| * |Y|`` cells regardless of depth.
+
+Group kernel (the offset-stacked bincount trick)
+------------------------------------------------
+Fast-BNS groups the ``gs`` conditioning sets of one edge so the X/Y work is
+shared across the group (Sec. IV-B).  :func:`group_ci_counts` takes that
+one step further: instead of one ``bincount`` per conditioning set, every
+set ``k`` of the group gets the *offset* ``k * (nz_max * rx * ry)`` added to
+its per-sample cell codes, the offset code arrays are concatenated, and one
+single ``np.bincount`` over ``gs * m`` codes produces all ``gs`` contingency
+tables at once as a ``(gs, nz_max, rx, ry)`` stack.  The per-set tables are
+bit-identical to what per-set :func:`ci_counts` calls would build (integer
+counts over disjoint code ranges), while the per-call NumPy dispatch and the
+X/Y cell codes are paid once per group instead of once per set.
+
+Batching requires every set of the group to be *dense* (its structural
+``prod(rz)`` at most ``compress_threshold * m``, so no ``np.unique``
+compression kicks in): compressed sets have data-dependent first-axis sizes
+that cannot share a fixed per-set stride.  Callers (the CI testers) route
+compressed-Z sets through the looped per-set path, which also survives as
+the reference oracle for the batched kernel.
 """
 
 from __future__ import annotations
@@ -23,10 +43,16 @@ __all__ = [
     "encode_columns",
     "contingency_table",
     "ci_counts",
+    "group_ci_counts",
     "marginalize_table",
     "marginal_tables",
     "n_configurations",
 ]
+
+#: Mixed-radix codes are built in int64; beyond this bound ``codes * arity``
+#: could wrap, so :func:`encode_columns` switches to pairwise ``np.unique``
+#: compression (labels stay bounded by the sample count).
+_INT64_CODE_LIMIT = np.iinfo(np.int64).max
 
 
 def n_configurations(arities: Sequence[int]) -> int:
@@ -47,15 +73,35 @@ def encode_columns(
     Returns ``(codes, n_configs)`` where ``codes`` is int64 of the same
     length as the columns.  An empty column list encodes every sample as
     configuration ``0``.
+
+    When ``prod(arities)`` does not fit in int64 the mixed-radix value
+    itself would silently wrap, so the encoding falls back to pairwise
+    ``np.unique`` compression: whenever the next ``codes * arity`` step
+    could overflow, the codes so far are first relabelled to their dense
+    rank (bounded by the sample count).  The result is then an *injective
+    configuration labelling* — equal codes iff equal configurations, and
+    label order still follows the mixed-radix (lexicographic) order —
+    rather than the mixed-radix value, which is exactly the property every
+    consumer (``np.unique`` compression, ``bincount`` grouping) relies on.
+    ``n_configs`` is returned as an exact Python int in either case.
     """
     if len(columns) != len(arities):
         raise ValueError("columns and arities must have equal length")
     if not columns:
         return np.zeros(0, dtype=np.int64), 1
     codes = columns[0].astype(np.int64, copy=True)
+    n_labels = int(arities[0])  # exclusive upper bound on the codes so far
     for i in range(1, len(columns)):
-        codes *= int(arities[i])
+        a = int(arities[i])
+        if a > 1 and n_labels > _INT64_CODE_LIMIT // a:
+            # codes * a could wrap: compress the labels first.  Ranks are
+            # < n_samples + 1, so the next products fit comfortably.
+            _, inverse = np.unique(codes, return_inverse=True)
+            codes = inverse.astype(np.int64, copy=False)
+            n_labels = int(codes.max()) + 1 if codes.size else 1
+        codes *= a
         codes += columns[i]
+        n_labels *= a
     return codes, n_configurations(arities)
 
 
@@ -148,6 +194,78 @@ def ci_counts(
         cell = xy_codes
     counts = np.bincount(cell, minlength=nz_dense * rx * ry).reshape(nz_dense, rx, ry)
     return counts, nz_structural, dense
+
+
+def group_ci_counts(
+    xy_codes: np.ndarray,
+    z_codes_per_set: Sequence[np.ndarray | None],
+    nz_per_set: Sequence[int],
+    rx: int,
+    ry: int,
+) -> np.ndarray:
+    """All contingency tables of one endpoint group from a single bincount.
+
+    This is the batched group kernel (module docstring): the ``gs`` sets of
+    a group share the endpoints ``(x, y)``, so their per-sample cell codes
+    differ only by the conditioning codes and a per-set offset.  Set ``k``
+    occupies the code range ``[k * nz_max * rx * ry, (k + 1) * nz_max * rx *
+    ry)`` where ``nz_max = max(nz_per_set)``; one ``np.bincount`` over the
+    concatenated codes of all sets fills every table at once.
+
+    Parameters
+    ----------
+    xy_codes:
+        Per-sample endpoint cell codes ``x * ry + y`` (shared by the group).
+    z_codes_per_set:
+        Per-set *dense* mixed-radix conditioning codes: either a sequence
+        of 1-D arrays (``None`` for the empty conditioning set) or a 2-D
+        ``(n_sets, m)`` array (the vectorized group-encoding fast path).
+        Every set must be dense — i.e. its structural ``nz`` is the actual
+        first-axis size; the caller is responsible for routing compressed
+        sets to the looped path.
+    nz_per_set:
+        Structural configuration count of each set.
+    rx, ry:
+        Endpoint arities.
+
+    Returns
+    -------
+    A ``(n_sets, nz_max, rx, ry)`` integer stack; set ``k``'s table is the
+    slice ``[k, :nz_per_set[k]]`` and is bit-identical to the table a
+    per-set :func:`ci_counts` call would have built (rows beyond ``nz`` are
+    zero padding).
+    """
+    n_sets = len(nz_per_set)
+    if n_sets != len(z_codes_per_set):
+        raise ValueError("z_codes_per_set and nz_per_set must have equal length")
+    if n_sets == 0:
+        raise ValueError("group must contain at least one conditioning set")
+    nz_max = int(max(nz_per_set))
+    xyr = rx * ry
+    stride = nz_max * xyr
+    if isinstance(z_codes_per_set, np.ndarray) and z_codes_per_set.ndim == 2:
+        # Stacked codes: offset every row in three whole-group in-place
+        # operations.  The 2-D form is *consumed* (mutated) — callers pass
+        # a freshly built group encoding they no longer need.
+        cells2d = z_codes_per_set
+        cells2d *= xyr
+        cells2d += xy_codes
+        cells2d += (np.arange(n_sets, dtype=np.int64) * stride)[:, None]
+        cells = cells2d.ravel()
+    else:
+        parts: list[np.ndarray] = []
+        for k, z_codes in enumerate(z_codes_per_set):
+            if z_codes is None:
+                cell = xy_codes + k * stride
+            else:
+                cell = z_codes * xyr
+                cell += xy_codes
+                if k:
+                    cell += k * stride
+            parts.append(cell)
+        cells = parts[0] if n_sets == 1 else np.concatenate(parts)
+    counts = np.bincount(cells, minlength=n_sets * stride)
+    return counts.reshape(n_sets, nz_max, rx, ry)
 
 
 def marginalize_table(

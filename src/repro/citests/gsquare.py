@@ -20,170 +20,79 @@ Implementation notes
 * ``dof_adjust="slices"`` ignores empty Z slices when counting degrees of
   freedom (bnlearn-style adjustment); the default ``"structural"`` matches
   the classical definition used by the paper.
-* ``test_group`` encodes the shared ``(x, y)`` cell index once per group —
-  the NumPy analog of Fast-BNS keeping the X/Y columns cache-resident
-  across a gs-sized group of tests (Sec. IV-B).
+* ``test_group`` runs through the batched group kernel — tables from one
+  offset-stacked ``bincount``, statistics over the stacked array, one
+  ``gammaincc`` per group — with the looped per-set path kept as the
+  reference oracle (see :mod:`repro.citests.tablebase`).
 """
 
 from __future__ import annotations
 
-from typing import Sequence
-
 import numpy as np
-from scipy.special import gammaincc
 
-from ..datasets.dataset import DiscreteDataset
-from .base import CITestCounters, CITestResult
-from .contingency import ci_counts
+from .tablebase import ContingencyTableTest, chi2_sf
 
 __all__ = ["GSquareTest", "g2_test_from_counts"]
 
-
-def _chi2_sf(stat: float, dof: float) -> float:
-    if dof <= 0:
-        return 1.0
-    return float(gammaincc(dof / 2.0, stat / 2.0))
+# Backwards-compatible alias (historically private to this module).
+_chi2_sf = chi2_sf
 
 
-class GSquareTest:
+def _g2_elementwise(counts: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-cell G^2 terms of a ``(..., nz, rx, ry)`` count array.
+
+    Returns ``(terms, mask, n_z)`` where ``terms`` sums (over cells) to
+    ``G^2 / 2``, ``mask`` marks the ``N > 0`` cells whose logs are billed,
+    and ``n_z`` are the per-slice totals.  Shared by the looped single-table
+    path and the batched stack path, so both compute bit-identical values
+    cell for cell.
+    """
+    n_xz = counts.sum(axis=-1, dtype=np.float64)
+    n_yz = counts.sum(axis=-2, dtype=np.float64)
+    n_z = n_xz.sum(axis=-1)
+    observed = counts.astype(np.float64)
+    mask = observed > 0
+    # E_xyz = N_x+z * N_+yz / N_++z ; only needed where N > 0, and there
+    # N_x+z, N_+yz, N_++z are all > 0, so the division is safe on the mask.
+    expected = n_xz[..., :, None] * n_yz[..., None, :]
+    with np.errstate(divide="ignore", invalid="ignore"):
+        expected /= n_z[..., None, None]
+    ratio = np.divide(observed, expected, out=np.ones_like(observed), where=mask)
+    np.log(ratio, out=ratio)
+    ratio *= observed
+    return ratio, mask, n_z
+
+
+def _g2_from_counts(counts: np.ndarray) -> tuple[float, int, int]:
+    """G^2 statistic from an ``(nz, rx, ry)`` table.
+
+    Returns ``(statistic, n_log_evaluations, n_nonempty_z_slices)``.
+    """
+    terms, mask, n_z = _g2_elementwise(counts)
+    n_nonempty = int(np.count_nonzero(n_z > 0))
+    n_logs = int(np.count_nonzero(mask))
+    if n_logs == 0:
+        return 0.0, 0, n_nonempty
+    stat = 2.0 * float(terms.sum())
+    # Numerical noise can push an exactly-zero statistic slightly negative.
+    return max(stat, 0.0), n_logs, n_nonempty
+
+
+class GSquareTest(ContingencyTableTest):
     """G^2 CI tester bound to one dataset.
 
-    Parameters
-    ----------
-    dataset:
-        The observations (either storage layout).
-    alpha:
-        Significance level; p > alpha accepts independence.
-    dof_adjust:
-        ``"structural"`` (classical, the paper's definition) or ``"slices"``
-        (count only non-empty Z slices).
-    compress_threshold:
-        Compress Z codes through ``np.unique`` when the structural
-        configuration count exceeds ``compress_threshold * n_samples``;
-        bounds memory at any depth.
-    stats_cache:
-        Optional :class:`~repro.engine.statscache.SufficientStatsCache`.
-        When given, contingency tables are pulled through the cache
-        (memoized by variable tuple, served by exact marginalization when
-        a cached dense superset exists) instead of being rebuilt from the
-        data on every test.  Results are bit-identical either way —
-        construction is shared via :func:`repro.citests.contingency.ci_counts`.
+    All construction/caching/batching parameters are documented on
+    :class:`~repro.citests.tablebase.ContingencyTableTest`.
     """
 
-    def __init__(
-        self,
-        dataset: DiscreteDataset,
-        alpha: float = 0.05,
-        dof_adjust: str = "structural",
-        compress_threshold: int = 4,
-        stats_cache=None,
-    ) -> None:
-        if not 0 < alpha < 1:
-            raise ValueError("alpha must be in (0, 1)")
-        if dof_adjust not in ("structural", "slices"):
-            raise ValueError("dof_adjust must be 'structural' or 'slices'")
-        self.dataset = dataset
-        self.alpha = float(alpha)
-        self.dof_adjust = dof_adjust
-        self.compress_threshold = int(compress_threshold)
-        self.counters = CITestCounters()
-        self._builder = None
-        if stats_cache is not None:
-            from ..engine.statscache import CachedTableBuilder
+    def _stat_from_counts(self, counts: np.ndarray) -> tuple[float, int, int]:
+        return _g2_from_counts(counts)
 
-            self._builder = CachedTableBuilder(
-                dataset, stats_cache, compress_threshold=self.compress_threshold
-            )
+    def _elementwise(self, stack: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        return _g2_elementwise(stack)
 
-    # ------------------------------------------------------------------ #
-    # public API
-    # ------------------------------------------------------------------ #
-    def test(self, x: int, y: int, s: Sequence[int]) -> CITestResult:
-        """Single CI test ``I(x, y | s)``."""
-        s = tuple(int(v) for v in s)
-        # With a stats cache the builder resolves (and memoizes) the XY
-        # encoding lazily — only on a table miss — so a warm path never
-        # re-reads the endpoint columns.
-        xy_codes = None if self._builder is not None else self._encode_xy(x, y)
-        return self._test_with_xy(x, y, s, xy_codes, xy_reused=False)
-
-    def test_group(self, x: int, y: int, sets: Sequence[Sequence[int]]) -> list[CITestResult]:
-        """Evaluate several conditioning sets sharing endpoints ``(x, y)``.
-
-        The XY encoding is computed once and reused for every set in the
-        group — the group-size (gs) memory-reuse optimisation.
-        """
-        xy_codes = None if self._builder is not None else self._encode_xy(x, y)
-        out: list[CITestResult] = []
-        for i, s in enumerate(sets):
-            s = tuple(int(v) for v in s)
-            out.append(self._test_with_xy(x, y, s, xy_codes, xy_reused=i > 0))
-        return out
-
-    # ------------------------------------------------------------------ #
-    # internals
-    # ------------------------------------------------------------------ #
-    def _encode_xy(self, x: int, y: int) -> np.ndarray:
-        ds = self.dataset
-        ry = ds.arity(y)
-        return ds.column(x).astype(np.int64) * ry + ds.column(y)
-
-    def _test_with_xy(
-        self,
-        x: int,
-        y: int,
-        s: tuple[int, ...],
-        xy_codes: np.ndarray,
-        xy_reused: bool,
-    ) -> CITestResult:
-        ds = self.dataset
-        m = ds.n_samples
-        rx, ry = ds.arity(x), ds.arity(y)
-        rz = [ds.arity(v) for v in s]
-
-        from_cache: bool | None = None
-        z_reused = False
-        if self._builder is not None:
-            counts, nz_structural, from_cache, z_reused, xy_cached = self._builder.ci_counts(
-                x, y, s, xy_codes=xy_codes
-            )
-            xy_reused = xy_reused or xy_cached
-        else:
-            counts, nz_structural, _dense = ci_counts(
-                ds.column(x),
-                ds.column(y),
-                ds.columns(s),
-                rx,
-                ry,
-                rz,
-                compress_threshold=self.compress_threshold,
-                xy_codes=xy_codes,
-            )
-
-        stat, n_logs, n_nonempty_slices = _g2_from_counts(counts)
-        if self.dof_adjust == "structural":
-            dof = (rx - 1) * (ry - 1) * float(nz_structural)
-        else:
-            dof = (rx - 1) * (ry - 1) * float(max(n_nonempty_slices, 1))
-        p = _chi2_sf(stat, dof)
-        self.counters.record(
-            depth=len(s),
-            m=m,
-            cells=counts.size,
-            logs=n_logs,
-            xy_reused=xy_reused,
-            from_cache=from_cache,
-            z_reused=z_reused,
-        )
-        return CITestResult(
-            x=x,
-            y=y,
-            s=s,
-            statistic=stat,
-            dof=dof,
-            p_value=p,
-            independent=p > self.alpha,
-        )
+    def _finalize_stats(self, sums: np.ndarray) -> np.ndarray:
+        return np.maximum(2.0 * sums, 0.0)
 
 
 def g2_test_from_counts(
@@ -205,31 +114,5 @@ def g2_test_from_counts(
         dof = (rx - 1) * (ry - 1) * float(nz_structural)
     else:
         dof = (rx - 1) * (ry - 1) * float(max(n_nonempty, 1))
-    p = _chi2_sf(stat, dof)
+    p = chi2_sf(stat, dof)
     return stat, dof, p, p > alpha
-
-
-def _g2_from_counts(counts: np.ndarray) -> tuple[float, int, int]:
-    """G^2 statistic from an ``(nz, rx, ry)`` table.
-
-    Returns ``(statistic, n_log_evaluations, n_nonempty_z_slices)``.
-    """
-    n_xz = counts.sum(axis=2, dtype=np.float64)  # (nz, rx)
-    n_yz = counts.sum(axis=1, dtype=np.float64)  # (nz, ry)
-    n_z = n_xz.sum(axis=1)  # (nz,)
-    nonempty = n_z > 0
-    n_nonempty = int(np.count_nonzero(nonempty))
-    observed = counts.astype(np.float64)
-    mask = observed > 0
-    n_logs = int(np.count_nonzero(mask))
-    if n_logs == 0:
-        return 0.0, 0, n_nonempty
-    # E_xyz = N_x+z * N_+yz / N_++z ; only needed where N > 0, and there
-    # N_x+z, N_+yz, N_++z are all > 0, so the division is safe on the mask.
-    with np.errstate(divide="ignore", invalid="ignore"):
-        expected = n_xz[:, :, None] * n_yz[:, None, :] / n_z[:, None, None]
-    obs = observed[mask]
-    exp = expected[mask]
-    stat = 2.0 * float(np.sum(obs * np.log(obs / exp)))
-    # Numerical noise can push an exactly-zero statistic slightly negative.
-    return max(stat, 0.0), n_logs, n_nonempty

@@ -37,11 +37,18 @@ class MutualInformationTest:
         mi_threshold: float = 0.01,
         dof_adjust: str = "structural",
         stats_cache=None,
+        encoded=None,
+        batch_groups: bool = True,
     ) -> None:
         if mode not in ("pvalue", "threshold"):
             raise ValueError("mode must be 'pvalue' or 'threshold'")
         self._g2 = GSquareTest(
-            dataset, alpha=alpha, dof_adjust=dof_adjust, stats_cache=stats_cache
+            dataset,
+            alpha=alpha,
+            dof_adjust=dof_adjust,
+            stats_cache=stats_cache,
+            encoded=encoded,
+            batch_groups=batch_groups,
         )
         self.dataset = dataset
         self.alpha = float(alpha)

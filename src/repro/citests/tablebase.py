@@ -1,0 +1,484 @@
+"""Shared machinery of the contingency-table CI testers.
+
+:class:`GSquareTest <repro.citests.gsquare.GSquareTest>` and
+:class:`ChiSquareTest <repro.citests.chisquare.ChiSquareTest>` differ only
+in the statistic computed from the ``(nz, rx, ry)`` table; everything else
+— encodings, table construction, the stats-cache front door, work-counter
+accounting, dof/p-value plumbing and the group-evaluation strategy — lives
+here once.
+
+Two group-evaluation paths, bit-identical by construction and by test:
+
+* **looped** (``batch_groups=False``): one :func:`ci_counts` and one
+  statistic reduction per conditioning set — the seed behaviour, kept as
+  the reference oracle for the batched kernel;
+* **batched** (default): all dense sets of a group are built by one
+  offset-stacked ``np.bincount``
+  (:func:`~repro.citests.contingency.group_ci_counts`) and their
+  statistics, dofs and p-values are computed over the stacked
+  ``(n_sets, nz, rx, ry)`` array in vectorized reductions with a single
+  ``gammaincc`` call for the whole group.  Compressed-Z sets (structural
+  ``nz`` beyond ``compress_threshold * m``) fall back to the looped path.
+  With a stats cache attached, planning walks the sets in order resolving
+  hits and *reserving* exact-size slots for the misses (so LRU recency,
+  evictions and hit/miss counters replay the looped event sequence
+  bit-for-bit, including in-group duplicate and subset-marginalization
+  hits against not-yet-built tables), then the whole batch builds at once
+  and fills its surviving slots under a single lock acquisition.
+
+Work-counter accounting is identical in both paths: per test, the same
+``data_accesses``/``table_cells``/``log_ops`` record the looped path would
+make (group-position XY reuse, stats-cache hit/miss/encoding flags).  The
+:class:`~repro.datasets.encoded.EncodedDataset` memoization layer is
+deliberately *not* credited — see its module docstring.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+from scipy.special import gammaincc
+
+from ..datasets.dataset import DiscreteDataset
+from ..datasets.encoded import EncodedDataset
+from .base import CITestCounters, CITestResult
+from .contingency import ci_counts, group_ci_counts, n_configurations
+
+__all__ = ["ContingencyTableTest", "chi2_sf", "chi2_sf_array"]
+
+
+def chi2_sf(stat: float, dof: float) -> float:
+    """Chi-squared survival function without ``scipy.stats`` dispatch."""
+    if dof <= 0:
+        return 1.0
+    return float(gammaincc(dof / 2.0, stat / 2.0))
+
+
+def chi2_sf_array(stats: np.ndarray, dofs: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`chi2_sf` — one ``gammaincc`` call per group.
+
+    Elementwise identical to the scalar form (same ufunc, applied to the
+    same float64 values).
+    """
+    halved = np.asarray(stats, dtype=np.float64) / 2.0
+    positive = dofs > 0
+    if positive.all():
+        return gammaincc(dofs / 2.0, halved)
+    safe = np.where(positive, dofs, 1.0)
+    return np.where(positive, gammaincc(safe / 2.0, halved), 1.0)
+
+
+class ContingencyTableTest:
+    """Base of the table-driven CI testers (see module docstring).
+
+    Subclasses provide the statistic:
+
+    * ``_stat_from_counts(counts) -> (stat, n_logs, n_nonempty)`` — looped
+      single-table path;
+    * ``_elementwise(stack) -> (terms, mask, n_z)`` — per-cell statistic
+      terms of a ``(..., nz, rx, ry)`` stack (``terms`` sums to the
+      pre-scaling statistic over cells, ``mask`` marks the cells billed as
+      log/flop work, ``n_z`` are the per-slice totals);
+    * ``_finalize_stats(sums) -> stats`` — scale/clamp the per-set term
+      sums into the statistic (e.g. ``max(2 * s, 0)`` for G^2).
+
+    Parameters
+    ----------
+    dataset:
+        The observations (either storage layout).
+    alpha:
+        Significance level; p > alpha accepts independence.
+    dof_adjust:
+        ``"structural"`` (classical, the paper's definition) or ``"slices"``
+        (count only non-empty Z slices).
+    compress_threshold:
+        Compress Z codes through ``np.unique`` when the structural
+        configuration count exceeds ``compress_threshold * n_samples``;
+        bounds memory at any depth (and bounds what the batched kernel
+        will stack).
+    stats_cache:
+        Optional :class:`~repro.engine.statscache.SufficientStatsCache`;
+        tables are then pulled through the cache (memoized by variable
+        tuple, served by exact marginalization when a cached dense superset
+        exists).  Results are bit-identical either way.
+    encoded:
+        Optional shared :class:`~repro.datasets.encoded.EncodedDataset`
+        over the *same* dataset; by default the tester keeps a private one.
+    batch_groups:
+        ``True`` (default) routes ``test_group`` through the batched group
+        kernel; ``False`` keeps the looped per-set reference path.
+    """
+
+    def __init__(
+        self,
+        dataset: DiscreteDataset,
+        alpha: float = 0.05,
+        dof_adjust: str = "structural",
+        compress_threshold: int = 4,
+        stats_cache=None,
+        encoded: EncodedDataset | None = None,
+        batch_groups: bool = True,
+    ) -> None:
+        if not 0 < alpha < 1:
+            raise ValueError("alpha must be in (0, 1)")
+        if dof_adjust not in ("structural", "slices"):
+            raise ValueError("dof_adjust must be 'structural' or 'slices'")
+        if encoded is not None and encoded.dataset is not dataset:
+            raise ValueError("encoded layer must wrap the tester's dataset")
+        self.dataset = dataset
+        self.alpha = float(alpha)
+        self.dof_adjust = dof_adjust
+        self.compress_threshold = int(compress_threshold)
+        self.batch_groups = bool(batch_groups)
+        self.counters = CITestCounters()
+        self.encoded = encoded if encoded is not None else EncodedDataset(dataset)
+        # Plain-int arity list: the batched planner reads arities per set
+        # per group, and numpy scalar unboxing would dominate it.
+        self._arities = [dataset.arity(v) for v in range(dataset.n_variables)]
+        self._builder = None
+        if stats_cache is not None:
+            from ..engine.statscache import CachedTableBuilder
+
+            self._builder = CachedTableBuilder(
+                dataset, stats_cache, compress_threshold=self.compress_threshold
+            )
+
+    # ------------------------------------------------------------------ #
+    # statistic hooks (subclass responsibility)
+    # ------------------------------------------------------------------ #
+    def _stat_from_counts(self, counts: np.ndarray) -> tuple[float, int, int]:
+        raise NotImplementedError
+
+    def _elementwise(
+        self, stack: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        raise NotImplementedError
+
+    def _finalize_stats(self, sums: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def test(self, x: int, y: int, s: Sequence[int]) -> CITestResult:
+        """Single CI test ``I(x, y | s)``."""
+        s = tuple(int(v) for v in s)
+        # With a stats cache the builder resolves (and memoizes) the XY
+        # encoding lazily — only on a table miss — so a warm path never
+        # re-reads the endpoint columns.
+        xy_codes = None if self._builder is not None else self.encoded.xy_codes(x, y)
+        return self._test_single(x, y, s, xy_codes, xy_reused=False)
+
+    def test_group(self, x: int, y: int, sets: Sequence[Sequence[int]]) -> list[CITestResult]:
+        """Evaluate several conditioning sets sharing endpoints ``(x, y)``.
+
+        The XY encoding is computed once and reused for every set in the
+        group (the gs memory-reuse optimisation); under ``batch_groups``
+        the whole group additionally runs through the offset-stacked
+        kernel (module docstring).
+        """
+        sets = [tuple(map(int, s)) for s in sets]
+        if not self.batch_groups or len(sets) < 2:
+            return self._test_group_looped(x, y, sets)
+        try:
+            return self._test_group_batched(x, y, sets)
+        except BaseException:
+            # Abort mid-group (interrupt, allocation failure, ...): drop
+            # any reserved-but-unfilled cache slots so the shared cache is
+            # not left with pending placeholders that later lookups would
+            # trip over.
+            if self._builder is not None:
+                self._builder.discard_pending(x, y, sets)
+            raise
+
+    # ------------------------------------------------------------------ #
+    # looped path (reference oracle)
+    # ------------------------------------------------------------------ #
+    def _test_group_looped(
+        self, x: int, y: int, sets: list[tuple[int, ...]]
+    ) -> list[CITestResult]:
+        xy_codes = None if self._builder is not None else self.encoded.xy_codes(x, y)
+        return [
+            self._test_single(x, y, s, xy_codes, xy_reused=i > 0) for i, s in enumerate(sets)
+        ]
+
+    def _test_single(
+        self,
+        x: int,
+        y: int,
+        s: tuple[int, ...],
+        xy_codes: np.ndarray | None,
+        xy_reused: bool,
+        known_miss: bool = False,
+    ) -> CITestResult:
+        ds = self.dataset
+        rx, ry = ds.arity(x), ds.arity(y)
+        rz = [ds.arity(v) for v in s]
+
+        from_cache: bool | None = None
+        z_reused = False
+        if self._builder is not None:
+            counts, nz_structural, from_cache, z_reused, xy_cached = self._builder.ci_counts(
+                x, y, s, xy_codes=xy_codes, known_miss=known_miss
+            )
+            xy_reused = xy_reused or xy_cached
+        else:
+            counts, nz_structural, _dense = ci_counts(
+                ds.column(x),
+                ds.column(y),
+                ds.columns(s),
+                rx,
+                ry,
+                rz,
+                compress_threshold=self.compress_threshold,
+                xy_codes=xy_codes,
+            )
+        return self._finish(
+            x, y, s, counts, nz_structural, rx, ry, xy_reused, from_cache, z_reused
+        )
+
+    def _finish(
+        self,
+        x: int,
+        y: int,
+        s: tuple[int, ...],
+        counts: np.ndarray,
+        nz_structural: int,
+        rx: int,
+        ry: int,
+        xy_reused: bool,
+        from_cache: bool | None,
+        z_reused: bool,
+    ) -> CITestResult:
+        """Statistic, decision and work accounting for one built table."""
+        stat, n_logs, n_nonempty = self._stat_from_counts(counts)
+        if self.dof_adjust == "structural":
+            dof = (rx - 1) * (ry - 1) * float(nz_structural)
+        else:
+            dof = (rx - 1) * (ry - 1) * float(max(n_nonempty, 1))
+        p = chi2_sf(stat, dof)
+        self.counters.record(
+            depth=len(s),
+            m=self.dataset.n_samples,
+            cells=counts.size,
+            logs=n_logs,
+            xy_reused=xy_reused,
+            from_cache=from_cache,
+            z_reused=z_reused,
+        )
+        return CITestResult(
+            x=x, y=y, s=s, statistic=stat, dof=dof, p_value=p, independent=p > self.alpha
+        )
+
+    # ------------------------------------------------------------------ #
+    # batched path (offset-stacked kernel)
+    # ------------------------------------------------------------------ #
+    def _test_group_batched(
+        self, x: int, y: int, sets: list[tuple[int, ...]]
+    ) -> list[CITestResult]:
+        ds = self.dataset
+        m = ds.n_samples
+        ar = self._arities
+        rx, ry = ar[x], ar[y]
+        dense_limit = self.compress_threshold * max(m, 1)
+        rzs = [[ar[v] for v in s] for s in sets]
+        nzs = [n_configurations(rz) for rz in rzs]
+
+        n = len(sets)
+        results: list[CITestResult | None] = [None] * n
+        builder = self._builder
+        batch: list[int] = []
+        hits: dict[int, tuple[np.ndarray, int]] = {}
+        dup_of: dict[int, int] = {}
+        marg_of: dict[int, int] = {}
+        # Batched misses reserve their cache slots during planning (exact
+        # looped-order LRU events); pending_idx maps a reserved set to the
+        # index whose built table will serve it.
+        pending_idx: dict[tuple[int, ...], int] = {}
+        z_codes: list[np.ndarray | None] = []  # per batch entry (builder path)
+        z_flags: dict[int, bool] = {}
+        xy_flags: dict[int, bool] = {}
+
+        xy_codes: np.ndarray | None = None
+        if builder is None:
+            xy_codes = self.encoded.xy_codes(x, y)
+
+        # Plan in set order so every cache event — hits, misses, encoding
+        # fetches, slot reservations, the compressed fallback's builds —
+        # happens exactly where the looped path would have produced it;
+        # recency, evictions and counters stay bit-identical.
+        for i, s in enumerate(sets):
+            if builder is not None:
+                status, payload = builder.lookup(x, y, s)
+                if status == "hit":
+                    hits[i] = payload  # type: ignore[assignment]
+                    continue
+                if status in ("pending", "pending_marg"):
+                    # `payload` names the reserved set serving this one; an
+                    # absent mapping means a stale placeholder from an
+                    # aborted group — fall through and rebuild (the fresh
+                    # reservation below self-heals the slot).
+                    src = pending_idx.get(payload)  # type: ignore[arg-type]
+                    if src is not None:
+                        if status == "pending":
+                            dup_of[i] = src
+                        else:
+                            marg_of[i] = src
+                            pending_idx[s] = i
+                        continue
+            if nzs[i] <= dense_limit:
+                if builder is not None:
+                    # Looped miss-build event order at this position:
+                    # conditioning codes, endpoint codes, table store
+                    # (here: slot reservation).
+                    if s:
+                        zc, z_flags[i] = builder.encoded_z(s, rzs[i])
+                    else:
+                        zc, z_flags[i] = None, False
+                    z_codes.append(zc)
+                    xy_fetched, xy_flags[i] = builder.encoded_xy(x, y, ry)
+                    if xy_codes is None:
+                        xy_codes = xy_fetched
+                    builder.reserve(x, y, s)
+                    pending_idx[s] = i
+                batch.append(i)
+            else:
+                # Compressed-Z set: data-dependent table height, looped
+                # path (builds and stores immediately; the planning lookup
+                # above already established the miss).
+                results[i] = self._test_single(
+                    x,
+                    y,
+                    s,
+                    None if builder is not None else xy_codes,
+                    xy_reused=i > 0,
+                    known_miss=builder is not None,
+                )
+
+        built: dict[int, tuple[np.ndarray, int]] = {}
+        if batch:
+            if builder is not None:
+                builder.cache.misses += len(batch)
+            else:
+                z_flags = dict.fromkeys(batch, False)
+                depths = {len(sets[i]) for i in batch}
+                if depths != {0} and len(depths) == 1:
+                    # Uniform-depth group (the skeleton engine's shape):
+                    # vectorized level-by-level radix combine for all sets.
+                    z_codes = self.encoded.encode_z_group(  # type: ignore[assignment]
+                        [sets[i] for i in batch], [rzs[i] for i in batch]
+                    )
+                else:
+                    z_codes = []
+                    for i in batch:
+                        s = sets[i]
+                        if not s:
+                            z_codes.append(None)
+                        elif len(s) == 1:
+                            # Depth-1 codes are the widened column itself.
+                            z_codes.append(self.encoded.col64(s[0]))
+                        else:
+                            zc, _ = self.encoded.encode_z(s, rzs[i])
+                            z_codes.append(zc)
+
+            nz_batch = [nzs[i] for i in batch]
+            stack = group_ci_counts(xy_codes, z_codes, nz_batch, rx, ry)
+            stats, n_logs, n_nonempty = self._stats_from_stack(stack, nz_batch)
+            if self.dof_adjust == "structural":
+                dofs = (rx - 1) * (ry - 1) * np.asarray(nz_batch, dtype=np.float64)
+            else:
+                dofs = (rx - 1) * (ry - 1) * np.maximum(n_nonempty, 1).astype(np.float64)
+            ps = chi2_sf_array(stats, dofs)
+
+            if builder is not None:
+                for k, i in enumerate(batch):
+                    # Materialise a standalone copy: a contiguous *view*
+                    # would pin the whole group stack in the byte-budgeted
+                    # cache while billing only the slice.
+                    built[i] = (stack[k, : nz_batch[k]].copy(), nzs[i])
+
+            stats_l, dofs_l, ps_l = stats.tolist(), dofs.tolist(), ps.tolist()
+            logs_l = n_logs.tolist()
+            for k, i in enumerate(batch):
+                p = ps_l[k]
+                results[i] = CITestResult(
+                    x=x,
+                    y=y,
+                    s=sets[i],
+                    statistic=stats_l[k],
+                    dof=dofs_l[k],
+                    p_value=p,
+                    independent=p > self.alpha,
+                )
+                self.counters.record(
+                    depth=len(sets[i]),
+                    m=m,
+                    cells=nzs[i] * rx * ry,
+                    logs=logs_l[k],
+                    xy_reused=(i > 0) or xy_flags.get(i, False),
+                    from_cache=False if builder is not None else None,
+                    z_reused=z_flags[i],
+                )
+
+        if builder is not None:
+            # In-group marginalization hits, in set order (sources — batch
+            # builds or earlier marginals — are already in `built`).
+            for i in sorted(marg_of):
+                counts, nz_structural = builder.compute_marginal(
+                    x, y, sets[marg_of[i]], built[marg_of[i]][0], sets[i]
+                )
+                built[i] = (counts, nz_structural)
+                results[i] = self._finish(
+                    x, y, sets[i], counts, nz_structural, rx, ry,
+                    xy_reused=True, from_cache=True, z_reused=True,
+                )
+
+            # Every table this group produced lands in its reserved slot
+            # (when still resident) under one lock acquisition.
+            if built:
+                builder.cache.fill_many(
+                    (builder.table_key(x, y, sets[i]), built[i]) for i in built
+                )
+
+            # Intra-group duplicates: hit accounting happened at planning
+            # (the reserved slot took the direct hit); serve the table.
+            for j, i in dup_of.items():
+                counts, nz_structural = built[i]
+                results[j] = self._finish(
+                    x, y, sets[j], counts, nz_structural, rx, ry,
+                    xy_reused=True, from_cache=True, z_reused=True,
+                )
+
+        for i, found in hits.items():
+            counts, nz_structural = found
+            results[i] = self._finish(
+                x, y, sets[i], counts, nz_structural, rx, ry,
+                xy_reused=True, from_cache=True, z_reused=True,
+            )
+
+        return results  # type: ignore[return-value]
+
+    def _stats_from_stack(
+        self, stack: np.ndarray, nz_per_set: list[int]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-set ``(stats, n_logs, n_nonempty)`` over a padded stack.
+
+        Reductions run over each set's *unpadded* ``nz * rx * ry`` slice —
+        the same contiguous value sequence the looped path reduces — so
+        the per-set statistics are bit-identical to per-table evaluation.
+        """
+        terms, mask, n_z = self._elementwise(stack)
+        n, nz_max = stack.shape[0], stack.shape[1]
+        # Padding rows are all-zero counts, so mask is False and n_z is 0
+        # there: the integer counts are exact over the padded rows.
+        n_logs = np.count_nonzero(mask.reshape(n, -1), axis=1)
+        n_nonempty = np.count_nonzero(n_z > 0, axis=1)
+        if all(nz == nz_max for nz in nz_per_set):
+            sums = terms.reshape(n, -1).sum(axis=1)
+        else:
+            # Float sums must run over each set's unpadded slice: summing
+            # the zero padding too would regroup the pairwise reduction
+            # and could drift from the looped result in the last ulp.
+            sums = np.array([terms[k, : nz_per_set[k]].sum() for k in range(n)])
+        return self._finalize_stats(sums), n_logs, n_nonempty

@@ -31,6 +31,12 @@ where ``reqs.jsonl`` holds one request object per line, e.g.::
     {"op": "learn", "alpha": 0.01}
     {"op": "blanket", "target": "HRBP", "algorithm": "iamb"}
 
+``--requests -`` reads the stream from stdin instead, so the server
+composes with shell pipes::
+
+    generate_requests | python -m repro batch --network alarm \\
+        --requests - --out results.jsonl
+
 Regenerate Table III (quick mode)::
 
     python -m repro experiment table3
@@ -90,7 +96,10 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--seed", type=int, default=0, help="sampling seed for --bif (--network datasets are seeded by the catalog)")
     batch.add_argument("--scale", type=float, default=None, help="scale factor for --network")
     batch.add_argument(
-        "--requests", required=True, help="JSONL file, one request object per line"
+        "--requests",
+        required=True,
+        help="JSONL file, one request object per line ('-' reads stdin, "
+        "so the server composes with pipes)",
     )
     batch.add_argument("--out", required=True, help="output JSONL file, one result per line")
     batch.add_argument("--manifest", default=None, help="optional per-run manifest JSON path")
@@ -178,8 +187,11 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     from .engine import BatchServer, LearningSession
 
     data = _load_dataset(args)
-    with open(args.requests, "r", encoding="utf-8") as fh:
-        requests = [json.loads(line) for line in fh if line.strip()]
+    if args.requests == "-":
+        requests = [json.loads(line) for line in sys.stdin if line.strip()]
+    else:
+        with open(args.requests, "r", encoding="utf-8") as fh:
+            requests = [json.loads(line) for line in fh if line.strip()]
 
     with LearningSession(
         data,

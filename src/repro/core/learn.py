@@ -36,24 +36,32 @@ def make_tester(
     alpha: float = 0.05,
     dof_adjust: str = "structural",
     stats_cache=None,
+    encoded=None,
 ) -> ConditionalIndependenceTest:
     """Instantiate a CI tester by name, or pass an instance through.
 
     ``stats_cache`` optionally attaches a
     :class:`~repro.engine.statscache.SufficientStatsCache` so the tester
     serves repeated contingency tables from memory (the
-    :class:`~repro.engine.session.LearningSession` path); the naive tester
-    ignores it (its per-sample interpretation *is* the point).
+    :class:`~repro.engine.session.LearningSession` path); ``encoded``
+    optionally shares a :class:`~repro.datasets.encoded.EncodedDataset`
+    across testers so column/endpoint encodings are derived once per
+    dataset.  The naive tester ignores both (its per-sample interpretation
+    *is* the point).
     """
     if not isinstance(test, str):
         return test
     if test == "g2":
-        return GSquareTest(dataset, alpha=alpha, dof_adjust=dof_adjust, stats_cache=stats_cache)
+        return GSquareTest(
+            dataset, alpha=alpha, dof_adjust=dof_adjust, stats_cache=stats_cache, encoded=encoded
+        )
     if test == "chi2":
-        return ChiSquareTest(dataset, alpha=alpha, dof_adjust=dof_adjust, stats_cache=stats_cache)
+        return ChiSquareTest(
+            dataset, alpha=alpha, dof_adjust=dof_adjust, stats_cache=stats_cache, encoded=encoded
+        )
     if test == "mi":
         return MutualInformationTest(
-            dataset, alpha=alpha, dof_adjust=dof_adjust, stats_cache=stats_cache
+            dataset, alpha=alpha, dof_adjust=dof_adjust, stats_cache=stats_cache, encoded=encoded
         )
     if test == "g2-naive":
         return NaiveGSquareTest(dataset, alpha=alpha, dof_adjust=dof_adjust)
@@ -149,8 +157,21 @@ def learn_structure(
     dataset = _coerce_dataset(data, arities, layout)
     if method == "pc-stable-naive":
         tester = make_tester(dataset, "g2-naive", alpha=alpha, dof_adjust=dof_adjust)
-    else:
+    elif method == "fast-bns":
         tester = make_tester(dataset, test, alpha=alpha, dof_adjust=dof_adjust)
+    else:
+        # Baselines re-derive encodings per test like the reference
+        # implementations they stand in for: a memoizing encoding layer
+        # would erase part of the storage-layout contrast under study.
+        from ..datasets.encoded import EncodedDataset
+
+        tester = make_tester(
+            dataset,
+            test,
+            alpha=alpha,
+            dof_adjust=dof_adjust,
+            encoded=EncodedDataset(dataset, memoize=False),
+        )
 
     t0 = time.perf_counter()
     if n_jobs == 1:
@@ -179,6 +200,7 @@ def learn_structure(
             test=test if isinstance(test, str) else "g2",
             dof_adjust=dof_adjust,
             recorder=recorder,
+            memoize_encodings=method == "fast-bns",
         )
     t1 = time.perf_counter()
     if v_structures == "standard":

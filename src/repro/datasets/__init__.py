@@ -2,11 +2,13 @@
 
 from .bif import load_bif, parse_bif, write_bif
 from .dataset import DiscreteDataset, smallest_uint_dtype
+from .encoded import EncodedDataset
 from .io import CategoricalCodec, read_csv, train_test_split, write_csv
 from .sampling import forward_sample
 
 __all__ = [
     "DiscreteDataset",
+    "EncodedDataset",
     "smallest_uint_dtype",
     "forward_sample",
     "read_csv",

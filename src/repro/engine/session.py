@@ -35,6 +35,7 @@ from ..core.orientation import orient_skeleton
 from ..core.result import LearnResult
 from ..core.skeleton import learn_skeleton
 from ..datasets.dataset import DiscreteDataset
+from ..datasets.encoded import EncodedDataset
 from .fingerprint import dataset_fingerprint
 from .statscache import DEFAULT_BUDGET_BYTES, CacheStats, SufficientStatsCache
 
@@ -93,6 +94,10 @@ class LearningSession:
         self.backend = backend
         self.cache_bytes = int(cache_bytes)
         self.cache = SufficientStatsCache(max_bytes=cache_bytes)
+        # One encoding layer shared by every tester the session hands out
+        # (and shipped to workers at pool start): columns are widened and
+        # endpoint pairs encoded once per dataset, not once per tester.
+        self.encoded = EncodedDataset(self.dataset)
         self._testers: dict[tuple[str, float, str], ConditionalIndependenceTest] = {}
         self._pool = None
         self._fingerprint: str | None = None
@@ -165,7 +170,12 @@ class LearningSession:
         tester = self._testers.get(key)
         if tester is None:
             tester = make_tester(
-                self.dataset, key[0], alpha=key[1], dof_adjust=key[2], stats_cache=self.cache
+                self.dataset,
+                key[0],
+                alpha=key[1],
+                dof_adjust=key[2],
+                stats_cache=self.cache,
+                encoded=self.encoded,
             )
             self._testers[key] = tester
         return tester
@@ -182,6 +192,7 @@ class LearningSession:
                 alpha=self.alpha,
                 dof_adjust=self.dof_adjust,
                 cache_bytes=self.cache_bytes,
+                encoded=self.encoded,
             )
         return self._pool
 

@@ -20,7 +20,10 @@ test parameter.  :class:`SufficientStatsCache` memoizes those tables:
   where shrink phases and relearns test subsets of earlier tuples);
 * encoded conditioning-set codes are cached too, so a miss that shares its
   conditioning set with an earlier test (the Markov-blanket grow pattern:
-  same ``S``, sweeping ``y``) skips the mixed-radix re-encoding.
+  same ``S``, sweeping ``y``) skips the mixed-radix re-encoding;
+* the batched group kernel lands all tables of one offset-stacked build
+  through :meth:`SufficientStatsCache.put_many` — one lock acquisition and
+  one eviction sweep per group instead of one per table.
 
 Hit/miss/eviction/byte counters are exact and feed both
 :class:`~repro.citests.base.CITestCounters` and the Table IV simulated
@@ -29,9 +32,10 @@ perf-counter path.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Hashable, Sequence
+from typing import Hashable, Iterable, Sequence
 
 import numpy as np
 
@@ -39,6 +43,14 @@ from ..citests.contingency import ci_counts, encode_columns, marginalize_table
 from ..datasets.dataset import DiscreteDataset
 
 __all__ = ["CacheStats", "SufficientStatsCache", "CachedTableBuilder"]
+
+#: Placeholder value of a reserved-but-not-yet-built table entry.  The
+#: batched group path reserves cache slots in exact looped order during
+#: planning (so LRU recency, evictions and hit/miss counters are
+#: bit-identical to per-set evaluation), builds all tables with one
+#: stacked bincount, then fills the surviving slots.  Pending entries are
+#: transient — they exist only while one group evaluation is in flight.
+_PENDING = object()
 
 DEFAULT_BUDGET_BYTES = 64 << 20  # 64 MiB
 
@@ -106,12 +118,26 @@ class SufficientStatsCache:
             raise ValueError("max_bytes must be >= 0")
         self.max_bytes = int(max_bytes)
         self._entries: OrderedDict[Hashable, _Entry] = OrderedDict()
+        # Guards the entry map and byte accounting; uncontended in the
+        # per-process/per-session setups, but lets thread-backend testers
+        # share one cache, and gives put_many its single-acquisition bulk
+        # insert.  (Counters are plain ints — GIL-atomic increments.)
+        self._lock = threading.Lock()
         self.current_bytes = 0
         self.hits = 0
         self.misses = 0
         self.marginal_builds = 0
         self.evictions = 0
         self.puts = 0
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        del state["_lock"]  # locks don't pickle; workers get a fresh one
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     # generic LRU plumbing
@@ -129,12 +155,13 @@ class SufficientStatsCache:
         internal probes (e.g. the encoding lookup) so that the public
         hit/miss counters track *tables* exactly, one event per CI test.
         """
-        entry = self._entries.get(key)
-        if entry is None:
-            if count:
-                self.misses += 1
-            return None
-        self._entries.move_to_end(key)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                if count:
+                    self.misses += 1
+                return None
+            self._entries.move_to_end(key)
         if count:
             self.hits += 1
         return entry
@@ -155,6 +182,51 @@ class SufficientStatsCache:
         caching it would immediately evict everything else for a value
         that can never be re-served within budget.
         """
+        with self._lock:
+            self._insert_locked(key, value, nbytes, kind, varset, dims, dense)
+            self._evict_locked()
+
+    def put_many(self, entries: Iterable[tuple]) -> None:
+        """Bulk insert under one lock acquisition and one eviction sweep.
+
+        ``entries`` holds ``(key, value, nbytes, kind, varset, dims,
+        dense)`` tuples — the :meth:`put` signature.  Deferring eviction
+        to one end-of-batch sweep yields the same final contents and
+        eviction count as per-entry puts (eviction always pops the cold
+        end, and fresh inserts are hottest).
+        """
+        with self._lock:
+            for key, value, nbytes, kind, varset, dims, dense in entries:
+                self._insert_locked(key, value, nbytes, kind, varset, dims, dense)
+            self._evict_locked()
+
+    def fill_many(self, items: Iterable[tuple[Hashable, object]]) -> None:
+        """Set the values of still-resident entries in one critical section.
+
+        This is the landing path of the batched group kernel: slots were
+        reserved (with exact sizes) in looped order during planning, all
+        tables were then built by one offset-stacked bincount, and here
+        every table whose slot survived lands in the cache under a single
+        lock acquisition.  No recency, byte or counter effects — those
+        happened at reservation time, exactly where the looped path would
+        have paid them; entries evicted since reservation are skipped.
+        """
+        with self._lock:
+            for key, value in items:
+                entry = self._entries.get(key)
+                if entry is not None:
+                    entry.value = value
+
+    def _insert_locked(
+        self,
+        key: Hashable,
+        value: object,
+        nbytes: int,
+        kind: str,
+        varset: frozenset[int] | None,
+        dims: tuple[int, ...],
+        dense: bool,
+    ) -> None:
         nbytes = int(nbytes)
         old = self._entries.pop(key, None)
         if old is not None:
@@ -164,14 +236,24 @@ class SufficientStatsCache:
         self._entries[key] = _Entry(value, nbytes, kind, varset, dims, dense)
         self.current_bytes += nbytes
         self.puts += 1
+
+    def _evict_locked(self) -> None:
         while self.current_bytes > self.max_bytes and self._entries:
             _, evicted = self._entries.popitem(last=False)
             self.current_bytes -= evicted.nbytes
             self.evictions += 1
 
+    def discard(self, key: Hashable) -> None:
+        """Remove one entry (no-op when absent); no hit/miss effects."""
+        with self._lock:
+            entry = self._entries.pop(key, None)
+            if entry is not None:
+                self.current_bytes -= entry.nbytes
+
     def clear(self) -> None:
-        self._entries.clear()
-        self.current_bytes = 0
+        with self._lock:
+            self._entries.clear()
+            self.current_bytes = 0
 
     def stats(self) -> CacheStats:
         return CacheStats(
@@ -198,18 +280,19 @@ class SufficientStatsCache:
         tables so a miss stays cheap.
         """
         scanned = 0
-        for key, entry in reversed(self._entries.items()):
-            if entry.kind != "table":
-                continue
-            scanned += 1
-            if scanned > _SUPERSET_SCAN_LIMIT:
-                return None
-            if entry.dense and entry.varset is not None and want <= entry.varset:
-                # The superset is live traffic: refresh its recency so a
-                # hot parent table is not evicted in favour of the small
-                # marginals it keeps spawning.
-                self._entries.move_to_end(key)
-                return key, entry  # type: ignore[return-value]
+        with self._lock:
+            for key, entry in reversed(self._entries.items()):
+                if entry.kind != "table":
+                    continue
+                scanned += 1
+                if scanned > _SUPERSET_SCAN_LIMIT:
+                    return None
+                if entry.dense and entry.varset is not None and want <= entry.varset:
+                    # The superset is live traffic: refresh its recency so a
+                    # hot parent table is not evicted in favour of the small
+                    # marginals it keeps spawning.
+                    self._entries.move_to_end(key)
+                    return key, entry  # type: ignore[return-value]
         return None
 
 
@@ -253,41 +336,159 @@ class CachedTableBuilder:
     def xy_key(x: int, y: int) -> tuple:
         return ("xy", x, y)
 
+    def lookup(
+        self, x: int, y: int, s: tuple[int, ...]
+    ) -> tuple[str, object]:
+        """Resolve a table request against the cache, pending-aware.
+
+        Returns one of::
+
+            ("hit", (counts, nz_structural))   # resident table (direct or
+                                               # marginalized from a dense
+                                               # resident superset; the
+                                               # marginal is stored)
+            ("pending", src_set)               # direct hit on a slot this
+                                               # group reserved but has not
+                                               # built yet
+            ("pending_marg", src_set)          # covered by a reserved slot:
+                                               # the marginal's own slot is
+                                               # reserved here, its value
+                                               # arrives with the group fill
+            ("miss", None)
+
+        Successful resolutions count one cache hit (plus one marginal
+        build for the superset cases) and refresh recency, exactly like
+        per-set evaluation; a miss leaves the counters untouched — the
+        caller decides how it is built and accounts it.
+        """
+        ds = self.dataset
+        key = self.table_key(x, y, s)
+        entry = self.cache.get(key, count=False)
+        if entry is not None:
+            self.cache.hits += 1
+            value = entry.value
+            if value[0] is _PENDING:  # type: ignore[index]
+                return "pending", s
+            return "hit", value
+
+        want = frozenset(s) | {x, y}
+        found = self.cache.find_dense_superset(want)
+        if found is not None:
+            src_key, src_entry = found
+            self.cache.hits += 1
+            self.cache.marginal_builds += 1
+            if src_entry.value[0] is _PENDING:  # type: ignore[index]
+                # The covering table is this group's own pending build:
+                # reserve the marginal's slot now (the looped path would
+                # store the marginal at this position) and let the group
+                # fill deliver its value.
+                self.reserve(x, y, s)
+                return "pending_marg", src_key[1:-2]
+            rx, ry = ds.arity(x), ds.arity(y)
+            rz = [ds.arity(v) for v in s]
+            counts, nz_structural = self._from_superset(src_key, src_entry, x, y, s, rx, ry, rz)
+            self._store(key, counts, nz_structural, x, y, s, rx, ry, rz, dense=True)
+            return "hit", (counts, nz_structural)
+        return "miss", None
+
+    def reserve(self, x: int, y: int, s: tuple[int, ...]) -> None:
+        """Reserve a dense table's cache slot before its batched build.
+
+        The placeholder carries the exact size (``nz * rx * ry`` int64
+        cells — what ``np.bincount`` will produce) and full metadata, so
+        recency, evictions and superset visibility behave exactly as if
+        the looped path had stored the real table at this position.  The
+        value lands later through :meth:`SufficientStatsCache.fill_many`;
+        an oversized reservation is rejected like any oversized put.
+        """
+        ds = self.dataset
+        rx, ry = ds.arity(x), ds.arity(y)
+        rz = tuple(ds.arity(v) for v in s)
+        nz_structural = 1
+        for a in rz:
+            nz_structural *= int(a)
+        self.cache.put(
+            self.table_key(x, y, s),
+            (_PENDING, nz_structural),
+            nz_structural * rx * ry * 8,
+            kind="table",
+            varset=frozenset(s) | {x, y},
+            dims=rz + (rx, ry),
+            dense=True,
+        )
+
+    def discard_pending(self, x: int, y: int, sets: Sequence[tuple[int, ...]]) -> None:
+        """Drop any still-pending reservations for the given sets.
+
+        Abort path of a batched group evaluation: placeholders that never
+        received their fill must not outlive the group, or later lookups
+        would trip over them.  Filled (real) entries are left alone.
+        """
+        for s in sets:
+            key = self.table_key(x, y, s)
+            entry = self.cache._entries.get(key)
+            if entry is not None and entry.value[0] is _PENDING:  # type: ignore[index]
+                self.cache.discard(key)
+
+    def compute_marginal(
+        self,
+        x: int,
+        y: int,
+        src_s: tuple[int, ...],
+        src_counts: np.ndarray,
+        s: tuple[int, ...],
+    ) -> tuple[np.ndarray, int]:
+        """Marginal of an in-group dense table down to ``(s, x, y)``.
+
+        Pure computation — hit/marginal accounting and the slot
+        reservation already happened in :meth:`lookup` at planning time.
+        """
+        ds = self.dataset
+        rx, ry = ds.arity(x), ds.arity(y)
+        rz = [ds.arity(v) for v in s]
+        entry = _Entry(
+            value=(src_counts, 0),
+            nbytes=src_counts.nbytes,
+            kind="table",
+            varset=frozenset(src_s) | {x, y},
+            dims=tuple(ds.arity(v) for v in src_s) + (rx, ry),
+            dense=True,
+        )
+        return self._from_superset(self.table_key(x, y, src_s), entry, x, y, s, rx, ry, rz)
+
     def ci_counts(
         self,
         x: int,
         y: int,
         s: tuple[int, ...],
         xy_codes: np.ndarray | None = None,
+        known_miss: bool = False,
     ) -> tuple[np.ndarray, int, bool, bool, bool]:
+        """Resolve-or-build; ``known_miss=True`` skips the cache lookup
+        when the caller has just performed it (the batched group planner's
+        compressed-set fallback)."""
         ds = self.dataset
         rx, ry = ds.arity(x), ds.arity(y)
         rz = [ds.arity(v) for v in s]
-        key = self.table_key(x, y, s)
 
-        entry = self.cache.get(key, count=False)
-        if entry is not None:
-            self.cache.hits += 1
-            counts, nz_structural = entry.value  # type: ignore[misc]
-            return counts, nz_structural, True, True, True
-
-        want = frozenset(s) | {x, y}
-        found = self.cache.find_dense_superset(want)
-        if found is not None:
-            counts, nz_structural = self._from_superset(found[0], found[1], x, y, s, rx, ry, rz)
-            self.cache.hits += 1
-            self.cache.marginal_builds += 1
-            self._store(key, counts, nz_structural, x, y, s, rx, ry, rz, dense=True)
-            return counts, nz_structural, True, True, True
+        if not known_miss:
+            status, payload = self.lookup(x, y, s)
+            if status == "hit":
+                counts, nz_structural = payload  # type: ignore[misc]
+                return counts, nz_structural, True, True, True
+            # "pending"/"pending_marg" outside a group evaluation can only
+            # be a stale placeholder from an aborted group that escaped
+            # cleanup: fall through and rebuild — the store below replaces
+            # the placeholder, self-healing the slot.
 
         self.cache.misses += 1
         z_cached = False
         z_codes = None
         if s:
-            z_codes, z_cached = self._encoded(s, rz)
+            z_codes, z_cached = self.encoded_z(s, rz)
         xy_cached = xy_codes is not None  # caller already paid for them
         if xy_codes is None:
-            xy_codes, xy_cached = self._encoded_xy(x, y, ry)
+            xy_codes, xy_cached = self.encoded_xy(x, y, ry)
         counts, nz_structural, dense = ci_counts(
             ds.column(x),
             ds.column(y),
@@ -299,8 +500,11 @@ class CachedTableBuilder:
             xy_codes=xy_codes,
             z_codes=z_codes,
         )
-        self._store(key, counts, nz_structural, x, y, s, rx, ry, rz, dense=dense)
+        self._store(
+            self.table_key(x, y, s), counts, nz_structural, x, y, s, rx, ry, rz, dense=dense
+        )
         return counts, nz_structural, False, z_cached, xy_cached
+
 
     # ------------------------------------------------------------------ #
     # internals
@@ -354,7 +558,7 @@ class CachedTableBuilder:
             nz_structural *= int(a)
         return marg.reshape(nz_structural, rx, ry), nz_structural
 
-    def _encoded(self, s: tuple[int, ...], rz: list[int]) -> tuple[np.ndarray, bool]:
+    def encoded_z(self, s: tuple[int, ...], rz: Sequence[int]) -> tuple[np.ndarray, bool]:
         """Pre-compression mixed-radix codes of the conditioning columns,
         cached so same-``S``-different-endpoints streams encode once.
 
@@ -365,11 +569,11 @@ class CachedTableBuilder:
         entry = self.cache.get(key, count=False)
         if entry is not None:
             return entry.value, True  # type: ignore[return-value]
-        codes, _ = encode_columns(self.dataset.columns(s), rz)
+        codes, _ = encode_columns(self.dataset.columns(s), list(rz))
         self.cache.put(key, codes, codes.nbytes, kind="codes")
         return codes, False
 
-    def _encoded_xy(self, x: int, y: int, ry: int) -> tuple[np.ndarray, bool]:
+    def encoded_xy(self, x: int, y: int, ry: int) -> tuple[np.ndarray, bool]:
         """Endpoint cell codes ``x * ry + y``, cached per ``(x, y)`` pair
         so a warm path never re-reads the endpoint columns either."""
         key = self.xy_key(x, y)

@@ -42,12 +42,15 @@ def run_parallel_skeleton(
     dof_adjust: str = "structural",
     recorder: TraceRecorder | None = None,
     batch_factor: int = 4,
+    memoize_encodings: bool = True,
 ) -> tuple[UndirectedGraph, SepSetStore, SkeletonStats]:
     """Dispatch the skeleton phase to the requested parallel granularity.
 
     ``tester`` is only consulted for configuration defaults (workers build
     their own testers); pass the same ``test``/``alpha``/``dof_adjust`` the
-    sequential run would use.
+    sequential run would use.  ``memoize_encodings=False`` makes every
+    worker re-derive encodings per test — the baseline regime (mirrors the
+    sequential baselines in :func:`repro.core.learn.learn_structure`).
     """
     del tester  # workers rebuild their own testers; kept for API symmetry
     if parallelism not in ("ci", "edge", "sample"):
@@ -65,7 +68,13 @@ def run_parallel_skeleton(
             recorder=recorder,
         )
     with WorkerPool(
-        dataset, n_jobs, backend=backend, test=test, alpha=alpha, dof_adjust=dof_adjust
+        dataset,
+        n_jobs,
+        backend=backend,
+        test=test,
+        alpha=alpha,
+        dof_adjust=dof_adjust,
+        memoize_encodings=memoize_encodings,
     ) as workers:
         if parallelism == "ci":
             return ci_level_skeleton(

@@ -43,22 +43,35 @@ EdgeJob = tuple[int, int, tuple[int, ...], tuple[int, ...], int]
 
 
 def _init_worker(
-    dataset: DiscreteDataset,
+    dataset: DiscreteDataset | None,
     test: str,
     alpha: float,
     dof_adjust: str,
     cache_bytes: int | None = None,
+    encoded=None,
+    memoize_encodings: bool = True,
 ) -> None:
     global _WORKER_TESTER
     from ..core.learn import make_tester
+    from ..datasets.encoded import EncodedDataset
 
+    # The encoding layer ships once per worker at pool start (possibly
+    # pre-warmed by the master); every job this worker runs then shares
+    # the same widened columns and endpoint-pair codes.  Baseline pools
+    # pass memoize_encodings=False so workers re-derive encodings per
+    # test, like their sequential counterparts.
+    if encoded is not None:
+        dataset = encoded.dataset
+    else:
+        encoded = EncodedDataset(dataset, memoize=memoize_encodings)
     stats_cache = None
     if cache_bytes is not None:
         from ..engine.statscache import SufficientStatsCache
 
         stats_cache = SufficientStatsCache(max_bytes=cache_bytes)
     _WORKER_TESTER = make_tester(
-        dataset, test, alpha=alpha, dof_adjust=dof_adjust, stats_cache=stats_cache
+        dataset, test, alpha=alpha, dof_adjust=dof_adjust, stats_cache=stats_cache,
+        encoded=encoded,
     )
 
 
@@ -118,6 +131,10 @@ class WorkerPool:
 
     ``cache_bytes`` gives each worker a byte-budgeted sufficient-statistics
     cache (see module docstring); ``None`` keeps the seed behaviour.
+    ``encoded`` optionally ships a (possibly pre-warmed)
+    :class:`~repro.datasets.encoded.EncodedDataset` to every worker at pool
+    start, so all jobs of a worker share one encoding layer; without it,
+    each worker builds a fresh layer over the shipped dataset.
     """
 
     def __init__(
@@ -129,11 +146,15 @@ class WorkerPool:
         alpha: float = 0.05,
         dof_adjust: str = "structural",
         cache_bytes: int | None = None,
+        encoded=None,
+        memoize_encodings: bool = True,
     ) -> None:
         if n_jobs < 1:
             raise ValueError("n_jobs must be >= 1")
         if backend not in ("process", "thread"):
             raise ValueError("backend must be 'process' or 'thread'")
+        if encoded is not None and encoded.dataset is not dataset:
+            raise ValueError("encoded layer must wrap the pool's dataset")
         self.n_jobs = n_jobs
         self.backend = backend
         self.alpha = float(alpha)
@@ -144,16 +165,32 @@ class WorkerPool:
                 ctx = multiprocessing.get_context("fork")
             except ValueError:  # pragma: no cover - non-POSIX platforms
                 ctx = multiprocessing.get_context("spawn")
+            # Ship the dataset exactly once: inside the encoding layer when
+            # one is given, bare otherwise.
+            initargs = (
+                (None, test, alpha, dof_adjust, cache_bytes, encoded, True)
+                if encoded is not None
+                else (dataset, test, alpha, dof_adjust, cache_bytes, None, memoize_encodings)
+            )
             self._executor = ProcessPoolExecutor(
                 max_workers=n_jobs,
                 mp_context=ctx,
                 initializer=_init_worker,
-                initargs=(dataset, test, alpha, dof_adjust, cache_bytes),
+                initargs=initargs,
             )
         else:
             import threading
 
+            from ..datasets.encoded import EncodedDataset
+
             local = threading.local()
+            # Thread workers share the dataset arrays read-only (as OpenMP
+            # threads would); they share one encoding layer the same way.
+            shared_encoded = (
+                encoded
+                if encoded is not None
+                else EncodedDataset(dataset, memoize=memoize_encodings)
+            )
 
             def tester() -> ConditionalIndependenceTest:
                 if not hasattr(local, "tester"):
@@ -170,6 +207,7 @@ class WorkerPool:
                         alpha=alpha,
                         dof_adjust=dof_adjust,
                         stats_cache=stats_cache,
+                        encoded=shared_encoded,
                     )
                 return local.tester
 

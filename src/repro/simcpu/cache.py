@@ -15,7 +15,7 @@ survives, which is what Table IV demonstrates.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 __all__ = ["CacheSim", "CacheStats", "column_fill_accesses", "simulate_fill_misses"]

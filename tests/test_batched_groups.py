@@ -1,0 +1,267 @@
+"""Batched group kernel vs the looped per-set reference oracle.
+
+The contract of :mod:`repro.citests.tablebase` is that ``test_group`` under
+``batch_groups=True`` (offset-stacked bincount, stacked statistic
+reductions, one ``gammaincc`` per group) is **bit-identical** to the looped
+per-set path — same statistics, dofs, p-values, decisions and work-counter
+accounting — across testers, storage layouts, depths, caches, duplicate
+sets and compressed-Z fallbacks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.citests.chisquare import ChiSquareTest
+from repro.citests.contingency import ci_counts, group_ci_counts
+from repro.citests.gsquare import GSquareTest
+from repro.citests.mutual_info import MutualInformationTest
+from repro.datasets.dataset import DiscreteDataset
+from repro.datasets.encoded import EncodedDataset
+from repro.engine.statscache import SufficientStatsCache
+
+TESTERS = [GSquareTest, ChiSquareTest, MutualInformationTest]
+
+
+def _make_tester(cls, dataset, *, batch, cache=False, **kw):
+    if cls is MutualInformationTest:
+        kw.pop("compress_threshold", None)
+    if cache:
+        kw["stats_cache"] = SufficientStatsCache()
+    return cls(dataset, batch_groups=batch, **kw)
+
+
+def _assert_results_identical(got, want):
+    assert len(got) == len(want)
+    for g, w in zip(got, want):
+        assert (g.x, g.y, g.s) == (w.x, w.y, w.s)
+        assert g.statistic == w.statistic  # bitwise: no tolerance
+        assert g.dof == w.dof
+        assert g.p_value == w.p_value
+        assert g.independent == w.independent
+
+
+def _assert_counters_identical(got, want):
+    assert got.n_tests == want.n_tests
+    assert got.data_accesses == want.data_accesses
+    assert got.table_cells == want.table_cells
+    assert got.log_ops == want.log_ops
+    assert got.per_depth_tests == want.per_depth_tests
+    assert got.cache_hits == want.cache_hits
+    assert got.cache_misses == want.cache_misses
+
+
+GROUPS = [
+    # (x, y, sets) over the 8-variable asia_data — one group per shape of
+    # interest: depth-0+1 mix, uniform depth 1, uniform depth 2 (unequal
+    # arity products exercise the padded stack), duplicates, depth 3.
+    (0, 1, [(), (2,)]),
+    (2, 3, [(0,), (1,), (4,), (5,)]),
+    (0, 5, [(1, 2), (3, 4), (6, 7), (2, 6)]),
+    (4, 6, [(1,), (1,), (3,), (1,)]),
+    (1, 7, [(0, 2, 3), (2, 4, 5), (0, 3, 6)]),
+]
+
+
+class TestBatchedMatchesLooped:
+    @pytest.mark.parametrize("cls", TESTERS)
+    @pytest.mark.parametrize("layout", ["variable-major", "sample-major"])
+    @pytest.mark.parametrize("cache", [False, True])
+    def test_bitwise_identical_results_and_counters(self, asia_data, cls, layout, cache):
+        data = asia_data.with_layout(layout)
+        batched = _make_tester(cls, data, batch=True, cache=cache)
+        looped = _make_tester(cls, data, batch=False, cache=cache)
+        for x, y, sets in GROUPS:
+            _assert_results_identical(
+                batched.test_group(x, y, sets), looped.test_group(x, y, sets)
+            )
+        _assert_counters_identical(batched.counters, looped.counters)
+
+    @pytest.mark.parametrize("cache", [False, True])
+    def test_compressed_sets_fall_back(self, cache):
+        # Tiny m with high-arity Z forces np.unique compression for the
+        # deep sets while the shallow ones stay dense: a mixed group.
+        rng = np.random.default_rng(5)
+        rows = np.column_stack(
+            [rng.integers(0, 2, 40), rng.integers(0, 2, 40)]
+            + [rng.integers(0, 9, 40) for _ in range(4)]
+        )
+        data = DiscreteDataset.from_rows(rows, arities=[2, 2, 9, 9, 9, 9])
+        sets = [(2,), (2, 3, 4, 5), (3,), (2, 4, 5), (4, 5)]
+        batched = _make_tester(GSquareTest, data, batch=True, cache=cache)
+        looped = _make_tester(GSquareTest, data, batch=False, cache=cache)
+        _assert_results_identical(
+            batched.test_group(0, 1, sets), looped.test_group(0, 1, sets)
+        )
+        _assert_counters_identical(batched.counters, looped.counters)
+
+    def test_cache_warm_after_batched_group(self, asia_data):
+        # Every table of a batched pass must land in the cache (bulk
+        # insert): replaying the group is all hits, and the cached tables
+        # are bit-identical to fresh uncached builds.
+        cache = SufficientStatsCache()
+        tester = GSquareTest(asia_data, stats_cache=cache)
+        sets = [(2,), (3,), (2, 3)]
+        tester.test_group(0, 1, sets)
+        assert cache.stats().misses == len(sets)
+        before = cache.stats().hits
+        tester.test_group(0, 1, sets)
+        assert cache.stats().hits >= before + len(sets)
+        for s in sets:
+            counts, nz, *_ = tester._builder.ci_counts(0, 1, s)
+            ref, nz_ref, _ = ci_counts(
+                asia_data.column(0),
+                asia_data.column(1),
+                asia_data.columns(s),
+                asia_data.arity(0),
+                asia_data.arity(1),
+                [asia_data.arity(v) for v in s],
+            )
+            assert nz == nz_ref
+            np.testing.assert_array_equal(counts, ref)
+
+    def test_tiny_cache_budget_keeps_counter_parity(self, asia_data):
+        # A budget below one table's size means stores are rejected:
+        # in-group duplicates/subsets must then be rebuilt (and billed)
+        # exactly as the looped path rebuilds them.
+        for max_bytes in (0, 64):
+            batched = GSquareTest(asia_data, stats_cache=SufficientStatsCache(max_bytes))
+            looped = GSquareTest(
+                asia_data, stats_cache=SufficientStatsCache(max_bytes), batch_groups=False
+            )
+            sets = [(2, 3), (2,), (2, 3), (3,)]  # dup + subsets of the first
+            _assert_results_identical(
+                batched.test_group(0, 1, sets), looped.test_group(0, 1, sets)
+            )
+            _assert_counters_identical(batched.counters, looped.counters)
+
+    def test_aborted_group_leaves_no_pending_placeholders(self, asia_data, monkeypatch):
+        # An exception mid-group must not leave reserved-but-unfilled
+        # slots behind: later lookups would trip over the placeholders.
+        import repro.citests.tablebase as tb
+
+        cache = SufficientStatsCache()
+        tester = GSquareTest(asia_data, stats_cache=cache)
+
+        def boom(*a, **k):
+            raise MemoryError("simulated mid-group failure")
+
+        monkeypatch.setattr(tb, "group_ci_counts", boom)
+        with pytest.raises(MemoryError):
+            tester.test_group(0, 1, [(2,), (3,)])
+        monkeypatch.undo()
+        from repro.engine.statscache import _PENDING
+
+        assert not any(
+            e.kind == "table" and e.value[0] is _PENDING for e in cache._entries.values()
+        )
+        # The tester keeps working and the cache self-heals.
+        replay = tester.test_group(0, 1, [(2,), (3,)])
+        fresh = GSquareTest(asia_data).test_group(0, 1, [(2,), (3,)])
+        _assert_results_identical(replay, fresh)
+
+    def test_cached_tables_do_not_pin_group_stack(self, asia_data):
+        # Stored tables must be standalone copies, not views into the
+        # whole group's bincount stack (a view would defeat the cache's
+        # byte budget).
+        cache = SufficientStatsCache()
+        tester = GSquareTest(asia_data, stats_cache=cache)
+        tester.test_group(0, 1, [(2,), (3,), (4,)])
+        for key, entry in cache._entries.items():
+            if entry.kind != "table":
+                continue
+            counts = entry.value[0]
+            assert counts.base is None
+            assert entry.nbytes == counts.nbytes
+
+    def test_shared_encoded_layer_changes_nothing(self, asia_data):
+        shared = EncodedDataset(asia_data)
+        with_shared = GSquareTest(asia_data, encoded=shared)
+        private = GSquareTest(asia_data)
+        for x, y, sets in GROUPS:
+            _assert_results_identical(
+                with_shared.test_group(x, y, sets), private.test_group(x, y, sets)
+            )
+        _assert_counters_identical(with_shared.counters, private.counters)
+        assert shared.stats()["n_xy"] > 0  # the layer actually memoized
+
+    def test_skeleton_bit_identical(self, asia_data):
+        from repro.core.skeleton import learn_skeleton
+
+        runs = {}
+        for batch in (True, False):
+            tester = GSquareTest(asia_data, batch_groups=batch)
+            graph, sepsets, _stats = learn_skeleton(
+                tester, asia_data.n_variables, gs=4, group_endpoints=True
+            )
+            runs[batch] = (set(graph.edges()), sepsets.as_dict())
+        assert runs[True] == runs[False]
+
+
+# ---------------------------------------------------------------------- #
+# kernel-level equivalence (tables, not statistics)
+# ---------------------------------------------------------------------- #
+class TestGroupCICounts:
+    def test_stack_matches_per_set_tables(self, rng):
+        m = 200
+        x = rng.integers(0, 3, m).astype(np.uint8)
+        y = rng.integers(0, 2, m).astype(np.uint8)
+        zs = [rng.integers(0, a, m).astype(np.uint8) for a in (2, 3, 4)]
+        xy = x.astype(np.int64) * 2 + y
+        sets = [(None, 1), (zs[0].astype(np.int64), 2), (zs[1].astype(np.int64), 3)]
+        # Include a two-variable set (mixed radix 3*4=12).
+        z12 = zs[1].astype(np.int64) * 4 + zs[2]
+        sets.append((z12, 12))
+        stack = group_ci_counts(xy, [s[0] for s in sets], [s[1] for s in sets], 3, 2)
+        assert stack.shape == (4, 12, 3, 2)
+        z_cols = [[], [zs[0]], [zs[1]], [zs[1], zs[2]]]
+        rz = [[], [2], [3], [3, 4]]
+        for k in range(4):
+            ref, nz_ref, dense = ci_counts(x, y, z_cols[k], 3, 2, rz[k])
+            assert dense and nz_ref == sets[k][1]
+            np.testing.assert_array_equal(stack[k, : sets[k][1]], ref)
+            assert stack[k, sets[k][1] :].sum() == 0  # padding rows empty
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            group_ci_counts(np.zeros(3, dtype=np.int64), [None], [1, 1], 2, 2)
+        with pytest.raises(ValueError):
+            group_ci_counts(np.zeros(3, dtype=np.int64), [], [], 2, 2)
+
+
+# ---------------------------------------------------------------------- #
+# property: random datasets and groups, batched == looped bitwise
+# ---------------------------------------------------------------------- #
+@st.composite
+def dataset_and_groups(draw):
+    n_vars = draw(st.integers(4, 7))
+    arities = [draw(st.integers(2, 4)) for _ in range(n_vars)]
+    m = draw(st.integers(1, 80))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    rows = np.column_stack([rng.integers(0, a, m) for a in arities])
+    layout = draw(st.sampled_from(["variable-major", "sample-major"]))
+    ds = DiscreteDataset.from_rows(rows, arities=arities, layout=layout)
+    x = draw(st.integers(0, n_vars - 1))
+    y = draw(st.integers(0, n_vars - 1).filter(lambda v: v != x))
+    pool = [v for v in range(n_vars) if v not in (x, y)]
+    n_sets = draw(st.integers(2, 6))
+    sets = []
+    for _ in range(n_sets):
+        size = draw(st.integers(0, len(pool)))
+        sets.append(tuple(sorted(draw(st.permutations(pool))[:size])))
+    return ds, x, y, sets
+
+
+@given(dataset_and_groups(), st.booleans(), st.sampled_from(["g2", "chi2"]))
+@settings(max_examples=60, deadline=None)
+def test_batched_equals_looped_property(args, use_cache, which):
+    ds, x, y, sets = args
+    cls = GSquareTest if which == "g2" else ChiSquareTest
+    batched = _make_tester(cls, ds, batch=True, cache=use_cache)
+    looped = _make_tester(cls, ds, batch=False, cache=use_cache)
+    _assert_results_identical(batched.test_group(x, y, sets), looped.test_group(x, y, sets))
+    _assert_counters_identical(batched.counters, looped.counters)

@@ -13,7 +13,7 @@ from repro.core.conservative import classify_triples, orient_skeleton_robust
 from repro.core.learn import learn_structure
 from repro.core.skeleton import learn_skeleton
 from repro.core.trace import TraceRecorder
-from repro.datasets.io import CategoricalCodec, read_csv, train_test_split, write_csv
+from repro.datasets.io import read_csv, train_test_split, write_csv
 from repro.datasets.sampling import forward_sample
 from repro.graphs.dag import dag_to_cpdag
 from repro.networks.classic import asia, sprinkler

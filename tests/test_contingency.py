@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 from repro.citests.contingency import (
+    ci_counts,
     contingency_table,
     encode_columns,
     marginal_tables,
@@ -43,6 +44,62 @@ class TestEncodeColumns:
     def test_length_mismatch(self):
         with pytest.raises(ValueError):
             encode_columns([np.zeros(3, dtype=np.uint8)], [2, 2])
+
+
+class TestEncodeOverflow:
+    """Regression: deep, high-arity tuples used to wrap ``codes *= arity``.
+
+    With 40 ternary columns the structural product 3^40 ~ 1.2e19 exceeds
+    int64 (~9.2e18); the seed implementation silently wrapped, producing
+    colliding (non-injective) codes.  The safe path compresses pairwise
+    through ``np.unique`` and must stay injective and order-preserving.
+    """
+
+    def _columns(self, rng, m=60, depth=40, arity=3):
+        cols = [rng.integers(0, arity, m).astype(np.uint8) for _ in range(depth)]
+        return cols, [arity] * depth
+
+    def test_structural_product_exceeds_int64(self, rng):
+        cols, arities = self._columns(rng)
+        assert n_configurations(arities) > np.iinfo(np.int64).max
+
+    def test_codes_injective_and_lexicographic(self, rng):
+        cols, arities = self._columns(rng)
+        codes, n_cfg = encode_columns(cols, arities)
+        assert n_cfg == 3**40
+        assert codes.min() >= 0  # a wrapped encoding goes negative
+        rows = np.column_stack(cols)
+        # Equal codes iff equal configurations...
+        by_code: dict[int, tuple] = {}
+        for code, row in zip(codes.tolist(), map(tuple, rows)):
+            assert by_code.setdefault(code, row) == row
+        assert len(by_code) == len({tuple(r) for r in rows})
+        # ...and code order follows mixed-radix (lexicographic) order.
+        order = sorted(range(len(codes)), key=lambda i: tuple(rows[i]))
+        sorted_codes = codes[order]
+        assert all(
+            a <= b for a, b in zip(sorted_codes[:-1].tolist(), sorted_codes[1:].tolist())
+        )
+
+    def test_ci_counts_through_overflowing_depth(self, rng):
+        cols, arities = self._columns(rng)
+        m = cols[0].shape[0]
+        x = rng.integers(0, 2, m).astype(np.uint8)
+        y = rng.integers(0, 2, m).astype(np.uint8)
+        counts, nz_structural, dense = ci_counts(x, y, cols, 2, 2, arities)
+        assert nz_structural == 3**40 and not dense
+        assert counts.sum() == m
+        assert counts.shape[0] <= m
+        # Each nonempty slice must match a brute-force dict count.
+        brute: dict[tuple, np.ndarray] = {}
+        for i in range(m):
+            key = tuple(int(c[i]) for c in cols)
+            brute.setdefault(key, np.zeros((2, 2), dtype=np.int64))[int(x[i]), int(y[i])] += 1
+        nonempty = [counts[k] for k in range(counts.shape[0]) if counts[k].sum()]
+        expected = [brute[key] for key in sorted(brute)]
+        assert len(nonempty) == len(expected)
+        for got, want in zip(nonempty, expected):
+            np.testing.assert_array_equal(got, want)
 
 
 class TestNConfigurations:

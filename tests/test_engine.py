@@ -74,6 +74,32 @@ class TestLRUBudget:
         with pytest.raises(ValueError):
             SufficientStatsCache(max_bytes=-1)
 
+    def test_put_many_matches_sequential_puts(self):
+        """Bulk insert ends with the same contents, bytes and counters as
+        the equivalent sequence of single puts (eviction is deferred to
+        one end-of-batch sweep, which cannot change the surviving set)."""
+        entries = [
+            (("t", i), self._table(300), 300, "table", frozenset({i}), (i,), True)
+            for i in range(6)
+        ]
+        bulk = SufficientStatsCache(max_bytes=1000)
+        bulk.put_many(entries)
+        seq = SufficientStatsCache(max_bytes=1000)
+        for key, value, nbytes, kind, varset, dims, dense in entries:
+            seq.put(key, value, nbytes, kind=kind, varset=varset, dims=dims, dense=dense)
+        assert list(bulk._entries) == list(seq._entries)
+        assert bulk.current_bytes == seq.current_bytes
+        assert (bulk.puts, bulk.evictions) == (seq.puts, seq.evictions)
+
+    def test_cache_pickles_without_lock(self):
+        import pickle
+
+        cache = SufficientStatsCache(max_bytes=1000)
+        cache.put("k", self._table(400), 400)
+        clone = pickle.loads(pickle.dumps(cache))
+        assert "k" in clone and clone.current_bytes == 400
+        clone.put("k2", self._table(400), 400)  # fresh lock works
+
 
 class TestExactCounters:
     def test_builder_hit_miss_counts(self, asia_data):
@@ -395,3 +421,32 @@ class TestBatchCLI:
         doc = json.loads(man.read_text())
         assert doc["totals"]["n_result_cache_hits"] == 1
         assert "result-cache hits" in capsys.readouterr().out
+
+    def test_batch_requests_from_stdin(self, tmp_path, capsys, monkeypatch):
+        """``--requests -`` reads the JSONL stream from stdin (pipes)."""
+        import io
+
+        stream = "\n".join(
+            json.dumps(r)
+            for r in [{"op": "learn", "alpha": 0.05}, {"op": "blanket", "target": 0}]
+        )
+        monkeypatch.setattr("sys.stdin", io.StringIO(stream + "\n"))
+        out = tmp_path / "out.jsonl"
+        rc = main(
+            [
+                "batch",
+                "--network",
+                "alarm",
+                "--samples",
+                "500",
+                "--requests",
+                "-",
+                "--out",
+                str(out),
+            ]
+        )
+        assert rc == 0
+        lines = [json.loads(line) for line in out.read_text().splitlines()]
+        assert len(lines) == 2
+        assert [r["op"] for r in lines] == ["learn", "blanket"]
+        assert "served 2 requests" in capsys.readouterr().out

@@ -12,7 +12,6 @@ from repro.graphs.pdag import PDAG
 from repro.inference.variable_elimination import Factor, VariableElimination
 from repro.networks.classic import asia, cancer, sprinkler
 from repro.networks.fit import fit_cpts, log_likelihood
-from repro.networks.generators import random_network
 
 
 class TestFitCpts:

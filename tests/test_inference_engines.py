@@ -15,7 +15,7 @@ from repro.inference.junction_tree import (
 from repro.inference.sampling_inference import likelihood_weighting, rejection_sampling
 from repro.inference.variable_elimination import VariableElimination
 from repro.networks.classic import asia, cancer, sprinkler
-from repro.networks.generators import chain_network, random_network
+from repro.networks.generators import random_network
 
 
 class TestMoralization:

@@ -12,7 +12,6 @@ from repro.citests.mutual_info import MutualInformationTest
 from repro.citests.naive import NaiveGSquareTest
 from repro.citests.oracle import OracleCITest
 from repro.datasets.dataset import DiscreteDataset
-from repro.networks.classic import sprinkler
 
 
 def make_dataset(rows, arities=None):
