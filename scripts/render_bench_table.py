@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Render the README performance table from BENCH_*.json artefacts.
+
+The benchmarks under ``benchmarks/`` persist machine-readable
+``benchmarks/results/BENCH_<name>.json`` perf artefacts (see
+``benchmarks/results/README.md``).  This script is the *only* writer of
+the markdown table between the ``BENCH_TABLE_START``/``END`` markers in
+the top-level README — hand-edited numbers drift from the artefacts and
+then lie; generated numbers cannot.
+
+Usage::
+
+    python scripts/render_bench_table.py            # rewrite README table
+    python scripts/render_bench_table.py --check    # exit 1 when stale (CI)
+
+Unknown artefacts degrade gracefully: a bench without a bespoke
+summariser still gets a row with its headline fields, so adding a new
+perf bench never requires touching this script first.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+RESULTS = REPO / "benchmarks" / "results"
+README = REPO / "README.md"
+START = "<!-- BENCH_TABLE_START -->"
+END = "<!-- BENCH_TABLE_END -->"
+
+
+def _fmt(value: float, digits: int = 2) -> str:
+    return f"{value:.{digits}f}"
+
+
+def _row_engine_throughput(doc: dict) -> tuple[str, str]:
+    return (
+        f"warm vs cold serving ({doc['network']}, {doc['n_requests']} requests)",
+        f"{_fmt(doc['speedup'], 0)}× warm speedup, "
+        f"{doc['stats_cache_hit_rate']:.0%} stats-cache hit rate",
+    )
+
+
+def _row_kernel_batching(doc: dict) -> tuple[str, str]:
+    per_gs = ", ".join(
+        f"gs={gs}: {_fmt(doc['group_sizes'][gs]['speedup'])}×"
+        for gs in sorted(doc["group_sizes"], key=int)
+    )
+    return (
+        f"batched group kernel vs looped ({doc['network']})",
+        per_gs,
+    )
+
+
+def _row_shared_memory(doc: dict) -> tuple[str, str]:
+    mem = doc.get("memory_ratio")
+    mem_txt = "n/a" if mem is None else f"{mem:.2f}× private memory/worker"
+    return (
+        f"shm plane vs pickled workers ({doc['network']}, n_jobs={doc['n_jobs']})",
+        f"{mem_txt}, {_fmt(doc['start_speedup'])}× pool start",
+    )
+
+
+_SUMMARISERS = {
+    "engine_throughput": _row_engine_throughput,
+    "kernel_batching": _row_kernel_batching,
+    "shared_memory": _row_shared_memory,
+}
+
+_GENERIC_FIELDS = ("speedup", "best_speedup", "ops_per_s", "requests_per_s")
+
+
+def _row_generic(doc: dict) -> tuple[str, str]:
+    parts = [f"{k}={_fmt(doc[k])}" for k in _GENERIC_FIELDS if k in doc]
+    return (doc.get("bench", "?"), ", ".join(parts) or "see JSON artefact")
+
+
+def render_table() -> str:
+    docs = []
+    for path in sorted(RESULTS.glob("BENCH_*.json")):
+        try:
+            docs.append(json.loads(path.read_text()))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise SystemExit(f"unreadable artefact {path}: {exc}")
+    if not docs:
+        return "_No `BENCH_*.json` artefacts yet — run `python -m pytest benchmarks/`._"
+    lines = [
+        "| benchmark | headline (this host) |",
+        "| --- | --- |",
+    ]
+    for doc in docs:
+        summarise = _SUMMARISERS.get(doc.get("bench"), _row_generic)
+        what, headline = summarise(doc)
+        lines.append(f"| {what} | {headline} |")
+    pythons = sorted({d.get("python", "?") for d in docs})
+    machines = sorted({d.get("machine", "?") for d in docs})
+    lines.append("")
+    lines.append(
+        f"_Rendered from {len(docs)} artefact(s); "
+        f"Python {'/'.join(pythons)} on {'/'.join(machines)}._"
+    )
+    return "\n".join(lines)
+
+
+def splice(readme_text: str, table: str) -> str:
+    try:
+        head, rest = readme_text.split(START, 1)
+        _, tail = rest.split(END, 1)
+    except ValueError:
+        raise SystemExit(f"README is missing the {START} / {END} markers")
+    return f"{head}{START}\n{table}\n{END}{tail}"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="verify the README table matches the artefacts; exit 1 when stale",
+    )
+    args = parser.parse_args(argv)
+    current = README.read_text()
+    updated = splice(current, render_table())
+    if args.check:
+        if updated != current:
+            print(
+                "README perf table is stale; regenerate with "
+                "`python scripts/render_bench_table.py`",
+                file=sys.stderr,
+            )
+            return 1
+        print("README perf table is up to date")
+        return 0
+    if updated != current:
+        README.write_text(updated)
+        print(f"updated {README.relative_to(REPO)}")
+    else:
+        print("README perf table already up to date")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,8 +1,9 @@
 """repro — Fast-BNS: fast parallel Bayesian network structure learning.
 
 Reproduction of Jiang, Wen & Mian, "Fast Parallel Bayesian Network
-Structure Learning" (IPDPS 2022).  See README.md for a tour and DESIGN.md
-for the system inventory and experiment index.
+Structure Learning" (IPDPS 2022).  See README.md for a tour,
+docs/ARCHITECTURE.md for the system inventory, and EXPERIMENTS.md for the
+experiment index and measurement policy.
 
 Public API highlights
 ---------------------

@@ -53,6 +53,19 @@ import numpy as np
 __all__ = ["main", "build_parser"]
 
 
+def _gs_argument(value: str):
+    """``--gs`` parser: a positive int or the literal ``auto``."""
+    if value == "auto":
+        return "auto"
+    try:
+        gs = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"--gs expects an integer or 'auto', got {value!r}")
+    if gs < 1:
+        raise argparse.ArgumentTypeError("--gs must be >= 1")
+    return gs
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="fastbns",
@@ -75,12 +88,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     learn.add_argument("--test", default="g2", choices=("g2", "chi2", "mi"))
     learn.add_argument("--alpha", type=float, default=0.05)
-    learn.add_argument("--gs", type=int, default=1, help="CI-test group size")
+    learn.add_argument(
+        "--gs",
+        type=_gs_argument,
+        default=1,
+        help="CI-test group size, or 'auto' for the adaptive scheduler",
+    )
     learn.add_argument("--jobs", type=int, default=1, help="worker count (1 = sequential)")
     learn.add_argument(
         "--parallelism", default="ci", choices=("ci", "edge", "sample"), help="granularity"
     )
     learn.add_argument("--backend", default="process", choices=("process", "thread"))
+    learn.add_argument(
+        "--no-shm",
+        action="store_true",
+        help="ship the dataset to process workers by pickling instead of the "
+        "zero-copy shared-memory plane (results are identical)",
+    )
     learn.add_argument("--max-depth", type=int, default=None)
     learn.add_argument("--quiet", action="store_true", help="print only summary counts")
 
@@ -107,6 +131,12 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--alpha", type=float, default=0.05, help="default significance level")
     batch.add_argument("--jobs", type=int, default=1, help="worker count (1 = sequential)")
     batch.add_argument("--backend", default="process", choices=("process", "thread"))
+    batch.add_argument(
+        "--no-shm",
+        action="store_true",
+        help="ship the dataset to process workers by pickling instead of the "
+        "zero-copy shared-memory plane (results are identical)",
+    )
     batch.add_argument(
         "--cache-mb", type=int, default=64, help="stats-cache LRU budget in MiB"
     )
@@ -163,6 +193,7 @@ def _cmd_learn(args: argparse.Namespace) -> int:
         parallelism=args.parallelism,
         backend=args.backend,
         max_depth=args.max_depth,
+        use_shm=False if args.no_shm else None,
     )
     print(
         f"skeleton: {result.skeleton.n_edges} edges | "
@@ -200,6 +231,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         n_jobs=args.jobs,
         backend=args.backend,
         cache_bytes=args.cache_mb << 20,
+        use_shm=False if args.no_shm else None,
     ) as session:
         server = BatchServer(session)
         manifest = server.new_manifest()

@@ -84,7 +84,7 @@ def learn_structure(
     method: str = "fast-bns",
     test: str | ConditionalIndependenceTest = "g2",
     alpha: float = 0.05,
-    gs: int = 1,
+    gs: int | str = 1,
     n_jobs: int = 1,
     parallelism: str = "ci",
     backend: str = "process",
@@ -93,6 +93,7 @@ def learn_structure(
     apply_r4: bool = False,
     v_structures: str = "standard",
     recorder: TraceRecorder | None = None,
+    use_shm: bool | None = None,
 ) -> LearnResult:
     """Learn a Bayesian-network CPDAG from complete discrete data.
 
@@ -114,6 +115,12 @@ def learn_structure(
         Significance level (0.05 in all paper experiments).
     gs:
         Fast-BNS group size (Sec. IV-B); ignored by the baselines.
+        ``"auto"`` turns on adaptive sizing: the CI-level parallel path
+        runs an :class:`~repro.parallel.adaptive.AdaptiveGroupScheduler`
+        (per-work-item sizes from live perf counters), the sequential
+        path resolves to the fixed
+        :data:`~repro.parallel.adaptive.DEFAULT_SEED_GS`.  Results are
+        bit-identical for every choice.
     n_jobs, parallelism, backend:
         ``n_jobs > 1`` runs the skeleton phase in parallel with the chosen
         granularity: ``"ci"`` (Fast-BNS work pool), ``"edge"`` (static
@@ -131,6 +138,10 @@ def learn_structure(
     recorder:
         Optional :class:`TraceRecorder` capturing the execution trace for
         the multi-core simulator.
+    use_shm:
+        Dataset transport for process workers (see
+        :class:`~repro.parallel.backends.WorkerPool`): ``None`` attaches
+        them through the zero-copy shared-memory plane when available.
     """
     if method not in METHODS:
         raise ValueError(f"unknown method {method!r}; choose from {METHODS}")
@@ -153,6 +164,13 @@ def learn_structure(
         group_endpoints = False
         onthefly = False
         gs = 1
+    if n_jobs == 1 or parallelism != "ci":
+        # Only the CI-level parallel scheduler consumes live counters;
+        # everything else runs the documented fixed fallback.  (The CI
+        # path resolves "auto" itself, with the pool's arity info.)
+        from ..parallel.adaptive import resolve_fixed_gs
+
+        gs = resolve_fixed_gs(gs)
 
     dataset = _coerce_dataset(data, arities, layout)
     if method == "pc-stable-naive":
@@ -201,6 +219,7 @@ def learn_structure(
             dof_adjust=dof_adjust,
             recorder=recorder,
             memoize_encodings=method == "fast-bns",
+            use_shm=use_shm,
         )
     t1 = time.perf_counter()
     if v_structures == "standard":

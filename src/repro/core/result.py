@@ -25,6 +25,9 @@ class DepthStats:
     n_redundant_tests: int = 0
     n_groups: int = 0
     elapsed_s: float = 0.0
+    #: Scheduled group sizes -> group counts at this depth (populated by
+    #: the CI-level scheduler; shows what ``gs="auto"`` actually chose).
+    gs_histogram: dict[int, int] = field(default_factory=dict)
 
     @property
     def deletion_ratio(self) -> float:
@@ -42,6 +45,7 @@ class SkeletonStats:
     n_groups: int = 0
     pool_pushes: int = 0
     pool_pops: int = 0
+    pool_peak: int = 0
     materialised_set_ints: int = 0
     elapsed_s: float = 0.0
     counters: CITestCounters | None = None

@@ -19,16 +19,19 @@ __all__ = ["WorkPool"]
 class WorkPool:
     """LIFO pool of edge tasks with progress monitoring."""
 
-    __slots__ = ("_stack", "_pushes", "_pops")
+    __slots__ = ("_stack", "_pushes", "_pops", "_peak")
 
     def __init__(self) -> None:
         self._stack: list[EdgeTask] = []
         self._pushes = 0
         self._pops = 0
+        self._peak = 0
 
     def push(self, task: EdgeTask) -> None:
         self._stack.append(task)
         self._pushes += 1
+        if len(self._stack) > self._peak:
+            self._peak = len(self._stack)
 
     def pop(self) -> EdgeTask:
         if not self._stack:
@@ -58,3 +61,11 @@ class WorkPool:
     @property
     def n_pops(self) -> int:
         return self._pops
+
+    @property
+    def peak_size(self) -> int:
+        """High-water mark of live tasks — together with the live ``len()``
+        this is the pool-pressure signal the adaptive group scheduler
+        (:mod:`repro.parallel.adaptive`) reads: a pool draining below the
+        worker count marks the depth's straggler tail."""
+        return self._peak

@@ -135,6 +135,29 @@ class DiscreteDataset:
             names=tuple(names) if names is not None else (),
         )
 
+    @classmethod
+    def _from_validated(
+        cls,
+        values: np.ndarray,
+        arities: np.ndarray,
+        layout: Layout,
+        names: tuple[str, ...],
+    ) -> "DiscreteDataset":
+        """Trusted constructor bypassing ``__post_init__`` validation.
+
+        For data that has already passed validation in this process tree —
+        the shared-memory attach path (:mod:`.shm`), where re-scanning the
+        whole plane per attaching worker would cost the O(n x m) pass the
+        plane exists to avoid.  Callers guarantee shapes, bounds and name
+        count; nothing is checked here.
+        """
+        self = cls.__new__(cls)
+        object.__setattr__(self, "values", values)
+        object.__setattr__(self, "arities", np.asarray(arities, dtype=np.int64))
+        object.__setattr__(self, "layout", layout)
+        object.__setattr__(self, "names", tuple(names))
+        return self
+
     # ------------------------------------------------------------------ #
     # basic properties
     # ------------------------------------------------------------------ #

@@ -29,6 +29,22 @@ counters (:class:`~repro.citests.base.CITestCounters`): those model the
 paper's abstract per-test data-access machine (Sec. IV-D) and must stay
 comparable across PRs and to the paper's Table IV, whereas this layer is a
 constant-factor implementation optimisation.
+
+Shared-memory lifecycle
+-----------------------
+For process workers the layer doubles as the repo's **zero-copy dataset
+plane** (see :mod:`repro.datasets.shm`): :meth:`EncodedDataset.export_shm`
+publishes the widened columns (and memoized pair codes) into
+``multiprocessing.shared_memory`` blocks and returns a
+:class:`~repro.datasets.shm.ShmExport` whose picklable ``handle`` is all a
+worker needs; :meth:`EncodedDataset.attach_shm` maps those blocks
+read-only and serves every accessor zero-copy.  The creator owns the
+blocks (``ShmExport.close`` unlinks; the
+:class:`~repro.parallel.backends.WorkerPool` calls it at shutdown and a
+finalizer backstops crashes); attachers only ever ``close()`` their
+mapping.  When shared memory is unavailable, callers fall back to shipping
+the pickled dataset — attach-served encodings are bit-identical to locally
+derived ones, so the fallback changes memory traffic and nothing else.
 """
 
 from __future__ import annotations
@@ -80,6 +96,9 @@ class EncodedDataset:
         self.memoize = bool(memoize)
         self._col64: dict[int, np.ndarray] = {}
         self._xy: OrderedDict[tuple[int, int], np.ndarray] = OrderedDict()
+        #: Attacher-side :class:`~repro.datasets.shm.AttachedBlocks` keeping
+        #: the shared mappings alive; ``None`` for ordinary instances.
+        self.shm = None
 
     # ------------------------------------------------------------------ #
     # memoized encodings
@@ -170,6 +189,55 @@ class EncodedDataset:
         for k, v in enumerate(variables):
             out[k] = self.col64(v)
         return out
+
+    # ------------------------------------------------------------------ #
+    # shared-memory dataset plane
+    # ------------------------------------------------------------------ #
+    def export_shm(self):
+        """Publish this layer into shared memory (module docstring).
+
+        Returns a :class:`~repro.datasets.shm.ShmExport`; ship its
+        ``handle`` to workers and call ``close()`` when the last worker is
+        gone.  A non-memoizing (baseline) layer refuses to export: the
+        attach side is a fully warmed memoizing layer, which would erase
+        the re-derivation behaviour baselines exist to measure.
+        """
+        if not self.memoize:
+            raise ValueError("cannot export a non-memoizing (baseline) encoding layer")
+        from .shm import export_encoded
+
+        return export_encoded(self)
+
+    @classmethod
+    def attach_shm(cls, handle) -> "EncodedDataset":
+        """Attach an exported plane zero-copy (module docstring).
+
+        The returned instance's dataset values *are* the shared columns
+        plane; ``col64`` is pre-warmed for every variable and ``xy_codes``
+        for every pair the exporter had memoized.  ``instance.shm`` holds
+        the mappings — see :meth:`detach_shm`.
+        """
+        from .shm import attach_encoded
+
+        return attach_encoded(handle)
+
+    def detach_shm(self) -> None:
+        """Drop cached views and close this attacher's mappings.
+
+        Safe on ordinary instances (no-op).  After detaching the instance
+        must not be used — its dataset's values vanish with the mapping.
+        """
+        if self.shm is None:
+            return
+        self._col64.clear()
+        self._xy.clear()
+        shm, self.shm = self.shm, None
+        shm.close()
+
+    def memoized_pairs(self) -> list[tuple[int, int]]:
+        """Keys of the currently memoized endpoint-pair encodings (in
+        recency order, coldest first — the exporter's pair plane order)."""
+        return list(self._xy.keys())
 
     # ------------------------------------------------------------------ #
     # introspection

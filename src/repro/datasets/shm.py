@@ -1,0 +1,463 @@
+"""Zero-copy shared-memory dataset plane.
+
+The paper's OpenMP threads share one in-memory dataset for the whole
+parallel region.  The process-based :class:`~repro.parallel.backends.WorkerPool`
+originally re-created that dataset once *per worker* (pickled through the
+pool initializer under ``spawn``; copy-on-write-then-privately-widened
+under ``fork``), costing ``O(n_jobs x dataset)`` memory and a per-worker
+encoding pass before the first CI test.  This module publishes the encoded
+dataset once, into ``multiprocessing.shared_memory`` blocks, so every
+worker maps the *same* physical pages:
+
+* the **columns plane** — one ``(n_variables, n_samples)`` int64 block
+  holding every variable's widened column (the arrays
+  :meth:`~repro.datasets.encoded.EncodedDataset.col64` memoizes);
+* the optional **pair plane** — the endpoint cell codes
+  (:meth:`~repro.datasets.encoded.EncodedDataset.xy_codes`) memoized at
+  export time, packed into a second block so workers start with a warm
+  pair cache.
+
+What crosses the process boundary is a :class:`ShmDatasetHandle` — block
+names, shapes and arities, a few hundred bytes — instead of the arrays.
+Workers attach read-only views (:func:`attach_encoded`); no data is copied
+at attach and per-worker private memory stays flat no matter how large the
+dataset is.
+
+Lifecycle
+---------
+:func:`export_encoded` returns a :class:`ShmExport` that owns the blocks.
+Exactly one process — the creator — may :meth:`ShmExport.close` (which
+unlinks); attachers call :meth:`AttachedBlocks.close` (which never
+unlinks).  The :class:`~repro.parallel.backends.WorkerPool` ties the
+export to its own ``shutdown`` and a ``weakref.finalize`` guarantees the
+unlink even when the pool is garbage-collected after a worker crash, so an
+interrupted learning run cannot leak ``/dev/shm`` segments.  When shared
+memory is unavailable on the platform (:func:`shared_memory_available`),
+callers fall back to the classic pickled-dataset shipping transparently —
+results are bit-identical either way, only the memory/start-up cost moves.
+
+Attached segments are unregistered from the per-process
+``resource_tracker`` (Python < 3.13 registers them on attach, which would
+make the *attaching* process unlink the creator's block at exit —
+bpo-39959); ownership stays with the creator alone.
+"""
+
+from __future__ import annotations
+
+import os
+import weakref
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from .dataset import DiscreteDataset
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .encoded import EncodedDataset
+
+__all__ = [
+    "ShmDatasetHandle",
+    "ShmRawHandle",
+    "ShmExport",
+    "AttachedBlocks",
+    "export_encoded",
+    "attach_encoded",
+    "try_export_encoded",
+    "export_dataset",
+    "attach_dataset",
+    "try_export_dataset",
+    "shared_memory_available",
+]
+
+
+def shared_memory_available() -> bool:
+    """True when POSIX/Windows shared memory actually works here.
+
+    Probes by round-tripping one tiny block — containerised environments
+    sometimes expose the API but mount no usable backing store.
+    """
+    try:
+        block = shared_memory.SharedMemory(create=True, size=16)
+    except (OSError, PermissionError, ValueError):
+        return False
+    try:
+        block.buf[0] = 1
+        ok = block.buf[0] == 1
+    finally:
+        block.close()
+        block.unlink()
+    return bool(ok)
+
+
+#: Safety margin on top of the requested export size when probing free
+#: shared-memory capacity (other writers, tmpfs block rounding).
+_CAPACITY_MARGIN_BYTES = 1 << 20
+
+
+def _check_capacity(nbytes: int) -> None:
+    """Refuse an export that could not actually be written.
+
+    On Linux, ``SharedMemory(create=True, size=N)`` succeeds even when
+    ``/dev/shm`` is smaller than ``N`` — ``ftruncate`` reserves no pages —
+    and the subsequent plane *writes* die with SIGBUS, which no ``except``
+    clause can catch (the classic undersized-container ``/dev/shm``
+    failure).  Probing free space up front turns that crash into an
+    ``OSError`` the transport policy's pickled fallback handles.
+    Best-effort: silently passes where the probe is unavailable.
+    """
+    try:
+        st = os.statvfs("/dev/shm")
+    except (OSError, AttributeError):  # non-Linux or no tmpfs mount
+        return
+    free = st.f_bavail * st.f_frsize
+    if nbytes + _CAPACITY_MARGIN_BYTES > free:
+        raise OSError(
+            f"shared memory export needs {nbytes} bytes but /dev/shm has "
+            f"only {free} free; falling back to pickled shipping"
+        )
+
+
+def _attach_block(name: str) -> shared_memory.SharedMemory:
+    """Attach without registering with this process's resource tracker.
+
+    On Python < 3.13 attaching registers the segment with the tracker,
+    and the tracker unlinks everything it knows at process exit — a
+    short-lived worker would destroy the creator's live block
+    (bpo-39959).  Ownership is the creator's alone, so registration is
+    suppressed for the duration of the attach (worker init is
+    single-threaded, and the patch window is a few syscalls wide).
+    """
+    try:  # pragma: no cover - interpreter internals
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+
+        def _skip_shared_memory(name: str, rtype: str) -> None:
+            if rtype != "shared_memory":
+                original(name, rtype)
+
+        resource_tracker.register = _skip_shared_memory
+    except Exception:
+        original = None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        if original is not None:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.register = original
+
+
+@dataclass(frozen=True)
+class ShmDatasetHandle:
+    """Picklable description of an exported dataset plane.
+
+    This is the *entire* payload a worker receives: block names + shapes +
+    arities/names, a few hundred bytes regardless of ``n_samples``.
+    """
+
+    columns_block: str
+    n_variables: int
+    n_samples: int
+    arities: tuple[int, ...]
+    names: tuple[str, ...]
+    pairs_block: str | None
+    pair_keys: tuple[tuple[int, int], ...]
+    max_xy_entries: int
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of shared payload the handle points at (not carries)."""
+        per_col = 8 * self.n_samples
+        return per_col * (self.n_variables + len(self.pair_keys))
+
+
+@dataclass(frozen=True)
+class ShmRawHandle:
+    """Picklable description of a raw-dtype dataset export.
+
+    For consumers that only need the dataset's values — the sample-level
+    scheme's slice counters — the values block keeps the original
+    (smallest-sufficient) dtype, so the shared copy is never wider than
+    the private copies it replaces.
+    """
+
+    values_block: str
+    dtype: str
+    n_variables: int
+    n_samples: int
+    layout: str
+    arities: tuple[int, ...]
+    names: tuple[str, ...]
+
+    @property
+    def nbytes(self) -> int:
+        return np.dtype(self.dtype).itemsize * self.n_variables * self.n_samples
+
+
+class ShmExport:
+    """Creator-side owner of the exported blocks.
+
+    ``close()`` (idempotent) releases the creator mapping and unlinks the
+    segments; a ``weakref.finalize`` does the same if the owner is dropped
+    without closing, so crashes cannot leak ``/dev/shm``.
+    """
+
+    def __init__(
+        self, handle: ShmDatasetHandle, blocks: list[shared_memory.SharedMemory]
+    ) -> None:
+        self.handle = handle
+        self._blocks = blocks
+        self._finalizer = weakref.finalize(self, _close_blocks, blocks, True)
+
+    @property
+    def closed(self) -> bool:
+        return not self._finalizer.alive
+
+    def close(self) -> None:
+        """Release the creator mapping and unlink the segments."""
+        self._finalizer()
+
+    def __enter__(self) -> "ShmExport":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "closed" if self.closed else f"{self.handle.nbytes} shared bytes"
+        return f"ShmExport({self.handle.columns_block!r}, {state})"
+
+
+class AttachedBlocks:
+    """Attacher-side holder keeping the mapped blocks alive.
+
+    Arrays served by an attached :class:`EncodedDataset` are views into
+    these mappings, and ``SharedMemory.__del__`` *unmaps* them — numpy
+    holds only an object reference to the mmap, not a buffer export, so
+    garbage-collecting the blocks would pull physical pages out from
+    under live arrays.  The holder is therefore pinned both on the
+    encoding layer (``encoded.shm``) and on the attached dataset itself,
+    and must not be closed while any view is in use.  ``close()`` never
+    unlinks — that is the creator's job.
+    """
+
+    def __init__(self, blocks: list[shared_memory.SharedMemory]) -> None:
+        self._blocks = blocks
+
+    def close(self) -> None:
+        for block in self._blocks:
+            try:
+                block.close()
+            except BufferError:  # a live view still pins the mapping
+                pass
+        self._blocks = []
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AttachedBlocks(n={len(self._blocks)})"
+
+
+def _close_blocks(blocks: list[shared_memory.SharedMemory], unlink: bool) -> None:
+    for block in blocks:
+        try:
+            block.close()
+        except BufferError:  # pragma: no cover - creator views are transient
+            pass
+        if unlink:
+            try:
+                block.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+
+def export_encoded(encoded: "EncodedDataset") -> ShmExport:
+    """Publish ``encoded``'s int64 plane into shared memory.
+
+    Every column is widened (through the layer's own memoization, so an
+    already-warm layer exports without re-deriving anything) and copied
+    into the columns plane; currently-memoized endpoint-pair codes ride
+    along in the pair plane.  Raises ``OSError`` when the platform cannot
+    provide shared memory — callers treat that as "use the pickled path".
+    """
+    ds = encoded.dataset
+    n, m = ds.n_variables, ds.n_samples
+    n_pairs = len(encoded.memoized_pairs())
+    _check_capacity(8 * m * (n + n_pairs))
+    blocks: list[shared_memory.SharedMemory] = []
+    try:
+        col_block = shared_memory.SharedMemory(create=True, size=max(8 * n * m, 8))
+        blocks.append(col_block)
+        plane = np.ndarray((n, m), dtype=np.int64, buffer=col_block.buf)
+        for i in range(n):
+            plane[i] = encoded.col64(i)
+
+        pair_keys = tuple(encoded.memoized_pairs())
+        pairs_block_name = None
+        if pair_keys:
+            pair_block = shared_memory.SharedMemory(
+                create=True, size=max(8 * len(pair_keys) * m, 8)
+            )
+            blocks.append(pair_block)
+            pair_plane = np.ndarray((len(pair_keys), m), dtype=np.int64, buffer=pair_block.buf)
+            for k, (x, y) in enumerate(pair_keys):
+                pair_plane[k] = encoded.xy_codes(x, y)
+            pairs_block_name = pair_block.name
+    except BaseException:
+        _close_blocks(blocks, unlink=True)
+        raise
+
+    handle = ShmDatasetHandle(
+        columns_block=col_block.name,
+        n_variables=n,
+        n_samples=m,
+        arities=tuple(int(a) for a in ds.arities),
+        names=ds.names,
+        pairs_block=pairs_block_name,
+        pair_keys=pair_keys,
+        max_xy_entries=encoded.max_xy_entries,
+    )
+    return ShmExport(handle, blocks)
+
+
+def _apply_transport_policy(export_fn, use_shm: bool | None):
+    """The one shm-vs-pickled transport policy, shared by every pool.
+
+    ``None`` (auto) attempts the export and returns ``None`` on platform
+    failures (the caller then ships the dataset pickled); ``True``
+    requires it (errors surface); ``False`` never exports.  Keeping the
+    policy here stops the worker pools from growing divergent fallback
+    rules.
+    """
+    if use_shm is False:
+        return None
+    if use_shm:
+        return export_fn()
+    try:
+        return export_fn()
+    except (OSError, PermissionError, ValueError):
+        return None
+
+
+def try_export_encoded(encoded: "EncodedDataset", use_shm: bool | None = None):
+    """Transport policy (see :func:`_apply_transport_policy`) over the
+    full encoding-layer export."""
+    return _apply_transport_policy(encoded.export_shm, use_shm)
+
+
+def try_export_dataset(dataset: DiscreteDataset, use_shm: bool | None = None):
+    """Transport policy over the raw-dtype values export."""
+    return _apply_transport_policy(lambda: export_dataset(dataset), use_shm)
+
+
+def attach_encoded(handle: ShmDatasetHandle) -> "EncodedDataset":
+    """Map an exported plane and wrap it as a ready-to-serve layer.
+
+    Zero-copy: the returned :class:`EncodedDataset` (and its
+    ``DiscreteDataset``, whose values *are* the shared plane) serve
+    read-only views into the mapped blocks.  The holder keeping the
+    mappings alive is reachable as ``encoded.shm`` — drop every view
+    before closing it.
+    """
+    from .encoded import EncodedDataset
+
+    blocks: list[shared_memory.SharedMemory] = []
+    try:
+        col_block = _attach_block(handle.columns_block)
+        blocks.append(col_block)
+        plane = np.ndarray(
+            (handle.n_variables, handle.n_samples), dtype=np.int64, buffer=col_block.buf
+        )
+        plane.setflags(write=False)
+        # Trusted path: the handle can only come from export_encoded over
+        # an already-validated dataset, and __post_init__'s bounds scan
+        # would re-read the whole plane in every attaching worker.
+        dataset = DiscreteDataset._from_validated(
+            plane,
+            np.asarray(handle.arities, dtype=np.int64),
+            "variable-major",
+            handle.names,
+        )
+        encoded = EncodedDataset(dataset, max_xy_entries=handle.max_xy_entries)
+        for i in range(handle.n_variables):
+            encoded._col64[i] = plane[i]
+        if handle.pairs_block is not None:
+            pair_block = _attach_block(handle.pairs_block)
+            blocks.append(pair_block)
+            pair_plane = np.ndarray(
+                (len(handle.pair_keys), handle.n_samples),
+                dtype=np.int64,
+                buffer=pair_block.buf,
+            )
+            pair_plane.setflags(write=False)
+            for k, key in enumerate(handle.pair_keys):
+                if len(encoded._xy) < handle.max_xy_entries:
+                    encoded._xy[tuple(key)] = pair_plane[k]
+    except BaseException:
+        _close_blocks(blocks, unlink=False)
+        raise
+    holder = AttachedBlocks(blocks)
+    encoded.shm = holder
+    # Pin the holder on the (frozen) dataset too: anything keeping the
+    # dataset alive — a tester, a module-global in a worker — then keeps
+    # the mapping alive, even if the encoding layer itself is dropped.
+    object.__setattr__(dataset, "_shm_holder", holder)
+    return encoded
+
+
+def export_dataset(dataset: DiscreteDataset) -> ShmExport:
+    """Publish a dataset's raw values (original dtype) into shared memory.
+
+    The lean sibling of :func:`export_encoded` for consumers that never
+    touch the encoding layer (the sample-level scheme): no int64 widening,
+    so the shared copy is exactly as large as one private copy.  Same
+    ownership contract (:class:`ShmExport`, creator-only unlink).
+    """
+    values = np.ascontiguousarray(dataset.values)
+    _check_capacity(values.nbytes)
+    block = shared_memory.SharedMemory(create=True, size=max(values.nbytes, 8))
+    try:
+        np.ndarray(values.shape, dtype=values.dtype, buffer=block.buf)[...] = values
+    except BaseException:
+        _close_blocks([block], unlink=True)
+        raise
+    handle = ShmRawHandle(
+        values_block=block.name,
+        dtype=values.dtype.str,
+        n_variables=dataset.n_variables,
+        n_samples=dataset.n_samples,
+        layout=dataset.layout,
+        arities=tuple(int(a) for a in dataset.arities),
+        names=dataset.names,
+    )
+    return ShmExport(handle, [block])
+
+
+def attach_dataset(handle: ShmRawHandle) -> DiscreteDataset:
+    """Map a raw export as a read-only :class:`DiscreteDataset`.
+
+    The attached blocks holder is pinned on the dataset (as in
+    :func:`attach_encoded`); keeping the dataset alive keeps the mapping
+    alive.
+    """
+    block = _attach_block(handle.values_block)
+    try:
+        shape = (
+            (handle.n_variables, handle.n_samples)
+            if handle.layout == "variable-major"
+            else (handle.n_samples, handle.n_variables)
+        )
+        values = np.ndarray(shape, dtype=np.dtype(handle.dtype), buffer=block.buf)
+        values.setflags(write=False)
+        dataset = DiscreteDataset._from_validated(
+            values,
+            np.asarray(handle.arities, dtype=np.int64),
+            handle.layout,
+            handle.names,
+        )
+    except BaseException:
+        _close_blocks([block], unlink=False)
+        raise
+    object.__setattr__(dataset, "_shm_holder", AttachedBlocks([block]))
+    return dataset

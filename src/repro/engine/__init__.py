@@ -12,6 +12,18 @@ This subsystem makes runs first-class, reusable objects:
 * :class:`BatchServer` — request-level layer that fingerprints, dedupes
   and serves streams of requests (the ``fastbns batch`` CLI);
 * :class:`RunManifest` — auditable per-run artifact.
+
+Resource lifecycle: a session is a context manager, and *everything* it
+owns rides its ``close()`` — the worker pool shuts down, and with it the
+shared-memory dataset plane the pool exported for its workers
+(:mod:`repro.datasets.shm`; the blocks are unlinked exactly once, with a
+finalizer backstop for crashed runs).  Sessions on platforms without
+usable shared memory, or constructed with ``use_shm=False``, ship the
+dataset to workers by pickling instead; results are bit-identical either
+way, so the fallback is purely a memory/start-up trade.  ``gs="auto"`` on
+:meth:`LearningSession.learn <.session.LearningSession.learn>` (and in
+batch requests) engages the adaptive group scheduler
+(:mod:`repro.parallel.adaptive`) on the parallel path.
 """
 
 from .batch import BatchRequest, BatchServer

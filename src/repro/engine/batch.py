@@ -77,7 +77,11 @@ class BatchRequest:
         if op == "learn":
             for key, default in _LEARN_DEFAULTS.items():
                 params[key] = d.pop(key, default)
-            params["gs"] = int(params["gs"])
+            # "auto" engages the adaptive group scheduler; note the spelling
+            # participates in the fingerprint as-is — an auto request and a
+            # fixed-gs request are distinct cache keys even though their
+            # results are bit-identical (the conservative choice).
+            params["gs"] = "auto" if params["gs"] == "auto" else int(params["gs"])
             md = params["max_depth"]
             params["max_depth"] = None if md is None else int(md)
             params["apply_r4"] = bool(params["apply_r4"])

@@ -12,6 +12,12 @@ into a long-lived service object.  It owns, for exactly one dataset:
 * a long-lived :class:`~repro.parallel.backends.WorkerPool` (when
   ``n_jobs > 1``) whose per-process caches likewise persist across calls —
   the seed code paid a fresh pool spawn per ``learn_structure`` call.
+  Workers receive the session's encoding layer through the zero-copy
+  shared-memory plane (:mod:`repro.datasets.shm`) when the platform
+  provides it, so session memory stays ``O(dataset)`` rather than
+  ``O(n_jobs x dataset)``; the exported blocks live exactly as long as
+  the pool — ``close()`` (and therefore ``with``-statement exit) unlinks
+  them, with a finalizer backstop for crashed runs.
 
 Successive calls are exact: cached tables are byte-identical to freshly
 built ones (shared construction code), p-values are alpha-free so relearns
@@ -63,6 +69,12 @@ class LearningSession:
         each worker process additionally keeps its own cache with the same
         budget (worker memory is per-process by design — no shared-table
         synchronisation, mirroring the paper's no-atomics property).
+    use_shm:
+        Dataset transport for process workers: ``None`` (default) attaches
+        them to the session's encoding layer through the zero-copy
+        shared-memory plane when available, falling back to pickling;
+        ``True`` requires the plane, ``False`` forces the pickled path.
+        Bit-identical results either way.
     """
 
     def __init__(
@@ -76,6 +88,7 @@ class LearningSession:
         n_jobs: int = 1,
         backend: str = "process",
         cache_bytes: int = DEFAULT_BUDGET_BYTES,
+        use_shm: bool | None = None,
     ) -> None:
         if n_jobs < 1:
             raise ValueError("n_jobs must be >= 1")
@@ -92,6 +105,7 @@ class LearningSession:
         self.dof_adjust = dof_adjust
         self.n_jobs = int(n_jobs)
         self.backend = backend
+        self.use_shm = use_shm
         self.cache_bytes = int(cache_bytes)
         self.cache = SufficientStatsCache(max_bytes=cache_bytes)
         # One encoding layer shared by every tester the session hands out
@@ -193,8 +207,14 @@ class LearningSession:
                 dof_adjust=self.dof_adjust,
                 cache_bytes=self.cache_bytes,
                 encoded=self.encoded,
+                use_shm=self.use_shm,
             )
         return self._pool
+
+    @property
+    def uses_shm(self) -> bool:
+        """True while a live worker pool serves from the shared plane."""
+        return self._pool is not None and self._pool.uses_shm
 
     # ------------------------------------------------------------------ #
     # queries
@@ -204,7 +224,7 @@ class LearningSession:
         *,
         alpha: float | None = None,
         test: str | None = None,
-        gs: int = 1,
+        gs: int | str = 1,
         max_depth: int | None = None,
         apply_r4: bool = False,
         v_structures: str = "standard",
@@ -214,7 +234,9 @@ class LearningSession:
         A ``test`` override forces the sequential path even when the
         session holds a pool (workers are initialised for the session's
         test); ``alpha`` overrides ride the pool exactly, since p-values
-        are alpha-free.
+        are alpha-free.  ``gs="auto"`` sizes CI-test groups adaptively on
+        the parallel path (fixed fallback sequentially) — bit-identical
+        results either way.
         """
         self._check_open()
         alpha = float(alpha if alpha is not None else self.alpha)
@@ -240,10 +262,12 @@ class LearningSession:
                 alpha_override=None if alpha == pool.alpha else alpha,
             )
         else:
+            from ..parallel.adaptive import resolve_fixed_gs
+
             skeleton, sepsets, stats = learn_skeleton(
                 self.tester(test, alpha),
                 n_nodes,
-                gs=gs,
+                gs=resolve_fixed_gs(gs),
                 group_endpoints=True,
                 onthefly=True,
                 max_depth=max_depth,

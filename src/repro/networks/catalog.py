@@ -4,7 +4,8 @@ The paper draws its datasets from eight published networks.  Their ``.bif``
 files are not redistributable inside this offline reproduction, so the
 catalog provides seeded synthetic stand-ins matched on the characteristics
 that determine PC-stable cost: node count, edge count, typical arity and a
-hub-skewed degree distribution (see DESIGN.md, substitution table).
+hub-skewed degree distribution (see the substitution table in
+EXPERIMENTS.md at the repository root).
 
 Every entry is deterministic: the same name always yields the same network
 and therefore the same sampled datasets.

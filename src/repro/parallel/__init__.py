@@ -4,6 +4,14 @@ All three granularities of Fig. 1 are implemented and produce output
 identical to the sequential engine; they differ only in scheduling, which is
 the property under study.  See the individual modules for the faithfulness
 notes of each scheme.
+
+Beyond the paper, this package adds the two serving-scale mechanisms of
+the zero-copy PR: process workers attach the dataset through the
+shared-memory plane (:mod:`repro.datasets.shm`, automatic with pickle
+fallback), and the CI-level scheme accepts ``gs="auto"`` — an
+:class:`~repro.parallel.adaptive.AdaptiveGroupScheduler` that re-sizes
+CI-test groups per work item from live perf counters, feeding the batched
+group kernel.  Neither changes any result bit.
 """
 
 from __future__ import annotations
@@ -14,6 +22,7 @@ from ..core.sepsets import SepSetStore
 from ..core.trace import TraceRecorder
 from ..datasets.dataset import DiscreteDataset
 from ..graphs.undirected import UndirectedGraph
+from .adaptive import AdaptiveGroupScheduler, resolve_gs
 from .backends import WorkerPool
 from .ci_level import ci_level_skeleton
 from .edge_level import edge_level_skeleton
@@ -21,6 +30,8 @@ from .sample_level import sample_level_skeleton
 
 __all__ = [
     "WorkerPool",
+    "AdaptiveGroupScheduler",
+    "resolve_gs",
     "ci_level_skeleton",
     "edge_level_skeleton",
     "sample_level_skeleton",
@@ -34,7 +45,7 @@ def run_parallel_skeleton(
     parallelism: str = "ci",
     n_jobs: int = 2,
     backend: str = "process",
-    gs: int = 1,
+    gs: int | str | AdaptiveGroupScheduler = 1,
     group_endpoints: bool = True,
     max_depth: int | None = None,
     alpha: float = 0.05,
@@ -43,6 +54,7 @@ def run_parallel_skeleton(
     recorder: TraceRecorder | None = None,
     batch_factor: int = 4,
     memoize_encodings: bool = True,
+    use_shm: bool | None = None,
 ) -> tuple[UndirectedGraph, SepSetStore, SkeletonStats]:
     """Dispatch the skeleton phase to the requested parallel granularity.
 
@@ -51,6 +63,8 @@ def run_parallel_skeleton(
     sequential run would use.  ``memoize_encodings=False`` makes every
     worker re-derive encodings per test — the baseline regime (mirrors the
     sequential baselines in :func:`repro.core.learn.learn_structure`).
+    ``gs`` accepts a fixed size, ``"auto"`` or a scheduler (CI-level only);
+    ``use_shm`` is forwarded to the :class:`WorkerPool` dataset transport.
     """
     del tester  # workers rebuild their own testers; kept for API symmetry
     if parallelism not in ("ci", "edge", "sample"):
@@ -66,6 +80,7 @@ def run_parallel_skeleton(
             group_endpoints=group_endpoints,
             max_depth=max_depth,
             recorder=recorder,
+            use_shm=use_shm,
         )
     with WorkerPool(
         dataset,
@@ -75,6 +90,7 @@ def run_parallel_skeleton(
         alpha=alpha,
         dof_adjust=dof_adjust,
         memoize_encodings=memoize_encodings,
+        use_shm=use_shm,
     ) as workers:
         if parallelism == "ci":
             return ci_level_skeleton(

@@ -3,9 +3,23 @@
 Process workers are created once per learning run (the paper's OpenMP
 threads live for the whole parallel region; re-spawning per depth would be
 the "parallel overhead" failure mode).  Each worker builds its own CI tester
-from the dataset shipped at initialisation, so no test-time traffic carries
-data — only compact ``(edge, conditioning sets)`` descriptions and boolean
-verdicts cross the process boundary.
+at initialisation, so no test-time traffic carries data — only compact
+``(edge, conditioning sets)`` descriptions and boolean verdicts cross the
+process boundary.
+
+Workers receive their dataset through the **zero-copy shared-memory
+plane** (:mod:`repro.datasets.shm`) whenever possible: the pool exports
+the encoding layer's int64 columns (and memoized pair codes) into
+``multiprocessing.shared_memory`` blocks and ships only block names +
+shapes; every worker attaches read-only views of the same physical pages,
+so per-worker private memory stays flat in the dataset size and pool
+start-up skips the per-worker pickling/widening pass.  When shared memory
+is unavailable (or ``use_shm=False``, or the baseline non-memoizing
+regime), the pool falls back to the classic pickled-dataset shipping —
+bit-identical results, only the memory/start-up cost differs.  The blocks
+are unlinked at :meth:`WorkerPool.shutdown` (which
+``LearningSession.__exit__`` triggers) with a finalizer backstop, so
+crashes cannot leak ``/dev/shm`` segments.
 
 When ``cache_bytes`` is set, every worker additionally keeps a per-process
 :class:`~repro.engine.statscache.SufficientStatsCache`.  A pool owned by a
@@ -17,13 +31,15 @@ relearn at a different alpha reuses the same pool: ``eval_groups`` accepts
 an ``alpha`` override and workers re-threshold the cached p-values.
 
 The ``thread`` backend exists for comparison and for the sample-level
-scheme (where shared memory matters most); CPython's GIL limits its
-speedup, which is documented honestly in EXPERIMENTS.md.
+scheme (threads already share one address space, so the shm plane is
+moot there); CPython's GIL limits its speedup, which is documented
+honestly in EXPERIMENTS.md at the repository root.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from functools import partial
 from typing import Sequence
@@ -50,17 +66,22 @@ def _init_worker(
     cache_bytes: int | None = None,
     encoded=None,
     memoize_encodings: bool = True,
+    shm_handle=None,
 ) -> None:
     global _WORKER_TESTER
     from ..core.learn import make_tester
     from ..datasets.encoded import EncodedDataset
 
-    # The encoding layer ships once per worker at pool start (possibly
-    # pre-warmed by the master); every job this worker runs then shares
-    # the same widened columns and endpoint-pair codes.  Baseline pools
-    # pass memoize_encodings=False so workers re-derive encodings per
-    # test, like their sequential counterparts.
-    if encoded is not None:
+    # The encoding layer arrives once per worker at pool start.  Preferred
+    # transport is the shared-memory plane: ``shm_handle`` names the
+    # exported blocks and the attach is zero-copy (module docstring).
+    # Otherwise the layer (or the bare dataset) was pickled in; baseline
+    # pools pass memoize_encodings=False so workers re-derive encodings
+    # per test, like their sequential counterparts.
+    if shm_handle is not None:
+        encoded = EncodedDataset.attach_shm(shm_handle)
+        dataset = encoded.dataset
+    elif encoded is not None:
         dataset = encoded.dataset
     else:
         encoded = EncodedDataset(dataset, memoize=memoize_encodings)
@@ -103,6 +124,45 @@ def _worker_cache_stats() -> dict | None:
     return out
 
 
+def _read_private_kb() -> int | None:
+    """This process's private (unshared) resident memory in KiB.
+
+    ``Private_Clean + Private_Dirty`` from ``smaps_rollup`` — the honest
+    per-worker footprint metric: pages of an attached shared-memory plane
+    count toward plain RSS in *every* attacher but are private to none.
+    Returns ``None`` where the proc interface is unavailable.
+    """
+    try:
+        with open("/proc/self/smaps_rollup", "r", encoding="ascii") as fh:
+            total = 0
+            for line in fh:
+                if line.startswith(("Private_Clean:", "Private_Dirty:")):
+                    total += int(line.split()[1])
+        return total
+    except (OSError, ValueError, IndexError):
+        return None
+
+
+def _worker_warm() -> dict:
+    """Touch every widened column and report this worker's footprint.
+
+    Forces the encoding layer fully resident (a shm attacher faults in the
+    shared plane; a pickled-path worker materialises its private widened
+    copies), so post-warm footprints compare like for like.
+    """
+    assert _WORKER_TESTER is not None, "worker not initialised"
+    encoded = _WORKER_TESTER.encoded
+    checksum = 0
+    for i in range(encoded.dataset.n_variables):
+        checksum += int(encoded.col64(i).sum())
+    return {
+        "worker_pid": os.getpid(),
+        "private_kb": _read_private_kb(),
+        "encoded_nbytes": encoded.stats()["nbytes"],
+        "checksum": checksum,
+    }
+
+
 def _eval_edge(job: EdgeJob) -> tuple[int, tuple[int, ...] | None]:
     """Edge-level work unit: process one edge task to completion."""
     assert _WORKER_TESTER is not None, "worker not initialised"
@@ -131,10 +191,19 @@ class WorkerPool:
 
     ``cache_bytes`` gives each worker a byte-budgeted sufficient-statistics
     cache (see module docstring); ``None`` keeps the seed behaviour.
-    ``encoded`` optionally ships a (possibly pre-warmed)
-    :class:`~repro.datasets.encoded.EncodedDataset` to every worker at pool
-    start, so all jobs of a worker share one encoding layer; without it,
-    each worker builds a fresh layer over the shipped dataset.
+    ``encoded`` optionally provides a (possibly pre-warmed)
+    :class:`~repro.datasets.encoded.EncodedDataset` whose plane is exported
+    (or, on fallback, pickled) to every worker at pool start, so all jobs
+    of a worker share one encoding layer; without it, the pool builds a
+    fresh layer over the dataset.
+
+    ``use_shm`` controls the zero-copy plane: ``None`` (default) uses it
+    whenever the backend is ``process``, encodings are memoized and the
+    platform provides working shared memory; ``True`` requires it (errors
+    surface instead of falling back); ``False`` forces the pickled path.
+    ``start_method`` picks the multiprocessing context (``"fork"`` where
+    available, else ``"spawn"``, by default) — the shm plane makes the two
+    equivalent in what workers receive.
     """
 
     def __init__(
@@ -148,6 +217,8 @@ class WorkerPool:
         cache_bytes: int | None = None,
         encoded=None,
         memoize_encodings: bool = True,
+        use_shm: bool | None = None,
+        start_method: str | None = None,
     ) -> None:
         if n_jobs < 1:
             raise ValueError("n_jobs must be >= 1")
@@ -155,23 +226,49 @@ class WorkerPool:
             raise ValueError("backend must be 'process' or 'thread'")
         if encoded is not None and encoded.dataset is not dataset:
             raise ValueError("encoded layer must wrap the pool's dataset")
+        if use_shm and backend == "thread":
+            raise ValueError("thread workers already share memory; use_shm applies to processes")
+        if use_shm and not memoize_encodings:
+            raise ValueError(
+                "the shm plane ships a fully memoized encoding layer; it cannot "
+                "serve the non-memoizing baseline regime"
+            )
         self.n_jobs = n_jobs
         self.backend = backend
         self.alpha = float(alpha)
         self.cache_bytes = cache_bytes
+        self.arities = tuple(int(dataset.arity(i)) for i in range(dataset.n_variables))
+        self._shm_export = None
         self._executor: Executor
         if backend == "process":
-            try:
-                ctx = multiprocessing.get_context("fork")
-            except ValueError:  # pragma: no cover - non-POSIX platforms
-                ctx = multiprocessing.get_context("spawn")
-            # Ship the dataset exactly once: inside the encoding layer when
-            # one is given, bare otherwise.
-            initargs = (
-                (None, test, alpha, dof_adjust, cache_bytes, encoded, True)
-                if encoded is not None
-                else (dataset, test, alpha, dof_adjust, cache_bytes, None, memoize_encodings)
-            )
+            if start_method is not None:
+                ctx = multiprocessing.get_context(start_method)
+            else:
+                try:
+                    ctx = multiprocessing.get_context("fork")
+                except ValueError:  # pragma: no cover - non-POSIX platforms
+                    ctx = multiprocessing.get_context("spawn")
+            # Dataset transport, in order of preference: shared-memory
+            # plane (block names only), pickled encoding layer, pickled
+            # bare dataset.  Each ships the data exactly once per worker.
+            if memoize_encodings and use_shm is not False:
+                from ..datasets.encoded import EncodedDataset
+                from ..datasets.shm import try_export_encoded
+
+                export_source = encoded if encoded is not None else EncodedDataset(dataset)
+                self._shm_export = try_export_encoded(export_source, use_shm)
+            if self._shm_export is not None:
+                initargs = (
+                    None, test, alpha, dof_adjust, cache_bytes, None, True,
+                    self._shm_export.handle,
+                )
+            elif encoded is not None:
+                initargs = (None, test, alpha, dof_adjust, cache_bytes, encoded, True, None)
+            else:
+                initargs = (
+                    dataset, test, alpha, dof_adjust, cache_bytes, None,
+                    memoize_encodings, None,
+                )
             self._executor = ProcessPoolExecutor(
                 max_workers=n_jobs,
                 mp_context=ctx,
@@ -284,8 +381,38 @@ class WorkerPool:
                 by_pid[stats["worker_pid"]] = stats
         return list(by_pid.values())
 
+    @property
+    def uses_shm(self) -> bool:
+        """True when workers attach the shared-memory plane (vs. pickled)."""
+        return self._shm_export is not None
+
+    def warm_up(self) -> list[dict]:
+        """Force worker start-up and report per-worker memory footprints.
+
+        Every responding worker touches its full encoding layer and
+        reports ``{worker_pid, private_kb, encoded_nbytes, checksum}``
+        (``private_kb`` is ``None`` off Linux).  Deduplicated by PID like
+        :meth:`cache_stats`; process backend only (thread workers share
+        this process's footprint).
+        """
+        if self.backend != "process":
+            return []
+        by_pid: dict[int, dict] = {}
+        for stats in self._executor.map(
+            _run_probe, [_worker_warm] * (4 * self.n_jobs), chunksize=1
+        ):
+            by_pid[stats["worker_pid"]] = stats
+        return list(by_pid.values())
+
     def shutdown(self) -> None:
         self._executor.shutdown(wait=True)
+        # Workers are gone: the creator unlinks the shared plane.  Safe
+        # after a worker crash too (BrokenProcessPool leaves shutdown
+        # callable, and ShmExport.close is idempotent with a finalizer
+        # backstop for pools dropped without shutdown).
+        if self._shm_export is not None:
+            self._shm_export.close()
+            self._shm_export = None
 
     def __enter__(self) -> "WorkerPool":
         return self

@@ -19,6 +19,7 @@ from ..core.skeleton import build_depth_tasks, depth_has_work
 from ..core.trace import TestRecord, TraceRecorder
 from ..core.workpool import WorkPool
 from ..graphs.undirected import UndirectedGraph
+from .adaptive import AdaptiveGroupScheduler, resolve_gs
 from .backends import WorkerPool
 
 __all__ = ["ci_level_skeleton"]
@@ -27,7 +28,7 @@ __all__ = ["ci_level_skeleton"]
 def ci_level_skeleton(
     workers: WorkerPool,
     n_nodes: int,
-    gs: int = 1,
+    gs: int | str | AdaptiveGroupScheduler = 1,
     group_endpoints: bool = True,
     max_depth: int | None = None,
     batch_factor: int = 4,
@@ -38,17 +39,21 @@ def ci_level_skeleton(
     """Run the skeleton phase with CI-level parallelism.
 
     Produces output identical to the sequential engine with the same
-    ``gs``/``group_endpoints`` (removal decisions are deferred to depth end
-    and the accepting-set tie-break is work-item order, both scheduling
-    independent).
+    ``group_endpoints`` for *any* ``gs`` (removal decisions are deferred
+    to depth end and the accepting-set tie-break is work-item order, both
+    scheduling independent) — which is what licenses ``gs="auto"``: an
+    :class:`~repro.parallel.adaptive.AdaptiveGroupScheduler` (passed
+    directly, or built by ``"auto"``) re-sizes each work item's next group
+    from live waste/latency counters and pool pressure without touching
+    the result.  Scheduled sizes land in each depth's ``gs_histogram``.
 
     ``alpha_override`` re-thresholds verdicts at a different significance
     level than the workers were initialised with — the
     :class:`~repro.engine.session.LearningSession` relearn path, which
     reuses a long-lived pool (and its workers' stats caches) across alphas.
     """
-    if gs < 1:
-        raise ValueError("gs must be >= 1")
+    gs = resolve_gs(gs, arities=getattr(workers, "arities", None))
+    scheduler = gs if isinstance(gs, AdaptiveGroupScheduler) else None
     t_start = time.perf_counter()
     graph = UndirectedGraph.complete(n_nodes)
     sepsets = SepSetStore()
@@ -81,15 +86,25 @@ def ci_level_skeleton(
             batch = pool.pop_many(round_size)
             jobs = []
             job_meta = []
+            n_pending = len(pool) + len(batch)
             for task in batch:
-                sets = task.next_group(gs)
+                g = (
+                    gs
+                    if scheduler is None
+                    else scheduler.gs_for(task, n_pending=n_pending, n_workers=workers.n_jobs)
+                )
+                sets = task.next_group(g)
                 jobs.append((task.u, task.v, tuple(sets)))
                 job_meta.append((task, sets))
+            t_round = time.perf_counter()
             verdict_lists = workers.eval_groups(jobs, alpha=alpha_override)
+            round_s = time.perf_counter() - t_round
+            round_tests = sum(len(sets) for _, sets in job_meta)
             for (task, sets), verdicts in zip(job_meta, verdict_lists):
                 task.advance(len(sets))
                 d_stats.n_tests += len(sets)
                 d_stats.n_groups += 1
+                d_stats.gs_histogram[len(sets)] = d_stats.gs_histogram.get(len(sets), 0) + 1
                 if recorder is not None:
                     recorder.record_group(
                         task.u,
@@ -101,6 +116,15 @@ def ci_level_skeleton(
                         ],
                     )
                 first_idx = next((i for i, ind in enumerate(verdicts) if ind), -1)
+                if scheduler is not None:
+                    # Worker-seconds share of the group — the live latency
+                    # counter behind the scheduler's growth damping.
+                    scheduler.observe(
+                        task,
+                        len(sets),
+                        first_idx,
+                        round_s * len(sets) / max(round_tests, 1),
+                    )
                 if first_idx >= 0:
                     d_stats.n_redundant_tests += len(sets) - 1 - first_idx
                     found.setdefault((task.u, task.v), []).append(
@@ -123,6 +147,7 @@ def ci_level_skeleton(
         stats.n_groups += d_stats.n_groups
         stats.pool_pushes += pool.n_pushes
         stats.pool_pops += pool.n_pops
+        stats.pool_peak = max(stats.pool_peak, pool.peak_size)
         if recorder is not None:
             recorder.end_depth(d_stats.n_edges_removed)
         depth += 1

@@ -11,6 +11,12 @@ other workers idle — no work stealing, no pool.
 Output is identical to the sequential engine (Fast-BNS semantics per edge:
 endpoint grouping honoured inside each work item; removal deferred to depth
 end).
+
+Workers come from the shared :class:`~repro.parallel.backends.WorkerPool`,
+so edge-level runs ride the zero-copy shared-memory dataset plane (or its
+pickled fallback) exactly like CI-level runs; the group-size machinery
+(fixed or adaptive) does not apply here — each worker drives its edge test
+by test, which is precisely the coarse-grained behaviour under study.
 """
 
 from __future__ import annotations

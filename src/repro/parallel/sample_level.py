@@ -10,9 +10,13 @@ Fast-BNS order, so results are identical — only the per-test fork/join
 overhead and merge cost differ, which is exactly the scheme's weakness:
 thousands of tiny parallel regions.
 
-Thread workers share the dataset arrays; process workers inherit them via
-fork at pool creation (no per-test data shipping — only the partial tables
-return).
+Thread workers share the dataset arrays; process workers attach the
+zero-copy shared-memory plane (:mod:`repro.datasets.shm`) when the
+dataset is variable-major and the platform provides it, and otherwise
+receive the dataset once at pool creation (no per-test data shipping —
+only the partial tables return).  Sample-major runs keep the pickled path
+on purpose: an attached plane is always variable-major, which would erase
+the storage-layout contrast those baselines exist to measure.
 """
 
 from __future__ import annotations
@@ -39,8 +43,12 @@ __all__ = ["sample_level_skeleton", "parallel_contingency"]
 _SAMPLE_DATASET: DiscreteDataset | None = None
 
 
-def _init_sample_worker(dataset: DiscreteDataset) -> None:
+def _init_sample_worker(dataset: DiscreteDataset | None, shm_handle=None) -> None:
     global _SAMPLE_DATASET
+    if shm_handle is not None:
+        from ..datasets.shm import attach_dataset
+
+        dataset = attach_dataset(shm_handle)
     _SAMPLE_DATASET = dataset
 
 
@@ -112,17 +120,32 @@ def sample_level_skeleton(
     group_endpoints: bool = True,
     max_depth: int | None = None,
     recorder: TraceRecorder | None = None,
+    use_shm: bool | None = None,
 ) -> tuple[UndirectedGraph, SepSetStore, SkeletonStats]:
-    """Run the skeleton phase with sample-level parallelism (G^2 test)."""
+    """Run the skeleton phase with sample-level parallelism (G^2 test).
+
+    ``use_shm`` follows the :class:`~repro.parallel.backends.WorkerPool`
+    contract: ``None`` auto-detects (process backend, variable-major
+    layout, working shared memory), ``True`` requires the plane, ``False``
+    forces the pickled path.
+    """
     if recorder is not None:
         raise ValueError("trace recording is not supported by the sample-level backend")
     if n_nodes != dataset.n_variables:
         raise ValueError("n_nodes must equal the dataset's variable count")
+    if use_shm and backend != "process":
+        raise ValueError("thread workers already share memory; use_shm applies to processes")
+    if use_shm and dataset.layout != "variable-major":
+        raise ValueError(
+            "the shm plane is variable-major; it cannot serve a sample-major "
+            "baseline without erasing the storage-layout contrast"
+        )
     from ..citests.gsquare import GSquareTest
 
     fallback = GSquareTest(dataset, alpha=alpha, dof_adjust=dof_adjust)
     t_start = time.perf_counter()
 
+    shm_export = None
     if backend == "process":
         import multiprocessing
 
@@ -130,11 +153,22 @@ def sample_level_skeleton(
             ctx = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover
             ctx = multiprocessing.get_context("spawn")
+        initargs: tuple = (dataset, None)
+        if dataset.layout == "variable-major":
+            # Raw-dtype zero-copy block for the Fast-BNS layout (workers
+            # here only read values — no encoding layer, so no int64
+            # widening); sample-major runs keep the pickled path (module
+            # docstring).
+            from ..datasets.shm import try_export_dataset
+
+            shm_export = try_export_dataset(dataset, use_shm)
+            if shm_export is not None:
+                initargs = (None, shm_export.handle)
         executor: Executor = ProcessPoolExecutor(
             max_workers=n_jobs,
             mp_context=ctx,
             initializer=_init_sample_worker,
-            initargs=(dataset,),
+            initargs=initargs,
         )
         use_process = True
     elif backend == "thread":
@@ -206,6 +240,8 @@ def sample_level_skeleton(
             depth += 1
     finally:
         executor.shutdown(wait=True)
+        if shm_export is not None:
+            shm_export.close()
 
     stats.elapsed_s = time.perf_counter() - t_start
     return graph, sepsets, stats

@@ -5,7 +5,8 @@ threads, so thread-count experiments replay *real* execution traces (exact
 CI tests, early terminations and group structure recorded by
 :class:`repro.core.trace.TraceRecorder`) through discrete-event schedulers
 for the three parallelism granularities, on a calibrated machine model.
-See DESIGN.md's substitution table for the faithfulness argument.
+See the substitution table in EXPERIMENTS.md for the faithfulness
+argument.
 """
 
 from .cache import CacheSim, CacheStats, simulate_fill_misses

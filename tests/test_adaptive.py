@@ -1,0 +1,178 @@
+"""Adaptive group scheduler: policy behaviour and result invariance.
+
+Two layers of contract (see :mod:`repro.parallel.adaptive`):
+
+* **policy** — buckets shrink under waste, grow only when waste stays low
+  *and* groups stay cheap, respect the clamps, seed depth 0 at 1, and the
+  tail guard halves sizes when the pool drains below the worker count;
+* **invariance** — ``gs="auto"`` produces bit-identical skeletons,
+  separating sets and CPDAGs to the fixed-``gs`` sequential engine,
+  because removal deferral and rank tie-breaks are group-size independent.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.edges import EdgeTask
+from repro.core.learn import learn_structure
+from repro.parallel.adaptive import (
+    DEFAULT_SEED_GS,
+    AdaptiveGroupScheduler,
+    resolve_gs,
+)
+
+
+def make_task(depth: int = 1, side: int = 5) -> EdgeTask:
+    adj = tuple(range(2, 2 + side))
+    return EdgeTask(0, 1, adj, adj, depth)
+
+
+class TestResolveGs:
+    def test_int_passthrough(self):
+        assert resolve_gs(4) == 4
+        assert resolve_gs(True) == 1  # ints in disguise are normalised
+
+    def test_auto_builds_scheduler(self):
+        sched = resolve_gs("auto", arities=(2, 3, 4))
+        assert isinstance(sched, AdaptiveGroupScheduler)
+        assert sched.arities == (2, 3, 4)
+
+    def test_scheduler_passthrough(self):
+        sched = AdaptiveGroupScheduler()
+        assert resolve_gs(sched) is sched
+
+    def test_invalid_values(self):
+        with pytest.raises(ValueError):
+            resolve_gs(0)
+        with pytest.raises(ValueError):
+            resolve_gs("autox")
+
+
+class TestPolicy:
+    def test_depth0_seeds_at_one(self):
+        sched = AdaptiveGroupScheduler()
+        assert sched.gs_for(make_task(depth=0)) == 1
+        assert sched.gs_for(make_task(depth=1)) == DEFAULT_SEED_GS
+
+    def test_waste_shrinks_bucket(self):
+        sched = AdaptiveGroupScheduler()
+        task = make_task()
+        for _ in range(6):
+            gs = sched.gs_for(task)
+            sched.observe(task, gs, first_accept=0, elapsed_s=1e-5)  # all but first wasted
+        assert sched.gs_for(task) == sched.min_gs
+
+    def test_cheap_wasteless_groups_grow_to_max(self):
+        sched = AdaptiveGroupScheduler(max_gs=16)
+        task = make_task()
+        for _ in range(12):
+            gs = sched.gs_for(task)
+            sched.observe(task, gs, first_accept=-1, elapsed_s=1e-6)
+        assert sched.gs_for(task) == 16
+
+    def test_latency_target_damps_growth(self):
+        sched = AdaptiveGroupScheduler(target_group_seconds=0.01)
+        task = make_task()
+        for _ in range(12):
+            gs = sched.gs_for(task)
+            sched.observe(task, gs, first_accept=-1, elapsed_s=0.02)  # expensive groups
+        assert sched.gs_for(task) == DEFAULT_SEED_GS  # never doubled
+
+    def test_tail_guard_halves_under_low_pressure(self):
+        sched = AdaptiveGroupScheduler()
+        task = make_task()
+        full = sched.gs_for(task, n_pending=100, n_workers=8)
+        starved = sched.gs_for(task, n_pending=3, n_workers=8)
+        assert starved == max(sched.min_gs, full // 2)
+
+    def test_buckets_are_independent(self):
+        sched = AdaptiveGroupScheduler()
+        hub, leaf = make_task(side=12), make_task(side=2)
+        for _ in range(6):
+            sched.observe(hub, sched.gs_for(hub), first_accept=0, elapsed_s=1e-5)
+        assert sched.gs_for(hub) == sched.min_gs
+        assert sched.gs_for(leaf) == DEFAULT_SEED_GS
+
+    def test_arity_dimension(self):
+        high = AdaptiveGroupScheduler(arities=(2, 8, 2, 2, 2, 2, 2, 2))
+        flat = AdaptiveGroupScheduler()
+        t = make_task()
+        assert high.bucket_key(t) != flat.bucket_key(t)
+        assert high.bucket_key(t)[0] == t.depth
+
+    def test_summary_counters(self):
+        sched = AdaptiveGroupScheduler()
+        task = make_task()
+        sched.observe(task, 4, first_accept=1, elapsed_s=1e-4)
+        sched.observe(task, 4, first_accept=-1, elapsed_s=1e-4)
+        s = sched.summary()
+        assert s["n_groups"] == 2
+        assert s["n_tests"] == 8
+        assert s["n_wasted"] == 2
+        assert s["waste_ratio"] == pytest.approx(0.25)
+        assert len(s["buckets"]) == 1
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveGroupScheduler(min_gs=8, max_gs=4)
+        with pytest.raises(ValueError):
+            AdaptiveGroupScheduler(waste_shrink=0.1, waste_grow=0.2)
+        with pytest.raises(ValueError):
+            AdaptiveGroupScheduler(ewma=0.0)
+
+
+class TestResultInvariance:
+    @pytest.fixture(scope="class")
+    def data(self):
+        from repro.datasets.sampling import forward_sample
+        from repro.networks.classic import asia
+
+        return forward_sample(asia(), 4000, rng=7)
+
+    @pytest.fixture(scope="class")
+    def sequential(self, data):
+        return learn_structure(data)
+
+    def test_auto_parallel_matches_sequential(self, data, sequential):
+        res = learn_structure(data, n_jobs=2, parallelism="ci", gs="auto", backend="thread")
+        assert sorted(res.skeleton.edges()) == sorted(sequential.skeleton.edges())
+        assert res.sepsets == sequential.sepsets
+        assert res.cpdag == sequential.cpdag
+
+    def test_auto_sequential_equals_fixed_seed(self, data):
+        auto = learn_structure(data, gs="auto")
+        fixed = learn_structure(data, gs=DEFAULT_SEED_GS)
+        assert auto.n_ci_tests == fixed.n_ci_tests
+        assert auto.cpdag == fixed.cpdag
+
+    def test_histogram_and_pool_peak_recorded(self, data):
+        res = learn_structure(data, n_jobs=2, parallelism="ci", gs="auto", backend="thread")
+        assert res.stats.pool_peak > 0
+        populated = [d.gs_histogram for d in res.stats.depths if d.n_groups]
+        assert populated and all(h for h in populated)
+        # depth 0 is always singleton groups
+        assert set(res.stats.depths[0].gs_histogram) == {1}
+
+    def test_shared_scheduler_instance_is_inspectable(self, data, sequential):
+        sched = AdaptiveGroupScheduler(arities=data.arities)
+        res = learn_structure(data, n_jobs=2, parallelism="ci", gs=sched, backend="thread")
+        assert res.cpdag == sequential.cpdag
+        summary = sched.summary()
+        assert summary["n_tests"] == res.n_ci_tests
+
+    def test_session_and_batch_accept_auto(self, data, sequential):
+        from repro.engine import BatchServer, LearningSession
+
+        with LearningSession(data) as session:
+            res = session.learn(gs="auto")
+            assert res.cpdag == sequential.cpdag
+            server = BatchServer(session)
+            out = server.serve([{"op": "learn", "gs": "auto", "max_depth": 1}])
+            assert "result" in out[0] and "error" not in out[0]
+
+    def test_bad_gs_rejected_by_frontend(self, data):
+        with pytest.raises(ValueError):
+            learn_structure(data, gs="fastest")
+        with pytest.raises(ValueError):
+            learn_structure(data, gs=0)

@@ -1,0 +1,275 @@
+"""Shared-memory dataset plane: lifecycle, transport parity, leak-freedom.
+
+The contract under test (see :mod:`repro.datasets.shm`):
+
+* attach serves bit-identical encodings under both ``fork`` and ``spawn``;
+* the creator — and only the creator — unlinks: on pool shutdown, on
+  session exit, after a worker crash, and via the finalizer backstop when
+  an export is dropped without ``close()``;
+* the pickled fallback path produces identical results;
+* baseline (non-memoizing) regimes refuse the plane.
+"""
+
+from __future__ import annotations
+
+import gc
+
+import numpy as np
+import pytest
+
+from repro.datasets.dataset import DiscreteDataset
+from repro.datasets.encoded import EncodedDataset
+from repro.datasets.shm import shared_memory_available
+from repro.engine import LearningSession
+from repro.parallel.backends import WorkerPool
+
+pytestmark = pytest.mark.skipif(
+    not shared_memory_available(), reason="platform provides no usable shared memory"
+)
+
+
+@pytest.fixture(scope="module")
+def small_data() -> DiscreteDataset:
+    rng = np.random.default_rng(3)
+    return DiscreteDataset.from_rows(rng.integers(0, 3, size=(1500, 7)))
+
+
+def _attach_should_fail(handle) -> bool:
+    try:
+        EncodedDataset.attach_shm(handle)
+    except FileNotFoundError:
+        return True
+    return False
+
+
+class TestExportAttach:
+    def test_round_trip_values(self, small_data):
+        enc = EncodedDataset(small_data)
+        enc.xy_codes(0, 1)
+        enc.xy_codes(2, 3)
+        with enc.export_shm() as export:
+            attached = EncodedDataset.attach_shm(export.handle)
+            assert attached.dataset.n_variables == small_data.n_variables
+            assert attached.dataset.n_samples == small_data.n_samples
+            assert attached.dataset.names == small_data.names
+            for i in range(small_data.n_variables):
+                np.testing.assert_array_equal(attached.col64(i), enc.col64(i))
+            # pre-warmed pair plus a pair derived fresh from the plane
+            np.testing.assert_array_equal(attached.xy_codes(0, 1), enc.xy_codes(0, 1))
+            np.testing.assert_array_equal(attached.xy_codes(5, 6), enc.xy_codes(5, 6))
+            assert attached.stats()["n_col64"] == small_data.n_variables
+            attached.detach_shm()
+            del attached
+            gc.collect()
+
+    def test_attached_views_are_read_only(self, small_data):
+        with EncodedDataset(small_data).export_shm() as export:
+            attached = EncodedDataset.attach_shm(export.handle)
+            with pytest.raises(ValueError):
+                attached.col64(0)[0] = 1
+            with pytest.raises(ValueError):
+                attached.dataset.values[0, 0] = 1
+            del attached
+            gc.collect()
+
+    def test_encode_z_from_attached_plane(self, small_data):
+        enc = EncodedDataset(small_data)
+        with enc.export_shm() as export:
+            attached = EncodedDataset.attach_shm(export.handle)
+            s, rz = (1, 4, 6), [small_data.arity(v) for v in (1, 4, 6)]
+            codes_a, nz_a = attached.encode_z(s, rz)
+            codes_b, nz_b = enc.encode_z(s, rz)
+            assert nz_a == nz_b
+            np.testing.assert_array_equal(codes_a, codes_b)
+            del attached
+            gc.collect()
+
+    def test_handle_is_tiny_and_descriptive(self, small_data):
+        enc = EncodedDataset(small_data)
+        enc.xy_codes(0, 1)
+        with enc.export_shm() as export:
+            h = export.handle
+            assert h.pair_keys == ((0, 1),)
+            assert h.nbytes == 8 * small_data.n_samples * (small_data.n_variables + 1)
+            import pickle
+
+            assert len(pickle.dumps(h)) < 2048
+
+    def test_baseline_layer_refuses_export(self, small_data):
+        enc = EncodedDataset(small_data, memoize=False)
+        with pytest.raises(ValueError, match="baseline"):
+            enc.export_shm()
+
+    def test_detach_is_noop_on_ordinary_instances(self, small_data):
+        enc = EncodedDataset(small_data)
+        enc.detach_shm()  # must not raise
+        assert enc.shm is None
+
+
+class TestUnlinkDiscipline:
+    def test_export_close_unlinks(self, small_data):
+        export = EncodedDataset(small_data).export_shm()
+        handle = export.handle
+        export.close()
+        assert export.closed
+        export.close()  # idempotent
+        assert _attach_should_fail(handle)
+
+    def test_finalizer_backstop_unlinks_dropped_exports(self, small_data):
+        export = EncodedDataset(small_data).export_shm()
+        handle = export.handle
+        del export
+        gc.collect()
+        assert _attach_should_fail(handle)
+
+    def test_pool_shutdown_unlinks(self, small_data):
+        pool = WorkerPool(small_data, 2, use_shm=True)
+        handle = pool._shm_export.handle
+        assert pool.eval_groups([(0, 1, ((), (2,)))])
+        pool.shutdown()
+        assert not pool.uses_shm
+        assert _attach_should_fail(handle)
+
+    def test_pool_shutdown_unlinks_after_worker_crash(self, small_data):
+        import os
+        from concurrent.futures.process import BrokenProcessPool
+
+        pool = WorkerPool(small_data, 2, use_shm=True)
+        handle = pool._shm_export.handle
+        with pytest.raises(BrokenProcessPool):
+            pool._executor.submit(os._exit, 13).result()
+        pool.shutdown()
+        assert _attach_should_fail(handle)
+
+    def test_session_exit_unlinks(self, small_data):
+        with LearningSession(small_data, n_jobs=2) as session:
+            session.learn(max_depth=1)
+            assert session.uses_shm
+            handle = session._pool._shm_export.handle
+        assert _attach_should_fail(handle)
+
+
+class TestTransportParity:
+    @pytest.mark.parametrize("start_method", ["fork", "spawn"])
+    def test_attach_parity_across_start_methods(self, small_data, start_method):
+        jobs = [(0, 1, ((), (2,), (3, 4))), (2, 5, ((0,), (1,), (0, 1)))]
+        with WorkerPool(small_data, 2, use_shm=False) as pickled:
+            expected = pickled.eval_groups(jobs)
+            assert not pickled.uses_shm
+        with WorkerPool(small_data, 2, use_shm=True, start_method=start_method) as pool:
+            assert pool.uses_shm
+            assert pool.eval_groups(jobs) == expected
+
+    def test_parity_with_worker_caches(self, small_data):
+        jobs = [(0, 1, ((2,), (3,), (2, 3)))]
+        with WorkerPool(small_data, 2, use_shm=False, cache_bytes=1 << 20) as pickled:
+            expected = pickled.eval_groups(jobs)
+        with WorkerPool(small_data, 2, use_shm=True, cache_bytes=1 << 20) as pool:
+            assert pool.eval_groups(jobs) == expected
+            assert pool.cache_stats()  # workers answered over the plane
+
+    def test_learn_structure_parity(self, small_data):
+        from repro.core.learn import learn_structure
+
+        seq = learn_structure(small_data)
+        shm = learn_structure(small_data, n_jobs=2, parallelism="ci")
+        pickled = learn_structure(small_data, n_jobs=2, parallelism="ci", use_shm=False)
+        for res in (shm, pickled):
+            assert sorted(res.skeleton.edges()) == sorted(seq.skeleton.edges())
+            assert res.sepsets == seq.sepsets
+            assert res.cpdag == seq.cpdag
+
+
+class TestValidation:
+    def test_thread_backend_rejects_use_shm(self, small_data):
+        with pytest.raises(ValueError, match="thread"):
+            WorkerPool(small_data, 2, backend="thread", use_shm=True)
+
+    def test_baseline_regime_rejects_use_shm(self, small_data):
+        with pytest.raises(ValueError, match="baseline"):
+            WorkerPool(small_data, 2, use_shm=True, memoize_encodings=False)
+
+    def test_baseline_regime_auto_falls_back_to_pickled(self, small_data):
+        with WorkerPool(small_data, 2, memoize_encodings=False) as pool:
+            assert not pool.uses_shm
+            assert pool.eval_groups([(0, 1, ((),))])
+
+
+class TestSampleLevelTransport:
+    def test_use_shm_false_is_honoured(self, small_data, monkeypatch):
+        from repro.datasets import shm as shm_mod
+        from repro.parallel.sample_level import sample_level_skeleton
+
+        g2, s2, _ = sample_level_skeleton(
+            small_data, small_data.n_variables, n_jobs=2, max_depth=0, use_shm=True
+        )
+
+        def forbidden(*a, **k):  # pragma: no cover - failure path
+            raise AssertionError("use_shm=False must not export the plane")
+
+        monkeypatch.setattr(shm_mod, "export_dataset", forbidden)
+        g, s, _ = sample_level_skeleton(
+            small_data, small_data.n_variables, n_jobs=2, max_depth=0, use_shm=False
+        )
+        assert sorted(g.edges()) == sorted(g2.edges())
+        assert s == s2
+
+    def test_use_shm_true_rejects_thread_backend(self, small_data):
+        from repro.parallel.sample_level import sample_level_skeleton
+
+        with pytest.raises(ValueError, match="thread"):
+            sample_level_skeleton(
+                small_data, small_data.n_variables, n_jobs=2, backend="thread", use_shm=True
+            )
+
+    def test_use_shm_true_rejects_sample_major_layout(self, small_data):
+        from repro.parallel.sample_level import sample_level_skeleton
+
+        rotated = small_data.with_layout("sample-major")
+        with pytest.raises(ValueError, match="layout"):
+            sample_level_skeleton(
+                rotated, rotated.n_variables, n_jobs=2, use_shm=True
+            )
+
+    def test_raw_export_keeps_original_dtype(self, small_data):
+        from repro.datasets.shm import attach_dataset, export_dataset
+
+        assert small_data.values.dtype == np.uint8  # smallest sufficient
+        with export_dataset(small_data) as export:
+            assert export.handle.nbytes == small_data.values.nbytes  # no widening
+            attached = attach_dataset(export.handle)
+            assert attached.values.dtype == small_data.values.dtype
+            np.testing.assert_array_equal(attached.values, small_data.values)
+            del attached
+
+
+class TestCapacityGuard:
+    def test_undersized_shm_falls_back_instead_of_sigbus(self, small_data, monkeypatch):
+        import os
+
+        from repro.datasets import shm as shm_mod
+        from repro.datasets.encoded import EncodedDataset
+
+        class TinyFS:
+            f_bavail = 1
+            f_frsize = 4096
+
+        monkeypatch.setattr(os, "statvfs", lambda path: TinyFS())
+        # auto mode: clean fallback to the pickled path
+        assert shm_mod.try_export_encoded(EncodedDataset(small_data), None) is None
+        assert shm_mod.try_export_dataset(small_data, None) is None
+        # explicit use_shm=True: a catchable error, not a SIGBUS later
+        with pytest.raises(OSError, match="free"):
+            shm_mod.try_export_encoded(EncodedDataset(small_data), True)
+
+    def test_pool_auto_mode_survives_undersized_shm(self, small_data, monkeypatch):
+        import os
+
+        class TinyFS:
+            f_bavail = 1
+            f_frsize = 4096
+
+        monkeypatch.setattr(os, "statvfs", lambda path: TinyFS())
+        with WorkerPool(small_data, 2) as pool:
+            assert not pool.uses_shm
+            assert pool.eval_groups([(0, 1, ((),))])
