@@ -1,0 +1,206 @@
+"""Server bench: mixed-dataset serving through the EngineServer.
+
+The status quo below the server layer is single-dataset tooling: facing a
+request stream that interleaves datasets, a ``fastbns batch``-era client
+must tear down and respawn a :class:`LearningSession` at every dataset
+switch — losing the worker pool, the sufficient-statistics cache and the
+result cache each time ("every dataset pays a full session spin-up
+because nothing above LearningSession manages more than one").  The
+:class:`EngineServer` keeps every dataset's session live under its LRU
+budget and dispatches different datasets' requests on concurrent lanes.
+
+This bench serves the same interleaved multi-round stream both ways and
+asserts
+
+* the server is at least 1.5x faster than the sequential per-dataset
+  loop (2 datasets, ``n_jobs=2`` sessions, 2 dispatcher threads),
+* response payloads are byte-identical between the two paths (the JSON
+  rendering of every result, fingerprint and error matches per request —
+  routing and concurrency change *where* requests run, never answers),
+* session eviction verifiably closes worker pools, and the run leaks no
+  ``/dev/shm`` blocks once the server closes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.bench.tables import render_table
+from repro.bench.workloads import make_workload
+from repro.engine import BatchServer, EngineServer, LearningSession
+
+NETWORKS = (("alarm", 1000), ("insurance", 1000))
+N_JOBS = 2
+THREADS = 2
+ROUNDS = 3
+SHM_DIR = "/dev/shm"
+
+
+def _request_stream(labels) -> list[dict]:
+    """ROUNDS identical rounds of per-dataset blocks: every dataset switch
+    costs the sequential client a session respawn, and every round after
+    the first is pure result-cache traffic for the server."""
+    stream = []
+    for _ in range(ROUNDS):
+        for label in labels:
+            stream += [
+                {"op": "learn", "dataset": label, "alpha": 0.05},
+                {"op": "learn", "dataset": label, "alpha": 0.01},
+                {"op": "blanket", "dataset": label, "target": 0},
+            ]
+    return stream
+
+
+def _serve_sequential_loop(datasets: dict, requests: list[dict]) -> list[dict]:
+    """The pre-server client: one live session at a time, respawned at
+    every dataset switch (session config identical to the server's)."""
+    responses = []
+    current = None
+    session = server = None
+    try:
+        for raw in requests:
+            label = raw["dataset"]
+            if label != current:
+                if session is not None:
+                    session.close()
+                session = LearningSession(datasets[label], alpha=0.05, n_jobs=N_JOBS)
+                server = BatchServer(session)
+                current = label
+            resp = server.handle({k: v for k, v in raw.items() if k != "dataset"})
+            resp["dataset"] = label
+            responses.append(resp)
+    finally:
+        if session is not None:
+            session.close()
+    return responses
+
+
+def _shm_entries() -> set[str] | None:
+    try:
+        return set(os.listdir(SHM_DIR))
+    except OSError:
+        return None
+
+
+def _payload_key(resp: dict) -> str:
+    """Everything a client consumes, minus timing/caching metadata."""
+    return json.dumps(
+        {k: resp[k] for k in ("op", "dataset", "fingerprint", "result", "error")},
+        sort_keys=True,
+    )
+
+
+def test_server_mixed_dataset_throughput(benchmark, record, record_json):
+    workloads = {name: make_workload(name, m) for name, m in NETWORKS}
+    datasets = {wl.label: wl.dataset for wl in workloads.values()}
+    requests = _request_stream(list(datasets))
+    shm_before = _shm_entries()
+
+    def run() -> dict:
+        t0 = time.perf_counter()
+        sequential = _serve_sequential_loop(datasets, requests)
+        t_seq = time.perf_counter() - t0
+
+        server = EngineServer(alpha=0.05, n_jobs=N_JOBS, max_sessions=len(datasets))
+        with server:
+            for label, dataset in datasets.items():
+                server.register(label, dataset)
+            t0 = time.perf_counter()
+            concurrent = server.serve(requests, threads=THREADS)
+            t_conc = time.perf_counter() - t0
+
+            # Eviction probe: a third dataset over budget evicts the LRU
+            # session; its pool must be shut down and its id must revive
+            # on re-touch with identical answers.
+            extra = make_workload("hepar2", 500)
+            server.register(extra.label, extra.dataset)
+            victim_label = requests[0]["dataset"]
+            victim_slot = server._slots[server._id_fp[victim_label]]
+            server.handle({"op": "learn", "dataset": extra.label, "max_depth": 1})
+            eviction = {
+                "victim_retired": victim_slot.retired,
+                "victim_closed": victim_slot.session.closed,
+                "victim_pool_gone": victim_slot.session._pool is None,
+                "revived_identical": _payload_key(
+                    server.handle(dict(requests[0]))
+                ) == _payload_key(concurrent[0]),
+                "evictions": server.stats()["sessions"]["evictions"],
+            }
+            stats = server.stats()
+        return {
+            "sequential_s": t_seq,
+            "concurrent_s": t_conc,
+            "sequential": sequential,
+            "concurrent": concurrent,
+            "eviction": eviction,
+            "stats": stats,
+        }
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # Byte-identical payloads, request by request.
+    for seq, conc in zip(out["sequential"], out["concurrent"]):
+        assert _payload_key(seq) == _payload_key(conc)
+
+    # The server actually reused sessions: exactly one spin-up per dataset
+    # during the stream (plus the eviction probe's two).
+    assert out["stats"]["sessions"]["spinups"] == len(datasets) + 2
+    assert out["stats"]["totals"]["n_result_cache_hits"] > 0
+
+    # Eviction closed the pool; answers revived from the source.
+    assert all(out["eviction"].values()), out["eviction"]
+
+    # No /dev/shm leaks once every session is closed.
+    shm_after = _shm_entries()
+    if shm_before is not None:
+        leaked = shm_after - shm_before
+        assert not leaked, f"leaked shared-memory blocks: {sorted(leaked)}"
+
+    speedup = out["sequential_s"] / max(out["concurrent_s"], 1e-9)
+    assert speedup >= 1.5, f"server only {speedup:.2f}x over the sequential loop"
+
+    labels = list(datasets)
+    text = render_table(
+        ["serving mode", "requests", "seconds", "sessions spawned", "result hits"],
+        [
+            [
+                "sequential per-dataset loop",
+                len(requests),
+                f"{out['sequential_s']:.3f}",
+                ROUNDS * len(labels),
+                "-",
+            ],
+            [
+                f"EngineServer ({THREADS} threads)",
+                len(requests),
+                f"{out['concurrent_s']:.3f}",
+                len(labels),
+                out["stats"]["totals"]["n_result_cache_hits"],
+            ],
+            ["speedup", "", f"{speedup:.1f}x", "", ""],
+        ],
+        title=(
+            f"Multi-dataset serving — {' + '.join(labels)}, "
+            f"{ROUNDS} rounds, n_jobs={N_JOBS}"
+        ),
+    )
+    record("server_throughput", text)
+    record_json(
+        "server",
+        {
+            "networks": labels,
+            "n_datasets": len(labels),
+            "n_requests": len(requests),
+            "rounds": ROUNDS,
+            "n_jobs": N_JOBS,
+            "threads": THREADS,
+            "sequential_s": out["sequential_s"],
+            "concurrent_s": out["concurrent_s"],
+            "speedup": speedup,
+            "requests_per_s": len(requests) / out["concurrent_s"],
+            "result_cache_hits": out["stats"]["totals"]["n_result_cache_hits"],
+            "evictions": out["eviction"]["evictions"],
+        },
+    )

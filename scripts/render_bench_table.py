@@ -64,9 +64,20 @@ def _row_shared_memory(doc: dict) -> tuple[str, str]:
     )
 
 
+def _row_server(doc: dict) -> tuple[str, str]:
+    return (
+        f"multi-dataset server vs per-dataset loop "
+        f"({' + '.join(doc['networks'])}, {doc['n_requests']} requests, "
+        f"n_jobs={doc['n_jobs']})",
+        f"{_fmt(doc['speedup'], 1)}× serving speedup, "
+        f"{doc['result_cache_hits']} result-cache hits",
+    )
+
+
 _SUMMARISERS = {
     "engine_throughput": _row_engine_throughput,
     "kernel_batching": _row_kernel_batching,
+    "server": _row_server,
     "shared_memory": _row_shared_memory,
 }
 

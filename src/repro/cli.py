@@ -1,10 +1,11 @@
 """Command-line interface.
 
-Four sub-commands::
+Five sub-commands::
 
     fastbns learn       # learn a structure from a CSV file or a benchmark
     fastbns blanket     # discover one variable's Markov blanket
-    fastbns batch       # serve a JSONL stream of learn/blanket requests
+    fastbns batch       # serve a JSONL stream of requests over ONE dataset
+    fastbns serve       # multi-dataset JSONL server (EngineServer)
     fastbns experiment  # regenerate a paper table/figure
 
 Examples
@@ -37,6 +38,22 @@ composes with shell pipes::
     generate_requests | python -m repro batch --network alarm \\
         --requests - --out results.jsonl
 
+Serve *many* datasets from one long-running process — sessions are
+created on first touch from registered sources, kept under an LRU budget,
+and requests for different datasets run concurrently (``--threads``)::
+
+    python -m repro serve --register icu=csv:icu.csv \\
+        --register bench=network:alarm --threads 2 --jobs 4 \\
+        --requests - --out results.jsonl --manifest manifest.json
+
+where each request names its dataset (admin ops ``register`` /
+``close_dataset`` / ``stats`` manage the registry in-stream)::
+
+    {"op": "learn", "dataset": "icu", "alpha": 0.01}
+    {"op": "blanket", "dataset": "bench", "target": "HRBP"}
+    {"op": "register", "dataset": "b2", "source": {"kind": "bif", "path": "net.bif"}}
+    {"op": "stats"}
+
 Regenerate Table III (quick mode)::
 
     python -m repro experiment table3
@@ -47,8 +64,6 @@ from __future__ import annotations
 import argparse
 import sys
 from typing import Sequence
-
-import numpy as np
 
 __all__ = ["main", "build_parser"]
 
@@ -141,11 +156,71 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-mb", type=int, default=64, help="stats-cache LRU budget in MiB"
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="multi-dataset JSONL server over an LRU-bounded session registry",
+    )
+    serve.add_argument(
+        "--register",
+        action="append",
+        default=[],
+        metavar="ID=KIND:VALUE",
+        help="pre-register a dataset source (KIND one of csv/bif/network, e.g. "
+        "icu=csv:icu.csv or bench=network:alarm); repeatable — when exactly one "
+        "is given it becomes the default dataset for untagged requests; more "
+        "sources can be registered in-stream via the 'register' op",
+    )
+    serve.add_argument(
+        "--requests", default="-", help="JSONL request file ('-' streams stdin)"
+    )
+    serve.add_argument(
+        "--out",
+        default="-",
+        help="JSONL response file ('-' streams stdout; the run summary always "
+        "goes to stderr so pipes stay clean)",
+    )
+    serve.add_argument(
+        "--manifest", default=None, help="optional run-manifest JSON path (spans all sessions)"
+    )
+    serve.add_argument(
+        "--threads",
+        type=int,
+        default=1,
+        help="dispatcher threads: >1 overlaps requests for different datasets "
+        "(per-dataset order is preserved; responses stay in input order)",
+    )
+    serve.add_argument(
+        "--max-sessions", type=int, default=4, help="LRU budget of live sessions"
+    )
+    serve.add_argument(
+        "--samples", type=int, default=5000, help="default sample count for bif/network sources"
+    )
+    serve.add_argument(
+        "--seed", type=int, default=0, help="default sampling seed for --register bif sources"
+    )
+    serve.add_argument("--test", default="g2", choices=("g2", "chi2", "mi"))
+    serve.add_argument("--alpha", type=float, default=0.05, help="default significance level")
+    serve.add_argument("--jobs", type=int, default=1, help="worker count per session")
+    serve.add_argument("--backend", default="process", choices=("process", "thread"))
+    serve.add_argument(
+        "--no-shm",
+        action="store_true",
+        help="ship datasets to process workers by pickling instead of the "
+        "zero-copy shared-memory plane (results are identical)",
+    )
+    serve.add_argument(
+        "--cache-mb", type=int, default=64, help="per-session stats-cache LRU budget in MiB"
+    )
+
     mb = sub.add_parser("blanket", help="discover one variable's Markov blanket")
-    mb.add_argument("--network", required=True, help="benchmark network name")
+    mbsrc = mb.add_mutually_exclusive_group(required=True)
+    mbsrc.add_argument("--csv", help="CSV file of integer category codes (header = names)")
+    mbsrc.add_argument("--bif", help="BIF network file; data is forward-sampled from it")
+    mbsrc.add_argument("--network", help="benchmark network name (see `experiment table2`)")
     mb.add_argument("--target", required=True, help="target variable (name or index)")
-    mb.add_argument("--samples", type=int, default=5000)
-    mb.add_argument("--scale", type=float, default=None)
+    mb.add_argument("--samples", type=int, default=5000, help="sample count for --network/--bif")
+    mb.add_argument("--seed", type=int, default=0, help="sampling seed for --bif (--network datasets are seeded by the catalog)")
+    mb.add_argument("--scale", type=float, default=None, help="scale factor for --network")
     mb.add_argument("--algorithm", default="iamb", choices=("iamb", "grow-shrink"))
     mb.add_argument("--alpha", type=float, default=0.01)
     mb.add_argument("--max-conditioning", type=int, default=3)
@@ -160,23 +235,26 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _load_dataset(args: argparse.Namespace):
-    """Resolve the shared --csv/--bif/--network data-source options."""
-    from .datasets.dataset import DiscreteDataset
+    """Resolve the shared --csv/--bif/--network data-source options.
+
+    Delegates to :class:`~repro.engine.server.DatasetSource` so the CLI
+    and the serve registry share one implementation of source semantics —
+    a ``fastbns learn --bif x`` and a registered bif source materialise
+    identical datasets for identical parameters.
+    """
+    from .engine.server import DatasetSource
 
     if args.csv:
-        rows = np.loadtxt(args.csv, delimiter=",", skiprows=1, dtype=np.int64)
-        with open(args.csv, "r", encoding="utf-8") as fh:
-            names = [c.strip() for c in fh.readline().split(",")]
-        return DiscreteDataset.from_rows(rows, names=names)
-    if args.bif:
-        from .datasets.bif import load_bif
-        from .datasets.sampling import forward_sample
-
-        network = load_bif(args.bif)
-        return forward_sample(network, args.samples, rng=args.seed)
-    from .bench.workloads import make_workload
-
-    return make_workload(args.network, args.samples, scale=args.scale).dataset
+        source = DatasetSource(kind="csv", path=args.csv)
+    elif args.bif:
+        source = DatasetSource(
+            kind="bif", path=args.bif, samples=args.samples, seed=args.seed
+        )
+    else:
+        source = DatasetSource(
+            kind="network", name=args.network, samples=args.samples, scale=args.scale
+        )
+    return source.load()
 
 
 def _cmd_learn(args: argparse.Namespace) -> int:
@@ -265,30 +343,140 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_blanket(args: argparse.Namespace) -> int:
-    from .bench.workloads import make_workload
-    from .citests.gsquare import GSquareTest
-    from .core.markov_blanket import grow_shrink, iamb, true_markov_blanket
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
 
-    wl = make_workload(args.network, args.samples, scale=args.scale)
-    data = wl.dataset
+    from .engine.server import EngineServer
+
+    registrations: list[tuple[str, str]] = []
+    for entry in args.register:
+        ds_id, sep, spec = entry.partition("=")
+        if not sep or not ds_id or not spec:
+            raise SystemExit(f"--register expects ID=KIND:VALUE, got {entry!r}")
+        registrations.append((ds_id, spec))
+    default = registrations[0][0] if len(registrations) == 1 else None
+
+    server = EngineServer(
+        test=args.test,
+        alpha=args.alpha,
+        n_jobs=args.jobs,
+        backend=args.backend,
+        cache_bytes=args.cache_mb << 20,
+        use_shm=False if args.no_shm else None,
+        max_sessions=args.max_sessions,
+        default_dataset=default,
+        default_samples=args.samples,
+        default_seed=args.seed,
+    )
+    with server:
+        for ds_id, spec in registrations:
+            server.register(ds_id, spec)
+        in_fh = sys.stdin if args.requests == "-" else open(args.requests, "r", encoding="utf-8")
+        out_fh = sys.stdout if args.out == "-" else open(args.out, "w", encoding="utf-8")
+        n_served = 0
+        try:
+            if args.threads > 1:
+                # Concurrent dispatch needs the whole stream up front;
+                # responses still come out in input order.  Unparseable
+                # lines become error responses, never stream aborts.
+                order: list[tuple[str, object]] = []
+                requests: list = []
+                for line in in_fh:
+                    if not line.strip():
+                        continue
+                    try:
+                        requests.append(json.loads(line))
+                        order.append(("request", len(requests) - 1))
+                    except json.JSONDecodeError as exc:
+                        order.append(("parse_error", f"invalid JSON: {exc}"))
+                served = server.serve(requests, threads=args.threads)
+                for kind, ref in order:
+                    resp = served[ref] if kind == "request" else server.reject(ref)
+                    out_fh.write(json.dumps(resp) + "\n")
+                    n_served += 1
+                out_fh.flush()
+            else:
+                # True streaming: respond (and flush) per input line so the
+                # server composes with shell pipes.
+                for line in in_fh:
+                    if not line.strip():
+                        continue
+                    try:
+                        resp = server.handle(json.loads(line))
+                    except json.JSONDecodeError as exc:
+                        resp = server.reject(f"invalid JSON: {exc}")
+                    out_fh.write(json.dumps(resp) + "\n")
+                    out_fh.flush()
+                    n_served += 1
+        finally:
+            if in_fh is not sys.stdin:
+                in_fh.close()
+            if out_fh is not sys.stdout:
+                out_fh.close()
+        if args.manifest:
+            server.write_manifest(args.manifest)
+        stats = server.stats()
+        totals = stats["totals"]
+        # n_served counts emitted response lines directly — a failed admin
+        # op shows up in both n_admin and the unrouted error totals, so
+        # summing counters would double-count it.
+        # The summary goes to stderr: stdout may BE the response stream.
+        print(
+            f"served {n_served} requests "
+            f"({totals['n_computed']} computed, "
+            f"{totals['n_result_cache_hits']} result-cache hits, "
+            f"{totals['n_errors']} errors, {stats['n_admin']} admin) "
+            f"across {len(stats['datasets'])} dataset(s) | "
+            f"sessions: {stats['sessions']['live']} live / "
+            f"budget {stats['sessions']['budget']}, "
+            f"{stats['sessions']['spinups']} spin-ups, "
+            f"{stats['sessions']['evictions']} evictions",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _cmd_blanket(args: argparse.Namespace) -> int:
+    from .engine import LearningSession
+
+    # --network keeps the generating network around for the ground-truth
+    # comparison; --csv/--bif have no ground truth, so those lines are
+    # simply omitted.  All three sources share _load_dataset semantics
+    # with `learn`/`batch` (satellite parity: same files, same seeds).
+    network = None
+    if args.network:
+        from .bench.workloads import make_workload
+
+        wl = make_workload(args.network, args.samples, scale=args.scale)
+        data, network, label = wl.dataset, wl.network, wl.label
+    else:
+        data = _load_dataset(args)
+        label = args.csv or args.bif
     try:
         target = int(args.target)
     except ValueError:
         target = data.index_of(args.target)
-    tester = GSquareTest(data, alpha=args.alpha)
-    algorithm = iamb if args.algorithm == "iamb" else grow_shrink
-    result = algorithm(
-        tester, data.n_variables, target, max_conditioning=args.max_conditioning
-    )
-    truth = true_markov_blanket(data.n_variables, wl.network.edges(), target)
+    if not 0 <= target < data.n_variables:
+        raise SystemExit(
+            f"target index {target} out of range for {data.n_variables} variables"
+        )
+    with LearningSession(data, alpha=args.alpha) as sess:
+        result = sess.markov_blanket(
+            target, algorithm=args.algorithm, max_conditioning=args.max_conditioning
+        )
+        cache = sess.cache_stats()
     found = sorted(data.names[v] for v in result.blanket)
-    expected = sorted(data.names[v] for v in truth)
-    print(f"target: {data.names[target]} ({wl.label}, m={data.n_samples})")
+    print(f"target: {data.names[target]} ({label}, m={data.n_samples})")
     print(f"blanket ({args.algorithm}, {result.n_tests} CI tests): {', '.join(found) or '-'}")
-    print(f"true blanket: {', '.join(expected) or '-'}")
-    overlap = len(result.blanket & truth)
-    print(f"overlap: {overlap}/{len(truth)}")
+    if network is not None:
+        from .core.markov_blanket import true_markov_blanket
+
+        truth = true_markov_blanket(data.n_variables, network.edges(), target)
+        expected = sorted(data.names[v] for v in truth)
+        print(f"true blanket: {', '.join(expected) or '-'}")
+        overlap = len(result.blanket & truth)
+        print(f"overlap: {overlap}/{len(truth)}")
+    print(f"stats cache: {cache.hits} hits / {cache.misses} misses")
     return 0
 
 
@@ -320,6 +508,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_learn(args)
     if args.command == "batch":
         return _cmd_batch(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "blanket":
         return _cmd_blanket(args)
     if args.command == "experiment":

@@ -32,7 +32,7 @@ memory/start-up cost.
 from .bif import load_bif, parse_bif, write_bif
 from .dataset import DiscreteDataset, smallest_uint_dtype
 from .encoded import EncodedDataset
-from .io import CategoricalCodec, read_csv, train_test_split, write_csv
+from .io import CategoricalCodec, read_codes_csv, read_csv, train_test_split, write_csv
 from .sampling import forward_sample
 from .shm import ShmDatasetHandle, ShmExport, shared_memory_available
 
@@ -48,6 +48,7 @@ __all__ = [
     # sampling & I/O
     "forward_sample",
     "read_csv",
+    "read_codes_csv",
     "write_csv",
     "CategoricalCodec",
     "train_test_split",

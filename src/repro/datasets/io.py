@@ -16,7 +16,13 @@ import numpy as np
 
 from .dataset import DiscreteDataset
 
-__all__ = ["CategoricalCodec", "read_csv", "write_csv", "train_test_split"]
+__all__ = [
+    "CategoricalCodec",
+    "read_csv",
+    "read_codes_csv",
+    "write_csv",
+    "train_test_split",
+]
 
 
 @dataclass(frozen=True)
@@ -92,6 +98,39 @@ def read_csv(
         rows, arities=codec.arities(), names=names, layout=layout
     )
     return dataset, codec
+
+
+def read_codes_csv(path: str, layout: str = "variable-major") -> DiscreteDataset:
+    """Read a header-ed CSV of *integer category codes* (the CLI format).
+
+    Unlike :func:`read_csv` no label encoding happens — cells must already
+    be integer codes.  ``ndmin=2`` keeps single-column files 2-D
+    (``np.loadtxt`` otherwise returns a 1-D vector that
+    :meth:`DiscreteDataset.from_rows` rejects), and the header is validated
+    against the data width so a malformed file fails with a line-zero
+    message instead of a misaligned dataset.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        header = fh.readline()
+    if not header.strip():
+        raise ValueError(f"{path}: empty CSV — expected a header row of variable names")
+    names = [c.strip() for c in header.split(",")]
+    if any(not n for n in names):
+        raise ValueError(f"{path}: header has empty variable names: {header.strip()!r}")
+    import warnings
+
+    with warnings.catch_warnings():
+        # loadtxt warns on zero data rows; the ValueError below is clearer.
+        warnings.simplefilter("ignore", UserWarning)
+        rows = np.loadtxt(path, delimiter=",", skiprows=1, dtype=np.int64, ndmin=2)
+    if rows.size == 0:
+        raise ValueError(f"{path}: CSV contains a header but no data rows")
+    if rows.shape[1] != len(names):
+        raise ValueError(
+            f"{path}: header names {len(names)} column(s) "
+            f"({', '.join(names)}) but the data has {rows.shape[1]}"
+        )
+    return DiscreteDataset.from_rows(rows, names=names, layout=layout)
 
 
 def write_csv(

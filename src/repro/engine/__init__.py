@@ -11,7 +11,13 @@ This subsystem makes runs first-class, reusable objects:
   worker pool serving ``learn`` / ``relearn`` / ``markov_blanket`` calls;
 * :class:`BatchServer` — request-level layer that fingerprints, dedupes
   and serves streams of requests (the ``fastbns batch`` CLI);
-* :class:`RunManifest` — auditable per-run artifact.
+* :class:`EngineServer` — multi-dataset layer above both: an LRU-bounded
+  registry of sessions keyed by dataset fingerprint, created on first
+  touch from registered :class:`DatasetSource`\\ s, with a thread-based
+  dispatcher that overlaps different datasets while serialising
+  per-session access (the ``fastbns serve`` CLI; see :mod:`.server`);
+* :class:`RunManifest` — auditable per-run artifact (one per session,
+  merged across sessions by the server's run document).
 
 Resource lifecycle: a session is a context manager, and *everything* it
 owns rides its ``close()`` — the worker pool shuts down, and with it the
@@ -28,7 +34,8 @@ batch requests) engages the adaptive group scheduler
 
 from .batch import BatchRequest, BatchServer
 from .fingerprint import dataset_fingerprint, request_fingerprint
-from .manifest import RunManifest
+from .manifest import RunManifest, merge_totals
+from .server import DatasetSource, EngineServer
 from .session import LearningSession
 from .statscache import CachedTableBuilder, CacheStats, SufficientStatsCache
 
@@ -39,7 +46,10 @@ __all__ = [
     "LearningSession",
     "BatchServer",
     "BatchRequest",
+    "EngineServer",
+    "DatasetSource",
     "RunManifest",
+    "merge_totals",
     "dataset_fingerprint",
     "request_fingerprint",
 ]

@@ -44,6 +44,17 @@ _BLANKET_DEFAULTS = {
 }
 
 
+def _as_int(value, what: str) -> int:
+    """Coerce a JSON scalar to an int, rejecting bools and fractional
+    floats (``int(1.5)`` would silently truncate a client's typo)."""
+    if isinstance(value, bool) or (isinstance(value, float) and not value.is_integer()):
+        raise ValueError(f"{what}, got {value!r}")
+    try:
+        return int(value)
+    except (TypeError, ValueError):
+        raise ValueError(f"{what}, got {value!r}") from None
+
+
 @dataclass(frozen=True)
 class BatchRequest:
     """One normalised request: an operation plus canonical parameters.
@@ -81,9 +92,19 @@ class BatchRequest:
             # participates in the fingerprint as-is — an auto request and a
             # fixed-gs request are distinct cache keys even though their
             # results are bit-identical (the conservative choice).
-            params["gs"] = "auto" if params["gs"] == "auto" else int(params["gs"])
+            # Bounds mirror ``cli._gs_argument``: rejecting gs=0 / negative
+            # depths here turns a deep ``learn_skeleton`` ValueError
+            # mid-compute into a clean ``error`` response at intake.
+            if params["gs"] != "auto":
+                params["gs"] = _as_int(params["gs"], "gs must be a positive int or 'auto'")
+                if params["gs"] < 1:
+                    raise ValueError(f"gs must be >= 1 or 'auto', got {params['gs']}")
             md = params["max_depth"]
-            params["max_depth"] = None if md is None else int(md)
+            if md is not None:
+                md = _as_int(md, "max_depth must be a non-negative int or null")
+                if md < 0:
+                    raise ValueError(f"max_depth must be >= 0, got {md}")
+            params["max_depth"] = md
             params["apply_r4"] = bool(params["apply_r4"])
             if params["v_structures"] not in ("standard", "conservative", "majority"):
                 raise ValueError(
@@ -95,11 +116,22 @@ class BatchRequest:
                 raise ValueError("blanket request needs a 'target'")
             if isinstance(target, str):
                 target = session.dataset.index_of(target)
-            params["target"] = int(target)
+            else:
+                target = _as_int(target, "target must be a variable name or index")
+            if not 0 <= target < session.dataset.n_variables:
+                raise ValueError(
+                    f"target index {target} out of range for "
+                    f"{session.dataset.n_variables} variables"
+                )
+            params["target"] = target
             for key, default in _BLANKET_DEFAULTS.items():
                 params[key] = d.pop(key, default)
             mc = params["max_conditioning"]
-            params["max_conditioning"] = None if mc is None else int(mc)
+            if mc is not None:
+                mc = _as_int(mc, "max_conditioning must be a non-negative int or null")
+                if mc < 0:
+                    raise ValueError(f"max_conditioning must be >= 0, got {mc}")
+            params["max_conditioning"] = mc
         if d:
             raise ValueError(f"unknown request fields for op {op!r}: {sorted(d)}")
         return cls(op=op, params=tuple(sorted(params.items())))
@@ -136,6 +168,11 @@ class BatchServer:
         A malformed request (unknown op/field, bad target, invalid
         parameter) yields an ``error`` response instead of aborting the
         stream — one client's bad request must not take down the batch.
+
+        Every response carries the same keys — ``op``, ``fingerprint``,
+        ``cached``, ``elapsed_s``, ``result``, ``error`` — with exactly one
+        of ``result``/``error`` non-``None``, so JSONL consumers switch on
+        the ``error`` *value* instead of probing for key presence.
         """
         self.n_requests += 1
         t0 = time.perf_counter()
@@ -162,6 +199,7 @@ class BatchServer:
                 "fingerprint": None,
                 "cached": False,
                 "elapsed_s": time.perf_counter() - t0,
+                "result": None,
                 "error": str(exc),
             }
         return {
@@ -170,6 +208,7 @@ class BatchServer:
             "cached": cached,
             "elapsed_s": time.perf_counter() - t0,
             "result": payload,
+            "error": None,
         }
 
     def serve(
@@ -185,7 +224,7 @@ class BatchServer:
                     resp["fingerprint"],
                     resp["cached"],
                     resp["elapsed_s"],
-                    error=resp.get("error"),
+                    error=resp["error"],
                 )
             responses.append(resp)
         return responses

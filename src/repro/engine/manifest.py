@@ -14,9 +14,9 @@ import json
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Mapping
+from typing import Iterable, Mapping
 
-__all__ = ["RunManifest"]
+__all__ = ["RunManifest", "merge_totals"]
 
 MANIFEST_VERSION = 1
 
@@ -80,3 +80,24 @@ class RunManifest:
         path = Path(path)
         path.write_text(json.dumps(self.to_dict(cache_stats), indent=2) + "\n")
         return path
+
+
+def merge_totals(totals: Iterable[Mapping]) -> dict:
+    """Sum per-manifest request rollups into one document.
+
+    The multi-dataset :class:`~repro.engine.server.EngineServer` keeps one
+    manifest per session (live or already evicted); its run-level totals
+    are the exact sum of the per-session ones plus the unrouted-error log,
+    which this helper computes so the two views cannot drift.
+    """
+    out = {
+        "n_requests": 0,
+        "n_computed": 0,
+        "n_result_cache_hits": 0,
+        "n_errors": 0,
+        "elapsed_s": 0.0,
+    }
+    for t in totals:
+        for key in out:
+            out[key] += t[key]
+    return out

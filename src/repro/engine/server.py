@@ -1,0 +1,752 @@
+"""Multi-dataset engine server: many sessions behind one request stream.
+
+The ROADMAP's north star is heavy traffic from many users, which means
+many *datasets* in flight at once — yet everything below this module
+manages exactly one: a :class:`~repro.engine.session.LearningSession` owns
+one dataset, a :class:`~repro.engine.batch.BatchServer` serves one
+session.  :class:`EngineServer` is the missing layer:
+
+* a **registry of dataset sources** (:class:`DatasetSource`: CSV / BIF /
+  benchmark network / in-memory), keyed by a client-chosen ``dataset`` id;
+* an **LRU-bounded registry of live sessions keyed by dataset content
+  fingerprint** — sessions are created on first touch, reused across ids
+  that name byte-identical data, and evicted (pool shut down, shm plane
+  unlinked, manifest retired) when the session budget is exceeded;
+* a **thread-based dispatcher** that runs requests for *different*
+  datasets concurrently while serialising per-session access (each
+  session owns a process pool and a non-thread-safe tester map);
+* a **run manifest spanning all sessions** — one
+  :class:`~repro.engine.manifest.RunManifest` per session (live or
+  retired) plus an unrouted-error log, with run totals that are the exact
+  sum of the parts (:func:`~repro.engine.manifest.merge_totals`).
+
+Protocol
+--------
+Requests are JSON objects (JSONL over the ``fastbns serve`` CLI).  Query
+ops are the :class:`~repro.engine.batch.BatchServer` ones plus a
+``dataset`` routing tag::
+
+    {"op": "learn",   "dataset": "icu",  "alpha": 0.01, "gs": "auto"}
+    {"op": "blanket", "dataset": "genes", "target": "TP53"}
+
+Admin ops manage the registry in-stream::
+
+    {"op": "register", "dataset": "icu", "source": {"kind": "csv", "path": "icu.csv"}}
+    {"op": "close_dataset", "dataset": "icu"}
+    {"op": "stats"}
+
+Every response — success, error, admin — carries the same keys
+(``op, dataset, fingerprint, cached, elapsed_s, result, error``) with
+exactly one of ``result``/``error`` non-``None``; a malformed request
+(unknown dataset, bad parameter, unparseable line) yields an ``error``
+response and never tears down the stream.
+
+Exactness: routing changes *where* a request runs, never its answer —
+responses are byte-identical to a single-dataset ``BatchServer`` over the
+same data, which is itself bit-identical to ``learn_structure``
+(conf_ipps_JiangWM22's exactness guarantees, preserved through every
+serving layer).  Concurrency preserves per-dataset request order (one
+dispatch lane per ``dataset`` tag); cross-dataset ordering is unspecified,
+and admin ops act as stream barriers.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from ..datasets.dataset import DiscreteDataset
+from .batch import BatchServer
+from .manifest import MANIFEST_VERSION, RunManifest, merge_totals
+from .session import LearningSession
+from .statscache import DEFAULT_BUDGET_BYTES
+
+__all__ = ["DatasetSource", "EngineServer", "QUERY_OPS", "ADMIN_OPS"]
+
+QUERY_OPS = ("learn", "blanket")
+ADMIN_OPS = ("register", "close_dataset", "stats")
+
+
+# --------------------------------------------------------------------- #
+# dataset sources
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True, eq=False)
+class DatasetSource:
+    """A recipe for (re)materialising one dataset.
+
+    Sessions are disposable under the server's LRU budget, so what the
+    registry keeps is not data but a deterministic *source*: evicting a
+    session and re-touching its id reloads byte-identical data (CSV/BIF
+    files are read as-is; BIF and benchmark sampling is seeded), hence the
+    same content fingerprint and the same answers.
+    """
+
+    kind: str  # "csv" | "bif" | "network" | "memory"
+    path: str | None = None
+    name: str | None = None
+    samples: int = 5000
+    seed: int = 0
+    scale: float | None = None
+    dataset: DiscreteDataset | None = None  # kind == "memory" only
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("csv", "bif", "network", "memory"):
+            raise ValueError(f"source kind must be csv/bif/network/memory, got {self.kind!r}")
+        if self.kind in ("csv", "bif") and not self.path:
+            raise ValueError(f"{self.kind} source needs a 'path'")
+        if self.kind == "network" and not self.name:
+            raise ValueError("network source needs a 'name'")
+        if self.kind == "memory" and self.dataset is None:
+            raise ValueError("memory source needs a dataset")
+        if int(self.samples) < 1:
+            raise ValueError(f"samples must be >= 1, got {self.samples}")
+        object.__setattr__(self, "samples", int(self.samples))
+        object.__setattr__(self, "seed", int(self.seed))
+
+    @classmethod
+    def from_spec(
+        cls,
+        spec,
+        *,
+        samples: int = 5000,
+        seed: int = 0,
+        scale: float | None = None,
+    ) -> "DatasetSource":
+        """Build a source from a protocol spec.
+
+        Accepts the JSONL mapping form (``{"kind": "csv", "path": ...}``,
+        with per-kind fields) or the compact CLI string form
+        (``csv:PATH`` / ``bif:PATH`` / ``network:NAME``, taking
+        ``samples``/``seed``/``scale`` from the keyword defaults).
+        In-memory sources never cross the protocol — register those
+        through :meth:`EngineServer.register` directly.
+        """
+        if isinstance(spec, DatasetSource):
+            return spec
+        if isinstance(spec, str):
+            kind, sep, value = spec.partition(":")
+            if not sep or not value:
+                raise ValueError(
+                    f"source string must look like 'csv:PATH', 'bif:PATH' or "
+                    f"'network:NAME', got {spec!r}"
+                )
+            if kind in ("csv", "bif"):
+                return cls(kind=kind, path=value, samples=samples, seed=seed)
+            if kind == "network":
+                return cls(kind="network", name=value, samples=samples, scale=scale)
+            raise ValueError(f"unknown source kind {kind!r} in {spec!r}")
+        if isinstance(spec, Mapping):
+            d = dict(spec)
+            kind = d.pop("kind", None)
+            if kind == "memory":
+                raise ValueError(
+                    "memory sources cannot be registered over the protocol; "
+                    "use EngineServer.register() with a DiscreteDataset"
+                )
+            fields = {
+                "path": d.pop("path", None),
+                "name": d.pop("name", None),
+                "samples": d.pop("samples", samples),
+                "seed": d.pop("seed", seed),
+                "scale": d.pop("scale", scale),
+            }
+            if d:
+                raise ValueError(f"unknown source fields: {sorted(d)}")
+            return cls(kind=kind if isinstance(kind, str) else str(kind), **fields)
+        raise ValueError(
+            f"source spec must be a mapping or a 'kind:value' string, got {type(spec).__name__}"
+        )
+
+    @classmethod
+    def memory(cls, dataset: DiscreteDataset, label: str = "<memory>") -> "DatasetSource":
+        """Wrap an already-loaded dataset (tests, embedding applications)."""
+        return cls(kind="memory", name=label, dataset=dataset)
+
+    def load(self) -> DiscreteDataset:
+        if self.kind == "memory":
+            return self.dataset
+        if self.kind == "csv":
+            from ..datasets.io import read_codes_csv
+
+            return read_codes_csv(self.path)
+        if self.kind == "bif":
+            from ..datasets.bif import load_bif
+            from ..datasets.sampling import forward_sample
+
+            return forward_sample(load_bif(self.path), self.samples, rng=self.seed)
+        from ..bench.workloads import make_workload
+
+        return make_workload(self.name, self.samples, scale=self.scale).dataset
+
+    def describe(self) -> dict:
+        """JSON-able summary (never the data itself)."""
+        out: dict = {"kind": self.kind}
+        if self.kind in ("csv", "bif"):
+            out["path"] = self.path
+        if self.kind == "bif":
+            out["samples"] = self.samples
+            out["seed"] = self.seed
+        if self.kind == "network":
+            out["name"] = self.name
+            out["samples"] = self.samples
+            out["scale"] = self.scale
+        if self.kind == "memory":
+            out["name"] = self.name
+            out["n_variables"] = self.dataset.n_variables
+            out["n_samples"] = self.dataset.n_samples
+        return out
+
+    def same_as(self, other: "DatasetSource") -> bool:
+        """Idempotence check for repeated ``register`` ops."""
+        if self.kind == "memory" or other.kind == "memory":
+            return self.dataset is other.dataset
+        return self.describe() == other.describe()
+
+
+class _SessionSlot:
+    """One live session plus everything serialised behind its lock."""
+
+    __slots__ = ("fingerprint", "session", "server", "manifest", "lock", "ids", "retired")
+
+    def __init__(self, session: LearningSession, dataset_id: str) -> None:
+        self.fingerprint = session.fingerprint
+        self.session = session
+        self.server = BatchServer(session)
+        self.manifest = self.server.new_manifest()
+        self.lock = threading.Lock()
+        self.ids = {dataset_id}
+        self.retired = False
+
+
+# --------------------------------------------------------------------- #
+# the server
+# --------------------------------------------------------------------- #
+class EngineServer:
+    """Serve learn/blanket streams across many datasets from one process.
+
+    Parameters mirror :class:`LearningSession` (every session the server
+    spins up is configured identically — the engine configuration is part
+    of each response's fingerprint lineage), plus:
+
+    max_sessions:
+        LRU budget of *live* sessions.  Creating a session past the budget
+        evicts the least-recently-touched one: its worker pool is shut
+        down (unlinking the shm plane), its manifest is retired into the
+        run document, and its id re-creates a fresh session on next touch.
+    default_dataset:
+        Optional id to route requests that carry no ``dataset`` tag —
+        lets single-dataset ``fastbns batch`` streams run unchanged.
+    default_samples, default_seed, default_scale:
+        Defaults applied to source specs that omit them — both the CLI's
+        ``--register`` flags and in-stream ``register`` ops resolve
+        against the *same* defaults, so the two registration routes
+        materialise identical datasets for identical specs.
+    """
+
+    def __init__(
+        self,
+        *,
+        test: str = "g2",
+        alpha: float = 0.05,
+        dof_adjust: str = "structural",
+        n_jobs: int = 1,
+        backend: str = "process",
+        cache_bytes: int = DEFAULT_BUDGET_BYTES,
+        use_shm: bool | None = None,
+        max_sessions: int = 4,
+        default_dataset: str | None = None,
+        default_samples: int = 5000,
+        default_seed: int = 0,
+        default_scale: float | None = None,
+    ) -> None:
+        if max_sessions < 1:
+            raise ValueError("max_sessions must be >= 1")
+        self._session_kwargs = dict(
+            test=test,
+            alpha=alpha,
+            dof_adjust=dof_adjust,
+            n_jobs=int(n_jobs),
+            backend=backend,
+            cache_bytes=int(cache_bytes),
+            use_shm=use_shm,
+        )
+        self.max_sessions = int(max_sessions)
+        self.default_dataset = default_dataset
+        self.default_samples = int(default_samples)
+        self.default_seed = int(default_seed)
+        self.default_scale = default_scale
+        self._sources: dict[str, DatasetSource] = {}
+        self._id_fp: dict[str, str] = {}
+        self._slots: "OrderedDict[str, _SessionSlot]" = OrderedDict()
+        self._creation_locks: dict[str, threading.Lock] = {}
+        self._registry = threading.Lock()
+        self._misc = threading.Lock()
+        # Errors that never reached a session (unknown dataset, bad admin
+        # request, unparseable line) still belong to the run's audit trail.
+        self._unrouted = RunManifest(dataset_fingerprint="", engine={"role": "unrouted"})
+        self._retired_docs: list[dict] = []
+        self._created = time.time()
+        self.n_requests = 0
+        self.n_admin = 0
+        self.n_spinups = 0
+        self.n_evictions = 0
+        self._closed = False
+        if int(n_jobs) > 1 and backend == "process":
+            # Dispatcher threads fork worker pools lazily; pre-importing
+            # the parallel stack keeps those forks from ever happening
+            # mid-import of another lane's lazy module load.
+            from ..core import learn as _learn  # noqa: F401
+            from ..parallel import adaptive as _adaptive  # noqa: F401
+            from ..parallel import backends as _backends  # noqa: F401
+            from ..parallel import ci_level as _ci_level  # noqa: F401
+
+    # ------------------------------------------------------------------ #
+    # registry
+    # ------------------------------------------------------------------ #
+    def register(self, dataset_id: str, source) -> bool:
+        """Register ``dataset_id`` -> source; returns ``True`` when new.
+
+        ``source`` may be a :class:`DatasetSource`, a protocol spec
+        (mapping or ``kind:value`` string), or a bare
+        :class:`DiscreteDataset` (wrapped as an in-memory source).
+        Re-registering the same source is idempotent; a *different* source
+        under a taken id raises — ids are append-only within a run so
+        response fingerprints stay attributable.
+        """
+        if not isinstance(dataset_id, str) or not dataset_id:
+            raise ValueError(f"dataset id must be a non-empty string, got {dataset_id!r}")
+        if isinstance(source, DiscreteDataset):
+            source = DatasetSource.memory(source, label=dataset_id)
+        else:
+            source = DatasetSource.from_spec(
+                source,
+                samples=self.default_samples,
+                seed=self.default_seed,
+                scale=self.default_scale,
+            )
+        with self._registry:
+            existing = self._sources.get(dataset_id)
+            if existing is not None:
+                if existing.same_as(source):
+                    return False
+                raise ValueError(
+                    f"dataset {dataset_id!r} is already registered with a different source"
+                )
+            self._sources[dataset_id] = source
+            self._creation_locks.setdefault(dataset_id, threading.Lock())
+        return True
+
+    def datasets(self) -> dict[str, dict]:
+        """Registered ids -> {source, fingerprint (if loaded), live}."""
+        with self._registry:
+            return {
+                ds_id: {
+                    "source": src.describe(),
+                    "fingerprint": self._id_fp.get(ds_id),
+                    "live": self._id_fp.get(ds_id) in self._slots,
+                }
+                for ds_id, src in self._sources.items()
+            }
+
+    def _slot_for(self, dataset_id: str) -> _SessionSlot:
+        """Resolve an id to its live session slot, creating on first touch."""
+        with self._registry:
+            source = self._sources.get(dataset_id)
+            if source is None:
+                known = ", ".join(sorted(self._sources)) or "none registered"
+                raise KeyError(f"unknown dataset {dataset_id!r} (known: {known})")
+            fp = self._id_fp.get(dataset_id)
+            slot = self._slots.get(fp) if fp is not None else None
+            if slot is not None:
+                self._slots.move_to_end(fp)
+                # Replace, don't mutate: manifest() iterates ids under the
+                # slot lock, not the registry lock.
+                slot.ids = slot.ids | {dataset_id}
+                return slot
+            creation = self._creation_locks[dataset_id]
+        with creation:
+            # Another dispatcher lane may have built it while we waited.
+            with self._registry:
+                fp = self._id_fp.get(dataset_id)
+                slot = self._slots.get(fp) if fp is not None else None
+                if slot is not None:
+                    self._slots.move_to_end(fp)
+                    slot.ids = slot.ids | {dataset_id}
+                    return slot
+            session = LearningSession(source.load(), **self._session_kwargs)
+            victims: list[_SessionSlot] = []
+            with self._registry:
+                fp = session.fingerprint
+                slot = self._slots.get(fp)
+                if slot is not None:
+                    # A different id already serves byte-identical data:
+                    # share its session (and result cache) instead.
+                    session.close()
+                    self._slots.move_to_end(fp)
+                    slot.ids = slot.ids | {dataset_id}
+                    self._id_fp[dataset_id] = fp
+                    return slot
+                slot = _SessionSlot(session, dataset_id)
+                self._slots[fp] = slot
+                self._id_fp[dataset_id] = fp
+                self.n_spinups += 1
+                while len(self._slots) > self.max_sessions:
+                    victim_fp = next(iter(self._slots))
+                    if victim_fp == fp:  # never evict the slot just built
+                        break
+                    victims.append(self._slots.pop(victim_fp))
+                    self.n_evictions += 1
+            for victim in victims:
+                self._retire(victim, evicted=True)
+            return slot
+
+    def _retire(self, slot: _SessionSlot, *, evicted: bool) -> None:
+        """Close a slot's session and fold its manifest into the run doc.
+
+        Waits for the slot's in-flight request (if any) under its lock, so
+        eviction never yanks a pool out from under a running learn.
+        """
+        with slot.lock:
+            slot.retired = True
+            cache_doc = slot.session.cache_stats().as_dict()
+            workers = slot.session.worker_cache_stats()
+            if workers:
+                cache_doc["workers"] = workers
+            doc = slot.manifest.to_dict(cache_stats=cache_doc)
+            doc["dataset_ids"] = sorted(slot.ids)
+            doc["live"] = False
+            doc["evicted"] = evicted
+            slot.session.close()
+        with self._misc:
+            self._retired_docs.append(doc)
+
+    # ------------------------------------------------------------------ #
+    # request handling
+    # ------------------------------------------------------------------ #
+    def handle(self, raw) -> dict:
+        """Serve one request (query or admin); never raises on bad input."""
+        if self._closed:
+            raise RuntimeError("server is closed")
+        with self._misc:
+            self.n_requests += 1
+        if not isinstance(raw, Mapping):
+            return self.reject(f"request must be a JSON object, got {type(raw).__name__}")
+        op = raw.get("op")
+        if op in ADMIN_OPS:
+            with self._misc:
+                self.n_admin += 1
+            handler = {
+                "register": self._op_register,
+                "close_dataset": self._op_close_dataset,
+                "stats": self._op_stats,
+            }[op]
+            return handler(raw)
+        return self._handle_query(raw)
+
+    def _handle_query(self, raw: Mapping) -> dict:
+        t0 = time.perf_counter()
+        payload = dict(raw)
+        dataset_id = payload.pop("dataset", self.default_dataset)
+        op = payload.get("op")
+        if dataset_id is None:
+            return self.reject(
+                "request carries no 'dataset' tag and the server has no default dataset",
+                op=op,
+                t0=t0,
+            )
+        if not isinstance(dataset_id, str):
+            return self.reject(
+                f"'dataset' must be a string id, got {dataset_id!r}", op=op, t0=t0
+            )
+        while True:
+            try:
+                slot = self._slot_for(dataset_id)
+            except (KeyError, ValueError, OSError) as exc:
+                # KeyError's str() quotes its message; unwrap for JSON.
+                message = exc.args[0] if isinstance(exc, KeyError) and exc.args else str(exc)
+                return self.reject(message, op=op, dataset=dataset_id, t0=t0)
+            with slot.lock:
+                if slot.retired:
+                    continue  # evicted while we waited: re-resolve
+                resp = slot.server.handle(payload)
+                slot.manifest.add_request(
+                    resp["op"],
+                    resp["fingerprint"],
+                    resp["cached"],
+                    resp["elapsed_s"],
+                    error=resp["error"],
+                )
+            resp["dataset"] = dataset_id
+            return resp
+
+    def reject(
+        self,
+        message: str,
+        *,
+        op: str | None = None,
+        dataset: str | None = None,
+        t0: float | None = None,
+    ) -> dict:
+        """Uniform error response for requests that reach no session.
+
+        Public because stream framers sit above the server: the CLI calls
+        this for lines that fail JSON parsing, so even those show up in
+        the run manifest instead of vanishing.
+        """
+        elapsed = 0.0 if t0 is None else time.perf_counter() - t0
+        known_op = op if op in QUERY_OPS + ADMIN_OPS else None
+        with self._misc:
+            self._unrouted.add_request(known_op, None, False, elapsed, error=message)
+        return {
+            "op": known_op,
+            "dataset": dataset if isinstance(dataset, str) else None,
+            "fingerprint": None,
+            "cached": False,
+            "elapsed_s": elapsed,
+            "result": None,
+            "error": message,
+        }
+
+    def _admin_ok(self, op: str, dataset: str | None, result: dict, t0: float) -> dict:
+        return {
+            "op": op,
+            "dataset": dataset,
+            "fingerprint": None,
+            "cached": False,
+            "elapsed_s": time.perf_counter() - t0,
+            "result": result,
+            "error": None,
+        }
+
+    def _op_register(self, raw: Mapping) -> dict:
+        t0 = time.perf_counter()
+        d = dict(raw)
+        d.pop("op")
+        dataset_id = d.pop("dataset", None)
+        spec = d.pop("source", None)
+        if d:
+            return self.reject(
+                f"unknown register fields: {sorted(d)}", op="register", t0=t0
+            )
+        try:
+            # The raw spec goes through register() so in-stream ops resolve
+            # against the same default_samples/seed/scale as --register.
+            created = self.register(dataset_id, spec)
+        except (ValueError, TypeError) as exc:
+            return self.reject(
+                str(exc),
+                op="register",
+                dataset=dataset_id if isinstance(dataset_id, str) else None,
+                t0=t0,
+            )
+        with self._registry:
+            described = self._sources[dataset_id].describe()
+        return self._admin_ok(
+            "register",
+            dataset_id,
+            {"registered": True, "already": not created, "source": described},
+            t0,
+        )
+
+    def _op_close_dataset(self, raw: Mapping) -> dict:
+        t0 = time.perf_counter()
+        d = dict(raw)
+        d.pop("op")
+        dataset_id = d.pop("dataset", None)
+        unregister = bool(d.pop("unregister", False))
+        if d:
+            return self.reject(
+                f"unknown close_dataset fields: {sorted(d)}", op="close_dataset", t0=t0
+            )
+        if not isinstance(dataset_id, str):
+            return self.reject(
+                f"close_dataset needs a string 'dataset' id, got {dataset_id!r}",
+                op="close_dataset",
+                t0=t0,
+            )
+        with self._registry:
+            if dataset_id not in self._sources:
+                known = ", ".join(sorted(self._sources)) or "none registered"
+                message = f"unknown dataset {dataset_id!r} (known: {known})"
+                slot = None
+            else:
+                message = None
+                fp = self._id_fp.get(dataset_id)
+                slot = self._slots.pop(fp, None) if fp is not None else None
+                if unregister:
+                    self._sources.pop(dataset_id)
+                    self._id_fp.pop(dataset_id, None)
+        if message is not None:
+            return self.reject(message, op="close_dataset", dataset=dataset_id, t0=t0)
+        if slot is not None:
+            self._retire(slot, evicted=False)
+        return self._admin_ok(
+            "close_dataset",
+            dataset_id,
+            {
+                "closed": slot is not None,
+                "unregistered": unregister,
+                "fingerprint": slot.fingerprint if slot is not None else None,
+            },
+            t0,
+        )
+
+    def _op_stats(self, raw: Mapping) -> dict:
+        t0 = time.perf_counter()
+        d = dict(raw)
+        d.pop("op")
+        if d:
+            return self.reject(f"unknown stats fields: {sorted(d)}", op="stats", t0=t0)
+        return self._admin_ok("stats", None, self.stats(), t0)
+
+    # ------------------------------------------------------------------ #
+    # streams
+    # ------------------------------------------------------------------ #
+    def serve(self, requests: Iterable, *, threads: int = 1) -> list[dict]:
+        """Serve a request stream; responses in input order.
+
+        ``threads > 1`` dispatches concurrently with one lane per
+        ``dataset`` tag: per-dataset order (and therefore per-dataset
+        result-cache behaviour) matches the sequential run exactly, while
+        different datasets' requests overlap.  Admin ops are barriers —
+        everything before completes first, then the op, then the rest.
+        """
+        requests = list(requests)
+        if threads <= 1:
+            return [self.handle(raw) for raw in requests]
+        responses: list[dict | None] = [None] * len(requests)
+
+        def run_lane(items: Sequence[tuple[int, Mapping]]) -> None:
+            for index, raw in items:
+                responses[index] = self.handle(raw)
+
+        def is_admin(raw) -> bool:
+            return isinstance(raw, Mapping) and raw.get("op") in ADMIN_OPS
+
+        def lane_key(raw) -> str:
+            if not isinstance(raw, Mapping):
+                return "<malformed>"
+            return repr(raw.get("dataset", self.default_dataset))
+
+        with ThreadPoolExecutor(max_workers=threads) as pool:
+            batch: list[tuple[int, Mapping]] = []
+
+            def flush() -> None:
+                lanes: dict[str, list[tuple[int, Mapping]]] = {}
+                for item in batch:
+                    lanes.setdefault(lane_key(item[1]), []).append(item)
+                for future in [pool.submit(run_lane, lane) for lane in lanes.values()]:
+                    future.result()
+                batch.clear()
+
+            for i, raw in enumerate(requests):
+                if is_admin(raw):
+                    flush()
+                    responses[i] = self.handle(raw)
+                else:
+                    batch.append((i, raw))
+            flush()
+        return responses
+
+    # ------------------------------------------------------------------ #
+    # introspection & manifest
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict:
+        """JSON-able snapshot of the whole server."""
+        manifest = self.manifest()
+        with self._registry:
+            live = {fp: slot for fp, slot in self._slots.items()}
+        per_session = {}
+        for fp, slot in live.items():
+            with slot.lock:
+                if not slot.retired:
+                    per_session[fp] = {
+                        "dataset_ids": sorted(slot.ids),
+                        **slot.server.stats(),
+                    }
+        with self._misc:
+            counters = {
+                "n_requests": self.n_requests,
+                "n_admin": self.n_admin,
+            }
+        return {
+            **counters,
+            "sessions": {
+                "live": len(per_session),
+                "budget": self.max_sessions,
+                "spinups": self.n_spinups,
+                "evictions": self.n_evictions,
+            },
+            "datasets": self.datasets(),
+            "totals": manifest["totals"],
+            "per_session": per_session,
+        }
+
+    def manifest(self) -> dict:
+        """The run document spanning every session, live and retired."""
+        with self._registry:
+            live = list(self._slots.values())
+        session_docs = []
+        for slot in live:
+            with slot.lock:
+                if slot.retired:
+                    continue
+                cache_doc = slot.session.cache_stats().as_dict()
+                workers = slot.session.worker_cache_stats()
+                if workers:
+                    cache_doc["workers"] = workers
+                doc = slot.manifest.to_dict(cache_stats=cache_doc)
+                doc["dataset_ids"] = sorted(slot.ids)
+                doc["live"] = True
+                doc["evicted"] = False
+            session_docs.append(doc)
+        with self._misc:
+            session_docs.extend(self._retired_docs)
+            unrouted = self._unrouted.to_dict()
+        totals = merge_totals(
+            [doc["totals"] for doc in session_docs] + [unrouted["totals"]]
+        )
+        return {
+            "manifest_version": MANIFEST_VERSION,
+            "created_unix": self._created,
+            "engine": dict(self._session_kwargs),
+            "totals": totals,
+            "sessions": session_docs,
+            "unrouted": unrouted,
+        }
+
+    def write_manifest(self, path) -> None:
+        import json
+        from pathlib import Path
+
+        Path(path).write_text(json.dumps(self.manifest(), indent=2) + "\n")
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Close every live session (pools down, shm unlinked); idempotent."""
+        with self._registry:
+            slots = list(self._slots.values())
+            self._slots.clear()
+        for slot in slots:
+            self._retire(slot, evicted=False)
+        self._closed = True
+
+    def __enter__(self) -> "EngineServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        with self._registry:
+            return (
+                f"EngineServer(datasets={len(self._sources)}, "
+                f"live_sessions={len(self._slots)}/{self.max_sessions}, "
+                f"n_jobs={self._session_kwargs['n_jobs']})"
+            )

@@ -327,6 +327,11 @@ class LearningSession:
     # ------------------------------------------------------------------ #
     # lifecycle
     # ------------------------------------------------------------------ #
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` ran (the server's eviction check)."""
+        return self._closed
+
     def _check_open(self) -> None:
         if self._closed:
             raise RuntimeError("session is closed")

@@ -169,7 +169,7 @@ class TestResultInvariance:
             assert res.cpdag == sequential.cpdag
             server = BatchServer(session)
             out = server.serve([{"op": "learn", "gs": "auto", "max_depth": 1}])
-            assert "result" in out[0] and "error" not in out[0]
+            assert out[0]["result"] is not None and out[0]["error"] is None
 
     def test_bad_gs_rejected_by_frontend(self, data):
         with pytest.raises(ValueError):

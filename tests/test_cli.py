@@ -81,6 +81,29 @@ class TestLearnCommand:
         assert rc == 0
 
 
+class TestCsvLoading:
+    def test_single_column_csv(self, tmp_path, capsys, rng):
+        """np.loadtxt returns 1-D for one column; ndmin=2 must keep the
+        loader working instead of crashing in from_rows."""
+        path = tmp_path / "one.csv"
+        path.write_text("x\n" + "\n".join(str(v) for v in rng.integers(0, 3, 50)) + "\n")
+        rc = main(["learn", "--csv", str(path), "--quiet"])
+        assert rc == 0
+        assert "skeleton: 0 edges" in capsys.readouterr().out
+
+    def test_header_width_mismatch_is_clear_error(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("x,y,z\n0,1\n1,0\n")
+        with pytest.raises(ValueError, match="header names 3 column"):
+            main(["learn", "--csv", str(path)])
+
+    def test_empty_csv_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("x,y\n")
+        with pytest.raises(ValueError, match="no data rows"):
+            main(["learn", "--csv", str(path)])
+
+
 class TestExperimentCommand:
     def test_table2(self, capsys):
         rc = main(["experiment", "table2"])
@@ -117,3 +140,136 @@ class TestBlanketCommand:
         )
         assert rc == 0
         assert "true blanket" in capsys.readouterr().out
+
+    def test_blanket_sources_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["blanket", "--network", "alarm", "--csv", "a.csv", "--target", "0"]
+            )
+
+    def test_blanket_from_csv(self, tmp_path, capsys, rng):
+        """--csv parity: no generating network, so no ground-truth lines,
+        but the query itself runs through the session layer."""
+        m = 500
+        x = rng.integers(0, 2, m)
+        y = np.where(rng.random(m) < 0.05, 1 - x, x)
+        z = rng.integers(0, 2, m)
+        path = tmp_path / "data.csv"
+        np.savetxt(
+            path, np.column_stack([x, y, z]), fmt="%d", delimiter=",",
+            header="x,y,z", comments="",
+        )
+        rc = main(["blanket", "--csv", str(path), "--target", "x"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "blanket (iamb" in out and "y" in out
+        assert "true blanket" not in out and "overlap" not in out
+        assert "stats cache:" in out
+
+    def test_blanket_from_bif_with_seed(self, tmp_path, capsys):
+        from repro.datasets.bif import write_bif
+        from repro.networks.classic import sprinkler
+
+        path = tmp_path / "net.bif"
+        path.write_text(write_bif(sprinkler()))
+        rc = main(
+            ["blanket", "--bif", str(path), "--samples", "1500", "--seed", "3",
+             "--target", "0"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "blanket (iamb" in out and "m=1500" in out
+
+
+class TestServeCommand:
+    def _write_requests(self, path, requests):
+        import json
+
+        path.write_text("".join(json.dumps(r) + "\n" for r in requests))
+
+    @pytest.mark.parametrize("threads", [1, 2])
+    def test_serve_end_to_end(self, tmp_path, capsys, threads):
+        import json
+
+        reqs = tmp_path / "reqs.jsonl"
+        self._write_requests(
+            reqs,
+            [
+                {"op": "learn", "dataset": "a", "alpha": 0.05},
+                {"op": "register", "dataset": "b",
+                 "source": {"kind": "network", "name": "insurance",
+                            "samples": 300, "scale": 0.4}},
+                {"op": "learn", "dataset": "b"},
+                {"op": "learn", "dataset": "a", "alpha": 0.05},  # hit
+                {"op": "learn", "dataset": "a", "gs": 0},  # validation error
+                {"op": "learn", "dataset": "ghost"},  # unknown dataset
+                {"op": "stats"},
+            ],
+        )
+        out = tmp_path / "out.jsonl"
+        man = tmp_path / "manifest.json"
+        rc = main(
+            ["serve", "--register", "a=network:alarm", "--samples", "300",
+             "--requests", str(reqs), "--out", str(out),
+             "--manifest", str(man), "--threads", str(threads)]
+        )
+        assert rc == 0
+        lines = [json.loads(line) for line in out.read_text().splitlines()]
+        assert len(lines) == 7
+        for resp in lines:
+            assert (resp["result"] is None) != (resp["error"] is None)
+        assert [r["dataset"] for r in lines[:6]] == ["a", "b", "b", "a", "a", "ghost"]
+        assert lines[3]["cached"] and lines[3]["result"] == lines[0]["result"]
+        assert "gs must be >= 1" in lines[4]["error"]
+        assert "unknown dataset" in lines[5]["error"]
+        assert lines[6]["result"]["sessions"]["live"] == 2
+        doc = json.loads(man.read_text())
+        assert doc["totals"]["n_requests"] == 5  # 2 admin ops tracked apart
+        assert doc["totals"]["n_errors"] == 2
+        assert doc["totals"]["n_result_cache_hits"] == 1
+
+    def test_serve_streams_stdin_stdout(self, capsys, monkeypatch):
+        import io
+        import json
+
+        stream = "\n".join(
+            [
+                json.dumps({"op": "learn", "dataset": "a", "max_depth": 1}),
+                "this is not json",
+                json.dumps({"op": "learn", "dataset": "a", "max_depth": 1}),
+            ]
+        )
+        monkeypatch.setattr("sys.stdin", io.StringIO(stream + "\n"))
+        rc = main(["serve", "--register", "a=network:alarm", "--samples", "300"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        lines = [json.loads(line) for line in captured.out.splitlines()]
+        assert len(lines) == 3
+        assert lines[0]["error"] is None
+        assert "invalid JSON" in lines[1]["error"]
+        assert lines[2]["cached"]
+        # The summary must not pollute the JSONL stream on stdout.
+        assert "served 3 requests" in captured.err
+
+    def test_serve_summary_counts_emitted_lines_once(self, capsys, monkeypatch):
+        """A failed admin op is both an admin request and an unrouted
+        error; the summary must count the response line once."""
+        import io
+        import json
+
+        stream = "\n".join(
+            [
+                json.dumps({"op": "register", "dataset": "b", "bogus": 1}),
+                json.dumps({"op": "learn", "dataset": "a", "max_depth": 0}),
+            ]
+        )
+        monkeypatch.setattr("sys.stdin", io.StringIO(stream + "\n"))
+        rc = main(["serve", "--register", "a=network:alarm", "--samples", "300"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert len(captured.out.splitlines()) == 2
+        assert "served 2 requests" in captured.err
+
+    def test_serve_bad_register_spec_exits(self):
+        with pytest.raises(SystemExit, match="ID=KIND:VALUE"):
+            main(["serve", "--register", "nonsense"])

@@ -341,6 +341,92 @@ class TestBatchServer:
         totals = manifest.totals()
         assert totals["n_errors"] == 3 and totals["n_computed"] == 1
 
+    @pytest.mark.parametrize(
+        "req,needle",
+        [
+            ({"op": "learn", "gs": 0}, "gs must be >= 1"),
+            ({"op": "learn", "gs": -4}, "gs must be >= 1"),
+            ({"op": "learn", "gs": "sometimes"}, "gs must be a positive int"),
+            ({"op": "learn", "gs": None}, "gs must be a positive int"),
+            ({"op": "learn", "max_depth": -1}, "max_depth must be >= 0"),
+            ({"op": "learn", "max_depth": "deep"}, "max_depth must be a non-negative int"),
+            ({"op": "blanket", "target": 10**6}, "out of range"),
+            ({"op": "blanket", "target": -1}, "out of range"),
+            ({"op": "blanket", "target": 1.5}, "name or index"),
+            ({"op": "blanket", "target": 0, "max_conditioning": -2}, "max_conditioning"),
+        ],
+    )
+    def test_invalid_parameters_rejected_at_normalisation(self, asia_data, req, needle):
+        """gs=0 / negative depths / bad targets die at intake with a clear
+        message — not as a ValueError (or worse, IndexError) deep inside
+        learn_skeleton mid-compute."""
+        with LearningSession(asia_data) as sess:
+            with pytest.raises(ValueError, match=needle):
+                BatchRequest.normalise(req, sess)
+            server = BatchServer(sess)
+            resp = server.handle(req)
+            assert needle.split(" must")[0] in resp["error"]
+            assert resp["result"] is None and not resp["cached"]
+            assert server.n_errors == 1
+
+    def test_valid_boundary_parameters_accepted(self, asia_data):
+        with LearningSession(asia_data) as sess:
+            for req in (
+                {"op": "learn", "gs": 1, "max_depth": 0},
+                {"op": "learn", "gs": "auto"},
+                {"op": "blanket", "target": 0, "max_conditioning": 0},
+                {"op": "blanket", "target": 0, "max_conditioning": None},
+            ):
+                BatchRequest.normalise(req, sess)  # must not raise
+
+    def test_uniform_response_schema(self, asia_data):
+        """Success and error responses expose the same keys: consumers
+        branch on the error *value*, never on key presence."""
+        keys = {"op", "fingerprint", "cached", "elapsed_s", "result", "error"}
+        with LearningSession(asia_data) as sess:
+            server = BatchServer(sess)
+            out = server.serve(
+                [
+                    {"op": "learn", "max_depth": 0},
+                    {"op": "learn", "max_depth": 0},
+                    {"op": "learn", "gs": 0},
+                    {"op": "frobnicate"},
+                ]
+            )
+        for resp in out:
+            assert set(resp) == keys
+            assert (resp["result"] is None) != (resp["error"] is None)
+        assert [r["error"] is None for r in out] == [True, True, False, False]
+
+    def test_server_stats_equal_manifest_totals_on_mixed_stream(self, asia_data):
+        """The two accounting views (live counters vs manifest rollup) must
+        agree exactly on a stream containing errors AND cache hits."""
+        with LearningSession(asia_data) as sess:
+            server = BatchServer(sess)
+            manifest = server.new_manifest()
+            server.serve(
+                [
+                    {"op": "learn", "max_depth": 0},
+                    {"op": "learn", "max_depth": 0},  # result-cache hit
+                    {"op": "learn", "gs": 0},  # validation error
+                    {"op": "blanket", "target": "nope"},  # routing error
+                    {"op": "blanket", "target": 0},
+                    {"op": "learn", "max_depth": 0},  # hit again
+                ],
+                manifest=manifest,
+            )
+            stats = server.stats()
+        totals = manifest.totals()
+        for key in ("n_requests", "n_computed", "n_result_cache_hits", "n_errors"):
+            assert stats[key] == totals[key], key
+        assert totals == {
+            "n_requests": 6,
+            "n_computed": 2,
+            "n_result_cache_hits": 2,
+            "n_errors": 2,
+            "elapsed_s": totals["elapsed_s"],
+        }
+
     def test_manifest_records_stream(self, asia_data, tmp_path):
         with LearningSession(asia_data) as sess:
             server = BatchServer(sess)
