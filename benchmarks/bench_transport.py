@@ -1,0 +1,195 @@
+"""Transport bench: one shared socket server vs per-client engines.
+
+The pre-transport serving story is one producer per process: ``fastbns
+serve`` reads a single stdin stream, so a second user needs a second
+engine — its own sessions, its own caches, its own spin-ups.  The socket
+transport (``--listen``) multiplexes many connections over one warm
+:class:`~repro.engine.server.EngineServer`, each connection driving its
+own streaming dispatcher (ordered responses, bounded in-flight window,
+backpressure from the window instead of whole-stream buffering).
+
+This bench serves the same interleaved two-dataset request stream to two
+clients both ways and asserts the architectural win:
+
+* **baseline — single-connection sequential**: each client gets a
+  dedicated engine behind its own socket and drives it lockstep
+  (response *i* read before request *i+1*), one client after the other —
+  two engines, every distinct request computed twice;
+* **shared socket server**: one engine, both clients connected at once,
+  each pipelining its stream through the per-connection window — every
+  distinct request computed once, repeat traffic (including the *other*
+  client's) served from the shared result cache.
+
+Asserts >= 1.5x throughput for the shared server, payload-identical
+responses per client (op/dataset/fingerprint/result/error — ``cached``
+legitimately differs: that flag *is* the sharing), and that the shared
+run computed each distinct request exactly once.  Records
+``BENCH_transport.json`` for the README table.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+from repro.bench.tables import render_table
+from repro.bench.workloads import make_workload
+from repro.engine import EngineClient, EngineServer, EngineTransport
+
+NETWORKS = (("alarm", 800), ("insurance", 800))
+ROUNDS = 2
+THREADS = 2
+WINDOW = 32
+TIMEOUT = 120.0
+
+
+def _client_stream(labels) -> list[dict]:
+    """One user's traffic: ROUNDS rounds interleaving both datasets.
+
+    Round 1 computes, later rounds are repeat traffic; on the shared
+    server the *second* client's round 1 is already repeat traffic too.
+    """
+    return [
+        {"op": "learn", "dataset": label, "alpha": alpha, "max_depth": 2}
+        for _ in range(ROUNDS)
+        for alpha in (0.05, 0.01)
+        for label in labels
+    ]
+
+
+def _payload(resp: dict) -> str:
+    """Everything a client consumes, minus timing and cache provenance."""
+    return json.dumps(
+        {k: resp[k] for k in ("op", "dataset", "fingerprint", "result", "error")},
+        sort_keys=True,
+    )
+
+
+def _fresh_transport(datasets) -> tuple[EngineServer, EngineTransport]:
+    server = EngineServer(alpha=0.05, max_sessions=len(datasets))
+    for label, dataset in datasets.items():
+        server.register(label, dataset)
+    transport = EngineTransport(server, "127.0.0.1:0", threads=THREADS, window=WINDOW)
+    transport.start()
+    return server, transport
+
+
+def test_transport_shared_server_throughput(benchmark, record, record_json):
+    workloads = {name: make_workload(name, m) for name, m in NETWORKS}
+    datasets = {wl.label: wl.dataset for wl in workloads.values()}
+    stream = _client_stream(list(datasets))
+    n_clients = 2
+    n_distinct = 2 * len(datasets)  # two alphas per dataset
+
+    def run() -> dict:
+        # Baseline: a dedicated engine per client, driven lockstep over a
+        # single connection, one client after the other.
+        t0 = time.perf_counter()
+        sequential: list[list[dict]] = []
+        for _ in range(n_clients):
+            server, transport = _fresh_transport(datasets)
+            with server:
+                try:
+                    with EngineClient(transport.describe(), timeout=TIMEOUT) as client:
+                        sequential.append([client.request(req) for req in stream])
+                finally:
+                    transport.shutdown(timeout=TIMEOUT)
+        t_seq = time.perf_counter() - t0
+
+        # Shared: one engine, both clients concurrent and pipelined.
+        server, transport = _fresh_transport(datasets)
+        with server:
+            address = transport.describe()
+            results: list[list[dict] | None] = [None] * n_clients
+            errors: list = []
+
+            def drive(index: int) -> None:
+                try:
+                    with EngineClient(address, timeout=TIMEOUT) as client:
+                        for req in stream:
+                            client.send(req)
+                        results[index] = client.drain()
+                except Exception as exc:  # pragma: no cover - surfaced below
+                    errors.append(exc)
+
+            workers = [
+                threading.Thread(target=drive, args=(i,)) for i in range(n_clients)
+            ]
+            t0 = time.perf_counter()
+            for w in workers:
+                w.start()
+            for w in workers:
+                w.join(timeout=TIMEOUT)
+            t_conc = time.perf_counter() - t0
+            assert not errors, errors
+            assert all(not w.is_alive() for w in workers), "client hung"
+            transport.shutdown(timeout=TIMEOUT)
+            stats = server.stats()
+        return {
+            "sequential_s": t_seq,
+            "concurrent_s": t_conc,
+            "sequential": sequential,
+            "concurrent": results,
+            "stats": stats,
+        }
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # Payload-identical responses for every client, request by request —
+    # sharing changes who computes, never what anyone receives.
+    for baseline, shared in zip(out["sequential"], out["concurrent"]):
+        assert [_payload(a) for a in baseline] == [_payload(b) for b in shared]
+
+    # The shared server computed each distinct request exactly once; the
+    # per-client engines each computed all of them.
+    totals = out["stats"]["totals"]
+    assert totals["n_computed"] == n_distinct
+    assert totals["n_result_cache_hits"] == n_clients * len(stream) - n_distinct
+
+    speedup = out["sequential_s"] / max(out["concurrent_s"], 1e-9)
+    assert speedup >= 1.5, f"shared socket server only {speedup:.2f}x over per-client engines"
+
+    labels = list(datasets)
+    n_total = n_clients * len(stream)
+    text = render_table(
+        ["serving mode", "requests", "seconds", "req/s", "computed"],
+        [
+            [
+                "per-client engines, lockstep",
+                n_total,
+                f"{out['sequential_s']:.3f}",
+                f"{n_total / out['sequential_s']:.1f}",
+                n_clients * n_distinct,
+            ],
+            [
+                f"shared socket server ({n_clients} clients, window={WINDOW})",
+                n_total,
+                f"{out['concurrent_s']:.3f}",
+                f"{n_total / out['concurrent_s']:.1f}",
+                totals["n_computed"],
+            ],
+            ["speedup", "", f"{speedup:.1f}x", "", ""],
+        ],
+        title=(
+            f"Socket transport — {' + '.join(labels)}, {n_clients} clients, "
+            f"{ROUNDS} rounds, {THREADS} dispatch threads/conn"
+        ),
+    )
+    record("transport_throughput", text)
+    record_json(
+        "transport",
+        {
+            "networks": labels,
+            "n_requests": n_total,
+            "rounds": ROUNDS,
+            "threads": THREADS,
+            "window": WINDOW,
+            "n_clients": n_clients,
+            "sequential_s": out["sequential_s"],
+            "concurrent_s": out["concurrent_s"],
+            "speedup": speedup,
+            "requests_per_s": n_total / out["concurrent_s"],
+            "result_cache_hits": totals["n_result_cache_hits"],
+        },
+    )

@@ -74,11 +74,22 @@ def _row_server(doc: dict) -> tuple[str, str]:
     )
 
 
+def _row_transport(doc: dict) -> tuple[str, str]:
+    return (
+        f"shared socket server vs per-client engines "
+        f"({' + '.join(doc['networks'])}, {doc['n_clients']} clients, "
+        f"{doc['n_requests']} requests)",
+        f"{_fmt(doc['speedup'], 1)}× serving speedup, "
+        f"{_fmt(doc['requests_per_s'], 1)} req/s over TCP",
+    )
+
+
 _SUMMARISERS = {
     "engine_throughput": _row_engine_throughput,
     "kernel_batching": _row_kernel_batching,
     "server": _row_server,
     "shared_memory": _row_shared_memory,
+    "transport": _row_transport,
 }
 
 _GENERIC_FIELDS = ("speedup", "best_speedup", "ops_per_s", "requests_per_s")

@@ -54,6 +54,18 @@ where each request names its dataset (admin ops ``register`` /
     {"op": "register", "dataset": "b2", "source": {"kind": "bif", "path": "net.bif"}}
     {"op": "stats"}
 
+Dispatch streams: responses are emitted per input line at every thread
+count, with at most ``--window`` requests in flight — a producer that
+pipes requests and waits on each response before sending the next always
+makes progress.  ``--listen`` serves the same protocol over a socket to
+many concurrent clients (one ordered response stream per connection)::
+
+    python -m repro serve --register icu=csv:icu.csv \\
+        --listen 127.0.0.1:7878 --threads 4 --jobs 2 --manifest manifest.json
+
+SIGINT/SIGTERM stop intake, drain in-flight work, still write the
+manifest, and exit 130/143.
+
 Regenerate Table III (quick mode)::
 
     python -m repro experiment table3
@@ -180,6 +192,16 @@ def build_parser() -> argparse.ArgumentParser:
         "goes to stderr so pipes stay clean)",
     )
     serve.add_argument(
+        "--listen",
+        default=None,
+        metavar="HOST:PORT|unix:PATH",
+        help="serve the JSONL protocol over a socket instead of "
+        "--requests/--out (port 0 picks an ephemeral port, printed on "
+        "stderr); each connection gets ordered responses and its own "
+        "dispatch window; SIGINT/SIGTERM drain in-flight work, write the "
+        "manifest and exit",
+    )
+    serve.add_argument(
         "--manifest", default=None, help="optional run-manifest JSON path (spans all sessions)"
     )
     serve.add_argument(
@@ -187,7 +209,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="dispatcher threads: >1 overlaps requests for different datasets "
-        "(per-dataset order is preserved; responses stay in input order)",
+        "(per-dataset order is preserved; responses stream in input order)",
+    )
+    serve.add_argument(
+        "--window",
+        type=int,
+        default=64,
+        help="max requests dispatched but not yet answered (per connection "
+        "with --listen); bounds memory and gives pipes backpressure",
     )
     serve.add_argument(
         "--max-sessions", type=int, default=4, help="LRU budget of live sessions"
@@ -290,18 +319,115 @@ def _cmd_learn(args: argparse.Namespace) -> int:
     return 0
 
 
+class _InterruptGuard:
+    """Convert SIGINT/SIGTERM into one KeyboardInterrupt, recording which.
+
+    The serving commands use this to stop intake cleanly: the first
+    signal interrupts the stream loop (in-flight lanes drain as the
+    dispatch generator closes), the manifest and summary are still
+    written, and the process exits with the conventional ``128 + signum``
+    (130 for SIGINT, 143 for SIGTERM).  Repeat signals during the drain
+    are absorbed so they cannot corrupt the manifest write.  Outside the
+    main thread (or where the signal module is restricted) installation
+    degrades to a no-op and a plain KeyboardInterrupt still maps to 130.
+    """
+
+    def __init__(self) -> None:
+        self.signum: int | None = None
+        self._saved: dict = {}
+        self._absorbing = False
+
+    def __enter__(self) -> "_InterruptGuard":
+        import signal
+
+        def handler(signum, frame):
+            first = self.signum is None
+            self.signum = signum
+            if first and not self._absorbing:
+                raise KeyboardInterrupt
+
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                self._saved[sig] = signal.signal(sig, handler)
+            except (ValueError, OSError):  # not the main thread
+                pass
+        return self
+
+    def absorb(self) -> None:
+        """Stop raising on signals; record them only.
+
+        Called once serving has ended and the manifest/summary epilogue
+        begins — from here on even a *first* signal must not interrupt
+        the manifest write, so the epilogue runs inside the guard with
+        the handler demoted to a recorder.
+        """
+        self._absorbing = True
+
+    def __exit__(self, *exc) -> None:
+        import signal
+
+        for sig, old in self._saved.items():
+            try:
+                signal.signal(sig, old)
+            except (ValueError, OSError):
+                pass
+
+    @property
+    def exit_code(self) -> int:
+        import signal
+
+        return 128 + int(self.signum if self.signum is not None else signal.SIGINT)
+
+
+def _iter_jsonl(fh):
+    """Frame a JSONL stream lazily; bad lines keep their response slot.
+
+    Yields parsed objects, or :class:`~repro.engine.server.ParseFailure`
+    stand-ins that the server turns into ordered error responses — one
+    unparseable line never tears down the stream.
+    """
+    import json
+
+    from .engine.server import ParseFailure
+
+    for line in fh:
+        if not line.strip():
+            continue
+        try:
+            yield json.loads(line)
+        except json.JSONDecodeError as exc:
+            yield ParseFailure(f"invalid JSON: {exc}")
+
+
+def _quiet_stdout_teardown() -> None:
+    """After a broken stdout pipe, stop the interpreter-exit flush from
+    tracebacking: point the fd at /dev/null before Python flushes it."""
+    import os
+
+    try:
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    except OSError:
+        pass
+
+
 def _cmd_batch(args: argparse.Namespace) -> int:
     import json
 
     from .engine import BatchServer, LearningSession
 
     data = _load_dataset(args)
-    if args.requests == "-":
-        requests = [json.loads(line) for line in sys.stdin if line.strip()]
-    else:
-        with open(args.requests, "r", encoding="utf-8") as fh:
-            requests = [json.loads(line) for line in fh if line.strip()]
 
+    def requests():
+        # Shares the serve framer: a malformed line becomes an ordered
+        # error response instead of a stream-aborting traceback that
+        # would lose the manifest.
+        if args.requests == "-":
+            yield from _iter_jsonl(sys.stdin)
+        else:
+            with open(args.requests, "r", encoding="utf-8") as fh:
+                yield from _iter_jsonl(fh)
+
+    interrupted = False
     with LearningSession(
         data,
         test=args.test,
@@ -310,13 +436,23 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         backend=args.backend,
         cache_bytes=args.cache_mb << 20,
         use_shm=False if args.no_shm else None,
-    ) as session:
+    ) as session, _InterruptGuard() as guard:
         server = BatchServer(session)
         manifest = server.new_manifest()
-        responses = server.serve(requests, manifest=manifest)
+        # Stream responses as they are computed (flushed per line): an
+        # interrupted run keeps everything served before the signal, and
+        # `--requests -` composes with live pipes instead of slurping
+        # stdin first.
         with open(args.out, "w", encoding="utf-8") as fh:
-            for resp in responses:
-                fh.write(json.dumps(resp) + "\n")
+            try:
+                for resp in server.serve_iter(requests(), manifest=manifest):
+                    fh.write(json.dumps(resp) + "\n")
+                    fh.flush()
+            except KeyboardInterrupt:
+                interrupted = True
+        # Epilogue under the guard with signals demoted to recorders: a
+        # late Ctrl-C must not truncate the manifest mid-write.
+        guard.absorb()
         # With n_jobs > 1 the learn-phase tables live in the *worker*
         # caches; fold them in so the audit trail reflects where the
         # hits actually happened.
@@ -331,21 +467,137 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         misses = cache_doc["misses"] + sum(w["misses"] for w in workers)
         resident = cache_doc["current_bytes"] + sum(w["current_bytes"] for w in workers)
         print(
-            f"served {totals['n_requests']} requests "
+            ("interrupted after " if interrupted else "served ")
+            + f"{totals['n_requests']} requests "
             f"({totals['n_computed']} computed, "
             f"{totals['n_result_cache_hits']} result-cache hits, "
             f"{totals['n_errors']} errors) "
             f"in {totals['elapsed_s']:.3f}s | "
             f"stats cache: {hits} hits / {misses} misses "
             f"({resident / 1e6:.1f} MB resident"
-            + (f" across master + {len(workers)} workers)" if workers else ")")
+            + (f" across master + {len(workers)} workers)" if workers else ")"),
+            file=sys.stderr if interrupted else sys.stdout,
         )
-    return 0
+    return guard.exit_code if interrupted else 0
+
+
+def _serve_summary(server, n_served: int, *, interrupted: bool) -> None:
+    stats = server.stats()
+    totals = stats["totals"]
+    # n_served counts emitted response lines directly — a failed admin
+    # op shows up in both n_admin and the unrouted error totals, so
+    # summing counters would double-count it.
+    # The summary goes to stderr: stdout may BE the response stream.
+    print(
+        ("interrupted after " if interrupted else "served ")
+        + f"{n_served} requests "
+        f"({totals['n_computed']} computed, "
+        f"{totals['n_result_cache_hits']} result-cache hits, "
+        f"{totals['n_errors']} errors, {stats['n_admin']} admin) "
+        f"across {len(stats['datasets'])} dataset(s) | "
+        f"sessions: {stats['sessions']['live']} live / "
+        f"budget {stats['sessions']['budget']}, "
+        f"{stats['sessions']['spinups']} spin-ups, "
+        f"{stats['sessions']['evictions']} evictions",
+        file=sys.stderr,
+    )
+
+
+def _serve_stream(args: argparse.Namespace, server) -> int:
+    """``fastbns serve`` over --requests/--out: one streaming dispatcher.
+
+    Responses are emitted (and flushed) per input line at every thread
+    count — the dispatcher's in-flight window, not the stream length,
+    bounds buffering, so a producer that pipes requests and waits on
+    responses composes with the server instead of deadlocking it.
+    """
+    import json
+
+    n_served = 0
+    interrupted = broken_pipe = False
+    in_fh = out_fh = None
+    with _InterruptGuard() as guard:
+        try:
+            # Both opens live inside the try: a bad --out path must not
+            # leak the already-opened requests file.
+            in_fh = (
+                sys.stdin
+                if args.requests == "-"
+                else open(args.requests, "r", encoding="utf-8")
+            )
+            out_fh = (
+                sys.stdout if args.out == "-" else open(args.out, "w", encoding="utf-8")
+            )
+            responses = server.serve_iter(
+                _iter_jsonl(in_fh), threads=args.threads, window=args.window
+            )
+            try:
+                for resp in responses:
+                    out_fh.write(json.dumps(resp) + "\n")
+                    out_fh.flush()
+                    n_served += 1
+            except KeyboardInterrupt:
+                # Signal: stop intake; closing the generator drains the
+                # dispatched lanes so the manifest accounts for them.
+                interrupted = True
+                responses.close()
+                server.note_shutdown("signal", signum=guard.signum)
+            except BrokenPipeError:
+                # Consumer hung up on our stdout: stop serving, but the
+                # manifest and stderr summary still land.
+                broken_pipe = True
+                responses.close()
+                server.note_shutdown("broken-pipe")
+        finally:
+            if in_fh not in (None, sys.stdin):
+                in_fh.close()
+            if out_fh not in (None, sys.stdout):
+                out_fh.close()
+            elif broken_pipe:
+                _quiet_stdout_teardown()
+        # Epilogue still under the guard, with signals demoted to
+        # recorders: a late (or repeat) Ctrl-C must not truncate the
+        # manifest mid-write.
+        guard.absorb()
+        if args.manifest:
+            server.write_manifest(args.manifest)
+        _serve_summary(server, n_served, interrupted=interrupted)
+    return guard.exit_code if interrupted else 0
+
+
+def _serve_listen(args: argparse.Namespace, server) -> int:
+    """``fastbns serve --listen``: the JSONL protocol over a socket.
+
+    Accepts until SIGINT/SIGTERM, then drains: per-connection intake
+    stops at the next line boundary, in-flight lanes finish, responses
+    flush, clients read EOF — and the manifest is written as usual.
+    """
+    from .engine.transport import EngineTransport
+
+    interrupted = False
+    transport = EngineTransport(
+        server, args.listen, threads=args.threads, window=args.window
+    )
+    with _InterruptGuard() as guard:
+        try:
+            transport.start()
+            print(f"listening on {transport.describe()}", file=sys.stderr, flush=True)
+            transport.wait()
+        except KeyboardInterrupt:
+            interrupted = True
+            server.note_shutdown("signal", signum=guard.signum, drained=True)
+        finally:
+            # The drain and the manifest run with signals demoted to
+            # recorders — a repeat Ctrl-C must not cut either short.
+            guard.absorb()
+            transport.shutdown(drain=True)
+        if args.manifest:
+            server.write_manifest(args.manifest)
+        _serve_summary(server, transport.n_responses, interrupted=interrupted)
+    return guard.exit_code if interrupted else 0
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    import json
-
     from .engine.server import EngineServer
 
     registrations: list[tuple[str, str]] = []
@@ -371,69 +623,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     with server:
         for ds_id, spec in registrations:
             server.register(ds_id, spec)
-        in_fh = sys.stdin if args.requests == "-" else open(args.requests, "r", encoding="utf-8")
-        out_fh = sys.stdout if args.out == "-" else open(args.out, "w", encoding="utf-8")
-        n_served = 0
-        try:
-            if args.threads > 1:
-                # Concurrent dispatch needs the whole stream up front;
-                # responses still come out in input order.  Unparseable
-                # lines become error responses, never stream aborts.
-                order: list[tuple[str, object]] = []
-                requests: list = []
-                for line in in_fh:
-                    if not line.strip():
-                        continue
-                    try:
-                        requests.append(json.loads(line))
-                        order.append(("request", len(requests) - 1))
-                    except json.JSONDecodeError as exc:
-                        order.append(("parse_error", f"invalid JSON: {exc}"))
-                served = server.serve(requests, threads=args.threads)
-                for kind, ref in order:
-                    resp = served[ref] if kind == "request" else server.reject(ref)
-                    out_fh.write(json.dumps(resp) + "\n")
-                    n_served += 1
-                out_fh.flush()
-            else:
-                # True streaming: respond (and flush) per input line so the
-                # server composes with shell pipes.
-                for line in in_fh:
-                    if not line.strip():
-                        continue
-                    try:
-                        resp = server.handle(json.loads(line))
-                    except json.JSONDecodeError as exc:
-                        resp = server.reject(f"invalid JSON: {exc}")
-                    out_fh.write(json.dumps(resp) + "\n")
-                    out_fh.flush()
-                    n_served += 1
-        finally:
-            if in_fh is not sys.stdin:
-                in_fh.close()
-            if out_fh is not sys.stdout:
-                out_fh.close()
-        if args.manifest:
-            server.write_manifest(args.manifest)
-        stats = server.stats()
-        totals = stats["totals"]
-        # n_served counts emitted response lines directly — a failed admin
-        # op shows up in both n_admin and the unrouted error totals, so
-        # summing counters would double-count it.
-        # The summary goes to stderr: stdout may BE the response stream.
-        print(
-            f"served {n_served} requests "
-            f"({totals['n_computed']} computed, "
-            f"{totals['n_result_cache_hits']} result-cache hits, "
-            f"{totals['n_errors']} errors, {stats['n_admin']} admin) "
-            f"across {len(stats['datasets'])} dataset(s) | "
-            f"sessions: {stats['sessions']['live']} live / "
-            f"budget {stats['sessions']['budget']}, "
-            f"{stats['sessions']['spinups']} spin-ups, "
-            f"{stats['sessions']['evictions']} evictions",
-            file=sys.stderr,
-        )
-    return 0
+        if args.listen:
+            return _serve_listen(args, server)
+        return _serve_stream(args, server)
 
 
 def _cmd_blanket(args: argparse.Namespace) -> int:

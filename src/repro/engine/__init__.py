@@ -17,7 +17,13 @@ This subsystem makes runs first-class, reusable objects:
   dispatcher that overlaps different datasets while serialising
   per-session access (the ``fastbns serve`` CLI; see :mod:`.server`);
 * :class:`RunManifest` — auditable per-run artifact (one per session,
-  merged across sessions by the server's run document).
+  merged across sessions by the server's run document);
+* :class:`EngineTransport` / :class:`EngineClient` — a threaded TCP /
+  Unix-socket front end speaking the same JSONL protocol, one streaming
+  dispatcher (:meth:`EngineServer.serve_iter <.server.EngineServer.serve_iter>`)
+  per connection with ordered responses, a bounded in-flight window and
+  graceful drain on shutdown (the ``fastbns serve --listen`` CLI; see
+  :mod:`.transport`), plus the matching line-protocol client.
 
 Resource lifecycle: a session is a context manager, and *everything* it
 owns rides its ``close()`` — the worker pool shuts down, and with it the
@@ -33,11 +39,13 @@ batch requests) engages the adaptive group scheduler
 """
 
 from .batch import BatchRequest, BatchServer
+from .client import EngineClient
 from .fingerprint import dataset_fingerprint, request_fingerprint
-from .manifest import RunManifest, merge_totals
-from .server import DatasetSource, EngineServer
+from .manifest import RunManifest, merge_totals, shutdown_doc
+from .server import DatasetSource, EngineServer, ParseFailure
 from .session import LearningSession
 from .statscache import CachedTableBuilder, CacheStats, SufficientStatsCache
+from .transport import EngineTransport
 
 __all__ = [
     "SufficientStatsCache",
@@ -47,9 +55,13 @@ __all__ = [
     "BatchServer",
     "BatchRequest",
     "EngineServer",
+    "EngineTransport",
+    "EngineClient",
     "DatasetSource",
+    "ParseFailure",
     "RunManifest",
     "merge_totals",
+    "shutdown_doc",
     "dataset_fingerprint",
     "request_fingerprint",
 ]

@@ -24,13 +24,34 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Iterable, Mapping
+from typing import Iterable, Iterator, Mapping
 
 from .fingerprint import request_fingerprint
 from .manifest import RunManifest
 from .session import LearningSession
 
-__all__ = ["BatchRequest", "BatchServer"]
+__all__ = ["BatchRequest", "BatchServer", "ParseFailure"]
+
+
+class ParseFailure:
+    """A stream framer's stand-in for a line that failed to parse.
+
+    Framers (the CLI's JSONL reader, the socket transport) sit above the
+    serving layers and must keep one bad line from tearing down the
+    stream *and* from losing its slot in the response order.  They yield
+    a ``ParseFailure`` in the line's position; ``handle`` — on both
+    :class:`BatchServer` and :class:`~repro.engine.server.EngineServer`
+    — turns it into the uniform error response, so even unparseable
+    input shows up in the run manifest and comes back in order.
+    """
+
+    __slots__ = ("message",)
+
+    def __init__(self, message: str) -> None:
+        self.message = str(message)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ParseFailure({self.message!r})"
 
 _LEARN_DEFAULTS = {
     "gs": 1,
@@ -176,6 +197,16 @@ class BatchServer:
         """
         self.n_requests += 1
         t0 = time.perf_counter()
+        if isinstance(raw, ParseFailure):
+            self.n_errors += 1
+            return {
+                "op": None,
+                "fingerprint": None,
+                "cached": False,
+                "elapsed_s": time.perf_counter() - t0,
+                "result": None,
+                "error": raw.message,
+            }
         try:
             req = (
                 raw
@@ -211,11 +242,15 @@ class BatchServer:
             "error": None,
         }
 
-    def serve(
+    def serve_iter(
         self, requests: Iterable[Mapping | BatchRequest], manifest: RunManifest | None = None
-    ) -> list[dict]:
-        """Serve a request stream in order, recording into ``manifest``."""
-        responses = []
+    ) -> Iterator[dict]:
+        """Serve a request stream lazily, recording into ``manifest``.
+
+        A generator so the CLI can emit each response (and the manifest
+        can account for it) as soon as it is computed — an interrupted
+        run keeps everything served up to the interrupt.
+        """
         for raw in requests:
             resp = self.handle(raw)
             if manifest is not None:
@@ -226,8 +261,13 @@ class BatchServer:
                     resp["elapsed_s"],
                     error=resp["error"],
                 )
-            responses.append(resp)
-        return responses
+            yield resp
+
+    def serve(
+        self, requests: Iterable[Mapping | BatchRequest], manifest: RunManifest | None = None
+    ) -> list[dict]:
+        """Serve a request stream in order, recording into ``manifest``."""
+        return list(self.serve_iter(requests, manifest=manifest))
 
     def new_manifest(self) -> RunManifest:
         s = self.session

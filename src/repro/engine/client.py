@@ -1,0 +1,139 @@
+"""JSONL client for the engine's socket transport.
+
+:class:`EngineClient` is the thin counterpart of
+:class:`~repro.engine.transport.EngineTransport`: it frames request
+objects onto one connection and reads ordered responses back.  It exists
+so tests, benchmarks and embedding applications do not each reinvent the
+line protocol — and so the two usage patterns the streaming dispatcher
+was built for have first-class spellings:
+
+* **lockstep** — :meth:`request` sends one object and blocks for its
+  response (what an interactive caller does);
+* **pipelined** — :meth:`send` many, then :meth:`recv` in order (what a
+  throughput-oriented producer does; the server's in-flight window, not
+  the client, bounds buffering).
+
+The convenience wrappers (:meth:`learn`, :meth:`blanket`,
+:meth:`register`, :meth:`stats`, :meth:`close_dataset`) are lockstep.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+from .transport import parse_address
+
+__all__ = ["EngineClient"]
+
+
+class EngineClient:
+    """One JSONL connection to a running :class:`EngineTransport`.
+
+    ``address`` accepts what the server side prints: ``"HOST:PORT"``,
+    ``"unix:PATH"``, or a ``(host, port)`` tuple.  ``timeout`` (seconds)
+    applies to connect and to every blocking read — a hung server
+    surfaces as ``socket.timeout`` instead of a silent wait.
+    """
+
+    def __init__(self, address, *, timeout: float | None = 30.0) -> None:
+        kind, addr = parse_address(address)
+        if kind == "unix":
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            target: object = addr
+        else:
+            self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            host, port = addr
+            target = (host or "127.0.0.1", port)
+        self._sock.settimeout(timeout)
+        self._sock.connect(target)
+        self._reader = self._sock.makefile("r", encoding="utf-8", newline="\n")
+        self._writer = self._sock.makefile("w", encoding="utf-8", newline="\n")
+        self._pending = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # wire primitives
+    # ------------------------------------------------------------------ #
+    def send(self, request: dict) -> None:
+        """Queue one request without waiting for its response."""
+        if self._closed:
+            raise RuntimeError("client is closed")
+        self._writer.write(json.dumps(request) + "\n")
+        self._writer.flush()
+        self._pending += 1
+
+    def recv(self) -> dict:
+        """Read the next response, in send order.
+
+        Raises ``ConnectionError`` on a server that hung up with
+        responses still owed (fewer lines than requests is how a
+        non-drained shutdown looks from the client side).
+        """
+        if self._closed:
+            raise RuntimeError("client is closed")
+        line = self._reader.readline()
+        if not line:
+            raise ConnectionError(
+                f"server closed the connection with {self._pending} response(s) pending"
+            )
+        self._pending -= 1
+        return json.loads(line)
+
+    def request(self, request: dict) -> dict:
+        """Lockstep round trip: send one request, block for its response."""
+        self.send(request)
+        return self.recv()
+
+    def drain(self) -> list[dict]:
+        """Collect every response still owed for pipelined sends."""
+        return [self.recv() for _ in range(self._pending)]
+
+    # ------------------------------------------------------------------ #
+    # protocol conveniences (lockstep)
+    # ------------------------------------------------------------------ #
+    def learn(self, dataset: str | None = None, **params) -> dict:
+        req = {"op": "learn", **params}
+        if dataset is not None:
+            req["dataset"] = dataset
+        return self.request(req)
+
+    def blanket(self, target, dataset: str | None = None, **params) -> dict:
+        req = {"op": "blanket", "target": target, **params}
+        if dataset is not None:
+            req["dataset"] = dataset
+        return self.request(req)
+
+    def register(self, dataset: str, source) -> dict:
+        return self.request({"op": "register", "dataset": dataset, "source": source})
+
+    def close_dataset(self, dataset: str, *, unregister: bool = False) -> dict:
+        return self.request(
+            {"op": "close_dataset", "dataset": dataset, "unregister": unregister}
+        )
+
+    def stats(self) -> dict:
+        return self.request({"op": "stats"})
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for closable in (self._writer, self._reader, self._sock):
+            try:
+                closable.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "EngineClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "closed" if self._closed else f"pending={self._pending}"
+        return f"EngineClient({state})"

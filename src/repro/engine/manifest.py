@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Mapping
 
-__all__ = ["RunManifest", "merge_totals"]
+__all__ = ["RunManifest", "merge_totals", "shutdown_doc"]
 
 MANIFEST_VERSION = 1
 
@@ -101,3 +101,23 @@ def merge_totals(totals: Iterable[Mapping]) -> dict:
         for key in out:
             out[key] += t[key]
     return out
+
+
+def shutdown_doc(
+    reason: str, *, drained: bool = True, signum: int | None = None
+) -> dict:
+    """Drain accounting for an interrupted run.
+
+    A manifest written after SIGINT/SIGTERM (or a consumer that hung up
+    mid-stream) must say so — otherwise a truncated run is
+    indistinguishable from a complete one.  ``drained`` records whether
+    in-flight requests were allowed to finish before the manifest was
+    written (the CLI and socket transport always drain; a hard kill
+    never writes this document at all).
+    """
+    return {
+        "reason": str(reason),
+        "drained": bool(drained),
+        "signum": None if signum is None else int(signum),
+        "unix_time": time.time(),
+    }

@@ -45,30 +45,55 @@ Exactness: routing changes *where* a request runs, never its answer —
 responses are byte-identical to a single-dataset ``BatchServer`` over the
 same data, which is itself bit-identical to ``learn_structure``
 (conf_ipps_JiangWM22's exactness guarantees, preserved through every
-serving layer).  Concurrency preserves per-dataset request order (one
-dispatch lane per ``dataset`` tag); cross-dataset ordering is unspecified,
-and admin ops act as stream barriers.
+serving layer).  Concurrency preserves per-*session* request order (one
+dispatch lane per resolved dataset content fingerprint, so ids naming
+byte-identical data — which share one session and result cache — also
+share one lane); cross-session ordering is unspecified, and admin ops
+act as stream barriers.
+
+Streaming: :meth:`EngineServer.serve_iter` is the dispatch core — a
+generator that pulls requests lazily under a bounded in-flight window
+and yields responses incrementally in input order.  A producer that
+pipes requests and waits on each response before sending the next makes
+progress (peak buffered requests is the window, never the stream
+length), which is what lets the socket transport
+(:mod:`repro.engine.transport`) multiplex long-lived connections over
+one server.  :meth:`EngineServer.serve` is simply
+``list(serve_iter(...))``.
 """
 
 from __future__ import annotations
 
+import queue
 import threading
 import time
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Iterable, Mapping, Sequence
+from typing import Iterable, Iterator, Mapping
 
 from ..datasets.dataset import DiscreteDataset
-from .batch import BatchServer
-from .manifest import MANIFEST_VERSION, RunManifest, merge_totals
+from .batch import BatchServer, ParseFailure
+from .manifest import MANIFEST_VERSION, RunManifest, merge_totals, shutdown_doc
 from .session import LearningSession
 from .statscache import DEFAULT_BUDGET_BYTES
 
-__all__ = ["DatasetSource", "EngineServer", "QUERY_OPS", "ADMIN_OPS"]
+__all__ = [
+    "DatasetSource",
+    "EngineServer",
+    "ParseFailure",
+    "QUERY_OPS",
+    "ADMIN_OPS",
+    "DEFAULT_WINDOW",
+]
 
 QUERY_OPS = ("learn", "blanket")
 ADMIN_OPS = ("register", "close_dataset", "stats")
+
+#: Default bound on dispatched-but-not-yet-yielded requests in
+#: :meth:`EngineServer.serve_iter` — deep enough to keep every lane busy,
+#: small enough that a pathological producer cannot buffer a whole stream.
+DEFAULT_WINDOW = 64
 
 
 # --------------------------------------------------------------------- #
@@ -207,6 +232,18 @@ class DatasetSource:
         return self.describe() == other.describe()
 
 
+class _Pending:
+    """One in-flight streamed request: raw input plus its completion latch."""
+
+    __slots__ = ("raw", "response", "exc", "done")
+
+    def __init__(self, raw) -> None:
+        self.raw = raw
+        self.response: dict | None = None
+        self.exc: BaseException | None = None
+        self.done = threading.Event()
+
+
 class _SessionSlot:
     """One live session plus everything serialised behind its lock."""
 
@@ -290,10 +327,12 @@ class EngineServer:
         self._unrouted = RunManifest(dataset_fingerprint="", engine={"role": "unrouted"})
         self._retired_docs: list[dict] = []
         self._created = time.time()
+        self._shutdown_doc: dict | None = None
         self.n_requests = 0
         self.n_admin = 0
         self.n_spinups = 0
         self.n_evictions = 0
+        self.n_peak_inflight = 0
         self._closed = False
         if int(n_jobs) > 1 and backend == "process":
             # Dispatcher threads fork worker pools lazily; pre-importing
@@ -433,6 +472,8 @@ class EngineServer:
             raise RuntimeError("server is closed")
         with self._misc:
             self.n_requests += 1
+        if isinstance(raw, ParseFailure):
+            return self.reject(raw.message)
         if not isinstance(raw, Mapping):
             return self.reject(f"request must be a JSON object, got {type(raw).__name__}")
         op = raw.get("op")
@@ -606,51 +647,208 @@ class EngineServer:
     # ------------------------------------------------------------------ #
     # streams
     # ------------------------------------------------------------------ #
-    def serve(self, requests: Iterable, *, threads: int = 1) -> list[dict]:
-        """Serve a request stream; responses in input order.
+    def _lane_key(self, raw) -> object:
+        """Resolve a request to its dispatch lane.
 
-        ``threads > 1`` dispatches concurrently with one lane per
-        ``dataset`` tag: per-dataset order (and therefore per-dataset
-        result-cache behaviour) matches the sequential run exactly, while
-        different datasets' requests overlap.  Admin ops are barriers —
-        everything before completes first, then the op, then the rest.
+        Lanes are keyed by the *content fingerprint* of the dataset the
+        request will run on, not its raw ``dataset`` tag: two registered
+        ids naming byte-identical data share one session and one result
+        cache, so they must also share one lane — otherwise their
+        interleaving (and therefore ``cached`` accounting) is
+        nondeterministic versus the sequential run.  Resolving an id seen
+        for the first time loads its source (exactly what first touch
+        costs on the sequential path); an id that cannot resolve —
+        unknown, broken source — gets a per-id lane so its error
+        responses stay ordered without blocking healthy lanes.
         """
-        requests = list(requests)
+        if not isinstance(raw, Mapping):
+            return None  # malformed / ParseFailure: shared error lane
+        dataset_id = raw.get("dataset", self.default_dataset)
+        if not isinstance(dataset_id, str):
+            return None
+        with self._registry:
+            fp = self._id_fp.get(dataset_id)
+        if fp is not None:
+            return fp
+        try:
+            return self._slot_for(dataset_id).fingerprint
+        except (KeyError, ValueError, OSError):
+            return ("unresolved", dataset_id)
+
+    @staticmethod
+    def _is_admin(raw) -> bool:
+        return isinstance(raw, Mapping) and raw.get("op") in ADMIN_OPS
+
+    def serve_iter(
+        self,
+        requests: Iterable,
+        *,
+        threads: int = 1,
+        window: int = DEFAULT_WINDOW,
+    ) -> Iterator[dict]:
+        """Serve a request stream incrementally; responses in input order.
+
+        The streaming dispatch core.  An intake thread pulls from
+        ``requests`` lazily — never more than ``window`` requests are
+        dispatched but not yet yielded, so memory is bounded by the
+        window (not the stream length) and a lockstep producer that
+        waits on response *i* before sending request *i+1* always makes
+        progress.  ``threads > 1`` runs lanes concurrently, one lane per
+        resolved dataset content fingerprint: per-session request order
+        (and result-cache behaviour) matches the sequential run exactly,
+        while different sessions overlap.  Admin ops are stream barriers
+        — everything dispatched before them completes first.
+
+        Responses are byte-identical to the sequential ``threads=1``
+        run over the same stream whenever no session is evicted mid
+        stream; under LRU eviction pressure a repeat may be recomputed
+        (``cached=False``) where the sequential run would have hit, with
+        payloads identical either way.
+
+        ``threads <= 1`` degenerates to a strict request-by-request
+        loop: no intake thread, no reordering, peak in-flight of one.
+        """
         if threads <= 1:
-            return [self.handle(raw) for raw in requests]
-        responses: list[dict | None] = [None] * len(requests)
+            for raw in requests:
+                yield self.handle(raw)
+            return
 
-        def run_lane(items: Sequence[tuple[int, Mapping]]) -> None:
-            for index, raw in items:
-                responses[index] = self.handle(raw)
+        window = max(1, int(window))
+        order_q: "queue.Queue" = queue.Queue()
+        permits = threading.BoundedSemaphore(window)
+        stop = threading.Event()
+        # Held by intake while it executes an admin op inline: the
+        # consumer's cleanup takes it after setting `stop`, so a close
+        # can never return while a registry mutation is mid-flight (the
+        # caller may write the manifest immediately after).
+        admin_guard = threading.Lock()
+        lanes: dict[object, deque] = {}
+        active_lanes: set = set()
+        lane_lock = threading.Lock()
+        live = [0]  # dispatched-but-not-yet-yielded, guarded by lane_lock
+        _END, _FAIL = object(), object()
 
-        def is_admin(raw) -> bool:
-            return isinstance(raw, Mapping) and raw.get("op") in ADMIN_OPS
-
-        def lane_key(raw) -> str:
-            if not isinstance(raw, Mapping):
-                return "<malformed>"
-            return repr(raw.get("dataset", self.default_dataset))
+        def run_lane(key: object) -> None:
+            lane = lanes[key]
+            while True:
+                with lane_lock:
+                    if not lane:
+                        active_lanes.discard(key)
+                        return
+                    pending = lane.popleft()
+                try:
+                    pending.response = self.handle(pending.raw)
+                except BaseException as exc:  # surfaced at yield, in order
+                    pending.exc = exc
+                finally:
+                    pending.done.set()
 
         with ThreadPoolExecutor(max_workers=threads) as pool:
-            batch: list[tuple[int, Mapping]] = []
 
-            def flush() -> None:
-                lanes: dict[str, list[tuple[int, Mapping]]] = {}
-                for item in batch:
-                    lanes.setdefault(lane_key(item[1]), []).append(item)
-                for future in [pool.submit(run_lane, lane) for lane in lanes.values()]:
-                    future.result()
-                batch.clear()
+            def dispatch(pending: "_Pending") -> None:
+                key = self._lane_key(pending.raw)
+                with lane_lock:
+                    lanes.setdefault(key, deque()).append(pending)
+                    if key not in active_lanes:
+                        active_lanes.add(key)
+                        pool.submit(run_lane, key)
 
-            for i, raw in enumerate(requests):
-                if is_admin(raw):
-                    flush()
-                    responses[i] = self.handle(raw)
-                else:
-                    batch.append((i, raw))
-            flush()
-        return responses
+            def intake() -> None:
+                inflight: list[_Pending] = []
+                n_inflight = 0
+                try:
+                    for raw in requests:
+                        # The permit is taken *before* the item counts as
+                        # buffered, so dispatched-but-unyielded requests
+                        # never exceed the window.
+                        permits.acquire()
+                        if stop.is_set():
+                            permits.release()
+                            return
+                        with lane_lock:
+                            live[0] += 1
+                            n_inflight = max(n_inflight, live[0])
+                        pending = _Pending(raw)
+                        if self._is_admin(raw):
+                            # Barrier: every prior request completes
+                            # (not necessarily yields) before the op.
+                            for prior in inflight:
+                                prior.done.wait()
+                            inflight.clear()
+                            with admin_guard:
+                                # Re-check under the guard: once the
+                                # consumer observed `stop` and took the
+                                # guard, no new mutation may start.
+                                if stop.is_set():
+                                    permits.release()
+                                    return
+                                try:
+                                    pending.response = self.handle(raw)
+                                except BaseException as exc:
+                                    pending.exc = exc
+                            pending.done.set()
+                        else:
+                            dispatch(pending)
+                            inflight.append(pending)
+                            if len(inflight) > window:
+                                # Completed prefixes leave the barrier set
+                                # as the consumer drains them.
+                                inflight = [
+                                    p for p in inflight if not p.done.is_set()
+                                ]
+                        order_q.put(pending)
+                except BaseException as exc:  # broken request iterator
+                    order_q.put((_FAIL, exc))
+                    return
+                finally:
+                    with self._misc:
+                        self.n_peak_inflight = max(self.n_peak_inflight, n_inflight)
+                order_q.put(_END)
+
+            intake_thread = threading.Thread(
+                target=intake, name="engine-serve-intake", daemon=True
+            )
+            intake_thread.start()
+            try:
+                while True:
+                    item = order_q.get()
+                    if item is _END:
+                        return
+                    if isinstance(item, tuple) and item[0] is _FAIL:
+                        raise item[1]
+                    item.done.wait()
+                    with lane_lock:
+                        live[0] -= 1
+                    permits.release()
+                    if item.exc is not None:
+                        raise item.exc
+                    yield item.response
+            finally:
+                # Early exit (consumer gone, error, interrupt): stop
+                # intake, free it if it is blocked on a permit, wait out
+                # any admin mutation it is executing, and let the pool
+                # context drain every dispatched lane item.
+                stop.set()
+                try:
+                    permits.release()
+                except ValueError:
+                    pass
+                with admin_guard:
+                    pass
+
+    def serve(
+        self,
+        requests: Iterable,
+        *,
+        threads: int = 1,
+        window: int = DEFAULT_WINDOW,
+    ) -> list[dict]:
+        """Serve a whole request stream; responses in input order.
+
+        Materialising convenience over :meth:`serve_iter` (identical
+        responses — the streaming path is the only dispatcher).
+        """
+        return list(self.serve_iter(requests, threads=threads, window=window))
 
     # ------------------------------------------------------------------ #
     # introspection & manifest
@@ -681,6 +879,7 @@ class EngineServer:
                 "spinups": self.n_spinups,
                 "evictions": self.n_evictions,
             },
+            "dispatch": {"peak_inflight": self.n_peak_inflight},
             "datasets": self.datasets(),
             "totals": manifest["totals"],
             "per_session": per_session,
@@ -707,6 +906,7 @@ class EngineServer:
         with self._misc:
             session_docs.extend(self._retired_docs)
             unrouted = self._unrouted.to_dict()
+            shutdown = dict(self._shutdown_doc) if self._shutdown_doc else None
         totals = merge_totals(
             [doc["totals"] for doc in session_docs] + [unrouted["totals"]]
         )
@@ -717,7 +917,21 @@ class EngineServer:
             "totals": totals,
             "sessions": session_docs,
             "unrouted": unrouted,
+            "shutdown": shutdown,
         }
+
+    def note_shutdown(
+        self, reason: str, *, drained: bool = True, signum: int | None = None
+    ) -> None:
+        """Record how the run ended; surfaces as ``manifest()["shutdown"]``.
+
+        Called by the CLI/transport when a signal (or broken pipe) stops
+        intake: the manifest then distinguishes a run that drained its
+        in-flight lanes from one that was cut off, which is what makes
+        an interrupted run's audit trail trustworthy.
+        """
+        with self._misc:
+            self._shutdown_doc = shutdown_doc(reason, drained=drained, signum=signum)
 
     def write_manifest(self, path) -> None:
         import json

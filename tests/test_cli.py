@@ -273,3 +273,302 @@ class TestServeCommand:
     def test_serve_bad_register_spec_exits(self):
         with pytest.raises(SystemExit, match="ID=KIND:VALUE"):
             main(["serve", "--register", "nonsense"])
+
+    def test_serve_bad_out_path_does_not_leak_requests_file(self, tmp_path, monkeypatch):
+        """Regression (ISSUE-5): --out used to be opened outside the try,
+        so a bad path leaked the already-opened requests file."""
+        import builtins
+        import json
+
+        reqs = tmp_path / "reqs.jsonl"
+        reqs.write_text(json.dumps({"op": "stats"}) + "\n")
+        opened = []
+        real_open = builtins.open
+
+        def tracking_open(file, *args, **kwargs):
+            fh = real_open(file, *args, **kwargs)
+            if str(file) == str(reqs):
+                opened.append(fh)
+            return fh
+
+        monkeypatch.setattr(builtins, "open", tracking_open)
+        with pytest.raises(FileNotFoundError):
+            main(
+                ["serve", "--register", "a=network:alarm", "--samples", "300",
+                 "--requests", str(reqs),
+                 "--out", str(tmp_path / "missing-dir" / "out.jsonl")]
+            )
+        assert opened and all(fh.closed for fh in opened)
+
+    def test_serve_broken_stdout_pipe_is_clean_exit(self, tmp_path, capsys, monkeypatch):
+        """Regression (ISSUE-5): a consumer hanging up on stdout must end
+        the run cleanly — manifest and stderr summary still written."""
+        import io
+        import json
+
+        class BrokenStdout(io.StringIO):
+            def write(self, s):
+                raise BrokenPipeError(32, "Broken pipe")
+
+        reqs = tmp_path / "reqs.jsonl"
+        reqs.write_text(
+            "".join(
+                json.dumps({"op": "learn", "dataset": "a", "max_depth": 0}) + "\n"
+                for _ in range(3)
+            )
+        )
+        man = tmp_path / "manifest.json"
+        monkeypatch.setattr("sys.stdout", BrokenStdout())
+        rc = main(
+            ["serve", "--register", "a=network:alarm", "--samples", "300",
+             "--requests", str(reqs), "--manifest", str(man)]
+        )
+        assert rc == 0
+        doc = json.loads(man.read_text())
+        assert doc["shutdown"]["reason"] == "broken-pipe"
+        assert "served 0 requests" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("threads", [1, 2])
+    def test_serve_sigint_mid_stream_writes_manifest(self, tmp_path, capsys, threads):
+        """Regression (ISSUE-5): SIGINT used to lose the manifest and the
+        summary.  Intake stops, in-flight drains, exit code is 130."""
+        import json
+
+        class InterruptingStream:
+            """Two good lines, then the signal arrives."""
+
+            def __init__(self):
+                self.lines = [
+                    json.dumps({"op": "learn", "dataset": "a", "max_depth": 0}) + "\n",
+                    json.dumps({"op": "learn", "dataset": "a", "max_depth": 0}) + "\n",
+                ]
+
+            def __iter__(self):
+                return self
+
+            def __next__(self):
+                if not self.lines:
+                    raise KeyboardInterrupt
+                return self.lines.pop(0)
+
+            def close(self):
+                pass
+
+        out = tmp_path / "out.jsonl"
+        man = tmp_path / "manifest.json"
+        import repro.cli as cli_mod
+
+        real_open = open
+        import builtins
+
+        def fake_open(file, *args, **kwargs):
+            if str(file) == "fake-requests":
+                return InterruptingStream()
+            return real_open(file, *args, **kwargs)
+
+        orig = builtins.open
+        builtins.open = fake_open
+        try:
+            rc = cli_mod.main(
+                ["serve", "--register", "a=network:alarm", "--samples", "300",
+                 "--requests", "fake-requests", "--out", str(out),
+                 "--manifest", str(man), "--threads", str(threads)]
+            )
+        finally:
+            builtins.open = orig
+        assert rc == 130
+        doc = json.loads(man.read_text())
+        assert doc["shutdown"]["reason"] == "signal"
+        assert doc["totals"]["n_requests"] == 2  # both pre-signal served
+        assert "interrupted after" in capsys.readouterr().err
+
+    def test_batch_bad_json_line_is_error_response_not_stream_abort(
+        self, tmp_path, capsys
+    ):
+        """Review fix (ISSUE-5): a malformed line mid-batch used to
+        traceback out of the run and lose the manifest; it now becomes
+        an ordered error response like in `fastbns serve`."""
+        import json
+
+        reqs = tmp_path / "reqs.jsonl"
+        reqs.write_text(
+            json.dumps({"op": "learn", "max_depth": 0}) + "\n"
+            + "{this is not json\n"
+            + json.dumps({"op": "learn", "max_depth": 0}) + "\n"
+        )
+        out = tmp_path / "out.jsonl"
+        man = tmp_path / "manifest.json"
+        rc = main(
+            ["batch", "--network", "alarm", "--samples", "300",
+             "--requests", str(reqs), "--out", str(out), "--manifest", str(man)]
+        )
+        assert rc == 0
+        lines = [json.loads(line) for line in out.read_text().splitlines()]
+        assert len(lines) == 3
+        assert lines[0]["error"] is None
+        assert "invalid JSON" in lines[1]["error"]
+        assert lines[2]["cached"]
+        totals = json.loads(man.read_text())["totals"]
+        assert totals["n_requests"] == 3 and totals["n_errors"] == 1
+
+    def test_batch_sigint_mid_stream_writes_manifest(self, tmp_path, capsys, monkeypatch):
+        import io
+        import json
+
+        class InterruptingStdin(io.StringIO):
+            def __init__(self):
+                super().__init__(
+                    json.dumps({"op": "learn", "max_depth": 0}) + "\n"
+                )
+                self.served = 0
+
+            def __iter__(self):
+                return self
+
+            def __next__(self):
+                self.served += 1
+                if self.served > 1:
+                    raise KeyboardInterrupt
+                return json.dumps({"op": "learn", "max_depth": 0}) + "\n"
+
+        out = tmp_path / "out.jsonl"
+        man = tmp_path / "manifest.json"
+        monkeypatch.setattr("sys.stdin", InterruptingStdin())
+        rc = main(
+            ["batch", "--network", "alarm", "--samples", "300",
+             "--requests", "-", "--out", str(out), "--manifest", str(man)]
+        )
+        assert rc == 130
+        assert json.loads(man.read_text())["totals"]["n_requests"] == 1
+        assert len(out.read_text().splitlines()) == 1
+        assert "interrupted after 1 requests" in capsys.readouterr().err
+
+
+class TestServeSubprocess:
+    """End-to-end process tests: pipes, signals, sockets.
+
+    These are the ISSUE-5 acceptance shapes — every wait carries a
+    timeout so a reintroduced whole-stream buffer (the deadlock this PR
+    removes) fails the test instead of hanging the suite.
+    """
+
+    STARTUP_S = 60.0
+
+    def _spawn(self, extra, tmp_path):
+        import os
+        import subprocess
+        import sys as _sys
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src" + os.pathsep * bool(env.get("PYTHONPATH")) + env.get(
+            "PYTHONPATH", ""
+        )
+        return subprocess.Popen(
+            [_sys.executable, "-m", "repro", "serve",
+             "--register", "a=network:alarm", "--samples", "300"] + extra,
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            env=env,
+            cwd="/root/repo",
+            text=True,
+        )
+
+    def _readline(self, stream, timeout=STARTUP_S):
+        """readline with a hard timeout: a hang means the bug is back."""
+        import queue
+        import threading
+
+        q: "queue.Queue" = queue.Queue()
+        t = threading.Thread(target=lambda: q.put(stream.readline()), daemon=True)
+        t.start()
+        try:
+            return q.get(timeout=timeout)
+        except queue.Empty:
+            raise AssertionError("stream stalled: no response within timeout")
+
+    def test_lockstep_pipe_threads4_no_deadlock(self, tmp_path):
+        """THE acceptance criterion: a producer piping N requests into
+        `fastbns serve --threads 4` and reading each response before
+        sending the next completes without deadlock."""
+        import json
+
+        man = tmp_path / "manifest.json"
+        proc = self._spawn(
+            ["--threads", "4", "--window", "8", "--manifest", str(man)], tmp_path
+        )
+        try:
+            n = 6
+            for i in range(n):
+                proc.stdin.write(
+                    json.dumps({"op": "learn", "dataset": "a", "max_depth": 0}) + "\n"
+                )
+                proc.stdin.flush()
+                resp = json.loads(self._readline(proc.stdout))
+                assert resp["error"] is None
+                assert resp["cached"] == (i > 0)
+            proc.stdin.close()
+            rc = proc.wait(timeout=self.STARTUP_S)
+            assert rc == 0
+            doc = json.loads(man.read_text())
+            assert doc["totals"]["n_requests"] == n
+            # Lockstep producer => never more than one request in flight,
+            # regardless of the window.
+            assert proc.stderr.read().count("served 6 requests") == 1
+        finally:
+            proc.kill()
+
+    def test_sigint_drains_and_exits_130(self, tmp_path):
+        import json
+        import signal
+
+        man = tmp_path / "manifest.json"
+        proc = self._spawn(["--threads", "2", "--manifest", str(man)], tmp_path)
+        try:
+            proc.stdin.write(
+                json.dumps({"op": "learn", "dataset": "a", "max_depth": 0}) + "\n"
+            )
+            proc.stdin.flush()
+            resp = json.loads(self._readline(proc.stdout))
+            assert resp["error"] is None
+            proc.send_signal(signal.SIGINT)
+            rc = proc.wait(timeout=self.STARTUP_S)
+            assert rc == 130
+            doc = json.loads(man.read_text())
+            assert doc["shutdown"]["reason"] == "signal"
+            assert doc["totals"]["n_requests"] == 1
+        finally:
+            proc.kill()
+
+    def test_listen_socket_end_to_end_sigterm_drain(self, tmp_path):
+        """`--listen`: a client learns over TCP, SIGTERM drains the
+        transport, the manifest lands, exit code is 143."""
+        import json
+        import re
+        import signal
+
+        from repro.engine import EngineClient
+
+        man = tmp_path / "manifest.json"
+        proc = self._spawn(
+            ["--listen", "127.0.0.1:0", "--threads", "2", "--window", "8",
+             "--manifest", str(man)],
+            tmp_path,
+        )
+        try:
+            banner = self._readline(proc.stderr)
+            match = re.search(r"listening on (\S+)", banner)
+            assert match, f"no listen banner in {banner!r}"
+            with EngineClient(match.group(1), timeout=self.STARTUP_S) as client:
+                resp = client.learn("a", max_depth=0)
+                assert resp["error"] is None
+                assert client.learn("a", max_depth=0)["cached"]
+            proc.send_signal(signal.SIGTERM)
+            rc = proc.wait(timeout=self.STARTUP_S)
+            assert rc == 143
+            doc = json.loads(man.read_text())
+            assert doc["shutdown"]["reason"] == "signal"
+            assert doc["shutdown"]["signum"] == int(signal.SIGTERM)
+            assert doc["totals"]["n_requests"] == 2
+        finally:
+            proc.kill()

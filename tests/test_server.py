@@ -387,6 +387,174 @@ class TestConcurrentServe:
 
 
 # --------------------------------------------------------------------- #
+# streaming dispatch (serve_iter)
+# --------------------------------------------------------------------- #
+class TestStreaming:
+    """ISSUE-5 tentpole: the dispatcher is a lazy, windowed generator."""
+
+    def _mixed_stream(self, tmp_path) -> list:
+        """Admin ops, in-session errors, unrouted errors, parse failures,
+        aliased ids and cache hits — every response class in one stream."""
+        from repro.engine.server import ParseFailure
+
+        path = tmp_path / "d.csv"
+        path.write_text("a,b\n" + "".join("0,1\n1,0\n" for _ in range(20)))
+        return [
+            {"op": "learn", "dataset": "asia", "max_depth": 1},
+            {"op": "register", "dataset": "d", "source": f"csv:{path}"},  # barrier
+            {"op": "learn", "dataset": "d", "max_depth": 0},
+            {"op": "learn", "dataset": "asia", "max_depth": 1},  # hit
+            {"op": "learn", "dataset": "sprinkler", "gs": -3},  # in-session error
+            ParseFailure("invalid JSON: boom"),
+            {"op": "learn", "dataset": "ghost"},  # unrouted error
+            {"op": "stats"},  # barrier
+            {"op": "blanket", "dataset": "sprinkler", "target": 0},
+            {"op": "learn", "dataset": "asia", "max_depth": 1},  # hit
+        ]
+
+    @pytest.mark.parametrize("threads,window", [(1, 4), (3, 2), (3, 64)])
+    def test_serve_iter_matches_serve_bit_identical(
+        self, asia_data, sprinkler_data, tmp_path, threads, window
+    ):
+        reqs = self._mixed_stream(tmp_path)
+        outs = []
+        for mode in ("sequential", "streamed"):
+            with EngineServer(alpha=0.05) as srv:
+                srv.register("asia", asia_data)
+                srv.register("sprinkler", sprinkler_data)
+                if mode == "sequential":
+                    outs.append([srv.handle(r) for r in reqs])
+                else:
+                    outs.append(
+                        list(srv.serve_iter(reqs, threads=threads, window=window))
+                    )
+        def strip_timing(obj):
+            """Timing is the one legitimately nondeterministic field —
+            it appears inside `stats` results too (elapsed totals)."""
+            if isinstance(obj, dict):
+                return {
+                    k: strip_timing(v) for k, v in obj.items() if k != "elapsed_s"
+                }
+            if isinstance(obj, list):
+                return [strip_timing(v) for v in obj]
+            return obj
+
+        for seq, streamed in zip(*outs):
+            assert _uniform(streamed)
+            for key in ("op", "dataset", "fingerprint", "cached"):
+                assert seq[key] == streamed[key]
+            assert json.dumps(strip_timing(seq["result"]), sort_keys=True) == json.dumps(
+                strip_timing(streamed["result"]), sort_keys=True
+            )
+            assert (seq["error"] is None) == (streamed["error"] is None)
+
+    def test_window_bounds_intake(self, server):
+        """The dispatcher must pull at most `window` requests ahead of the
+        consumer — never the whole stream."""
+        pulled = [0]
+
+        def producer():
+            for _ in range(100):
+                pulled[0] += 1
+                yield {"op": "learn", "dataset": "asia", "max_depth": 0}
+
+        window = 5
+        it = server.serve_iter(producer(), threads=2, window=window)
+        first = next(it)
+        assert first["error"] is None
+        # Allow the one request the consumer already took plus the window.
+        assert pulled[0] <= window + 1
+        rest = list(it)
+        assert len(rest) == 99
+        assert server.n_peak_inflight <= window
+        assert server.stats()["dispatch"]["peak_inflight"] <= window
+
+    def test_lockstep_producer_never_deadlocks(self, server):
+        """A producer that waits for response i before sending i+1 is the
+        shape that deadlocked the materialising dispatcher."""
+        consumed = threading.Event()
+        consumed.set()
+
+        def producer():
+            for i in range(8):
+                assert consumed.wait(30), f"dispatcher stalled at request {i}"
+                consumed.clear()
+                yield {"op": "learn", "dataset": ("asia", "sprinkler")[i % 2],
+                       "max_depth": 0}
+
+        n = 0
+        for resp in server.serve_iter(producer(), threads=4, window=64):
+            assert resp["error"] is None
+            n += 1
+            consumed.set()
+        assert n == 8
+        assert server.n_peak_inflight <= 1  # lockstep: one in flight, ever
+
+    def test_aliased_ids_share_a_lane(self, asia_data):
+        """Regression (ISSUE-5): lanes are keyed by resolved content
+        fingerprint, so ids naming byte-identical data — which share a
+        session and result cache — interleave deterministically."""
+        with EngineServer() as srv:
+            srv.register("a", asia_data)
+            srv.register("b", asia_data)
+            key_a = srv._lane_key({"op": "learn", "dataset": "a"})
+            key_b = srv._lane_key({"op": "learn", "dataset": "b"})
+            assert key_a == key_b
+
+    def test_aliased_ids_cache_accounting_is_sequential(self, asia_data):
+        """With aliased ids racing in separate lanes the `cached` flags
+        were nondeterministic; one shared lane makes them exactly the
+        sequential run's, every time."""
+        reqs = [
+            {"op": "learn", "dataset": "ab"[i % 2], "alpha": a, "max_depth": 1}
+            for a in (0.05, 0.01)
+            for i in range(4)
+        ]
+
+        def run(threads):
+            with EngineServer() as srv:
+                srv.register("a", asia_data)
+                srv.register("b", asia_data)
+                return [r["cached"] for r in srv.serve(reqs, threads=threads)]
+
+        sequential = run(1)
+        for _ in range(3):  # would flake under the old repr(tag) lanes
+            assert run(3) == sequential
+
+    def test_parse_failure_is_ordered_error_response(self, server):
+        from repro.engine.server import ParseFailure
+
+        out = server.serve(
+            [
+                {"op": "learn", "dataset": "asia", "max_depth": 0},
+                ParseFailure("invalid JSON: line 2"),
+                {"op": "learn", "dataset": "asia", "max_depth": 0},
+            ],
+            threads=2,
+        )
+        assert all(_uniform(r) for r in out)
+        assert out[1]["error"] == "invalid JSON: line 2"
+        assert out[0]["error"] is None and out[2]["cached"]
+
+    def test_broken_request_iterator_propagates(self, server):
+        def producer():
+            yield {"op": "learn", "dataset": "asia", "max_depth": 0}
+            raise RuntimeError("producer exploded")
+
+        it = server.serve_iter(producer(), threads=2)
+        assert next(it)["error"] is None
+        with pytest.raises(RuntimeError, match="producer exploded"):
+            next(it)
+
+    def test_note_shutdown_lands_in_manifest(self, server):
+        server.handle({"op": "learn", "dataset": "asia", "max_depth": 0})
+        assert server.manifest()["shutdown"] is None
+        server.note_shutdown("signal", signum=2)
+        doc = server.manifest()["shutdown"]
+        assert doc["reason"] == "signal" and doc["signum"] == 2 and doc["drained"]
+
+
+# --------------------------------------------------------------------- #
 # manifest spanning sessions
 # --------------------------------------------------------------------- #
 class TestServerManifest:
