@@ -1,0 +1,118 @@
+"""Store bench: warm restart against a durable store vs. a cold process.
+
+The persistence claim is also operational: a *restarted* process pointed
+at the same ``--store`` file should answer a previously-served stream
+from SQLite — no skeleton learns, no contingency tables, no CI tests —
+and the payloads must be byte-identical to what the cold run produced.
+This bench runs the same mixed stream through two fresh session+server
+pairs (the second simulating a restart by reopening the store file) and
+asserts
+
+* the warm restart is at least 50x faster than the cold run,
+* every valid warm response is served ``cached: true`` from the store,
+* warm payloads are byte-identical (JSON text equality) to cold ones, and
+* the warm session never learned a skeleton.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.bench.tables import render_table
+from repro.bench.workloads import make_workload
+from repro.engine import BatchServer, LearningSession
+
+NETWORK = "alarm"
+N_SAMPLES = 2000
+
+
+def _request_stream(names) -> list[dict]:
+    """Mixed learns and blankets with repeats — the serving workload."""
+    base = [
+        {"op": "learn", "alpha": 0.05},
+        {"op": "learn", "alpha": 0.01},
+        {"op": "learn", "alpha": 0.05, "gs": 2},
+        {"op": "blanket", "target": names[0]},
+        {"op": "blanket", "target": names[len(names) // 2]},
+        {"op": "blanket", "target": names[-1]},
+    ]
+    return base + [dict(r) for r in base]
+
+
+def test_persistent_store_warm_restart(benchmark, record, record_json, tmp_path):
+    wl = make_workload(NETWORK, N_SAMPLES)
+    requests = _request_stream(wl.dataset.names)
+    store_path = str(tmp_path / "bench_store.sqlite")
+
+    def run() -> dict:
+        # Cold: empty store, everything computed and written through.
+        with LearningSession(wl.dataset, alpha=0.05, store=store_path) as session:
+            server = BatchServer(session)
+            t0 = time.perf_counter()
+            cold = server.serve(requests)
+            t_cold = time.perf_counter() - t0
+            cold_learns = session.n_skeleton_learns
+        # Warm restart: new process state, same store file.
+        with LearningSession(wl.dataset, alpha=0.05, store=store_path) as session:
+            server = BatchServer(session)
+            t0 = time.perf_counter()
+            warm = server.serve(requests)
+            t_warm = time.perf_counter() - t0
+            stats = server.stats()
+            warm_learns = session.n_skeleton_learns
+        return {
+            "cold_s": t_cold,
+            "warm_s": t_warm,
+            "cold": cold,
+            "warm": warm,
+            "stats": stats,
+            "cold_learns": cold_learns,
+            "warm_learns": warm_learns,
+        }
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # Byte-identical payloads across the restart; everything served cached.
+    for c, w in zip(out["cold"], out["warm"]):
+        assert json.dumps(c["result"]) == json.dumps(w["result"])
+        assert w["cached"]
+    assert out["cold_learns"] > 0
+    assert out["warm_learns"] == 0, "warm restart relearned a skeleton"
+
+    stats = out["stats"]
+    store_block = stats["store"]
+    assert store_block["n_store_result_hits"] > 0, "store never hit"
+    speedup = out["cold_s"] / max(out["warm_s"], 1e-9)
+    assert speedup >= 50.0, f"warm restart only {speedup:.1f}x faster than cold"
+
+    text = render_table(
+        ["run", "requests", "seconds", "store hits", "skeleton learns"],
+        [
+            ["cold start", len(requests), f"{out['cold_s']:.3f}", "-", out["cold_learns"]],
+            [
+                "warm restart",
+                len(requests),
+                f"{out['warm_s']:.3f}",
+                store_block["n_store_result_hits"],
+                out["warm_learns"],
+            ],
+            ["speedup", "", f"{speedup:.1f}x", "", ""],
+        ],
+        title=f"Persistent store — {wl.label}, m={N_SAMPLES}, restart vs cold",
+    )
+    record("persistent_store", text)
+    record_json(
+        "store",
+        {
+            "network": wl.label,
+            "n_samples": N_SAMPLES,
+            "n_requests": len(requests),
+            "cold_s": out["cold_s"],
+            "warm_s": out["warm_s"],
+            "speedup": speedup,
+            "store_result_hits": store_block["n_store_result_hits"],
+            "cold_skeleton_learns": out["cold_learns"],
+            "warm_skeleton_learns": out["warm_learns"],
+        },
+    )

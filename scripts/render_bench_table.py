@@ -74,6 +74,16 @@ def _row_server(doc: dict) -> tuple[str, str]:
     )
 
 
+def _row_store(doc: dict) -> tuple[str, str]:
+    return (
+        f"warm restart vs cold start over a durable store "
+        f"({doc['network']}, {doc['n_requests']} requests)",
+        f"{_fmt(doc['speedup'], 0)}× restart speedup, "
+        f"{doc['store_result_hits']} store hits, "
+        f"{doc['warm_skeleton_learns']} skeleton relearns",
+    )
+
+
 def _row_transport(doc: dict) -> tuple[str, str]:
     return (
         f"shared socket server vs per-client engines "
@@ -89,6 +99,7 @@ _SUMMARISERS = {
     "kernel_batching": _row_kernel_batching,
     "server": _row_server,
     "shared_memory": _row_shared_memory,
+    "store": _row_store,
     "transport": _row_transport,
 }
 

@@ -18,6 +18,11 @@ This subsystem makes runs first-class, reusable objects:
   per-session access (the ``fastbns serve`` CLI; see :mod:`.server`);
 * :class:`RunManifest` — auditable per-run artifact (one per session,
   merged across sessions by the server's run document);
+* :class:`EngineStore` — durable content-addressed persistence behind
+  one SQLite file: request-fingerprint result cache, skeleton blobs, a
+  disk spill tier under the stats cache, and a per-response manifest
+  journal, giving warm restarts with byte-identical payloads
+  (``fastbns batch/serve --store PATH``; see :mod:`.store`);
 * :class:`EngineTransport` / :class:`EngineClient` — a threaded TCP /
   Unix-socket front end speaking the same JSONL protocol, one streaming
   dispatcher (:meth:`EngineServer.serve_iter <.server.EngineServer.serve_iter>`)
@@ -45,6 +50,7 @@ from .manifest import RunManifest, merge_totals, shutdown_doc
 from .server import DatasetSource, EngineServer, ParseFailure
 from .session import LearningSession
 from .statscache import CachedTableBuilder, CacheStats, SufficientStatsCache
+from .store import EngineStore
 from .transport import EngineTransport
 
 __all__ = [
@@ -55,6 +61,7 @@ __all__ = [
     "BatchServer",
     "BatchRequest",
     "EngineServer",
+    "EngineStore",
     "EngineTransport",
     "EngineClient",
     "DatasetSource",

@@ -172,12 +172,16 @@ class BatchServer:
     a production deployment would bound it the same LRU way.
     """
 
-    def __init__(self, session: LearningSession) -> None:
+    def __init__(self, session: LearningSession, store=None) -> None:
         self.session = session
+        # Default to the session's store so `LearningSession(store=...)`
+        # alone is enough to make the batch layer durable.
+        self.store = store if store is not None else getattr(session, "store", None)
         self._results: dict[str, dict] = {}
         self.n_requests = 0
         self.n_computed = 0
         self.n_result_hits = 0
+        self.n_store_hits = 0
         self.n_errors = 0
 
     # ------------------------------------------------------------------ #
@@ -219,9 +223,25 @@ class BatchServer:
             if cached:
                 self.n_result_hits += 1
             else:
-                payload = self._compute(req)
-                self._results[fp] = payload
-                self.n_computed += 1
+                if self.store is not None:
+                    payload = self.store.get_result(fp)
+                if payload is not None:
+                    # A durable hit is a result-cache hit for accounting
+                    # (`cached: true` in the response, exact manifest
+                    # totals); n_store_hits separates warm-restart reuse
+                    # from same-process repeats.
+                    self._results[fp] = payload
+                    cached = True
+                    self.n_result_hits += 1
+                    self.n_store_hits += 1
+                else:
+                    payload = self._compute(req)
+                    self._results[fp] = payload
+                    self.n_computed += 1
+                    if self.store is not None:
+                        self.store.put_result(
+                            fp, self.session.fingerprint, req.op, payload
+                        )
         except (ValueError, KeyError, TypeError) as exc:
             self.n_errors += 1
             op = raw.get("op") if isinstance(raw, Mapping) else raw.op
@@ -269,7 +289,7 @@ class BatchServer:
         """Serve a request stream in order, recording into ``manifest``."""
         return list(self.serve_iter(requests, manifest=manifest))
 
-    def new_manifest(self) -> RunManifest:
+    def new_manifest(self, journal=None) -> RunManifest:
         s = self.session
         return RunManifest(
             dataset_fingerprint=s.fingerprint,
@@ -281,16 +301,24 @@ class BatchServer:
                 "backend": s.backend,
                 "cache_bytes": s.cache_bytes,
             },
+            journal=journal,
         )
 
     def stats(self) -> dict:
-        return {
+        out = {
             "n_requests": self.n_requests,
             "n_computed": self.n_computed,
             "n_result_cache_hits": self.n_result_hits,
             "n_errors": self.n_errors,
             "stats_cache": self.session.cache_stats().as_dict(),
         }
+        if self.store is not None:
+            out["store"] = {
+                "n_store_result_hits": self.n_store_hits,
+                "n_skeleton_loads": self.session.n_skeleton_loads,
+                "n_skeleton_learns": self.session.n_skeleton_learns,
+            }
+        return out
 
     # ------------------------------------------------------------------ #
     # execution

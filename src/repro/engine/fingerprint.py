@@ -24,7 +24,12 @@ import numpy as np
 
 from ..datasets.dataset import DiscreteDataset
 
-__all__ = ["dataset_fingerprint", "request_fingerprint", "canonical_json"]
+__all__ = [
+    "dataset_fingerprint",
+    "request_fingerprint",
+    "engine_config_fingerprint",
+    "canonical_json",
+]
 
 _DIGEST_SIZE = 16
 
@@ -57,4 +62,19 @@ def request_fingerprint(dataset_fp: str, op: str, params: Mapping) -> str:
     h.update(dataset_fp.encode())
     h.update(op.encode())
     h.update(canonical_json(params).encode())
+    return h.hexdigest()
+
+
+def engine_config_fingerprint(config: Mapping) -> str:
+    """Hex fingerprint of result-affecting engine configuration.
+
+    The durable store's skeleton blobs are keyed by ``(dataset
+    fingerprint, engine-config fingerprint, call parameters)`` — a
+    restarted engine whose configuration hashes differently simply
+    misses and relearns, which is what keeps warm restarts exact without
+    any migration logic.
+    """
+    h = hashlib.blake2b(digest_size=_DIGEST_SIZE)
+    h.update(b"engine-config|")
+    h.update(canonical_json(config).encode())
     return h.hexdigest()

@@ -23,12 +23,20 @@ MANIFEST_VERSION = 1
 
 @dataclass
 class RunManifest:
-    """Everything needed to account for one batch-serving run."""
+    """Everything needed to account for one batch-serving run.
+
+    ``journal`` is an optional durable sink (a
+    :class:`~repro.engine.store.ManifestJournal`): when set, every row
+    appended here is *also* written through to the store the moment its
+    response exists, so a crash mid-stream leaves an exact audit trail
+    instead of losing the write-at-exit JSON document.
+    """
 
     dataset_fingerprint: str
     engine: dict = field(default_factory=dict)
     requests: list[dict] = field(default_factory=list)
     created_unix: float = field(default_factory=time.time)
+    journal: object | None = field(default=None, repr=False, compare=False)
 
     def add_request(
         self,
@@ -38,15 +46,29 @@ class RunManifest:
         elapsed_s: float,
         error: str | None = None,
     ) -> None:
+        # Both clocks, deliberately: t_wall anchors the row in real time,
+        # t_mono makes rows replay-orderable within the process even
+        # across wall-clock adjustments (NTP steps, DST) — the durable
+        # journal needs an order that cannot run backwards.
         entry = {
             "op": op,
             "fingerprint": fingerprint,
             "cached": bool(cached),
             "elapsed_s": float(elapsed_s),
+            "t_wall": time.time(),
+            "t_mono": time.monotonic(),
         }
         if error is not None:
             entry["error"] = error
         self.requests.append(entry)
+        if self.journal is not None:
+            self.journal.append(
+                {
+                    "kind": "request",
+                    "dataset_fingerprint": self.dataset_fingerprint,
+                    **entry,
+                }
+            )
 
     # ------------------------------------------------------------------ #
     # rollups & serialisation
@@ -120,4 +142,5 @@ def shutdown_doc(
         "drained": bool(drained),
         "signum": None if signum is None else int(signum),
         "unix_time": time.time(),
+        "mono_time": time.monotonic(),
     }

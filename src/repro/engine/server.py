@@ -77,6 +77,7 @@ from .batch import BatchServer, ParseFailure
 from .manifest import MANIFEST_VERSION, RunManifest, merge_totals, shutdown_doc
 from .session import LearningSession
 from .statscache import DEFAULT_BUDGET_BYTES
+from .store import EngineStore
 
 __all__ = [
     "DatasetSource",
@@ -249,11 +250,11 @@ class _SessionSlot:
 
     __slots__ = ("fingerprint", "session", "server", "manifest", "lock", "ids", "retired")
 
-    def __init__(self, session: LearningSession, dataset_id: str) -> None:
+    def __init__(self, session: LearningSession, dataset_id: str, journal=None) -> None:
         self.fingerprint = session.fingerprint
         self.session = session
         self.server = BatchServer(session)
-        self.manifest = self.server.new_manifest()
+        self.manifest = self.server.new_manifest(journal=journal)
         self.lock = threading.Lock()
         self.ids = {dataset_id}
         self.retired = False
@@ -282,6 +283,15 @@ class EngineServer:
         ``--register`` flags and in-stream ``register`` ops resolve
         against the *same* defaults, so the two registration routes
         materialise identical datasets for identical specs.
+    store:
+        Optional durable :class:`~repro.engine.store.EngineStore` (or a
+        path, which the server then owns and closes).  One store is
+        shared by every session the server spins up: evicted sessions'
+        results and skeletons persist, so re-touching their dataset
+        revives them warm, and a restarted server over the same path
+        answers previously-served streams byte-identically.  All
+        manifests (per-session and unrouted) journal their rows into the
+        store under one run id.
     """
 
     def __init__(
@@ -299,9 +309,13 @@ class EngineServer:
         default_samples: int = 5000,
         default_seed: int = 0,
         default_scale: float | None = None,
+        store: EngineStore | str | None = None,
     ) -> None:
         if max_sessions < 1:
             raise ValueError("max_sessions must be >= 1")
+        self._owns_store = store is not None and not isinstance(store, EngineStore)
+        self.store = EngineStore.ensure(store)
+        self._journal = self.store.journal() if self.store is not None else None
         self._session_kwargs = dict(
             test=test,
             alpha=alpha,
@@ -324,7 +338,9 @@ class EngineServer:
         self._misc = threading.Lock()
         # Errors that never reached a session (unknown dataset, bad admin
         # request, unparseable line) still belong to the run's audit trail.
-        self._unrouted = RunManifest(dataset_fingerprint="", engine={"role": "unrouted"})
+        self._unrouted = RunManifest(
+            dataset_fingerprint="", engine={"role": "unrouted"}, journal=self._journal
+        )
         self._retired_docs: list[dict] = []
         self._created = time.time()
         self._shutdown_doc: dict | None = None
@@ -416,7 +432,9 @@ class EngineServer:
                     self._slots.move_to_end(fp)
                     slot.ids = slot.ids | {dataset_id}
                     return slot
-            session = LearningSession(source.load(), **self._session_kwargs)
+            session = LearningSession(
+                source.load(), store=self.store, **self._session_kwargs
+            )
             victims: list[_SessionSlot] = []
             with self._registry:
                 fp = session.fingerprint
@@ -429,7 +447,7 @@ class EngineServer:
                     slot.ids = slot.ids | {dataset_id}
                     self._id_fp[dataset_id] = fp
                     return slot
-                slot = _SessionSlot(session, dataset_id)
+                slot = _SessionSlot(session, dataset_id, journal=self._journal)
                 self._slots[fp] = slot
                 self._id_fp[dataset_id] = fp
                 self.n_spinups += 1
@@ -883,6 +901,7 @@ class EngineServer:
             "datasets": self.datasets(),
             "totals": manifest["totals"],
             "per_session": per_session,
+            "store": None if self.store is None else self.store.stats(),
         }
 
     def manifest(self) -> dict:
@@ -910,10 +929,14 @@ class EngineServer:
         totals = merge_totals(
             [doc["totals"] for doc in session_docs] + [unrouted["totals"]]
         )
+        engine = dict(self._session_kwargs)
+        if self.store is not None:
+            engine["store"] = self.store.path
         return {
             "manifest_version": MANIFEST_VERSION,
             "created_unix": self._created,
-            "engine": dict(self._session_kwargs),
+            "engine": engine,
+            "run_id": None if self._journal is None else self._journal.run_id,
             "totals": totals,
             "sessions": session_docs,
             "unrouted": unrouted,
@@ -932,6 +955,8 @@ class EngineServer:
         """
         with self._misc:
             self._shutdown_doc = shutdown_doc(reason, drained=drained, signum=signum)
+            if self._journal is not None:
+                self._journal.append({"kind": "shutdown", **self._shutdown_doc})
 
     def write_manifest(self, path) -> None:
         import json
@@ -949,6 +974,8 @@ class EngineServer:
             self._slots.clear()
         for slot in slots:
             self._retire(slot, evicted=False)
+        if self._owns_store and self.store is not None:
+            self.store.close()
         self._closed = True
 
     def __enter__(self) -> "EngineServer":

@@ -42,7 +42,11 @@ from ..core.result import LearnResult
 from ..core.skeleton import learn_skeleton
 from ..datasets.dataset import DiscreteDataset
 from ..datasets.encoded import EncodedDataset
-from .fingerprint import dataset_fingerprint
+from .fingerprint import (
+    dataset_fingerprint,
+    engine_config_fingerprint,
+    request_fingerprint,
+)
 from .statscache import DEFAULT_BUDGET_BYTES, CacheStats, SufficientStatsCache
 
 __all__ = ["LearningSession"]
@@ -75,6 +79,17 @@ class LearningSession:
         shared-memory plane when available, falling back to pickling;
         ``True`` requires the plane, ``False`` forces the pickled path.
         Bit-identical results either way.
+    store:
+        Optional durable store (:class:`~repro.engine.store.EngineStore`
+        or a database path, which the session then owns and closes).
+        When present, ``learn()`` consults the store's skeleton-blob
+        tier before running ``learn_skeleton`` — a restarted process
+        resumes its learned structures without relearning — and the
+        stats cache gains the store's spill tier: entries evicted from
+        the in-memory byte budget land in SQLite and promote back on
+        lookup.  Every store key carries the dataset and engine-config
+        fingerprints, so reuse is exact: a mismatch is a miss, never a
+        wrong answer.
     """
 
     def __init__(
@@ -89,6 +104,7 @@ class LearningSession:
         backend: str = "process",
         cache_bytes: int = DEFAULT_BUDGET_BYTES,
         use_shm: bool | None = None,
+        store=None,
     ) -> None:
         if n_jobs < 1:
             raise ValueError("n_jobs must be >= 1")
@@ -107,14 +123,28 @@ class LearningSession:
         self.backend = backend
         self.use_shm = use_shm
         self.cache_bytes = int(cache_bytes)
-        self.cache = SufficientStatsCache(max_bytes=cache_bytes)
+        # A path means the session owns (and closes) the store; a handed
+        # EngineStore belongs to the caller (the server shares one store
+        # across every session it spins up).
+        from .store import EngineStore
+
+        self._owns_store = store is not None and not isinstance(store, EngineStore)
+        self.store = EngineStore.ensure(store)
+        self.n_skeleton_learns = 0
+        self.n_skeleton_loads = 0
+        self._fingerprint: str | None = None
+        spill = None
+        if self.store is not None:
+            # Fingerprint eagerly: every store key needs it, and the
+            # spill tier is namespaced by it.
+            spill = self.store.spill_tier(self.fingerprint)
+        self.cache = SufficientStatsCache(max_bytes=cache_bytes, spill=spill)
         # One encoding layer shared by every tester the session hands out
         # (and shipped to workers at pool start): columns are widened and
         # endpoint pairs encoded once per dataset, not once per tester.
         self.encoded = EncodedDataset(self.dataset)
         self._testers: dict[tuple[str, float, str], ConditionalIndependenceTest] = {}
         self._pool = None
-        self._fingerprint: str | None = None
         self._closed = False
 
     # ------------------------------------------------------------------ #
@@ -194,6 +224,24 @@ class LearningSession:
             self._testers[key] = tester
         return tester
 
+    def _skeleton_key(self, test: str | None, alpha: float, gs, max_depth) -> tuple[str, str]:
+        """Store key of one skeleton run plus its engine-config lineage.
+
+        Every result-affecting knob participates as spelled (``gs="auto"``
+        and a fixed gs key separately even though their skeletons are
+        bit-identical — the conservative choice the result cache already
+        makes), so a store hit can only ever be the exact artifact an
+        identical run computed.
+        """
+        cfg = {"test": test or self.test, "dof_adjust": self.dof_adjust}
+        config_fp = engine_config_fingerprint(cfg)
+        key = request_fingerprint(
+            self.fingerprint,
+            "skeleton",
+            {**cfg, "alpha": alpha, "gs": gs, "max_depth": max_depth},
+        )
+        return key, config_fp
+
     def _ensure_pool(self):
         if self._pool is None:
             from ..parallel.backends import WorkerPool
@@ -248,7 +296,18 @@ class LearningSession:
         n_nodes = self.dataset.n_variables
 
         t0 = time.perf_counter()
-        if self.n_jobs > 1 and (test is None or test == self.test):
+        skel_key = config_fp = None
+        restored = None
+        if self.store is not None:
+            skel_key, config_fp = self._skeleton_key(test, alpha, gs, max_depth)
+            restored = self.store.get_skeleton(skel_key)
+        if restored is not None:
+            # Warm path: the exact (skeleton, sepsets, stats) a previous
+            # run computed for this fingerprint — orientation below still
+            # runs live (it is cheap and parameter-dependent).
+            skeleton, sepsets, stats = restored
+            self.n_skeleton_loads += 1
+        elif self.n_jobs > 1 and (test is None or test == self.test):
             from ..parallel.ci_level import ci_level_skeleton
 
             pool = self._ensure_pool()
@@ -272,6 +331,12 @@ class LearningSession:
                 onthefly=True,
                 max_depth=max_depth,
             )
+        if restored is None:
+            self.n_skeleton_learns += 1
+            if self.store is not None:
+                self.store.put_skeleton(
+                    skel_key, self.fingerprint, config_fp, (skeleton, sepsets, stats)
+                )
         t1 = time.perf_counter()
         if v_structures == "standard":
             cpdag = orient_skeleton(skeleton, sepsets, apply_r4=apply_r4)
@@ -340,6 +405,8 @@ class LearningSession:
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
+        if self._owns_store and self.store is not None:
+            self.store.close()
         self._closed = True
 
     def __enter__(self) -> "LearningSession":

@@ -71,6 +71,17 @@ class CacheStats:
     current_bytes: int
     max_bytes: int
     n_entries: int
+    # Spill-tier counters (all zero, and omitted from as_dict, unless a
+    # store's spill tier is attached): stores = entries demoted to disk on
+    # eviction, hits/promotes = looked-up entries restored into memory,
+    # misses = memory misses the tier could not serve either.
+    spill_enabled: bool = False
+    spill_stores: int = 0
+    spill_hits: int = 0
+    spill_misses: int = 0
+    spill_promotes: int = 0
+    spill_entries: int = 0
+    spill_bytes: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -89,6 +100,15 @@ class CacheStats:
             "n_entries": self.n_entries,
             "hit_rate": self.hit_rate,
         }
+        if self.spill_enabled:
+            out["spill"] = {
+                "stores": self.spill_stores,
+                "hits": self.spill_hits,
+                "misses": self.spill_misses,
+                "promotes": self.spill_promotes,
+                "entries": self.spill_entries,
+                "bytes": self.spill_bytes,
+            }
         return out
 
 
@@ -102,6 +122,13 @@ class _Entry:
     dense: bool = True  # first axis covers all structural configs
 
 
+def _is_pending(entry: _Entry) -> bool:
+    """True for a reserved-but-unfilled group slot (identity sentinel —
+    meaningless outside its group evaluation, so never spilled)."""
+    value = entry.value
+    return isinstance(value, tuple) and bool(value) and value[0] is _PENDING
+
+
 class SufficientStatsCache:
     """Byte-budgeted LRU cache of contingency tables and column encodings.
 
@@ -113,7 +140,7 @@ class SufficientStatsCache:
     one dataset and one cache).
     """
 
-    def __init__(self, max_bytes: int = DEFAULT_BUDGET_BYTES) -> None:
+    def __init__(self, max_bytes: int = DEFAULT_BUDGET_BYTES, *, spill=None) -> None:
         if max_bytes < 0:
             raise ValueError("max_bytes must be >= 0")
         self.max_bytes = int(max_bytes)
@@ -123,16 +150,27 @@ class SufficientStatsCache:
         # share one cache, and gives put_many its single-acquisition bulk
         # insert.  (Counters are plain ints — GIL-atomic increments.)
         self._lock = threading.Lock()
+        # Optional disk tier (repro.engine.store.SpillTier): evictions
+        # demote real entries instead of dropping them, and a miss whose
+        # key is spilled promotes it back — bit-identical, since tables
+        # are pure functions of their keys.  None keeps every code path
+        # and counter exactly as without a store.
+        self._spill = spill
         self.current_bytes = 0
         self.hits = 0
         self.misses = 0
         self.marginal_builds = 0
         self.evictions = 0
         self.puts = 0
+        self.spill_stores = 0
+        self.spill_hits = 0
+        self.spill_misses = 0
+        self.spill_promotes = 0
 
     def __getstate__(self) -> dict:
         state = dict(self.__dict__)
         del state["_lock"]  # locks don't pickle; workers get a fresh one
+        state["_spill"] = None  # the disk tier (SQLite conn) stays home
         return state
 
     def __setstate__(self, state: dict) -> None:
@@ -158,12 +196,41 @@ class SufficientStatsCache:
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
-                if count:
-                    self.misses += 1
-                return None
-            self._entries.move_to_end(key)
+                entry = self._promote_locked(key)
+                if entry is None:
+                    if count:
+                        self.misses += 1
+                    return None
+            else:
+                self._entries.move_to_end(key)
         if count:
             self.hits += 1
+        return entry
+
+    def _promote_locked(self, key: Hashable) -> "_Entry | None":
+        """Restore a spilled entry into memory; None without a spill hit.
+
+        The probe is an O(1) set lookup against the tier's key index, so
+        streams that never spilled pay nothing here; an actual promote
+        re-admits the entry at the hot end (it is live traffic) and then
+        re-balances the budget — which may demote colder entries in turn.
+        """
+        if self._spill is None:
+            return None
+        if not self._spill.has(key):
+            self.spill_misses += 1
+            return None
+        fields = self._spill.get(key)
+        if fields is None:  # phantom index entry / undecodable blob
+            self.spill_misses += 1
+            return None
+        self.spill_hits += 1
+        value, nbytes, kind, varset, dims, dense = fields
+        entry = _Entry(value, int(nbytes), kind, varset, tuple(dims), dense)
+        self._entries[key] = entry
+        self.current_bytes += entry.nbytes
+        self.spill_promotes += 1
+        self._evict_locked()
         return entry
 
     def put(
@@ -239,9 +306,23 @@ class SufficientStatsCache:
 
     def _evict_locked(self) -> None:
         while self.current_bytes > self.max_bytes and self._entries:
-            _, evicted = self._entries.popitem(last=False)
+            key, evicted = self._entries.popitem(last=False)
             self.current_bytes -= evicted.nbytes
             self.evictions += 1
+            if self._spill is not None and not _is_pending(evicted):
+                # Demote instead of drop: the entry lands on disk and a
+                # later lookup promotes it back, bit-identical.  Pending
+                # group reservations are transient and never spill.
+                if self._spill.put(
+                    key,
+                    evicted.value,
+                    evicted.nbytes,
+                    evicted.kind,
+                    evicted.varset,
+                    evicted.dims,
+                    evicted.dense,
+                ):
+                    self.spill_stores += 1
 
     def discard(self, key: Hashable) -> None:
         """Remove one entry (no-op when absent); no hit/miss effects."""
@@ -256,6 +337,7 @@ class SufficientStatsCache:
             self.current_bytes = 0
 
     def stats(self) -> CacheStats:
+        spill = self._spill.stats() if self._spill is not None else None
         return CacheStats(
             hits=self.hits,
             misses=self.misses,
@@ -265,6 +347,13 @@ class SufficientStatsCache:
             current_bytes=self.current_bytes,
             max_bytes=self.max_bytes,
             n_entries=len(self._entries),
+            spill_enabled=spill is not None,
+            spill_stores=self.spill_stores,
+            spill_hits=self.spill_hits,
+            spill_misses=self.spill_misses,
+            spill_promotes=self.spill_promotes,
+            spill_entries=0 if spill is None else spill["entries"],
+            spill_bytes=0 if spill is None else spill["bytes"],
         )
 
     # ------------------------------------------------------------------ #

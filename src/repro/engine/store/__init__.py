@@ -1,0 +1,44 @@
+"""repro.engine.store — durable content-addressed persistence.
+
+Everything the engine's performance story rests on — request-fingerprint
+result dedup, learned skeletons, the byte-budgeted stats cache, run
+manifests — used to evaporate on every restart.  This subsystem persists
+all four behind one SQLite database (WAL mode, safe under the threaded
+dispatcher, degrading to a cold start with a warning on any damage):
+
+* :class:`EngineStore` — the facade the serving layers hold (result
+  cache, skeleton blobs, spill namespaces, journals; see :mod:`.core`);
+* :class:`StoreDB` — the degradation-first SQLite substrate
+  (:mod:`.db`);
+* :class:`SpillTier` — the disk tier under the
+  :class:`~repro.engine.statscache.SufficientStatsCache` LRU
+  (:mod:`.spill`);
+* :class:`ManifestJournal` — per-response durable manifest rows
+  (:mod:`.journal`).
+
+Wiring: ``LearningSession(store=...)`` consults skeleton blobs and
+attaches the spill tier; ``BatchServer`` consults the result cache
+before any compute and writes through on miss; ``EngineServer`` shares
+one store (and one journal) across every session it spins up, so evicted
+sessions revive warm; ``fastbns batch/serve --store PATH`` wires it from
+the CLI.  Correctness is exact by construction — every tier is keyed by
+content fingerprints and invalidation is fingerprint mismatch, so a
+warm-restarted server produces byte-identical payloads to a cold one.
+"""
+
+from .core import EngineStore
+from .db import STORE_VERSION, StoreDB
+from .journal import ManifestJournal, journal_rows, journal_runs, new_run_id
+from .spill import DEFAULT_SPILL_BYTES, SpillTier
+
+__all__ = [
+    "EngineStore",
+    "StoreDB",
+    "STORE_VERSION",
+    "SpillTier",
+    "DEFAULT_SPILL_BYTES",
+    "ManifestJournal",
+    "journal_rows",
+    "journal_runs",
+    "new_run_id",
+]

@@ -1,0 +1,212 @@
+"""The content-addressed engine store: one facade over every tier.
+
+:class:`EngineStore` is what the serving layers hold — one per
+``--store PATH`` — and bundles the four persistence tiers over one
+SQLite database (:class:`~repro.engine.store.db.StoreDB`):
+
+=============  ======================================================
+tier           key -> value
+=============  ======================================================
+results        request fingerprint -> exact JSON payload
+skeletons      skeleton fingerprint -> pickled (skeleton, sepsets,
+               stats), with (dataset_fp, config_fp) audit columns
+spill          (dataset_fp, cache key) -> evicted stats-cache entry
+journal        (run id, seq) -> manifest row, appended per response
+=============  ======================================================
+
+Invalidation is purely by fingerprint mismatch: nothing in the store is
+ever mutated or migrated, so a warm restart can only serve bytes that an
+identically-configured cold run would have produced.  Every getter is
+total — decode failures and I/O errors read as misses (the DB layer
+degrades itself) — and every counter is exact, surfaced through
+:meth:`stats` into ``EngineServer.stats()["store"]``.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import threading
+import time
+from pathlib import Path
+
+from .db import STORE_VERSION, StoreDB
+from .journal import ManifestJournal, journal_rows, journal_runs
+from .spill import DEFAULT_SPILL_BYTES, SpillTier
+
+__all__ = ["EngineStore"]
+
+
+class EngineStore:
+    """Durable, content-addressed cache plane for the serving stack.
+
+    Parameters
+    ----------
+    path:
+        SQLite database path (created on first use; ``":memory:"`` gives
+        a process-local store, useful for tests and for routing session
+        revival through the store without touching disk).
+    spill_bytes:
+        Disk budget of each dataset's stats-spill namespace.
+    """
+
+    def __init__(
+        self, path: str | Path, *, spill_bytes: int = DEFAULT_SPILL_BYTES
+    ) -> None:
+        self.db = StoreDB(path)
+        self.spill_bytes = int(spill_bytes)
+        self._lock = threading.Lock()
+        self._spills: dict[str, SpillTier] = {}
+        self.result_hits = 0
+        self.result_misses = 0
+        self.result_puts = 0
+        self.skeleton_hits = 0
+        self.skeleton_misses = 0
+        self.skeleton_puts = 0
+        self.n_blob_errors = 0
+
+    @classmethod
+    def ensure(cls, store) -> "EngineStore | None":
+        """Coerce ``None`` / path / instance into an optional store."""
+        if store is None or isinstance(store, cls):
+            return store
+        return cls(store)
+
+    @property
+    def path(self) -> str:
+        return self.db.path
+
+    @property
+    def active(self) -> bool:
+        return self.db.active
+
+    # ------------------------------------------------------------------ #
+    # result cache tier
+    # ------------------------------------------------------------------ #
+    def get_result(self, fingerprint: str) -> dict | None:
+        """The exact payload a previous run returned for this request."""
+        rows = self.db.execute(
+            "SELECT payload FROM results WHERE fingerprint=?", (fingerprint,)
+        )
+        if rows:
+            try:
+                payload = json.loads(rows[0][0])
+            except json.JSONDecodeError:
+                self.n_blob_errors += 1
+                self.result_misses += 1
+                return None
+            self.result_hits += 1
+            return payload
+        self.result_misses += 1
+        return None
+
+    def put_result(
+        self, fingerprint: str, dataset_fp: str, op: str, payload: dict
+    ) -> None:
+        self.db.execute(
+            "INSERT OR REPLACE INTO results"
+            " (fingerprint, dataset_fp, op, payload, created_wall)"
+            " VALUES (?,?,?,?,?)",
+            (fingerprint, dataset_fp, op, json.dumps(payload), time.time()),
+        )
+        self.result_puts += 1
+
+    # ------------------------------------------------------------------ #
+    # skeleton blob tier
+    # ------------------------------------------------------------------ #
+    def get_skeleton(self, key: str):
+        """Unpickled (skeleton, sepsets, stats), or ``None`` on any miss."""
+        rows = self.db.execute("SELECT blob FROM skeletons WHERE key=?", (key,))
+        if rows:
+            try:
+                obj = pickle.loads(rows[0][0])
+            except Exception:
+                # An undecodable blob is a cold start for this key only.
+                self.n_blob_errors += 1
+                self.db.execute("DELETE FROM skeletons WHERE key=?", (key,))
+                self.skeleton_misses += 1
+                return None
+            self.skeleton_hits += 1
+            return obj
+        self.skeleton_misses += 1
+        return None
+
+    def put_skeleton(self, key: str, dataset_fp: str, config_fp: str, obj) -> None:
+        blob = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        self.db.execute(
+            "INSERT OR REPLACE INTO skeletons"
+            " (key, dataset_fp, config_fp, blob, created_wall)"
+            " VALUES (?,?,?,?,?)",
+            (key, dataset_fp, config_fp, blob, time.time()),
+        )
+        self.skeleton_puts += 1
+
+    # ------------------------------------------------------------------ #
+    # spill & journal tiers
+    # ------------------------------------------------------------------ #
+    def spill_tier(self, dataset_fp: str) -> SpillTier:
+        """The dataset's spill namespace (one shared tier per fingerprint)."""
+        with self._lock:
+            tier = self._spills.get(dataset_fp)
+            if tier is None:
+                tier = SpillTier(self.db, dataset_fp, max_bytes=self.spill_bytes)
+                self._spills[dataset_fp] = tier
+            return tier
+
+    def journal(self, run_id: str | None = None) -> ManifestJournal:
+        return ManifestJournal(self.db, run_id)
+
+    def journal_rows(self, run_id: str) -> list[dict]:
+        return journal_rows(self.db, run_id)
+
+    def journal_runs(self) -> list[tuple[str, int]]:
+        return journal_runs(self.db)
+
+    # ------------------------------------------------------------------ #
+    # introspection & lifecycle
+    # ------------------------------------------------------------------ #
+    def counts(self) -> dict:
+        """Row counts per tier (0 when the DB is disabled)."""
+        return {
+            table: int(self.db.scalar(f"SELECT COUNT(*) FROM {table}", default=0))
+            for table in ("results", "skeletons", "spill", "journal")
+        }
+
+    def stats(self) -> dict:
+        """JSON-able snapshot: the ``store`` block of server stats."""
+        with self._lock:
+            spills = {
+                fp: tier.stats() for fp, tier in self._spills.items()
+            }
+        return {
+            "path": self.path,
+            "version": STORE_VERSION,
+            "active": self.active,
+            "file_bytes": self.db.file_bytes(),
+            "io_errors": self.db.n_io_errors,
+            "blob_errors": self.n_blob_errors,
+            "rows": self.counts(),
+            "results": {
+                "hits": self.result_hits,
+                "misses": self.result_misses,
+                "puts": self.result_puts,
+            },
+            "skeletons": {
+                "hits": self.skeleton_hits,
+                "misses": self.skeleton_misses,
+                "puts": self.skeleton_puts,
+            },
+            "spill": spills,
+        }
+
+    def close(self) -> None:
+        self.db.close()
+
+    def __enter__(self) -> "EngineStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"EngineStore({self.path!r}, active={self.active})"

@@ -1,0 +1,233 @@
+"""SQLite substrate of the durable engine store.
+
+One :class:`StoreDB` wraps one database file (the ``--store PATH`` the
+CLI passes down).  Design constraints, in order:
+
+* **Never take the engine down.**  Persistence is an accelerator, not a
+  dependency: a corrupt, truncated, version-skewed or unwritable store
+  must degrade the engine to a *cold start with a warning*, not a crash.
+  Open failures sidestep the broken file (renamed to ``<path>.corrupt``)
+  and start fresh; runtime I/O failures disable the store for the rest
+  of the process — every tier then reads as a miss and writes as a
+  no-op, which is exactly the no-store behaviour.
+* **Safe under the threaded dispatcher.**  One connection, opened with
+  ``check_same_thread=False``, serialised by one lock — the store's
+  workload is tiny rows on the serving path, so a single writer is not a
+  bottleneck.  WAL mode keeps *cross-process* readers (a second serve
+  run against the same store) from blocking the writer.
+* **Exact invalidation by key.**  The schema never stores anything that
+  is not addressed by a content fingerprint (dataset, request, engine
+  config) — a mismatch is simply a miss, so a warm restart can only ever
+  serve byte-identical payloads.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+import threading
+import warnings
+from pathlib import Path
+
+__all__ = ["StoreDB", "STORE_VERSION"]
+
+#: Bumped whenever the schema changes shape incompatibly; a store written
+#: by a different version is sidestepped like a corrupt file (cold start),
+#: never migrated in place.
+STORE_VERSION = 1
+
+_SCHEMA = (
+    "CREATE TABLE IF NOT EXISTS meta ("
+    " key TEXT PRIMARY KEY, value TEXT NOT NULL)",
+    # PR 1 request fingerprint -> the exact JSON payload BatchServer
+    # returned; consulted before any compute, written through on miss.
+    "CREATE TABLE IF NOT EXISTS results ("
+    " fingerprint TEXT PRIMARY KEY,"
+    " dataset_fp TEXT NOT NULL,"
+    " op TEXT NOT NULL,"
+    " payload TEXT NOT NULL,"
+    " created_wall REAL NOT NULL)",
+    "CREATE INDEX IF NOT EXISTS idx_results_dataset ON results(dataset_fp)",
+    # Learned skeleton/sepset/stats blobs keyed by the full skeleton
+    # fingerprint, with (dataset_fp, config_fp) columns for audit.
+    "CREATE TABLE IF NOT EXISTS skeletons ("
+    " key TEXT PRIMARY KEY,"
+    " dataset_fp TEXT NOT NULL,"
+    " config_fp TEXT NOT NULL,"
+    " blob BLOB NOT NULL,"
+    " created_wall REAL NOT NULL)",
+    "CREATE INDEX IF NOT EXISTS idx_skeletons_dataset ON skeletons(dataset_fp)",
+    # Spill tier under the SufficientStatsCache LRU: entries evicted from
+    # the in-memory byte budget land here and promote back on lookup.
+    "CREATE TABLE IF NOT EXISTS spill ("
+    " dataset_fp TEXT NOT NULL,"
+    " key TEXT NOT NULL,"
+    " blob BLOB NOT NULL,"
+    " nbytes INTEGER NOT NULL,"
+    " last_used REAL NOT NULL,"
+    " PRIMARY KEY (dataset_fp, key))",
+    # Durable manifest journal: one row appended per response, so a crash
+    # mid-stream leaves an exact, replay-orderable audit trail.
+    "CREATE TABLE IF NOT EXISTS journal ("
+    " run_id TEXT NOT NULL,"
+    " seq INTEGER NOT NULL,"
+    " doc TEXT NOT NULL,"
+    " PRIMARY KEY (run_id, seq))",
+)
+
+
+class StoreDB:
+    """One SQLite file behind every store tier; degrades, never raises.
+
+    All public methods are thread-safe and total: after any SQLite error
+    the instance flips to *disabled* (``active`` False) and every
+    subsequent call is a cheap no-op returning empty results.
+    """
+
+    def __init__(self, path: str | Path, *, timeout_s: float = 30.0) -> None:
+        self.path = str(path)
+        self.timeout_s = float(timeout_s)
+        self._lock = threading.RLock()
+        self._conn: sqlite3.Connection | None = None
+        self._closed = False
+        self.n_io_errors = 0
+        self.sidestepped: str | None = None
+        try:
+            self._conn = self._connect()
+        except sqlite3.Error as exc:
+            self._handle_broken_open(exc)
+
+    # ------------------------------------------------------------------ #
+    # opening & degradation
+    # ------------------------------------------------------------------ #
+    def _connect(self) -> sqlite3.Connection:
+        conn = sqlite3.connect(
+            self.path,
+            timeout=self.timeout_s,
+            check_same_thread=False,
+            isolation_level=None,  # autocommit: one durable row per write
+        )
+        try:
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            for stmt in _SCHEMA:
+                conn.execute(stmt)
+            row = conn.execute(
+                "SELECT value FROM meta WHERE key='store_version'"
+            ).fetchone()
+            if row is None:
+                conn.execute(
+                    "INSERT INTO meta(key, value) VALUES ('store_version', ?)",
+                    (str(STORE_VERSION),),
+                )
+            elif row[0] != str(STORE_VERSION):
+                raise sqlite3.DatabaseError(
+                    f"store version {row[0]} != supported {STORE_VERSION}"
+                )
+        except sqlite3.Error:
+            conn.close()
+            raise
+        return conn
+
+    def _handle_broken_open(self, exc: sqlite3.Error) -> None:
+        """Sidestep an unreadable store file and retry once, fresh."""
+        self._conn = None
+        moved = self._sidestep()
+        if moved:
+            try:
+                self._conn = self._connect()
+            except sqlite3.Error:
+                self._conn = None
+        state = (
+            f"moved aside to {moved}; starting cold"
+            if moved and self._conn is not None
+            else "persistence disabled for this run"
+        )
+        warnings.warn(
+            f"engine store {self.path!r} is unusable ({exc}); {state}",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+
+    def _sidestep(self) -> str | None:
+        """Rename the broken DB (and WAL droppings) out of the way."""
+        if self.path == ":memory:" or not os.path.exists(self.path):
+            return None
+        target = self.path + ".corrupt"
+        try:
+            os.replace(self.path, target)
+        except OSError:
+            return None
+        for suffix in ("-wal", "-shm"):
+            try:
+                os.replace(self.path + suffix, target + suffix)
+            except OSError:
+                pass
+        self.sidestepped = target
+        return target
+
+    def _disable(self, exc: sqlite3.Error) -> None:
+        warnings.warn(
+            f"engine store {self.path!r} failed mid-run ({exc}); "
+            "persistence disabled, serving continues without it",
+            RuntimeWarning,
+            stacklevel=5,
+        )
+        try:
+            if self._conn is not None:
+                self._conn.close()
+        except sqlite3.Error:
+            pass
+        self._conn = None
+
+    # ------------------------------------------------------------------ #
+    # I/O
+    # ------------------------------------------------------------------ #
+    @property
+    def active(self) -> bool:
+        """True while reads and writes actually touch the database."""
+        return self._conn is not None
+
+    def execute(self, sql: str, params: tuple = ()) -> list[tuple]:
+        """Run one statement, returning all rows; total (never raises)."""
+        with self._lock:
+            if self._conn is None:
+                return []
+            try:
+                cur = self._conn.execute(sql, params)
+                rows = cur.fetchall()
+                cur.close()
+                return rows
+            except sqlite3.Error as exc:
+                self.n_io_errors += 1
+                self._disable(exc)
+                return []
+
+    def scalar(self, sql: str, params: tuple = (), default=None):
+        rows = self.execute(sql, params)
+        if not rows or rows[0][0] is None:
+            return default
+        return rows[0][0]
+
+    def file_bytes(self) -> int:
+        try:
+            return os.path.getsize(self.path)
+        except OSError:
+            return 0
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        with self._lock:
+            if self._conn is not None:
+                try:
+                    self._conn.close()
+                except sqlite3.Error:
+                    pass
+                self._conn = None
+            self._closed = True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "active" if self.active else ("closed" if self._closed else "disabled")
+        return f"StoreDB({self.path!r}, {state})"

@@ -1,0 +1,97 @@
+"""Durable manifest journal: one row per response, appended as it happens.
+
+The JSON run manifest (:mod:`repro.engine.manifest`) is written *at
+exit* — a crash mid-stream loses the whole audit trail.  With a store
+attached, every manifest row is additionally appended here the moment
+its response exists, under the run's id and a monotonically increasing
+sequence number.  A run that dies after serving 17 requests leaves
+exactly 17 journal rows; nothing is buffered, nothing is rewritten.
+
+Rows carry both the manifest entry's wall clock (``t_wall``) and the
+process-monotonic clock (``t_mono``), so journals are replay-orderable
+even across wall-clock adjustments; the sequence number is the total
+order within a run, and ``t_mono`` orders rows *across* concurrently
+journaling sessions of the same run.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+
+from .db import StoreDB
+
+__all__ = ["ManifestJournal", "new_run_id", "journal_rows", "journal_runs"]
+
+_run_counter = itertools.count()
+
+
+def new_run_id() -> str:
+    """Process-unique, sortable run id (wall ns + pid + counter)."""
+    return f"{time.time_ns():016x}-{os.getpid():x}-{next(_run_counter):x}"
+
+
+class ManifestJournal:
+    """Append-only journal of one run's manifest rows.
+
+    One journal is shared by every session manifest of a run (plus the
+    unrouted-error log), so the sequence number is a run-global total
+    order — exactly what a replay needs.
+    """
+
+    def __init__(self, db: StoreDB, run_id: str | None = None) -> None:
+        self.db = db
+        self.run_id = run_id or new_run_id()
+        self._lock = threading.Lock()
+        # Resuming an existing run id continues its sequence.
+        last = self.db.scalar(
+            "SELECT MAX(seq) FROM journal WHERE run_id=?", (self.run_id,), default=-1
+        )
+        self._seq = int(last) + 1
+        self.n_appended = 0
+
+    def append(self, doc: dict) -> int:
+        """Durably append one row; returns its sequence number."""
+        with self._lock:
+            seq = self._seq
+            self._seq += 1
+            self.db.execute(
+                "INSERT OR REPLACE INTO journal(run_id, seq, doc) VALUES (?,?,?)",
+                (self.run_id, seq, json.dumps(doc)),
+            )
+            self.n_appended += 1
+        return seq
+
+    def rows(self) -> list[dict]:
+        return journal_rows(self.db, self.run_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ManifestJournal(run_id={self.run_id!r}, appended={self.n_appended})"
+
+
+def journal_rows(db: StoreDB, run_id: str) -> list[dict]:
+    """All rows of one run, in sequence order, ``seq`` folded in."""
+    out = []
+    for seq, doc in db.execute(
+        "SELECT seq, doc FROM journal WHERE run_id=? ORDER BY seq", (run_id,)
+    ):
+        try:
+            row = json.loads(doc)
+        except json.JSONDecodeError:
+            row = {"undecodable": doc}
+        row["seq"] = int(seq)
+        out.append(row)
+    return out
+
+
+def journal_runs(db: StoreDB) -> list[tuple[str, int]]:
+    """Known run ids with their row counts, oldest first."""
+    return [
+        (run_id, int(n))
+        for run_id, n in db.execute(
+            "SELECT run_id, COUNT(*) FROM journal GROUP BY run_id ORDER BY run_id"
+        )
+    ]
