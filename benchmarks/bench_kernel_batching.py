@@ -1,11 +1,14 @@
-"""Batched group-CI kernel vs the looped per-set path.
+"""Arena-backed fused multi-group CI kernel vs the looped per-set oracle.
 
-The batched kernel (:func:`repro.citests.contingency.group_ci_counts` plus
-the stacked statistic reductions in :mod:`repro.citests.tablebase`) builds
-all ``gs`` contingency tables of an edge group with one offset-stacked
-``bincount`` and finishes the whole group with a single ``gammaincc``
-call, where the looped path pays one ``bincount``, one statistic reduction
-and one ``gammaincc`` per conditioning set.
+The fused kernel (:meth:`repro.citests.tablebase.ContingencyTableTest.
+test_groups`) evaluates *many* edge groups per call: cell codes for every
+(set, group) row are offset-stacked into one arena-backed matrix, counted
+with one ``bincount`` per cache-sized wave, reduced with one stacked
+elementwise pass per table shape and finished with one ``gammaincc`` per
+wave — where the looped path pays one ``bincount``, one reduction and one
+``gammaincc`` per conditioning set.  All large scratch comes from a
+reusable :class:`~repro.citests.arena.KernelArena`, so a warm worker
+performs zero large allocations per group evaluation.
 
 This bench extracts the real multi-set group workload of a Fast-BNS
 skeleton run on a Table II network (single-set groups are excluded — both
@@ -14,31 +17,60 @@ then re-evaluates that exact group stream through both paths and asserts:
 
 * results are **bit-identical** — every statistic/dof/p-value equal, no
   tolerance — and full learns produce identical skeletons and sepsets;
-* the batched kernel is >= 1.5x faster at a group size >= 4 (the gain
-  grows with gs: more per-set dispatch amortized per group), and is never
-  slower at any measured gs.
+* the pure-Python fused path is >= 3x faster than the looped oracle at a
+  group size >= 8 (the gain grows with gs: more per-set dispatch amortized
+  per kernel call), and is never slower at any measured gs;
+* the arena performs **zero growth events** across warm rounds — the
+  steady-state "no large allocations" claim as a measured artefact, backed
+  by per-path ``tracemalloc`` numbers in the JSON payload.
 
-Emits ``BENCH_kernel_batching.json`` with per-gs ops/sec and speedups.
+The optional native path (auto-detected C backend, ``REPRO_NATIVE=0``
+disables) is timed and reported separately when present; it is never part
+of the speedup gate, which measures the pure-Python arena+fusion kernel.
+
+Measurement protocol: each path keeps its own shared
+:class:`~repro.datasets.encoded.EncodedDataset` (and the fused paths one
+:class:`~repro.citests.arena.KernelArena`) across rounds — mirroring how
+workers hold them for a whole learning run — with one untimed warmup
+round, then best-of-``ROUNDS`` with the paths interleaved so scheduler
+noise hits them evenly.
+
+Emits ``BENCH_kernel_batching.json`` with per-gs ops/sec, speedups, the
+native timings and the steady-state allocation profile.
 """
 
 from __future__ import annotations
 
+import gc
 import time
+import tracemalloc
 
 from repro.bench.tables import render_table
 from repro.bench.workloads import make_workload
+from repro.citests.arena import KernelArena
 from repro.citests.gsquare import GSquareTest
+from repro.citests.native import native_available
 from repro.core.skeleton import learn_skeleton
+from repro.datasets.encoded import EncodedDataset
 
 NETWORK = "alarm"  # Table II network, quick-mode scale 1.0
 N_SAMPLES = 2000
-GROUP_SIZES = (4, 8)
-ROUNDS = 5  # best-of-N per path: absorbs scheduler noise on shared CI runners
-TARGET_SPEEDUP = 1.5
+GROUP_SIZES = (4, 8, 16)
+#: Groups per ``test_groups`` call — the adaptive scheduler's steady-state
+#: dispatch size.  Above the cache-blocked wave cap the chunk size barely
+#: matters (waves are split internally); 64 matches production dispatch.
+CHUNK = 64
+ROUNDS = 7  # best-of-N per path: absorbs scheduler noise on shared CI runners
+TARGET_SPEEDUP = 3.0
+#: The >=3x gate applies at gs >= 8 (ISSUE acceptance); gs=4 groups carry
+#: too little per-call work to amortize the fused plan stage that far.
+TARGET_GROUP_SIZES = (8, 16)
 #: Per-gs floor: "never meaningfully slower".  Slightly below 1.0 so a
-#: noisy-neighbor stall on a sub-second measurement cannot flip the gate
-#: (measured margins are ~1.3x at gs=4 and ~1.7x at gs=8).
+#: noisy-neighbor stall on a sub-second measurement cannot flip the gate.
 NO_REGRESSION_FLOOR = 0.9
+#: ``tracemalloc`` block-size threshold for the "large allocation" count
+#: (64 KiB — well above result objects, well below any kernel buffer).
+LARGE_BLOCK_BYTES = 64 * 1024
 
 
 class _GroupRecorder:
@@ -68,39 +100,145 @@ def _collect_groups(dataset, gs):
     return multi, graph, sepsets
 
 
-def _time_stream(dataset, groups, batch):
-    best = float("inf")
-    results = None
-    for _ in range(ROUNDS):
-        tester = GSquareTest(dataset, batch_groups=batch)
+class _LoopedPath:
+    """Per-round looped oracle over a shared encoding layer."""
+
+    name = "looped"
+
+    def __init__(self, dataset, groups):
+        self.dataset = dataset
+        self.groups = groups
+        self.encoded = EncodedDataset(dataset)
+
+    def run(self):
+        tester = GSquareTest(self.dataset, batch_groups=False, encoded=self.encoded)
+        groups = self.groups
         t0 = time.perf_counter()
         out = [tester.test_group(x, y, sets) for x, y, sets in groups]
-        best = min(best, time.perf_counter() - t0)
-        results = out
-    return best, results
+        return time.perf_counter() - t0, out
+
+
+class _FusedPath:
+    """Per-round fused kernel over a shared encoding layer and arena."""
+
+    def __init__(self, dataset, groups, native):
+        self.name = "native" if native else "fused"
+        self.dataset = dataset
+        self.groups = groups
+        self.native = native
+        self.encoded = EncodedDataset(dataset)
+        self.arena = KernelArena()
+
+    def run(self):
+        tester = GSquareTest(self.dataset, encoded=self.encoded, arena=self.arena)
+        tester.use_native = self.native
+        groups = self.groups
+        t0 = time.perf_counter()
+        out = []
+        for i in range(0, len(groups), CHUNK):
+            out.extend(tester.test_groups(groups[i : i + CHUNK]))
+        return time.perf_counter() - t0, out
+
+
+def _steady_state_allocs(path):
+    """Trace one warm pass: net/peak bytes and net-new large blocks.
+
+    The path's arena and memos are already warm (warmup + timed rounds ran
+    first), so everything the trace sees is steady-state per-pass churn —
+    the allocations the arena exists to eliminate.  Traced outside the
+    timed rounds: tracing itself slows execution.
+    """
+    gc.collect()
+    tracemalloc.start()
+    try:
+        before = tracemalloc.take_snapshot()
+        base, _ = tracemalloc.get_traced_memory()
+        tracemalloc.reset_peak()
+        path.run()
+        gc.collect()
+        current, peak = tracemalloc.get_traced_memory()
+        after = tracemalloc.take_snapshot()
+    finally:
+        tracemalloc.stop()
+
+    # Each ``Snapshot.traces`` entry is one live block: the delta counts
+    # large buffers that survived the pass (arena-backed paths add none —
+    # their big scratch was allocated before tracing began).
+    def _large(snapshot):
+        return sum(1 for t in snapshot.traces if t.size >= LARGE_BLOCK_BYTES)
+
+    return {
+        "net_kib": (current - base) / 1024.0,
+        "peak_kib": (peak - base) / 1024.0,
+        "large_blocks_delta": _large(after) - _large(before),
+    }
+
+
+def _assert_identical(got, oracle):
+    """Exact equality, no tolerance, on every field of every result."""
+    assert len(got) == len(oracle)
+    for group_g, group_o in zip(got, oracle):
+        for g, o in zip(group_g, group_o):
+            assert g.statistic == o.statistic
+            assert g.dof == o.dof
+            assert g.p_value == o.p_value
+            assert g.independent == o.independent
 
 
 def test_kernel_batching(record, record_json):
     wl = make_workload(NETWORK, N_SAMPLES)
     dataset = wl.dataset
+    has_native = native_available()
 
     rows = []
-    payload = {"network": wl.label, "n_samples": N_SAMPLES, "group_sizes": {}}
+    payload = {
+        "network": wl.label,
+        "n_samples": N_SAMPLES,
+        "chunk": CHUNK,
+        "rounds": ROUNDS,
+        "native_backend": has_native,
+        "target_speedup": TARGET_SPEEDUP,
+        "target_group_sizes": list(TARGET_GROUP_SIZES),
+        "group_sizes": {},
+    }
     speedups = {}
     for gs in GROUP_SIZES:
         groups, graph, sepsets = _collect_groups(dataset, gs)
         n_tests = sum(len(g[2]) for g in groups)
 
-        t_looped, r_looped = _time_stream(dataset, groups, batch=False)
-        t_batched, r_batched = _time_stream(dataset, groups, batch=True)
+        paths = [
+            _LoopedPath(dataset, groups),
+            _FusedPath(dataset, groups, native=False),
+        ]
+        if has_native:
+            paths.append(_FusedPath(dataset, groups, native=True))
 
-        # Bit-identical group evaluations: exact equality, no tolerance.
-        for group_b, group_l in zip(r_batched, r_looped):
-            for b, lo in zip(group_b, group_l):
-                assert b.statistic == lo.statistic
-                assert b.dof == lo.dof
-                assert b.p_value == lo.p_value
-                assert b.independent == lo.independent
+        # One untimed warmup pass per path (arena growth ramp, memo fills),
+        # then best-of-ROUNDS with the paths interleaved per round.
+        results = {}
+        for path in paths:
+            _, results[path.name] = path.run()
+        fused_arena = paths[1].arena
+        grows_warm = fused_arena.n_grows
+        best = dict.fromkeys(results, float("inf"))
+        for _ in range(ROUNDS):
+            for path in paths:
+                elapsed, out = path.run()
+                best[path.name] = min(best[path.name], elapsed)
+                _assert_identical(out, results[path.name])
+
+        # Zero large allocations steady-state: every warm round reuses the
+        # arena buffers grown during warmup — no further growth events.
+        assert fused_arena.n_grows == grows_warm, (
+            f"arena grew during warm rounds at gs={gs}: "
+            f"{grows_warm} -> {fused_arena.n_grows}"
+        )
+
+        # Bit-identical results: fused (and native, when present) vs the
+        # looped per-set oracle — exact equality, no tolerance.
+        _assert_identical(results["fused"], results["looped"])
+        if has_native:
+            _assert_identical(results["native"], results["looped"])
 
         # Bit-identical learns: the full skeleton phase agrees both ways.
         for batch in (True, False):
@@ -111,43 +249,53 @@ def test_kernel_batching(record, record_json):
             assert set(g2.edges()) == set(graph.edges())
             assert s2.as_dict() == sepsets.as_dict()
 
-        speedup = t_looped / t_batched
+        allocs = {path.name: _steady_state_allocs(path) for path in paths}
+
+        t_looped = best["looped"]
+        t_fused = best["fused"]
+        speedup = t_looped / t_fused
         speedups[gs] = speedup
         assert speedup >= NO_REGRESSION_FLOOR, (
-            f"batched kernel slower at gs={gs}: {speedup:.2f}x"
+            f"fused kernel slower at gs={gs}: {speedup:.2f}x"
         )
+        native_speedup = t_looped / best["native"] if has_native else None
         rows.append(
             [
                 gs,
                 len(groups),
                 n_tests,
                 f"{n_tests / t_looped:,.0f}",
-                f"{n_tests / t_batched:,.0f}",
+                f"{n_tests / t_fused:,.0f}",
                 f"{speedup:.2f}x",
+                f"{native_speedup:.2f}x" if native_speedup else "—",
             ]
         )
         payload["group_sizes"][str(gs)] = {
             "n_groups": len(groups),
             "n_tests": n_tests,
             "looped_s": t_looped,
-            "batched_s": t_batched,
+            "batched_s": t_fused,
             "looped_tests_per_s": n_tests / t_looped,
-            "batched_tests_per_s": n_tests / t_batched,
+            "batched_tests_per_s": n_tests / t_fused,
             "speedup": speedup,
+            "native_s": best.get("native"),
+            "native_speedup": native_speedup,
+            "arena": fused_arena.stats(),
+            "steady_state_allocs": allocs,
         }
 
-    best = max(speedups.values())
+    best = max(speedups[gs] for gs in TARGET_GROUP_SIZES)
     payload["best_speedup"] = best
     assert best >= TARGET_SPEEDUP, (
-        f"batched group kernel only {best:.2f}x faster than the looped "
-        f"per-set path at gs >= 4 (target {TARGET_SPEEDUP}x)"
+        f"fused group kernel only {best:.2f}x faster than the looped "
+        f"per-set oracle at gs >= 8 (target {TARGET_SPEEDUP}x)"
     )
 
     text = render_table(
-        ["gs", "groups", "tests", "looped tests/s", "batched tests/s", "speedup"],
+        ["gs", "groups", "tests", "looped tests/s", "fused tests/s", "speedup", "native"],
         rows,
         title=(
-            f"Batched group kernel vs looped per-set path — {wl.label}, "
+            f"Fused multi-group kernel vs looped per-set oracle — {wl.label}, "
             f"m={N_SAMPLES} (bit-identical results)"
         ),
     )

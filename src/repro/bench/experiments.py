@@ -110,8 +110,18 @@ def traced_run(
     cached = _TRACED_CACHE.get(key)
     if cached is not None:
         return cached
-    recorder = TraceRecorder()
-    result = learn_structure(workload.dataset, method=method, gs=gs, recorder=recorder)
+    # Best-of-2 measurement: the timing feeds cross-method comparisons
+    # whose margins are thin at small workloads, and a single cold run
+    # (allocator state, page faults, transient machine load) carries
+    # additive noise that can swamp them.  The runs are deterministic, so
+    # keeping the faster run's trace and result changes timing fidelity
+    # and nothing else.
+    recorder = result = None
+    for _ in range(2):
+        rec = TraceRecorder()
+        res = learn_structure(workload.dataset, method=method, gs=gs, recorder=rec)
+        if result is None or res.elapsed["skeleton"] < result.elapsed["skeleton"]:
+            recorder, result = rec, res
     if cache_friendly is None:
         cache_friendly = method == "fast-bns"
     model = CostModel(MachineSpec(), cache_friendly=cache_friendly)

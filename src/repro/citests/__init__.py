@@ -1,17 +1,21 @@
 """Conditional-independence tests: G^2, chi^2, mutual information, the
 interpreted naive baseline and the d-separation oracle."""
 
+from .arena import KernelArena
 from .base import CITestCounters, CITestResult, ConditionalIndependenceTest
 from .chisquare import ChiSquareTest
 from .contingency import (
+    code_dtype,
     contingency_table,
     encode_columns,
+    fused_cell_counts,
     group_ci_counts,
     n_configurations,
 )
 from .gsquare import GSquareTest, g2_test_from_counts
 from .mutual_info import MutualInformationTest
 from .naive import NaiveGSquareTest
+from .native import native_available, native_kind
 from .oracle import OracleCITest
 from .tablebase import ContingencyTableTest
 
@@ -23,11 +27,16 @@ __all__ = [
     "GSquareTest",
     "g2_test_from_counts",
     "ChiSquareTest",
+    "KernelArena",
     "MutualInformationTest",
     "NaiveGSquareTest",
     "OracleCITest",
+    "code_dtype",
     "contingency_table",
     "encode_columns",
+    "fused_cell_counts",
     "group_ci_counts",
     "n_configurations",
+    "native_available",
+    "native_kind",
 ]

@@ -3,18 +3,22 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Protocol, Sequence, runtime_checkable
+from typing import NamedTuple, Protocol, Sequence, runtime_checkable
 
 __all__ = ["CITestResult", "CITestCounters", "ConditionalIndependenceTest"]
 
 
-@dataclass(frozen=True)
-class CITestResult:
+class CITestResult(NamedTuple):
     """Outcome of one CI test ``I(x, y | s)``.
 
     ``independent`` is the accept/reject decision at the tester's
     significance level: ``p_value > alpha`` accepts the independence
     hypothesis (paper Sec. III-B).
+
+    A ``NamedTuple`` rather than a frozen dataclass: group-batched learns
+    materialise one record per test (tens of thousands per skeleton pass),
+    and tuple construction is ~3x cheaper than ``object.__setattr__``-based
+    frozen-dataclass init while keeping immutability and field names.
     """
 
     x: int

@@ -18,23 +18,54 @@ from .tablebase import ContingencyTableTest
 __all__ = ["ChiSquareTest"]
 
 
-def _x2_elementwise(counts: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+def _x2_elementwise(
+    counts: np.ndarray, scratch=None
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Per-cell X^2 terms of a ``(..., nz, rx, ry)`` count array.
 
     Returns ``(terms, mask, n_z)``; ``terms`` sums to the statistic over
     the ``E > 0`` cells marked by ``mask``.  Shared by the looped and the
-    batched paths (bit-identical cell for cell).
+    fused paths (bit-identical cell for cell).  With ``scratch`` the large
+    intermediates come from reused arena buffers — same ufuncs over the
+    same operands, so the values match the allocating form bit for bit; the
+    returned arrays are only valid until the next scratch-backed call.
     """
-    n_xz = counts.sum(axis=-1, dtype=np.float64)
-    n_yz = counts.sum(axis=-2, dtype=np.float64)
-    n_z = n_xz.sum(axis=-1)
-    observed = counts.astype(np.float64)
+    shape = counts.shape
+    if scratch is None:
+        n_xz = counts.sum(axis=-1, dtype=np.float64)
+        n_yz = counts.sum(axis=-2, dtype=np.float64)
+        n_z = n_xz.sum(axis=-1)
+        observed = counts.astype(np.float64)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            expected = n_xz[..., :, None] * n_yz[..., None, :] / n_z[..., None, None]
+        mask = expected > 0
+        diff = np.where(mask, observed - expected, 0.0)
+        denom = np.where(mask, expected, 1.0)
+        terms = diff * diff / denom
+        return terms, mask, n_z
+    n_xz = counts.sum(axis=-1, dtype=np.float64, out=scratch.f64("nxz", shape[:-1]))
+    n_yz = counts.sum(
+        axis=-2, dtype=np.float64, out=scratch.f64("nyz", shape[:-2] + shape[-1:])
+    )
+    n_z = n_xz.sum(axis=-1, out=scratch.f64("nz", shape[:-2]))
+    # The integer counts serve as ``observed`` directly: the subtraction
+    # promotes them to float64 element by element, exactly the values the
+    # looped branch's materialised float copy would feed it.
+    observed = counts
+    expected = np.multiply(
+        n_xz[..., :, None], n_yz[..., None, :], out=scratch.f64("exp", shape)
+    )
     with np.errstate(divide="ignore", invalid="ignore"):
-        expected = n_xz[..., :, None] * n_yz[..., None, :] / n_z[..., None, None]
-    mask = expected > 0
-    diff = np.where(mask, observed - expected, 0.0)
-    denom = np.where(mask, expected, 1.0)
-    terms = diff * diff / denom
+        expected /= n_z[..., None, None]
+    mask = np.greater(expected, 0, out=scratch.bool_("mask", shape))
+    terms = scratch.f64("terms", shape)
+    terms.fill(0.0)
+    np.subtract(observed, expected, out=terms, where=mask)
+    np.multiply(terms, terms, out=terms)
+    denom = scratch.f64("denom", shape)
+    denom.fill(1.0)
+    np.copyto(denom, expected, where=mask)
+    np.divide(terms, denom, out=terms)
     return terms, mask, n_z
 
 
@@ -57,8 +88,10 @@ class ChiSquareTest(ContingencyTableTest):
     def _stat_from_counts(self, counts: np.ndarray) -> tuple[float, int, int]:
         return _x2_from_counts(counts)
 
-    def _elementwise(self, stack: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        return _x2_elementwise(stack)
+    def _elementwise(
+        self, stack: np.ndarray, scratch=None
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        return _x2_elementwise(stack, scratch)
 
     def _finalize_stats(self, sums: np.ndarray) -> np.ndarray:
         return np.asarray(sums, dtype=np.float64)

@@ -40,10 +40,13 @@ from typing import Sequence
 import numpy as np
 
 __all__ = [
+    "code_dtype",
     "encode_columns",
     "contingency_table",
     "ci_counts",
     "group_ci_counts",
+    "fused_cell_counts",
+    "offset_vector",
     "marginalize_table",
     "marginal_tables",
     "n_configurations",
@@ -53,6 +56,25 @@ __all__ = [
 #: could wrap, so :func:`encode_columns` switches to pairwise ``np.unique``
 #: compression (labels stay bounded by the sample count).
 _INT64_CODE_LIMIT = np.iinfo(np.int64).max
+
+#: Arity-driven narrowing tiers: the smallest dtype whose ``iinfo.max``
+#: covers the configuration count carries the codes.  Tier boundaries sit
+#: at 255/256 and 65535/65536 (``n_configs`` itself must fit, keeping one
+#: spare value so ``codes * arity`` sub-products never saturate the type).
+_DTYPE_TIERS = (np.dtype(np.uint8), np.dtype(np.uint16), np.dtype(np.int32))
+
+
+def code_dtype(n_configs: int) -> np.dtype:
+    """Smallest supported code dtype able to hold ``n_configs``.
+
+    ``uint8`` up to 255, ``uint16`` up to 65535, ``int32`` up to
+    ``2**31 - 1``, ``int64`` beyond — the narrowing that halves (or
+    quarters) the kernel's memory traffic for typical Table II arities.
+    """
+    for dt in _DTYPE_TIERS:
+        if n_configs <= np.iinfo(dt).max:
+            return dt
+    return np.dtype(np.int64)
 
 
 def n_configurations(arities: Sequence[int]) -> int:
@@ -66,13 +88,27 @@ def n_configurations(arities: Sequence[int]) -> int:
 def encode_columns(
     columns: Sequence[np.ndarray],
     arities: Sequence[int],
+    dtype=None,
 ) -> tuple[np.ndarray, int]:
     """Mixed-radix encoding of parallel columns (first column most
     significant).
 
-    Returns ``(codes, n_configs)`` where ``codes`` is int64 of the same
-    length as the columns.  An empty column list encodes every sample as
-    configuration ``0``.
+    Returns ``(codes, n_configs)``.  An empty column list encodes every
+    sample as configuration ``0``.
+
+    ``dtype`` selects the code dtype: ``None`` keeps the historical int64
+    (every existing caller's bit-exact contract), ``"auto"`` narrows to
+    :func:`code_dtype` of the configuration count (``uint8``/``uint16``/
+    ``int32``/``int64`` by ``prod(arities)``), and a concrete dtype is
+    used as given (the caller guarantees it fits).  All mixed-radix
+    sub-products are bounded by ``n_configs - 1``, so narrowing never
+    changes a code value, only its width.
+
+    In the single-column case the encoding *is* the column: it is returned
+    as ``astype(dtype, copy=False)`` — a **view of (or the very same)
+    input array** when the dtype already matches, since no accumulation
+    follows that would mutate it.  Multi-column encodings always copy
+    (the first column becomes the accumulator).
 
     When ``prod(arities)`` does not fit in int64 the mixed-radix value
     itself would silently wrap, so the encoding falls back to pairwise
@@ -83,26 +119,48 @@ def encode_columns(
     label order still follows the mixed-radix (lexicographic) order —
     rather than the mixed-radix value, which is exactly the property every
     consumer (``np.unique`` compression, ``bincount`` grouping) relies on.
-    ``n_configs`` is returned as an exact Python int in either case.
+    ``n_configs`` is returned as an exact Python int in either case (and
+    the fallback always carries int64 codes: ranks are data-dependent).
     """
     if len(columns) != len(arities):
         raise ValueError("columns and arities must have equal length")
+    n_configs = n_configurations(arities)
+    if dtype is None:
+        target = np.dtype(np.int64)
+    elif isinstance(dtype, str) and dtype == "auto":
+        target = code_dtype(n_configs)
+    else:
+        target = np.dtype(dtype)
     if not columns:
-        return np.zeros(0, dtype=np.int64), 1
-    codes = columns[0].astype(np.int64, copy=True)
+        return np.zeros(0, dtype=target), 1
+    if len(columns) == 1:
+        # No accumulation follows: the column is the encoding.  Returning
+        # a view (read-only when the input is) instead of a copy is safe
+        # because no consumer mutates single-column codes.
+        return columns[0].astype(target, copy=False), n_configs
+    codes = columns[0].astype(target, copy=True)
     n_labels = int(arities[0])  # exclusive upper bound on the codes so far
+    limit = int(np.iinfo(target).max)
     for i in range(1, len(columns)):
         a = int(arities[i])
-        if a > 1 and n_labels > _INT64_CODE_LIMIT // a:
+        if a > 1 and n_labels > limit // a:
             # codes * a could wrap: compress the labels first.  Ranks are
             # < n_samples + 1, so the next products fit comfortably.
+            # (Unreachable under "auto"/explicit dtypes, which are chosen
+            # so n_configs fits; the int64 fallback keeps int64 codes.)
             _, inverse = np.unique(codes, return_inverse=True)
             codes = inverse.astype(np.int64, copy=False)
+            target = np.dtype(np.int64)
+            limit = _INT64_CODE_LIMIT
             n_labels = int(codes.max()) + 1 if codes.size else 1
         codes *= a
-        codes += columns[i]
+        # ``casting="unsafe"`` lets narrowed accumulators add wider source
+        # columns in one ufunc call; every sub-product is bounded by
+        # ``n_configs - 1`` (which fits ``target`` by construction), so the
+        # down-cast never changes a value.
+        np.add(codes, columns[i], out=codes, casting="unsafe")
         n_labels *= a
-    return codes, n_configurations(arities)
+    return codes, n_configs
 
 
 def contingency_table(
@@ -196,6 +254,24 @@ def ci_counts(
     return counts, nz_structural, dense
 
 
+# Module-level cache of the group-offset base vector: ``group_ci_counts``
+# used to rebuild ``np.arange(n_sets)`` for every group, a measurable slice
+# of small-group dispatch.  One read-only arange per dtype is grown
+# geometrically and sliced per call instead.
+_ARANGE_CACHE: dict[str, np.ndarray] = {}
+
+
+def offset_vector(n: int, dtype=np.int64) -> np.ndarray:
+    """Read-only ``arange(n)`` served from a grow-only module cache."""
+    dt = np.dtype(dtype)
+    arange = _ARANGE_CACHE.get(dt.str)
+    if arange is None or arange.shape[0] < n:
+        arange = np.arange(max(n, 64), dtype=dt)
+        arange.setflags(write=False)
+        _ARANGE_CACHE[dt.str] = arange
+    return arange[:n]
+
+
 def group_ci_counts(
     xy_codes: np.ndarray,
     z_codes_per_set: Sequence[np.ndarray | None],
@@ -249,8 +325,12 @@ def group_ci_counts(
         # a freshly built group encoding they no longer need.
         cells2d = z_codes_per_set
         cells2d *= xyr
-        cells2d += xy_codes
-        cells2d += (np.arange(n_sets, dtype=np.int64) * stride)[:, None]
+        np.add(cells2d, xy_codes, out=cells2d, casting="unsafe")
+        # The offset base vector comes from the module-level arange cache
+        # instead of a per-call np.arange (the small multiply below stays —
+        # it is n_sets elements, not n_sets * m).
+        offsets = offset_vector(n_sets, cells2d.dtype) * cells2d.dtype.type(stride)
+        cells2d += offsets[:, None]
         cells = cells2d.ravel()
     else:
         parts: list[np.ndarray] = []
@@ -266,6 +346,88 @@ def group_ci_counts(
         cells = parts[0] if n_sets == 1 else np.concatenate(parts)
     counts = np.bincount(cells, minlength=n_sets * stride)
     return counts.reshape(n_sets, nz_max, rx, ry)
+
+
+def fused_cell_counts(
+    z2d: np.ndarray,
+    xy_mat: np.ndarray | None,
+    row_group: np.ndarray | None,
+    scales: np.ndarray | None,
+    offsets: np.ndarray | None,
+    total_cells: int,
+    gather_out: np.ndarray | None = None,
+    use_native: bool = True,
+    xy_runs: list[tuple[int, int, np.ndarray]] | None = None,
+    add_out: np.ndarray | None = None,
+) -> np.ndarray:
+    """One histogram over the cell codes of many groups (the *megagroup*).
+
+    Generalizes :func:`group_ci_counts` across groups with different
+    endpoints: row ``r`` of ``z2d`` holds the dense conditioning codes of
+    one (set, group) pair, and its global cell codes are::
+
+        z2d[r, i] * scales[r] + xy_mat[row_group[r], i] + offsets[r]
+
+    where ``scales[r]`` is the group's ``rx * ry``, ``xy_mat`` stacks the
+    distinct endpoint encodings of the fused groups, and ``offsets[r]`` is
+    the set's disjoint base in the flat output (assigned by the caller so
+    each set owns exactly ``nz * rx * ry`` cells — no padding).  A single
+    ``np.bincount`` (or the native one-pass loop, when available and
+    ``use_native``) produces every table of every fused group at once;
+    integer counts over disjoint ranges make the result bit-identical to
+    per-set :func:`ci_counts` builds regardless of path or cell dtype.
+
+    ``scales=None`` (which implies ``offsets=None``) means the caller
+    already folded both into ``z2d`` — each row holds
+    ``z * scale + offset`` (the fused engine memoizes *scaled* rows per
+    ``(set, scale)``), so only the endpoint codes remain to be added
+    before the histogram.  ``xy_runs`` — ``(start, stop, codes)`` slices
+    of rows sharing one endpoint encoding — lets the NumPy path add the
+    endpoint codes as one broadcast per run instead of gathering an
+    ``n x m`` matrix; ``xy_mat``/``row_group`` (the gather form) are then
+    only consulted by the native kernel and may be ``None`` when it is
+    off.
+
+    ``z2d`` is *consumed* (mutated) by the NumPy path; ``gather_out`` may
+    supply a same-shape scratch buffer (the kernel arena's) for the
+    endpoint gather.  All integer dtypes are accepted; the native path
+    handles the int32/int64 pair the fused engine emits and falls back to
+    NumPy otherwise.
+
+    ``add_out`` (an ``intp`` buffer of ``z2d``'s shape, NumPy-path +
+    ``xy_runs`` form only) receives the endpoint-add results instead of
+    mutating ``z2d``: ``bincount`` requires ``intp`` codes and silently
+    materialises a converted copy for anything narrower, so widening
+    *during* the add folds that hidden allocation-plus-pass into work the
+    kernel was doing anyway.  Identical sums, identical histogram.
+    """
+    if use_native and xy_mat is not None:
+        from .native import native_fused_counts
+
+        out = np.zeros(int(total_cells), dtype=np.int64)
+        n_rows = z2d.shape[0]
+        sc = scales if scales is not None else np.ones(n_rows, dtype=np.int64)
+        off = offsets if offsets is not None else np.zeros(n_rows, dtype=np.int64)
+        if native_fused_counts(z2d, xy_mat, row_group, sc, off, out):
+            return out
+    if scales is not None:
+        z2d *= scales[:, None].astype(z2d.dtype, copy=False)
+    if xy_runs is not None:
+        if add_out is not None and offsets is None:
+            for b, c, codes in xy_runs:
+                np.add(z2d[b:c], codes, out=add_out[b:c])
+            return np.bincount(add_out.reshape(-1), minlength=int(total_cells))
+        for b, c, codes in xy_runs:
+            block = z2d[b:c]
+            np.add(block, codes, out=block, casting="unsafe")
+    else:
+        if gather_out is None:
+            gather_out = np.empty(z2d.shape, dtype=xy_mat.dtype)
+        np.take(xy_mat, row_group, axis=0, out=gather_out)
+        np.add(z2d, gather_out, out=z2d, casting="unsafe")
+    if offsets is not None:
+        np.add(z2d, offsets[:, None], out=z2d, casting="unsafe")
+    return np.bincount(z2d.reshape(-1), minlength=int(total_cells))
 
 
 def marginalize_table(

@@ -38,27 +38,64 @@ __all__ = ["GSquareTest", "g2_test_from_counts"]
 _chi2_sf = chi2_sf
 
 
-def _g2_elementwise(counts: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+def _g2_elementwise(
+    counts: np.ndarray, scratch=None
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Per-cell G^2 terms of a ``(..., nz, rx, ry)`` count array.
 
     Returns ``(terms, mask, n_z)`` where ``terms`` sums (over cells) to
     ``G^2 / 2``, ``mask`` marks the ``N > 0`` cells whose logs are billed,
     and ``n_z`` are the per-slice totals.  Shared by the looped single-table
-    path and the batched stack path, so both compute bit-identical values
+    path and the fused stack path, so both compute bit-identical values
     cell for cell.
+
+    With ``scratch`` (a :class:`~repro.citests.tablebase._Scratch` over the
+    kernel arena) every large intermediate lives in a reused buffer — the
+    same ufuncs applied to the same operands, only the destinations differ,
+    so the values are bit-identical to the allocating form.  The returned
+    arrays are only valid until the next scratch-backed call.
     """
-    n_xz = counts.sum(axis=-1, dtype=np.float64)
-    n_yz = counts.sum(axis=-2, dtype=np.float64)
-    n_z = n_xz.sum(axis=-1)
-    observed = counts.astype(np.float64)
-    mask = observed > 0
+    shape = counts.shape
+    if scratch is None:
+        n_xz = counts.sum(axis=-1, dtype=np.float64)
+        n_yz = counts.sum(axis=-2, dtype=np.float64)
+        n_z = n_xz.sum(axis=-1)
+        observed = counts.astype(np.float64)
+        mask = observed > 0
+        expected = n_xz[..., :, None] * n_yz[..., None, :]
+        ratio = np.ones_like(observed)
+    else:
+        n_xz = counts.sum(axis=-1, dtype=np.float64, out=scratch.f64("nxz", shape[:-1]))
+        n_yz = counts.sum(
+            axis=-2, dtype=np.float64, out=scratch.f64("nyz", shape[:-2] + shape[-1:])
+        )
+        n_z = n_xz.sum(axis=-1, out=scratch.f64("nz", shape[:-2]))
+        # The integer count array serves as ``observed`` directly: the
+        # comparison, the division and the final multiply all promote it
+        # to float64 element by element — exactly the values the looped
+        # branch's materialised float copy feeds them — without the cast
+        # pass or the scratch slot.
+        observed = counts
+        mask = np.greater(counts, 0, out=scratch.bool_("mask", shape))
+        expected = np.multiply(
+            n_xz[..., :, None], n_yz[..., None, :], out=scratch.f64("exp", shape)
+        )
+        ratio = scratch.f64("terms", shape)
+        ratio.fill(1.0)
     # E_xyz = N_x+z * N_+yz / N_++z ; only needed where N > 0, and there
     # N_x+z, N_+yz, N_++z are all > 0, so the division is safe on the mask.
-    expected = n_xz[..., :, None] * n_yz[..., None, :]
     with np.errstate(divide="ignore", invalid="ignore"):
         expected /= n_z[..., None, None]
-    ratio = np.divide(observed, expected, out=np.ones_like(observed), where=mask)
-    np.log(ratio, out=ratio)
+    np.divide(observed, expected, out=ratio, where=mask)
+    if scratch is None:
+        np.log(ratio, out=ratio)
+    else:
+        # Fused stacks are sparse (deep sets leave most cells empty), so
+        # the transcendental is masked to the occupied cells.  Masked
+        # cells keep the 1.0 fill and the multiply below zeroes the term
+        # either way — ``0 * 1.0 == 0 * log(1.0) == +0.0`` exactly — so
+        # the terms stay bit-identical to the looped oracle's full log.
+        np.log(ratio, out=ratio, where=mask)
     ratio *= observed
     return ratio, mask, n_z
 
@@ -88,8 +125,10 @@ class GSquareTest(ContingencyTableTest):
     def _stat_from_counts(self, counts: np.ndarray) -> tuple[float, int, int]:
         return _g2_from_counts(counts)
 
-    def _elementwise(self, stack: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        return _g2_elementwise(stack)
+    def _elementwise(
+        self, stack: np.ndarray, scratch=None
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        return _g2_elementwise(stack, scratch)
 
     def _finalize_stats(self, sums: np.ndarray) -> np.ndarray:
         return np.maximum(2.0 * sums, 0.0)

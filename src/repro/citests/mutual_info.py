@@ -39,6 +39,7 @@ class MutualInformationTest:
         stats_cache=None,
         encoded=None,
         batch_groups: bool = True,
+        arena=None,
     ) -> None:
         if mode not in ("pvalue", "threshold"):
             raise ValueError("mode must be 'pvalue' or 'threshold'")
@@ -49,6 +50,7 @@ class MutualInformationTest:
             stats_cache=stats_cache,
             encoded=encoded,
             batch_groups=batch_groups,
+            arena=arena,
         )
         self.dataset = dataset
         self.alpha = float(alpha)
@@ -75,6 +77,13 @@ class MutualInformationTest:
 
     def test_group(self, x: int, y: int, sets: Sequence[Sequence[int]]) -> list[CITestResult]:
         return [self._decide(r) for r in self._g2.test_group(x, y, sets)]
+
+    def test_groups(self, items) -> list[list[CITestResult]]:
+        return [[self._decide(r) for r in group] for group in self._g2.test_groups(items)]
+
+    @property
+    def arena(self):
+        return self._g2.arena
 
     def _decide(self, res: CITestResult) -> CITestResult:
         if self.mode == "pvalue":

@@ -1,0 +1,219 @@
+"""Optional native backend for the fused cell-code + bincount kernel.
+
+The pure-NumPy fused kernel (:func:`repro.citests.contingency.
+fused_cell_counts`) makes four passes over the ``(n_rows, m)`` cell matrix
+(scale multiply, endpoint gather, offset add, bincount).  A native loop
+does all of it in **one** pass per row::
+
+    out[z[r, i] * scale[r] + xy[group[r], i] + offset[r]] += 1
+
+Counting is pure integer arithmetic over the same codes, so the native
+histogram is *bit-identical* to the NumPy path — it only changes memory
+traffic, which is exactly why the dtype narrowing (int32 cell codes) pays
+off here where ``np.bincount`` would widen to ``intp`` internally anyway.
+
+Backend auto-detection at import, in order:
+
+1. **numba** — ``@njit`` over the loop above (dtype dispatch for free);
+2. **cext** — a ~20-line C file compiled on demand with the system C
+   compiler (``$CC``/``cc``/``gcc``) into a per-user cached shared object
+   and loaded through ``ctypes``; compilation happens at most once per
+   machine (the cache file is keyed by a source hash);
+3. **None** — pure NumPy everywhere (the container may lack both).
+
+``REPRO_NATIVE`` environment variable:
+
+* ``0``/``false``/``off`` — disable the native path entirely;
+* ``numba`` / ``cext`` — restrict detection to that backend (used by the
+  CI leg that forces the native path and by A/B benchmarking);
+* unset / anything else — auto-detect.
+
+Every entry point degrades gracefully: a failed probe or compile leaves
+the module in the pure-NumPy state, never raises at import.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import subprocess
+import tempfile
+
+import numpy as np
+
+__all__ = ["native_kind", "native_available", "native_fused_counts"]
+
+_ENV = os.environ.get("REPRO_NATIVE", "").strip().lower()
+_DISABLED = _ENV in ("0", "false", "off", "no")
+
+_C_SOURCE = """
+#include <stdint.h>
+
+void fused_counts_i64(const int64_t *z, const int64_t *xy, const int64_t *rg,
+                      const int64_t *scale, const int64_t *off,
+                      int64_t n, int64_t m, int64_t *out)
+{
+    for (int64_t r = 0; r < n; ++r) {
+        const int64_t *zr = z + r * m;
+        const int64_t *pair = xy + rg[r] * m;
+        int64_t s = scale[r], o = off[r];
+        for (int64_t i = 0; i < m; ++i)
+            out[zr[i] * s + pair[i] + o] += 1;
+    }
+}
+
+void fused_counts_i32(const int32_t *z, const int32_t *xy, const int64_t *rg,
+                      const int64_t *scale, const int64_t *off,
+                      int64_t n, int64_t m, int64_t *out)
+{
+    for (int64_t r = 0; r < n; ++r) {
+        const int32_t *zr = z + r * m;
+        const int32_t *pair = xy + rg[r] * m;
+        int64_t s = scale[r], o = off[r];
+        for (int64_t i = 0; i < m; ++i)
+            out[(int64_t)zr[i] * s + (int64_t)pair[i] + o] += 1;
+    }
+}
+"""
+
+_BACKEND: str | None = None
+_NB_FUSED = None  # numba dispatcher
+_C_LIB = None  # ctypes handles: {"i32": fn, "i64": fn}
+
+
+# ---------------------------------------------------------------------- #
+# detection
+# ---------------------------------------------------------------------- #
+def _probe_numba() -> bool:
+    global _NB_FUSED
+    try:
+        import numba
+    except Exception:
+        return False
+    try:
+
+        @numba.njit(cache=False)
+        def _fused(z, xy, rg, scale, off, out):  # pragma: no cover - jitted
+            n, m = z.shape
+            for r in range(n):
+                zr = z[r]
+                pair = xy[rg[r]]
+                s = scale[r]
+                o = off[r]
+                for i in range(m):
+                    out[zr[i] * s + pair[i] + o] += 1
+
+        _NB_FUSED = _fused
+        return True
+    except Exception:  # pragma: no cover - numba present but broken
+        return False
+
+
+def _find_compiler() -> str | None:
+    import shutil
+
+    for cand in (os.environ.get("CC"), "cc", "gcc", "clang"):
+        if cand and shutil.which(cand):
+            return cand
+    return None
+
+
+def _probe_cext() -> bool:
+    global _C_LIB
+    cc = _find_compiler()
+    if cc is None:
+        return False
+    digest = hashlib.sha256(_C_SOURCE.encode()).hexdigest()[:12]
+    try:
+        uid = os.getuid()
+    except AttributeError:  # pragma: no cover - non-POSIX
+        uid = 0
+    so_path = os.path.join(tempfile.gettempdir(), f"repro_native_{digest}_{uid}.so")
+    try:
+        if not os.path.exists(so_path):
+            src_path = so_path[:-3] + ".c"
+            with open(src_path, "w", encoding="ascii") as fh:
+                fh.write(_C_SOURCE)
+            tmp_so = so_path + f".tmp{os.getpid()}"
+            subprocess.run(
+                [cc, "-O3", "-shared", "-fPIC", "-o", tmp_so, src_path],
+                check=True,
+                capture_output=True,
+                timeout=60,
+            )
+            os.replace(tmp_so, so_path)  # atomic vs concurrent compilers
+        import ctypes
+
+        from numpy.ctypeslib import ndpointer
+
+        lib = ctypes.CDLL(so_path)
+        i64p = ndpointer(np.int64, flags="C_CONTIGUOUS")
+        i32p = ndpointer(np.int32, flags="C_CONTIGUOUS")
+        lib.fused_counts_i64.restype = None
+        lib.fused_counts_i64.argtypes = [
+            i64p, i64p, i64p, i64p, i64p, ctypes.c_int64, ctypes.c_int64, i64p,
+        ]
+        lib.fused_counts_i32.restype = None
+        lib.fused_counts_i32.argtypes = [
+            i32p, i32p, i64p, i64p, i64p, ctypes.c_int64, ctypes.c_int64, i64p,
+        ]
+        _C_LIB = {"i32": lib.fused_counts_i32, "i64": lib.fused_counts_i64}
+        return True
+    except Exception:
+        return False
+
+
+def _detect() -> str | None:
+    if _DISABLED:
+        return None
+    if _ENV == "numba":
+        return "numba" if _probe_numba() else None
+    if _ENV == "cext":
+        return "cext" if _probe_cext() else None
+    if _probe_numba():
+        return "numba"
+    if _probe_cext():
+        return "cext"
+    return None
+
+
+_BACKEND = _detect()
+
+
+# ---------------------------------------------------------------------- #
+# public API
+# ---------------------------------------------------------------------- #
+def native_kind() -> str | None:
+    """``"numba"``, ``"cext"`` or ``None`` (pure NumPy)."""
+    return _BACKEND
+
+
+def native_available() -> bool:
+    return _BACKEND is not None
+
+
+def native_fused_counts(
+    z2d: np.ndarray,
+    xy_mat: np.ndarray,
+    row_group: np.ndarray,
+    scales: np.ndarray,
+    offsets: np.ndarray,
+    out: np.ndarray,
+) -> bool:
+    """Accumulate the fused histogram into ``out`` (int64, pre-zeroed).
+
+    Returns ``False`` when no backend is available or the dtypes are not
+    handled — the caller then runs the NumPy path.  Unlike the NumPy path
+    the inputs are **not** mutated.
+    """
+    if _BACKEND is None:
+        return False
+    if z2d.dtype != xy_mat.dtype or z2d.dtype not in (np.int32, np.int64):
+        return False
+    n, m = z2d.shape
+    if _BACKEND == "numba":
+        _NB_FUSED(z2d, xy_mat, row_group, scales, offsets, out)
+        return True
+    fn = _C_LIB["i32" if z2d.dtype == np.int32 else "i64"]
+    fn(z2d, xy_mat, row_group, scales, offsets, n, m, out)
+    return True

@@ -37,6 +37,7 @@ def make_tester(
     dof_adjust: str = "structural",
     stats_cache=None,
     encoded=None,
+    arena=None,
 ) -> ConditionalIndependenceTest:
     """Instantiate a CI tester by name, or pass an instance through.
 
@@ -46,22 +47,40 @@ def make_tester(
     :class:`~repro.engine.session.LearningSession` path); ``encoded``
     optionally shares a :class:`~repro.datasets.encoded.EncodedDataset`
     across testers so column/endpoint encodings are derived once per
-    dataset.  The naive tester ignores both (its per-sample interpretation
-    *is* the point).
+    dataset; ``arena`` optionally shares a
+    :class:`~repro.citests.arena.KernelArena` so the fused group kernel's
+    scratch buffers are reused across a tester family (one per worker
+    process / session).  The naive tester ignores all three (its
+    per-sample interpretation *is* the point).
     """
     if not isinstance(test, str):
         return test
     if test == "g2":
         return GSquareTest(
-            dataset, alpha=alpha, dof_adjust=dof_adjust, stats_cache=stats_cache, encoded=encoded
+            dataset,
+            alpha=alpha,
+            dof_adjust=dof_adjust,
+            stats_cache=stats_cache,
+            encoded=encoded,
+            arena=arena,
         )
     if test == "chi2":
         return ChiSquareTest(
-            dataset, alpha=alpha, dof_adjust=dof_adjust, stats_cache=stats_cache, encoded=encoded
+            dataset,
+            alpha=alpha,
+            dof_adjust=dof_adjust,
+            stats_cache=stats_cache,
+            encoded=encoded,
+            arena=arena,
         )
     if test == "mi":
         return MutualInformationTest(
-            dataset, alpha=alpha, dof_adjust=dof_adjust, stats_cache=stats_cache, encoded=encoded
+            dataset,
+            alpha=alpha,
+            dof_adjust=dof_adjust,
+            stats_cache=stats_cache,
+            encoded=encoded,
+            arena=arena,
         )
     if test == "g2-naive":
         return NaiveGSquareTest(dataset, alpha=alpha, dof_adjust=dof_adjust)

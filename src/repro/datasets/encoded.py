@@ -95,7 +95,17 @@ class EncodedDataset:
         self.max_xy_entries = int(max_xy_entries)
         self.memoize = bool(memoize)
         self._col64: dict[int, np.ndarray] = {}
+        self._cols_matrix: np.ndarray | None = None
         self._xy: OrderedDict[tuple[int, int], np.ndarray] = OrderedDict()
+        #: Conditioning-set code memos shared by every (memoizing) fused
+        #: tester over this dataset: radix codes keyed by set tuple, plus
+        #: the derived ``codes * (rx * ry)`` rows keyed ``(set, scale)``.
+        #: Owned here — like ``xy_codes`` — because the values depend only
+        #: on the data, so warm rows survive tester construction; the
+        #: fused kernel (:mod:`repro.citests.tablebase`) fills and bounds
+        #: them.
+        self.z_rows: dict[tuple[int, ...], np.ndarray] = {}
+        self.z_scaled: dict[tuple[tuple[int, ...], int], np.ndarray] = {}
         #: Attacher-side :class:`~repro.datasets.shm.AttachedBlocks` keeping
         #: the shared mappings alive; ``None`` for ordinary instances.
         self.shm = None
@@ -143,6 +153,32 @@ class EncodedDataset:
                 except KeyError:  # concurrent eviction drained the table
                     break
         return codes
+
+    def cols_matrix(self) -> np.ndarray:
+        """All columns stacked as one read-only ``(n_vars, m)`` matrix.
+
+        Stored in the smallest unsigned dtype covering the largest arity
+        (the dtype-narrowing tier of the fused kernel: gathers move
+        1–2 bytes per sample instead of 8).  Values equal ``column(i)``
+        exactly, so any arithmetic over gathered rows matches the widened
+        per-column path bit for bit once cast.  Built lazily, memoized
+        under ``memoize=True`` like ``col64``.
+        """
+        mat = getattr(self, "_cols_matrix", None)
+        if mat is None:
+            ds = self.dataset
+            from .dataset import smallest_uint_dtype
+
+            max_arity = max(
+                (int(ds.arity(i)) for i in range(ds.n_variables)), default=1
+            )
+            mat = np.empty((ds.n_variables, ds.n_samples), dtype=smallest_uint_dtype(max_arity - 1))
+            for i in range(ds.n_variables):
+                mat[i] = ds.column(i)
+            mat.setflags(write=False)
+            if self.memoize:
+                self._cols_matrix = mat
+        return mat
 
     def encode_z(self, s, rz) -> tuple[np.ndarray, int]:
         """Mixed-radix codes of the conditioning tuple ``s`` (fresh array).
@@ -230,6 +266,7 @@ class EncodedDataset:
         if self.shm is None:
             return
         self._col64.clear()
+        self._cols_matrix = None
         self._xy.clear()
         shm, self.shm = self.shm, None
         shm.close()

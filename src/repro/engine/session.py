@@ -244,8 +244,13 @@ class LearningSession:
 
     def _ensure_pool(self):
         if self._pool is None:
+            from ..parallel.adaptive import DEFAULT_SEED_GS
             from ..parallel.backends import WorkerPool
 
+            # Long-lived pool: prewarm each worker's kernel arena for the
+            # default adaptive seed group size (later learns at larger gs
+            # just grow the buffers once to the new high-water mark).
+            n = min(DEFAULT_SEED_GS * 4 * max(self.dataset.n_samples, 1), 1 << 24)
             self._pool = WorkerPool(
                 self.dataset,
                 self.n_jobs,
@@ -256,6 +261,7 @@ class LearningSession:
                 cache_bytes=self.cache_bytes,
                 encoded=self.encoded,
                 use_shm=self.use_shm,
+                arena_hint={"cells": (n, "<i4"), "xygather": (n, "<i4")},
             )
         return self._pool
 

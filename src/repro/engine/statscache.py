@@ -436,14 +436,19 @@ class CachedTableBuilder:
                                                # marginalized from a dense
                                                # resident superset; the
                                                # marginal is stored)
-            ("pending", src_set)               # direct hit on a slot this
-                                               # group reserved but has not
-                                               # built yet
-            ("pending_marg", src_set)          # covered by a reserved slot:
+            ("pending", src_table_key)         # direct hit on a slot some
+                                               # in-flight group evaluation
+                                               # reserved but has not built
+            ("pending_marg", src_table_key)    # covered by a reserved slot:
                                                # the marginal's own slot is
                                                # reserved here, its value
                                                # arrives with the group fill
             ("miss", None)
+
+        Pending payloads are **full table keys** (tag + variables +
+        endpoints), because the fused multi-group engine can resolve a
+        request against a slot reserved for a *different* endpoint pair —
+        the set-tuple alone no longer identifies the source.
 
         Successful resolutions count one cache hit (plus one marginal
         build for the superset cases) and refresh recency, exactly like
@@ -457,7 +462,7 @@ class CachedTableBuilder:
             self.cache.hits += 1
             value = entry.value
             if value[0] is _PENDING:  # type: ignore[index]
-                return "pending", s
+                return "pending", key
             return "hit", value
 
         want = frozenset(s) | {x, y}
@@ -472,7 +477,7 @@ class CachedTableBuilder:
                 # store the marginal at this position) and let the group
                 # fill deliver its value.
                 self.reserve(x, y, s)
-                return "pending_marg", src_key[1:-2]
+                return "pending_marg", src_key
             rx, ry = ds.arity(x), ds.arity(y)
             rz = [ds.arity(v) for v in s]
             counts, nz_structural = self._from_superset(src_key, src_entry, x, y, s, rx, ry, rz)
@@ -527,23 +532,40 @@ class CachedTableBuilder:
         src_counts: np.ndarray,
         s: tuple[int, ...],
     ) -> tuple[np.ndarray, int]:
-        """Marginal of an in-group dense table down to ``(s, x, y)``.
+        """Marginal of an in-group dense table down to ``(s, x, y)``
+        (source shares the endpoints; see :meth:`marginal_from_key`)."""
+        return self.marginal_from_key(self.table_key(x, y, src_s), src_counts, x, y, s)
 
-        Pure computation — hit/marginal accounting and the slot
-        reservation already happened in :meth:`lookup` at planning time.
+    def marginal_from_key(
+        self,
+        src_key: tuple,
+        src_counts: np.ndarray,
+        x: int,
+        y: int,
+        s: tuple[int, ...],
+    ) -> tuple[np.ndarray, int]:
+        """Marginal of a dense table (named by its full key) down to
+        ``(s, x, y)``.
+
+        The source may come from *any* endpoint pair — the fused
+        multi-group engine marginalizes across groups, where the covering
+        table's endpoints ``(x', y')`` differ from the query's.  Pure
+        computation: hit/marginal accounting and the slot reservation
+        already happened in :meth:`lookup` at planning time.
         """
         ds = self.dataset
         rx, ry = ds.arity(x), ds.arity(y)
         rz = [ds.arity(v) for v in s]
+        src_vars = src_key[1:]  # strip the "t" tag: conditioning vars + endpoints
         entry = _Entry(
             value=(src_counts, 0),
             nbytes=src_counts.nbytes,
             kind="table",
-            varset=frozenset(src_s) | {x, y},
-            dims=tuple(ds.arity(v) for v in src_s) + (rx, ry),
+            varset=frozenset(src_vars),
+            dims=tuple(ds.arity(v) for v in src_vars),
             dense=True,
         )
-        return self._from_superset(self.table_key(x, y, src_s), entry, x, y, s, rx, ry, rz)
+        return self._from_superset(src_key, entry, x, y, s, rx, ry, rz)
 
     def ci_counts(
         self,

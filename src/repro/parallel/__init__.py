@@ -82,6 +82,19 @@ def run_parallel_skeleton(
             recorder=recorder,
             use_shm=use_shm,
         )
+    arena_hint = None
+    if parallelism == "ci":
+        # Resolve gs up front so the workers' kernel arenas can be
+        # prewarmed for the group sizes this run will actually dispatch
+        # (adaptive: live bucket mix; fixed: gs times the chunking factor).
+        gs = resolve_gs(
+            gs, arities=tuple(int(dataset.arity(i)) for i in range(dataset.n_variables))
+        )
+        if isinstance(gs, AdaptiveGroupScheduler):
+            arena_hint = gs.arena_hint(dataset.n_samples)
+        else:
+            n = min(max(int(gs), 1) * 4 * max(dataset.n_samples, 1), 1 << 24)
+            arena_hint = {"cells": (n, "<i4"), "xygather": (n, "<i4")}
     with WorkerPool(
         dataset,
         n_jobs,
@@ -91,6 +104,7 @@ def run_parallel_skeleton(
         dof_adjust=dof_adjust,
         memoize_encodings=memoize_encodings,
         use_shm=use_shm,
+        arena_hint=arena_hint,
     ) as workers:
         if parallelism == "ci":
             return ci_level_skeleton(

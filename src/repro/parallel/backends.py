@@ -49,8 +49,12 @@ from ..datasets.dataset import DiscreteDataset
 
 __all__ = ["WorkerPool", "GroupJob", "EdgeJob"]
 
-# Module-level worker state (set by the process-pool initializer).
+# Module-level worker state (set by the process-pool initializer).  The
+# arena is the worker's kernel scratch pool: it outlives every job the
+# worker runs, which is what makes the fused group kernel allocation-free
+# in steady state (buffers grow to the high-water mark once, then recycle).
 _WORKER_TESTER: ConditionalIndependenceTest | None = None
+_WORKER_ARENA = None
 
 GroupJob = tuple[int, int, tuple[tuple[int, ...], ...]]
 # (u, v, conditioning sets) -> per-set independence verdicts
@@ -67,8 +71,10 @@ def _init_worker(
     encoded=None,
     memoize_encodings: bool = True,
     shm_handle=None,
+    arena_hint: dict | None = None,
 ) -> None:
-    global _WORKER_TESTER
+    global _WORKER_TESTER, _WORKER_ARENA
+    from ..citests.arena import KernelArena
     from ..core.learn import make_tester
     from ..datasets.encoded import EncodedDataset
 
@@ -90,9 +96,12 @@ def _init_worker(
         from ..engine.statscache import SufficientStatsCache
 
         stats_cache = SufficientStatsCache(max_bytes=cache_bytes)
+    _WORKER_ARENA = KernelArena()
+    if arena_hint:
+        _WORKER_ARENA.prewarm(arena_hint)
     _WORKER_TESTER = make_tester(
         dataset, test, alpha=alpha, dof_adjust=dof_adjust, stats_cache=stats_cache,
-        encoded=encoded,
+        encoded=encoded, arena=_WORKER_ARENA,
     )
 
 
@@ -109,6 +118,42 @@ def _eval_group(job: GroupJob, alpha: float | None = None) -> list[bool]:
     if alpha is not None and alpha != _WORKER_TESTER.alpha:
         return [r.p_value > alpha for r in results]
     return [r.independent for r in results]
+
+
+def _verdicts(tester, jobs: Sequence[GroupJob], alpha: float | None) -> list[list[bool]]:
+    """Evaluate a chunk of group jobs on one tester, fused when possible.
+
+    Testers exposing ``test_groups`` get the whole chunk in one call — the
+    megagroup kernel then fuses table builds *across* the chunk's edges
+    (same per-set results, fewer kernel invocations).  Testers without it
+    (the naive baseline) fall back to per-job ``test_group``.
+    """
+    items = [(u, v, list(sets)) for u, v, sets in jobs]
+    grouped = getattr(tester, "test_groups", None)
+    if grouped is not None:
+        per_job = grouped(items)
+    else:
+        per_job = [tester.test_group(u, v, sets) for u, v, sets in items]
+    if alpha is not None and alpha != tester.alpha:
+        return [[r.p_value > alpha for r in results] for results in per_job]
+    return [[r.independent for r in results] for results in per_job]
+
+
+def _eval_group_chunk(
+    jobs: Sequence[GroupJob], alpha: float | None = None
+) -> list[list[bool]]:
+    """CI-level work chunk: several group jobs in one IPC round-trip."""
+    assert _WORKER_TESTER is not None, "worker not initialised"
+    return _verdicts(_WORKER_TESTER, jobs, alpha)
+
+
+def _worker_arena_stats() -> dict | None:
+    """This worker's kernel-arena counters (None before initialisation)."""
+    if _WORKER_ARENA is None:
+        return None
+    out = _WORKER_ARENA.stats()
+    out["worker_pid"] = os.getpid()
+    return out
 
 
 def _worker_cache_stats() -> dict | None:
@@ -219,6 +264,7 @@ class WorkerPool:
         memoize_encodings: bool = True,
         use_shm: bool | None = None,
         start_method: str | None = None,
+        arena_hint: dict | None = None,
     ) -> None:
         if n_jobs < 1:
             raise ValueError("n_jobs must be >= 1")
@@ -260,14 +306,17 @@ class WorkerPool:
             if self._shm_export is not None:
                 initargs = (
                     None, test, alpha, dof_adjust, cache_bytes, None, True,
-                    self._shm_export.handle,
+                    self._shm_export.handle, arena_hint,
                 )
             elif encoded is not None:
-                initargs = (None, test, alpha, dof_adjust, cache_bytes, encoded, True, None)
+                initargs = (
+                    None, test, alpha, dof_adjust, cache_bytes, encoded, True, None,
+                    arena_hint,
+                )
             else:
                 initargs = (
                     dataset, test, alpha, dof_adjust, cache_bytes, None,
-                    memoize_encodings, None,
+                    memoize_encodings, None, arena_hint,
                 )
             self._executor = ProcessPoolExecutor(
                 max_workers=n_jobs,
@@ -291,6 +340,7 @@ class WorkerPool:
 
             def tester() -> ConditionalIndependenceTest:
                 if not hasattr(local, "tester"):
+                    from ..citests.arena import KernelArena
                     from ..core.learn import make_tester
 
                     stats_cache = None
@@ -298,6 +348,11 @@ class WorkerPool:
                         from ..engine.statscache import SufficientStatsCache
 
                         stats_cache = SufficientStatsCache(max_bytes=cache_bytes)
+                    # One arena per worker thread: arenas recycle buffers
+                    # and are not safe to share across concurrent kernels.
+                    arena = KernelArena()
+                    if arena_hint:
+                        arena.prewarm(arena_hint)
                     local.tester = make_tester(
                         dataset,
                         test,
@@ -305,6 +360,7 @@ class WorkerPool:
                         dof_adjust=dof_adjust,
                         stats_cache=stats_cache,
                         encoded=shared_encoded,
+                        arena=arena,
                     )
                 return local.tester
 
@@ -314,6 +370,11 @@ class WorkerPool:
                 if alpha is not None and alpha != tester().alpha:
                     return [r.p_value > alpha for r in results]
                 return [r.independent for r in results]
+
+            def eval_group_chunk_local(
+                jobs: Sequence[GroupJob], alpha: float | None = None
+            ) -> list[list[bool]]:
+                return _verdicts(tester(), jobs, alpha)
 
             def eval_edge_local(job: EdgeJob) -> tuple[int, tuple[int, ...] | None]:
                 from ..core.edges import EdgeTask
@@ -332,9 +393,11 @@ class WorkerPool:
 
             self._executor = ThreadPoolExecutor(max_workers=n_jobs)
             self._eval_group_fn = eval_group_local
+            self._eval_group_chunk_fn = eval_group_chunk_local
             self._eval_edge_fn = eval_edge_local
         if backend == "process":
             self._eval_group_fn = _eval_group
+            self._eval_group_chunk_fn = _eval_group_chunk
             self._eval_edge_fn = _eval_edge
 
     def eval_groups(
@@ -343,13 +406,23 @@ class WorkerPool:
         """Evaluate group jobs across the pool.
 
         Group jobs are tiny (an edge id plus a handful of index tuples), so
-        one IPC round-trip per job would dominate; batching several jobs
-        per submission amortises it, like ``eval_edges`` already does.
-        ``4 * n_jobs`` chunks keep enough slack for dynamic balancing.
+        one IPC round-trip per job would dominate; jobs are therefore
+        shipped in explicit chunks — ``4 * n_jobs`` chunks keep enough
+        slack for dynamic balancing — and each chunk is evaluated by *one*
+        ``test_groups`` call on the worker, so the fused kernel batches
+        table builds across the chunk's edges, not just within each group.
         """
-        fn = self._eval_group_fn if alpha is None else partial(self._eval_group_fn, alpha=alpha)
+        fn = (
+            self._eval_group_chunk_fn
+            if alpha is None
+            else partial(self._eval_group_chunk_fn, alpha=alpha)
+        )
         chunksize = max(1, len(jobs) // (4 * self.n_jobs))
-        return list(self._executor.map(fn, jobs, chunksize=chunksize))
+        chunks = [jobs[i : i + chunksize] for i in range(0, len(jobs), chunksize)]
+        out: list[list[bool]] = []
+        for chunk_verdicts in self._executor.map(fn, chunks):
+            out.extend(chunk_verdicts)
+        return out
 
     def eval_edges(
         self, jobs: Sequence[EdgeJob]
@@ -376,6 +449,24 @@ class WorkerPool:
         by_pid: dict[int, dict] = {}
         for stats in self._executor.map(
             _run_probe, [_worker_cache_stats] * (4 * self.n_jobs), chunksize=1
+        ):
+            if stats is not None:
+                by_pid[stats["worker_pid"]] = stats
+        return list(by_pid.values())
+
+    def arena_stats(self) -> list[dict]:
+        """Per-worker kernel-arena snapshots (process backend only).
+
+        Best-effort sampling like :meth:`cache_stats`: one snapshot per
+        responding worker, deduplicated by PID.  Used by benches and tests
+        to verify steady-state buffer reuse (``n_grows`` plateaus while
+        ``n_takes`` keeps climbing).
+        """
+        if self.backend != "process":
+            return []
+        by_pid: dict[int, dict] = {}
+        for stats in self._executor.map(
+            _run_probe, [_worker_arena_stats] * (4 * self.n_jobs), chunksize=1
         ):
             if stats is not None:
                 by_pid[stats["worker_pid"]] = stats

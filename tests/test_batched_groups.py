@@ -149,7 +149,7 @@ class TestBatchedMatchesLooped:
         def boom(*a, **k):
             raise MemoryError("simulated mid-group failure")
 
-        monkeypatch.setattr(tb, "group_ci_counts", boom)
+        monkeypatch.setattr(tb, "fused_cell_counts", boom)
         with pytest.raises(MemoryError):
             tester.test_group(0, 1, [(2,), (3,)])
         monkeypatch.undo()
