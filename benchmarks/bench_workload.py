@@ -1,0 +1,305 @@
+"""Workload bench: replay the committed golden trace, assert SLOs and
+weighted-fair starvation bounds (ISSUE 8).
+
+Two measurements over the trace-replay layer:
+
+* **golden-trace replay** — the committed seeded trace
+  (``benchmarks/traces/workload_500.jsonl``: 512 requests, 4 tenants,
+  zipf-skewed popularity, poisson arrivals, 2% injected errors) replayed
+  through the streaming dispatcher.  Asserts the trace is fresh against
+  its embedded spec (byte-compare), payload-identical responses vs a
+  sequential oracle, an exact manifest, and records throughput plus
+  p50/p95/p99 completion latency into ``BENCH_workload.json`` — the
+  regression-stable traffic number PRs compare.
+* **weighted-fair starvation bound** — three hot tenants saturate two
+  dispatcher threads with blanket queries while one cold weighted lane
+  trickles requests.  Asserts the cold tenant's p99 completion latency
+  stays within ``3x`` its solo-run p99 (the ISSUE's SLO), with
+  payload-identical responses, and records the ratio into
+  ``BENCH_workload_fairness.json``.
+
+Both checks end with the standard `/dev/shm` leak sweep.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+from repro.bench.tables import render_table
+from repro.datasets.sampling import forward_sample
+from repro.engine import EngineServer, load_trace, replay, summarize_latencies, verify_trace
+from repro.networks.generators import random_network
+
+TRACE_PATH = pathlib.Path(__file__).parent / "traces" / "workload_500.jsonl"
+SHM_DIR = "/dev/shm"
+THREADS = 2
+
+#: (n_variables, n_samples) per trace tenant d0..d3 — deterministic
+#: synthetic networks; every tenant covers the trace's 8 target indices.
+TENANT_SHAPES = ((16, 900), (10, 400), (9, 400), (8, 400))
+
+
+def _shm_entries() -> set[str] | None:
+    try:
+        return set(os.listdir(SHM_DIR))
+    except OSError:
+        return None
+
+
+def _payload(resp: dict) -> str:
+    return json.dumps(
+        {k: _strip_timing(resp[k]) for k in ("op", "dataset", "fingerprint", "result", "error")},
+        sort_keys=True,
+    )
+
+
+def _strip_timing(obj):
+    """Drop elapsed_s recursively — stats admin payloads nest timings."""
+    if isinstance(obj, dict):
+        return {k: _strip_timing(v) for k, v in obj.items() if k != "elapsed_s"}
+    if isinstance(obj, list):
+        return [_strip_timing(v) for v in obj]
+    return obj
+
+
+def _tenant_datasets() -> dict:
+    datasets = {}
+    for i, (n_vars, n_samples) in enumerate(TENANT_SHAPES):
+        net = random_network(
+            n_vars, n_vars + 4, rng=4200 + i, arity_range=(2, 3), max_parents=3
+        )
+        datasets[f"d{i}"] = forward_sample(net, n_samples, rng=4300 + i)
+    return datasets
+
+
+def _fresh_server(datasets, **kwargs) -> EngineServer:
+    srv = EngineServer(alpha=0.05, max_sessions=8, **kwargs)
+    for ds_id, data in datasets.items():
+        srv.register(ds_id, data)
+    return srv
+
+
+# --------------------------------------------------------------------- #
+# golden-trace replay
+# --------------------------------------------------------------------- #
+def test_workload_trace_replay(benchmark, record, record_json):
+    fresh, message = verify_trace(TRACE_PATH)
+    assert fresh, message
+    trace = load_trace(TRACE_PATH)
+    assert len(trace) >= 500 and len(trace.spec.datasets) == 4
+
+    datasets = _tenant_datasets()
+    shm_before = _shm_entries()
+
+    def run() -> dict:
+        streamed_srv = _fresh_server(datasets)
+        oracle_srv = _fresh_server(datasets)
+        try:
+            streamed = replay(streamed_srv, trace, threads=THREADS, window=64)
+            t0 = time.perf_counter()
+            oracle = replay(oracle_srv, trace, threads=1)
+            sequential_s = time.perf_counter() - t0
+            doc = streamed_srv.manifest()
+            return {
+                "streamed": streamed,
+                "oracle": oracle,
+                "sequential_s": sequential_s,
+                "manifest": doc,
+            }
+        finally:
+            streamed_srv.close()
+            oracle_srv.close()
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    streamed, oracle = out["streamed"], out["oracle"]
+
+    # Concurrency changes latency, never payloads.
+    assert [_payload(r) for r in streamed.responses] == [
+        _payload(r) for r in oracle.responses
+    ]
+    assert streamed.n_requests == len(trace)
+    assert streamed.n_errors > 0  # the 2% injected errors actually landed
+
+    # Exact manifest across every lane the replay touched.
+    from repro.engine import merge_totals
+
+    doc = out["manifest"]
+    parts = [s["totals"] for s in doc["sessions"]] + [doc["unrouted"]["totals"]]
+    assert doc["totals"] == merge_totals(parts)
+
+    if shm_before is not None:
+        leaked = _shm_entries() - shm_before
+        assert not leaked, f"leaked shared-memory blocks: {sorted(leaked)}"
+
+    lat = streamed.latency()
+    record_json(
+        "workload",
+        {
+            "trace": str(TRACE_PATH.name),
+            "n_requests": streamed.n_requests,
+            "n_errors": streamed.n_errors,
+            "n_cached": streamed.n_cached,
+            "threads": THREADS,
+            "wall_s": streamed.wall_s,
+            "sequential_s": out["sequential_s"],
+            "requests_per_s": streamed.requests_per_s,
+            "latency": lat,
+            "per_tenant": streamed.per_tenant(),
+        },
+    )
+    record(
+        "workload_replay",
+        render_table(
+            ["stream", "requests", "seconds", "req/s", "p50 ms", "p95 ms", "p99 ms"],
+            [
+                [
+                    f"golden trace x{THREADS} threads",
+                    streamed.n_requests,
+                    f"{streamed.wall_s:.2f}",
+                    f"{streamed.requests_per_s:.0f}",
+                    f"{lat['p50_ms']:.2f}",
+                    f"{lat['p95_ms']:.2f}",
+                    f"{lat['p99_ms']:.2f}",
+                ],
+            ],
+            title="golden-trace replay (512 requests, 4 zipf tenants)",
+        ),
+    )
+
+
+# --------------------------------------------------------------------- #
+# weighted-fair starvation bound
+# --------------------------------------------------------------------- #
+N_HOT_EACH = 60
+N_COLD = 12
+COLD_WEIGHT = 4.0
+
+
+HOT_TENANTS = ("d1", "d2", "d3")
+COLD_TENANT = "d0"  # the largest network: its own compute dominates queue wait
+
+
+def _fairness_stream() -> tuple[list[dict], list[str]]:
+    """Three hot tenants saturating, one cold tenant trickling.
+
+    Every blanket carries a unique (target, alpha) pair so each request
+    is real compute — repeated queries would collapse into cache hits
+    and the dispatcher would never be contended.  The cold tenant sends
+    one request per 15 hot ones.
+    """
+    requests: list[dict] = []
+    tenants: list[str] = []
+    cold_sent = 0
+    for i in range(N_HOT_EACH):
+        for hot in HOT_TENANTS:
+            requests.append(
+                {"op": "blanket", "dataset": hot, "target": i % 8,
+                 "alpha": round(0.02 + 0.001 * i, 6)}
+            )
+            tenants.append(hot)
+        if i % 5 == 4 and cold_sent < N_COLD:
+            requests.append(
+                {"op": "blanket", "dataset": COLD_TENANT, "target": cold_sent % 8,
+                 "alpha": round(0.03 + 0.001 * cold_sent, 6)}
+            )
+            tenants.append(COLD_TENANT)
+            cold_sent += 1
+    return requests, tenants
+
+
+def _run_with_timings(server, requests) -> tuple[list[dict], list[dict]]:
+    timings: list[dict] = []
+    responses = list(
+        server.serve_iter(iter(requests), threads=THREADS, window=4096, timings=timings)
+    )
+    return responses, timings
+
+
+def _completion_by_tenant(tenants, timings) -> dict[str, list[float]]:
+    by: dict[str, list[float]] = {}
+    for tenant, t in zip(tenants, timings):
+        by.setdefault(tenant, []).append(t["t_done"] - t["t_in"])
+    return by
+
+
+def test_workload_weighted_fairness(record, record_json):
+    datasets = _tenant_datasets()
+    requests, tenants = _fairness_stream()
+    cold_requests = [r for r, t in zip(requests, tenants) if t == COLD_TENANT]
+    shm_before = _shm_entries()
+
+    # Solo baseline: the cold tenant alone on an idle server.
+    solo_srv = _fresh_server(datasets)
+    try:
+        _, solo_timings = _run_with_timings(solo_srv, cold_requests)
+    finally:
+        solo_srv.close()
+    solo_lat = summarize_latencies([t["t_done"] - t["t_in"] for t in solo_timings])
+
+    # Contended: hot tenants saturate both workers, cold lane weighted.
+    mixed_srv = _fresh_server(datasets, lane_weights={COLD_TENANT: COLD_WEIGHT})
+    oracle_srv = _fresh_server(datasets, lane_weights={COLD_TENANT: COLD_WEIGHT})
+    try:
+        mixed_responses, mixed_timings = _run_with_timings(mixed_srv, requests)
+        oracle_responses = list(oracle_srv.serve_iter(iter(requests), threads=1))
+        assert [_payload(r) for r in mixed_responses] == [
+            _payload(r) for r in oracle_responses
+        ]
+        lanes = mixed_srv.lane_stats()
+    finally:
+        mixed_srv.close()
+        oracle_srv.close()
+
+    by_tenant = _completion_by_tenant(tenants, mixed_timings)
+    mixed_lat = summarize_latencies(by_tenant[COLD_TENANT])
+    hot_lat = summarize_latencies(
+        [v for hot in HOT_TENANTS for v in by_tenant[hot]]
+    )
+
+    # THE starvation bound: under full hot-tenant saturation the weighted
+    # cold lane's p99 stays within 3x its solo p99.
+    ratio = mixed_lat["p99_ms"] / max(solo_lat["p99_ms"], 1e-9)
+    assert ratio <= 3.0, (
+        f"cold tenant starved: mixed p99 {mixed_lat['p99_ms']:.2f}ms vs "
+        f"solo {solo_lat['p99_ms']:.2f}ms ({ratio:.2f}x > 3x)"
+    )
+    # And the bound is doing work: the hot lanes really were saturating
+    # (their p99 under contention dwarfs the cold solo p99).
+    assert hot_lat["p99_ms"] > solo_lat["p99_ms"]
+    assert sum(v["n_served"] for v in lanes.values()) == len(requests)
+
+    if shm_before is not None:
+        leaked = _shm_entries() - shm_before
+        assert not leaked, f"leaked shared-memory blocks: {sorted(leaked)}"
+
+    record_json(
+        "workload_fairness",
+        {
+            "threads": THREADS,
+            "cold_weight": COLD_WEIGHT,
+            "n_hot_requests": 3 * N_HOT_EACH,
+            "n_cold_requests": N_COLD,
+            "latency": mixed_lat,  # cold tenant, under contention
+            "cold_solo": solo_lat,
+            "hot_mixed": hot_lat,
+            "cold_p99_ratio": ratio,
+        },
+    )
+    record(
+        "workload_fairness",
+        render_table(
+            ["tenant", "n", "p50 ms", "p95 ms", "p99 ms"],
+            [
+                ["cold solo", solo_lat["n"], f"{solo_lat['p50_ms']:.2f}",
+                 f"{solo_lat['p95_ms']:.2f}", f"{solo_lat['p99_ms']:.2f}"],
+                ["cold under saturation", mixed_lat["n"], f"{mixed_lat['p50_ms']:.2f}",
+                 f"{mixed_lat['p95_ms']:.2f}", f"{mixed_lat['p99_ms']:.2f}"],
+                ["hot (3 tenants)", hot_lat["n"], f"{hot_lat['p50_ms']:.2f}",
+                 f"{hot_lat['p95_ms']:.2f}", f"{hot_lat['p99_ms']:.2f}"],
+            ],
+            title=f"weighted-fair lanes: cold p99 ratio {ratio:.2f}x (bound 3x)",
+        ),
+    )

@@ -94,6 +94,35 @@ def _row_transport(doc: dict) -> tuple[str, str]:
     )
 
 
+def _latency_cols(doc: dict) -> str:
+    """p50/p95/p99 columns for any artefact carrying a ``latency`` block."""
+    lat = doc.get("latency")
+    if not isinstance(lat, dict):
+        return ""
+    return (
+        f"p50/p95/p99 {_fmt(lat['p50_ms'], 1)}/"
+        f"{_fmt(lat['p95_ms'], 1)}/{_fmt(lat['p99_ms'], 1)} ms"
+    )
+
+
+def _row_workload(doc: dict) -> tuple[str, str]:
+    return (
+        f"golden-trace replay ({doc['n_requests']} requests, "
+        f"{len(doc['per_tenant'])} zipf tenants, threads={doc['threads']})",
+        f"{_fmt(doc['requests_per_s'], 0)} req/s, {_latency_cols(doc)}",
+    )
+
+
+def _row_workload_fairness(doc: dict) -> tuple[str, str]:
+    return (
+        f"weighted-fair lanes ({doc['n_hot_requests']} hot + "
+        f"{doc['n_cold_requests']} cold requests, cold weight "
+        f"{_fmt(doc['cold_weight'], 0)}, threads={doc['threads']})",
+        f"cold p99 {_fmt(doc['cold_p99_ratio'])}× solo (bound 3×), "
+        f"cold under load {_latency_cols(doc)}",
+    )
+
+
 _SUMMARISERS = {
     "engine_throughput": _row_engine_throughput,
     "kernel_batching": _row_kernel_batching,
@@ -101,6 +130,8 @@ _SUMMARISERS = {
     "shared_memory": _row_shared_memory,
     "store": _row_store,
     "transport": _row_transport,
+    "workload": _row_workload,
+    "workload_fairness": _row_workload_fairness,
 }
 
 _GENERIC_FIELDS = ("speedup", "best_speedup", "ops_per_s", "requests_per_s")
@@ -108,6 +139,9 @@ _GENERIC_FIELDS = ("speedup", "best_speedup", "ops_per_s", "requests_per_s")
 
 def _row_generic(doc: dict) -> tuple[str, str]:
     parts = [f"{k}={_fmt(doc[k])}" for k in _GENERIC_FIELDS if k in doc]
+    lat = _latency_cols(doc)
+    if lat:
+        parts.append(lat)
     return (doc.get("bench", "?"), ", ".join(parts) or "see JSON artefact")
 
 

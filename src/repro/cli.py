@@ -1,11 +1,12 @@
 """Command-line interface.
 
-Five sub-commands::
+Six sub-commands::
 
     fastbns learn       # learn a structure from a CSV file or a benchmark
     fastbns blanket     # discover one variable's Markov blanket
     fastbns batch       # serve a JSONL stream of requests over ONE dataset
     fastbns serve       # multi-dataset JSONL server (EngineServer)
+    fastbns workload    # record/replay seeded traffic traces, report SLOs
     fastbns experiment  # regenerate a paper table/figure
 
 Examples
@@ -65,6 +66,20 @@ many concurrent clients (one ordered response stream per connection)::
 
 SIGINT/SIGTERM stop intake, drain in-flight work, still write the
 manifest, and exit 130/143.
+
+Drive the server with realistic seeded traffic and read back latency
+SLOs — record a golden trace, then replay it (in-process here; add
+``--connect HOST:PORT`` to replay against a running ``serve --listen``)::
+
+    python -m repro workload record --n-requests 500 --seed 42 \\
+        --out trace.jsonl
+    python -m repro workload replay --trace trace.jsonl --threads 4 \\
+        --report report.json
+
+``workload run`` generates and replays in one step, and ``workload
+verify`` checks a committed trace still matches its embedded spec
+byte-for-byte.  Unregistered trace datasets are materialised as seeded
+synthetic networks, so both commands work with no flags at all.
 
 Regenerate Table III (quick mode)::
 
@@ -256,6 +271,119 @@ def build_parser() -> argparse.ArgumentParser:
         "revive warm, and a restarted server over the same path answers "
         "previously-served streams byte-identically without recomputing",
     )
+    serve.add_argument(
+        "--lane-weight",
+        action="append",
+        default=[],
+        metavar="ID=WEIGHT",
+        help="weighted-fair dispatch share for a dataset's lane (default 1.0); "
+        "repeatable — with --threads > 1 a weight-2 lane is served ~2x as "
+        "often as a weight-1 lane under contention, so cold tenants cannot "
+        "be starved by a hot dataset",
+    )
+
+    wl = sub.add_parser(
+        "workload",
+        help="seeded traffic traces: record, replay with latency SLOs, verify",
+    )
+    wlsub = wl.add_subparsers(dest="workload_command", required=True)
+
+    def add_shape(p):
+        p.add_argument("--n-requests", type=int, default=500, help="trace length")
+        p.add_argument(
+            "--datasets",
+            default="d0,d1,d2,d3",
+            help="comma-separated tenant ids in popularity order (first is zipf-hottest)",
+        )
+        p.add_argument("--seed", type=int, default=0, help="generator seed")
+        p.add_argument("--zipf", type=float, default=1.1, help="zipf skew exponent")
+        p.add_argument(
+            "--arrival", default="poisson", choices=("poisson", "bursty", "uniform")
+        )
+        p.add_argument("--rate", type=float, default=200.0, help="mean arrivals/s")
+        p.add_argument("--burst", type=int, default=16, help="burst size (bursty arrivals)")
+        p.add_argument(
+            "--mix",
+            action="append",
+            default=[],
+            metavar="OP=WEIGHT",
+            help="op-mix weight (learn/relearn/blanket/admin); repeatable, "
+            "unmentioned ops keep their default weight",
+        )
+        p.add_argument(
+            "--error-rate", type=float, default=0.0, help="probability of an injected bad request"
+        )
+        p.add_argument("--max-depth", type=int, default=1, help="learn conditioning depth")
+        p.add_argument(
+            "--n-targets", type=int, default=8, help="blanket target index bound"
+        )
+
+    def add_serving(p):
+        p.add_argument(
+            "--register",
+            action="append",
+            default=[],
+            metavar="ID=KIND:VALUE",
+            help="dataset source per trace tenant (same syntax as serve); "
+            "unregistered tenants get seeded synthetic networks",
+        )
+        p.add_argument("--threads", type=int, default=2, help="dispatcher threads")
+        p.add_argument("--window", type=int, default=64, help="in-flight window")
+        p.add_argument("--jobs", type=int, default=1, help="workers per session")
+        p.add_argument("--backend", default="process", choices=("process", "thread"))
+        p.add_argument("--no-shm", action="store_true")
+        p.add_argument("--test", default="g2", choices=("g2", "chi2", "mi"))
+        p.add_argument("--alpha", type=float, default=0.05)
+        p.add_argument("--max-sessions", type=int, default=8)
+        p.add_argument("--cache-mb", type=int, default=64)
+        p.add_argument("--store", default=None, metavar="PATH")
+        p.add_argument(
+            "--samples",
+            type=int,
+            default=500,
+            help="sample count for auto-materialised synthetic tenants",
+        )
+        p.add_argument(
+            "--lane-weight",
+            action="append",
+            default=[],
+            metavar="ID=WEIGHT",
+            help="weighted-fair dispatch share per tenant lane",
+        )
+        p.add_argument(
+            "--pace",
+            action="store_true",
+            help="honour the trace's arrival schedule (open loop) instead of "
+            "feeding as fast as the window admits",
+        )
+        p.add_argument(
+            "--connect",
+            default=None,
+            metavar="HOST:PORT|unix:PATH",
+            help="replay against a running `serve --listen` over a socket "
+            "instead of an in-process server",
+        )
+        p.add_argument(
+            "--report", default=None, metavar="PATH", help="write the full report JSON here"
+        )
+
+    wrec = wlsub.add_parser("record", help="generate a seeded trace file")
+    add_shape(wrec)
+    wrec.add_argument("--out", required=True, help="trace JSONL path")
+
+    wver = wlsub.add_parser(
+        "verify", help="check a trace still matches its embedded spec byte-for-byte"
+    )
+    wver.add_argument("--trace", required=True, help="trace JSONL path")
+
+    wrep = wlsub.add_parser("replay", help="replay a trace file, report latency SLOs")
+    wrep.add_argument("--trace", required=True, help="trace JSONL path")
+    add_serving(wrep)
+
+    wrun = wlsub.add_parser("run", help="generate and replay in one step")
+    add_shape(wrun)
+    add_serving(wrun)
+    wrun.add_argument("--out", default=None, help="also save the generated trace here")
 
     mb = sub.add_parser("blanket", help="discover one variable's Markov blanket")
     mbsrc = mb.add_mutually_exclusive_group(required=True)
@@ -624,15 +752,33 @@ def _serve_listen(args: argparse.Namespace, server) -> int:
     return guard.exit_code if interrupted else 0
 
 
-def _cmd_serve(args: argparse.Namespace) -> int:
-    from .engine.server import EngineServer
-
+def _parse_registrations(entries) -> list[tuple[str, str]]:
     registrations: list[tuple[str, str]] = []
-    for entry in args.register:
+    for entry in entries:
         ds_id, sep, spec = entry.partition("=")
         if not sep or not ds_id or not spec:
             raise SystemExit(f"--register expects ID=KIND:VALUE, got {entry!r}")
         registrations.append((ds_id, spec))
+    return registrations
+
+
+def _parse_lane_weights(entries) -> dict[str, float]:
+    weights: dict[str, float] = {}
+    for entry in entries:
+        ds_id, sep, value = entry.partition("=")
+        try:
+            weights[ds_id] = float(value)
+        except ValueError:
+            sep = ""
+        if not sep or not ds_id:
+            raise SystemExit(f"--lane-weight expects ID=WEIGHT, got {entry!r}")
+    return weights
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .engine.server import EngineServer
+
+    registrations = _parse_registrations(args.register)
     default = registrations[0][0] if len(registrations) == 1 else None
 
     server = EngineServer(
@@ -647,6 +793,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         default_samples=args.samples,
         default_seed=args.seed,
         store=args.store,
+        lane_weights=_parse_lane_weights(args.lane_weight),
     )
     with server:
         for ds_id, spec in registrations:
@@ -654,6 +801,144 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if args.listen:
             return _serve_listen(args, server)
         return _serve_stream(args, server)
+
+
+def _workload_spec(args: argparse.Namespace):
+    """Build a WorkloadSpec from the shared trace-shape flags."""
+    from .engine.workload import WorkloadSpec
+
+    kwargs = {}
+    if args.mix:
+        mix = dict(WorkloadSpec().mix)
+        for entry in args.mix:
+            op, sep, value = entry.partition("=")
+            try:
+                mix[op] = float(value)
+            except ValueError:
+                sep = ""
+            if not sep or not op:
+                raise SystemExit(f"--mix expects OP=WEIGHT, got {entry!r}")
+        kwargs["mix"] = tuple(mix.items())
+    datasets = tuple(d.strip() for d in args.datasets.split(",") if d.strip())
+    return WorkloadSpec(
+        n_requests=args.n_requests,
+        datasets=datasets,
+        seed=args.seed,
+        zipf_s=args.zipf,
+        arrival=args.arrival,
+        rate=args.rate,
+        burst=args.burst,
+        error_rate=args.error_rate,
+        max_depth=args.max_depth,
+        n_targets=args.n_targets,
+        **kwargs,
+    )
+
+
+def _workload_register(server, spec, registrations, samples: int) -> None:
+    """Register trace tenants: explicit sources win, the rest get seeded
+    synthetic networks sized to cover every blanket target index."""
+    explicit = dict(registrations)
+    from .datasets.sampling import forward_sample
+    from .networks.generators import random_network
+
+    for i, ds_id in enumerate(spec.datasets):
+        if ds_id in explicit:
+            server.register(ds_id, explicit.pop(ds_id))
+            continue
+        n_vars = max(8, spec.n_targets)
+        net = random_network(
+            n_vars,
+            n_vars + 2,
+            rng=spec.seed * 1009 + i,
+            arity_range=(2, 3),
+            max_parents=3,
+        )
+        server.register(ds_id, forward_sample(net, samples, rng=spec.seed * 1013 + i))
+    for ds_id, src in explicit.items():  # extra --register entries still land
+        server.register(ds_id, src)
+
+
+def _workload_summary(report, header: str) -> None:
+    lat = report.latency()
+    print(
+        f"{header}: {report.n_requests} requests in {report.wall_s:.3f}s "
+        f"({report.requests_per_s:.0f} req/s), {report.n_cached} cached, "
+        f"{report.n_errors} errors",
+        file=sys.stderr,
+    )
+    print(
+        f"latency ms: p50 {lat['p50_ms']:.2f} | p95 {lat['p95_ms']:.2f} | "
+        f"p99 {lat['p99_ms']:.2f} | max {lat['max_ms']:.2f}",
+        file=sys.stderr,
+    )
+    for tenant, t in report.per_tenant().items():
+        print(
+            f"  {tenant}: n {t['n']}, p50 {t['p50_ms']:.2f}, "
+            f"p95 {t['p95_ms']:.2f}, p99 {t['p99_ms']:.2f}",
+            file=sys.stderr,
+        )
+
+
+def _workload_replay(args: argparse.Namespace, trace) -> int:
+    import json
+
+    from .engine.workload import replay, replay_client
+
+    if args.connect:
+        from .engine.client import EngineClient
+
+        with EngineClient(args.connect) as client:
+            report = replay_client(client, trace, pace=args.pace)
+    else:
+        from .engine.server import EngineServer
+
+        server = EngineServer(
+            test=args.test,
+            alpha=args.alpha,
+            n_jobs=args.jobs,
+            backend=args.backend,
+            cache_bytes=args.cache_mb << 20,
+            use_shm=False if args.no_shm else None,
+            max_sessions=args.max_sessions,
+            store=args.store,
+            lane_weights=_parse_lane_weights(args.lane_weight),
+        )
+        with server:
+            _workload_register(
+                server, trace.spec, _parse_registrations(args.register), args.samples
+            )
+            report = replay(
+                server, trace, threads=args.threads, window=args.window, pace=args.pace
+            )
+    _workload_summary(report, "replay" if args.connect is None else f"replay via {args.connect}")
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as fh:
+            json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return 1 if report.n_requests != len(trace) else 0
+
+
+def _cmd_workload(args: argparse.Namespace) -> int:
+    from .engine.workload import generate_trace, load_trace, verify_trace
+
+    if args.workload_command == "record":
+        trace = generate_trace(_workload_spec(args))
+        trace.save(args.out)
+        print(f"recorded {len(trace)} requests to {args.out}", file=sys.stderr)
+        return 0
+    if args.workload_command == "verify":
+        fresh, message = verify_trace(args.trace)
+        print(message, file=sys.stderr)
+        return 0 if fresh else 1
+    if args.workload_command == "replay":
+        return _workload_replay(args, load_trace(args.trace))
+    if args.workload_command == "run":
+        trace = generate_trace(_workload_spec(args))
+        if args.out:
+            trace.save(args.out)
+        return _workload_replay(args, trace)
+    raise AssertionError("unreachable")
 
 
 def _cmd_blanket(args: argparse.Namespace) -> int:
@@ -730,6 +1015,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_batch(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "workload":
+        return _cmd_workload(args)
     if args.command == "blanket":
         return _cmd_blanket(args)
     if args.command == "experiment":

@@ -329,13 +329,24 @@ def _apply_transport_policy(export_fn, use_shm: bool | None):
     requires it (errors surface); ``False`` never exports.  Keeping the
     policy here stops the worker pools from growing divergent fallback
     rules.
+
+    Fault site ``"shm.export"`` fires before each attempt, so drills can
+    fake ``/dev/shm`` exhaustion and exercise both fallback and surfaced
+    failure through this exact policy.
     """
     if use_shm is False:
         return None
+
+    def _attempt():
+        from ..engine.faults import injector
+
+        injector.fire("shm.export")
+        return export_fn()
+
     if use_shm:
-        return export_fn()
+        return _attempt()
     try:
-        return export_fn()
+        return _attempt()
     except (OSError, PermissionError, ValueError):
         return None
 

@@ -28,7 +28,14 @@ This subsystem makes runs first-class, reusable objects:
   dispatcher (:meth:`EngineServer.serve_iter <.server.EngineServer.serve_iter>`)
   per connection with ordered responses, a bounded in-flight window and
   graceful drain on shutdown (the ``fastbns serve --listen`` CLI; see
-  :mod:`.transport`), plus the matching line-protocol client.
+  :mod:`.transport`), plus the matching line-protocol client;
+* :mod:`.workload` — deterministic seeded trace generation (zipf tenant
+  skew, bursty/poisson arrivals, mixed op profiles, error injection), a
+  JSONL golden-trace format, and the replay/latency harness reporting
+  p50/p95/p99 SLOs (the ``fastbns workload`` CLI);
+* :mod:`.faults` — named fault-injection sites and process-fault helpers
+  so the fault drills in ``tests/test_faults.py`` exercise production
+  error paths, not mocks.
 
 Resource lifecycle: a session is a context manager, and *everything* it
 owns rides its ``close()`` — the worker pool shuts down, and with it the
@@ -45,6 +52,7 @@ batch requests) engages the adaptive group scheduler
 
 from .batch import BatchRequest, BatchServer
 from .client import EngineClient
+from .faults import FaultInjector, injector
 from .fingerprint import dataset_fingerprint, request_fingerprint
 from .manifest import RunManifest, merge_totals, shutdown_doc
 from .server import DatasetSource, EngineServer, ParseFailure
@@ -52,6 +60,17 @@ from .session import LearningSession
 from .statscache import CachedTableBuilder, CacheStats, SufficientStatsCache
 from .store import EngineStore
 from .transport import EngineTransport
+from .workload import (
+    Trace,
+    WorkloadReport,
+    WorkloadSpec,
+    generate_trace,
+    load_trace,
+    replay,
+    replay_client,
+    summarize_latencies,
+    verify_trace,
+)
 
 __all__ = [
     "SufficientStatsCache",
@@ -71,4 +90,15 @@ __all__ = [
     "shutdown_doc",
     "dataset_fingerprint",
     "request_fingerprint",
+    "WorkloadSpec",
+    "Trace",
+    "WorkloadReport",
+    "generate_trace",
+    "load_trace",
+    "verify_trace",
+    "replay",
+    "replay_client",
+    "summarize_latencies",
+    "FaultInjector",
+    "injector",
 ]

@@ -23,6 +23,7 @@ client can audit what was recomputed.
 from __future__ import annotations
 
 import time
+from concurrent.futures import BrokenExecutor
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Mapping
 
@@ -242,7 +243,12 @@ class BatchServer:
                         self.store.put_result(
                             fp, self.session.fingerprint, req.op, payload
                         )
-        except (ValueError, KeyError, TypeError) as exc:
+        except (ValueError, KeyError, TypeError, OSError, BrokenExecutor) as exc:
+            # OSError: shm exhaustion / transport failures surfaced by a
+            # use_shm=True session.  BrokenExecutor: a pool worker died
+            # mid-compute (the session already dropped the pool so the
+            # next request respawns it).  Both become the same clean
+            # error response every other failure gets.
             self.n_errors += 1
             op = raw.get("op") if isinstance(raw, Mapping) else raw.op
             return {

@@ -15,12 +15,20 @@ was built for have first-class spellings:
 
 The convenience wrappers (:meth:`learn`, :meth:`blanket`,
 :meth:`register`, :meth:`stats`, :meth:`close_dataset`) are lockstep.
+
+Every send is timestamped and every recv records the send→recv latency
+of the response it completes (responses arrive in send order, so the
+pairing is exact even pipelined).  :attr:`latencies_s` keeps the most
+recent samples and :meth:`latency_summary` reports p50/p95/p99 — the
+client side of the workload layer's SLO harness.
 """
 
 from __future__ import annotations
 
 import json
 import socket
+import time
+from collections import deque
 
 from .transport import parse_address
 
@@ -51,6 +59,9 @@ class EngineClient:
         self._writer = self._sock.makefile("w", encoding="utf-8", newline="\n")
         self._pending = 0
         self._closed = False
+        self._sent_t: deque[float] = deque()
+        #: send→recv latency samples (seconds), most recent 65536.
+        self.latencies_s: deque[float] = deque(maxlen=65536)
 
     # ------------------------------------------------------------------ #
     # wire primitives
@@ -62,6 +73,7 @@ class EngineClient:
         self._writer.write(json.dumps(request) + "\n")
         self._writer.flush()
         self._pending += 1
+        self._sent_t.append(time.monotonic())
 
     def recv(self) -> dict:
         """Read the next response, in send order.
@@ -78,6 +90,8 @@ class EngineClient:
                 f"server closed the connection with {self._pending} response(s) pending"
             )
         self._pending -= 1
+        if self._sent_t:
+            self.latencies_s.append(time.monotonic() - self._sent_t.popleft())
         return json.loads(line)
 
     def request(self, request: dict) -> dict:
@@ -114,6 +128,15 @@ class EngineClient:
 
     def stats(self) -> dict:
         return self.request({"op": "stats"})
+
+    # ------------------------------------------------------------------ #
+    # latency
+    # ------------------------------------------------------------------ #
+    def latency_summary(self) -> dict:
+        """p50/p95/p99/max/mean (ms) over this client's send→recv samples."""
+        from .workload import summarize_latencies
+
+        return summarize_latencies(list(self.latencies_s))
 
     # ------------------------------------------------------------------ #
     # lifecycle

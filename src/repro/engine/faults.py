@@ -1,0 +1,131 @@
+"""Injectable failure hooks for fault drills.
+
+Production code calls :func:`injector.fire` at a handful of named fault
+sites (e.g. ``"shm.export"`` in the dataset transport policy).  In
+normal operation every site is disarmed and ``fire`` is a no-op costing
+one dict lookup.  Tests arm a site with an exception — optionally for a
+bounded number of firings — and drive the real code path: the drill
+exercises the production error handling, not a mock of it.
+
+The contract for every fault site:
+
+* firing raises inside the *request being served*, never inside the
+  dispatcher — the engine converts it to a uniform error response;
+* the stream keeps draining, manifests stay exact, and once the site is
+  disarmed the next request succeeds (recovery is part of the drill).
+
+Process-level faults (killing a pool worker) are genuine OS signals,
+not injections — helpers for those live here too so drills share one
+vocabulary.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+from contextlib import contextmanager
+
+__all__ = [
+    "FaultInjector",
+    "injector",
+    "shm_enospc",
+    "pool_worker_pids",
+    "kill_one_worker",
+]
+
+
+class FaultInjector:
+    """Registry of armed fault sites; thread-safe."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._armed: dict[str, dict] = {}
+
+    def arm(self, site: str, exc, *, times: int | None = 1) -> None:
+        """Arm ``site`` to raise ``exc`` on the next ``times`` firings.
+
+        ``exc`` is an exception instance or a zero-arg factory returning
+        one.  ``times=None`` keeps the site armed until :meth:`clear`.
+        """
+        if not isinstance(site, str) or not site:
+            raise ValueError(f"fault site must be a non-empty string, got {site!r}")
+        if times is not None and int(times) < 1:
+            raise ValueError(f"times must be >= 1 or None, got {times!r}")
+        with self._lock:
+            self._armed[site] = {
+                "exc": exc,
+                "left": None if times is None else int(times),
+            }
+
+    def fire(self, site: str) -> None:
+        """Raise at ``site`` if armed; no-op otherwise."""
+        with self._lock:
+            entry = self._armed.get(site)
+            if entry is None:
+                return
+            if entry["left"] is not None:
+                entry["left"] -= 1
+                if entry["left"] <= 0:
+                    del self._armed[site]
+            exc = entry["exc"]
+        raise exc() if callable(exc) else exc
+
+    def armed(self, site: str) -> bool:
+        with self._lock:
+            return site in self._armed
+
+    def clear(self, site: str | None = None) -> None:
+        """Disarm one site, or every site when ``site`` is None."""
+        with self._lock:
+            if site is None:
+                self._armed.clear()
+            else:
+                self._armed.pop(site, None)
+
+
+#: Process-wide injector all production fault sites consult.
+injector = FaultInjector()
+
+
+@contextmanager
+def shm_enospc(times: int | None = None):
+    """Arm the ``shm.export`` site with ENOSPC for the enclosed block.
+
+    Any shared-memory dataset export inside the block fails as if
+    ``/dev/shm`` were full.  Sessions with ``use_shm=None`` (auto) fall
+    back to pickled transport; ``use_shm=True`` surfaces the OSError as
+    a clean error response.  Always disarms on exit.
+    """
+
+    def _enospc() -> OSError:
+        return OSError(28, "No space left on device (fault-injected)")
+
+    injector.arm("shm.export", _enospc, times=times)
+    try:
+        yield injector
+    finally:
+        injector.clear("shm.export")
+
+
+def pool_worker_pids(session) -> list[int]:
+    """PIDs of a session's live process-pool workers ([] for threads)."""
+    pool = getattr(session, "_pool", None)
+    executor = getattr(pool, "_executor", None)
+    processes = getattr(executor, "_processes", None)
+    if not processes:
+        return []
+    return sorted(processes.keys())
+
+
+def kill_one_worker(session) -> int | None:
+    """SIGKILL one pool worker of ``session``; returns the PID or None.
+
+    The next parallel learn on the session observes a broken executor;
+    the engine must turn that into a clean error response and respawn
+    the pool on the request after."""
+    pids = pool_worker_pids(session)
+    if not pids:
+        return None
+    os.kill(pids[0], signal.SIGKILL)
+    return pids[0]

@@ -60,15 +60,30 @@ length), which is what lets the socket transport
 (:mod:`repro.engine.transport`) multiplex long-lived connections over
 one server.  :meth:`EngineServer.serve` is simply
 ``list(serve_iter(...))``.
+
+Fairness: with ``threads > 1`` ready lanes are picked by a
+deficit-round-robin scheduler (:class:`_LaneScheduler`) instead of
+greedily draining whichever lane got a thread first.  Every lane carries
+a weight (default 1.0, configurable per dataset id via ``lane_weights``
+/ :meth:`EngineServer.set_lane_weight`); each scheduler visit grants a
+lane ``weight`` units of credit and one unit buys one request, so over
+any contended interval a backlogged lane's service rate is proportional
+to its weight and a zipf-hot dataset cannot starve cold tenants: a
+ready lane is served at least once per ring rotation.  Per-lane
+serialisation (and therefore sequential-equivalent ordering and cache
+accounting) is preserved — a lane is never served by two workers at
+once.  Per-lane service counters surface through
+:meth:`EngineServer.lane_stats` (configured weights are in
+``stats()["dispatch"]["lane_weights"]``).
 """
 
 from __future__ import annotations
 
+import math
 import queue
 import threading
 import time
 from collections import OrderedDict, deque
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Mapping
 
@@ -234,15 +249,178 @@ class DatasetSource:
 
 
 class _Pending:
-    """One in-flight streamed request: raw input plus its completion latch."""
+    """One in-flight streamed request: raw input plus its completion latch.
 
-    __slots__ = ("raw", "response", "exc", "done")
+    Carries monotonic timestamps for the latency harness
+    (:mod:`repro.engine.workload`): ``t_in`` when intake pulled the
+    request, ``t_start`` when a worker picked it, ``t_done`` when its
+    response was ready.  The wire response schema never changes — the
+    timestamps travel through the optional ``timings`` list kwarg of
+    :meth:`EngineServer.serve_iter` instead.
+    """
+
+    __slots__ = ("raw", "response", "exc", "done", "lane", "t_in", "t_start", "t_done")
 
     def __init__(self, raw) -> None:
         self.raw = raw
         self.response: dict | None = None
         self.exc: BaseException | None = None
         self.done = threading.Event()
+        self.lane: str = ""
+        self.t_in = 0.0
+        self.t_start = 0.0
+        self.t_done = 0.0
+
+
+class _Lane:
+    """One dispatch lane's scheduling state (guarded by the scheduler lock)."""
+
+    __slots__ = ("key", "queue", "weight", "deficit", "busy", "in_ring", "visited")
+
+    def __init__(self, key: object, weight: float) -> None:
+        self.key = key
+        self.queue: deque = deque()
+        self.weight = float(weight)
+        self.deficit = 0.0
+        self.busy = False  # a worker is serving this lane right now
+        self.in_ring = False  # queued in the DRR ring
+        self.visited = False  # granted its quantum for the current ring visit
+
+
+class _LaneScheduler:
+    """Deficit-round-robin pick over ready dispatch lanes.
+
+    The dispatcher's fairness core: lanes enter a ring when they have
+    queued requests and no worker serving them; each visit of the ring
+    pointer grants the head lane ``weight`` units of credit, one unit
+    buys one request, and a lane with credit keeps the head so weights
+    above 1 serve bursts.  A lane without credit rotates away unserved —
+    which is what bounds how long a cold lane can wait: with total ready
+    weight ``W``, a lane of weight ``w`` gets at least ``~w/W`` of the
+    contended picks, and every ready lane is visited once per rotation.
+    A second, work-conserving pass ignores credit so a worker never
+    idles while any lane is ready (weights shape order under contention,
+    never throughput with capacity to spare).
+
+    Per-lane serialisation is preserved: a busy lane is skipped (its
+    banked credit intact), so per-session request order — and therefore
+    result-cache accounting — still matches the sequential run.
+    """
+
+    #: Banked credit is capped at this multiple of ``max(1, weight)`` so a
+    #: lane that stays ready but unpicked cannot hoard an unbounded burst.
+    DEFICIT_CAP = 4.0
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+        self._lanes: dict[object, _Lane] = {}
+        self._ring: deque = deque()  # lane keys in current visit order
+        self._n_queued = 0
+        self._closed = False
+
+    def push(self, key: object, pending: _Pending, weight: float = 1.0) -> None:
+        with self._ready:
+            if self._closed:
+                raise RuntimeError("scheduler is closed")
+            lane = self._lanes.get(key)
+            if lane is None:
+                lane = self._lanes[key] = _Lane(key, weight)
+            elif weight > lane.weight:
+                # Ids aliasing one fingerprint share a lane; the lane
+                # serves at the strongest weight any of them configured.
+                lane.weight = float(weight)
+            lane.queue.append(pending)
+            self._n_queued += 1
+            if not lane.in_ring and not lane.busy:
+                self._ring.append(key)
+                lane.in_ring = True
+                lane.visited = False
+            self._ready.notify()
+
+    def take(self) -> tuple[object, _Pending] | None:
+        """Block for the next ``(lane key, request)``; ``None`` once
+        closed *and* every queued request has been handed out."""
+        with self._ready:
+            while True:
+                picked = self._pick()
+                if picked is not None:
+                    self._n_queued -= 1
+                    return picked
+                if self._closed and self._n_queued == 0:
+                    self._ready.notify()  # chain the exit wakeup to peers
+                    return None
+                # Timeout is lost-wakeup insurance, not a scheduling tick.
+                self._ready.wait(0.2)
+
+    def release(self, key: object) -> None:
+        """A worker finished serving one request on ``key``'s lane."""
+        with self._ready:
+            lane = self._lanes[key]
+            lane.busy = False
+            if lane.queue:
+                if not lane.in_ring:
+                    self._ring.append(key)
+                    lane.in_ring = True
+                    lane.visited = False
+            else:
+                lane.deficit = 0.0  # no banking while idle (classic DRR)
+            self._ready.notify()
+
+    def close(self) -> None:
+        """No more pushes; workers drain queued requests, then exit."""
+        with self._ready:
+            self._closed = True
+            self._ready.notify_all()
+
+    def _pick(self) -> tuple[object, _Pending] | None:
+        ring, lanes = self._ring, self._lanes
+        # DRR pass: arriving at the head grants its quantum; credit >= 1
+        # serves one request and keeps the head, otherwise rotate.
+        for _ in range(len(ring)):
+            if not ring:
+                break
+            lane = lanes[ring[0]]
+            if not lane.queue:
+                ring.popleft()
+                lane.in_ring = False
+                lane.visited = False
+                lane.deficit = 0.0
+                continue
+            if lane.busy:
+                # Per-lane serialisation: skip, credit intact.
+                lane.visited = False
+                ring.rotate(-1)
+                continue
+            if not lane.visited:
+                lane.visited = True
+                cap = self.DEFICIT_CAP * max(1.0, lane.weight)
+                lane.deficit = min(cap, lane.deficit + lane.weight)
+            if lane.deficit >= 1.0:
+                lane.deficit -= 1.0
+                return self._serve(lane)
+            lane.visited = False
+            ring.rotate(-1)
+        # Work-conserving pass: no lane had credit (sub-unit weights all
+        # round) — serve the first ready lane anyway rather than idle.
+        for _ in range(len(ring)):
+            lane = lanes[ring[0]]
+            if lane.busy or not lane.queue:
+                ring.rotate(-1)
+                continue
+            return self._serve(lane)
+        return None
+
+    def _serve(self, lane: _Lane) -> tuple[object, _Pending]:
+        # Only ever called with `lane` at the ring head.
+        lane.busy = True
+        pending = lane.queue.popleft()
+        if not lane.queue:
+            self._ring.popleft()
+            lane.in_ring = False
+            lane.visited = False
+            lane.deficit = 0.0
+        return lane.key, pending
 
 
 class _SessionSlot:
@@ -283,6 +461,11 @@ class EngineServer:
         ``--register`` flags and in-stream ``register`` ops resolve
         against the *same* defaults, so the two registration routes
         materialise identical datasets for identical specs.
+    lane_weights:
+        Optional ``dataset id -> weight`` mapping for the weighted-fair
+        dispatcher (see :meth:`set_lane_weight`): a lane's service rate
+        under contention is proportional to its weight.  Unlisted ids
+        weigh 1.0.
     store:
         Optional durable :class:`~repro.engine.store.EngineStore` (or a
         path, which the server then owns and closes).  One store is
@@ -310,6 +493,7 @@ class EngineServer:
         default_seed: int = 0,
         default_scale: float | None = None,
         store: EngineStore | str | None = None,
+        lane_weights: Mapping[str, float] | None = None,
     ) -> None:
         if max_sessions < 1:
             raise ValueError("max_sessions must be >= 1")
@@ -349,6 +533,11 @@ class EngineServer:
         self.n_spinups = 0
         self.n_evictions = 0
         self.n_peak_inflight = 0
+        self._lane_weights: dict[str, float] = {}
+        self._lane_stats: dict[str, dict] = {}
+        if lane_weights:
+            for ds_id, weight in lane_weights.items():
+                self.set_lane_weight(ds_id, weight)
         self._closed = False
         if int(n_jobs) > 1 and backend == "process":
             # Dispatcher threads fork worker pools lazily; pre-importing
@@ -697,12 +886,62 @@ class EngineServer:
     def _is_admin(raw) -> bool:
         return isinstance(raw, Mapping) and raw.get("op") in ADMIN_OPS
 
+    # ------------------------------------------------------------------ #
+    # weighted-fair lanes
+    # ------------------------------------------------------------------ #
+    def set_lane_weight(self, dataset_id: str, weight: float) -> None:
+        """Weight the dispatch lane of requests routed via ``dataset_id``.
+
+        Weights are relative: under contention a backlogged lane's
+        service rate is proportional to its weight (default 1.0 for ids
+        never configured).  When several ids alias one dataset
+        fingerprint — and therefore one lane — the lane serves at the
+        strongest weight among them.  Takes effect for requests
+        dispatched after the call; never changes any response payload,
+        only the order concurrent lanes are served in.
+        """
+        if not isinstance(dataset_id, str) or not dataset_id:
+            raise ValueError(f"dataset id must be a non-empty string, got {dataset_id!r}")
+        w = float(weight)
+        if not math.isfinite(w) or w <= 0:
+            raise ValueError(f"lane weight must be a positive finite number, got {weight!r}")
+        with self._registry:
+            self._lane_weights[dataset_id] = w
+
+    def _request_weight(self, raw) -> float:
+        if not isinstance(raw, Mapping):
+            return 1.0
+        dataset_id = raw.get("dataset", self.default_dataset)
+        if not isinstance(dataset_id, str):
+            return 1.0
+        with self._registry:
+            return self._lane_weights.get(dataset_id, 1.0)
+
+    @staticmethod
+    def _lane_label(key: object) -> str:
+        """Human/JSON-facing name of a lane key (fingerprints as-is)."""
+        if key is None:
+            return "malformed"
+        if isinstance(key, tuple):
+            return f"unresolved:{key[1]}"
+        return str(key)
+
+    def _note_lane_served(self, pending: "_Pending") -> None:
+        with self._misc:
+            rec = self._lane_stats.setdefault(
+                pending.lane, {"n_served": 0, "wait_s": 0.0, "busy_s": 0.0}
+            )
+            rec["n_served"] += 1
+            rec["wait_s"] += max(0.0, pending.t_start - pending.t_in)
+            rec["busy_s"] += max(0.0, pending.t_done - pending.t_start)
+
     def serve_iter(
         self,
         requests: Iterable,
         *,
         threads: int = 1,
         window: int = DEFAULT_WINDOW,
+        timings: list | None = None,
     ) -> Iterator[dict]:
         """Serve a request stream incrementally; responses in input order.
 
@@ -711,11 +950,14 @@ class EngineServer:
         dispatched but not yet yielded, so memory is bounded by the
         window (not the stream length) and a lockstep producer that
         waits on response *i* before sending request *i+1* always makes
-        progress.  ``threads > 1`` runs lanes concurrently, one lane per
-        resolved dataset content fingerprint: per-session request order
-        (and result-cache behaviour) matches the sequential run exactly,
-        while different sessions overlap.  Admin ops are stream barriers
-        — everything dispatched before them completes first.
+        progress.  ``threads > 1`` runs that many persistent workers
+        picking (lane, request) pairs from the weighted-fair
+        :class:`_LaneScheduler` — one lane per resolved dataset content
+        fingerprint: per-session request order (and result-cache
+        behaviour) matches the sequential run exactly, different
+        sessions overlap, and no backlogged lane can monopolise the
+        workers past its weight share.  Admin ops are stream barriers —
+        everything dispatched before them completes first.
 
         Responses are byte-identical to the sequential ``threads=1``
         run over the same stream whenever no session is evicted mid
@@ -723,12 +965,40 @@ class EngineServer:
         (``cached=False``) where the sequential run would have hit, with
         payloads identical either way.
 
+        ``timings``, when given, is a caller-owned list that receives one
+        record per yielded response (same order as the responses):
+        ``{"lane", "t_in", "t_start", "t_done", "t_yield"}`` with
+        ``time.monotonic()`` stamps at intake, worker pick, completion
+        and yield.  The wire schema is untouched — this is the latency
+        harness's side channel (:mod:`repro.engine.workload`).
+
         ``threads <= 1`` degenerates to a strict request-by-request
         loop: no intake thread, no reordering, peak in-flight of one.
         """
         if threads <= 1:
             for raw in requests:
-                yield self.handle(raw)
+                t_in = time.monotonic()
+                resp = self.handle(raw)
+                if timings is not None:
+                    t_done = time.monotonic()
+                    if self._is_admin(raw):
+                        label = "admin"
+                    elif isinstance(raw, Mapping) and isinstance(
+                        raw.get("dataset", self.default_dataset), str
+                    ):
+                        label = raw.get("dataset", self.default_dataset)
+                    else:
+                        label = "malformed"
+                    timings.append(
+                        {
+                            "lane": label,
+                            "t_in": t_in,
+                            "t_start": t_in,
+                            "t_done": t_done,
+                            "t_yield": t_done,
+                        }
+                    )
+                yield resp
             return
 
         window = max(1, int(window))
@@ -740,119 +1010,143 @@ class EngineServer:
         # can never return while a registry mutation is mid-flight (the
         # caller may write the manifest immediately after).
         admin_guard = threading.Lock()
-        lanes: dict[object, deque] = {}
-        active_lanes: set = set()
-        lane_lock = threading.Lock()
-        live = [0]  # dispatched-but-not-yet-yielded, guarded by lane_lock
+        sched = _LaneScheduler()
+        live_lock = threading.Lock()
+        live = [0]  # dispatched-but-not-yet-yielded, guarded by live_lock
         _END, _FAIL = object(), object()
 
-        def run_lane(key: object) -> None:
-            lane = lanes[key]
+        def worker() -> None:
             while True:
-                with lane_lock:
-                    if not lane:
-                        active_lanes.discard(key)
-                        return
-                    pending = lane.popleft()
+                item = sched.take()
+                if item is None:
+                    return
+                key, pending = item
+                pending.t_start = time.monotonic()
                 try:
                     pending.response = self.handle(pending.raw)
                 except BaseException as exc:  # surfaced at yield, in order
                     pending.exc = exc
                 finally:
+                    pending.t_done = time.monotonic()
                     pending.done.set()
+                    self._note_lane_served(pending)
+                    sched.release(key)
 
-        with ThreadPoolExecutor(max_workers=threads) as pool:
+        workers = [
+            threading.Thread(target=worker, name=f"engine-serve-worker-{i}", daemon=True)
+            for i in range(threads)
+        ]
+        for w in workers:
+            w.start()
 
-            def dispatch(pending: "_Pending") -> None:
-                key = self._lane_key(pending.raw)
-                with lane_lock:
-                    lanes.setdefault(key, deque()).append(pending)
-                    if key not in active_lanes:
-                        active_lanes.add(key)
-                        pool.submit(run_lane, key)
+        def dispatch(pending: "_Pending") -> None:
+            key = self._lane_key(pending.raw)
+            pending.lane = self._lane_label(key)
+            sched.push(key, pending, weight=self._request_weight(pending.raw))
 
-            def intake() -> None:
-                inflight: list[_Pending] = []
-                n_inflight = 0
-                try:
-                    for raw in requests:
-                        # The permit is taken *before* the item counts as
-                        # buffered, so dispatched-but-unyielded requests
-                        # never exceed the window.
-                        permits.acquire()
-                        if stop.is_set():
-                            permits.release()
-                            return
-                        with lane_lock:
-                            live[0] += 1
-                            n_inflight = max(n_inflight, live[0])
-                        pending = _Pending(raw)
-                        if self._is_admin(raw):
-                            # Barrier: every prior request completes
-                            # (not necessarily yields) before the op.
-                            for prior in inflight:
-                                prior.done.wait()
-                            inflight.clear()
-                            with admin_guard:
-                                # Re-check under the guard: once the
-                                # consumer observed `stop` and took the
-                                # guard, no new mutation may start.
-                                if stop.is_set():
-                                    permits.release()
-                                    return
-                                try:
-                                    pending.response = self.handle(raw)
-                                except BaseException as exc:
-                                    pending.exc = exc
-                            pending.done.set()
-                        else:
-                            dispatch(pending)
-                            inflight.append(pending)
-                            if len(inflight) > window:
-                                # Completed prefixes leave the barrier set
-                                # as the consumer drains them.
-                                inflight = [
-                                    p for p in inflight if not p.done.is_set()
-                                ]
-                        order_q.put(pending)
-                except BaseException as exc:  # broken request iterator
-                    order_q.put((_FAIL, exc))
-                    return
-                finally:
-                    with self._misc:
-                        self.n_peak_inflight = max(self.n_peak_inflight, n_inflight)
-                order_q.put(_END)
-
-            intake_thread = threading.Thread(
-                target=intake, name="engine-serve-intake", daemon=True
-            )
-            intake_thread.start()
+        def intake() -> None:
+            inflight: list[_Pending] = []
+            n_inflight = 0
             try:
-                while True:
-                    item = order_q.get()
-                    if item is _END:
+                for raw in requests:
+                    # The permit is taken *before* the item counts as
+                    # buffered, so dispatched-but-unyielded requests
+                    # never exceed the window.
+                    permits.acquire()
+                    if stop.is_set():
+                        permits.release()
                         return
-                    if isinstance(item, tuple) and item[0] is _FAIL:
-                        raise item[1]
-                    item.done.wait()
-                    with lane_lock:
-                        live[0] -= 1
-                    permits.release()
-                    if item.exc is not None:
-                        raise item.exc
-                    yield item.response
+                    with live_lock:
+                        live[0] += 1
+                        n_inflight = max(n_inflight, live[0])
+                    pending = _Pending(raw)
+                    pending.t_in = time.monotonic()
+                    if self._is_admin(raw):
+                        # Barrier: every prior request completes
+                        # (not necessarily yields) before the op.
+                        for prior in inflight:
+                            prior.done.wait()
+                        inflight.clear()
+                        with admin_guard:
+                            # Re-check under the guard: once the
+                            # consumer observed `stop` and took the
+                            # guard, no new mutation may start.
+                            if stop.is_set():
+                                permits.release()
+                                return
+                            pending.lane = "admin"
+                            pending.t_start = time.monotonic()
+                            try:
+                                pending.response = self.handle(raw)
+                            except BaseException as exc:
+                                pending.exc = exc
+                        pending.t_done = time.monotonic()
+                        pending.done.set()
+                        self._note_lane_served(pending)
+                    else:
+                        dispatch(pending)
+                        inflight.append(pending)
+                        if len(inflight) > window:
+                            # Completed prefixes leave the barrier set
+                            # as the consumer drains them.
+                            inflight = [
+                                p for p in inflight if not p.done.is_set()
+                            ]
+                    order_q.put(pending)
+            except BaseException as exc:  # broken request iterator
+                order_q.put((_FAIL, exc))
+                return
             finally:
-                # Early exit (consumer gone, error, interrupt): stop
-                # intake, free it if it is blocked on a permit, wait out
-                # any admin mutation it is executing, and let the pool
-                # context drain every dispatched lane item.
-                stop.set()
-                try:
-                    permits.release()
-                except ValueError:
-                    pass
-                with admin_guard:
-                    pass
+                with self._misc:
+                    self.n_peak_inflight = max(self.n_peak_inflight, n_inflight)
+            order_q.put(_END)
+
+        intake_thread = threading.Thread(
+            target=intake, name="engine-serve-intake", daemon=True
+        )
+        intake_thread.start()
+        try:
+            while True:
+                item = order_q.get()
+                if item is _END:
+                    return
+                if isinstance(item, tuple) and item[0] is _FAIL:
+                    raise item[1]
+                item.done.wait()
+                with live_lock:
+                    live[0] -= 1
+                permits.release()
+                if item.exc is not None:
+                    raise item.exc
+                if timings is not None:
+                    timings.append(
+                        {
+                            "lane": item.lane,
+                            "t_in": item.t_in,
+                            "t_start": item.t_start,
+                            "t_done": item.t_done,
+                            "t_yield": time.monotonic(),
+                        }
+                    )
+                yield item.response
+        finally:
+            # Early exit (consumer gone, error, interrupt) and normal
+            # completion share one wind-down: stop intake, free it if it
+            # is blocked on a permit, wait out any admin mutation it is
+            # executing, then close the scheduler — workers drain every
+            # dispatched request (the manifest accounts for all of them)
+            # and exit.  A dispatch racing the close lands in `push`'s
+            # closed check, which intake surfaces as a no-op exit.
+            stop.set()
+            try:
+                permits.release()
+            except ValueError:
+                pass
+            with admin_guard:
+                pass
+            sched.close()
+            for w in workers:
+                w.join()
 
     def serve(
         self,
@@ -860,17 +1154,35 @@ class EngineServer:
         *,
         threads: int = 1,
         window: int = DEFAULT_WINDOW,
+        timings: list | None = None,
     ) -> list[dict]:
         """Serve a whole request stream; responses in input order.
 
         Materialising convenience over :meth:`serve_iter` (identical
         responses — the streaming path is the only dispatcher).
         """
-        return list(self.serve_iter(requests, threads=threads, window=window))
+        return list(
+            self.serve_iter(requests, threads=threads, window=window, timings=timings)
+        )
 
     # ------------------------------------------------------------------ #
     # introspection & manifest
     # ------------------------------------------------------------------ #
+    def lane_stats(self) -> dict[str, dict]:
+        """Per-lane dispatch counters accumulated across streamed serves.
+
+        ``lane label -> {n_served, wait_s, busy_s}`` where the label is
+        the resolved dataset fingerprint (or ``unresolved:<id>`` /
+        ``malformed``), ``wait_s`` sums queue time (intake to worker
+        pick) and ``busy_s`` sums service time.  Kept out of
+        :meth:`stats` — and therefore out of the in-stream ``stats``
+        admin op — because the wall-clock sums are nondeterministic,
+        and protocol responses must stay byte-identical to the
+        sequential run's.
+        """
+        with self._misc:
+            return {label: dict(rec) for label, rec in self._lane_stats.items()}
+
     def stats(self) -> dict:
         """JSON-able snapshot of the whole server."""
         manifest = self.manifest()
@@ -889,6 +1201,8 @@ class EngineServer:
                 "n_requests": self.n_requests,
                 "n_admin": self.n_admin,
             }
+        with self._registry:
+            lane_weights = dict(self._lane_weights)
         return {
             **counters,
             "sessions": {
@@ -897,7 +1211,10 @@ class EngineServer:
                 "spinups": self.n_spinups,
                 "evictions": self.n_evictions,
             },
-            "dispatch": {"peak_inflight": self.n_peak_inflight},
+            "dispatch": {
+                "peak_inflight": self.n_peak_inflight,
+                "lane_weights": lane_weights,
+            },
             "datasets": self.datasets(),
             "totals": manifest["totals"],
             "per_session": per_session,

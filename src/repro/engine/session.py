@@ -314,18 +314,32 @@ class LearningSession:
             skeleton, sepsets, stats = restored
             self.n_skeleton_loads += 1
         elif self.n_jobs > 1 and (test is None or test == self.test):
+            from concurrent.futures import BrokenExecutor
+
             from ..parallel.ci_level import ci_level_skeleton
 
             pool = self._ensure_pool()
-            skeleton, sepsets, stats = ci_level_skeleton(
-                pool,
-                n_nodes,
-                gs=gs,
-                group_endpoints=True,
-                max_depth=max_depth,
-                n_samples=self.dataset.n_samples,
-                alpha_override=None if alpha == pool.alpha else alpha,
-            )
+            try:
+                skeleton, sepsets, stats = ci_level_skeleton(
+                    pool,
+                    n_nodes,
+                    gs=gs,
+                    group_endpoints=True,
+                    max_depth=max_depth,
+                    n_samples=self.dataset.n_samples,
+                    alpha_override=None if alpha == pool.alpha else alpha,
+                )
+            except BrokenExecutor:
+                # A worker died mid-learn (killed, OOM).  Drop the pool —
+                # shutdown unlinks its shm plane — so the next learn
+                # respawns a fresh one, and let the error surface as this
+                # request's clean failure.
+                self._pool = None
+                try:
+                    pool.shutdown()
+                except Exception:
+                    pass
+                raise
         else:
             from ..parallel.adaptive import resolve_fixed_gs
 

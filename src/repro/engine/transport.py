@@ -37,6 +37,7 @@ import os
 import socket
 import threading
 import time
+from collections import deque
 from typing import Iterator
 
 from .server import DEFAULT_WINDOW, EngineServer, ParseFailure
@@ -166,8 +167,9 @@ class _Connection:
     def run(self) -> None:
         t = self.transport
         stream = _LineStream(self.sock, t._draining_conns)
+        timings: list[dict] = []
         gen = t.engine.serve_iter(
-            self._requests(stream), threads=t.threads, window=t.window
+            self._requests(stream), threads=t.threads, window=t.window, timings=timings
         )
         try:
             for resp in gen:
@@ -181,6 +183,7 @@ class _Connection:
         finally:
             gen.close()
             self._close_cleanly()
+            t._note_latencies(timings)
             t._connection_done(self)
 
     #: How long a drain waits for a client that stopped reading before
@@ -303,6 +306,9 @@ class EngineTransport:
         self._drained = threading.Event()
         self.n_connections = 0
         self.n_responses = 0
+        # Server-side completion latencies (t_done - t_in, seconds) over
+        # all finished connections — bounded, most recent samples win.
+        self._latencies_s: deque[float] = deque(maxlen=65536)
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -357,6 +363,20 @@ class EngineTransport:
         with self._lock:
             self._connections.discard(conn)
             self.n_responses += conn.n_responses
+
+    def _note_latencies(self, timings: list[dict]) -> None:
+        with self._lock:
+            for t in timings:
+                self._latencies_s.append(t["t_done"] - t["t_in"])
+
+    def latency_summary(self) -> dict:
+        """p50/p95/p99/max/mean (ms) of server-side completion latency
+        (intake to worker finish) over finished connections."""
+        from .workload import summarize_latencies
+
+        with self._lock:
+            samples = list(self._latencies_s)
+        return summarize_latencies(samples)
 
     def wait(self, timeout: float | None = None) -> bool:
         """Block until :meth:`shutdown` completes (signal-interruptible)."""

@@ -1,0 +1,514 @@
+"""Trace-replay workload layer: realistic traffic for the engine server.
+
+Every bench before this module drove the dispatcher with a tiny fixed
+stream, so nothing demonstrated the ROADMAP's north star — heavy,
+skewed, bursty traffic from many tenants.  This module makes traffic a
+first-class, *reproducible* artifact:
+
+* :class:`WorkloadSpec` + :func:`generate_trace` — a deterministic,
+  seeded trace generator: zipf-skewed dataset popularity (rank 1 is the
+  hot tenant), poisson / bursty / uniform arrival schedules, a mixed
+  learn / relearn / blanket / admin op profile, and a configurable
+  error-injection rate (bad parameters, unknown datasets, missing
+  fields — the malformed traffic a real fleet sees).  The same seed
+  always produces the byte-identical trace.
+* :class:`Trace` — a JSONL file format (header line with the embedded
+  spec, then one record per request) with canonical serialisation, so
+  a committed trace is a regression-stable golden file:
+  :func:`verify_trace` regenerates from the header and byte-compares.
+* :func:`replay` — the latency harness over
+  :meth:`~repro.engine.server.EngineServer.serve_iter`: each request is
+  timestamped at intake and completion (via the dispatcher's ``timings``
+  side channel — the wire schema is untouched) and the
+  :class:`WorkloadReport` summarises p50/p95/p99/max latency and
+  throughput, overall and per tenant, ready for ``BENCH_workload.json``.
+* :func:`replay_client` — the same harness through an
+  :class:`~repro.engine.client.EngineClient` socket connection, using
+  the client's send→recv latency samples.
+
+Replaying a trace never changes any answer: the trace is just a request
+stream, and every serving layer below is exact — so two PRs replaying
+one committed trace are comparing identical work.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Mapping, Sequence
+
+from .server import DEFAULT_WINDOW, EngineServer
+
+__all__ = [
+    "WorkloadSpec",
+    "Trace",
+    "TraceRecord",
+    "WorkloadReport",
+    "generate_trace",
+    "load_trace",
+    "verify_trace",
+    "replay",
+    "replay_client",
+    "percentile",
+    "summarize_latencies",
+    "TRACE_KIND",
+    "TRACE_VERSION",
+]
+
+TRACE_KIND = "fastbns-workload-trace"
+TRACE_VERSION = 1
+
+_ARRIVALS = ("poisson", "bursty", "uniform")
+_OPS = ("learn", "relearn", "blanket", "admin")
+
+
+def _canon(obj) -> str:
+    """Canonical JSON: sorted keys, no whitespace — the byte-identity
+    contract of the trace format."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+# --------------------------------------------------------------------- #
+# spec
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Everything that determines a trace, embedded in its header.
+
+    ``datasets`` are tenant ids in popularity order — the first is the
+    zipf-hottest.  ``mix`` weights the four op kinds (``relearn``
+    re-emits an earlier learn request of the same tenant verbatim, i.e.
+    guaranteed result-cache traffic; ``admin`` emits ``stats`` barriers).
+    ``error_rate`` is the probability a request is replaced by a
+    deterministic bad variant (invalid ``gs``, unknown dataset, missing
+    ``target``).  ``n_targets`` bounds blanket target indices — keep it
+    at most the smallest replayed dataset's variable count.
+    """
+
+    n_requests: int = 500
+    datasets: tuple[str, ...] = ("d0", "d1", "d2", "d3")
+    seed: int = 0
+    zipf_s: float = 1.1
+    arrival: str = "poisson"
+    rate: float = 200.0  # mean requests/s of the arrival schedule
+    burst: int = 16  # requests per burst ("bursty" arrivals)
+    mix: tuple[tuple[str, float], ...] = (
+        ("learn", 0.45),
+        ("relearn", 0.25),
+        ("blanket", 0.25),
+        ("admin", 0.05),
+    )
+    error_rate: float = 0.0
+    alphas: tuple[float, ...] = (0.05, 0.01, 0.02)
+    max_depth: int | None = 1
+    n_targets: int = 8
+
+    def __post_init__(self) -> None:
+        if int(self.n_requests) < 1:
+            raise ValueError(f"n_requests must be >= 1, got {self.n_requests}")
+        if not self.datasets:
+            raise ValueError("spec needs at least one dataset id")
+        if self.arrival not in _ARRIVALS:
+            raise ValueError(f"arrival must be one of {_ARRIVALS}, got {self.arrival!r}")
+        if not (self.rate > 0 and math.isfinite(self.rate)):
+            raise ValueError(f"rate must be a positive finite number, got {self.rate!r}")
+        if int(self.burst) < 1:
+            raise ValueError(f"burst must be >= 1, got {self.burst}")
+        if not 0.0 <= float(self.error_rate) <= 1.0:
+            raise ValueError(f"error_rate must be in [0, 1], got {self.error_rate!r}")
+        # Canonical (sorted) order: generation consumes the mix in tuple
+        # order, so the order must be a function of the *contents* or a
+        # round-tripped spec would regenerate a different trace.
+        mix = tuple(sorted((str(k), float(v)) for k, v in self.mix))
+        if any(k not in _OPS for k, _ in mix) or len({k for k, _ in mix}) != len(mix):
+            raise ValueError(f"mix keys must be distinct and from {_OPS}, got {mix!r}")
+        if any(v < 0 for _, v in mix) or not sum(v for _, v in mix) > 0:
+            raise ValueError("mix weights must be non-negative with a positive sum")
+        if not self.alphas:
+            raise ValueError("spec needs at least one alpha")
+        if int(self.n_targets) < 1:
+            raise ValueError(f"n_targets must be >= 1, got {self.n_targets}")
+        object.__setattr__(self, "n_requests", int(self.n_requests))
+        object.__setattr__(self, "datasets", tuple(str(d) for d in self.datasets))
+        object.__setattr__(self, "seed", int(self.seed))
+        object.__setattr__(self, "zipf_s", float(self.zipf_s))
+        object.__setattr__(self, "rate", float(self.rate))
+        object.__setattr__(self, "burst", int(self.burst))
+        object.__setattr__(self, "mix", mix)
+        object.__setattr__(self, "error_rate", float(self.error_rate))
+        object.__setattr__(self, "alphas", tuple(float(a) for a in self.alphas))
+        object.__setattr__(
+            self,
+            "max_depth",
+            None if self.max_depth is None else int(self.max_depth),
+        )
+        object.__setattr__(self, "n_targets", int(self.n_targets))
+
+    def to_dict(self) -> dict:
+        return {
+            "n_requests": self.n_requests,
+            "datasets": list(self.datasets),
+            "seed": self.seed,
+            "zipf_s": self.zipf_s,
+            "arrival": self.arrival,
+            "rate": self.rate,
+            "burst": self.burst,
+            "mix": {k: v for k, v in self.mix},
+            "error_rate": self.error_rate,
+            "alphas": list(self.alphas),
+            "max_depth": self.max_depth,
+            "n_targets": self.n_targets,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping) -> "WorkloadSpec":
+        d = dict(d)
+        mix = d.pop("mix", None)
+        kwargs = {
+            key: d.pop(key)
+            for key in (
+                "n_requests", "datasets", "seed", "zipf_s", "arrival", "rate",
+                "burst", "error_rate", "alphas", "max_depth", "n_targets",
+            )
+            if key in d
+        }
+        if d:
+            raise ValueError(f"unknown workload spec fields: {sorted(d)}")
+        if "datasets" in kwargs:
+            kwargs["datasets"] = tuple(kwargs["datasets"])
+        if "alphas" in kwargs:
+            kwargs["alphas"] = tuple(kwargs["alphas"])
+        if mix is not None:
+            kwargs["mix"] = tuple(dict(mix).items())
+        return cls(**kwargs)
+
+
+# --------------------------------------------------------------------- #
+# trace
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class TraceRecord:
+    """One request of a trace: arrival offset, tenant, request object."""
+
+    index: int
+    at_s: float
+    tenant: str
+    request: dict
+
+    def to_line(self) -> str:
+        return _canon(
+            {"i": self.index, "at_s": self.at_s, "tenant": self.tenant, "request": self.request}
+        )
+
+
+@dataclass(frozen=True)
+class Trace:
+    """A materialised workload: spec header plus its request records."""
+
+    spec: WorkloadSpec
+    records: tuple[TraceRecord, ...] = field(default_factory=tuple)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def requests(self) -> Iterator[dict]:
+        for rec in self.records:
+            yield rec.request
+
+    def header(self) -> dict:
+        return {
+            "kind": TRACE_KIND,
+            "version": TRACE_VERSION,
+            "n_requests": len(self.records),
+            "spec": self.spec.to_dict(),
+        }
+
+    def dumps(self) -> str:
+        lines = [_canon(self.header())]
+        lines.extend(rec.to_line() for rec in self.records)
+        return "\n".join(lines) + "\n"
+
+    def save(self, path) -> None:
+        Path(path).write_text(self.dumps(), encoding="utf-8")
+
+    @classmethod
+    def loads(cls, text: str) -> "Trace":
+        lines = [line for line in text.splitlines() if line.strip()]
+        if not lines:
+            raise ValueError("empty trace")
+        header = json.loads(lines[0])
+        if not isinstance(header, dict) or header.get("kind") != TRACE_KIND:
+            raise ValueError(f"not a {TRACE_KIND} file (bad header line)")
+        if header.get("version") != TRACE_VERSION:
+            raise ValueError(
+                f"trace version {header.get('version')!r} unsupported "
+                f"(this build reads version {TRACE_VERSION})"
+            )
+        spec = WorkloadSpec.from_dict(header.get("spec", {}))
+        records = []
+        for i, line in enumerate(lines[1:]):
+            d = json.loads(line)
+            records.append(
+                TraceRecord(
+                    index=int(d["i"]),
+                    at_s=float(d["at_s"]),
+                    tenant=str(d["tenant"]),
+                    request=dict(d["request"]),
+                )
+            )
+            if records[-1].index != i:
+                raise ValueError(f"trace records out of order at line {i + 2}")
+        if header.get("n_requests") != len(records):
+            raise ValueError(
+                f"header claims {header.get('n_requests')} records, file has {len(records)}"
+            )
+        return cls(spec=spec, records=tuple(records))
+
+
+def load_trace(path) -> Trace:
+    return Trace.loads(Path(path).read_text(encoding="utf-8"))
+
+
+def verify_trace(path) -> tuple[bool, str]:
+    """Golden-file freshness: regenerate from the embedded spec and
+    byte-compare.  Returns ``(fresh, message)``."""
+    text = Path(path).read_text(encoding="utf-8")
+    trace = Trace.loads(text)
+    regenerated = generate_trace(trace.spec).dumps()
+    if regenerated == text:
+        return True, f"trace is fresh ({len(trace)} requests, seed {trace.spec.seed})"
+    return False, (
+        "trace file does not match its embedded spec — regenerate it with "
+        "`fastbns workload record` (generator or spec changed since it was committed)"
+    )
+
+
+# --------------------------------------------------------------------- #
+# generation
+# --------------------------------------------------------------------- #
+def _zipf_weights(n: int, s: float) -> list[float]:
+    return [1.0 / ((rank + 1) ** s) for rank in range(n)]
+
+
+def generate_trace(spec: WorkloadSpec) -> Trace:
+    """Deterministically expand a spec into its trace.
+
+    One ``random.Random(seed)`` stream drives every choice in a fixed
+    order and arrival offsets are rounded to microseconds, so the same
+    spec always serialises to the same bytes (the property
+    :func:`verify_trace` and the committed golden trace rely on).
+    """
+    rng = random.Random(spec.seed)
+    tenants = list(spec.datasets)
+    tenant_w = _zipf_weights(len(tenants), spec.zipf_s)
+    ops = [k for k, _ in spec.mix]
+    op_w = [w for _, w in spec.mix]
+    last_learn: dict[str, dict] = {}
+    records: list[TraceRecord] = []
+    t = 0.0
+    for i in range(spec.n_requests):
+        if spec.arrival == "uniform":
+            gap = 1.0 / spec.rate
+        elif spec.arrival == "poisson":
+            gap = rng.expovariate(spec.rate)
+        else:  # bursty: whole bursts arrive at once, at the same mean rate
+            gap = 0.0 if i % spec.burst else rng.expovariate(spec.rate / spec.burst)
+        t = round(t + gap, 6)
+        tenant = rng.choices(tenants, weights=tenant_w)[0]
+        op = rng.choices(ops, weights=op_w)[0]
+        inject = rng.random() < spec.error_rate
+        alpha = rng.choice(spec.alphas)
+        if inject:
+            variant = rng.randrange(3)
+            if variant == 0:  # in-session validation error
+                request = {"op": "learn", "dataset": tenant, "gs": 0}
+            elif variant == 1:  # unknown dataset: unrouted error lane
+                request = {"op": "learn", "dataset": f"{tenant}::missing"}
+            else:  # missing required field
+                request = {"op": "blanket", "dataset": tenant}
+        elif op == "admin":
+            request = {"op": "stats"}
+        elif op == "blanket":
+            request = {
+                "op": "blanket",
+                "dataset": tenant,
+                "target": rng.randrange(spec.n_targets),
+                "alpha": alpha,
+            }
+        elif op == "relearn" and tenant in last_learn:
+            request = dict(last_learn[tenant])  # verbatim repeat: cache hit
+        else:  # learn (relearn with no prior learn degenerates here)
+            request = {"op": "learn", "dataset": tenant, "alpha": alpha}
+            if spec.max_depth is not None:
+                request["max_depth"] = spec.max_depth
+            last_learn[tenant] = request
+        records.append(TraceRecord(index=i, at_s=t, tenant=tenant, request=dict(request)))
+    return Trace(spec=spec, records=tuple(records))
+
+
+# --------------------------------------------------------------------- #
+# latency summaries
+# --------------------------------------------------------------------- #
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (``q`` in [0, 100]) — 0.0 on empty input."""
+    if not values:
+        return 0.0
+    s = sorted(values)
+    k = max(1, math.ceil(q / 100.0 * len(s)))
+    return s[min(k, len(s)) - 1]
+
+
+def summarize_latencies(seconds: Sequence[float]) -> dict:
+    """p50/p95/p99/max/mean (milliseconds) over latency samples."""
+    ms = sorted(v * 1000.0 for v in seconds)
+    n = len(ms)
+    return {
+        "n": n,
+        "p50_ms": percentile(ms, 50),
+        "p95_ms": percentile(ms, 95),
+        "p99_ms": percentile(ms, 99),
+        "max_ms": ms[-1] if ms else 0.0,
+        "mean_ms": (sum(ms) / n) if ms else 0.0,
+    }
+
+
+# --------------------------------------------------------------------- #
+# replay harness
+# --------------------------------------------------------------------- #
+class WorkloadReport:
+    """Responses plus per-request timings of one replay, summarised.
+
+    Latency is *completion* latency — ``t_done - t_in``, worker finish
+    minus intake — which is what a tenant experiences under dispatch
+    contention and is immune to the head-of-line artifacts of in-order
+    yielding.  ``t_yield - t_in`` (client-observed, ordered) is kept in
+    the raw ``timings`` for anyone who wants it.
+    """
+
+    def __init__(
+        self,
+        trace: Trace,
+        responses: list[dict],
+        timings: list[dict],
+        wall_s: float,
+    ) -> None:
+        self.trace = trace
+        self.responses = responses
+        self.timings = timings
+        self.wall_s = float(wall_s)
+
+    # -- scalars ------------------------------------------------------- #
+    @property
+    def n_requests(self) -> int:
+        return len(self.responses)
+
+    @property
+    def n_errors(self) -> int:
+        return sum(1 for r in self.responses if r.get("error") is not None)
+
+    @property
+    def n_cached(self) -> int:
+        return sum(1 for r in self.responses if r.get("cached"))
+
+    @property
+    def requests_per_s(self) -> float:
+        return self.n_requests / self.wall_s if self.wall_s > 0 else 0.0
+
+    # -- latency ------------------------------------------------------- #
+    def latencies_s(self) -> list[float]:
+        return [t["t_done"] - t["t_in"] for t in self.timings]
+
+    def latency(self) -> dict:
+        return summarize_latencies(self.latencies_s())
+
+    def per_tenant(self) -> dict[str, dict]:
+        """Latency summary per trace tenant (record order == timing order)."""
+        buckets: dict[str, list[float]] = {}
+        for rec, t in zip(self.trace.records, self.timings):
+            buckets.setdefault(rec.tenant, []).append(t["t_done"] - t["t_in"])
+        return {tenant: summarize_latencies(v) for tenant, v in sorted(buckets.items())}
+
+    def to_dict(self) -> dict:
+        return {
+            "trace": self.trace.header(),
+            "n_requests": self.n_requests,
+            "n_errors": self.n_errors,
+            "n_cached": self.n_cached,
+            "wall_s": self.wall_s,
+            "requests_per_s": self.requests_per_s,
+            "latency": self.latency(),
+            "per_tenant": self.per_tenant(),
+        }
+
+
+def _paced(trace: Trace) -> Iterator[dict]:
+    start = time.monotonic()
+    for rec in trace.records:
+        delay = rec.at_s - (time.monotonic() - start)
+        if delay > 0:
+            time.sleep(delay)
+        yield rec.request
+
+
+def replay(
+    server: EngineServer,
+    trace: Trace,
+    *,
+    threads: int = 1,
+    window: int = DEFAULT_WINDOW,
+    pace: bool = False,
+) -> WorkloadReport:
+    """Replay a trace through a server's streaming dispatcher.
+
+    ``pace=True`` honours the trace's arrival offsets (open-loop load:
+    requests arrive on schedule whether or not earlier ones finished);
+    the default feeds as fast as the in-flight window admits (closed
+    loop — the regression-stable choice for throughput benches).
+    """
+    timings: list[dict] = []
+    requests = _paced(trace) if pace else trace.requests()
+    t0 = time.monotonic()
+    responses = list(
+        server.serve_iter(requests, threads=threads, window=window, timings=timings)
+    )
+    wall = time.monotonic() - t0
+    return WorkloadReport(trace, responses, timings, wall)
+
+
+def replay_client(client, trace: Trace, *, pace: bool = False) -> WorkloadReport:
+    """Replay a trace through an :class:`~repro.engine.client.EngineClient`.
+
+    Pipelined: every request is sent (optionally on the trace schedule),
+    then responses are drained in order.  Timings come from the client's
+    send→recv samples, so latency here includes the wire and the
+    server-side window — the end-to-end number a remote tenant sees.
+    """
+    t0 = time.monotonic()
+    base = len(client.latencies_s)
+    sent_at: list[float] = []
+    start = time.monotonic()
+    for rec in trace.records:
+        if pace:
+            delay = rec.at_s - (time.monotonic() - start)
+            if delay > 0:
+                time.sleep(delay)
+        sent_at.append(time.monotonic())
+        client.send(rec.request)
+    responses = client.drain()
+    wall = time.monotonic() - t0
+    lats = list(client.latencies_s)[base:]
+    timings = [
+        {
+            "lane": rec.tenant,
+            "t_in": t_sent,
+            "t_start": t_sent,
+            "t_done": t_sent + lat,
+            "t_yield": t_sent + lat,
+        }
+        for rec, t_sent, lat in zip(trace.records, sent_at, lats)
+    ]
+    return WorkloadReport(trace, responses, timings, wall)

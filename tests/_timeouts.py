@@ -1,0 +1,58 @@
+"""Hard wall-clock timeout helpers shared across the test-suite.
+
+A real module (not ``conftest``) so test files can import it by a
+unique name — ``benchmarks/conftest.py`` and ``tests/conftest.py`` both
+answer to ``import conftest`` in a whole-repo run, and which one wins
+depends on collection order.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import queue
+import signal
+import threading
+from typing import IO
+
+
+@contextlib.contextmanager
+def hard_timeout(seconds: float, label: str = "test"):
+    """Fail (don't hang) if the enclosed block runs past ``seconds``.
+
+    The fault drills and subprocess tests exercise code whose failure
+    mode *is* a hang (un-drained dispatchers, stuck reads); a wall-clock
+    alarm turns that into a diagnosable failure.  SIGALRM only works on
+    the main thread of Unix — elsewhere this degrades to a no-op rather
+    than a false failure.
+    """
+    if threading.current_thread() is not threading.main_thread() or not hasattr(
+        signal, "SIGALRM"
+    ):
+        yield
+        return
+
+    def _expired(signum, frame):
+        raise TimeoutError(f"{label} exceeded hard timeout of {seconds}s")
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def readline_with_timeout(stream: IO[str], timeout: float) -> str:
+    """One line from a (subprocess) stream, or fail after ``timeout``.
+
+    ``readline`` on a pipe cannot be interrupted by SIGALRM reliably
+    (it restarts), so the read runs on a scratch thread and the caller
+    waits on a queue."""
+    out: queue.Queue[str] = queue.Queue()
+    t = threading.Thread(target=lambda: out.put(stream.readline()), daemon=True)
+    t.start()
+    try:
+        return out.get(timeout=timeout)
+    except queue.Empty:
+        raise TimeoutError(f"no line within {timeout}s") from None

@@ -5,10 +5,21 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from _timeouts import hard_timeout, readline_with_timeout
 from repro.datasets.dataset import DiscreteDataset
 from repro.datasets.sampling import forward_sample
 from repro.networks.classic import asia, cancer, sprinkler
 from repro.networks.generators import random_network
+
+
+@pytest.fixture(scope="session")
+def hard_timeout_ctx():
+    return hard_timeout
+
+
+@pytest.fixture(scope="session")
+def readline_timeout():
+    return readline_with_timeout
 
 
 @pytest.fixture(scope="session")

@@ -476,16 +476,12 @@ class TestServeSubprocess:
 
     def _readline(self, stream, timeout=STARTUP_S):
         """readline with a hard timeout: a hang means the bug is back."""
-        import queue
-        import threading
+        from _timeouts import readline_with_timeout
 
-        q: "queue.Queue" = queue.Queue()
-        t = threading.Thread(target=lambda: q.put(stream.readline()), daemon=True)
-        t.start()
         try:
-            return q.get(timeout=timeout)
-        except queue.Empty:
-            raise AssertionError("stream stalled: no response within timeout")
+            return readline_with_timeout(stream, timeout)
+        except TimeoutError:
+            raise AssertionError("stream stalled: no response within timeout") from None
 
     def test_lockstep_pipe_threads4_no_deadlock(self, tmp_path):
         """THE acceptance criterion: a producer piping N requests into

@@ -1,0 +1,274 @@
+"""Fault drills as first-class tests (ISSUE 8).
+
+Each drill injects a production failure — a killed pool worker,
+``/dev/shm`` exhaustion, a slow-reading client against the backpressure
+window, session eviction under concurrent load — and asserts the
+serving layers degrade the way the protocol promises: a clean error
+response (never a torn stream), recovery on the next request, and a run
+manifest whose totals are exactly the sum of its per-session parts.
+Every drill runs under a hard wall-clock timeout because the failure
+mode these guard against *is* a hang.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+from _timeouts import hard_timeout
+
+from repro.datasets.shm import shared_memory_available
+from repro.engine import (
+    EngineClient,
+    EngineServer,
+    EngineTransport,
+    merge_totals,
+)
+from repro.engine.faults import injector, kill_one_worker, pool_worker_pids, shm_enospc
+
+DRILL_TIMEOUT_S = 180.0
+SHM_DIR = "/dev/shm"
+
+
+@pytest.fixture(autouse=True)
+def _disarm_everything():
+    """No fault leaks between tests, whatever a drill did."""
+    injector.clear()
+    yield
+    injector.clear()
+
+
+def _shm_entries() -> set[str] | None:
+    try:
+        return set(os.listdir(SHM_DIR))
+    except OSError:
+        return None
+
+
+def _exact_manifest(server: EngineServer) -> dict:
+    doc = server.manifest()
+    parts = [s["totals"] for s in doc["sessions"]] + [doc["unrouted"]["totals"]]
+    assert doc["totals"] == merge_totals(parts)
+    return doc
+
+
+def _payload(resp: dict) -> str:
+    """Everything a client consumes, minus timing/caching metadata."""
+    return json.dumps(
+        {k: resp[k] for k in ("op", "dataset", "fingerprint", "result", "error")},
+        sort_keys=True,
+    )
+
+
+# --------------------------------------------------------------------- #
+# drill 1: killed pool worker mid-stream
+# --------------------------------------------------------------------- #
+class TestKilledWorker:
+    def test_killed_worker_is_one_clean_error_then_recovery(self, asia_data):
+        """SIGKILL a process-pool worker between requests: the next
+        parallel learn fails cleanly, the one after respawns the pool and
+        succeeds — the stream never tears, the manifest stays exact."""
+        with hard_timeout(DRILL_TIMEOUT_S, "killed-worker drill"):
+            srv = EngineServer(alpha=0.05, n_jobs=2, backend="process")
+            srv.register("a", asia_data)
+            shm_before = _shm_entries()
+            try:
+                # Three *distinct* learns so none is a result-cache hit.
+                requests = [
+                    {"op": "learn", "dataset": "a", "alpha": 0.05},
+                    {"op": "learn", "dataset": "a", "alpha": 0.01},
+                    {"op": "learn", "dataset": "a", "alpha": 0.02},
+                ]
+                first = srv.handle(requests[0])
+                assert first["error"] is None
+                session = srv._slot_for("a").session
+                assert pool_worker_pids(session), "process pool has no workers"
+                killed = kill_one_worker(session)
+                assert killed is not None
+                broken = srv.handle(requests[1])
+                assert broken["error"] is not None and broken["result"] is None
+                # The session dropped its pool; this learn respawns it.
+                recovered = srv.handle(requests[2])
+                assert recovered["error"] is None
+                assert pool_worker_pids(session), "pool was not respawned"
+                assert killed not in pool_worker_pids(session)
+                doc = _exact_manifest(srv)
+                assert doc["totals"]["n_requests"] == 3
+                assert doc["totals"]["n_errors"] == 1
+            finally:
+                srv.close()
+            if shm_before is not None:
+                leaked = _shm_entries() - shm_before
+                assert not leaked, f"leaked shm blocks: {sorted(leaked)}"
+
+
+# --------------------------------------------------------------------- #
+# drill 2: /dev/shm exhaustion
+# --------------------------------------------------------------------- #
+@pytest.mark.skipif(not shared_memory_available(), reason="no usable /dev/shm")
+class TestShmExhaustion:
+    def test_auto_policy_falls_back_pickled_payload_identical(self, asia_data):
+        """use_shm=None (auto): a full /dev/shm degrades transport to
+        pickling — same answers, no error, nothing leaked."""
+        with hard_timeout(DRILL_TIMEOUT_S, "shm-fallback drill"):
+            request = {"op": "learn", "dataset": "a", "max_depth": 1}
+            clean_srv = EngineServer(alpha=0.05, n_jobs=2, use_shm=None)
+            clean_srv.register("a", asia_data)
+            try:
+                clean = clean_srv.handle(dict(request))
+            finally:
+                clean_srv.close()
+            assert clean["error"] is None
+
+            shm_before = _shm_entries()
+            faulted_srv = EngineServer(alpha=0.05, n_jobs=2, use_shm=None)
+            faulted_srv.register("a", asia_data)
+            try:
+                with shm_enospc():
+                    faulted = faulted_srv.handle(dict(request))
+                assert faulted["error"] is None
+                assert _payload(faulted) == _payload(clean)
+                session = faulted_srv._slot_for("a").session
+                assert not session.uses_shm  # pool really fell back
+                _exact_manifest(faulted_srv)
+            finally:
+                faulted_srv.close()
+            if shm_before is not None:
+                leaked = _shm_entries() - shm_before
+                assert not leaked, f"leaked shm blocks: {sorted(leaked)}"
+
+    def test_required_policy_surfaces_clean_error_then_recovers(self, asia_data):
+        """use_shm=True: exhaustion is a per-request error response, and
+        once space returns the same session serves normally."""
+        with hard_timeout(DRILL_TIMEOUT_S, "shm-required drill"):
+            srv = EngineServer(alpha=0.05, n_jobs=2, use_shm=True)
+            srv.register("a", asia_data)
+            try:
+                request = {"op": "learn", "dataset": "a", "max_depth": 1}
+                with shm_enospc():
+                    broken = srv.handle(dict(request))
+                assert broken["error"] is not None
+                assert "No space left" in broken["error"]
+                recovered = srv.handle(dict(request))
+                assert recovered["error"] is None
+                doc = _exact_manifest(srv)
+                assert doc["totals"]["n_errors"] == 1
+                assert doc["totals"]["n_requests"] == 2
+            finally:
+                srv.close()
+
+
+# --------------------------------------------------------------------- #
+# drill 3: slow-reader client against the backpressure window
+# --------------------------------------------------------------------- #
+class TestSlowReader:
+    def test_stalled_client_does_not_starve_lockstep_peer(self, asia_data, sprinkler_data):
+        """Client A bursts requests and reads nothing; client B stays
+        lockstep on another dataset.  B must keep completing while A is
+        stalled (A's window fills, only A buffers), and once A finally
+        reads, every response arrives in order with an exact manifest."""
+        with hard_timeout(DRILL_TIMEOUT_S, "slow-reader drill"):
+            srv = EngineServer(alpha=0.05)
+            srv.register("a", asia_data)
+            srv.register("b", sprinkler_data)
+            transport = EngineTransport(srv, "127.0.0.1:0", threads=2, window=4)
+            transport.start()
+            slow = fast = None
+            try:
+                slow = EngineClient(transport.describe(), timeout=60.0)
+                fast = EngineClient(transport.describe(), timeout=60.0)
+                # Prime both datasets so the burst is cheap cache hits.
+                assert slow.learn("a", max_depth=0)["error"] is None
+                assert fast.learn("b", max_depth=0)["error"] is None
+                n_burst = 12
+                for _ in range(n_burst):
+                    slow.send({"op": "learn", "dataset": "a", "max_depth": 0})
+                # While A ignores its responses, B's lockstep round trips
+                # must keep completing promptly.
+                t0 = time.monotonic()
+                for _ in range(5):
+                    assert fast.learn("b", max_depth=0)["cached"]
+                assert time.monotonic() - t0 < 30.0
+                # A wakes up and reads everything it is owed, in order.
+                responses = slow.drain()
+                assert len(responses) == n_burst
+                assert all(r["error"] is None and r["cached"] for r in responses)
+            finally:
+                for c in (slow, fast):
+                    if c is not None:
+                        c.close()
+                transport.shutdown(drain=True, timeout=60.0)
+            doc = _exact_manifest(srv)
+            assert doc["totals"]["n_requests"] == 2 + n_burst + 5
+            srv.close()
+
+
+# --------------------------------------------------------------------- #
+# drill 4: session eviction under concurrent load
+# --------------------------------------------------------------------- #
+class TestEvictionUnderLoad:
+    def test_lru_thrash_stays_payload_identical_and_exact(self, asia_data, sprinkler_data):
+        """max_sessions=1 with alternating datasets and threads=2: every
+        switch evicts mid-stream, yet responses match the sequential
+        oracle and nothing leaks."""
+        with hard_timeout(DRILL_TIMEOUT_S, "eviction drill"):
+            requests = []
+            for i in range(6):
+                requests.append({"op": "learn", "dataset": "a", "max_depth": 0})
+                requests.append({"op": "learn", "dataset": "b", "max_depth": 0})
+
+            def build():
+                srv = EngineServer(alpha=0.05, max_sessions=1)
+                srv.register("a", asia_data)
+                srv.register("b", sprinkler_data)
+                return srv
+
+            shm_before = _shm_entries()
+            concurrent_srv, oracle_srv = build(), build()
+            try:
+                concurrent = list(
+                    concurrent_srv.serve_iter(iter(requests), threads=2, window=8)
+                )
+                sequential = list(oracle_srv.serve_iter(iter(requests), threads=1))
+                assert [_payload(r) for r in concurrent] == [
+                    _payload(r) for r in sequential
+                ]
+                assert concurrent_srv.n_evictions >= 1
+                doc = _exact_manifest(concurrent_srv)
+                assert doc["totals"]["n_requests"] == len(requests)
+                assert doc["totals"]["n_errors"] == 0
+            finally:
+                concurrent_srv.close()
+                oracle_srv.close()
+            if shm_before is not None:
+                leaked = _shm_entries() - shm_before
+                assert not leaked, f"leaked shm blocks: {sorted(leaked)}"
+
+    def test_forced_eviction_mid_stream_via_admin_op(self, asia_data, sprinkler_data):
+        """An in-stream close_dataset admin op (a barrier) evicts a live
+        session between its own requests; later requests revive it."""
+        with hard_timeout(DRILL_TIMEOUT_S, "forced-eviction drill"):
+            srv = EngineServer(alpha=0.05)
+            srv.register("a", asia_data)
+            srv.register("b", sprinkler_data)
+            stream = [
+                {"op": "learn", "dataset": "a", "max_depth": 0},
+                {"op": "learn", "dataset": "b", "max_depth": 0},
+                {"op": "close_dataset", "dataset": "a"},
+                {"op": "learn", "dataset": "a", "max_depth": 0},  # revival
+                {"op": "learn", "dataset": "b", "max_depth": 0},  # cache hit
+            ]
+            try:
+                responses = list(srv.serve_iter(iter(stream), threads=2, window=4))
+                assert [r["error"] for r in responses] == [None] * len(stream)
+                # The revived learn recomputed (fresh session, result
+                # caches die with the slot when no store is configured).
+                assert responses[3]["cached"] is False
+                assert responses[4]["cached"] is True
+                doc = _exact_manifest(srv)
+                assert doc["totals"]["n_requests"] == 4  # admin not counted
+                assert len(doc["sessions"]) == 3  # a, b, revived a
+            finally:
+                srv.close()

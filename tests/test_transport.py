@@ -16,6 +16,7 @@ import threading
 import time
 
 import pytest
+from _timeouts import hard_timeout
 
 from repro.engine import EngineClient, EngineServer, EngineTransport
 from repro.engine.transport import parse_address
@@ -201,33 +202,35 @@ class TestDrain:
         """Requests already received are served through the drain; the
         client then reads a clean EOF (never a connection reset), and the
         manifest accounts for everything."""
-        t = EngineTransport(engine, "127.0.0.1:0", threads=2, window=8)
-        t.start()
-        client = EngineClient(t.describe(), timeout=TIMEOUT)
-        try:
-            # Prime synchronously so the drain burst is all cache hits —
-            # the test then exercises ordering, not learn latency.
-            assert client.learn("asia", max_depth=0)["error"] is None
-            for _ in range(5):
-                client.send({"op": "learn", "dataset": "asia", "max_depth": 0})
-            # Give the connection time to ingest the burst; the drain
-            # must then serve it without us reading a single response.
-            time.sleep(0.5)
-            t.shutdown(drain=True, timeout=TIMEOUT)
-            responses = client.drain()
-            assert len(responses) == 5
-            assert all(r["cached"] for r in responses)
-            with pytest.raises(ConnectionError, match="closed the connection"):
-                client.recv()
-        finally:
-            client.close()
-        doc = engine.manifest()
-        assert doc["totals"]["n_requests"] == 6
+        with hard_timeout(3 * TIMEOUT, "drain test"):
+            t = EngineTransport(engine, "127.0.0.1:0", threads=2, window=8)
+            t.start()
+            client = EngineClient(t.describe(), timeout=TIMEOUT)
+            try:
+                # Prime synchronously so the drain burst is all cache hits —
+                # the test then exercises ordering, not learn latency.
+                assert client.learn("asia", max_depth=0)["error"] is None
+                for _ in range(5):
+                    client.send({"op": "learn", "dataset": "asia", "max_depth": 0})
+                # Give the connection time to ingest the burst; the drain
+                # must then serve it without us reading a single response.
+                time.sleep(0.5)
+                t.shutdown(drain=True, timeout=TIMEOUT)
+                responses = client.drain()
+                assert len(responses) == 5
+                assert all(r["cached"] for r in responses)
+                with pytest.raises(ConnectionError, match="closed the connection"):
+                    client.recv()
+            finally:
+                client.close()
+            doc = engine.manifest()
+            assert doc["totals"]["n_requests"] == 6
 
     def test_shutdown_is_idempotent_and_stops_accepts(self, engine):
-        t = EngineTransport(engine, "127.0.0.1:0", threads=1, window=2)
-        t.start()
-        t.shutdown(timeout=TIMEOUT)
-        t.shutdown(timeout=TIMEOUT)  # second call is a no-op
-        with pytest.raises(OSError):
-            EngineClient(t.describe(), timeout=2.0).learn("asia")
+        with hard_timeout(3 * TIMEOUT, "idempotent shutdown test"):
+            t = EngineTransport(engine, "127.0.0.1:0", threads=1, window=2)
+            t.start()
+            t.shutdown(timeout=TIMEOUT)
+            t.shutdown(timeout=TIMEOUT)  # second call is a no-op
+            with pytest.raises(OSError):
+                EngineClient(t.describe(), timeout=2.0).learn("asia")
