@@ -35,7 +35,7 @@ def test_workpool_vs_static_partition(benchmark, record):
 
     series, text = benchmark.pedantic(compute, rounds=1, iterations=1)
     record("ablation_workpool", text)
-    for a, b in zip(series["static partition (edge-level)"], series["dynamic pool (CI-level)"]):
+    for a, b in zip(series["static partition (edge-level)"], series["dynamic pool (CI-level)"], strict=True):
         assert b >= a * 0.99
 
 
@@ -61,4 +61,4 @@ def test_region_overhead_sensitivity(benchmark, record):
     speedups, text = benchmark.pedantic(compute, rounds=1, iterations=1)
     record("ablation_region_overhead", text)
     # More fixed serial overhead => lower speedup, monotonically.
-    assert all(b <= a + 1e-9 for a, b in zip(speedups, speedups[1:]))
+    assert all(b <= a + 1e-9 for a, b in zip(speedups, speedups[1:], strict=False))

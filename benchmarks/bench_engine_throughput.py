@@ -66,7 +66,7 @@ def test_engine_throughput(benchmark, record, record_json):
     out = benchmark.pedantic(run, rounds=1, iterations=1)
 
     # Warm payloads identical to cold, cold identical to the uncached path.
-    for c, w in zip(out["cold"], out["warm"]):
+    for c, w in zip(out["cold"], out["warm"], strict=True):
         assert c["result"] == w["result"]
         assert w["cached"]
     ref = learn_structure(wl.dataset, method="fast-bns", alpha=0.05)

@@ -28,7 +28,7 @@ def test_fig3_sample_size_sweep(benchmark, record):
         for m, speedups in series.items():
             # Monotone through the moderate thread counts (paper: "smooth
             # improvement in speedups for all the sample sizes").
-            for a, b in zip(speedups[:4], speedups[1:5]):
+            for a, b in zip(speedups[:4], speedups[1:5], strict=False):
                 assert b > a * 0.95, (label, m)
             assert max(speedups) > 4.0, (label, m)
         largest = series[f"m={SAMPLE_SIZES[-1]}"]

@@ -28,10 +28,10 @@ def test_fig4_group_size_sweep(benchmark, record):
     )
     record("fig4_group_size", out.text)
     for label, data in out.data.items():
-        inflation = dict(zip(data["group_sizes"], data["inflation_pct"]))
+        inflation = dict(zip(data["group_sizes"], data["inflation_pct"], strict=True))
         assert inflation[1] == 0.0
         # Monotone non-decreasing in gs.
         values = data["inflation_pct"]
-        assert all(b >= a - 1e-9 for a, b in zip(values, values[1:])), label
+        assert all(b >= a - 1e-9 for a, b in zip(values, values[1:], strict=False)), label
         # Paper: moderate inflation up to gs = 8, faster growth beyond.
         assert inflation[16] >= inflation[8], label

@@ -177,8 +177,8 @@ def _steady_state_allocs(path):
 def _assert_identical(got, oracle):
     """Exact equality, no tolerance, on every field of every result."""
     assert len(got) == len(oracle)
-    for group_g, group_o in zip(got, oracle):
-        for g, o in zip(group_g, group_o):
+    for group_g, group_o in zip(got, oracle, strict=True):
+        for g, o in zip(group_g, group_o, strict=True):
             assert g.statistic == o.statistic
             assert g.dof == o.dof
             assert g.p_value == o.p_value

@@ -74,7 +74,7 @@ def test_persistent_store_warm_restart(benchmark, record, record_json, tmp_path)
     out = benchmark.pedantic(run, rounds=1, iterations=1)
 
     # Byte-identical payloads across the restart; everything served cached.
-    for c, w in zip(out["cold"], out["warm"]):
+    for c, w in zip(out["cold"], out["warm"], strict=True):
         assert json.dumps(c["result"]) == json.dumps(w["result"])
         assert w["cached"]
     assert out["cold_learns"] > 0

@@ -141,7 +141,7 @@ def test_server_mixed_dataset_throughput(benchmark, record, record_json):
     out = benchmark.pedantic(run, rounds=1, iterations=1)
 
     # Byte-identical payloads, request by request.
-    for seq, conc in zip(out["sequential"], out["concurrent"]):
+    for seq, conc in zip(out["sequential"], out["concurrent"], strict=True):
         assert _payload_key(seq) == _payload_key(conc)
 
     # The server actually reused sessions: exactly one spin-up per dataset

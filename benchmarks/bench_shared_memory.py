@@ -170,7 +170,7 @@ def test_attached_plane_serves_identical_pvalues(dataset):
             (n - 2, n - 1, [(), (0,), (0, 1)]),
         ]
         for x, y, sets in groups:
-            for a, b in zip(local.test_group(x, y, sets), remote.test_group(x, y, sets)):
+            for a, b in zip(local.test_group(x, y, sets), remote.test_group(x, y, sets), strict=True):
                 assert (a.statistic, a.dof, a.p_value, a.independent) == (
                     b.statistic, b.dof, b.p_value, b.independent
                 )

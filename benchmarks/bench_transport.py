@@ -138,7 +138,7 @@ def test_transport_shared_server_throughput(benchmark, record, record_json):
 
     # Payload-identical responses for every client, request by request —
     # sharing changes who computes, never what anyone receives.
-    for baseline, shared in zip(out["sequential"], out["concurrent"]):
+    for baseline, shared in zip(out["sequential"], out["concurrent"], strict=True):
         assert [_payload(a) for a in baseline] == [_payload(b) for b in shared]
 
     # The shared server computed each distinct request exactly once; the

@@ -220,7 +220,7 @@ def _run_with_timings(server, requests) -> tuple[list[dict], list[dict]]:
 
 def _completion_by_tenant(tenants, timings) -> dict[str, list[float]]:
     by: dict[str, list[float]] = {}
-    for tenant, t in zip(tenants, timings):
+    for tenant, t in zip(tenants, timings, strict=True):
         by.setdefault(tenant, []).append(t["t_done"] - t["t_in"])
     return by
 
@@ -228,7 +228,7 @@ def _completion_by_tenant(tenants, timings) -> dict[str, list[float]]:
 def test_workload_weighted_fairness(record, record_json):
     datasets = _tenant_datasets()
     requests, tenants = _fairness_stream()
-    cold_requests = [r for r, t in zip(requests, tenants) if t == COLD_TENANT]
+    cold_requests = [r for r, t in zip(requests, tenants, strict=True) if t == COLD_TENANT]
     shm_before = _shm_entries()
 
     # Solo baseline: the cold tenant alone on an idle server.

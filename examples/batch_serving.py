@@ -45,7 +45,7 @@ def main() -> None:
         responses = server.serve(stream, manifest=manifest)
         first_pass = time.perf_counter() - t0
 
-        for req, resp in zip(stream, responses):
+        for req, resp in zip(stream, responses, strict=True):
             tag = "cache" if resp["cached"] else f"{resp['elapsed_s'] * 1e3:6.1f}ms"
             if resp["op"] == "learn":
                 r = resp["result"]

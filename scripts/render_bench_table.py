@@ -151,7 +151,7 @@ def render_table() -> str:
         try:
             docs.append(json.loads(path.read_text()))
         except (OSError, json.JSONDecodeError) as exc:
-            raise SystemExit(f"unreadable artefact {path}: {exc}")
+            raise SystemExit(f"unreadable artefact {path}: {exc}") from exc
     if not docs:
         return "_No `BENCH_*.json` artefacts yet — run `python -m pytest benchmarks/`._"
     lines = [
@@ -177,7 +177,7 @@ def splice(readme_text: str, table: str) -> str:
         head, rest = readme_text.split(START, 1)
         _, tail = rest.split(END, 1)
     except ValueError:
-        raise SystemExit(f"README is missing the {START} / {END} markers")
+        raise SystemExit(f"README is missing the {START} / {END} markers") from None
     return f"{head}{START}\n{table}\n{END}{tail}"
 
 

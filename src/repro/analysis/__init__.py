@@ -1,5 +1,18 @@
-"""Analytical performance models (the paper's Sec. IV-D)."""
+"""Analysis tools: the paper's speedup model and the project linter.
 
+Two unrelated-but-cohabiting concerns live here:
+
+* :mod:`repro.analysis.speedup_model` — the paper's closed-form
+  performance model (Sec. IV-D).
+* the static-analysis subsystem behind ``fastbns analyze`` —
+  :mod:`~repro.analysis.engine` (rule engine), :mod:`~repro.analysis.rules`
+  (the REPRO00x invariant pack), :mod:`~repro.analysis.lockgraph`
+  (inter-procedural lock-order graph), and :mod:`~repro.analysis.runtime`
+  (the ``REPRO_LOCKCHECK=1`` dynamic lock-order sanitizer).
+"""
+
+from .engine import Analyzer, all_rules
+from .findings import Finding, format_findings
 from .speedup_model import (
     SpeedupBreakdown,
     SpeedupModel,
@@ -12,4 +25,8 @@ __all__ = [
     "SpeedupBreakdown",
     "paper_worked_example",
     "breakdown_from_run",
+    "Analyzer",
+    "Finding",
+    "all_rules",
+    "format_findings",
 ]

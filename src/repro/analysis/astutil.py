@@ -1,0 +1,107 @@
+"""Small AST helpers shared by the rule pack and the lock-graph extractor."""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+__all__ = [
+    "ImportMap",
+    "dotted_name",
+    "resolve_call_name",
+    "terminal_name",
+    "iter_functions",
+    "FunctionInfo",
+]
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def terminal_name(node: ast.AST) -> str | None:
+    """The last identifier of a Name/Attribute chain (``a.b.c`` -> ``c``)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+class ImportMap:
+    """Map local names to their imported dotted origins.
+
+    ``import numpy as np`` makes ``np`` resolve to ``numpy``;
+    ``from time import time as now`` makes ``now`` resolve to
+    ``time.time``.  Used to canonicalise call names so rules match
+    ``np.random.rand`` and ``numpy.random.rand`` identically.
+    """
+
+    def __init__(self, tree: ast.Module) -> None:
+        self._alias: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    origin = alias.name if alias.asname else alias.name.split(".")[0]
+                    self._alias[local] = origin
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self._alias[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, name: str) -> str:
+        head, sep, rest = name.partition(".")
+        origin = self._alias.get(head)
+        if origin is None:
+            return name
+        return origin + sep + rest if rest else origin
+
+
+def resolve_call_name(call: ast.Call, imports: ImportMap) -> str | None:
+    """Canonical dotted name of a call through the module's imports."""
+    name = dotted_name(call.func)
+    if name is None:
+        return None
+    return imports.resolve(name)
+
+
+class FunctionInfo:
+    """A function/method with its enclosing class name (if any)."""
+
+    def __init__(self, node: ast.FunctionDef | ast.AsyncFunctionDef, cls: str | None) -> None:
+        self.node = node
+        self.cls = cls
+        self.name = node.name
+        self.qualname = f"{cls}.{node.name}" if cls else node.name
+
+
+def iter_functions(tree: ast.Module) -> Iterator[FunctionInfo]:
+    """Every function/method in the module with its class context.
+
+    Nested functions are attributed to their enclosing class (closures
+    inside a method count as part of that method's class namespace for
+    call resolution — good enough for lock analysis).
+    """
+
+    def walk(node: ast.AST, cls: str | None) -> Iterator[FunctionInfo]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                yield from walk(child, child.name)
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield FunctionInfo(child, cls)
+                yield from walk(child, cls)
+            else:
+                yield from walk(child, cls)
+
+    yield from walk(tree, None)

@@ -1,0 +1,230 @@
+"""AST rule engine: file walker, rule registry, and the Analyzer driver.
+
+The engine parses every ``*.py`` file under the requested paths once into
+:class:`SourceModule` records and hands them to two kinds of rules:
+
+* **module rules** (:class:`ModuleRule`) look at one file at a time —
+  the REPRO00x invariant pack lives here (:mod:`repro.analysis.rules`);
+* **project rules** (:class:`ProjectRule`) see the whole module set at
+  once — the inter-procedural lock-order graph needs cross-file context
+  (:mod:`repro.analysis.lockgraph`).
+
+Findings come back sorted and already filtered through the
+``# repro: ignore`` pragmas of their module (project rules anchor each
+finding to a concrete file/line, so suppression stays local and
+reviewable even for whole-graph properties).
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+
+from .findings import Finding, SuppressionIndex, normalize_path
+
+__all__ = [
+    "SourceModule",
+    "ModuleRule",
+    "ProjectRule",
+    "Analyzer",
+    "all_rules",
+    "iter_python_files",
+    "load_module",
+    "module_rule",
+    "project_rule",
+]
+
+
+@dataclass
+class SourceModule:
+    """One parsed source file."""
+
+    path: str  # path as given on the command line (for reports)
+    relpath: str  # normalized repo-relative id (for graph nodes)
+    text: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+    suppressions: SuppressionIndex | None = None
+
+    @property
+    def suppression_index(self) -> SuppressionIndex:
+        if self.suppressions is None:
+            self.suppressions = SuppressionIndex(self.lines)
+        return self.suppressions
+
+
+class ModuleRule:
+    """A rule evaluated one module at a time."""
+
+    rule_id = "REPRO000"
+    severity = "error"
+    title = ""
+
+    def check(self, module: SourceModule) -> Iterable[Finding]:  # pragma: no cover
+        raise NotImplementedError
+
+    def finding(self, module: SourceModule, node: ast.AST | int, message: str, **detail) -> Finding:
+        line = node if isinstance(node, int) else getattr(node, "lineno", 1)
+        return Finding(
+            file=module.path,
+            line=line,
+            rule_id=self.rule_id,
+            severity=self.severity,
+            message=message,
+            detail=detail,
+        )
+
+
+class ProjectRule:
+    """A rule evaluated over the whole module set."""
+
+    rule_id = "REPRO000"
+    severity = "error"
+    title = ""
+
+    def check_project(self, modules: Sequence[SourceModule]) -> Iterable[Finding]:
+        raise NotImplementedError  # pragma: no cover
+
+
+_MODULE_RULES: dict[str, ModuleRule] = {}
+_PROJECT_RULES: dict[str, ProjectRule] = {}
+
+
+def module_rule(cls):
+    """Class decorator registering a :class:`ModuleRule` by its id."""
+    inst = cls()
+    _MODULE_RULES[inst.rule_id] = inst
+    return cls
+
+
+def project_rule(cls):
+    """Class decorator registering a :class:`ProjectRule` by its id."""
+    inst = cls()
+    _PROJECT_RULES[inst.rule_id] = inst
+    return cls
+
+
+def all_rules() -> dict[str, object]:
+    """Every registered rule, keyed by id (triggers rule-module import)."""
+    _ensure_rules_loaded()
+    merged: dict[str, object] = dict(_MODULE_RULES)
+    merged.update(_PROJECT_RULES)
+    return merged
+
+
+def _ensure_rules_loaded() -> None:
+    # Import-time registration; local import breaks the cycle
+    # (rules.py/lockgraph.py import the decorators from this module).
+    from . import lockgraph, rules  # noqa: F401
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
+    """Yield ``*.py`` files under each path (files pass through as-is)."""
+    seen: set[str] = set()
+    for path in paths:
+        if os.path.isfile(path):
+            if path not in seen:
+                seen.add(path)
+                yield path
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(
+                d for d in dirnames if d not in {"__pycache__", ".git", ".pytest_cache"}
+            )
+            for name in sorted(filenames):
+                if not name.endswith(".py"):
+                    continue
+                full = os.path.join(dirpath, name)
+                if full not in seen:
+                    seen.add(full)
+                    yield full
+
+
+def load_module(path: str) -> SourceModule:
+    with open(path, encoding="utf-8") as fh:
+        text = fh.read()
+    tree = ast.parse(text, filename=path)
+    return SourceModule(
+        path=path,
+        relpath=normalize_path(path),
+        text=text,
+        tree=tree,
+        lines=text.splitlines(),
+    )
+
+
+class Analyzer:
+    """Drive the registered rules over a set of paths.
+
+    Parameters
+    ----------
+    select:
+        Optional iterable of rule ids to run (default: all registered).
+    lockgraph:
+        Include the project-level lock-order rules (default True).
+    """
+
+    def __init__(self, select: Iterable[str] | None = None, lockgraph: bool = True) -> None:
+        _ensure_rules_loaded()
+        wanted = {r.upper() for r in select} if select is not None else None
+        if wanted is not None:
+            known = set(_MODULE_RULES) | set(_PROJECT_RULES)
+            unknown = wanted - known
+            if unknown:
+                raise ValueError(
+                    f"unknown rule id(s): {', '.join(sorted(unknown))}"
+                    f" (known: {', '.join(sorted(known))})"
+                )
+        self._module_rules = [
+            rule for rid, rule in sorted(_MODULE_RULES.items()) if wanted is None or rid in wanted
+        ]
+        self._project_rules = [
+            rule
+            for rid, rule in sorted(_PROJECT_RULES.items())
+            if (wanted is None or rid in wanted) and lockgraph
+        ]
+        self.n_files = 0
+        self.n_suppressed = 0
+        self.parse_errors: list[Finding] = []
+
+    def run(self, paths: Sequence[str]) -> list[Finding]:
+        modules: list[SourceModule] = []
+        for path in iter_python_files(paths):
+            try:
+                modules.append(load_module(path))
+            except (SyntaxError, UnicodeDecodeError) as exc:
+                line = getattr(exc, "lineno", None) or 1
+                self.parse_errors.append(
+                    Finding(
+                        file=path,
+                        line=int(line),
+                        rule_id="PARSE",
+                        severity="error",
+                        message=f"could not parse: {exc.msg if hasattr(exc, 'msg') else exc}",
+                    )
+                )
+        self.n_files = len(modules)
+        return self.run_modules(modules)
+
+    def run_modules(self, modules: Sequence[SourceModule]) -> list[Finding]:
+        by_relpath = {m.relpath: m for m in modules}
+        raw: list[Finding] = list(self.parse_errors)
+        for module in modules:
+            for rule in self._module_rules:
+                raw.extend(rule.check(module))
+        for prule in self._project_rules:
+            raw.extend(prule.check_project(list(modules)))
+
+        kept: list[Finding] = []
+        for finding in raw:
+            module = by_relpath.get(normalize_path(finding.file))
+            if module is not None and module.suppression_index.is_suppressed(
+                finding.line, finding.rule_id
+            ):
+                self.n_suppressed += 1
+                continue
+            kept.append(finding)
+        kept.sort(key=lambda f: (f.file, f.line, f.rule_id))
+        return kept

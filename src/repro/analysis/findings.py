@@ -1,0 +1,146 @@
+"""Finding records and suppression comments for the project linter.
+
+A :class:`Finding` is one rule violation pinned to a file and line.  The
+analyzer honours two suppression forms, mirroring ``noqa`` semantics:
+
+* ``# repro: ignore[RULE1,RULE2]`` on the flagged line silences exactly
+  those rules for that line (``# repro: ignore`` silences every rule —
+  reserved for generated code, prefer the explicit form).
+* ``# repro: ignore-file[RULE1,...]`` anywhere in the first ten lines of
+  a module silences the named rules for the whole file.
+
+Suppressions are deliberate, reviewable artefacts: the inline comment is
+the audit trail for *why* a codified invariant does not apply at one
+site, so every suppression in ``src/`` should carry a trailing reason,
+e.g. ``# repro: ignore[REPRO006] - probe failure means "no backend"``.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Finding",
+    "SuppressionIndex",
+    "format_findings",
+    "normalize_path",
+]
+
+#: Severity levels in ascending order of gravity.
+SEVERITIES = ("info", "warning", "error")
+
+_IGNORE_RE = re.compile(r"#\s*repro:\s*ignore(?:\[([A-Za-z0-9_,\s]*)\])?")
+_IGNORE_FILE_RE = re.compile(r"#\s*repro:\s*ignore-file\[([A-Za-z0-9_,\s]*)\]")
+
+#: ``ignore-file`` pragmas are only honoured this close to the top of a
+#: module, so a file-wide waiver is always visible next to the docstring.
+_FILE_PRAGMA_WINDOW = 10
+
+
+def normalize_path(path: str) -> str:
+    """Stable repo-relative module id shared by the static and runtime layers.
+
+    Paths are keyed from the last ``repro`` package segment onward
+    (``.../src/repro/engine/server.py`` -> ``repro/engine/server.py``) so
+    lock nodes extracted statically and roles recorded at runtime agree no
+    matter which working directory either ran from.  Paths outside a
+    ``repro`` package fall back to their final two segments.
+    """
+    parts = path.replace("\\", "/").split("/")
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro":
+            return "/".join(parts[i:])
+    return "/".join(parts[-2:]) if len(parts) >= 2 else path
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    file: str
+    line: int
+    rule_id: str
+    severity: str
+    message: str
+    #: Optional machine-readable extras (cycle paths, lock labels, ...).
+    detail: dict = field(default_factory=dict, compare=False)
+
+    def to_dict(self) -> dict:
+        doc = {
+            "file": self.file,
+            "line": self.line,
+            "rule": self.rule_id,
+            "severity": self.severity,
+            "message": self.message,
+        }
+        if self.detail:
+            doc["detail"] = self.detail
+        return doc
+
+    def render(self) -> str:
+        return f"{self.file}:{self.line}: {self.rule_id} [{self.severity}] {self.message}"
+
+
+class SuppressionIndex:
+    """Per-module view of ``# repro: ignore`` pragmas."""
+
+    def __init__(self, lines: list[str]) -> None:
+        self._by_line: dict[int, set[str] | None] = {}
+        self._file_wide: set[str] = set()
+        for lineno, text in enumerate(lines, start=1):
+            if "repro:" not in text:
+                continue
+            m = _IGNORE_FILE_RE.search(text)
+            if m and lineno <= _FILE_PRAGMA_WINDOW:
+                self._file_wide.update(self._parse_rules(m.group(1)))
+                continue
+            m = _IGNORE_RE.search(text)
+            if m:
+                rules = self._parse_rules(m.group(1))
+                # ``None`` means blanket: every rule suppressed on the line.
+                self._by_line[lineno] = set(rules) if m.group(1) is not None else None
+
+    @staticmethod
+    def _parse_rules(raw: str | None) -> list[str]:
+        if not raw:
+            return []
+        return [token.strip().upper() for token in raw.split(",") if token.strip()]
+
+    def is_suppressed(self, lineno: int, rule_id: str) -> bool:
+        rule_id = rule_id.upper()
+        if rule_id in self._file_wide:
+            return True
+        if lineno in self._by_line:
+            rules = self._by_line[lineno]
+            return rules is None or rule_id in rules
+        return False
+
+    @property
+    def n_pragmas(self) -> int:
+        return len(self._by_line) + len(self._file_wide)
+
+
+def format_findings(findings: list[Finding], fmt: str = "human") -> str:
+    """Render findings as a human report or a JSON document."""
+    if fmt == "json":
+        return json.dumps(
+            {
+                "n_findings": len(findings),
+                "findings": [f.to_dict() for f in findings],
+            },
+            indent=2,
+            sort_keys=True,
+        )
+    if fmt != "human":
+        raise ValueError(f"unknown format {fmt!r} (expected 'human' or 'json')")
+    if not findings:
+        return "no findings"
+    lines = [f.render() for f in findings]
+    by_rule: dict[str, int] = {}
+    for f in findings:
+        by_rule[f.rule_id] = by_rule.get(f.rule_id, 0) + 1
+    summary = ", ".join(f"{rule} x{count}" for rule, count in sorted(by_rule.items()))
+    lines.append(f"{len(findings)} finding(s): {summary}")
+    return "\n".join(lines)

@@ -1,0 +1,554 @@
+"""Inter-procedural lock-order graph extraction and deadlock-risk rules.
+
+The extractor finds every project lock *definition* (``self._lock =
+threading.Lock()`` and friends), every *acquisition site* (``with
+lock:`` / ``lock.acquire()``), and builds the acquisition-order graph:
+an edge ``A -> B`` means some code path acquires ``B`` while holding
+``A`` — directly, or through a resolvable call chain.  Two project rules
+run on top:
+
+* **LOCK001** — a cycle in the graph is a static deadlock risk: two
+  threads walking the cycle from different entry points can each hold
+  the lock the other wants.  The graph must stay acyclic; the global
+  acquisition order *is* the concurrency policy.
+* **LOCK002** — a blocking call (socket ``recv``/``accept``,
+  ``time.sleep``, executor ``submit``/``result``, ``Thread.join``,
+  ``queue.get``) while holding a project lock stalls every thread
+  contending for it; PR 5's drain hangs all reduced to this shape.
+
+Lock identity is the *definition site* (``repro/x.py:LINE``) — every
+instance created at one site is one role, which is exactly the
+granularity ordering invariants are stated at, and the same key the
+runtime sanitizer (:mod:`repro.analysis.runtime`) records, so observed
+edges merge onto static nodes for the combined check.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from .astutil import ImportMap, dotted_name, iter_functions, terminal_name
+from .engine import Finding, ProjectRule, SourceModule, project_rule
+
+__all__ = ["LockGraph", "extract_lock_graph", "find_cycles"]
+
+_LOCK_FACTORIES = {"threading.Lock", "threading.RLock"}
+_CONDITION_FACTORY = "threading.Condition"
+
+#: Dotted calls that block the calling thread outright.
+_BLOCKING_DOTTED = {"time.sleep", "select.select", "signal.sigwait"}
+#: Attribute calls that block; ``wait``/``notify`` are deliberately absent
+#: (a Condition waits under its own lock by design), and ``get`` only
+#: counts when the receiver looks like a queue (dict.get is everywhere).
+_BLOCKING_ATTRS = {"recv", "recv_into", "accept", "submit", "join", "sleep", "result"}
+_QUEUEISH = ("queue", "_q", "jobs", "inbox")
+
+
+@dataclass
+class LockGraph:
+    """Definition-site lock nodes and held->acquired edges."""
+
+    #: node id ("repro/x.py:LINE") -> human label ("Class.attr [Lock]")
+    nodes: dict[str, str] = field(default_factory=dict)
+    #: (src node, dst node) -> example sites ("repro/y.py:LINE descr")
+    edges: dict[tuple[str, str], list[str]] = field(default_factory=dict)
+    #: LOCK002 candidates: (lock node, site, call description)
+    blocking: list[tuple[str, str, str]] = field(default_factory=list)
+
+    def add_edge(self, src: str, dst: str, site: str) -> None:
+        if src == dst:
+            return  # same role: reentrancy, not an ordering constraint
+        self.edges.setdefault((src, dst), [])
+        sites = self.edges[(src, dst)]
+        if len(sites) < 4 and site not in sites:
+            sites.append(site)
+
+    def label(self, node: str) -> str:
+        return f"{self.nodes.get(node, '?')} ({node})"
+
+
+def find_cycles(edges: Iterable[tuple[str, str]]) -> list[list[str]]:
+    """Cycles in the edge set, as node lists (first node repeated last).
+
+    Tarjan SCCs (iterative) pick out the strongly connected components;
+    within each multi-node component one concrete cycle is recovered by
+    DFS so reports can show an actual inversion path, not just a set.
+    """
+    adj: dict[str, list[str]] = {}
+    for src, dst in edges:
+        adj.setdefault(src, []).append(dst)
+        adj.setdefault(dst, [])
+    for nbrs in adj.values():
+        nbrs.sort()
+
+    index: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    sccs: list[list[str]] = []
+    counter = [0]
+
+    for root in sorted(adj):
+        if root in index:
+            continue
+        work: list[tuple[str, int]] = [(root, 0)]
+        while work:
+            node, pi = work[-1]
+            if pi == 0:
+                index[node] = low[node] = counter[0]
+                counter[0] += 1
+                stack.append(node)
+                on_stack.add(node)
+            advanced = False
+            for j in range(pi, len(adj[node])):
+                nbr = adj[node][j]
+                if nbr not in index:
+                    work[-1] = (node, j + 1)
+                    work.append((nbr, 0))
+                    advanced = True
+                    break
+                if nbr in on_stack:
+                    low[node] = min(low[node], index[nbr])
+            if advanced:
+                continue
+            if low[node] == index[node]:
+                comp = []
+                while True:
+                    top = stack.pop()
+                    on_stack.discard(top)
+                    comp.append(top)
+                    if top == node:
+                        break
+                if len(comp) > 1:
+                    sccs.append(sorted(comp))
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+
+    cycles = []
+    for comp in sccs:
+        comp_set = set(comp)
+        start = comp[0]
+        path = [start]
+        seen = {start}
+        node = start
+        while True:
+            nxt = next(n for n in adj[node] if n in comp_set and (n == start or n not in seen))
+            path.append(nxt)
+            if nxt == start:
+                break
+            seen.add(nxt)
+            node = nxt
+        cycles.append(path)
+    return cycles
+
+
+# ---------------------------------------------------------------------- #
+# extraction
+# ---------------------------------------------------------------------- #
+def _module_dotted(relpath: str) -> str:
+    name = relpath[:-3] if relpath.endswith(".py") else relpath
+    if name.endswith("/__init__"):
+        name = name[: -len("/__init__")]
+    return name.replace("/", ".")
+
+
+def _resolve_relative(relpath: str, level: int, module: str | None) -> str | None:
+    pkg_parts = _module_dotted(relpath).split(".")[:-1]  # containing package
+    if level - 1 > len(pkg_parts):
+        return None
+    base = pkg_parts[: len(pkg_parts) - (level - 1)]
+    if module:
+        base = base + module.split(".")
+    return ".".join(base) if base else None
+
+
+class _ProjectImports:
+    """Local name -> project dotted module/function, relative imports included."""
+
+    def __init__(self, module: SourceModule) -> None:
+        self.map: dict[str, str] = {}
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.startswith("repro"):
+                        self.map[alias.asname or alias.name.split(".")[0]] = alias.name
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:
+                    origin = _resolve_relative(module.relpath, node.level, node.module)
+                elif node.module and node.module.startswith("repro"):
+                    origin = node.module
+                else:
+                    origin = None
+                if origin is None:
+                    continue
+                for alias in node.names:
+                    if alias.name != "*":
+                        self.map[alias.asname or alias.name] = f"{origin}.{alias.name}"
+
+
+@dataclass
+class _FuncRecord:
+    key: tuple  # ("fn", dotted_module, cls, name)
+    relpath: str
+    direct: set[str] = field(default_factory=set)  # lock nodes acquired here
+    #: (held nodes at the call, callee reference, site string)
+    calls: list[tuple[tuple[str, ...], tuple, str]] = field(default_factory=list)
+
+
+class _Extractor:
+    def __init__(self, modules: Sequence[SourceModule]) -> None:
+        self.modules = list(modules)
+        self.graph = LockGraph()
+        # (dotted_module, cls, attr) -> node ; cls None = module global
+        self.lock_defs: dict[tuple[str, str | None, str], str] = {}
+        self.funcs: dict[tuple, _FuncRecord] = {}
+        # method name -> set of (dotted_module, cls) defining it
+        self.method_homes: dict[str, set[tuple[str, str | None]]] = {}
+
+    # -- pass 1: definitions ------------------------------------------- #
+    def collect_defs(self) -> None:
+        for module in self.modules:
+            dotted_mod = _module_dotted(module.relpath)
+            imports = ImportMap(module.tree)
+            aliases: list[tuple[str, str | None, str, ast.expr]] = []
+            for info in iter_functions(module.tree):
+                self.method_homes.setdefault(info.name, set()).add((dotted_mod, info.cls))
+                for node in ast.walk(info.node):
+                    if not (isinstance(node, ast.Assign) and isinstance(node.value, ast.Call)):
+                        continue
+                    factory = imports.resolve(dotted_name(node.value.func) or "")
+                    if factory not in _LOCK_FACTORIES and factory != _CONDITION_FACTORY:
+                        continue
+                    for tgt in node.targets:
+                        attr = self._self_attr(tgt) or (
+                            tgt.id if isinstance(tgt, ast.Name) else None
+                        )
+                        if attr is None:
+                            continue
+                        cls = info.cls if self._self_attr(tgt) else None
+                        if factory == _CONDITION_FACTORY and node.value.args:
+                            # Condition(self._lock) shares the lock: alias.
+                            aliases.append((dotted_mod, cls, attr, node.value.args[0]))
+                            continue
+                        node_id = f"{module.relpath}:{node.value.lineno}"
+                        kind = factory.rsplit(".", 1)[-1]
+                        owner = cls or dotted_mod.rsplit(".", 1)[-1]
+                        self.lock_defs[(dotted_mod, cls, attr)] = node_id
+                        self.graph.nodes[node_id] = f"{owner}.{attr} [{kind}]"
+            # module-scope assignments (rare but legal)
+            for stmt in module.tree.body:
+                if not (isinstance(stmt, ast.Assign) and isinstance(stmt.value, ast.Call)):
+                    continue
+                factory = imports.resolve(dotted_name(stmt.value.func) or "")
+                if factory in _LOCK_FACTORIES or (
+                    factory == _CONDITION_FACTORY and not stmt.value.args
+                ):
+                    for tgt in stmt.targets:
+                        if isinstance(tgt, ast.Name):
+                            node_id = f"{module.relpath}:{stmt.value.lineno}"
+                            self.lock_defs[(dotted_mod, None, tgt.id)] = node_id
+                            kind = factory.rsplit(".", 1)[-1]
+                            self.graph.nodes[node_id] = f"{tgt.id} [{kind}]"
+            for dotted_mod2, cls, attr, target_expr in aliases:
+                bound = self._bind_lock_expr(target_expr, dotted_mod2, cls)
+                if bound is not None:
+                    self.lock_defs[(dotted_mod2, cls, attr)] = bound
+
+    @staticmethod
+    def _self_attr(node: ast.AST) -> str | None:
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            return node.attr
+        return None
+
+    # -- lock reference binding ---------------------------------------- #
+    def _bind_lock_expr(self, expr: ast.expr, dotted_mod: str, cls: str | None) -> str | None:
+        """Resolve an expression to a lock node id, or ``None``."""
+        attr = self._self_attr(expr)
+        if attr is not None:
+            hit = self.lock_defs.get((dotted_mod, cls, attr))
+            if hit is not None:
+                return hit
+            # inherited / sibling-class attribute in the same module
+            return self._unique_attr_in_module(dotted_mod, attr)
+        if isinstance(expr, ast.Name):
+            return self.lock_defs.get((dotted_mod, None, expr.id))
+        if isinstance(expr, ast.Attribute):
+            # obj.lock — bind by attribute name when exactly one class in
+            # the module (else the project) defines a lock by that name.
+            return self._unique_attr_in_module(dotted_mod, expr.attr) or self._unique_attr(
+                expr.attr
+            )
+        return None
+
+    def _unique_attr_in_module(self, dotted_mod: str, attr: str) -> str | None:
+        hits = {
+            node
+            for (mod, _cls, a), node in self.lock_defs.items()
+            if mod == dotted_mod and a == attr
+        }
+        return hits.pop() if len(hits) == 1 else None
+
+    def _unique_attr(self, attr: str) -> str | None:
+        hits = {node for (_mod, _cls, a), node in self.lock_defs.items() if a == attr}
+        return hits.pop() if len(hits) == 1 else None
+
+    # -- pass 2: function scans ---------------------------------------- #
+    def scan_functions(self) -> None:
+        for module in self.modules:
+            dotted_mod = _module_dotted(module.relpath)
+            pimports = _ProjectImports(module)
+            for info in iter_functions(module.tree):
+                key = ("fn", dotted_mod, info.cls, info.name)
+                record = _FuncRecord(key=key, relpath=module.relpath)
+                scanner = _FunctionScanner(self, module, dotted_mod, info.cls, pimports, record)
+                for stmt in info.node.body:
+                    scanner.visit(stmt)
+                # Keep the record that saw lock activity; duplicates (same
+                # name nested twice) merge conservatively.
+                if key in self.funcs:
+                    self.funcs[key].direct |= record.direct
+                    self.funcs[key].calls.extend(record.calls)
+                else:
+                    self.funcs[key] = record
+
+    # -- pass 3: inter-procedural closure ------------------------------ #
+    def propagate(self) -> None:
+        trans: dict[tuple, set[str]] = {k: set(r.direct) for k, r in self.funcs.items()}
+        changed = True
+        while changed:
+            changed = False
+            for key, record in self.funcs.items():
+                acc = trans[key]
+                before = len(acc)
+                for _held, callee, _site in record.calls:
+                    target = self._resolve_callee(callee)
+                    if target is not None:
+                        acc |= trans.get(target, set())
+                if len(acc) != before:
+                    changed = True
+        for record in self.funcs.values():
+            for held, callee, site in record.calls:
+                target = self._resolve_callee(callee)
+                if target is None:
+                    continue
+                for dst in trans.get(target, set()):
+                    for src in held:
+                        self.graph.add_edge(src, dst, site)
+
+    def _resolve_callee(self, callee: tuple) -> tuple | None:
+        kind = callee[0]
+        if kind == "exact":
+            key = ("fn",) + callee[1:]
+            return key if key in self.funcs else None
+        if kind == "method":
+            name = callee[1]
+            homes = self.method_homes.get(name, set())
+            if len(homes) == 1:
+                mod, cls = next(iter(homes))
+                return ("fn", mod, cls, name)
+        return None
+
+
+class _FunctionScanner(ast.NodeVisitor):
+    """Walk one function body tracking the held-lock stack in source order."""
+
+    def __init__(
+        self,
+        extractor: _Extractor,
+        module: SourceModule,
+        dotted_mod: str,
+        cls: str | None,
+        pimports: _ProjectImports,
+        record: _FuncRecord,
+    ) -> None:
+        self.x = extractor
+        self.module = module
+        self.dotted_mod = dotted_mod
+        self.cls = cls
+        self.pimports = pimports
+        self.record = record
+        self.held: list[str] = []
+        self._imports = ImportMap(module.tree)
+
+    # Nested defs get their own scan via iter_functions — don't descend.
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        pass
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        pass
+
+    def _site(self, node: ast.AST, descr: str) -> str:
+        return f"{self.module.relpath}:{node.lineno} {descr}"
+
+    def _acquire(self, lock: str, node: ast.AST, descr: str) -> None:
+        self.record.direct.add(lock)
+        for src in self.held:
+            self.x.graph.add_edge(src, lock, self._site(node, descr))
+
+    def visit_With(self, node: ast.With) -> None:
+        pushed = 0
+        for item in node.items:
+            expr = item.context_expr
+            # ``with lock:`` or ``with lock.acquire_timeout():``-style —
+            # bind the bare expression first, then a call's receiver.
+            lock = self.x._bind_lock_expr(expr, self.dotted_mod, self.cls)
+            if lock is None and isinstance(expr, ast.Call):
+                self.visit(expr)
+                continue
+            if lock is not None:
+                self._acquire(lock, item.context_expr, "with-block")
+                self.held.append(lock)
+                pushed += 1
+        for stmt in node.body:
+            self.visit(stmt)
+        for _ in range(pushed):
+            self.held.pop()
+
+    visit_AsyncWith = visit_With
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            receiver_lock = self.x._bind_lock_expr(func.value, self.dotted_mod, self.cls)
+            if func.attr == "acquire" and receiver_lock is not None:
+                self._acquire(receiver_lock, node, ".acquire()")
+                self.held.append(receiver_lock)
+                self.generic_visit(node)
+                return
+            if func.attr == "release" and receiver_lock is not None:
+                if receiver_lock in self.held:
+                    # Release the innermost holding of that role.
+                    self.held.reverse()
+                    self.held.remove(receiver_lock)
+                    self.held.reverse()
+                self.generic_visit(node)
+                return
+        if self.held:
+            self._note_call(node)
+        self.generic_visit(node)
+
+    def _note_call(self, node: ast.Call) -> None:
+        func = node.func
+        held = tuple(self.held)
+        # blocking-call check
+        dotted = dotted_name(func)
+        resolved = self._imports.resolve(dotted) if dotted else None
+        blocking = None
+        if resolved in _BLOCKING_DOTTED:
+            blocking = resolved
+        elif isinstance(func, ast.Attribute) and func.attr in _BLOCKING_ATTRS:
+            receiver = terminal_name(func.value)
+            # A receiver we cannot even name (string literal ``", ".join``,
+            # call result) is not a socket/executor/thread handle.
+            if receiver is not None and self.x._bind_lock_expr(
+                func.value, self.dotted_mod, self.cls
+            ) is None:
+                blocking = f"{receiver}.{func.attr}"
+        elif (
+            isinstance(func, ast.Attribute)
+            and func.attr == "get"
+            and any(tag in (terminal_name(func.value) or "").lower() for tag in _QUEUEISH)
+        ):
+            blocking = f"{terminal_name(func.value)}.get"
+        if blocking is not None:
+            self.x.graph.blocking.append(
+                (held[-1], self._site(node, f"call {blocking}()"), blocking)
+            )
+
+        # inter-procedural record
+        callee: tuple | None = None
+        if isinstance(func, ast.Name):
+            origin = self.pimports.map.get(func.id)
+            if origin is not None and origin.startswith("repro"):
+                mod, _, name = origin.rpartition(".")
+                callee = ("exact", mod, None, name)
+            else:
+                callee = ("exact", self.dotted_mod, None, func.id)
+        elif isinstance(func, ast.Attribute):
+            if isinstance(func.value, ast.Name) and func.value.id == "self":
+                callee = ("exact", self.dotted_mod, self.cls, func.attr)
+            else:
+                base = dotted_name(func.value)
+                origin = self.pimports.map.get(base) if base else None
+                if origin is not None and origin.startswith("repro"):
+                    callee = ("exact", origin, None, func.attr)
+                else:
+                    callee = ("method", func.attr)
+        if callee is not None:
+            self.record.calls.append((held, callee, self._site(node, "via call")))
+
+
+def extract_lock_graph(modules: Sequence[SourceModule]) -> LockGraph:
+    """Build the project lock-order graph from parsed modules."""
+    extractor = _Extractor(modules)
+    extractor.collect_defs()
+    extractor.scan_functions()
+    extractor.propagate()
+    return extractor.graph
+
+
+@project_rule
+class LockOrderRule(ProjectRule):
+    """LOCK001 — the acquisition-order graph must be acyclic."""
+
+    rule_id = "LOCK001"
+    severity = "error"
+    title = "lock-order cycle (static deadlock risk)"
+
+    def check_project(self, modules: Sequence[SourceModule]) -> Iterable[Finding]:
+        graph = extract_lock_graph(modules)
+        path_of = {m.relpath: m.path for m in modules}
+        for cycle in find_cycles(graph.edges):
+            # Anchor the finding at the first edge's first recorded site.
+            first_sites = graph.edges.get((cycle[0], cycle[1]), ["?:1"])
+            site = first_sites[0].split(" ")[0]
+            relpath, _, line = site.rpartition(":")
+            pretty = " -> ".join(graph.label(n) for n in cycle)
+            sites = sorted(
+                s
+                for a, b in zip(cycle, cycle[1:], strict=False)
+                for s in graph.edges.get((a, b), [])
+            )
+            yield Finding(
+                file=path_of.get(relpath, relpath),
+                line=int(line) if line.isdigit() else 1,
+                rule_id=self.rule_id,
+                severity=self.severity,
+                message=f"lock-order cycle: {pretty}",
+                detail={"cycle": cycle, "sites": sites},
+            )
+
+
+@project_rule
+class BlockingUnderLockRule(ProjectRule):
+    """LOCK002 — no blocking call while a project lock is held."""
+
+    rule_id = "LOCK002"
+    severity = "error"
+    title = "blocking call while holding a project lock"
+
+    def check_project(self, modules: Sequence[SourceModule]) -> Iterable[Finding]:
+        graph = extract_lock_graph(modules)
+        path_of = {m.relpath: m.path for m in modules}
+        for lock, site, call in graph.blocking:
+            loc, _, _descr = site.partition(" ")
+            relpath, _, line = loc.rpartition(":")
+            yield Finding(
+                file=path_of.get(relpath, relpath),
+                line=int(line) if line.isdigit() else 1,
+                rule_id=self.rule_id,
+                severity=self.severity,
+                message=f"blocking call {call}() while holding {graph.label(lock)}",
+                detail={"lock": lock},
+            )

@@ -1,0 +1,261 @@
+"""Runtime lock-order sanitizer (``REPRO_LOCKCHECK=1``).
+
+The static extractor (:mod:`repro.analysis.lockgraph`) cannot see
+acquisition orders that only exist dynamically — locks reached through
+callbacks, executors, or data-driven dispatch.  This module is the
+dynamic cross-check: :func:`install` patches ``threading.Lock`` /
+``threading.RLock`` so that locks *created from project code* come back
+wrapped in a tracking proxy.  Each proxy records, per thread, which lock
+roles were held when it was acquired; every (held -> acquired) pair
+becomes an observed edge.
+
+A lock's *role* is its creation site (``repro/x.py:LINE``) — the same
+node id the static graph uses — so :func:`check` can merge observed
+edges into the statically extracted graph and fail on any cycle in the
+union.  Conditions need no special handling: ``threading.Condition(lock)``
+receives an already-tracked proxy and every ``wait()`` release/reacquire
+flows through it, keeping the held-stack honest across waits.
+
+The proxies add one dict lookup and a few list ops per acquisition —
+cheap enough to leave on for a whole concurrency test suite, which is
+exactly how CI runs it (see ``tests/conftest.py``).
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+
+from .findings import normalize_path
+
+__all__ = [
+    "LockOrderRecorder",
+    "recorder",
+    "install",
+    "uninstall",
+    "installed",
+    "check",
+]
+
+_REAL_LOCK = threading.Lock
+_REAL_RLOCK = threading.RLock
+
+
+class LockOrderRecorder:
+    """Process-wide observed-edge store with a per-thread held stack."""
+
+    def __init__(self) -> None:
+        self._local = threading.local()
+        self._mutex = _REAL_LOCK()
+        #: (src role, dst role) -> example "thread-name: src -> dst"
+        self.edges: dict[tuple[str, str], str] = {}
+        self.roles: dict[str, int] = {}  # role -> times acquired
+        self.n_acquisitions = 0
+
+    def _stack(self) -> list[tuple[str, int]]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def note_acquired(self, role: str, instance: int) -> None:
+        stack = self._stack()
+        held_roles = {r for r, _ in stack}
+        new_edges = [(r, role) for r in held_roles if r != role and (r, role) not in self.edges]
+        stack.append((role, instance))
+        with self._mutex:
+            self.n_acquisitions += 1
+            self.roles[role] = self.roles.get(role, 0) + 1
+            for edge in new_edges:
+                self.edges.setdefault(edge, f"observed in thread {threading.current_thread().name}")
+
+    def note_released(self, role: str, instance: int) -> None:
+        stack = self._stack()
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i] == (role, instance):
+                del stack[i]
+                return
+
+    def snapshot_edges(self) -> dict[tuple[str, str], str]:
+        with self._mutex:
+            return dict(self.edges)
+
+    def reset(self) -> None:
+        with self._mutex:
+            self.edges.clear()
+            self.roles.clear()
+            self.n_acquisitions = 0
+
+
+#: The process-wide recorder every proxy reports to.
+recorder = LockOrderRecorder()
+
+
+class _TrackedLock:
+    """Duck-typed ``threading.Lock`` reporting acquisitions to the recorder."""
+
+    _kind = "Lock"
+
+    def __init__(self, role: str, inner=None) -> None:
+        self._inner = inner if inner is not None else _REAL_LOCK()
+        self._role = role
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        got = self._inner.acquire(blocking, timeout)
+        if got:
+            recorder.note_acquired(self._role, id(self))
+        return got
+
+    def release(self) -> None:
+        self._inner.release()
+        recorder.note_released(self._role, id(self))
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __enter__(self):
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    # Condition-compatibility hooks (threading.Condition probes for these).
+    def _release_save(self):
+        self.release()
+
+    def _acquire_restore(self, _state) -> None:
+        self.acquire()
+
+    def _is_owned(self) -> bool:
+        # Same probe stock Condition uses for non-RLock locks, but against
+        # the raw inner lock so the probe never pollutes the recorder.
+        if self._inner.acquire(False):
+            self._inner.release()
+            return False
+        return True
+
+    def __repr__(self) -> str:
+        return f"<Tracked{self._kind} role={self._role}>"
+
+
+class _TrackedRLock(_TrackedLock):
+    _kind = "RLock"
+
+    def __init__(self, role: str) -> None:
+        super().__init__(role, _REAL_RLOCK())
+
+    def _release_save(self):
+        # Fully unwind reentrant holds, mirroring RLock._release_save.
+        state = self._inner._release_save()
+        recorder.note_released(self._role, id(self))
+        return state
+
+    def _acquire_restore(self, state) -> None:
+        self._inner._acquire_restore(state)
+        recorder.note_acquired(self._role, id(self))
+
+    def _is_owned(self) -> bool:
+        return self._inner._is_owned()
+
+
+_STATE: dict = {"installed": False, "path_markers": ()}
+
+
+def _role_for_caller(depth: int = 2) -> str | None:
+    frame = sys._getframe(depth)
+    filename = frame.f_code.co_filename.replace("\\", "/")
+    for marker in _STATE["path_markers"]:
+        if marker in filename:
+            return f"{normalize_path(filename)}:{frame.f_lineno}"
+    return None
+
+
+def _lock_factory():
+    role = _role_for_caller()
+    return _REAL_LOCK() if role is None else _TrackedLock(role)
+
+
+def _rlock_factory():
+    role = _role_for_caller()
+    return _REAL_RLOCK() if role is None else _TrackedRLock(role)
+
+
+def install(path_markers: tuple[str, ...] = ("/repro/",)) -> None:
+    """Patch the lock factories so project-created locks are tracked.
+
+    ``path_markers`` are substrings matched against the *creating*
+    frame's filename — only locks born in matching files get proxies, so
+    stdlib and third-party internals keep raw primitives.  Idempotent;
+    :func:`uninstall` restores the real factories (existing proxies keep
+    working — they wrap real locks).
+    """
+    _STATE["path_markers"] = tuple(path_markers)
+    if _STATE["installed"]:
+        return
+    threading.Lock = _lock_factory
+    threading.RLock = _rlock_factory
+    _STATE["installed"] = True
+
+
+def uninstall() -> None:
+    if not _STATE["installed"]:
+        return
+    threading.Lock = _REAL_LOCK
+    threading.RLock = _REAL_RLOCK
+    _STATE["installed"] = False
+
+
+def installed() -> bool:
+    return bool(_STATE["installed"])
+
+
+def check(src_paths: tuple[str, ...] = ("src",)) -> dict:
+    """Merge observed edges into the static graph and detect cycles.
+
+    Returns a report dict::
+
+        {"observed_edges": int, "static_edges": int, "merged_edges": int,
+         "roles": int, "acquisitions": int, "cycles": [[node, ...], ...],
+         "cycle_reports": ["A -> B -> A (observed ...)", ...]}
+
+    The caller decides what to do with a non-empty ``cycles`` list (the
+    pytest wiring fails the session).  Static extraction failures fall
+    back to checking the observed edges alone — a dynamic-only check is
+    still a real check.
+    """
+    from .engine import iter_python_files, load_module
+    from .lockgraph import extract_lock_graph, find_cycles
+
+    observed = recorder.snapshot_edges()
+    try:
+        modules = [load_module(p) for p in iter_python_files(src_paths)]
+        graph = extract_lock_graph(modules)
+    except OSError:
+        modules, graph = [], None
+
+    merged: dict[tuple[str, str], str] = {}
+    static_count = 0
+    if graph is not None:
+        for (src, dst), sites in graph.edges.items():
+            merged[(src, dst)] = f"static: {sites[0]}"
+            static_count += 1
+    for edge, descr in observed.items():
+        merged.setdefault(edge, descr)
+
+    labels = dict(graph.nodes) if graph is not None else {}
+    cycles = find_cycles(merged)
+    reports = []
+    for cycle in cycles:
+        pretty = " -> ".join(f"{labels.get(n, n)} ({n})" if n in labels else n for n in cycle)
+        evidence = [merged[(a, b)] for a, b in zip(cycle, cycle[1:], strict=False) if (a, b) in merged]
+        reports.append(f"{pretty} [{'; '.join(evidence)}]")
+    return {
+        "observed_edges": len(observed),
+        "static_edges": static_count,
+        "merged_edges": len(merged),
+        "roles": len(recorder.roles),
+        "acquisitions": recorder.n_acquisitions,
+        "cycles": cycles,
+        "cycle_reports": reports,
+    }

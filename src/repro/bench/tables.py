@@ -6,7 +6,7 @@ keep that output aligned and diff-friendly (no external dependencies).
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 __all__ = ["render_table", "render_series", "format_seconds"]
 
@@ -45,10 +45,10 @@ def render_table(
     if title:
         lines.append(title)
     sep = "-+-".join("-" * w for w in widths)
-    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths, strict=True)))
     lines.append(sep)
     for row in cells:
-        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths, strict=True)))
     return "\n".join(lines)
 
 

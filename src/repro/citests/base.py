@@ -3,7 +3,8 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import NamedTuple, Protocol, Sequence, runtime_checkable
+from collections.abc import Sequence
+from typing import NamedTuple, Protocol, runtime_checkable
 
 __all__ = ["CITestResult", "CITestCounters", "ConditionalIndependenceTest"]
 

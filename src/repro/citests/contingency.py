@@ -35,7 +35,7 @@ the reference oracle for the batched kernel.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

@@ -9,7 +9,7 @@ as used by some gene-network pipelines cited in the paper's related work).
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 from ..datasets.dataset import DiscreteDataset
 from .base import CITestResult

@@ -15,7 +15,7 @@ Never use this for real workloads — that is the point.
 from __future__ import annotations
 
 from math import log
-from typing import Sequence
+from collections.abc import Sequence
 
 from ..datasets.dataset import DiscreteDataset
 from .base import CITestCounters, CITestResult

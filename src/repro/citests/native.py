@@ -88,7 +88,7 @@ def _probe_numba() -> bool:
     global _NB_FUSED
     try:
         import numba
-    except Exception:
+    except Exception:  # repro: ignore[REPRO006] - any import failure means "no backend"
         return False
     try:
 
@@ -105,7 +105,7 @@ def _probe_numba() -> bool:
 
         _NB_FUSED = _fused
         return True
-    except Exception:  # pragma: no cover - numba present but broken
+    except Exception:  # pragma: no cover - numba present but broken  # repro: ignore[REPRO006]
         return False
 
 
@@ -159,7 +159,7 @@ def _probe_cext() -> bool:
         ]
         _C_LIB = {"i32": lib.fused_counts_i32, "i64": lib.fused_counts_i64}
         return True
-    except Exception:
+    except Exception:  # repro: ignore[REPRO006] - compile/link probe: failure means "no backend"
         return False
 
 

@@ -10,7 +10,7 @@ statistical noise.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 from ..graphs.separation import DSeparationOracle
 from ..networks.bayesnet import DiscreteBayesianNetwork

@@ -55,7 +55,7 @@ deliberately *not* credited — see its module docstring.
 from __future__ import annotations
 
 from itertools import repeat
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 from scipy.special import gammaincc
@@ -922,10 +922,10 @@ class ContingencyTableTest:
                 ind_l[b:c],
             )
             if not cached:
-                for e, r in zip(sub, recs):
+                for e, r in zip(sub, recs, strict=True):
                     res_g[e.i] = r
                 continue
-            for w, r in zip(range(b, c), recs):
+            for w, r in zip(range(b, c), recs, strict=True):
                 e = wave[w]
                 res_g[e.i] = r
                 # Materialise a standalone copy: a contiguous *view* would

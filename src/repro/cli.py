@@ -90,7 +90,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Sequence
+from collections.abc import Sequence
 
 __all__ = ["main", "build_parser"]
 
@@ -102,7 +102,9 @@ def _gs_argument(value: str):
     try:
         gs = int(value)
     except ValueError:
-        raise argparse.ArgumentTypeError(f"--gs expects an integer or 'auto', got {value!r}")
+        raise argparse.ArgumentTypeError(
+            f"--gs expects an integer or 'auto', got {value!r}"
+        ) from None
     if gs < 1:
         raise argparse.ArgumentTypeError("--gs must be >= 1")
     return gs
@@ -404,6 +406,33 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("table1", "table2", "table3", "table4", "fig2", "fig3", "fig4", "fig5", "all"),
     )
     exp.add_argument("--samples", type=int, default=5000)
+
+    an = sub.add_parser(
+        "analyze",
+        help="run the project linter + lock-order detector over source trees",
+        description=(
+            "Static analysis gate: the REPRO00x invariant pack plus the "
+            "inter-procedural lock-order graph (LOCK001 cycles, LOCK002 "
+            "blocking-under-lock). Exit 0 means zero unsuppressed findings."
+        ),
+    )
+    an.add_argument(
+        "paths", nargs="*", default=["src"], help="files or directories to analyze (default: src)"
+    )
+    an.add_argument("--format", choices=("human", "json"), default="human", dest="fmt")
+    an.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule ids to run (default: all), e.g. REPRO006,LOCK001",
+    )
+    an.add_argument(
+        "--no-lockgraph",
+        action="store_true",
+        help="skip the project-level lock-order rules (module rules only)",
+    )
+    an.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue and exit"
+    )
     return parser
 
 
@@ -568,7 +597,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         if args.requests == "-":
             yield from _iter_jsonl(sys.stdin)
         else:
-            with open(args.requests, "r", encoding="utf-8") as fh:
+            with open(args.requests, encoding="utf-8") as fh:
                 yield from _iter_jsonl(fh)
 
     interrupted = False
@@ -678,7 +707,7 @@ def _serve_stream(args: argparse.Namespace, server) -> int:
             in_fh = (
                 sys.stdin
                 if args.requests == "-"
-                else open(args.requests, "r", encoding="utf-8")
+                else open(args.requests, encoding="utf-8")
             )
             out_fh = (
                 sys.stdout if args.out == "-" else open(args.out, "w", encoding="utf-8")
@@ -1007,6 +1036,31 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from .analysis.engine import Analyzer, all_rules
+    from .analysis.findings import format_findings
+
+    if args.list_rules:
+        for rule_id, rule in sorted(all_rules().items()):
+            print(f"{rule_id}  [{rule.severity}]  {rule.title}")
+        return 0
+    select = [r for r in args.select.split(",") if r.strip()] if args.select else None
+    try:
+        analyzer = Analyzer(select=select, lockgraph=not args.no_lockgraph)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    findings = analyzer.run(args.paths)
+    print(format_findings(findings, args.fmt))
+    if args.fmt == "json":
+        print(
+            f"analyzed {analyzer.n_files} file(s): {len(findings)} finding(s), "
+            f"{analyzer.n_suppressed} suppressed",
+            file=sys.stderr,
+        )
+    return 1 if findings else 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "learn":
@@ -1021,6 +1075,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_blanket(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
+    if args.command == "analyze":
+        return _cmd_analyze(args)
     raise AssertionError("unreachable")
 
 

@@ -8,7 +8,7 @@ configured-estimator workflow; the functional API remains the primary one.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

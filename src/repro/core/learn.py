@@ -8,7 +8,7 @@ parallel backend), and the orientation phase, and packages everything into a
 from __future__ import annotations
 
 import time
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

@@ -14,7 +14,7 @@ bookkeeping and speed differ.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping
+from collections.abc import Mapping
 
 from ..citests.base import CITestCounters
 from ..graphs.pdag import PDAG

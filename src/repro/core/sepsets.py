@@ -6,7 +6,7 @@ independent during the skeleton phase; consumed by the v-structure step.
 
 from __future__ import annotations
 
-from typing import Iterator, Mapping
+from collections.abc import Iterator, Mapping
 
 __all__ = ["SepSetStore"]
 

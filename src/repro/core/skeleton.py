@@ -40,7 +40,7 @@ is exactly the property the parallel backends rely on.
 from __future__ import annotations
 
 import time
-from typing import Sequence
+from collections.abc import Sequence
 
 from ..citests.base import ConditionalIndependenceTest
 from ..graphs.undirected import UndirectedGraph

@@ -226,7 +226,7 @@ def parse_bif(text: str) -> DiscreteBayesianNetwork:
 
 def load_bif(path: str) -> DiscreteBayesianNetwork:
     """Parse a ``.bif`` file from disk."""
-    with open(path, "r", encoding="utf-8") as fh:
+    with open(path, encoding="utf-8") as fh:
         return parse_bif(fh.read())
 
 

@@ -17,7 +17,7 @@ depends on the layout, which is exactly the effect under study.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 

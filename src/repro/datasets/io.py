@@ -59,7 +59,7 @@ def read_csv(
     """
     close = False
     if isinstance(source, str):
-        fh: io.TextIOBase = open(source, "r", encoding="utf-8", newline="")
+        fh: io.TextIOBase = open(source, encoding="utf-8", newline="")
         close = True
     else:
         fh = source
@@ -110,7 +110,7 @@ def read_codes_csv(path: str, layout: str = "variable-major") -> DiscreteDataset
     against the data width so a malformed file fails with a line-zero
     message instead of a misaligned dataset.
     """
-    with open(path, "r", encoding="utf-8") as fh:
+    with open(path, encoding="utf-8") as fh:
         header = fh.readline()
     if not header.strip():
         raise ValueError(f"{path}: empty CSV — expected a header row of variable names")

@@ -139,7 +139,7 @@ def _attach_block(name: str) -> shared_memory.SharedMemory:
                 original(name, rtype)
 
         resource_tracker.register = _skip_shared_memory
-    except Exception:
+    except (ImportError, AttributeError):  # interpreter without the tracker
         original = None
     try:
         return shared_memory.SharedMemory(name=name)
@@ -226,6 +226,12 @@ class ShmExport:
     def __exit__(self, *exc) -> None:
         self.close()
 
+    def __getstate__(self):
+        # SharedMemory pickles by *name*: an unpickled copy would attach
+        # in the child and its __del__ could unmap/unlink the creator's
+        # live segments.  Only the handle may cross process boundaries.
+        raise TypeError("ShmExport is process-local; ship ShmExport.handle instead")
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = "closed" if self.closed else f"{self.handle.nbytes} shared bytes"
         return f"ShmExport({self.handle.columns_block!r}, {state})"
@@ -254,6 +260,11 @@ class AttachedBlocks:
             except BufferError:  # a live view still pins the mapping
                 pass
         self._blocks = []
+
+    def __getstate__(self):
+        # See ShmExport.__getstate__: a pickled copy's __del__ would
+        # unmap pages under the live views this holder exists to pin.
+        raise TypeError("AttachedBlocks is process-local; re-attach from the handle instead")
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"AttachedBlocks(n={len(self._blocks)})"

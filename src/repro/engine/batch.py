@@ -25,7 +25,7 @@ from __future__ import annotations
 import time
 from concurrent.futures import BrokenExecutor
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Mapping
+from collections.abc import Iterable, Iterator, Mapping
 
 from .fingerprint import request_fingerprint
 from .manifest import RunManifest

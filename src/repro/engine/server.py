@@ -85,7 +85,7 @@ import threading
 import time
 from collections import OrderedDict, deque
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Mapping
+from collections.abc import Iterable, Iterator, Mapping
 
 from ..datasets.dataset import DiscreteDataset
 from .batch import BatchServer, ParseFailure

@@ -30,7 +30,7 @@ same inputs, bit for bit.
 from __future__ import annotations
 
 import time
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -132,6 +132,8 @@ class LearningSession:
         self.store = EngineStore.ensure(store)
         self.n_skeleton_learns = 0
         self.n_skeleton_loads = 0
+        #: Failed best-effort pool teardowns after a worker crash.
+        self.n_pool_shutdown_errors = 0
         self._fingerprint: str | None = None
         spill = None
         if self.store is not None:
@@ -338,7 +340,9 @@ class LearningSession:
                 try:
                     pool.shutdown()
                 except Exception:
-                    pass
+                    # Teardown of an already-broken pool is best-effort;
+                    # the counter keeps the failure auditable.
+                    self.n_pool_shutdown_errors += 1
                 raise
         else:
             from ..parallel.adaptive import resolve_fixed_gs

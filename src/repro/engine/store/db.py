@@ -97,6 +97,15 @@ class StoreDB:
         except sqlite3.Error as exc:
             self._handle_broken_open(exc)
 
+    def __getstate__(self):
+        # A live connection (and its WAL file handles) must never ride a
+        # pickle into a worker or survive a fork: two processes writing
+        # one WAL through inherited descriptors corrupts the store.
+        # Pickle-facing tiers sever their reference instead (the stats
+        # cache nulls its spill tier); shipping the path and reopening is
+        # the supported pattern.
+        raise TypeError("StoreDB is process-local; pass the store path and reopen instead")
+
     # ------------------------------------------------------------------ #
     # opening & degradation
     # ------------------------------------------------------------------ #

@@ -52,6 +52,8 @@ class SpillTier:
         self.dataset_fp = str(dataset_fp)
         self.max_bytes = int(max_bytes)
         self._lock = threading.RLock()
+        #: Undecodable spill blobs dropped (each costs one table rebuild).
+        self.n_blob_errors = 0
         # Key index: spill keys currently on disk -> nbytes.  Loaded once;
         # kept exact by put/evict, self-healing on phantom reads (a row
         # another process evicted reads as a miss and drops from the index).
@@ -133,6 +135,7 @@ class SpillTier:
             try:
                 fields = pickle.loads(rows[0][0])
             except Exception:
+                self.n_blob_errors += 1
                 self.db.execute(
                     "DELETE FROM spill WHERE dataset_fp=? AND key=?",
                     (self.dataset_fp, kt),

@@ -38,7 +38,7 @@ import socket
 import threading
 import time
 from collections import deque
-from typing import Iterator
+from collections.abc import Iterator
 
 from .server import DEFAULT_WINDOW, EngineServer, ParseFailure
 

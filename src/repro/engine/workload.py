@@ -39,7 +39,7 @@ import random
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterator, Mapping, Sequence
+from collections.abc import Iterator, Mapping, Sequence
 
 from .server import DEFAULT_WINDOW, EngineServer
 
@@ -428,7 +428,7 @@ class WorkloadReport:
     def per_tenant(self) -> dict[str, dict]:
         """Latency summary per trace tenant (record order == timing order)."""
         buckets: dict[str, list[float]] = {}
-        for rec, t in zip(self.trace.records, self.timings):
+        for rec, t in zip(self.trace.records, self.timings, strict=True):
             buckets.setdefault(rec.tenant, []).append(t["t_done"] - t["t_in"])
         return {tenant: summarize_latencies(v) for tenant, v in sorted(buckets.items())}
 
@@ -509,6 +509,6 @@ def replay_client(client, trace: Trace, *, pace: bool = False) -> WorkloadReport
             "t_done": t_sent + lat,
             "t_yield": t_sent + lat,
         }
-        for rec, t_sent, lat in zip(trace.records, sent_at, lats)
+        for rec, t_sent, lat in zip(trace.records, sent_at, lats, strict=True)
     ]
     return WorkloadReport(trace, responses, timings, wall)

@@ -3,7 +3,7 @@ CPDAG computation."""
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 __all__ = [
     "build_children",

@@ -14,7 +14,7 @@ At most one kind may connect a pair.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from collections.abc import Iterable, Iterator
 
 __all__ = ["PDAG"]
 

@@ -14,7 +14,7 @@ direction)`` states, where a collider is traversable iff the node is in
 from __future__ import annotations
 
 from collections import deque
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 from .dag import build_children, build_parents
 

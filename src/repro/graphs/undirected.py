@@ -9,7 +9,7 @@ from the mutating graph).
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from collections.abc import Iterable, Iterator
 
 __all__ = ["UndirectedGraph"]
 

@@ -9,7 +9,7 @@ module makes executable.  ``intervene`` returns the mutilated network;
 
 from __future__ import annotations
 
-from typing import Mapping
+from collections.abc import Mapping
 
 import numpy as np
 

@@ -14,7 +14,7 @@ a two-pass (collect/distribute) sum-product message schedule.
 
 from __future__ import annotations
 
-from typing import Mapping
+from collections.abc import Mapping
 
 import numpy as np
 

@@ -9,7 +9,7 @@ likelihood along its own sample path.
 
 from __future__ import annotations
 
-from typing import Mapping
+from collections.abc import Mapping
 
 import numpy as np
 

@@ -9,7 +9,7 @@ alpha) smoothing — the classical BDeu-style pseudo-count estimator.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

@@ -42,7 +42,7 @@ import multiprocessing
 import os
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from functools import partial
-from typing import Sequence
+from collections.abc import Sequence
 
 from ..citests.base import ConditionalIndependenceTest
 from ..datasets.dataset import DiscreteDataset
@@ -178,7 +178,7 @@ def _read_private_kb() -> int | None:
     Returns ``None`` where the proc interface is unavailable.
     """
     try:
-        with open("/proc/self/smaps_rollup", "r", encoding="ascii") as fh:
+        with open("/proc/self/smaps_rollup", encoding="ascii") as fh:
             total = 0
             for line in fh:
                 if line.startswith(("Private_Clean:", "Private_Dirty:")):

@@ -100,7 +100,7 @@ def ci_level_skeleton(
             verdict_lists = workers.eval_groups(jobs, alpha=alpha_override)
             round_s = time.perf_counter() - t_round
             round_tests = sum(len(sets) for _, sets in job_meta)
-            for (task, sets), verdicts in zip(job_meta, verdict_lists):
+            for (task, sets), verdicts in zip(job_meta, verdict_lists, strict=True):
                 task.advance(len(sets))
                 d_stats.n_tests += len(sets)
                 d_stats.n_groups += 1

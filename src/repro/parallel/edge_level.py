@@ -70,7 +70,7 @@ def edge_level_skeleton(
         results = workers.eval_edges(jobs)
 
         found: dict[tuple[int, int], list[tuple[int, tuple[int, ...]]]] = {}
-        for rank, (task, (n_exec, accepting)) in enumerate(zip(tasks, results)):
+        for rank, (task, (n_exec, accepting)) in enumerate(zip(tasks, results, strict=True)):
             d_stats.n_tests += n_exec
             d_stats.n_groups += n_exec  # gs = 1 semantics inside workers
             if accepting is not None:

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

@@ -15,7 +15,7 @@ re-scoring into a dictionary lookup.
 from __future__ import annotations
 
 from math import lgamma, log
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

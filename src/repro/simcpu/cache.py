@@ -16,7 +16,7 @@ survives, which is what Table IV demonstrates.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 __all__ = ["CacheSim", "CacheStats", "column_fill_accesses", "simulate_fill_misses"]
 

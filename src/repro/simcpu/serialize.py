@@ -94,5 +94,5 @@ def save_trace(depths: list[DepthTrace], path: str) -> None:
 
 
 def load_trace(path: str) -> list[DepthTrace]:
-    with open(path, "r", encoding="utf-8") as fh:
+    with open(path, encoding="utf-8") as fh:
         return trace_from_json(fh.read())

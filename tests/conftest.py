@@ -1,9 +1,27 @@
-"""Shared fixtures for the test-suite."""
+"""Shared fixtures for the test-suite.
+
+``REPRO_LOCKCHECK=1`` arms the runtime lock-order sanitizer for the
+whole session: project locks created after this conftest imports come
+back wrapped in recording proxies (see :mod:`repro.analysis.runtime`),
+and at session end the observed per-thread acquisition orders are merged
+into the statically extracted lock graph — any cycle in the union fails
+the run.  CI runs the concurrency suites under this flag.
+"""
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+
+# Instrument *before* the repro engine modules import, so even locks
+# created at module import time get tracked proxies.
+_LOCKCHECK = bool(os.environ.get("REPRO_LOCKCHECK"))
+if _LOCKCHECK:
+    from repro.analysis import runtime as _lockcheck_runtime
+
+    _lockcheck_runtime.install()
 
 from _timeouts import hard_timeout, readline_with_timeout
 from repro.datasets.dataset import DiscreteDataset
@@ -60,3 +78,22 @@ def small_random_data(small_random_net) -> DiscreteDataset:
 @pytest.fixture()
 def rng() -> np.random.Generator:
     return np.random.default_rng(12345)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Lock-order sanity gate: fail the run on an observed/static cycle."""
+    if not _LOCKCHECK:
+        return
+    src_root = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    report = _lockcheck_runtime.check(src_paths=(src_root,))
+    tr = session.config.pluginmanager.get_plugin("terminalreporter")
+    write = tr.write_line if tr is not None else print
+    write(
+        f"[lockcheck] roles={report['roles']} acquisitions={report['acquisitions']} "
+        f"observed_edges={report['observed_edges']} static_edges={report['static_edges']} "
+        f"merged_edges={report['merged_edges']} cycles={len(report['cycles'])}"
+    )
+    if report["cycles"]:
+        for line in report["cycle_reports"]:
+            write(f"[lockcheck] CYCLE: {line}")
+        session.exitstatus = 3

@@ -36,7 +36,7 @@ def _make_tester(cls, dataset, *, batch, cache=False, **kw):
 
 def _assert_results_identical(got, want):
     assert len(got) == len(want)
-    for g, w in zip(got, want):
+    for g, w in zip(got, want, strict=True):
         assert (g.x, g.y, g.s) == (w.x, w.y, w.s)
         assert g.statistic == w.statistic  # bitwise: no tolerance
         assert g.dof == w.dof
@@ -170,7 +170,7 @@ class TestBatchedMatchesLooped:
         cache = SufficientStatsCache()
         tester = GSquareTest(asia_data, stats_cache=cache)
         tester.test_group(0, 1, [(2,), (3,), (4,)])
-        for key, entry in cache._entries.items():
+        for entry in cache._entries.values():
             if entry.kind != "table":
                 continue
             counts = entry.value[0]

@@ -151,12 +151,12 @@ class TestTraceSerialization:
     def test_json_round_trip(self, trace):
         restored = trace_from_json(trace_to_json(trace))
         assert len(restored) == len(trace)
-        for a, b in zip(restored, trace):
+        for a, b in zip(restored, trace, strict=True):
             assert a.depth == b.depth
             assert a.n_edges_start == b.n_edges_start
             assert a.n_edges_removed == b.n_edges_removed
             assert len(a.edges) == len(b.edges)
-            for ea, eb in zip(a.edges, b.edges):
+            for ea, eb in zip(a.edges, b.edges, strict=True):
                 assert (ea.u, ea.v, ea.total_possible, ea.removed) == (
                     eb.u,
                     eb.v,

@@ -71,14 +71,14 @@ class TestEncodeOverflow:
         rows = np.column_stack(cols)
         # Equal codes iff equal configurations...
         by_code: dict[int, tuple] = {}
-        for code, row in zip(codes.tolist(), map(tuple, rows)):
+        for code, row in zip(codes.tolist(), map(tuple, rows), strict=True):
             assert by_code.setdefault(code, row) == row
         assert len(by_code) == len({tuple(r) for r in rows})
         # ...and code order follows mixed-radix (lexicographic) order.
         order = sorted(range(len(codes)), key=lambda i: tuple(rows[i]))
         sorted_codes = codes[order]
         assert all(
-            a <= b for a, b in zip(sorted_codes[:-1].tolist(), sorted_codes[1:].tolist())
+            a <= b for a, b in zip(sorted_codes[:-1].tolist(), sorted_codes[1:].tolist(), strict=True)
         )
 
     def test_ci_counts_through_overflowing_depth(self, rng):
@@ -98,7 +98,7 @@ class TestEncodeOverflow:
         nonempty = [counts[k] for k in range(counts.shape[0]) if counts[k].sum()]
         expected = [brute[key] for key in sorted(brute)]
         assert len(nonempty) == len(expected)
-        for got, want in zip(nonempty, expected):
+        for got, want in zip(nonempty, expected, strict=True):
             np.testing.assert_array_equal(got, want)
 
 

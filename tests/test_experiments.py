@@ -58,7 +58,7 @@ class TestTable1:
 class TestTable2:
     def test_counts_match(self):
         out = experiment_table2()
-        for name, row in out.data.items():
+        for row in out.data.values():
             assert row["paper_nodes"] == row["built_nodes"]
             assert row["paper_edges"] == row["built_edges"]
 

@@ -215,7 +215,7 @@ class TestEvictionUnderLoad:
         oracle and nothing leaks."""
         with hard_timeout(DRILL_TIMEOUT_S, "eviction drill"):
             requests = []
-            for i in range(6):
+            for _ in range(6):
                 requests.append({"op": "learn", "dataset": "a", "max_depth": 0})
                 requests.append({"op": "learn", "dataset": "b", "max_depth": 0})
 

@@ -85,7 +85,7 @@ def _run_fused(cls, ds, groups, cache, native, chunk=4):
 
 def _assert_identical(ref, got):
     assert len(ref) == len(got)
-    for a, b in zip(ref, got):
+    for a, b in zip(ref, got, strict=True):
         assert (a.x, a.y, a.s) == (b.x, b.y, b.s)
         assert a.statistic == b.statistic  # bitwise: no tolerance
         assert a.dof == b.dof

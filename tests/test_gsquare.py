@@ -147,7 +147,7 @@ class TestGroupEvaluation:
         sets = [(), (2,)]
         group = tester.test_group(0, 1, sets)
         singles = [GSquareTest(dependent_data).test(0, 1, s) for s in sets]
-        for g, s in zip(group, singles):
+        for g, s in zip(group, singles, strict=True):
             assert g.statistic == pytest.approx(s.statistic, rel=1e-12)
             assert g.independent == s.independent
 

@@ -117,7 +117,7 @@ class TestSimulatorPipeline:
         model = CostModel(MachineSpec(region_overhead_s=1e-5))
         seq = simulate_sequential(rec.depths, model)
         speedups = [simulate(rec.depths, model, "ci", t).speedup_over(seq) for t in (1, 2, 4, 8)]
-        assert all(b > a for a, b in zip(speedups, speedups[1:]))
+        assert all(b > a for a, b in zip(speedups, speedups[1:], strict=False))
 
     def test_cache_friendly_beats_unfriendly(self, run):
         _, rec = run

@@ -28,7 +28,7 @@ class TestLearnStructure:
 
     def test_edge_name_views(self, asia_data):
         res = learn_structure(asia_data)
-        names = dict(zip(range(len(res.names)), res.names))
+        names = dict(zip(range(len(res.names)), res.names, strict=True))
         assert all(
             (a in res.names and b in res.names) for a, b in res.edge_names()
         )

@@ -51,7 +51,7 @@ class TestChiSquare:
         chi = ChiSquareTest(chain_data)
         group = chi.test_group(0, 1, [(), (2,)])
         singles = [ChiSquareTest(chain_data).test(0, 1, s) for s in [(), (2,)]]
-        for g, s in zip(group, singles):
+        for g, s in zip(group, singles, strict=True):
             assert g.statistic == pytest.approx(s.statistic)
 
     def test_invalid_params(self, chain_data):

@@ -104,7 +104,7 @@ class TestHillClimb:
 
     def test_score_trace_monotone(self, sprinkler_sample):
         res = hill_climb(sprinkler_sample)
-        assert all(b > a for a, b in zip(res.score_trace, res.score_trace[1:]))
+        assert all(b > a for a, b in zip(res.score_trace, res.score_trace[1:], strict=False))
 
     def test_max_parents_respected(self):
         data = forward_sample(cancer(), 4000, rng=1)

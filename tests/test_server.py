@@ -210,7 +210,7 @@ class TestExactness:
         for ds, data in (("asia", asia_data), ("sprinkler", sprinkler_data)):
             with LearningSession(data, alpha=0.05) as sess:
                 direct = BatchServer(sess).serve(reqs)
-            for a, b in zip(via_server[ds], direct):
+            for a, b in zip(via_server[ds], direct, strict=True):
                 assert a["fingerprint"] == b["fingerprint"]
                 assert a["cached"] == b["cached"]
                 assert json.dumps(a["result"]) == json.dumps(b["result"])
@@ -321,7 +321,7 @@ class TestConcurrentServe:
                 srv.register("asia", asia_data)
                 srv.register("sprinkler", sprinkler_data)
                 outs.append(srv.serve(reqs, threads=threads))
-        for seq, conc in zip(*outs):
+        for seq, conc in zip(*outs, strict=True):
             assert (seq["op"], seq["dataset"], seq["fingerprint"], seq["cached"]) == (
                 conc["op"], conc["dataset"], conc["fingerprint"], conc["cached"]
             )
@@ -439,7 +439,7 @@ class TestStreaming:
                 return [strip_timing(v) for v in obj]
             return obj
 
-        for seq, streamed in zip(*outs):
+        for seq, streamed in zip(*outs, strict=True):
             assert _uniform(streamed)
             for key in ("op", "dataset", "fingerprint", "cached"):
                 assert seq[key] == streamed[key]

@@ -171,7 +171,7 @@ class TestTraceRecorder:
         _, _, stats = learn_skeleton(tester, asia_net.n_nodes, recorder=recorder)
         assert recorder.n_tests == stats.n_tests
         assert len(recorder.depths) == len(stats.depths)
-        for dt, ds in zip(recorder.depths, stats.depths):
+        for dt, ds in zip(recorder.depths, stats.depths, strict=True):
             assert dt.n_edges_start == ds.n_edges_start
             assert dt.n_edges_removed == ds.n_edges_removed
             assert sum(e.n_tests for e in dt.edges) == ds.n_tests

@@ -1,0 +1,646 @@
+"""Tests for the ``repro.analysis`` linter + lock-order detector.
+
+Coverage map:
+
+* one good/bad fixture pair per REPRO00x rule, asserting the exact
+  ``Finding`` location (file, line, rule id);
+* lock-order graph: a seeded two-lock inversion must come back as a
+  LOCK001 cycle, and blocking-under-lock as LOCK002;
+* suppression semantics: line pragmas, file pragmas, the ten-line
+  window, and the wrong-rule-id case;
+* the runtime sanitizer: tracked proxies record real acquisition
+  order, Condition keeps working through the proxy, and an inverted
+  order produces a detectable cycle;
+* CLI surface: exit codes, JSON output, ``--list-rules``;
+* the repo-wide gate: ``src/`` itself must analyze clean (this is the
+  in-tree twin of the CI ``fastbns analyze src`` job).
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+import textwrap
+import threading
+
+import pytest
+
+from repro.analysis import runtime
+from repro.analysis.engine import Analyzer, SourceModule, all_rules
+from repro.analysis.findings import Finding, SuppressionIndex, format_findings, normalize_path
+from repro.analysis.lockgraph import find_cycles
+from repro.cli import main as cli_main
+
+SRC_ROOT = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+
+
+def make_module(relpath: str, source: str) -> SourceModule:
+    text = textwrap.dedent(source)
+    return SourceModule(
+        path=relpath,
+        relpath=normalize_path(relpath),
+        text=text,
+        tree=ast.parse(text),
+        lines=text.splitlines(),
+    )
+
+
+def analyze(relpath: str, source: str, select=None, lockgraph=False) -> list[Finding]:
+    analyzer = Analyzer(select=select, lockgraph=lockgraph)
+    return analyzer.run_modules([make_module(relpath, source)])
+
+
+def rule_ids(findings) -> list[str]:
+    return [f.rule_id for f in findings]
+
+
+# --------------------------------------------------------------------- #
+# REPRO001 — SharedMemory cleanup
+# --------------------------------------------------------------------- #
+class TestShmUnlinkRule:
+    BAD = """\
+    from multiprocessing.shared_memory import SharedMemory
+
+    def export(nbytes):
+        seg = SharedMemory(create=True, size=nbytes)
+        return seg
+    """
+
+    GOOD = """\
+    import weakref
+    from multiprocessing.shared_memory import SharedMemory
+
+    def export(nbytes):
+        seg = SharedMemory(create=True, size=nbytes)
+        weakref.finalize(seg, seg.unlink)
+        return seg
+    """
+
+    def test_bad_flagged_at_create_site(self):
+        findings = analyze("repro/datasets/x.py", self.BAD, select=["REPRO001"])
+        assert [(f.rule_id, f.line) for f in findings] == [("REPRO001", 4)]
+
+    def test_good_clean(self):
+        assert analyze("repro/datasets/x.py", self.GOOD, select=["REPRO001"]) == []
+
+    def test_attach_only_is_fine(self):
+        src = """\
+        from multiprocessing.shared_memory import SharedMemory
+
+        def attach(name):
+            return SharedMemory(name=name)
+        """
+        assert analyze("repro/datasets/x.py", src, select=["REPRO001"]) == []
+
+
+# --------------------------------------------------------------------- #
+# REPRO002 — determinism paths
+# --------------------------------------------------------------------- #
+class TestDeterminismRule:
+    BAD = """\
+    import time
+    import numpy as np
+
+    def stamp():
+        return time.time()
+
+    def draw():
+        return np.random.rand()
+    """
+
+    def test_wall_clock_and_global_rng_flagged(self):
+        findings = analyze("repro/core/x.py", self.BAD, select=["REPRO002"])
+        assert [(f.rule_id, f.line) for f in findings] == [("REPRO002", 5), ("REPRO002", 8)]
+
+    def test_seeded_rng_allowed(self):
+        src = """\
+        import random
+        import numpy as np
+
+        def draw(seed):
+            rng = np.random.default_rng(seed)
+            r = random.Random(seed)
+            return rng.random() + r.random()
+        """
+        assert analyze("repro/citests/x.py", src, select=["REPRO002"]) == []
+
+    def test_rule_is_path_gated(self):
+        # The same nondeterminism is legal outside the fingerprinted paths
+        # (benchmarks time things; the server stamps wall-clock latencies).
+        assert analyze("repro/bench/x.py", self.BAD, select=["REPRO002"]) == []
+
+
+# --------------------------------------------------------------------- #
+# REPRO003 — response schema
+# --------------------------------------------------------------------- #
+class TestResponseSchemaRule:
+    def test_half_schema_dict_flagged(self):
+        src = """\
+        def respond(payload):
+            return {"id": 1, "result": payload}
+        """
+        findings = analyze("repro/engine/x.py", src, select=["REPRO003"])
+        assert [(f.rule_id, f.line) for f in findings] == [("REPRO003", 2)]
+        assert "'error'" in findings[0].message
+
+    def test_dict_call_form_flagged(self):
+        src = """\
+        def respond(msg):
+            return dict(id=1, error=msg)
+        """
+        findings = analyze("repro/engine/x.py", src, select=["REPRO003"])
+        assert [(f.rule_id, f.line) for f in findings] == [("REPRO003", 2)]
+
+    def test_full_schema_clean(self):
+        src = """\
+        def respond(payload):
+            return {"id": 1, "result": payload, "error": None}
+        """
+        assert analyze("repro/engine/x.py", src, select=["REPRO003"]) == []
+
+    def test_rule_is_path_gated(self):
+        src = """\
+        def summary(ok):
+            return {"result": ok}
+        """
+        assert analyze("repro/bench/x.py", src, select=["REPRO003"]) == []
+
+
+# --------------------------------------------------------------------- #
+# REPRO004 — pickle-sever for handle holders
+# --------------------------------------------------------------------- #
+class TestPickleSeverRule:
+    BAD = """\
+    import sqlite3
+
+    class Store:
+        def __init__(self, path):
+            self._conn = sqlite3.connect(path)
+    """
+
+    def test_handle_holder_without_getstate_flagged(self):
+        findings = analyze("repro/engine/x.py", self.BAD, select=["REPRO004"])
+        assert [(f.rule_id, f.line) for f in findings] == [("REPRO004", 3)]
+        assert "Store" in findings[0].message
+
+    def test_getstate_satisfies(self):
+        src = self.BAD + "\n        def __getstate__(self):\n            raise TypeError()\n"
+        assert analyze("repro/engine/x.py", src, select=["REPRO004"]) == []
+
+    def test_reduce_satisfies(self):
+        src = self.BAD + "\n        def __reduce__(self):\n            return (Store, ())\n"
+        assert analyze("repro/engine/x.py", src, select=["REPRO004"]) == []
+
+    def test_annotation_marker_detected(self):
+        src = """\
+        import sqlite3
+
+        class Wrapper:
+            def adopt(self, conn: sqlite3.Connection):
+                self._conn = conn
+        """
+        findings = analyze("repro/engine/x.py", src, select=["REPRO004"])
+        assert rule_ids(findings) == ["REPRO004"]
+
+
+# --------------------------------------------------------------------- #
+# REPRO005 — thread lifecycle
+# --------------------------------------------------------------------- #
+class TestThreadLifecycleRule:
+    def test_leaked_thread_flagged(self):
+        src = """\
+        import threading
+
+        def start(fn):
+            t = threading.Thread(target=fn)
+            t.start()
+            return t
+        """
+        findings = analyze("repro/engine/x.py", src, select=["REPRO005"])
+        assert [(f.rule_id, f.line) for f in findings] == [("REPRO005", 4)]
+
+    def test_daemon_thread_clean(self):
+        src = """\
+        import threading
+
+        def start(fn):
+            t = threading.Thread(target=fn, daemon=True)
+            t.start()
+        """
+        assert analyze("repro/engine/x.py", src, select=["REPRO005"]) == []
+
+    def test_joined_thread_clean(self):
+        src = """\
+        import threading
+
+        def run(fn):
+            t = threading.Thread(target=fn)
+            t.start()
+            t.join()
+        """
+        assert analyze("repro/engine/x.py", src, select=["REPRO005"]) == []
+
+    def test_join_via_loop_over_container(self):
+        src = """\
+        import threading
+
+        def run(fns):
+            workers = [threading.Thread(target=fn) for fn in fns]
+            for w in workers:
+                w.start()
+            for w in workers:
+                w.join()
+        """
+        assert analyze("repro/engine/x.py", src, select=["REPRO005"]) == []
+
+
+# --------------------------------------------------------------------- #
+# REPRO006 — broad except accounting
+# --------------------------------------------------------------------- #
+class TestBroadExceptRule:
+    def test_swallowing_handler_flagged(self):
+        src = """\
+        def load(path):
+            try:
+                return open(path).read()
+            except Exception:
+                pass
+        """
+        findings = analyze("repro/engine/x.py", src, select=["REPRO006"])
+        assert [(f.rule_id, f.line) for f in findings] == [("REPRO006", 4)]
+
+    def test_narrow_handler_not_flagged(self):
+        src = """\
+        def load(path):
+            try:
+                return open(path).read()
+            except OSError:
+                pass
+        """
+        assert analyze("repro/engine/x.py", src, select=["REPRO006"]) == []
+
+    def test_reraise_accounts(self):
+        src = """\
+        def load(path):
+            try:
+                return open(path).read()
+            except Exception:
+                raise RuntimeError(path)
+        """
+        assert analyze("repro/engine/x.py", src, select=["REPRO006"]) == []
+
+    def test_counter_increment_accounts(self):
+        src = """\
+        class Tier:
+            def get(self, key):
+                try:
+                    return self._decode(key)
+                except Exception:
+                    self.n_blob_errors += 1
+                    return None
+        """
+        assert analyze("repro/engine/x.py", src, select=["REPRO006"]) == []
+
+    def test_captured_exception_reference_accounts(self):
+        src = """\
+        def run(q, fn):
+            try:
+                fn()
+            except BaseException as exc:
+                q.put(exc)
+        """
+        assert analyze("repro/engine/x.py", src, select=["REPRO006"]) == []
+
+
+# --------------------------------------------------------------------- #
+# suppression semantics
+# --------------------------------------------------------------------- #
+class TestSuppressions:
+    BAD_LINE = 'x = {"result": 1}  # repro: ignore[%s]'
+
+    def _module(self, pragma_rule: str):
+        return f'def f():\n    return {{"result": 1}}  {pragma_rule}\n'
+
+    def test_line_pragma_suppresses_named_rule(self):
+        src = self._module("# repro: ignore[REPRO003] - legacy summary doc")
+        assert analyze("repro/engine/x.py", src, select=["REPRO003"]) == []
+
+    def test_wrong_rule_id_does_not_suppress(self):
+        src = self._module("# repro: ignore[REPRO006]")
+        assert rule_ids(analyze("repro/engine/x.py", src, select=["REPRO003"])) == ["REPRO003"]
+
+    def test_blanket_pragma_suppresses_everything(self):
+        src = self._module("# repro: ignore")
+        assert analyze("repro/engine/x.py", src, select=["REPRO003"]) == []
+
+    def test_file_pragma_in_window(self):
+        src = '# repro: ignore-file[REPRO003]\ndef f():\n    return {"result": 1}\n'
+        assert analyze("repro/engine/x.py", src, select=["REPRO003"]) == []
+
+    def test_file_pragma_outside_window_ignored(self):
+        filler = "\n" * 12
+        src = filler + '# repro: ignore-file[REPRO003]\ndef f():\n    return {"result": 1}\n'
+        assert rule_ids(analyze("repro/engine/x.py", src, select=["REPRO003"])) == ["REPRO003"]
+
+    def test_suppressed_findings_are_counted(self):
+        src = self._module("# repro: ignore[REPRO003]")
+        analyzer = Analyzer(select=["REPRO003"], lockgraph=False)
+        assert analyzer.run_modules([make_module("repro/engine/x.py", src)]) == []
+        assert analyzer.n_suppressed == 1
+
+    def test_index_parses_multiple_rules(self):
+        idx = SuppressionIndex(["x = 1  # repro: ignore[REPRO001, LOCK002]"])
+        assert idx.is_suppressed(1, "REPRO001")
+        assert idx.is_suppressed(1, "lock002")
+        assert not idx.is_suppressed(1, "REPRO003")
+        assert not idx.is_suppressed(2, "REPRO001")
+
+
+# --------------------------------------------------------------------- #
+# lock-order graph
+# --------------------------------------------------------------------- #
+INVERTED = """\
+import threading
+
+class Pair:
+    def __init__(self):
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+
+    def forward(self):
+        with self._a:
+            with self._b:
+                return 1
+
+    def backward(self):
+        with self._b:
+            with self._a:
+                return 2
+"""
+
+
+class TestLockGraph:
+    def test_find_cycles_on_plain_edges(self):
+        assert find_cycles([("A", "B"), ("B", "C")]) == []
+        cycles = find_cycles([("A", "B"), ("B", "A")])
+        assert len(cycles) == 1
+        assert cycles[0][0] == cycles[0][-1]
+        assert set(cycles[0]) == {"A", "B"}
+
+    def test_two_lock_inversion_is_lock001(self):
+        findings = analyze("repro/engine/x.py", INVERTED, select=["LOCK001"], lockgraph=True)
+        assert rule_ids(findings) == ["LOCK001"]
+        assert "cycle" in findings[0].message.lower()
+
+    def test_consistent_order_clean(self):
+        src = INVERTED.replace(
+            "with self._b:\n            with self._a:",
+            "with self._a:\n            with self._b:",
+        )
+        assert src != INVERTED  # the inversion really was rewritten
+        assert analyze("repro/engine/x.py", src, select=["LOCK001"], lockgraph=True) == []
+
+    def test_interprocedural_inversion_caught(self):
+        src = """\
+        import threading
+
+        class Pair:
+            def __init__(self):
+                self._a = threading.Lock()
+                self._b = threading.Lock()
+
+            def locked_b(self):
+                with self._b:
+                    return 1
+
+            def forward(self):
+                with self._a:
+                    return self.locked_b()
+
+            def backward(self):
+                with self._b:
+                    with self._a:
+                        return 2
+        """
+        findings = analyze("repro/engine/x.py", src, select=["LOCK001"], lockgraph=True)
+        assert rule_ids(findings) == ["LOCK001"]
+
+    def test_blocking_under_lock_is_lock002(self):
+        src = """\
+        import threading
+        import time
+
+        class Slow:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def nap(self):
+                with self._lock:
+                    time.sleep(1.0)
+        """
+        findings = analyze("repro/engine/x.py", src, select=["LOCK002"], lockgraph=True)
+        assert [(f.rule_id, f.line) for f in findings] == [("LOCK002", 10)]
+
+    def test_blocking_outside_lock_clean(self):
+        src = """\
+        import threading
+        import time
+
+        class Slow:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def nap(self):
+                with self._lock:
+                    pass
+                time.sleep(1.0)
+        """
+        assert analyze("repro/engine/x.py", src, select=["LOCK002"], lockgraph=True) == []
+
+
+# --------------------------------------------------------------------- #
+# runtime sanitizer
+# --------------------------------------------------------------------- #
+@pytest.fixture()
+def fresh_recorder(monkeypatch):
+    """Route proxy events into a throwaway recorder (never the process one:
+    under ``REPRO_LOCKCHECK=1`` the global feeds the session-end gate)."""
+    rec = runtime.LockOrderRecorder()
+    monkeypatch.setattr(runtime, "recorder", rec)
+    return rec
+
+
+class TestRuntimeSanitizer:
+    def test_tracked_lock_records_order(self, fresh_recorder):
+        a = runtime._TrackedLock("role-a")
+        b = runtime._TrackedLock("role-b")
+        with a:
+            with b:
+                pass
+        assert ("role-a", "role-b") in fresh_recorder.snapshot_edges()
+        assert ("role-b", "role-a") not in fresh_recorder.snapshot_edges()
+        assert fresh_recorder.n_acquisitions == 2
+
+    def test_inverted_orders_form_cycle(self, fresh_recorder):
+        a = runtime._TrackedLock("role-a")
+        b = runtime._TrackedLock("role-b")
+        with a:
+            with b:
+                pass
+        with b:
+            with a:
+                pass
+        cycles = find_cycles(fresh_recorder.snapshot_edges())
+        assert len(cycles) == 1
+        assert set(cycles[0]) == {"role-a", "role-b"}
+
+    def test_orders_recorded_across_threads(self, fresh_recorder):
+        a = runtime._TrackedLock("role-a")
+        b = runtime._TrackedLock("role-b")
+
+        def fwd():
+            with a:
+                with b:
+                    pass
+
+        def rev():
+            with b:
+                with a:
+                    pass
+
+        for fn in (fwd, rev):
+            t = threading.Thread(target=fn)
+            t.start()
+            t.join()
+        edges = fresh_recorder.snapshot_edges()
+        assert ("role-a", "role-b") in edges and ("role-b", "role-a") in edges
+
+    def test_condition_compatible_with_proxy(self, fresh_recorder):
+        # Condition duck-types through _release_save/_acquire_restore/_is_owned;
+        # wait() must fully release the proxy so the held stack stays honest.
+        lock = runtime._TrackedRLock("role-c")
+        cond = threading.Condition(lock)
+        fired = []
+
+        def waiter():
+            with cond:
+                while not fired:
+                    cond.wait(timeout=1.0)
+
+        t = threading.Thread(target=waiter)
+        t.start()
+        with cond:
+            fired.append(True)
+            cond.notify()
+        t.join(timeout=5.0)
+        assert not t.is_alive()
+        assert fresh_recorder.roles.get("role-c", 0) >= 2
+        assert not fresh_recorder._stack()  # main thread holds nothing now
+
+    @pytest.mark.skipif(
+        bool(os.environ.get("REPRO_LOCKCHECK")),
+        reason="factory patching is session-owned under REPRO_LOCKCHECK",
+    )
+    def test_install_patches_only_marked_paths(self, fresh_recorder):
+        runtime.install(path_markers=("test_static_analysis",))
+        try:
+            mine = threading.Lock()
+            assert isinstance(mine, runtime._TrackedLock)
+            with mine:
+                pass
+            assert fresh_recorder.n_acquisitions == 1
+        finally:
+            runtime.uninstall()
+        assert not runtime.installed()
+        assert threading.Lock is runtime._REAL_LOCK
+
+    def test_check_merges_static_and_observed(self, fresh_recorder):
+        fresh_recorder.note_acquired("x", 1)
+        fresh_recorder.note_acquired("y", 2)
+        fresh_recorder.note_released("y", 2)
+        fresh_recorder.note_released("x", 1)
+        report = runtime.check(src_paths=(SRC_ROOT,))
+        assert report["observed_edges"] == 1
+        assert report["static_edges"] > 0
+        assert report["merged_edges"] >= report["static_edges"] + 1
+        assert report["cycles"] == []
+
+
+# --------------------------------------------------------------------- #
+# output formats, CLI, and the repo-wide gate
+# --------------------------------------------------------------------- #
+class TestFormatsAndCli:
+    def test_format_human_and_json(self):
+        f = Finding(file="repro/x.py", line=3, rule_id="REPRO003", severity="error", message="m")
+        human = format_findings([f], "human")
+        assert "repro/x.py:3: REPRO003 [error] m" in human
+        assert "1 finding(s)" in human
+        doc = json.loads(format_findings([f], "json"))
+        assert doc["n_findings"] == 1
+        assert doc["findings"][0]["rule"] == "REPRO003"
+        assert format_findings([], "human") == "no findings"
+        with pytest.raises(ValueError):
+            format_findings([], "yaml")
+
+    def test_rule_catalogue_complete(self):
+        ids = set(all_rules())
+        assert {
+            "REPRO001", "REPRO002", "REPRO003", "REPRO004", "REPRO005", "REPRO006",
+            "LOCK001", "LOCK002",
+        } <= ids
+
+    def test_unknown_select_raises(self):
+        with pytest.raises(ValueError, match="REPRO999"):
+            Analyzer(select=["REPRO999"])
+
+    def _write_fixture(self, tmp_path, body: str) -> str:
+        pkg = tmp_path / "repro" / "engine"
+        pkg.mkdir(parents=True)
+        target = pkg / "fixture.py"
+        target.write_text(textwrap.dedent(body))
+        return str(target)
+
+    def test_cli_exit_one_and_json(self, tmp_path, capsys):
+        path = self._write_fixture(tmp_path, 'def f():\n    return {"result": 1}\n')
+        rc = cli_main(["analyze", path, "--format", "json", "--select", "REPRO003"])
+        captured = capsys.readouterr()
+        assert rc == 1
+        doc = json.loads(captured.out)
+        assert doc["n_findings"] == 1
+        assert doc["findings"][0]["rule"] == "REPRO003"
+        assert doc["findings"][0]["line"] == 2
+        assert "analyzed 1 file(s)" in captured.err
+
+    def test_cli_exit_zero_on_clean(self, tmp_path, capsys):
+        path = self._write_fixture(tmp_path, 'def f():\n    return {"result": 1, "error": None}\n')
+        rc = cli_main(["analyze", path])
+        assert rc == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_cli_unknown_rule_exits_two(self, tmp_path, capsys):
+        path = self._write_fixture(tmp_path, "x = 1\n")
+        rc = cli_main(["analyze", path, "--select", "NOPE123"])
+        assert rc == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_cli_list_rules(self, capsys):
+        rc = cli_main(["analyze", "--list-rules"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        for rid in ("REPRO001", "REPRO006", "LOCK001", "LOCK002"):
+            assert rid in out
+
+    def test_parse_error_reported_not_raised(self, tmp_path, capsys):
+        path = self._write_fixture(tmp_path, "def broken(:\n")
+        rc = cli_main(["analyze", path])
+        assert rc == 1
+        assert "PARSE" in capsys.readouterr().out
+
+    def test_repo_src_analyzes_clean(self):
+        # The in-tree twin of the CI gate: the engine's own source must
+        # satisfy every codified invariant (suppressions carry reasons).
+        analyzer = Analyzer()
+        findings = analyzer.run([SRC_ROOT])
+        assert findings == [], "\n" + format_findings(findings, "human")
+        assert analyzer.n_files > 50
