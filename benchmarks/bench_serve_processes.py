@@ -1,0 +1,284 @@
+"""Process-plane bench: fingerprint-sharded workers vs lockstep engines.
+
+The socket transport (``bench_transport``) buys sharing — one engine,
+every distinct request computed once — but the engine still runs under a
+single GIL: JSON parsing, response assembly and lane dispatch for *all*
+clients contend in one process, which caps the shared server near 2x two
+lockstep engines.  The process plane (``fastbns serve --processes N``,
+:class:`~repro.engine.procserve.ProcessPlane`) splits the serve path
+itself: a router passes accepted connections to N forked workers, each
+with its own engine and GIL, with sessions sharded over the workers by
+dataset content fingerprint.
+
+This bench serves the same interleaved two-dataset streams both ways:
+
+* **baseline — two lockstep engines**: each client gets a dedicated
+  single-process engine behind its own socket and drives it lockstep,
+  one client after the other (every distinct request computed twice);
+* **process plane**: one ``--processes 4`` plane, both clients connected
+  at once and pipelining; fingerprint sharding still computes every
+  distinct request exactly once, *and* different datasets' work runs in
+  different processes.
+
+Asserts payload-identical responses per client, exactly-once compute in
+the merged manifest (totals the exact sum of the per-worker parts), zero
+``/dev/shm`` leakage, and the throughput gate — >= 3x the lockstep
+baseline on a >= 4-core box, >= 1.5x on smaller hosts (a 1-core
+container cannot show CPU parallelism, only sharing + overlap).
+
+A second phase replays an arrival-paced open-loop trace (the
+``fastbns workload replay --pace --connect`` path) against the plane and
+records end-to-end p50/p95/p99 into ``BENCH_serve_processes.json`` for
+the README table.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+
+from repro.bench.tables import render_table
+from repro.bench.workloads import make_workload
+from repro.engine import (
+    EngineClient,
+    EngineServer,
+    EngineTransport,
+    ProcessPlane,
+    WorkloadSpec,
+    generate_trace,
+    merge_totals,
+    replay_client,
+)
+
+NETWORKS = (("alarm", 800), ("insurance", 800))
+ROUNDS = 2
+THREADS = 2
+WINDOW = 32
+PROCESSES = 4
+N_CLIENTS = 2
+TIMEOUT = 180.0
+MIN_SPEEDUP = 3.0 if (os.cpu_count() or 1) >= 4 else 1.5
+SHM_DIR = "/dev/shm"
+# Open-loop replay paced below this box's service rate: percentiles then
+# measure service latency under dispatch contention, not queue depth.
+PACED_REQUESTS = 200
+PACED_RATE = 25.0
+
+
+def _client_stream(labels) -> list[dict]:
+    """One user's traffic: ROUNDS rounds interleaving both datasets."""
+    return [
+        {"op": "learn", "dataset": label, "alpha": alpha, "max_depth": 2}
+        for _ in range(ROUNDS)
+        for alpha in (0.05, 0.01)
+        for label in labels
+    ]
+
+
+def _payload(resp: dict) -> str:
+    """Everything a client consumes, minus timing and cache provenance."""
+    return json.dumps(
+        {k: resp[k] for k in ("op", "dataset", "fingerprint", "result", "error")},
+        sort_keys=True,
+    )
+
+
+def _shm_entries() -> set[str] | None:
+    try:
+        return set(os.listdir(SHM_DIR))
+    except OSError:
+        return None
+
+
+def _lockstep_baseline(datasets, stream) -> tuple[float, list[list[dict]]]:
+    """Two dedicated engines, driven lockstep one client after the other."""
+    t0 = time.perf_counter()
+    responses: list[list[dict]] = []
+    for _ in range(N_CLIENTS):
+        server = EngineServer(alpha=0.05, max_sessions=len(datasets))
+        for label, dataset in datasets.items():
+            server.register(label, dataset)
+        transport = EngineTransport(
+            server, "127.0.0.1:0", threads=THREADS, window=WINDOW
+        )
+        transport.start()
+        with server:
+            try:
+                with EngineClient(transport.describe(), timeout=TIMEOUT) as client:
+                    responses.append([client.request(req) for req in stream])
+            finally:
+                transport.shutdown(timeout=TIMEOUT)
+    return time.perf_counter() - t0, responses
+
+
+def test_process_plane_throughput(benchmark, record, record_json):
+    workloads = {name: make_workload(name, m) for name, m in NETWORKS}
+    datasets = {wl.label: wl.dataset for wl in workloads.values()}
+    stream = _client_stream(list(datasets))
+    n_distinct = 2 * len(datasets)  # two alphas per dataset
+    shm_before = _shm_entries()
+
+    def run() -> dict:
+        t_seq, sequential = _lockstep_baseline(datasets, stream)
+
+        plane = ProcessPlane(
+            "127.0.0.1:0",
+            processes=PROCESSES,
+            registrations=list(datasets.items()),
+            server_kwargs=dict(alpha=0.05, max_sessions=len(datasets)),
+            threads=THREADS,
+            window=WINDOW,
+        )
+        plane.start()
+        address = plane.describe()
+        results: list[list[dict] | None] = [None] * N_CLIENTS
+        errors: list = []
+
+        def drive(index: int) -> None:
+            try:
+                with EngineClient(address, timeout=TIMEOUT) as client:
+                    for req in stream:
+                        client.send(req)
+                    results[index] = client.drain()
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        clients = [
+            threading.Thread(target=drive, args=(i,)) for i in range(N_CLIENTS)
+        ]
+        t0 = time.perf_counter()
+        for c in clients:
+            c.start()
+        for c in clients:
+            c.join(timeout=TIMEOUT)
+        t_plane = time.perf_counter() - t0
+        assert not errors, errors
+        assert all(not c.is_alive() for c in clients), "client hung"
+
+        # Phase 2: arrival-paced open-loop replay against the same plane
+        # (the `workload replay --pace --connect` path) for latency SLOs.
+        trace = generate_trace(
+            WorkloadSpec(
+                n_requests=PACED_REQUESTS,
+                datasets=tuple(datasets),
+                seed=42,
+                rate=PACED_RATE,
+                n_targets=8,
+                error_rate=0.0,
+            )
+        )
+        with EngineClient(address, timeout=TIMEOUT) as client:
+            paced = replay_client(client, trace, pace=True)
+
+        plane.shutdown()
+        return {
+            "sequential_s": t_seq,
+            "plane_s": t_plane,
+            "sequential": sequential,
+            "plane": results,
+            "merged": plane.manifest(),
+            "paced": paced,
+        }
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # Payload-identical responses for every client, request by request —
+    # splitting the serve path across processes changes who computes,
+    # never what anyone receives.
+    for baseline, sharded in zip(out["sequential"], out["plane"], strict=True):
+        assert [_payload(a) for a in baseline] == [_payload(b) for b in sharded]
+
+    # Exactly-once compute, and merged totals that are the exact sum of
+    # the per-worker manifests (the plane's accounting invariant).
+    merged = out["merged"]
+    parts = [
+        w["manifest"]["totals"] for w in merged["workers"] if w["manifest"]
+    ]
+    assert merged["totals"] == merge_totals(parts)
+    n_paced = len(out["paced"].responses)
+    n_paced_queries = sum(
+        1 for rec in out["paced"].trace.records if rec.request.get("op") != "stats"
+    )
+    assert n_paced == PACED_REQUESTS
+    assert (
+        merged["totals"]["n_requests"]
+        == N_CLIENTS * len(stream) + n_paced_queries
+    )
+    assert merged["totals"]["n_computed"] <= n_distinct + n_paced_queries
+    # The two throughput clients' repeat traffic all hit the owner-side
+    # result caches: distinct learn requests were computed once, total.
+    assert (
+        merged["totals"]["n_result_cache_hits"]
+        >= N_CLIENTS * len(stream) - n_distinct
+    )
+
+    if shm_before is not None:
+        leaked = _shm_entries() - shm_before
+        assert not leaked, f"leaked shm blocks: {sorted(leaked)}"
+
+    speedup = out["sequential_s"] / max(out["plane_s"], 1e-9)
+    assert speedup >= MIN_SPEEDUP, (
+        f"process plane only {speedup:.2f}x over lockstep engines "
+        f"(gate {MIN_SPEEDUP}x on {os.cpu_count()} cpu(s))"
+    )
+
+    lat = out["paced"].latency()
+    labels = list(datasets)
+    n_total = N_CLIENTS * len(stream)
+    text = render_table(
+        ["serving mode", "requests", "seconds", "req/s", "notes"],
+        [
+            [
+                "two lockstep engines",
+                n_total,
+                f"{out['sequential_s']:.3f}",
+                f"{n_total / out['sequential_s']:.1f}",
+                "every distinct request computed twice",
+            ],
+            [
+                f"process plane ({PROCESSES} workers, {N_CLIENTS} clients)",
+                n_total,
+                f"{out['plane_s']:.3f}",
+                f"{n_total / out['plane_s']:.1f}",
+                "fingerprint-sharded, computed once",
+            ],
+            ["speedup", "", f"{speedup:.1f}x", "", f"gate {MIN_SPEEDUP}x"],
+            [
+                "paced open-loop replay",
+                n_paced,
+                f"{out['paced'].wall_s:.3f}",
+                f"{out['paced'].requests_per_s:.1f}",
+                f"p50/p95/p99 {lat['p50_ms']:.1f}/{lat['p95_ms']:.1f}/"
+                f"{lat['p99_ms']:.1f} ms",
+            ],
+        ],
+        title=(
+            f"Process plane — {' + '.join(labels)}, {PROCESSES} workers, "
+            f"{THREADS} dispatch threads/conn, window={WINDOW}"
+        ),
+    )
+    record("serve_processes", text)
+    record_json(
+        "serve_processes",
+        {
+            "networks": labels,
+            "processes": PROCESSES,
+            "n_clients": N_CLIENTS,
+            "n_requests": n_total,
+            "rounds": ROUNDS,
+            "threads": THREADS,
+            "window": WINDOW,
+            "cpu_count": os.cpu_count(),
+            "min_speedup_gate": MIN_SPEEDUP,
+            "sequential_s": out["sequential_s"],
+            "plane_s": out["plane_s"],
+            "speedup": speedup,
+            "requests_per_s": n_total / out["plane_s"],
+            "paced_requests": n_paced,
+            "paced_rate": PACED_RATE,
+            "paced_requests_per_s": out["paced"].requests_per_s,
+            "latency": lat,
+        },
+    )

@@ -113,6 +113,17 @@ def _row_workload(doc: dict) -> tuple[str, str]:
     )
 
 
+def _row_serve_processes(doc: dict) -> tuple[str, str]:
+    return (
+        f"process plane vs lockstep engines "
+        f"({' + '.join(doc['networks'])}, {doc['processes']} workers, "
+        f"{doc['n_clients']} clients)",
+        f"{_fmt(doc['speedup'], 1)}× serving speedup "
+        f"(gate {_fmt(doc['min_speedup_gate'], 1)}× on "
+        f"{doc['cpu_count']} cpu), paced replay {_latency_cols(doc)}",
+    )
+
+
 def _row_workload_fairness(doc: dict) -> tuple[str, str]:
     return (
         f"weighted-fair lanes ({doc['n_hot_requests']} hot + "
@@ -128,6 +139,7 @@ _SUMMARISERS = {
     "kernel_batching": _row_kernel_batching,
     "server": _row_server,
     "shared_memory": _row_shared_memory,
+    "serve_processes": _row_serve_processes,
     "store": _row_store,
     "transport": _row_transport,
     "workload": _row_workload,

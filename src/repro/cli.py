@@ -67,6 +67,16 @@ many concurrent clients (one ordered response stream per connection)::
 SIGINT/SIGTERM stop intake, drain in-flight work, still write the
 manifest, and exit 130/143.
 
+``--processes N`` escapes the single-process GIL entirely: a router
+process passes accepted connections to N forked serve workers, sessions
+are sharded over the workers by dataset content fingerprint, per-worker
+stores land next to ``--store`` as ``PATH.wK``, and ``--manifest``
+merges every worker's run document with exact totals::
+
+    python -m repro serve --register icu=csv:icu.csv \\
+        --listen 127.0.0.1:7878 --processes 4 --threads 2 \\
+        --store run.db --manifest manifest.json
+
 Drive the server with realistic seeded traffic and read back latency
 SLOs — record a golden trace, then replay it (in-process here; add
 ``--connect HOST:PORT`` to replay against a running ``serve --listen``)::
@@ -228,6 +238,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--manifest", default=None, help="optional run-manifest JSON path (spans all sessions)"
+    )
+    serve.add_argument(
+        "--processes",
+        type=int,
+        default=0,
+        metavar="N",
+        help="multi-process serve plane (requires --listen): a router process "
+        "plus N serve workers, each with its own engine and GIL; sessions are "
+        "sharded over the workers by dataset content fingerprint (consistent "
+        "hashing, so aliased ids stay on one worker), --store shards per "
+        "worker as PATH.wK, and --manifest merges every worker's run "
+        "document with exact totals",
+    )
+    serve.add_argument(
+        "--router-mode",
+        default="auto",
+        choices=("auto", "fds", "reuseport"),
+        help="how connections reach the serve workers with --processes: "
+        "'fds' passes each accepted fd to a worker over a Unix socketpair "
+        "(TCP and unix listeners), 'reuseport' has every worker listen on "
+        "the same TCP port with SO_REUSEPORT and lets the kernel balance "
+        "accepts (TCP only); 'auto' prefers fds",
     )
     serve.add_argument(
         "--threads",
@@ -781,6 +813,75 @@ def _serve_listen(args: argparse.Namespace, server) -> int:
     return guard.exit_code if interrupted else 0
 
 
+def _serve_processes(args: argparse.Namespace, registrations, default) -> int:
+    """``fastbns serve --listen --processes N``: the multi-process plane.
+
+    Mirrors :func:`_serve_listen`'s contract — same listening banner,
+    same signal semantics (drain, manifest, ``128 + signum``) — but the
+    engine work happens in N forked serve workers sharded by dataset
+    content fingerprint, with the run manifest merged across workers.
+    """
+    import socket as _socket
+
+    from .engine.procserve import ProcessPlane
+
+    mode = args.router_mode
+    if mode == "auto":
+        mode = "fds" if hasattr(_socket, "send_fds") else "reuseport"
+    interrupted = False
+    plane = ProcessPlane(
+        args.listen,
+        processes=args.processes,
+        mode=mode,
+        server_kwargs=dict(
+            test=args.test,
+            alpha=args.alpha,
+            n_jobs=args.jobs,
+            backend=args.backend,
+            cache_bytes=args.cache_mb << 20,
+            use_shm=False if args.no_shm else None,
+            max_sessions=args.max_sessions,
+            default_dataset=default,
+            default_samples=args.samples,
+            default_seed=args.seed,
+            lane_weights=_parse_lane_weights(args.lane_weight),
+        ),
+        registrations=registrations,
+        threads=args.threads,
+        window=args.window,
+        store=args.store,
+    )
+    with _InterruptGuard() as guard:
+        try:
+            plane.start()
+            print(f"listening on {plane.describe()}", file=sys.stderr, flush=True)
+            plane.wait()
+        except KeyboardInterrupt:
+            interrupted = True
+            plane.note_shutdown("signal", signum=guard.signum, drained=True)
+        finally:
+            # Same epilogue discipline as _serve_listen: signals demoted
+            # to recorders while workers drain and the manifest lands.
+            guard.absorb()
+            plane.shutdown(drain=True)
+        merged = plane.manifest()
+        if args.manifest:
+            plane.write_manifest(args.manifest)
+        totals = merged["totals"]
+        print(
+            ("interrupted after " if interrupted else "served ")
+            + f"{plane.n_responses} requests "
+            f"({totals['n_computed']} computed, "
+            f"{totals['n_result_cache_hits']} result-cache hits, "
+            f"{totals['n_errors']} errors) "
+            f"across {plane.processes} worker process(es) | "
+            f"router: mode {plane.mode}, {plane.n_connections} connections, "
+            f"{plane.n_respawns} respawns",
+            file=sys.stderr,
+        )
+    return guard.exit_code if interrupted else 0
+
+
 def _parse_registrations(entries) -> list[tuple[str, str]]:
     registrations: list[tuple[str, str]] = []
     for entry in entries:
@@ -809,6 +910,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     registrations = _parse_registrations(args.register)
     default = registrations[0][0] if len(registrations) == 1 else None
+
+    if args.processes:
+        if args.processes < 1:
+            raise SystemExit(f"--processes must be >= 1, got {args.processes}")
+        if not args.listen:
+            raise SystemExit(
+                "--processes requires --listen (the multi-process plane "
+                "serves sockets; use --threads for --requests/--out streams)"
+            )
+        return _serve_processes(args, registrations, default)
 
     server = EngineServer(
         test=args.test,

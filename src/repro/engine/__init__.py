@@ -29,6 +29,18 @@ This subsystem makes runs first-class, reusable objects:
   per connection with ordered responses, a bounded in-flight window and
   graceful drain on shutdown (the ``fastbns serve --listen`` CLI; see
   :mod:`.transport`), plus the matching line-protocol client;
+* :mod:`.routing` — the shared routing/placement layer: the weighted
+  deficit-round-robin :class:`LaneScheduler` both serve planes dispatch
+  through, and the consistent-hash :class:`HashRing` that places dataset
+  content fingerprints on worker processes;
+* :class:`ProcessPlane` — the multi-process serve plane (``fastbns serve
+  --processes N``): a router process passes accepted connection fds to
+  ``N`` forked serve workers (or lets the kernel balance accepts via
+  ``SO_REUSEPORT``), each worker owning the sessions for its ring shard,
+  its own store shard and manifest-journal run id, with cross-worker
+  request forwarding, worker respawn, and a merged run manifest whose
+  totals are the exact sum of the per-worker parts (see
+  :mod:`.procserve`);
 * :mod:`.workload` — deterministic seeded trace generation (zipf tenant
   skew, bursty/poisson arrivals, mixed op profiles, error injection), a
   JSONL golden-trace format, and the replay/latency harness reporting
@@ -54,12 +66,19 @@ from .batch import BatchRequest, BatchServer
 from .client import EngineClient
 from .faults import FaultInjector, injector
 from .fingerprint import dataset_fingerprint, request_fingerprint
-from .manifest import RunManifest, merge_totals, shutdown_doc
+from .manifest import (
+    RunManifest,
+    merge_totals,
+    recovered_manifest_doc,
+    shutdown_doc,
+)
+from .procserve import ProcessPlane, WorkerForwarder
+from .routing import HashRing, LaneScheduler
 from .server import DatasetSource, EngineServer, ParseFailure
 from .session import LearningSession
 from .statscache import CachedTableBuilder, CacheStats, SufficientStatsCache
 from .store import EngineStore
-from .transport import EngineTransport
+from .transport import EngineTransport, LineStream
 from .workload import (
     Trace,
     WorkloadReport,
@@ -83,10 +102,16 @@ __all__ = [
     "EngineStore",
     "EngineTransport",
     "EngineClient",
+    "LineStream",
     "DatasetSource",
     "ParseFailure",
+    "ProcessPlane",
+    "WorkerForwarder",
+    "HashRing",
+    "LaneScheduler",
     "RunManifest",
     "merge_totals",
+    "recovered_manifest_doc",
     "shutdown_doc",
     "dataset_fingerprint",
     "request_fingerprint",

@@ -11,7 +11,9 @@ was built for have first-class spellings:
   response (what an interactive caller does);
 * **pipelined** — :meth:`send` many, then :meth:`recv` in order (what a
   throughput-oriented producer does; the server's in-flight window, not
-  the client, bounds buffering).
+  the client, bounds buffering).  One sender thread plus one reader
+  thread is supported — the paced open-loop replay shape — because the
+  pending count and latency pairing are lock-guarded.
 
 The convenience wrappers (:meth:`learn`, :meth:`blanket`,
 :meth:`register`, :meth:`stats`, :meth:`close_dataset`) are lockstep.
@@ -27,6 +29,7 @@ from __future__ import annotations
 
 import json
 import socket
+import threading
 import time
 from collections import deque
 
@@ -59,6 +62,11 @@ class EngineClient:
         self._writer = self._sock.makefile("w", encoding="utf-8", newline="\n")
         self._pending = 0
         self._closed = False
+        # Guards the pending count and timestamp pairing so one thread
+        # may pipeline sends while another reads responses (the paced
+        # open-loop replay pattern); the two socket directions are
+        # independent, so no lock is held across I/O.
+        self._lock = threading.Lock()
         self._sent_t: deque[float] = deque()
         #: send→recv latency samples (seconds), most recent 65536.
         self.latencies_s: deque[float] = deque(maxlen=65536)
@@ -70,10 +78,14 @@ class EngineClient:
         """Queue one request without waiting for its response."""
         if self._closed:
             raise RuntimeError("client is closed")
+        # Timestamp before the flush: once the line is on the wire the
+        # response can race back, and the reader must find the pairing
+        # entry already queued.
+        with self._lock:
+            self._pending += 1
+            self._sent_t.append(time.monotonic())
         self._writer.write(json.dumps(request) + "\n")
         self._writer.flush()
-        self._pending += 1
-        self._sent_t.append(time.monotonic())
 
     def recv(self) -> dict:
         """Read the next response, in send order.
@@ -89,9 +101,10 @@ class EngineClient:
             raise ConnectionError(
                 f"server closed the connection with {self._pending} response(s) pending"
             )
-        self._pending -= 1
-        if self._sent_t:
-            self.latencies_s.append(time.monotonic() - self._sent_t.popleft())
+        with self._lock:
+            self._pending -= 1
+            if self._sent_t:
+                self.latencies_s.append(time.monotonic() - self._sent_t.popleft())
         return json.loads(line)
 
     def request(self, request: dict) -> dict:

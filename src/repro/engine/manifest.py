@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from collections.abc import Iterable, Mapping
 
-__all__ = ["RunManifest", "merge_totals", "shutdown_doc"]
+__all__ = ["RunManifest", "merge_totals", "shutdown_doc", "recovered_manifest_doc"]
 
 MANIFEST_VERSION = 1
 
@@ -123,6 +123,44 @@ def merge_totals(totals: Iterable[Mapping]) -> dict:
         for key in out:
             out[key] += t[key]
     return out
+
+
+def recovered_manifest_doc(journal_rows: Iterable[Mapping]) -> dict | None:
+    """Rebuild a retired-manifest-style doc from durable journal rows.
+
+    A SIGKILLed server loses its in-memory manifests, but every row it
+    served is already in the store journal (write-through on response).
+    The process plane uses this when it respawns a worker under the same
+    run id: the predecessor's journalled request rows become one
+    synthetic retired-session doc folded into the successor's run
+    document (``EngineServer.manifest_extras``), so merged run totals
+    still count every served request exactly once.  Returns ``None``
+    when the rows contain no request entries (nothing to recover).
+    """
+    requests = [
+        dict(row) for row in journal_rows if row.get("kind") == "request"
+    ]
+    if not requests:
+        return None
+    n = len(requests)
+    cached = sum(1 for r in requests if r.get("cached"))
+    errors = sum(1 for r in requests if r.get("error") is not None)
+    return {
+        "manifest_version": MANIFEST_VERSION,
+        "dataset_fingerprint": "",
+        "engine": {"role": "recovered-from-journal"},
+        "totals": {
+            "n_requests": n,
+            "n_computed": n - cached - errors,
+            "n_result_cache_hits": cached,
+            "n_errors": errors,
+            "elapsed_s": sum(float(r.get("elapsed_s", 0.0)) for r in requests),
+        },
+        "requests": requests,
+        "live": False,
+        "evicted": False,
+        "recovered": True,
+    }
 
 
 def shutdown_doc(

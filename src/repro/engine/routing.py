@@ -1,0 +1,311 @@
+"""Routing and placement primitives shared by every serve plane.
+
+Two serving layers need to answer the same two questions — *which stream
+of work does this request belong to* and *who should serve that stream* —
+and they must answer them identically or the engine's determinism
+guarantees fall apart:
+
+* the in-process dispatcher (:meth:`EngineServer.serve_iter
+  <repro.engine.server.EngineServer.serve_iter>`, ``--threads``) keys a
+  dispatch **lane** per resolved dataset content fingerprint and picks
+  ready lanes with a weighted deficit-round-robin scheduler;
+* the multi-process plane (:mod:`repro.engine.procserve`,
+  ``--processes``) places each fingerprint on exactly one worker process
+  with a consistent-hash ring, so aliased dataset ids naming
+  byte-identical data land on the same worker — preserving the same
+  per-lane serialisation (and therefore ``cached`` accounting) across
+  process boundaries.
+
+This module holds the shared pieces: :class:`Pending` (one in-flight
+streamed request), :class:`LaneScheduler` (the DRR pick), and
+:class:`HashRing` (fingerprint -> worker placement).  Keying both layers
+by the *content fingerprint* — never the raw ``dataset`` tag — is the
+invariant that makes a multi-process run's per-lane behaviour match the
+single-process run's.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from bisect import bisect_right
+from collections import deque
+from collections.abc import Mapping
+
+__all__ = [
+    "Pending",
+    "Lane",
+    "LaneScheduler",
+    "HashRing",
+    "lane_label",
+    "request_dataset_id",
+]
+
+
+def request_dataset_id(raw, default: str | None = None) -> str | None:
+    """The dataset id a request routes by, or ``None`` when malformed.
+
+    The single helper both the lane keyer and the process router use, so
+    "which dataset does this request name" has exactly one definition:
+    a non-mapping (including a :class:`~repro.engine.batch.ParseFailure`)
+    or a non-string tag routes nowhere and is answered by whoever holds
+    the stream.
+    """
+    if not isinstance(raw, Mapping):
+        return None
+    dataset_id = raw.get("dataset", default)
+    return dataset_id if isinstance(dataset_id, str) else None
+
+
+def lane_label(key: object) -> str:
+    """Human/JSON-facing name of a lane key (fingerprints as-is)."""
+    if key is None:
+        return "malformed"
+    if isinstance(key, tuple):
+        return f"unresolved:{key[1]}"
+    return str(key)
+
+
+class Pending:
+    """One in-flight streamed request: raw input plus its completion latch.
+
+    Carries monotonic timestamps for the latency harness
+    (:mod:`repro.engine.workload`): ``t_in`` when intake pulled the
+    request, ``t_start`` when a worker picked it, ``t_done`` when its
+    response was ready.  The wire response schema never changes — the
+    timestamps travel through the optional ``timings`` list kwarg of
+    :meth:`EngineServer.serve_iter
+    <repro.engine.server.EngineServer.serve_iter>` instead.
+    """
+
+    __slots__ = ("raw", "response", "exc", "done", "lane", "t_in", "t_start", "t_done")
+
+    def __init__(self, raw) -> None:
+        self.raw = raw
+        self.response: dict | None = None
+        self.exc: BaseException | None = None
+        self.done = threading.Event()
+        self.lane: str = ""
+        self.t_in = 0.0
+        self.t_start = 0.0
+        self.t_done = 0.0
+
+
+class Lane:
+    """One dispatch lane's scheduling state (guarded by the scheduler lock)."""
+
+    __slots__ = ("key", "queue", "weight", "deficit", "busy", "in_ring", "visited")
+
+    def __init__(self, key: object, weight: float) -> None:
+        self.key = key
+        self.queue: deque = deque()
+        self.weight = float(weight)
+        self.deficit = 0.0
+        self.busy = False  # a worker is serving this lane right now
+        self.in_ring = False  # queued in the DRR ring
+        self.visited = False  # granted its quantum for the current ring visit
+
+
+class LaneScheduler:
+    """Deficit-round-robin pick over ready dispatch lanes.
+
+    The dispatcher's fairness core: lanes enter a ring when they have
+    queued requests and no worker serving them; each visit of the ring
+    pointer grants the head lane ``weight`` units of credit, one unit
+    buys one request, and a lane with credit keeps the head so weights
+    above 1 serve bursts.  A lane without credit rotates away unserved —
+    which is what bounds how long a cold lane can wait: with total ready
+    weight ``W``, a lane of weight ``w`` gets at least ``~w/W`` of the
+    contended picks, and every ready lane is visited once per rotation.
+    A second, work-conserving pass ignores credit so a worker never
+    idles while any lane is ready (weights shape order under contention,
+    never throughput with capacity to spare).
+
+    Per-lane serialisation is preserved: a busy lane is skipped (its
+    banked credit intact), so per-session request order — and therefore
+    result-cache accounting — still matches the sequential run.
+    """
+
+    #: Banked credit is capped at this multiple of ``max(1, weight)`` so a
+    #: lane that stays ready but unpicked cannot hoard an unbounded burst.
+    DEFICIT_CAP = 4.0
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+        self._lanes: dict[object, Lane] = {}
+        self._ring: deque = deque()  # lane keys in current visit order
+        self._n_queued = 0
+        self._closed = False
+
+    def push(self, key: object, pending: Pending, weight: float = 1.0) -> None:
+        with self._ready:
+            if self._closed:
+                raise RuntimeError("scheduler is closed")
+            lane = self._lanes.get(key)
+            if lane is None:
+                lane = self._lanes[key] = Lane(key, weight)
+            elif weight > lane.weight:
+                # Ids aliasing one fingerprint share a lane; the lane
+                # serves at the strongest weight any of them configured.
+                lane.weight = float(weight)
+            lane.queue.append(pending)
+            self._n_queued += 1
+            if not lane.in_ring and not lane.busy:
+                self._ring.append(key)
+                lane.in_ring = True
+                lane.visited = False
+            self._ready.notify()
+
+    def take(self) -> tuple[object, Pending] | None:
+        """Block for the next ``(lane key, request)``; ``None`` once
+        closed *and* every queued request has been handed out."""
+        with self._ready:
+            while True:
+                picked = self._pick()
+                if picked is not None:
+                    self._n_queued -= 1
+                    return picked
+                if self._closed and self._n_queued == 0:
+                    self._ready.notify()  # chain the exit wakeup to peers
+                    return None
+                # Timeout is lost-wakeup insurance, not a scheduling tick.
+                self._ready.wait(0.2)
+
+    def release(self, key: object) -> None:
+        """A worker finished serving one request on ``key``'s lane."""
+        with self._ready:
+            lane = self._lanes[key]
+            lane.busy = False
+            if lane.queue:
+                if not lane.in_ring:
+                    self._ring.append(key)
+                    lane.in_ring = True
+                    lane.visited = False
+            else:
+                lane.deficit = 0.0  # no banking while idle (classic DRR)
+            self._ready.notify()
+
+    def close(self) -> None:
+        """No more pushes; workers drain queued requests, then exit."""
+        with self._ready:
+            self._closed = True
+            self._ready.notify_all()
+
+    def _pick(self) -> tuple[object, Pending] | None:
+        ring, lanes = self._ring, self._lanes
+        # DRR pass: arriving at the head grants its quantum; credit >= 1
+        # serves one request and keeps the head, otherwise rotate.
+        for _ in range(len(ring)):
+            if not ring:
+                break
+            lane = lanes[ring[0]]
+            if not lane.queue:
+                ring.popleft()
+                lane.in_ring = False
+                lane.visited = False
+                lane.deficit = 0.0
+                continue
+            if lane.busy:
+                # Per-lane serialisation: skip, credit intact.
+                lane.visited = False
+                ring.rotate(-1)
+                continue
+            if not lane.visited:
+                lane.visited = True
+                cap = self.DEFICIT_CAP * max(1.0, lane.weight)
+                lane.deficit = min(cap, lane.deficit + lane.weight)
+            if lane.deficit >= 1.0:
+                lane.deficit -= 1.0
+                return self._serve(lane)
+            lane.visited = False
+            ring.rotate(-1)
+        # Work-conserving pass: no lane had credit (sub-unit weights all
+        # round) — serve the first ready lane anyway rather than idle.
+        for _ in range(len(ring)):
+            lane = lanes[ring[0]]
+            if lane.busy or not lane.queue:
+                ring.rotate(-1)
+                continue
+            return self._serve(lane)
+        return None
+
+    def _serve(self, lane: Lane) -> tuple[object, Pending]:
+        # Only ever called with `lane` at the ring head.
+        lane.busy = True
+        pending = lane.queue.popleft()
+        if not lane.queue:
+            self._ring.popleft()
+            lane.in_ring = False
+            lane.visited = False
+            lane.deficit = 0.0
+        return lane.key, pending
+
+
+class HashRing:
+    """Consistent-hash placement of dataset fingerprints on workers.
+
+    The process plane's sharding rule: every worker contributes
+    ``replicas`` pseudo-random points on a 64-bit circle, and a
+    fingerprint is owned by the worker whose next point clockwise covers
+    its hash.  Properties the plane leans on:
+
+    * **deterministic** — placement depends only on ``(workers,
+      replicas, key)``, so every front worker (and every test) computes
+      the same owner for the same fingerprint without coordination;
+    * **alias-stable** — ids naming byte-identical data resolve to one
+      fingerprint and therefore one owner, preserving the single-process
+      lane-determinism guarantee across processes;
+    * **minimally disruptive** — :meth:`without` removes one worker and
+      only the keys it owned move (to the survivors), which is what a
+      reroute-on-death policy would use.
+
+    Hashing is ``blake2b`` (same family as the dataset fingerprint
+    itself) — stable across processes and Python versions, unlike
+    ``hash()``.
+    """
+
+    def __init__(self, workers, *, replicas: int = 64) -> None:
+        if isinstance(workers, int):
+            workers = range(workers)
+        self.workers = tuple(workers)
+        if not self.workers:
+            raise ValueError("HashRing needs at least one worker")
+        if len(set(self.workers)) != len(self.workers):
+            raise ValueError(f"duplicate workers: {self.workers!r}")
+        self.replicas = int(replicas)
+        if self.replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        points: list[tuple[int, object]] = []
+        for worker in self.workers:
+            for r in range(self.replicas):
+                points.append((self._point(f"{worker!r}#{r}"), worker))
+        points.sort()
+        self._hashes = [p for p, _ in points]
+        self._owners = [w for _, w in points]
+
+    @staticmethod
+    def _point(token: str) -> int:
+        digest = hashlib.blake2b(token.encode("utf-8"), digest_size=8).digest()
+        return int.from_bytes(digest, "big")
+
+    def owner(self, key: str) -> object:
+        """The worker that owns ``key`` (a dataset content fingerprint)."""
+        h = self._point(str(key))
+        idx = bisect_right(self._hashes, h)
+        if idx == len(self._hashes):
+            idx = 0  # wrap: the circle's first point covers the top arc
+        return self._owners[idx]
+
+    def without(self, worker) -> "HashRing":
+        """A ring with ``worker`` removed — only its keys change owner."""
+        survivors = tuple(w for w in self.workers if w != worker)
+        if len(survivors) == len(self.workers):
+            raise ValueError(f"worker {worker!r} is not on the ring")
+        return HashRing(survivors, replicas=self.replicas)
+
+    def __len__(self) -> int:
+        return len(self.workers)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"HashRing(workers={self.workers!r}, replicas={self.replicas})"

@@ -62,7 +62,8 @@ one server.  :meth:`EngineServer.serve` is simply
 ``list(serve_iter(...))``.
 
 Fairness: with ``threads > 1`` ready lanes are picked by a
-deficit-round-robin scheduler (:class:`_LaneScheduler`) instead of
+deficit-round-robin scheduler
+(:class:`~repro.engine.routing.LaneScheduler`) instead of
 greedily draining whichever lane got a thread first.  Every lane carries
 a weight (default 1.0, configurable per dataset id via ``lane_weights``
 / :meth:`EngineServer.set_lane_weight`); each scheduler visit grants a
@@ -83,13 +84,15 @@ import math
 import queue
 import threading
 import time
-from collections import OrderedDict, deque
+from collections import OrderedDict
 from dataclasses import dataclass
 from collections.abc import Iterable, Iterator, Mapping
 
 from ..datasets.dataset import DiscreteDataset
 from .batch import BatchServer, ParseFailure
+from .fingerprint import dataset_fingerprint
 from .manifest import MANIFEST_VERSION, RunManifest, merge_totals, shutdown_doc
+from .routing import LaneScheduler, Pending, lane_label, request_dataset_id
 from .session import LearningSession
 from .statscache import DEFAULT_BUDGET_BYTES
 from .store import EngineStore
@@ -104,7 +107,13 @@ __all__ = [
 ]
 
 QUERY_OPS = ("learn", "blanket")
-ADMIN_OPS = ("register", "close_dataset", "stats")
+ADMIN_OPS = ("register", "close_dataset", "stats", "manifest")
+
+# The scheduling/placement primitives grew out of this module and moved
+# to repro.engine.routing so the multi-process plane shares them; the
+# private names remain importable from here.
+_LaneScheduler = LaneScheduler
+_Pending = Pending
 
 #: Default bound on dispatched-but-not-yet-yielded requests in
 #: :meth:`EngineServer.serve_iter` — deep enough to keep every lane busy,
@@ -248,181 +257,6 @@ class DatasetSource:
         return self.describe() == other.describe()
 
 
-class _Pending:
-    """One in-flight streamed request: raw input plus its completion latch.
-
-    Carries monotonic timestamps for the latency harness
-    (:mod:`repro.engine.workload`): ``t_in`` when intake pulled the
-    request, ``t_start`` when a worker picked it, ``t_done`` when its
-    response was ready.  The wire response schema never changes — the
-    timestamps travel through the optional ``timings`` list kwarg of
-    :meth:`EngineServer.serve_iter` instead.
-    """
-
-    __slots__ = ("raw", "response", "exc", "done", "lane", "t_in", "t_start", "t_done")
-
-    def __init__(self, raw) -> None:
-        self.raw = raw
-        self.response: dict | None = None
-        self.exc: BaseException | None = None
-        self.done = threading.Event()
-        self.lane: str = ""
-        self.t_in = 0.0
-        self.t_start = 0.0
-        self.t_done = 0.0
-
-
-class _Lane:
-    """One dispatch lane's scheduling state (guarded by the scheduler lock)."""
-
-    __slots__ = ("key", "queue", "weight", "deficit", "busy", "in_ring", "visited")
-
-    def __init__(self, key: object, weight: float) -> None:
-        self.key = key
-        self.queue: deque = deque()
-        self.weight = float(weight)
-        self.deficit = 0.0
-        self.busy = False  # a worker is serving this lane right now
-        self.in_ring = False  # queued in the DRR ring
-        self.visited = False  # granted its quantum for the current ring visit
-
-
-class _LaneScheduler:
-    """Deficit-round-robin pick over ready dispatch lanes.
-
-    The dispatcher's fairness core: lanes enter a ring when they have
-    queued requests and no worker serving them; each visit of the ring
-    pointer grants the head lane ``weight`` units of credit, one unit
-    buys one request, and a lane with credit keeps the head so weights
-    above 1 serve bursts.  A lane without credit rotates away unserved —
-    which is what bounds how long a cold lane can wait: with total ready
-    weight ``W``, a lane of weight ``w`` gets at least ``~w/W`` of the
-    contended picks, and every ready lane is visited once per rotation.
-    A second, work-conserving pass ignores credit so a worker never
-    idles while any lane is ready (weights shape order under contention,
-    never throughput with capacity to spare).
-
-    Per-lane serialisation is preserved: a busy lane is skipped (its
-    banked credit intact), so per-session request order — and therefore
-    result-cache accounting — still matches the sequential run.
-    """
-
-    #: Banked credit is capped at this multiple of ``max(1, weight)`` so a
-    #: lane that stays ready but unpicked cannot hoard an unbounded burst.
-    DEFICIT_CAP = 4.0
-
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._ready = threading.Condition(self._lock)
-        self._lanes: dict[object, _Lane] = {}
-        self._ring: deque = deque()  # lane keys in current visit order
-        self._n_queued = 0
-        self._closed = False
-
-    def push(self, key: object, pending: _Pending, weight: float = 1.0) -> None:
-        with self._ready:
-            if self._closed:
-                raise RuntimeError("scheduler is closed")
-            lane = self._lanes.get(key)
-            if lane is None:
-                lane = self._lanes[key] = _Lane(key, weight)
-            elif weight > lane.weight:
-                # Ids aliasing one fingerprint share a lane; the lane
-                # serves at the strongest weight any of them configured.
-                lane.weight = float(weight)
-            lane.queue.append(pending)
-            self._n_queued += 1
-            if not lane.in_ring and not lane.busy:
-                self._ring.append(key)
-                lane.in_ring = True
-                lane.visited = False
-            self._ready.notify()
-
-    def take(self) -> tuple[object, _Pending] | None:
-        """Block for the next ``(lane key, request)``; ``None`` once
-        closed *and* every queued request has been handed out."""
-        with self._ready:
-            while True:
-                picked = self._pick()
-                if picked is not None:
-                    self._n_queued -= 1
-                    return picked
-                if self._closed and self._n_queued == 0:
-                    self._ready.notify()  # chain the exit wakeup to peers
-                    return None
-                # Timeout is lost-wakeup insurance, not a scheduling tick.
-                self._ready.wait(0.2)
-
-    def release(self, key: object) -> None:
-        """A worker finished serving one request on ``key``'s lane."""
-        with self._ready:
-            lane = self._lanes[key]
-            lane.busy = False
-            if lane.queue:
-                if not lane.in_ring:
-                    self._ring.append(key)
-                    lane.in_ring = True
-                    lane.visited = False
-            else:
-                lane.deficit = 0.0  # no banking while idle (classic DRR)
-            self._ready.notify()
-
-    def close(self) -> None:
-        """No more pushes; workers drain queued requests, then exit."""
-        with self._ready:
-            self._closed = True
-            self._ready.notify_all()
-
-    def _pick(self) -> tuple[object, _Pending] | None:
-        ring, lanes = self._ring, self._lanes
-        # DRR pass: arriving at the head grants its quantum; credit >= 1
-        # serves one request and keeps the head, otherwise rotate.
-        for _ in range(len(ring)):
-            if not ring:
-                break
-            lane = lanes[ring[0]]
-            if not lane.queue:
-                ring.popleft()
-                lane.in_ring = False
-                lane.visited = False
-                lane.deficit = 0.0
-                continue
-            if lane.busy:
-                # Per-lane serialisation: skip, credit intact.
-                lane.visited = False
-                ring.rotate(-1)
-                continue
-            if not lane.visited:
-                lane.visited = True
-                cap = self.DEFICIT_CAP * max(1.0, lane.weight)
-                lane.deficit = min(cap, lane.deficit + lane.weight)
-            if lane.deficit >= 1.0:
-                lane.deficit -= 1.0
-                return self._serve(lane)
-            lane.visited = False
-            ring.rotate(-1)
-        # Work-conserving pass: no lane had credit (sub-unit weights all
-        # round) — serve the first ready lane anyway rather than idle.
-        for _ in range(len(ring)):
-            lane = lanes[ring[0]]
-            if lane.busy or not lane.queue:
-                ring.rotate(-1)
-                continue
-            return self._serve(lane)
-        return None
-
-    def _serve(self, lane: _Lane) -> tuple[object, _Pending]:
-        # Only ever called with `lane` at the ring head.
-        lane.busy = True
-        pending = lane.queue.popleft()
-        if not lane.queue:
-            self._ring.popleft()
-            lane.in_ring = False
-            lane.visited = False
-            lane.deficit = 0.0
-        return lane.key, pending
-
-
 class _SessionSlot:
     """One live session plus everything serialised behind its lock."""
 
@@ -475,6 +309,24 @@ class EngineServer:
         answers previously-served streams byte-identically.  All
         manifests (per-session and unrouted) journal their rows into the
         store under one run id.
+    run_id:
+        Optional explicit journal run id.  Default is a fresh id per
+        server; the process plane passes ``<base>.w<K>`` so a respawned
+        worker resumes its predecessor's journal sequence and the
+        cross-worker merge stays exact.
+
+    The :attr:`forwarder` attribute (default ``None``) plugs the
+    multi-process plane in: when set, query requests whose resolved
+    dataset fingerprint the forwarder declares non-local are shipped to
+    the owning peer worker instead of served here, and successful
+    ``register``/``close_dataset`` admin ops are broadcast so every
+    worker's registry stays consistent.  The object must provide
+    ``is_local(fingerprint) -> bool``, ``forward(fingerprint, raw) ->
+    response dict`` (raising :class:`OSError` on peer failure),
+    ``on_register(raw)`` and ``on_close(raw)``.  Forwarded requests are
+    accounted in the *owner's* manifest only; forward failures land in
+    this server's unrouted manifest — so merged totals still count every
+    request exactly once.
     """
 
     def __init__(
@@ -494,12 +346,16 @@ class EngineServer:
         default_scale: float | None = None,
         store: EngineStore | str | None = None,
         lane_weights: Mapping[str, float] | None = None,
+        run_id: str | None = None,
     ) -> None:
         if max_sessions < 1:
             raise ValueError("max_sessions must be >= 1")
         self._owns_store = store is not None and not isinstance(store, EngineStore)
         self.store = EngineStore.ensure(store)
-        self._journal = self.store.journal() if self.store is not None else None
+        self._run_id = run_id
+        self._journal = (
+            self.store.journal(run_id=run_id) if self.store is not None else None
+        )
         self._session_kwargs = dict(
             test=test,
             alpha=alpha,
@@ -516,6 +372,11 @@ class EngineServer:
         self.default_scale = default_scale
         self._sources: dict[str, DatasetSource] = {}
         self._id_fp: dict[str, str] = {}
+        # Datasets loaded by resolve_fingerprint() before any session
+        # exists, keyed by fingerprint: the local path consumes them on
+        # first _slot_for (no double load), the forwarding path discards
+        # them (the owner worker holds the session).
+        self._preloaded: dict[str, DiscreteDataset] = {}
         self._slots: "OrderedDict[str, _SessionSlot]" = OrderedDict()
         self._creation_locks: dict[str, threading.Lock] = {}
         self._registry = threading.Lock()
@@ -535,6 +396,13 @@ class EngineServer:
         self.n_peak_inflight = 0
         self._lane_weights: dict[str, float] = {}
         self._lane_stats: dict[str, dict] = {}
+        #: Multi-process plane hook; see the class docstring.
+        self.forwarder = None
+        #: Extra retired-manifest docs folded into :meth:`manifest` (and
+        #: therefore its totals).  The process plane appends a
+        #: journal-recovered doc here when a respawned worker inherits a
+        #: crashed predecessor's rows.
+        self.manifest_extras: list[dict] = []
         if lane_weights:
             for ds_id, weight in lane_weights.items():
                 self.set_lane_weight(ds_id, weight)
@@ -621,9 +489,14 @@ class EngineServer:
                     self._slots.move_to_end(fp)
                     slot.ids = slot.ids | {dataset_id}
                     return slot
-            session = LearningSession(
-                source.load(), store=self.store, **self._session_kwargs
-            )
+            with self._registry:
+                fp_hint = self._id_fp.get(dataset_id)
+                data = (
+                    self._preloaded.pop(fp_hint, None) if fp_hint is not None else None
+                )
+            if data is None:
+                data = source.load()
+            session = LearningSession(data, store=self.store, **self._session_kwargs)
             victims: list[_SessionSlot] = []
             with self._registry:
                 fp = session.fingerprint
@@ -670,6 +543,39 @@ class EngineServer:
         with self._misc:
             self._retired_docs.append(doc)
 
+    def resolve_fingerprint(self, dataset_id: str) -> str:
+        """Resolve an id to its dataset content fingerprint.
+
+        Unlike :meth:`_slot_for` this never spins up a session: on first
+        touch the source is loaded, fingerprinted, and the dataset
+        stashed for the local serving path to consume (so a subsequent
+        ``_slot_for`` does not load twice) — which is what lets the lane
+        keyer and the process router place a request without paying for
+        a worker pool it may never use.  Raises ``KeyError`` for an
+        unknown id and whatever the source raises when it cannot load.
+        """
+        with self._registry:
+            fp = self._id_fp.get(dataset_id)
+            if fp is not None:
+                return fp
+            source = self._sources.get(dataset_id)
+            if source is None:
+                known = ", ".join(sorted(self._sources)) or "none registered"
+                raise KeyError(f"unknown dataset {dataset_id!r} (known: {known})")
+            creation = self._creation_locks[dataset_id]
+        with creation:
+            with self._registry:
+                fp = self._id_fp.get(dataset_id)
+                if fp is not None:
+                    return fp
+            data = source.load()
+            fp = dataset_fingerprint(data)
+            with self._registry:
+                self._id_fp[dataset_id] = fp
+                if fp not in self._slots:
+                    self._preloaded.setdefault(fp, data)
+            return fp
+
     # ------------------------------------------------------------------ #
     # request handling
     # ------------------------------------------------------------------ #
@@ -691,6 +597,7 @@ class EngineServer:
                 "register": self._op_register,
                 "close_dataset": self._op_close_dataset,
                 "stats": self._op_stats,
+                "manifest": self._op_manifest,
             }[op]
             return handler(raw)
         return self._handle_query(raw)
@@ -710,6 +617,33 @@ class EngineServer:
             return self.reject(
                 f"'dataset' must be a string id, got {dataset_id!r}", op=op, t0=t0
             )
+        forwarder = self.forwarder
+        if forwarder is not None:
+            try:
+                fp = self.resolve_fingerprint(dataset_id)
+            except (KeyError, ValueError, OSError) as exc:
+                message = (
+                    exc.args[0] if isinstance(exc, KeyError) and exc.args else str(exc)
+                )
+                return self.reject(message, op=op, dataset=dataset_id, t0=t0)
+            if not forwarder.is_local(fp):
+                with self._registry:
+                    # The owner worker holds the session; drop the
+                    # resolve-time stash so a pure router/front worker
+                    # never pins remote datasets in memory.
+                    self._preloaded.pop(fp, None)
+                try:
+                    return forwarder.forward(fp, raw)
+                except OSError as exc:
+                    # The failure is accounted *here* (unrouted): the
+                    # owner never journalled a row for it, so merged
+                    # totals still count the request exactly once.
+                    return self.reject(
+                        f"peer worker unavailable: {exc}",
+                        op=op,
+                        dataset=dataset_id,
+                        t0=t0,
+                    )
         while True:
             try:
                 slot = self._slot_for(dataset_id)
@@ -776,6 +710,10 @@ class EngineServer:
         d.pop("op")
         dataset_id = d.pop("dataset", None)
         spec = d.pop("source", None)
+        # Internal marker set by peer-worker broadcasts: a relayed
+        # register is applied locally but never re-broadcast, which is
+        # what keeps the process plane's fan-out from echoing forever.
+        relay = bool(d.pop("relay", False))
         if d:
             return self.reject(
                 f"unknown register fields: {sorted(d)}", op="register", t0=t0
@@ -791,6 +729,10 @@ class EngineServer:
                 dataset=dataset_id if isinstance(dataset_id, str) else None,
                 t0=t0,
             )
+        if self.forwarder is not None and not relay:
+            # Broadcast only after local success: validation is
+            # deterministic, so peers accept exactly what we accepted.
+            self.forwarder.on_register(raw)
         with self._registry:
             described = self._sources[dataset_id].describe()
         return self._admin_ok(
@@ -806,6 +748,7 @@ class EngineServer:
         d.pop("op")
         dataset_id = d.pop("dataset", None)
         unregister = bool(d.pop("unregister", False))
+        relay = bool(d.pop("relay", False))
         if d:
             return self.reject(
                 f"unknown close_dataset fields: {sorted(d)}", op="close_dataset", t0=t0
@@ -825,6 +768,8 @@ class EngineServer:
                 message = None
                 fp = self._id_fp.get(dataset_id)
                 slot = self._slots.pop(fp, None) if fp is not None else None
+                if fp is not None:
+                    self._preloaded.pop(fp, None)
                 if unregister:
                     self._sources.pop(dataset_id)
                     self._id_fp.pop(dataset_id, None)
@@ -832,6 +777,8 @@ class EngineServer:
             return self.reject(message, op="close_dataset", dataset=dataset_id, t0=t0)
         if slot is not None:
             self._retire(slot, evicted=False)
+        if self.forwarder is not None and not relay:
+            self.forwarder.on_close(raw)
         return self._admin_ok(
             "close_dataset",
             dataset_id,
@@ -851,6 +798,23 @@ class EngineServer:
             return self.reject(f"unknown stats fields: {sorted(d)}", op="stats", t0=t0)
         return self._admin_ok("stats", None, self.stats(), t0)
 
+    def _op_manifest(self, raw: Mapping) -> dict:
+        """Admin op returning the full run document as a response.
+
+        The process plane's manifest-collection path: the router asks
+        each worker's internal socket for its document and merges them —
+        over the stream protocol (no message-size limits), behind the
+        admin barrier (every dispatched request is accounted first).
+        """
+        t0 = time.perf_counter()
+        d = dict(raw)
+        d.pop("op")
+        if d:
+            return self.reject(
+                f"unknown manifest fields: {sorted(d)}", op="manifest", t0=t0
+            )
+        return self._admin_ok("manifest", None, self.manifest(), t0)
+
     # ------------------------------------------------------------------ #
     # streams
     # ------------------------------------------------------------------ #
@@ -868,17 +832,14 @@ class EngineServer:
         unknown, broken source — gets a per-id lane so its error
         responses stay ordered without blocking healthy lanes.
         """
-        if not isinstance(raw, Mapping):
+        dataset_id = request_dataset_id(raw, self.default_dataset)
+        if dataset_id is None:
             return None  # malformed / ParseFailure: shared error lane
-        dataset_id = raw.get("dataset", self.default_dataset)
-        if not isinstance(dataset_id, str):
-            return None
-        with self._registry:
-            fp = self._id_fp.get(dataset_id)
-        if fp is not None:
-            return fp
         try:
-            return self._slot_for(dataset_id).fingerprint
+            # Fingerprint only — no session spin-up at intake; the first
+            # query on the lane creates the session (or a forwarder
+            # ships it to the owning worker, which creates it there).
+            return self.resolve_fingerprint(dataset_id)
         except (KeyError, ValueError, OSError):
             return ("unresolved", dataset_id)
 
@@ -909,22 +870,14 @@ class EngineServer:
             self._lane_weights[dataset_id] = w
 
     def _request_weight(self, raw) -> float:
-        if not isinstance(raw, Mapping):
-            return 1.0
-        dataset_id = raw.get("dataset", self.default_dataset)
-        if not isinstance(dataset_id, str):
+        dataset_id = request_dataset_id(raw, self.default_dataset)
+        if dataset_id is None:
             return 1.0
         with self._registry:
             return self._lane_weights.get(dataset_id, 1.0)
 
-    @staticmethod
-    def _lane_label(key: object) -> str:
-        """Human/JSON-facing name of a lane key (fingerprints as-is)."""
-        if key is None:
-            return "malformed"
-        if isinstance(key, tuple):
-            return f"unresolved:{key[1]}"
-        return str(key)
+    # Shared with the process plane; see repro.engine.routing.
+    _lane_label = staticmethod(lane_label)
 
     def _note_lane_served(self, pending: "_Pending") -> None:
         with self._misc:
@@ -1241,6 +1194,7 @@ class EngineServer:
             session_docs.append(doc)
         with self._misc:
             session_docs.extend(self._retired_docs)
+            session_docs.extend(self.manifest_extras)
             unrouted = self._unrouted.to_dict()
             shutdown = dict(self._shutdown_doc) if self._shutdown_doc else None
         totals = merge_totals(
@@ -1253,7 +1207,7 @@ class EngineServer:
             "manifest_version": MANIFEST_VERSION,
             "created_unix": self._created,
             "engine": engine,
-            "run_id": None if self._journal is None else self._journal.run_id,
+            "run_id": self._run_id if self._journal is None else self._journal.run_id,
             "totals": totals,
             "sessions": session_docs,
             "unrouted": unrouted,

@@ -42,7 +42,7 @@ from collections.abc import Iterator
 
 from .server import DEFAULT_WINDOW, EngineServer, ParseFailure
 
-__all__ = ["EngineTransport", "parse_address"]
+__all__ = ["EngineTransport", "LineStream", "parse_address"]
 
 
 def parse_address(spec) -> tuple[str, object]:
@@ -105,7 +105,7 @@ def _reclaim_stale_unix_socket(path: str) -> None:
     raise OSError(f"unix socket {path} already has a live listener")
 
 
-class _LineStream:
+class LineStream:
     """Drainable line framing over a socket.
 
     ``socket.makefile`` cannot be mixed with timeouts, and a blocking
@@ -146,6 +146,10 @@ class _LineStream:
             self._buf += chunk
 
 
+#: Former private name, kept importable.
+_LineStream = LineStream
+
+
 class _Connection:
     """One client socket: frames lines into a serve_iter stream."""
 
@@ -166,7 +170,7 @@ class _Connection:
 
     def run(self) -> None:
         t = self.transport
-        stream = _LineStream(self.sock, t._draining_conns)
+        stream = LineStream(self.sock, t._draining_conns)
         timings: list[dict] = []
         gen = t.engine.serve_iter(
             self._requests(stream), threads=t.threads, window=t.window, timings=timings
@@ -265,39 +269,58 @@ class EngineTransport:
     listen:
         ``"HOST:PORT"`` (port 0 picks an ephemeral port — read
         :attr:`address` back), ``"unix:PATH"``, or a ``(host, port)``
-        tuple.
+        tuple.  ``None`` builds an **adopt-only** transport: no listener
+        and no accept thread — connections arrive exclusively through
+        :meth:`adopt` (the process plane's fd-passing mode, where the
+        router accepts and workers serve).
     threads / window:
         Per-connection dispatch parallelism and in-flight window,
         passed straight to :meth:`EngineServer.serve_iter`.
+    reuseport:
+        Bind a TCP listener with ``SO_REUSEPORT`` so several processes
+        can listen on one port and the kernel load-balances accepts —
+        the process plane's fallback when fd passing is not wanted.
     """
 
     def __init__(
         self,
         engine: EngineServer,
-        listen,
+        listen=None,
         *,
         threads: int = 1,
         window: int = DEFAULT_WINDOW,
         backlog: int = 128,
+        reuseport: bool = False,
     ) -> None:
         self.engine = engine
         self.threads = max(1, int(threads))
         self.window = max(1, int(window))
-        self.kind, addr = parse_address(listen)
-        if self.kind == "unix":
-            _reclaim_stale_unix_socket(addr)
-            self._listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-            self._unix_path = addr
-            self._listener.bind(addr)
-            self.address: object = addr
-        else:
-            self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-            self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        if listen is None:
+            self.kind = "adopted"
+            self._listener = None
             self._unix_path = None
-            host, port = addr
-            self._listener.bind((host, port))
-            self.address = self._listener.getsockname()[:2]
-        self._listener.listen(backlog)
+            self.address: object = None
+        else:
+            self.kind, addr = parse_address(listen)
+            if self.kind == "unix":
+                _reclaim_stale_unix_socket(addr)
+                self._listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                self._unix_path = addr
+                self._listener.bind(addr)
+                self.address = addr
+            else:
+                self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+                self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+                if reuseport:
+                    self._listener.setsockopt(
+                        socket.SOL_SOCKET, socket.SO_REUSEPORT, 1
+                    )
+                self._unix_path = None
+                host, port = addr
+                self._listener.bind((host, port))
+                self.address = self._listener.getsockname()[:2]
+            self._listener.listen(backlog)
+        self._started = False
         self._lock = threading.Lock()
         self._connections: set[_Connection] = set()
         self._accept_thread: threading.Thread | None = None
@@ -314,20 +337,41 @@ class EngineTransport:
     # lifecycle
     # ------------------------------------------------------------------ #
     def describe(self) -> str:
+        if self.kind == "adopted":
+            return "adopted"
         if self.kind == "unix":
             return f"unix:{self.address}"
         host, port = self.address
         return f"{host}:{port}"
 
     def start(self) -> "EngineTransport":
-        """Begin accepting connections on a background thread."""
-        if self._accept_thread is not None:
+        """Begin accepting connections on a background thread.
+
+        An adopt-only transport (``listen=None``) has nothing to accept;
+        ``start`` just arms it for :meth:`adopt`.
+        """
+        if self._started:
             raise RuntimeError("transport already started")
-        self._accept_thread = threading.Thread(
-            target=self._accept_loop, name="engine-transport-accept", daemon=True
-        )
-        self._accept_thread.start()
+        self._started = True
+        if self._listener is not None:
+            self._accept_thread = threading.Thread(
+                target=self._accept_loop, name="engine-transport-accept", daemon=True
+            )
+            self._accept_thread.start()
         return self
+
+    def adopt(self, sock: socket.socket) -> None:
+        """Serve a connection accepted elsewhere (fd-passed by a router).
+
+        The socket gets the same handler thread, framing, drain and
+        accounting as an accepted one — adoption changes who called
+        ``accept()``, nothing else.  Raises ``RuntimeError`` (and closes
+        the socket) once shutdown has begun, so a racing router cannot
+        strand a client on a dying worker silently.
+        """
+        if not self._spawn_connection(sock):
+            sock.close()
+            raise RuntimeError("transport is shutting down")
 
     def _accept_loop(self) -> None:
         # A blocking accept() is not reliably woken by close() from
@@ -344,20 +388,31 @@ class EngineTransport:
                 continue
             except OSError:
                 break  # listener closed by shutdown()
-            sock.setblocking(True)
-            conn = _Connection(self, sock)
-            with self._lock:
-                if self._stopping.is_set():
-                    sock.close()
-                    break
-                self._connections.add(conn)
-                self.n_connections += 1
-            conn.thread = threading.Thread(
-                target=conn.run,
-                name="engine-transport-conn",
-                daemon=True,
-            )
-            conn.thread.start()
+            if not self._spawn_connection(sock):
+                sock.close()
+                break
+
+    def _spawn_connection(self, sock: socket.socket) -> bool:
+        """Register ``sock`` and start its handler thread.
+
+        The one path every connection takes, accepted or adopted.
+        Returns ``False`` (without closing the socket) when the
+        transport is already stopping.
+        """
+        sock.setblocking(True)
+        conn = _Connection(self, sock)
+        with self._lock:
+            if self._stopping.is_set():
+                return False
+            self._connections.add(conn)
+            self.n_connections += 1
+        conn.thread = threading.Thread(
+            target=conn.run,
+            name="engine-transport-conn",
+            daemon=True,
+        )
+        conn.thread.start()
+        return True
 
     def _connection_done(self, conn: _Connection) -> None:
         with self._lock:
@@ -400,10 +455,11 @@ class EngineTransport:
         close, but responses are dropped).
         """
         self._stopping.set()
-        try:
-            self._listener.close()
-        except OSError:
-            pass
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
         with self._lock:
             conns = list(self._connections)
         if drain:

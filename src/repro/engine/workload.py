@@ -36,6 +36,7 @@ from __future__ import annotations
 import json
 import math
 import random
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -482,13 +483,31 @@ def replay(
 def replay_client(client, trace: Trace, *, pace: bool = False) -> WorkloadReport:
     """Replay a trace through an :class:`~repro.engine.client.EngineClient`.
 
-    Pipelined: every request is sent (optionally on the trace schedule),
-    then responses are drained in order.  Timings come from the client's
-    send→recv samples, so latency here includes the wire and the
-    server-side window — the end-to-end number a remote tenant sees.
+    One thread sends (optionally on the trace schedule), a second reads
+    the ordered responses as they arrive.  Concurrent reads matter for
+    ``pace=True``: if responses were only drained after the last send, a
+    reply served in 5 ms but read 8 s later would *record* 8 s.  Timings
+    come from the client's send→recv samples, so latency here includes
+    the wire and the server-side window — the end-to-end number a remote
+    tenant sees.
     """
     t0 = time.monotonic()
     base = len(client.latencies_s)
+    n = len(trace.records)
+    responses: list[dict] = []
+    recv_failure: list[BaseException] = []
+
+    def _recv_all() -> None:
+        try:
+            for _ in range(n):
+                responses.append(client.recv())
+        except BaseException as exc:  # re-raised on the caller's thread
+            recv_failure.append(exc)
+
+    reader = threading.Thread(
+        target=_recv_all, name="workload-replay-reader", daemon=True
+    )
+    reader.start()
     sent_at: list[float] = []
     start = time.monotonic()
     for rec in trace.records:
@@ -498,7 +517,9 @@ def replay_client(client, trace: Trace, *, pace: bool = False) -> WorkloadReport
                 time.sleep(delay)
         sent_at.append(time.monotonic())
         client.send(rec.request)
-    responses = client.drain()
+    reader.join()
+    if recv_failure:
+        raise recv_failure[0]
     wall = time.monotonic() - t0
     lats = list(client.latencies_s)[base:]
     timings = [

@@ -272,3 +272,131 @@ class TestEvictionUnderLoad:
                 assert len(doc["sessions"]) == 3  # a, b, revived a
             finally:
                 srv.close()
+
+
+# --------------------------------------------------------------------- #
+# drill 5: SIGKILLed serve worker in the multi-process plane (ISSUE 10)
+# --------------------------------------------------------------------- #
+class TestKilledServeWorker:
+    def test_killed_worker_clean_error_respawn_exact_manifest(
+        self, asia_data, small_random_data, tmp_path
+    ):
+        """SIGKILL the serve worker owning one dataset mid-run: requests
+        forwarded to it become clean error responses (the stream on the
+        surviving front worker never tears), the router respawns it, a
+        subsequent request succeeds — served from the dead worker's store
+        shard — and the merged manifest accounts for every request
+        exactly once (the predecessor's journalled rows are folded back
+        in; the failed forward is one unrouted error at the front)."""
+        import signal as _signal
+
+        from repro.engine import HashRing, ProcessPlane, dataset_fingerprint
+
+        ring = HashRing(2)
+        datasets = {"a": asia_data, "b": small_random_data}
+        fp_a = dataset_fingerprint(asia_data)
+        owner_a = ring.owner(fp_a)
+        if ring.owner(dataset_fingerprint(small_random_data)) == owner_a:
+            # Both tenants on one worker: perturb "b" until it lands on
+            # the other, so the surviving front still owns live work.
+            from repro.datasets.sampling import forward_sample
+            from repro.networks.generators import random_network
+
+            for bump in range(1, 64):
+                net = random_network(8, 10, rng=300 + bump, arity_range=(2, 3))
+                candidate = forward_sample(net, 500, rng=bump)
+                if ring.owner(dataset_fingerprint(candidate)) != owner_a:
+                    datasets["b"] = candidate
+                    break
+            else:
+                pytest.fail("could not build a cross-worker tenant pair")
+        survivor = 1 - owner_a
+
+        with hard_timeout(DRILL_TIMEOUT_S, "killed serve-worker drill"):
+            store = str(tmp_path / "plane.db")
+            plane = ProcessPlane(
+                f"unix:{tmp_path}/front.sock",
+                processes=2,
+                registrations=list(datasets.items()),
+                server_kwargs=dict(alpha=0.05, n_jobs=1, max_sessions=8),
+                threads=2,
+                store=store,
+            )
+            plane.start()
+            n_sent = n_client_errors = 0
+            # The fd router hands connections out round-robin from worker
+            # 0, so the (survivor+1)-th connection is fronted by the
+            # survivor; earlier ones just burn rotation slots.
+            warmups = [
+                EngineClient(f"unix:{plane.address}") for _ in range(survivor)
+            ]
+            try:
+                with EngineClient(f"unix:{plane.address}") as client:
+                    q_a = {"op": "blanket", "dataset": "a", "target": 0,
+                           "alpha": 0.05}
+                    baseline = client.request(q_a)
+                    n_sent += 1
+                    assert baseline["error"] is None
+                    other = client.request(
+                        {"op": "blanket", "dataset": "b", "target": 0,
+                         "alpha": 0.05}
+                    )
+                    n_sent += 1
+                    assert other["error"] is None
+
+                    doomed = plane.worker_pid(owner_a)
+                    os.kill(doomed, _signal.SIGKILL)
+                    # Forwarded while the owner is dead: one clean error
+                    # response on an intact stream (never a torn socket).
+                    broken = client.request(q_a)
+                    n_sent += 1
+                    assert broken["result"] is None
+                    assert broken["error"] is not None
+                    assert "peer worker unavailable" in broken["error"]
+                    assert broken["op"] == "blanket"
+
+                    # The router respawns the worker under the same run
+                    # id, store shard and internal socket; the repeat is
+                    # answered from the shard's result cache.
+                    deadline = time.monotonic() + 60.0
+                    while True:
+                        recovered = client.request(q_a)
+                        n_sent += 1
+                        if recovered["error"] is None:
+                            break
+                        assert time.monotonic() < deadline, recovered
+                        time.sleep(0.25)
+                    assert recovered["cached"] is True
+                    assert _payload(recovered) == _payload(baseline)
+                    assert plane.n_respawns >= 1
+                    assert plane.worker_pid(owner_a) != doomed
+            finally:
+                for w in warmups:
+                    try:
+                        w.close()
+                    except OSError:
+                        n_client_errors += 1
+            plane.shutdown()
+            merged = plane.manifest()
+
+        # Exactness across the kill: baseline rows recovered from the
+        # predecessor's journal, the failed forward accounted once as an
+        # unrouted error at the surviving front, respawn retries counted
+        # at the reborn owner.  Nothing lost, nothing double-counted.
+        parts = [
+            w["manifest"]["totals"]
+            for w in merged["workers"]
+            if w["manifest"] is not None
+        ]
+        assert merged["totals"] == merge_totals(parts)
+        assert merged["totals"]["n_requests"] == n_sent
+        assert merged["totals"]["n_errors"] >= 1
+        assert merged["router"]["n_respawns"] >= 1
+        recovered_docs = [
+            s
+            for w in merged["workers"]
+            if w["manifest"] is not None
+            for s in w["manifest"]["sessions"]
+            if s.get("recovered")
+        ]
+        assert recovered_docs, "predecessor journal rows were not folded in"
